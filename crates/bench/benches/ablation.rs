@@ -1,0 +1,35 @@
+//! E10: ablation — full OPS vs shift-only vs naive on the headline
+//! workloads, isolating the contribution of the `next` array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_bench::{djia, kmp_workload, run_cost, DJIA_SEED, DOUBLE_BOTTOM};
+use sqlts_core::EngineKind;
+
+const EQUALITY: &str = "SELECT V0.date FROM t SEQUENCE BY date AS (V0, V1, V2, V3, V4) \
+                        WHERE V0.price = 3 AND V1.price = 5 AND V2.price = 3 \
+                        AND V3.price = 5 AND V4.price = 9";
+
+fn bench(c: &mut Criterion) {
+    let djia_table = djia(DJIA_SEED);
+    let sym_table = kmp_workload(20_000, 10, 21);
+    let mut group = c.benchmark_group("ablation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for engine in [EngineKind::Naive, EngineKind::OpsShiftOnly, EngineKind::Ops] {
+        group.bench_with_input(
+            BenchmarkId::new("double_bottom", format!("{engine:?}")),
+            &engine,
+            |b, &engine| b.iter(|| run_cost(DOUBLE_BOTTOM, &djia_table, engine)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("equality_chain", format!("{engine:?}")),
+            &engine,
+            |b, &engine| b.iter(|| run_cost(EQUALITY, &sym_table, engine)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E8 / §5.1: compile-time cost of the optimizer vs pattern length m
+//! (matrices are O(m²) solver calls; shift/next is O(m³)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_core::matrices::{PrecondMatrices, Predicates};
+use sqlts_core::{compile, star_shift_next, CompileOptions};
+use sqlts_datagen::quote_schema;
+
+fn star_chain_query(m: usize) -> String {
+    let vars: Vec<String> = (0..m).map(|i| format!("V{i}")).collect();
+    let conds: Vec<String> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if i % 2 == 0 {
+                format!("{v}.price < {v}.previous.price")
+            } else {
+                format!("{v}.price > {v}.previous.price")
+            }
+        })
+        .collect();
+    format!(
+        "SELECT FIRST(V0).date FROM t SEQUENCE BY date AS (*{}) WHERE {}",
+        vars.join(", *"),
+        conds.join(" AND ")
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_cost");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for m in [4usize, 8, 16, 32] {
+        let q = compile(
+            &star_chain_query(m),
+            &quote_schema(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("matrices", m), &q, |b, q| {
+            b.iter(|| PrecondMatrices::build(Predicates::new(&q.elements)))
+        });
+        let pre = PrecondMatrices::build(Predicates::new(&q.elements));
+        group.bench_with_input(BenchmarkId::new("shift_next", m), &q, |b, q| {
+            b.iter(|| star_shift_next(Predicates::new(&q.elements), &pre))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 / §7, Figures 6–7: the relaxed double bottom over the simulated
+//! 25-year DJIA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_bench::{djia, run_cost, DJIA_SEED, DOUBLE_BOTTOM};
+use sqlts_core::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let table = djia(DJIA_SEED);
+    let mut group = c.benchmark_group("double_bottom_djia_25y");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for engine in [
+        EngineKind::NaiveBacktrack,
+        EngineKind::Naive,
+        EngineKind::OpsShiftOnly,
+        EngineKind::Ops,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{engine:?}")),
+            &engine,
+            |b, &engine| b.iter(|| run_cost(DOUBLE_BOTTOM, &table, engine)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E1 / Figure 5: naive vs OPS search over the paper's §4.2.1 sequence
+//! (tiled so timings are measurable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_bench::{price_table, run_cost, EXAMPLE4, FIG5_PRICES};
+use sqlts_core::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let prices: Vec<f64> = FIG5_PRICES.iter().cycle().take(15_000).copied().collect();
+    let table = price_table(&prices);
+    let mut group = c.benchmark_group("fig5_example4_search");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for engine in [EngineKind::Naive, EngineKind::Ops, EngineKind::OpsShiftOnly] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{engine:?}")),
+            &engine,
+            |b, &engine| b.iter(|| run_cost(EXAMPLE4, &table, engine)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

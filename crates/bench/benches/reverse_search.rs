@@ -1,0 +1,40 @@
+//! E7 / §8: forward vs reverse search over the double-bottom workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_bench::{djia, DJIA_SEED, DOUBLE_BOTTOM};
+use sqlts_core::engine::SearchOptions;
+use sqlts_core::reverse::{find_matches_directed, Direction};
+use sqlts_core::{compile, CompileOptions, EngineKind, EvalCounter, FirstTuplePolicy};
+
+fn bench(c: &mut Criterion) {
+    let table = djia(DJIA_SEED);
+    let query = compile(DOUBLE_BOTTOM, table.schema(), &CompileOptions::default()).unwrap();
+    let clusters = table.cluster_by(&[], &["date"]).unwrap();
+    let opts = SearchOptions {
+        policy: FirstTuplePolicy::VacuousTrue,
+    };
+
+    let mut group = c.benchmark_group("reverse_search_double_bottom");
+    for direction in [Direction::Forward, Direction::Reverse] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{direction:?}")),
+            &direction,
+            |b, &direction| {
+                b.iter(|| {
+                    find_matches_directed(
+                        &query,
+                        &clusters[0],
+                        direction,
+                        EngineKind::Ops,
+                        &opts,
+                        &EvalCounter::new(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E5 / §7: speedups across complex patterns ("up to 800 times").
+//!
+//! The wall-clock sweep uses reduced workload sizes so the backtracking
+//! baseline stays benchable; the `experiments sweep` binary reports the
+//! full-size predicate-test counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_bench::{price_table, run_cost, sweep_patterns, sweep_workload, Workload};
+use sqlts_core::EngineKind;
+use sqlts_datagen::sawtooth;
+
+fn bench(c: &mut Criterion) {
+    let walk = sweep_workload(4_000, 7);
+    let saw = price_table(&sawtooth(1_500, 24, 3));
+    let mut group = c.benchmark_group("speedup_sweep");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for case in sweep_patterns() {
+        // Skip the most explosive backtracking cases in the wall-clock
+        // sweep (counted in `experiments sweep` instead).
+        let engines: &[EngineKind] = if case.id.starts_with("saw-4") || case.id.starts_with("saw-5")
+        {
+            &[EngineKind::Naive, EngineKind::Ops]
+        } else {
+            &[EngineKind::NaiveBacktrack, EngineKind::Naive, EngineKind::Ops]
+        };
+        let table = match case.workload {
+            Workload::Walk => &walk,
+            Workload::Sawtooth => &saw,
+        };
+        for &engine in engines {
+            group.bench_with_input(
+                BenchmarkId::new(case.id, format!("{engine:?}")),
+                &engine,
+                |b, &engine| b.iter(|| run_cost(&case.query, table, engine)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! `sqlts` — run SQL-TS sequence queries over CSV files.
+//!
+//! ```text
+//! sqlts --csv quotes.csv --schema 'name:str,date:date,price:float' \
+//!       [--engine naive|backtrack|ops|shift-only] [--explain] [--stats] \
+//!       [--strict-previous] "SELECT … FROM … AS (X, *Y, Z) WHERE …"
+//!
+//! sqlts --demo-djia [--seed N] …     # use the built-in simulated DJIA
+//! ```
+//!
+//! Prints the result as CSV on stdout; `--stats` adds the cost metric on
+//! stderr, `--explain` prints the optimizer's θ/φ/shift/next report.
+
+use sqlts_core::{
+    compile, execute, explain, CompileOptions, DirectionChoice, EngineKind, ExecOptions,
+    FirstTuplePolicy,
+};
+use sqlts_relation::{ColumnType, Schema, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    csv: Option<PathBuf>,
+    schema: Option<String>,
+    demo_djia: bool,
+    seed: u64,
+    engine: EngineKind,
+    direction: DirectionChoice,
+    explain: bool,
+    stats: bool,
+    strict_previous: bool,
+    query: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sqlts (--csv FILE --schema 'col:type,…' | --demo-djia [--seed N]) \\\n\
+         \x20            [--engine naive|backtrack|ops|shift-only] [--direction forward|reverse|auto] \\\n\
+         \x20            [--explain] [--stats] [--strict-previous] QUERY\n\
+         \n\
+         types: int, float, str, date\n\
+         example:\n\
+         \x20 sqlts --demo-djia --stats \\\n\
+         \x20   \"SELECT FIRST(Y).date AS from_d, Z.date AS to_d FROM djia SEQUENCE BY date \\\n\
+         \x20    AS (*Y, Z) WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price\""
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        csv: None,
+        schema: None,
+        demo_djia: false,
+        seed: 2001,
+        engine: EngineKind::Ops,
+        direction: DirectionChoice::Forward,
+        explain: false,
+        stats: false,
+        strict_previous: false,
+        query: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => args.csv = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--schema" => args.schema = Some(it.next().unwrap_or_else(|| usage())),
+            "--demo-djia" => args.demo_djia = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--engine" => {
+                args.engine = match it.next().as_deref() {
+                    Some("naive") => EngineKind::Naive,
+                    Some("backtrack") => EngineKind::NaiveBacktrack,
+                    Some("ops") => EngineKind::Ops,
+                    Some("shift-only") => EngineKind::OpsShiftOnly,
+                    _ => usage(),
+                }
+            }
+            "--direction" => {
+                args.direction = match it.next().as_deref() {
+                    Some("forward") => DirectionChoice::Forward,
+                    Some("reverse") => DirectionChoice::Reverse,
+                    Some("auto") => DirectionChoice::Auto,
+                    _ => usage(),
+                }
+            }
+            "--explain" => args.explain = true,
+            "--stats" => args.stats = true,
+            "--strict-previous" => args.strict_previous = true,
+            "--help" | "-h" => usage(),
+            q if !q.starts_with('-') && args.query.is_none() => args.query = Some(arg),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn parse_schema(spec: &str) -> Result<Schema, String> {
+    let mut cols = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad schema entry {part:?} (want name:type)"))?;
+        let ty = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" | "integer" => ColumnType::Int,
+            "float" | "double" | "real" => ColumnType::Float,
+            "str" | "string" | "varchar" | "text" => ColumnType::Str,
+            "date" => ColumnType::Date,
+            other => return Err(format!("unknown column type {other:?}")),
+        };
+        cols.push((name.trim().to_string(), ty));
+    }
+    Schema::new(cols).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args();
+    let query_src = args.query.clone().unwrap_or_else(|| usage());
+
+    let table: Table = if args.demo_djia {
+        sqlts_datagen::djia_series(args.seed)
+    } else {
+        let csv = args.csv.clone().unwrap_or_else(|| usage());
+        let schema_spec = args.schema.clone().unwrap_or_else(|| usage());
+        let schema = parse_schema(&schema_spec)?;
+        Table::from_csv_path(schema, &csv).map_err(|e| e.to_string())?
+    };
+
+    let compile_opts = CompileOptions::default();
+    let compiled = compile(&query_src, table.schema(), &compile_opts)
+        .map_err(|e| e.render(&query_src))?;
+
+    if args.explain {
+        eprintln!("{}", explain(&compiled));
+    }
+
+    let result = execute(
+        &compiled,
+        &table,
+        &ExecOptions {
+            engine: args.engine,
+            policy: if args.strict_previous {
+                FirstTuplePolicy::Fail
+            } else {
+                FirstTuplePolicy::VacuousTrue
+            },
+            compile: compile_opts,
+            direction: args.direction,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    print!("{}", result.table.to_csv_string());
+    if args.stats {
+        eprintln!("{}", result.stats);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `sqlts` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn sqlts() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sqlts"))
+}
+
+fn write_temp_csv(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sqlts-test-{name}-{}.csv", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const QUOTES: &str = "name,date,price\n\
+    INTC,1999-01-25,60\n\
+    INTC,1999-01-26,63.5\n\
+    INTC,1999-01-27,62\n\
+    ACME,1999-01-25,10\n\
+    ACME,1999-01-26,12\n\
+    ACME,1999-01-27,9\n";
+
+#[test]
+fn runs_a_query_over_csv() {
+    let csv = write_temp_csv("basic", QUOTES);
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .arg(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+        )
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, "name\nACME\n");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn stats_and_explain_go_to_stderr() {
+    let csv = write_temp_csv("stats", QUOTES);
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .args(["--stats", "--explain", "--engine", "ops"])
+        .arg(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+        )
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("theta"), "{stderr}");
+    assert!(stderr.contains("predicate tests"), "{stderr}");
+    // stdout carries only the CSV result.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("name\n"));
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn engines_are_selectable_and_agree() {
+    let csv = write_temp_csv("engines", QUOTES);
+    let mut outputs = Vec::new();
+    for engine in ["naive", "backtrack", "ops", "shift-only"] {
+        let out = sqlts()
+            .args(["--csv", csv.to_str().unwrap()])
+            .args(["--schema", "name:str,date:date,price:float"])
+            .args(["--engine", engine])
+            .arg(
+                "SELECT X.name, Y.price FROM quote CLUSTER BY name SEQUENCE BY date \
+                 AS (X, Y) WHERE Y.price < X.price",
+            )
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        outputs.push(String::from_utf8(out.stdout).unwrap());
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn compile_errors_render_with_caret() {
+    let csv = write_temp_csv("err", QUOTES);
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .arg("SELECT X.volume FROM quote SEQUENCE BY date AS (X)")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no such column: volume"), "{stderr}");
+    assert!(stderr.contains('^'), "caret rendering missing: {stderr}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn demo_djia_is_deterministic() {
+    let run = || {
+        let out = sqlts()
+            .args(["--demo-djia", "--seed", "7"])
+            .arg(
+                "SELECT FIRST(Y).date AS d FROM djia SEQUENCE BY date AS (*Y, Z) \
+                 WHERE Y.price < 0.98*Y.previous.price AND Z.price > 1.02*Z.previous.price",
+            )
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn direction_flag_preserves_results() {
+    let csv = write_temp_csv("dir", QUOTES);
+    let run = |dir: &str| {
+        let out = sqlts()
+            .args(["--csv", csv.to_str().unwrap()])
+            .args(["--schema", "name:str,date:date,price:float"])
+            .args(["--direction", dir])
+            .arg(
+                "SELECT X.name, Y.price FROM quote CLUSTER BY name SEQUENCE BY date \
+                 AS (X, Y) WHERE Y.price < X.price",
+            )
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "direction {dir}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let fwd = run("forward");
+    assert_eq!(fwd, run("reverse"));
+    assert_eq!(fwd, run("auto"));
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = sqlts().arg("--nonsense").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = sqlts().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing query must show usage");
+}

@@ -1,0 +1,377 @@
+//! Atomic constraints: the GSW inequality forms plus categorical equality
+//! and an opaque residue for atoms outside the decidable fragment.
+
+use sqlts_rational::Rational;
+use std::fmt;
+
+/// A numeric variable, identified by an opaque caller-assigned id.
+///
+/// The SQL-TS compiler maps tuple-attribute references (e.g. *current
+/// tuple's `price`*, *previous tuple's `price`*) to `Var`s; the solver only
+/// sees the ids.  Two atoms talk about the same quantity iff they use the
+/// same id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A comparison operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠` (`<>` in SQL)
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// The logical negation: `¬(x < y)` is `x ≥ y`, etc.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The mirrored operator: `x < y` iff `y > x`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            eqne => eqne,
+        }
+    }
+
+    /// Evaluate the comparison on two rationals.
+    pub fn eval(self, lhs: Rational, rhs: Rational) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Evaluate the comparison on two floats (runtime fast path).
+    pub fn eval_f64(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// SQL rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// One atomic constraint of a predicate conjunction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Atom {
+    /// `x op c` — variable against constant.
+    VarConst {
+        /// The variable.
+        x: Var,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The constant.
+        c: Rational,
+    },
+    /// `x op scale·y + add` — variable against (scaled, shifted) variable.
+    ///
+    /// With `scale = 1` this is the GSW `X op Y + C` form; with `add = 0`
+    /// and `scale > 0` it is the paper's §6 `X op C·Y` form, decided via the
+    /// ratio substitution when both variables have positive domains.  Other
+    /// combinations are kept for faithful evaluation but are treated as
+    /// opaque by the solver.
+    VarVar {
+        /// Left-hand variable.
+        x: Var,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand variable.
+        y: Var,
+        /// Multiplier on `y`.
+        scale: Rational,
+        /// Additive offset.
+        add: Rational,
+    },
+    /// `x = "value"` or `x ≠ "value"` — categorical (string) equality, e.g.
+    /// `X.name = 'IBM'`.
+    Cat {
+        /// The categorical variable.
+        x: Var,
+        /// The compared string constant.
+        value: String,
+        /// `true` for `≠`, `false` for `=`.
+        negated: bool,
+    },
+    /// An atom outside the decidable fragment, identified by a canonical
+    /// string so that syntactically identical occurrences (and their
+    /// negations) can still be recognized.  `negated` tracks logical
+    /// polarity so that `¬Opaque(s)` and `Opaque(s)` contradict.
+    Opaque {
+        /// Canonical identity of the atom.
+        token: String,
+        /// Logical polarity.
+        negated: bool,
+    },
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+}
+
+impl Atom {
+    /// Convenience constructor: `x op c`.
+    pub fn var_const(x: Var, op: CmpOp, c: impl Into<Rational>) -> Atom {
+        Atom::VarConst { x, op, c: c.into() }
+    }
+
+    /// Convenience constructor: `x op y + add`.
+    pub fn var_var(x: Var, op: CmpOp, y: Var, add: impl Into<Rational>) -> Atom {
+        Atom::VarVar {
+            x,
+            op,
+            y,
+            scale: Rational::ONE,
+            add: add.into(),
+        }
+    }
+
+    /// Convenience constructor: `x op scale·y` (the §6 extension form).
+    pub fn var_scaled(x: Var, op: CmpOp, scale: impl Into<Rational>, y: Var) -> Atom {
+        Atom::VarVar {
+            x,
+            op,
+            y,
+            scale: scale.into(),
+            add: Rational::ZERO,
+        }
+    }
+
+    /// The logical negation of this atom (always a single atom in this
+    /// language: every comparison operator has a complementary operator).
+    pub fn negate(&self) -> Atom {
+        match self {
+            Atom::VarConst { x, op, c } => Atom::VarConst {
+                x: *x,
+                op: op.negate(),
+                c: *c,
+            },
+            Atom::VarVar {
+                x,
+                op,
+                y,
+                scale,
+                add,
+            } => Atom::VarVar {
+                x: *x,
+                op: op.negate(),
+                y: *y,
+                scale: *scale,
+                add: *add,
+            },
+            Atom::Cat { x, value, negated } => Atom::Cat {
+                x: *x,
+                value: value.clone(),
+                negated: !negated,
+            },
+            Atom::Opaque { token, negated } => Atom::Opaque {
+                token: token.clone(),
+                negated: !negated,
+            },
+            Atom::True => Atom::False,
+            Atom::False => Atom::True,
+        }
+    }
+
+    /// All variables mentioned by the atom.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Atom::VarConst { x, .. } | Atom::Cat { x, .. } => vec![*x],
+            Atom::VarVar { x, y, .. } => vec![*x, *y],
+            _ => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::VarConst { x, op, c } => write!(f, "{x} {op} {c}"),
+            Atom::VarVar {
+                x,
+                op,
+                y,
+                scale,
+                add,
+            } => {
+                write!(f, "{x} {op} ")?;
+                if *scale != Rational::ONE {
+                    write!(f, "{scale}*")?;
+                }
+                write!(f, "{y}")?;
+                if !add.is_zero() {
+                    if add.is_negative() {
+                        write!(f, " - {}", -*add)?;
+                    } else {
+                        write!(f, " + {add}")?;
+                    }
+                }
+                Ok(())
+            }
+            Atom::Cat { x, value, negated } => {
+                write!(f, "{x} {} '{value}'", if *negated { "<>" } else { "=" })
+            }
+            Atom::Opaque { token, negated } => {
+                if *negated {
+                    write!(f, "NOT ({token})")
+                } else {
+                    write!(f, "({token})")
+                }
+            }
+            Atom::True => write!(f, "TRUE"),
+            Atom::False => write!(f, "FALSE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negate_is_involution() {
+        let x = Var(0);
+        let y = Var(1);
+        let atoms = [
+            Atom::var_const(x, CmpOp::Lt, 5),
+            Atom::var_var(x, CmpOp::Ge, y, 3),
+            Atom::var_scaled(x, CmpOp::Eq, Rational::new(23, 20), y),
+            Atom::Cat {
+                x,
+                value: "IBM".into(),
+                negated: false,
+            },
+            Atom::Opaque {
+                token: "weird".into(),
+                negated: false,
+            },
+            Atom::True,
+            Atom::False,
+        ];
+        for a in &atoms {
+            assert_eq!(&a.negate().negate(), a, "double negation of {a}");
+        }
+    }
+
+    #[test]
+    fn cmp_op_negate_and_flip() {
+        use CmpOp::*;
+        assert_eq!(Lt.negate(), Ge);
+        assert_eq!(Le.negate(), Gt);
+        assert_eq!(Eq.negate(), Ne);
+        assert_eq!(Lt.flip(), Gt);
+        assert_eq!(Ge.flip(), Le);
+        assert_eq!(Eq.flip(), Eq);
+        for op in [Eq, Ne, Lt, Le, Gt, Ge] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_eval_matches_rational_ordering() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(2, 3);
+        assert!(CmpOp::Lt.eval(a, b));
+        assert!(CmpOp::Le.eval(a, b));
+        assert!(!CmpOp::Gt.eval(a, b));
+        assert!(CmpOp::Ne.eval(a, b));
+        assert!(CmpOp::Eq.eval(a, a));
+        // Negated operator always gives the complementary result.
+        use CmpOp::*;
+        for op in [Eq, Ne, Lt, Le, Gt, Ge] {
+            assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+            assert_eq!(op.eval(a, b), op.flip().eval(b, a));
+        }
+    }
+
+    #[test]
+    fn display_renders_sql_like() {
+        let x = Var(0);
+        let y = Var(1);
+        assert_eq!(Atom::var_const(x, CmpOp::Lt, 50).to_string(), "v0 < 50");
+        assert_eq!(
+            Atom::var_var(x, CmpOp::Ge, y, -2).to_string(),
+            "v0 >= v1 - 2"
+        );
+        assert_eq!(
+            Atom::var_scaled(x, CmpOp::Gt, Rational::new(51, 50), y).to_string(),
+            "v0 > 51/50*v1"
+        );
+        assert_eq!(
+            Atom::Cat {
+                x,
+                value: "IBM".into(),
+                negated: false
+            }
+            .to_string(),
+            "v0 = 'IBM'"
+        );
+    }
+
+    #[test]
+    fn vars_collects_mentions() {
+        let x = Var(3);
+        let y = Var(7);
+        assert_eq!(Atom::var_const(x, CmpOp::Eq, 1).vars(), vec![x]);
+        assert_eq!(Atom::var_var(x, CmpOp::Lt, y, 0).vars(), vec![x, y]);
+        assert!(Atom::True.vars().is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Difference-bound constraint graph with negative-cycle detection.
+//!
+//! The decidable core of the GSW procedure reduces every atom to
+//! *difference constraints* `u - v ≤ c` or `u - v < c` over a set of nodes
+//! (the variables, ratio variables, and a distinguished zero node).  A
+//! conjunction of such constraints is satisfiable over the rationals iff the
+//! corresponding weighted digraph has no cycle of total weight `< 0`, nor a
+//! cycle of weight `= 0` that contains a strict edge.  We detect such cycles
+//! with Bellman–Ford over (weight, strictness) pairs ordered
+//! lexicographically — a strict edge behaves like an infinitesimal `-ε`.
+
+use sqlts_rational::Rational;
+
+/// A node of the constraint graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub(crate) enum Node {
+    /// The distinguished constant-zero node, used to encode `x op c` as
+    /// `x - zero op c`.
+    Zero,
+    /// A plain solver variable.
+    Var(u32),
+    /// The ratio variable `num / den` introduced by the §6 `X op C·Y`
+    /// transform (valid over positive domains).  Always canonicalized with
+    /// `num < den` by the caller.
+    Ratio(u32, u32),
+}
+
+/// An edge weight: a rational bound plus a count of strict edges.
+///
+/// `(c, 0)` encodes `≤ c`; `(c, k)` with `k > 0` encodes `< c` and behaves
+/// like `c - k·ε` for an infinitesimal `ε`.  Counting (rather than a
+/// boolean) is essential: a cycle of total weight `0` containing a strict
+/// edge must keep relaxing on every traversal so Bellman–Ford can detect
+/// it, which a saturating boolean would hide.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Weight {
+    pub c: Rational,
+    pub strict: u32,
+}
+
+impl Weight {
+    pub(crate) fn new(c: Rational, strict: bool) -> Weight {
+        Weight {
+            c,
+            strict: strict as u32,
+        }
+    }
+
+    fn add(self, other: Weight) -> Weight {
+        Weight {
+            c: self.c + other.c,
+            strict: self.strict.saturating_add(other.strict),
+        }
+    }
+
+    /// Lexicographic "tighter-than" used by relaxation: each strict edge
+    /// acts as an infinitesimal `-ε`.
+    fn tighter_than(self, other: Weight) -> bool {
+        self.c < other.c || (self.c == other.c && self.strict > other.strict)
+    }
+}
+
+/// A difference constraint `to - from ≤ c` (or `< c` when strict).
+#[derive(Clone, Debug)]
+pub(crate) struct DiffConstraint {
+    pub from: Node,
+    pub to: Node,
+    pub weight: Weight,
+}
+
+/// The constraint graph over difference constraints.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DiffGraph {
+    constraints: Vec<DiffConstraint>,
+}
+
+impl DiffGraph {
+    pub(crate) fn new() -> DiffGraph {
+        DiffGraph::default()
+    }
+
+    /// Add `to - from ≤ c` (loose) or `to - from < c` (strict).
+    pub(crate) fn add(&mut self, to: Node, from: Node, c: Rational, strict: bool) {
+        self.constraints.push(DiffConstraint {
+            from,
+            to,
+            weight: Weight::new(c, strict),
+        });
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` iff the conjunction of difference constraints is satisfiable
+    /// over the rationals.
+    ///
+    /// Complete for this fragment: returns `false` exactly when a negative
+    /// (or zero-with-strict-edge) cycle exists.
+    pub(crate) fn satisfiable(&self) -> bool {
+        // Collect nodes and index them.
+        let mut nodes: Vec<Node> = Vec::new();
+        for c in &self.constraints {
+            nodes.push(c.from);
+            nodes.push(c.to);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.is_empty() {
+            return true;
+        }
+        let index_of = |n: Node| nodes.binary_search(&n).expect("node indexed");
+
+        // Edges: constraint `to - from ≤ c` becomes edge from → to with
+        // weight (c, strict); dist(to) ≤ dist(from) + c.
+        let edges: Vec<(usize, usize, Weight)> = self
+            .constraints
+            .iter()
+            .map(|c| (index_of(c.from), index_of(c.to), c.weight))
+            .collect();
+
+        // Bellman–Ford from a virtual source connected to every node with
+        // weight 0 (equivalently: all distances start at 0).
+        let n = nodes.len();
+        let mut dist = vec![Weight::new(Rational::ZERO, false); n];
+        for _ in 0..n {
+            let mut changed = false;
+            for &(from, to, w) in &edges {
+                let cand = dist[from].add(w);
+                if cand.tighter_than(dist[to]) {
+                    dist[to] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true; // converged: no negative cycle reachable
+            }
+        }
+        // One more pass: any further relaxation implies a negative cycle.
+        for &(from, to, w) in &edges {
+            if dist[from].add(w).tighter_than(dist[to]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` iff the graph *entails* `to - from ≤ c` (strict: `< c`), i.e.
+    /// the constraint holds in every solution.
+    ///
+    /// Decided by refutation: entailment holds iff adding the negation
+    /// (`from - to < -c`, or `≤ -c` when the entailed constraint is strict)
+    /// makes the graph unsatisfiable.  Vacuously true if the graph itself
+    /// is unsatisfiable.
+    pub(crate) fn entails(&self, to: Node, from: Node, c: Rational, strict: bool) -> bool {
+        let mut g = self.clone();
+        // ¬(to - from ≤ c)  ≡  to - from > c  ≡  from - to < -c
+        // ¬(to - from < c)  ≡  to - from ≥ c  ≡  from - to ≤ -c
+        g.add(from, to, -c, !strict);
+        !g.satisfiable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn empty_graph_is_satisfiable() {
+        assert!(DiffGraph::new().satisfiable());
+    }
+
+    #[test]
+    fn simple_chain_is_satisfiable() {
+        // x - y ≤ 1, y - z ≤ 2, x - z ≤ 5
+        let (x, y, z) = (Node::Var(0), Node::Var(1), Node::Var(2));
+        let mut g = DiffGraph::new();
+        g.add(x, y, r(1), false);
+        g.add(y, z, r(2), false);
+        g.add(x, z, r(5), false);
+        assert!(g.satisfiable());
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn negative_cycle_is_unsat() {
+        // x - y ≤ -1 and y - x ≤ 0  →  cycle weight -1.
+        let (x, y) = (Node::Var(0), Node::Var(1));
+        let mut g = DiffGraph::new();
+        g.add(x, y, r(-1), false);
+        g.add(y, x, r(0), false);
+        assert!(!g.satisfiable());
+    }
+
+    #[test]
+    fn zero_cycle_loose_is_sat_strict_is_unsat() {
+        let (x, y) = (Node::Var(0), Node::Var(1));
+        // x - y ≤ 0 and y - x ≤ 0: x = y, satisfiable.
+        let mut g = DiffGraph::new();
+        g.add(x, y, r(0), false);
+        g.add(y, x, r(0), false);
+        assert!(g.satisfiable());
+        // x - y < 0 and y - x ≤ 0: x < y ≤ x, unsatisfiable.
+        let mut g = DiffGraph::new();
+        g.add(x, y, r(0), true);
+        g.add(y, x, r(0), false);
+        assert!(!g.satisfiable());
+    }
+
+    #[test]
+    fn strictness_through_long_cycle() {
+        // x1 < x2 ≤ x3 ≤ x1 is unsat; all-loose version is sat.
+        let ns: Vec<Node> = (0..3).map(Node::Var).collect();
+        let mut g = DiffGraph::new();
+        g.add(ns[0], ns[1], r(0), true); // x1 - x2 < 0
+        g.add(ns[1], ns[2], r(0), false);
+        g.add(ns[2], ns[0], r(0), false);
+        assert!(!g.satisfiable());
+    }
+
+    #[test]
+    fn constants_via_zero_node() {
+        // x ≤ 5 and x ≥ 6  →  unsat.
+        let x = Node::Var(0);
+        let mut g = DiffGraph::new();
+        g.add(x, Node::Zero, r(5), false); // x - 0 ≤ 5
+        g.add(Node::Zero, x, r(-6), false); // 0 - x ≤ -6  ≡  x ≥ 6
+        assert!(!g.satisfiable());
+    }
+
+    #[test]
+    fn entailment_by_transitivity() {
+        // x ≤ y - 1, y ≤ z  entails  x < z  and  x ≤ z - 1, but not x ≤ z - 2.
+        let (x, y, z) = (Node::Var(0), Node::Var(1), Node::Var(2));
+        let mut g = DiffGraph::new();
+        g.add(x, y, r(-1), false); // x - y ≤ -1
+        g.add(y, z, r(0), false); // y - z ≤ 0
+        assert!(g.entails(x, z, r(-1), false)); // x - z ≤ -1
+        assert!(g.entails(x, z, r(0), true)); // x - z < 0
+        assert!(!g.entails(x, z, r(-2), false));
+    }
+
+    #[test]
+    fn entailment_vacuous_for_unsat_graph() {
+        let (x, y) = (Node::Var(0), Node::Var(1));
+        let mut g = DiffGraph::new();
+        g.add(x, y, r(-1), false);
+        g.add(y, x, r(0), false);
+        assert!(!g.satisfiable());
+        assert!(g.entails(x, y, r(100), false));
+    }
+
+    #[test]
+    fn rational_bounds() {
+        // x < 23/20·"unit" modelled directly: x - z ≤ 23/20 strict, z - x ≤ -23/20 loose → unsat.
+        let (x, z) = (Node::Var(0), Node::Zero);
+        let mut g = DiffGraph::new();
+        g.add(x, z, Rational::new(23, 20), true);
+        g.add(z, x, Rational::new(-23, 20), false);
+        assert!(!g.satisfiable());
+    }
+}

@@ -1,0 +1,267 @@
+//! [`Formula`]: disjunctions of conjunctive systems, supporting the
+//! paper's §8 *disjunctive conditions* extension of the OPS optimizer.
+//!
+//! A formula is kept in disjunctive normal form.  The solver queries are
+//! lifted from [`System`] in the standard way and remain sound and
+//! conservative; exact reasoning about `A ⇒ (g₁ ∨ … ∨ g_k)` requires a
+//! cross-product expansion of the negated disjuncts, which we bound to keep
+//! query compilation cheap (the paper's queries have a handful of
+//! disjuncts at most).
+
+use crate::atom::Atom;
+use crate::system::System;
+use sqlts_tvl::Truth;
+use std::fmt;
+
+/// Maximum number of conjunctions materialized while refuting an
+/// implication with a disjunctive right-hand side.  Beyond this the solver
+/// gives up (soundly) and reports "not proven".
+const MAX_EXPANSION: usize = 512;
+
+/// A disjunction of conjunctive [`System`]s (DNF).  An empty disjunction
+/// is the constant FALSE.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Formula {
+    disjuncts: Vec<System>,
+}
+
+impl Formula {
+    /// The constant FALSE (empty disjunction).
+    pub fn none() -> Formula {
+        Formula::default()
+    }
+
+    /// A formula with a single conjunctive disjunct.
+    pub fn conj(system: System) -> Formula {
+        Formula {
+            disjuncts: vec![system],
+        }
+    }
+
+    /// A formula from several disjuncts.
+    pub fn disjunction<I: IntoIterator<Item = System>>(disjuncts: I) -> Formula {
+        Formula {
+            disjuncts: disjuncts.into_iter().collect(),
+        }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[System] {
+        &self.disjuncts
+    }
+
+    /// `true` iff the formula is a single conjunction.
+    pub fn is_conjunctive(&self) -> bool {
+        self.disjuncts.len() == 1
+    }
+
+    /// Three-valued satisfiability, lifted disjunct-wise.
+    pub fn satisfiability(&self) -> Truth {
+        if self.disjuncts.is_empty() {
+            return Truth::False;
+        }
+        let mut all_false = true;
+        for d in &self.disjuncts {
+            match d.satisfiability() {
+                Truth::True => return Truth::True,
+                Truth::Unknown => all_false = false,
+                Truth::False => {}
+            }
+        }
+        if all_false {
+            Truth::False
+        } else {
+            Truth::Unknown
+        }
+    }
+
+    /// `true` iff `self ⇒ other` is proven: every disjunct of `self`
+    /// implies the disjunction `other`.
+    pub fn implies(&self, other: &Formula) -> bool {
+        self.disjuncts.iter().all(|d| implies_disjunction(d, other))
+    }
+
+    /// `true` iff `self ∧ other` is proven unsatisfiable: every pair of
+    /// disjuncts contradicts.
+    pub fn contradicts(&self, other: &Formula) -> bool {
+        if self.disjuncts.is_empty() || other.disjuncts.is_empty() {
+            return true;
+        }
+        self.disjuncts
+            .iter()
+            .all(|a| other.disjuncts.iter().all(|b| a.contradicts(b)))
+    }
+}
+
+/// Prove `d ⇒ (g₁ ∨ … ∨ g_k)` by refutation:
+/// `d ∧ ¬g₁ ∧ … ∧ ¬g_k` must be unsatisfiable.  Each `¬gᵢ` is a
+/// disjunction of negated atoms; their conjunction is expanded by
+/// cross-product, every branch of which must be provably unsatisfiable.
+fn implies_disjunction(d: &System, goal: &Formula) -> bool {
+    match goal.disjuncts.len() {
+        0 => d.satisfiability().is_false(),
+        1 => d.implies(&goal.disjuncts[0]),
+        _ => {
+            // Fast path: implication of any single disjunct suffices.
+            if goal.disjuncts.iter().any(|g| d.implies(g)) {
+                return true;
+            }
+            // Cross-product refutation.
+            let mut branches: Vec<Vec<Atom>> = vec![Vec::new()];
+            for g in &goal.disjuncts {
+                let negs: Vec<Atom> = g.atoms().iter().map(Atom::negate).collect();
+                if negs.is_empty() {
+                    // ¬TRUE = FALSE: the branch set is annihilated, the
+                    // whole refutation target is unsatisfiable, hence the
+                    // implication holds (goal contains a tautological
+                    // disjunct).
+                    return true;
+                }
+                if branches.len() * negs.len() > MAX_EXPANSION {
+                    return false; // give up, conservatively
+                }
+                branches = branches
+                    .iter()
+                    .flat_map(|b| {
+                        negs.iter().map(move |n| {
+                            let mut b2 = b.clone();
+                            b2.push(n.clone());
+                            b2
+                        })
+                    })
+                    .collect();
+            }
+            branches.into_iter().all(|extra| {
+                let mut sys = d.clone();
+                for a in extra {
+                    sys.push(a);
+                }
+                sys.satisfiability().is_false()
+            })
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "FALSE");
+        }
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            if self.disjuncts.len() > 1 {
+                write!(f, "({d})")?;
+            } else {
+                write!(f, "{d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{CmpOp, Var};
+
+    const X: Var = Var(0);
+
+    fn lt(c: i64) -> System {
+        System::from_atoms([Atom::var_const(X, CmpOp::Lt, c)])
+    }
+
+    fn gt(c: i64) -> System {
+        System::from_atoms([Atom::var_const(X, CmpOp::Gt, c)])
+    }
+
+    fn band(lo: i64, hi: i64) -> System {
+        System::from_atoms([
+            Atom::var_const(X, CmpOp::Gt, lo),
+            Atom::var_const(X, CmpOp::Lt, hi),
+        ])
+    }
+
+    #[test]
+    fn empty_formula_is_false() {
+        assert_eq!(Formula::none().satisfiability(), Truth::False);
+        assert!(Formula::none().implies(&Formula::conj(lt(0))));
+        assert!(Formula::none().contradicts(&Formula::conj(gt(0))));
+    }
+
+    #[test]
+    fn single_disjunct_matches_system_behaviour() {
+        let f = Formula::conj(band(40, 50));
+        assert_eq!(f.satisfiability(), Truth::True);
+        assert!(f.implies(&Formula::conj(lt(50))));
+        assert!(f.contradicts(&Formula::conj(gt(60))));
+        assert!(f.is_conjunctive());
+    }
+
+    #[test]
+    fn disjunct_implies_union() {
+        // x < 10  ⇒  (x < 20 ∨ x > 100)
+        let f = Formula::conj(lt(10));
+        let goal = Formula::disjunction([lt(20), gt(100)]);
+        assert!(f.implies(&goal));
+        // x < 30 does not imply it.
+        assert!(!Formula::conj(lt(30)).implies(&goal));
+    }
+
+    #[test]
+    fn split_interval_implication_needs_cross_product() {
+        // (10 < x < 20)  ⇒  (x < 15 ∨ x > 12): neither disjunct alone is
+        // implied, but the union covers the interval.
+        let f = Formula::conj(band(10, 20));
+        let goal = Formula::disjunction([lt(15), gt(12)]);
+        assert!(f.implies(&goal));
+        // But (10 < x < 20) does NOT imply (x < 13 ∨ x > 16).
+        let gap = Formula::disjunction([lt(13), gt(16)]);
+        assert!(!f.implies(&gap));
+    }
+
+    #[test]
+    fn disjunctive_lhs_requires_all_branches() {
+        // (x < 5 ∨ x > 50)  ⇒  (x < 10 ∨ x > 40)
+        let f = Formula::disjunction([lt(5), gt(50)]);
+        assert!(f.implies(&Formula::disjunction([lt(10), gt(40)])));
+        // but not ⇒ x < 10.
+        assert!(!f.implies(&Formula::conj(lt(10))));
+    }
+
+    #[test]
+    fn contradiction_pairwise() {
+        let f = Formula::disjunction([band(0, 10), band(20, 30)]);
+        let g = Formula::conj(gt(40));
+        assert!(f.contradicts(&g));
+        let overlapping = Formula::conj(band(25, 45));
+        assert!(!f.contradicts(&overlapping));
+    }
+
+    #[test]
+    fn unsat_disjunction() {
+        let f = Formula::disjunction([
+            System::from_atoms([Atom::False]),
+            System::from_atoms([
+                Atom::var_const(X, CmpOp::Lt, 0),
+                Atom::var_const(X, CmpOp::Gt, 0),
+            ]),
+        ]);
+        assert_eq!(f.satisfiability(), Truth::False);
+    }
+
+    #[test]
+    fn tautological_goal_disjunct() {
+        let f = Formula::conj(band(0, 10));
+        let goal = Formula::disjunction([System::new(), gt(100)]);
+        assert!(f.implies(&goal));
+    }
+
+    #[test]
+    fn display() {
+        let f = Formula::disjunction([lt(5), gt(50)]);
+        assert_eq!(f.to_string(), "(v0 < 5) OR (v0 > 50)");
+        assert_eq!(Formula::none().to_string(), "FALSE");
+    }
+}

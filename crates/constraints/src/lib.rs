@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Implication and satisfiability for conjunctions of (in)equalities.
+//!
+//! Section 6 of *Optimization of Sequence Queries in Database Systems*
+//! (Sadri & Zaniolo, PODS 2001) fills the optimizer's θ and φ matrices using
+//! the algorithm of Guo, Sun and Weiss (TKDE 1996) for **implication** and
+//! **satisfiability** of conjunctions of inequalities of the forms
+//!
+//! * `X op C`,
+//! * `X op Y`,
+//! * `X op Y + C`,
+//!
+//! with `op ∈ {=, ≠, <, ≤, >, ≥}`, extended (also per §6 of the paper) to
+//! `X op C·Y` over positive domains through the ratio substitution
+//! `Z = X / Y`.
+//!
+//! This crate implements that decision procedure from scratch:
+//!
+//! * [`Atom`] — one atomic constraint over opaque numeric variables
+//!   (`Var`), categorical (string) variables, or an unanalyzable-but-
+//!   syntactically-identifiable residue ([`Atom::Opaque`]);
+//! * [`System`] — a conjunction of atoms plus positive-domain assumptions;
+//!   [`System::satisfiability`] and [`System::implies`] are the two
+//!   queries the optimizer asks;
+//! * [`Formula`] — a disjunction of systems (DNF), supporting the paper's
+//!   §8 *disjunctive conditions* extension.
+//!
+//! The solver is **sound and conservative**: `satisfiability() == False`
+//! and `implies() == true` are proofs; anything it cannot decide comes back
+//! `Unknown`/`false`, which the optimizer maps to `U` entries (degrading
+//! gracefully toward the naive search, never skipping a real match).
+//!
+//! Satisfiability of the difference-constraint core is decided by
+//! negative-cycle detection (Bellman–Ford) over a constraint graph with
+//! strict/loose edge weights — exact over the rationals, hence complete for
+//! the GSW fragment.
+
+mod atom;
+mod dbm;
+mod dnf;
+mod system;
+
+pub use atom::{Atom, CmpOp, Var};
+pub use dnf::Formula;
+pub use system::System;

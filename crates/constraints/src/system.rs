@@ -1,0 +1,732 @@
+//! [`System`]: a conjunction of atoms and the two solver queries
+//! (satisfiability, implication) the OPS optimizer needs.
+
+use crate::atom::{Atom, CmpOp, Var};
+use crate::dbm::{DiffGraph, Node};
+use sqlts_rational::Rational;
+use sqlts_tvl::Truth;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+
+/// A conjunction of [`Atom`]s plus positive-domain assumptions.
+///
+/// ```
+/// use sqlts_constraints::{Atom, CmpOp, System, Var};
+/// use sqlts_tvl::Truth;
+///
+/// let (x, prev) = (Var(0), Var(1));
+/// // p2 = price < previous.price ∧ 40 < price < 50
+/// let p2 = System::from_atoms([
+///     Atom::var_var(x, CmpOp::Lt, prev, 0),
+///     Atom::var_const(x, CmpOp::Gt, 40),
+///     Atom::var_const(x, CmpOp::Lt, 50),
+/// ]);
+/// // p1 = price < previous.price
+/// let p1 = System::from_atoms([Atom::var_var(x, CmpOp::Lt, prev, 0)]);
+/// assert!(p2.implies(&p1));                      // θ_21 = 1 in Example 5
+/// assert!(!p1.implies(&p2));
+/// assert_eq!(p2.satisfiability(), Truth::True);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct System {
+    atoms: Vec<Atom>,
+    positive: BTreeSet<u32>,
+}
+
+impl System {
+    /// The empty (always-true) conjunction.
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// Build from an iterator of atoms.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> System {
+        System {
+            atoms: atoms.into_iter().collect(),
+            positive: BTreeSet::new(),
+        }
+    }
+
+    /// Add an atom to the conjunction.
+    pub fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// Record that `var` ranges over strictly positive values (e.g. stock
+    /// prices), enabling the §6 ratio transform for `X op C·Y` atoms.
+    pub fn assume_positive(&mut self, var: Var) {
+        self.positive.insert(var.0);
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The variables assumed to range over strictly positive values.
+    pub fn positive_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.positive.iter().map(|&v| Var(v))
+    }
+
+    /// `true` iff the conjunction is empty (trivially true).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The conjunction of `self` and `other` (positivity assumptions are
+    /// unioned).
+    pub fn conjoin(&self, other: &System) -> System {
+        let mut atoms = Vec::with_capacity(self.atoms.len() + other.atoms.len());
+        atoms.extend_from_slice(&self.atoms);
+        atoms.extend_from_slice(&other.atoms);
+        System {
+            atoms,
+            positive: self.positive.union(&other.positive).copied().collect(),
+        }
+    }
+
+    /// Three-valued satisfiability.
+    ///
+    /// * `False` — **proven** unsatisfiable;
+    /// * `True` — **proven** satisfiable (only claimed when every atom lies
+    ///   in the decidable fragment, for which the check is complete);
+    /// * `Unknown` — atoms outside the fragment prevented a proof.
+    pub fn satisfiability(&self) -> Truth {
+        let enc = Encoding::build(self);
+        if enc.definitely_unsat() {
+            Truth::False
+        } else if enc.complete {
+            Truth::True
+        } else {
+            Truth::Unknown
+        }
+    }
+
+    /// `true` iff `self ⇒ other` is **proven**: every model of `self`
+    /// satisfies every atom of `other`.
+    ///
+    /// Decided by refutation: for each conjunct `b` of `other`,
+    /// `self ∧ ¬b` must be provably unsatisfiable.  (Vacuously true when
+    /// `self` is unsatisfiable; the optimizer guards the `p_j ≢ F` side
+    /// condition separately, as the paper's θ definition requires.)
+    pub fn implies(&self, other: &System) -> bool {
+        other.atoms.iter().all(|b| match b {
+            Atom::True => true,
+            _ => {
+                let mut refute = self.clone();
+                refute.positive.extend(other.positive.iter().copied());
+                refute.push(b.negate());
+                Encoding::build(&refute).definitely_unsat()
+            }
+        })
+    }
+
+    /// `true` iff `self ∧ other` is **proven** unsatisfiable.
+    pub fn contradicts(&self, other: &System) -> bool {
+        self.conjoin(other).satisfiability().is_false()
+    }
+
+    /// Evaluate the conjunction under a numeric assignment.
+    ///
+    /// Returns `None` if the system contains categorical or opaque atoms
+    /// (no numeric semantics).  Used by soundness tests and the reference
+    /// evaluator.
+    pub fn eval_assignment(&self, assign: impl Fn(Var) -> Rational) -> Option<bool> {
+        let mut result = true;
+        for atom in &self.atoms {
+            let holds = match atom {
+                Atom::True => true,
+                Atom::False => false,
+                Atom::VarConst { x, op, c } => op.eval(assign(*x), *c),
+                Atom::VarVar {
+                    x,
+                    op,
+                    y,
+                    scale,
+                    add,
+                } => op.eval(assign(*x), *scale * assign(*y) + *add),
+                Atom::Cat { .. } | Atom::Opaque { .. } => return None,
+            };
+            result &= holds;
+        }
+        Some(result)
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Canonical polarity for opaque tokens: among `op` and `op.negate()` we
+/// keep whichever of `{Eq, Lt, Le}` applies and record the flip in the
+/// `negated` flag, so that an atom and its negation share a token.
+fn canonical_opaque(x: Var, op: CmpOp, y: Var, scale: Rational, add: Rational) -> Atom {
+    let (canon_op, negated) = match op {
+        CmpOp::Eq | CmpOp::Lt | CmpOp::Le => (op, false),
+        CmpOp::Ne => (CmpOp::Eq, true),
+        CmpOp::Ge => (CmpOp::Lt, true),
+        CmpOp::Gt => (CmpOp::Le, true),
+    };
+    let token = format!("{x} {canon_op} {scale}*{y} + {add}");
+    Atom::Opaque { token, negated }
+}
+
+/// The solver-internal encoding of a conjunction: a difference-constraint
+/// graph, a list of `≠` constraints, categorical facts, and opaque residue.
+struct Encoding {
+    graph: DiffGraph,
+    /// `u - v ≠ c` constraints, checked against forced equality.
+    neqs: Vec<(Node, Node, Rational)>,
+    /// Per categorical variable: required value (if any) and forbidden set.
+    cat_eq: BTreeMap<u32, BTreeSet<String>>,
+    cat_ne: BTreeMap<u32, BTreeSet<String>>,
+    /// Opaque atoms as (token, negated) pairs.
+    opaques: HashSet<(String, bool)>,
+    /// An `Atom::False` (or an internally detected trivial falsity).
+    has_false: bool,
+    /// `true` iff every atom was encoded exactly (no opaque residue),
+    /// making the satisfiability check complete.
+    complete: bool,
+}
+
+impl Encoding {
+    fn build(sys: &System) -> Encoding {
+        let mut enc = Encoding {
+            graph: DiffGraph::new(),
+            neqs: Vec::new(),
+            cat_eq: BTreeMap::new(),
+            cat_ne: BTreeMap::new(),
+            opaques: HashSet::new(),
+            has_false: false,
+            complete: true,
+        };
+        let positive = &sys.positive;
+        let mut positive_nodes: BTreeSet<Node> = BTreeSet::new();
+        let mut numeric_vars: BTreeSet<u32> = BTreeSet::new();
+        let mut cat_vars: BTreeSet<u32> = BTreeSet::new();
+
+        for atom in &sys.atoms {
+            match atom {
+                Atom::True => {}
+                Atom::False => enc.has_false = true,
+                Atom::VarConst { x, op, c } => {
+                    numeric_vars.insert(x.0);
+                    if positive.contains(&x.0) {
+                        positive_nodes.insert(Node::Var(x.0));
+                    }
+                    enc.add_cmp(Node::Var(x.0), Node::Zero, *op, *c);
+                }
+                Atom::VarVar {
+                    x,
+                    op,
+                    y,
+                    scale,
+                    add,
+                } => {
+                    numeric_vars.insert(x.0);
+                    numeric_vars.insert(y.0);
+                    for v in [x, y] {
+                        if positive.contains(&v.0) {
+                            positive_nodes.insert(Node::Var(v.0));
+                        }
+                    }
+                    if *scale == Rational::ONE {
+                        // GSW form: x op y + add  ≡  (x - y) op add.
+                        enc.add_cmp(Node::Var(x.0), Node::Var(y.0), *op, *add);
+                        // Over positive domains a pure comparison also
+                        // holds in ratio space (`x op y ≡ x/y op 1`), which
+                        // is what lets the solver connect it with §6 ratio
+                        // atoms such as `x < 0.98·y ⇒ x < y`.
+                        if add.is_zero()
+                            && x.0 != y.0
+                            && positive.contains(&x.0)
+                            && positive.contains(&y.0)
+                        {
+                            if x.0 < y.0 {
+                                let r = Node::Ratio(x.0, y.0);
+                                positive_nodes.insert(r);
+                                enc.add_cmp(r, Node::Zero, *op, Rational::ONE);
+                            } else {
+                                let r = Node::Ratio(y.0, x.0);
+                                positive_nodes.insert(r);
+                                enc.add_cmp(r, Node::Zero, op.flip(), Rational::ONE);
+                            }
+                        }
+                    } else if add.is_zero()
+                        && scale.is_positive()
+                        && positive.contains(&x.0)
+                        && positive.contains(&y.0)
+                    {
+                        // §6 ratio transform: x op s·y over positive domain.
+                        if x.0 == y.0 {
+                            // x op s·x  ≡  1 op s (dividing by x > 0).
+                            if !op.eval(Rational::ONE, *scale) {
+                                enc.has_false = true;
+                            }
+                        } else if x.0 < y.0 {
+                            // r = x/y:  r op s.
+                            let r = Node::Ratio(x.0, y.0);
+                            positive_nodes.insert(r);
+                            enc.add_cmp(r, Node::Zero, *op, *scale);
+                        } else {
+                            // r = y/x:  x op s·y  ≡  r flip(op) 1/s.
+                            let r = Node::Ratio(y.0, x.0);
+                            positive_nodes.insert(r);
+                            enc.add_cmp(r, Node::Zero, op.flip(), scale.recip());
+                        }
+                    } else {
+                        // Outside the decidable fragment: keep as opaque so
+                        // that syntactic contradictions are still caught.
+                        enc.complete = false;
+                        enc.insert_opaque(canonical_opaque(*x, *op, *y, *scale, *add));
+                    }
+                }
+                Atom::Cat { x, value, negated } => {
+                    cat_vars.insert(x.0);
+                    if *negated {
+                        enc.cat_ne.entry(x.0).or_default().insert(value.clone());
+                    } else {
+                        enc.cat_eq.entry(x.0).or_default().insert(value.clone());
+                    }
+                }
+                Atom::Opaque { .. } => {
+                    enc.complete = false;
+                    enc.insert_opaque(atom.clone());
+                }
+            }
+        }
+
+        // A variable used both numerically and categorically is a type
+        // error upstream; refuse to claim completeness for it.
+        if numeric_vars.intersection(&cat_vars).next().is_some() {
+            enc.complete = false;
+        }
+
+        // Positivity: v > 0 for every positive-domain variable that occurs,
+        // and every ratio node (a quotient of positives is positive).
+        for node in positive_nodes {
+            enc.graph.add(Node::Zero, node, Rational::ZERO, true); // 0 - v < 0
+        }
+        enc
+    }
+
+    fn insert_opaque(&mut self, atom: Atom) {
+        if let Atom::Opaque { token, negated } = atom {
+            if self.opaques.contains(&(token.clone(), !negated)) {
+                // Both an atom and its negation are asserted.
+                self.has_false = true;
+            }
+            self.opaques.insert((token, negated));
+        }
+    }
+
+    /// Encode `lhs - rhs op c` into graph edges / the `≠` list.
+    fn add_cmp(&mut self, lhs: Node, rhs: Node, op: CmpOp, c: Rational) {
+        match op {
+            CmpOp::Le => self.graph.add(lhs, rhs, c, false),
+            CmpOp::Lt => self.graph.add(lhs, rhs, c, true),
+            CmpOp::Ge => self.graph.add(rhs, lhs, -c, false),
+            CmpOp::Gt => self.graph.add(rhs, lhs, -c, true),
+            CmpOp::Eq => {
+                self.graph.add(lhs, rhs, c, false);
+                self.graph.add(rhs, lhs, -c, false);
+            }
+            CmpOp::Ne => self.neqs.push((lhs, rhs, c)),
+        }
+    }
+
+    /// `true` iff the conjunction is **provably** unsatisfiable.
+    fn definitely_unsat(&self) -> bool {
+        if self.has_false {
+            return true;
+        }
+        // Categorical contradictions: two distinct required values, or a
+        // required value that is also forbidden.
+        for (var, eqs) in &self.cat_eq {
+            if eqs.len() > 1 {
+                return true;
+            }
+            if let (Some(v), Some(nes)) = (eqs.iter().next(), self.cat_ne.get(var)) {
+                if nes.contains(v) {
+                    return true;
+                }
+            }
+        }
+        if !self.graph.satisfiable() {
+            return true;
+        }
+        // Over the rationals the solution set of the difference constraints
+        // is convex, so the conjunction with finitely many `≠`s is
+        // unsatisfiable iff some single `≠` is forced to equality.
+        for &(u, v, c) in &self.neqs {
+            if self.graph.entails(u, v, c, false) && self.graph.entails(v, u, -c, false) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::*;
+
+    const X: Var = Var(0); // current price
+    const P: Var = Var(1); // previous price
+
+    fn falling() -> System {
+        System::from_atoms([Atom::var_var(X, CmpOp::Lt, P, 0)])
+    }
+
+    fn rising() -> System {
+        System::from_atoms([Atom::var_var(X, CmpOp::Gt, P, 0)])
+    }
+
+    #[test]
+    fn example5_pairwise_relations() {
+        // Example 4/5 of the paper:
+        //   p1 = price < prev
+        //   p2 = price < prev ∧ 40 < price < 50
+        //   p3 = price > prev ∧ price < 52
+        //   p4 = price > prev
+        let p1 = falling();
+        let p2 = System::from_atoms([
+            Atom::var_var(X, CmpOp::Lt, P, 0),
+            Atom::var_const(X, CmpOp::Gt, 40),
+            Atom::var_const(X, CmpOp::Lt, 50),
+        ]);
+        let p3 = System::from_atoms([
+            Atom::var_var(X, CmpOp::Gt, P, 0),
+            Atom::var_const(X, CmpOp::Lt, 52),
+        ]);
+        let p4 = rising();
+
+        assert!(p2.implies(&p1), "θ21 = 1");
+        assert!(p3.contradicts(&p1), "θ31 = 0");
+        assert!(p3.contradicts(&p2), "θ32 = 0");
+        assert!(p4.contradicts(&p2), "θ42 = 0");
+        assert!(p4.contradicts(&p1), "θ41 = 0");
+        // ¬p4 = price ≤ prev  ⇒  ¬p3 (p3 requires price > prev): φ43 = 0,
+        // i.e. p3 ⇒ p4.
+        assert!(p3.implies(&p4), "φ43 = 0 (p3 ⇒ p4)");
+        // And the relations the paper leaves at U really are undecided:
+        assert!(!p4.implies(&p3) && !p4.contradicts(&p3), "θ43 = U");
+        assert!(!p1.implies(&p2), "θ part of φ21 = U story");
+    }
+
+    #[test]
+    fn satisfiability_basics() {
+        assert_eq!(System::new().satisfiability(), True);
+        let contradictory = System::from_atoms([
+            Atom::var_const(X, CmpOp::Lt, 10),
+            Atom::var_const(X, CmpOp::Gt, 10),
+        ]);
+        assert_eq!(contradictory.satisfiability(), False);
+        let boundary = System::from_atoms([
+            Atom::var_const(X, CmpOp::Le, 10),
+            Atom::var_const(X, CmpOp::Ge, 10),
+        ]);
+        assert_eq!(boundary.satisfiability(), True); // x = 10
+        let strict = System::from_atoms([
+            Atom::var_const(X, CmpOp::Le, 10),
+            Atom::var_const(X, CmpOp::Ge, 10),
+            Atom::var_const(X, CmpOp::Ne, 10),
+        ]);
+        assert_eq!(strict.satisfiability(), False); // forced x = 10 but x ≠ 10
+    }
+
+    #[test]
+    fn neq_not_forced_is_sat() {
+        let s = System::from_atoms([
+            Atom::var_const(X, CmpOp::Le, 10),
+            Atom::var_const(X, CmpOp::Ne, 10),
+        ]);
+        assert_eq!(s.satisfiability(), True);
+    }
+
+    #[test]
+    fn var_var_neq_forced() {
+        // x = y + 2 ∧ x ≠ y + 2 is unsat; x ≤ y + 2 ∧ x ≠ y + 2 is sat.
+        let forced = System::from_atoms([
+            Atom::var_var(X, CmpOp::Eq, P, 2),
+            Atom::var_var(X, CmpOp::Ne, P, 2),
+        ]);
+        assert_eq!(forced.satisfiability(), False);
+        let loose = System::from_atoms([
+            Atom::var_var(X, CmpOp::Le, P, 2),
+            Atom::var_var(X, CmpOp::Ne, P, 2),
+        ]);
+        assert_eq!(loose.satisfiability(), True);
+    }
+
+    #[test]
+    fn transitive_implication_through_chain() {
+        // x < y ∧ y < z  ⇒  x < z.
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let chain = System::from_atoms([
+            Atom::var_var(x, CmpOp::Lt, y, 0),
+            Atom::var_var(y, CmpOp::Lt, z, 0),
+        ]);
+        let goal = System::from_atoms([Atom::var_var(x, CmpOp::Lt, z, 0)]);
+        assert!(chain.implies(&goal));
+        let too_strong = System::from_atoms([Atom::var_var(x, CmpOp::Lt, z, -5)]);
+        assert!(!chain.implies(&too_strong));
+    }
+
+    #[test]
+    fn gsw_offset_form() {
+        // x ≤ y - 3  ⇒  x < y and x ≠ y.
+        let s = System::from_atoms([Atom::var_var(X, CmpOp::Le, P, -3)]);
+        assert!(s.implies(&System::from_atoms([Atom::var_var(X, CmpOp::Lt, P, 0)])));
+        assert!(s.implies(&System::from_atoms([Atom::var_var(X, CmpOp::Ne, P, 0)])));
+    }
+
+    fn positive(mut s: System) -> System {
+        s.assume_positive(X);
+        s.assume_positive(P);
+        s
+    }
+
+    #[test]
+    fn ratio_transform_example10_style() {
+        // Over positive prices: price < 0.98·prev  ⇒  price < prev.
+        let drop2pct = positive(System::from_atoms([Atom::var_scaled(
+            X,
+            CmpOp::Lt,
+            Rational::new(49, 50),
+            P,
+        )]));
+        assert!(drop2pct.implies(&positive(falling())));
+        // ...and contradicts price > 1.02·prev.
+        let rise2pct = positive(System::from_atoms([Atom::var_scaled(
+            X,
+            CmpOp::Gt,
+            Rational::new(51, 50),
+            P,
+        )]));
+        assert!(drop2pct.contradicts(&rise2pct));
+        // The "flat band" 0.98·prev < price < 1.02·prev is satisfiable and
+        // compatible with neither.
+        let flat = positive(System::from_atoms([
+            Atom::var_scaled(X, CmpOp::Gt, Rational::new(49, 50), P),
+            Atom::var_scaled(X, CmpOp::Lt, Rational::new(51, 50), P),
+        ]));
+        assert_eq!(flat.satisfiability(), True);
+        assert!(flat.contradicts(&drop2pct));
+        assert!(!flat.contradicts(&positive(rising())));
+    }
+
+    #[test]
+    fn ratio_transform_mirrored_orientation() {
+        // prev > 1.02·price (note swapped roles)  ≡  price < prev/1.02,
+        // which implies price < prev.
+        let s = positive(System::from_atoms([Atom::var_scaled(
+            P,
+            CmpOp::Gt,
+            Rational::new(51, 50),
+            X,
+        )]));
+        assert!(s.implies(&positive(falling())));
+    }
+
+    #[test]
+    fn ratio_without_positivity_is_conservative() {
+        // Without positive-domain assumptions the transform is invalid and
+        // the solver must stay agnostic.
+        let drop = System::from_atoms([Atom::var_scaled(X, CmpOp::Lt, Rational::new(49, 50), P)]);
+        assert_eq!(drop.satisfiability(), Unknown);
+        assert!(!drop.implies(&falling()));
+        // But syntactic identity still works.
+        assert!(drop.implies(&drop.clone()));
+        // And a syntactic contradiction is caught.
+        let anti = System::from_atoms([Atom::var_scaled(X, CmpOp::Ge, Rational::new(49, 50), P)]);
+        assert!(drop.contradicts(&anti));
+    }
+
+    #[test]
+    fn self_ratio_degenerate() {
+        // x < 0.9·x over positive x is false; x < 1.1·x is trivially true.
+        let shrink = positive(System::from_atoms([Atom::var_scaled(
+            X,
+            CmpOp::Lt,
+            Rational::new(9, 10),
+            X,
+        )]));
+        assert_eq!(shrink.satisfiability(), False);
+        let grow = positive(System::from_atoms([Atom::var_scaled(
+            X,
+            CmpOp::Lt,
+            Rational::new(11, 10),
+            X,
+        )]));
+        assert_eq!(grow.satisfiability(), True);
+    }
+
+    #[test]
+    fn categorical_atoms() {
+        let ibm = System::from_atoms([Atom::Cat {
+            x: Var(9),
+            value: "IBM".into(),
+            negated: false,
+        }]);
+        let intc = System::from_atoms([Atom::Cat {
+            x: Var(9),
+            value: "INTC".into(),
+            negated: false,
+        }]);
+        assert!(ibm.contradicts(&intc));
+        assert!(ibm.implies(&ibm.clone()));
+        let not_ibm = System::from_atoms([Atom::Cat {
+            x: Var(9),
+            value: "IBM".into(),
+            negated: true,
+        }]);
+        assert!(ibm.contradicts(&not_ibm));
+        assert!(intc.implies(&not_ibm), "name='INTC' ⇒ name≠'IBM'");
+        assert_eq!(not_ibm.satisfiability(), True);
+    }
+
+    #[test]
+    fn opaque_atoms_are_conservative_but_syntactic() {
+        let a = Atom::Opaque {
+            token: "mystery".into(),
+            negated: false,
+        };
+        let s = System::from_atoms([a.clone()]);
+        assert_eq!(s.satisfiability(), Unknown);
+        assert!(s.implies(&System::from_atoms([a.clone()])));
+        assert!(s.contradicts(&System::from_atoms([a.negate()])));
+        assert!(!s.implies(&System::from_atoms([Atom::Opaque {
+            token: "other".into(),
+            negated: false
+        }])));
+    }
+
+    #[test]
+    fn false_and_true_atoms() {
+        let f = System::from_atoms([Atom::False]);
+        assert_eq!(f.satisfiability(), False);
+        assert!(f.implies(&falling()), "vacuous implication from FALSE");
+        let t = System::from_atoms([Atom::True]);
+        assert_eq!(t.satisfiability(), True);
+        assert!(falling().implies(&t));
+    }
+
+    #[test]
+    fn implication_is_not_symmetric_noise() {
+        assert!(!falling().implies(&rising()));
+        assert!(falling().contradicts(&rising()));
+        // price ≤ prev vs price < prev: neither implies the other way.
+        let le = System::from_atoms([Atom::var_var(X, CmpOp::Le, P, 0)]);
+        assert!(falling().implies(&le));
+        assert!(!le.implies(&falling()));
+    }
+
+    #[test]
+    fn display_round() {
+        let s = System::from_atoms([
+            Atom::var_var(X, CmpOp::Lt, P, 0),
+            Atom::var_const(X, CmpOp::Gt, 40),
+        ]);
+        assert_eq!(s.to_string(), "v0 < v1 v0 > 40".replace(" v0 > 40", " AND v0 > 40"));
+        assert_eq!(System::new().to_string(), "TRUE");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random linear atoms over 3 variables with small constants.
+        fn atom() -> impl Strategy<Value = Atom> {
+            let op = prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+            ];
+            prop_oneof![
+                (0u32..3, op.clone(), -5i64..5).prop_map(|(x, op, c)| Atom::var_const(
+                    Var(x),
+                    op,
+                    c
+                )),
+                (0u32..3, op, 0u32..3, -5i64..5).prop_map(|(x, op, y, c)| Atom::var_var(
+                    Var(x),
+                    op,
+                    Var(y),
+                    c
+                )),
+            ]
+        }
+
+        fn system() -> impl Strategy<Value = System> {
+            proptest::collection::vec(atom(), 0..5).prop_map(System::from_atoms)
+        }
+
+        proptest! {
+            /// If the solver proves UNSAT, no assignment may satisfy the system.
+            #[test]
+            fn unsat_is_sound(s in system(), vals in proptest::collection::vec(-6i64..6, 3)) {
+                if s.satisfiability() == Truth::False {
+                    let holds = s
+                        .eval_assignment(|v| Rational::from(vals[v.0 as usize]))
+                        .unwrap();
+                    prop_assert!(!holds, "solver claimed unsat but {vals:?} satisfies {s}");
+                }
+            }
+
+            /// If the solver proves A ⇒ B, every assignment satisfying A satisfies B.
+            #[test]
+            fn implication_is_sound(
+                a in system(),
+                b in system(),
+                vals in proptest::collection::vec(-6i64..6, 3),
+            ) {
+                if a.implies(&b) {
+                    let assign = |v: Var| Rational::from(vals[v.0 as usize]);
+                    if a.eval_assignment(assign).unwrap() {
+                        prop_assert!(
+                            b.eval_assignment(assign).unwrap(),
+                            "solver claimed {a} ⇒ {b} but {vals:?} is a countermodel"
+                        );
+                    }
+                }
+            }
+
+            /// Contradiction proofs are sound.
+            #[test]
+            fn contradiction_is_sound(
+                a in system(),
+                b in system(),
+                vals in proptest::collection::vec(-6i64..6, 3),
+            ) {
+                if a.contradicts(&b) {
+                    let assign = |v: Var| Rational::from(vals[v.0 as usize]);
+                    let both = a.eval_assignment(assign).unwrap()
+                        && b.eval_assignment(assign).unwrap();
+                    prop_assert!(!both);
+                }
+            }
+
+            /// Implication is reflexive for satisfiable pure-fragment systems.
+            #[test]
+            fn implication_reflexive(a in system()) {
+                prop_assert!(a.implies(&a.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Deep coverage of the GSW fragment: the solver's verdicts are checked
+//! against a brute-force reference over a dense rational grid.
+//!
+//! The grid evaluator cannot prove unsatisfiability (the reals are not a
+//! grid), but it *can* refute: any grid point satisfying a system
+//! falsifies an UNSAT verdict, and any grid point satisfying `A ∧ ¬b`
+//! falsifies an implication verdict.  Completeness is additionally
+//! spot-checked on systems whose solution sets are known to contain grid
+//! points.
+
+use sqlts_constraints::{Atom, CmpOp, System, Var};
+use sqlts_rational::Rational;
+use sqlts_tvl::Truth;
+
+const X: Var = Var(0);
+const Y: Var = Var(1);
+const Z: Var = Var(2);
+
+/// Half-integer grid over [-4, 8] in each of three variables.
+fn grid() -> Vec<[Rational; 3]> {
+    let steps: Vec<Rational> = (-8..=16).map(|i| Rational::new(i, 2)).collect();
+    let mut out = Vec::new();
+    for &a in &steps {
+        for &b in &steps {
+            for &c in &steps {
+                out.push([a, b, c]);
+            }
+        }
+    }
+    out
+}
+
+fn satisfied_on_grid(sys: &System) -> bool {
+    grid().iter().any(|point| {
+        sys.eval_assignment(|v| point[v.0 as usize])
+            .expect("numeric-only system")
+    })
+}
+
+fn check_consistency(sys: &System) {
+    match sys.satisfiability() {
+        Truth::False => assert!(
+            !satisfied_on_grid(sys),
+            "solver claims UNSAT but grid satisfies: {sys}"
+        ),
+        Truth::True => { /* grid may or may not contain a witness */ }
+        Truth::Unknown => panic!("pure-fragment system must be decisive: {sys}"),
+    }
+}
+
+#[test]
+fn op_pair_matrix_var_const() {
+    // Every ordered pair of (op, constant) atoms on one variable.
+    use CmpOp::*;
+    let ops = [Eq, Ne, Lt, Le, Gt, Ge];
+    let consts = [Rational::from(2), Rational::from(3)];
+    for &op1 in &ops {
+        for &c1 in &consts {
+            for &op2 in &ops {
+                for &c2 in &consts {
+                    let sys = System::from_atoms([
+                        Atom::VarConst { x: X, op: op1, c: c1 },
+                        Atom::VarConst { x: X, op: op2, c: c2 },
+                    ]);
+                    check_consistency(&sys);
+                    // Decisiveness is exact: UNSAT iff no real solution,
+                    // which for two single-variable atoms the grid decides
+                    // (all boundary values are half-integers ≤ 3).
+                    if satisfied_on_grid(&sys) {
+                        assert_eq!(sys.satisfiability(), Truth::True, "{sys}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn op_pair_matrix_implication() {
+    // p1 = (x op1 c1) implies p2 = (x op2 c2)?  Verified by grid
+    // refutation in both directions of the verdict.
+    use CmpOp::*;
+    let ops = [Eq, Ne, Lt, Le, Gt, Ge];
+    for &op1 in &ops {
+        for &op2 in &ops {
+            for c1 in [2i64, 3] {
+                for c2 in [2i64, 3] {
+                    let p1 = System::from_atoms([Atom::var_const(X, op1, c1)]);
+                    let p2 = System::from_atoms([Atom::var_const(X, op2, c2)]);
+                    let claimed = p1.implies(&p2);
+                    // Grid check: a point where p1 holds and p2 fails
+                    // refutes the implication.
+                    let counterexample = grid().iter().any(|pt| {
+                        let a = |v: Var| pt[v.0 as usize];
+                        p1.eval_assignment(a).unwrap() && !p2.eval_assignment(a).unwrap()
+                    });
+                    if claimed {
+                        assert!(
+                            !counterexample,
+                            "solver claims ({p1}) ⇒ ({p2}) but the grid refutes it"
+                        );
+                    } else {
+                        // For single-variable interval atoms with
+                        // half-integer-representable boundaries, the grid
+                        // is complete: a true implication cannot be
+                        // missed unless a counterexample exists.
+                        assert!(
+                            counterexample || p1.satisfiability() == Truth::False,
+                            "solver missed ({p1}) ⇒ ({p2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn difference_chains_with_offsets() {
+    // x ≤ y - 1 ∧ y ≤ z - 1 ⇒ x ≤ z - 2, x < z, x ≠ z; and the chain plus
+    // z ≤ x + 1 is unsatisfiable.
+    let chain = System::from_atoms([
+        Atom::var_var(X, CmpOp::Le, Y, -1),
+        Atom::var_var(Y, CmpOp::Le, Z, -1),
+    ]);
+    for goal in [
+        Atom::var_var(X, CmpOp::Le, Z, -2),
+        Atom::var_var(X, CmpOp::Lt, Z, 0),
+        Atom::var_var(X, CmpOp::Ne, Z, 0),
+    ] {
+        assert!(chain.implies(&System::from_atoms([goal.clone()])), "{goal}");
+    }
+    let mut closed = chain.clone();
+    closed.push(Atom::var_var(Z, CmpOp::Le, X, 1));
+    assert_eq!(closed.satisfiability(), Truth::False);
+    check_consistency(&closed);
+    // Relaxing one offset makes it satisfiable again (x = y-1 = z-2 = z-... ).
+    let mut relaxed = chain.clone();
+    relaxed.push(Atom::var_var(Z, CmpOp::Le, X, 2));
+    assert_eq!(relaxed.satisfiability(), Truth::True);
+}
+
+#[test]
+fn equality_propagates_through_chains() {
+    // x = y + 1 ∧ y = z - 2 ⇒ x = z - 1.
+    let sys = System::from_atoms([
+        Atom::var_var(X, CmpOp::Eq, Y, 1),
+        Atom::var_var(Y, CmpOp::Eq, Z, -2),
+    ]);
+    assert!(sys.implies(&System::from_atoms([Atom::var_var(X, CmpOp::Eq, Z, -1)])));
+    assert!(!sys.implies(&System::from_atoms([Atom::var_var(X, CmpOp::Eq, Z, 0)])));
+    // And the ≠ that contradicts the forced equality is caught.
+    let mut bad = sys.clone();
+    bad.push(Atom::var_var(X, CmpOp::Ne, Z, -1));
+    assert_eq!(bad.satisfiability(), Truth::False);
+}
+
+#[test]
+fn multiple_neqs_dont_overconstrain() {
+    // Over the rationals, finitely many ≠ cannot exhaust an interval.
+    let sys = System::from_atoms([
+        Atom::var_const(X, CmpOp::Ge, 0),
+        Atom::var_const(X, CmpOp::Le, 1),
+        Atom::var_const(X, CmpOp::Ne, 0),
+        Atom::var_const(X, CmpOp::Ne, 1),
+        Atom::VarConst {
+            x: X,
+            op: CmpOp::Ne,
+            c: Rational::new(1, 2),
+        },
+    ]);
+    assert_eq!(sys.satisfiability(), Truth::True);
+}
+
+#[test]
+fn strictness_chains() {
+    // x < y ∧ y < z ∧ z ≤ x is unsat; all-loose version with equalities is sat.
+    let strict = System::from_atoms([
+        Atom::var_var(X, CmpOp::Lt, Y, 0),
+        Atom::var_var(Y, CmpOp::Lt, Z, 0),
+        Atom::var_var(Z, CmpOp::Le, X, 0),
+    ]);
+    assert_eq!(strict.satisfiability(), Truth::False);
+    let loose = System::from_atoms([
+        Atom::var_var(X, CmpOp::Le, Y, 0),
+        Atom::var_var(Y, CmpOp::Le, Z, 0),
+        Atom::var_var(Z, CmpOp::Le, X, 0),
+    ]);
+    assert_eq!(loose.satisfiability(), Truth::True); // x = y = z
+    // The loose cycle forces x = y: adding x ≠ y is unsat.
+    let mut forced = loose.clone();
+    forced.push(Atom::var_var(X, CmpOp::Ne, Y, 0));
+    assert_eq!(forced.satisfiability(), Truth::False);
+}
+
+#[test]
+fn ratio_and_difference_interplay() {
+    // Over positive domains: x ≤ 0.5·y ∧ y ≤ 4 ⇒ x ≤ 4... (trivially from
+    // x ≤ 0.5·y ≤ 2); the solver must connect ratio and bound spaces via
+    // the dual encoding.
+    let mut sys = System::from_atoms([
+        Atom::var_scaled(X, CmpOp::Le, Rational::new(1, 2), Y),
+        Atom::var_const(Y, CmpOp::Le, 4),
+    ]);
+    sys.assume_positive(X);
+    sys.assume_positive(Y);
+    // x < y follows from x ≤ y/2 over positives.
+    assert!(sys.implies(&System::from_atoms([Atom::var_var(X, CmpOp::Lt, Y, 0)])));
+    // The pure-bound consequence x ≤ 2 needs cross-space reasoning our
+    // relaxation does not attempt; it must stay unproven (conservative),
+    // not wrongly refuted.
+    let goal = System::from_atoms([Atom::var_const(X, CmpOp::Le, 2)]);
+    let _ = sys.implies(&goal); // no panic; either answer is sound here
+    assert!(!sys.contradicts(&goal));
+}
+
+#[test]
+fn example_queries_from_gsw_paper_style() {
+    // The TKDE'96-style mixed system: x < y + 2 ∧ y < z - 3 ∧ z < 10
+    // entails x < 9 and y < 7, refutes x > 9.
+    let sys = System::from_atoms([
+        Atom::var_var(X, CmpOp::Lt, Y, 2),
+        Atom::var_var(Y, CmpOp::Lt, Z, -3),
+        Atom::var_const(Z, CmpOp::Lt, 10),
+    ]);
+    assert!(sys.implies(&System::from_atoms([Atom::var_const(X, CmpOp::Lt, 9)])));
+    assert!(sys.implies(&System::from_atoms([Atom::var_const(Y, CmpOp::Lt, 7)])));
+    assert!(sys.contradicts(&System::from_atoms([Atom::var_const(X, CmpOp::Gt, 9)])));
+    assert!(!sys.implies(&System::from_atoms([Atom::var_const(X, CmpOp::Lt, 8)])));
+    check_consistency(&sys);
+}

@@ -1,0 +1,130 @@
+//! Instrumentation: the paper's cost metric and Figure-5 search traces.
+
+use std::cell::Cell;
+
+/// Counts how many times an input element is tested against a pattern
+/// element — exactly the performance metric of the paper's §7:
+/// *"In order to measure performance, we count the number of times that an
+/// element of input is tested against a pattern element."*
+///
+/// Uses interior mutability so engines can thread a shared counter without
+/// `&mut` plumbing through the recursion.
+#[derive(Debug, Default)]
+pub struct EvalCounter {
+    tests: Cell<u64>,
+}
+
+impl EvalCounter {
+    /// A fresh counter.
+    pub fn new() -> EvalCounter {
+        EvalCounter::default()
+    }
+
+    /// Record one predicate test.
+    #[inline]
+    pub fn bump(&self) {
+        self.tests.set(self.tests.get() + 1);
+    }
+
+    /// Total predicate tests recorded.
+    pub fn total(&self) -> u64 {
+        self.tests.get()
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.tests.set(0);
+    }
+}
+
+/// Records the `(i, j)` trajectory of a search — the input cursor and
+/// pattern cursor at every predicate test — to reproduce the path curves
+/// of the paper's Figure 5.
+#[derive(Debug, Default, Clone)]
+pub struct SearchTrace {
+    /// `(i, j)` pairs, 1-based as in the paper.
+    pub steps: Vec<(usize, usize)>,
+}
+
+impl SearchTrace {
+    /// A fresh trace.
+    pub fn new() -> SearchTrace {
+        SearchTrace::default()
+    }
+
+    /// Record a test of input position `i` against pattern position `j`
+    /// (both 1-based).
+    pub fn record(&mut self, i: usize, j: usize) {
+        self.steps.push((i, j));
+    }
+
+    /// The length of the search path (number of tests) — the quantity the
+    /// paper calls "the length of the search path".
+    pub fn path_len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// How many times the input cursor moved backwards (a "backtracking
+    /// episode" in the paper's terms).
+    pub fn backtrack_episodes(&self) -> usize {
+        self.steps
+            .windows(2)
+            .filter(|w| w[1].0 < w[0].0)
+            .count()
+    }
+
+    /// Render the trajectory as a small ASCII chart (input position on the
+    /// x-axis over test steps), used by the `experiments fig5` binary.
+    pub fn ascii_chart(&self, width: usize) -> String {
+        if self.steps.is_empty() {
+            return String::new();
+        }
+        let max_i = self.steps.iter().map(|s| s.0).max().unwrap_or(1);
+        let mut out = String::new();
+        for (step, &(i, _j)) in self.steps.iter().enumerate() {
+            let col = (i - 1) * width.saturating_sub(1) / max_i.max(1);
+            out.push_str(&format!("{step:5} |"));
+            out.push_str(&" ".repeat(col));
+            out.push('*');
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = EvalCounter::new();
+        assert_eq!(c.total(), 0);
+        c.bump();
+        c.bump();
+        assert_eq!(c.total(), 2);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn trace_records_and_measures() {
+        let mut t = SearchTrace::new();
+        for (i, j) in [(1, 1), (2, 2), (3, 3), (2, 1), (3, 2), (4, 3)] {
+            t.record(i, j);
+        }
+        assert_eq!(t.path_len(), 6);
+        assert_eq!(t.backtrack_episodes(), 1); // 3 -> 2
+    }
+
+    #[test]
+    fn ascii_chart_smoke() {
+        let mut t = SearchTrace::new();
+        t.record(1, 1);
+        t.record(5, 1);
+        let chart = t.ascii_chart(20);
+        assert_eq!(chart.lines().count(), 2);
+        assert!(chart.contains('*'));
+        assert!(SearchTrace::new().ascii_chart(10).is_empty());
+    }
+}

@@ -1,0 +1,881 @@
+//! The pattern-search engines: naive backtracking and OPS.
+//!
+//! Both engines implement the same SQL-TS match semantics (see DESIGN.md):
+//!
+//! * **greedy stars** — a starred element consumes the maximal run of
+//!   satisfying tuples (one or more);
+//! * **left-maximality / non-overlap** — after a match, the search resumes
+//!   at the tuple following the match's last tuple;
+//! * identical handling of `previous` references before the start of the
+//!   stream ([`FirstTuplePolicy`]).
+//!
+//! They differ only in how much work they do: the naive engine restarts
+//! from scratch one tuple further on every failure; OPS consults the
+//! compile-time `shift` / `next` tables and the runtime `count[]` array of
+//! §5 to skip work whose outcome is already known.
+
+use crate::counters::{EvalCounter, SearchTrace};
+use crate::matrices::{test_element, PrecondMatrices, Predicates};
+use crate::shift_next::{self, ShiftNext};
+use crate::stargraph::star_shift_next;
+use sqlts_lang::{Bindings, EvalCtx, FirstTuplePolicy, PatternElement};
+use sqlts_relation::Cluster;
+
+/// Which engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// Naive restart-per-tuple search with the greedy star semantics —
+    /// the baseline of the paper's Figure 5.
+    Naive,
+    /// Naive search that *backtracks over star extents* (the direct
+    /// implementation of the star's Datalog semantics, cf. §2).  On
+    /// patterns whose adjacent predicates are mutually exclusive it finds
+    /// the same matches as the greedy engines; its cost explodes on
+    /// ambiguous patterns, which is the regime where the paper's §7
+    /// reports two-orders-of-magnitude speedups.
+    NaiveBacktrack,
+    /// Full OPS: compile-time `shift` and `next` (§4.2 / §5.1).
+    #[default]
+    Ops,
+    /// Ablation: OPS `shift` but `next` forced conservative (re-verify the
+    /// whole prefix after every shift).  Experiment E10.
+    OpsShiftOnly,
+}
+
+/// Options shared by the engines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchOptions {
+    /// Semantics of out-of-range `previous`/`next` references.
+    pub policy: FirstTuplePolicy,
+}
+
+/// One match: per-element inclusive spans of 0-based cluster positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchSpans {
+    /// `spans[e]` is the `(first, last)` tuple range element `e` matched.
+    pub spans: Vec<(usize, usize)>,
+}
+
+impl MatchSpans {
+    /// First tuple of the whole match.
+    pub fn start(&self) -> usize {
+        self.spans.first().map(|s| s.0).unwrap_or(0)
+    }
+
+    /// Last tuple of the whole match.
+    pub fn end(&self) -> usize {
+        self.spans.last().map(|s| s.1).unwrap_or(0)
+    }
+
+    /// The bindings view used for projection.
+    pub fn bindings(&self) -> Bindings {
+        Bindings {
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+/// The compile-time plan an engine runs: shift/next tables plus the flags
+/// that control the runtime.
+#[derive(Clone, Debug)]
+pub struct SearchPlan {
+    /// The shift/next tables (naive tables for [`EngineKind::Naive`]).
+    pub tables: ShiftNext,
+    /// Restart one tuple at a time instead of one span at a time.
+    ///
+    /// Span-granular restarts are justified by greedy determinism, which
+    /// needs purely-local predicates; when the first element is starred
+    /// and the pattern has non-local conjuncts, a restart *inside* the
+    /// first element's span can behave differently (its `FIRST()` binding
+    /// changes), so we fall back to tuple granularity.
+    pub tuple_granular_restart: bool,
+}
+
+/// Build the search plan for a pattern under the chosen engine.
+pub fn plan(elements: &[PatternElement], kind: EngineKind) -> SearchPlan {
+    let pattern = Predicates::new(elements);
+    let m = pattern.len();
+    let has_star = elements.iter().any(|e| e.star);
+    let has_nonlocal = elements.iter().any(|e| !e.purely_local());
+    let tables = match kind {
+        EngineKind::Naive | EngineKind::NaiveBacktrack => ShiftNext::naive(m),
+        EngineKind::Ops | EngineKind::OpsShiftOnly => {
+            let pre = PrecondMatrices::build(pattern);
+            let sn = if has_star {
+                star_shift_next(pattern, &pre)
+            } else {
+                shift_next::compute(&pre)
+            };
+            if kind == EngineKind::OpsShiftOnly {
+                shift_only(&sn)
+            } else {
+                sn
+            }
+        }
+    };
+    SearchPlan {
+        tables,
+        tuple_granular_restart: elements.first().is_some_and(|e| e.star) && has_nonlocal,
+    }
+}
+
+/// The shift-only ablation: keep `shift`, force `next` to re-verify
+/// everything (`1`, or `0` where the full shift applies).
+fn shift_only(sn: &ShiftNext) -> ShiftNext {
+    let m = sn.len();
+    let mut shift = vec![0usize; m + 1];
+    let mut next = vec![0usize; m + 1];
+    for j in 1..=m {
+        shift[j] = sn.shift(j);
+        next[j] = if sn.shift(j) == j { 0 } else { 1 };
+    }
+    ShiftNext::from_arrays(shift, next)
+}
+
+/// Find all matches of `elements` in `cluster` using `kind`.
+///
+/// `counter` accumulates the paper's cost metric; pass a `trace` to record
+/// the `(i, j)` search path (Figure 5).
+pub fn find_matches(
+    elements: &[PatternElement],
+    cluster: &Cluster<'_>,
+    kind: EngineKind,
+    options: &SearchOptions,
+    counter: &EvalCounter,
+    trace: Option<&mut SearchTrace>,
+) -> Vec<MatchSpans> {
+    match kind {
+        EngineKind::Naive => naive_search(elements, cluster, options, counter, trace),
+        EngineKind::NaiveBacktrack => {
+            backtracking_search(elements, cluster, options, counter, trace)
+        }
+        _ => {
+            let search_plan = plan(elements, kind);
+            ops_search(elements, cluster, &search_plan, options, counter, trace)
+        }
+    }
+}
+
+/// The backtracking baseline: from every start position, search for *any*
+/// assignment of star extents satisfying the pattern (shortest extents
+/// first), backtracking on failure.
+///
+/// This is the direct operational reading of the star's declarative
+/// semantics; it can be exponentially slower than the greedy engines and
+/// may find matches greedy commitment misses (when adjacent predicates
+/// overlap, a shorter star extent can rescue the suffix).
+pub fn backtracking_search(
+    elements: &[PatternElement],
+    cluster: &Cluster<'_>,
+    options: &SearchOptions,
+    counter: &EvalCounter,
+    mut trace: Option<&mut SearchTrace>,
+) -> Vec<MatchSpans> {
+    let pattern = Predicates::new(elements);
+    let ctx = EvalCtx {
+        cluster,
+        policy: options.policy,
+    };
+    let n = cluster.len();
+    let m = pattern.len();
+    let mut results = Vec::new();
+    let mut start = 0usize;
+
+    // Recursive extent search, shortest extents first.
+    #[allow(clippy::too_many_arguments)] // explicit search state
+    fn rec(
+        pattern: Predicates<'_>,
+        ctx: &EvalCtx<'_>,
+        counter: &EvalCounter,
+        trace: &mut Option<&mut SearchTrace>,
+        n: usize,
+        j: usize,
+        i: usize,
+        bindings: &mut Bindings,
+    ) -> bool {
+        let m = pattern.len();
+        if j > m {
+            return true;
+        }
+        if i >= n {
+            return false;
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(i + 1, j);
+        }
+        if !test_element(pattern, j, ctx, i, bindings, counter) {
+            return false;
+        }
+        if !pattern.star(j) {
+            bindings.spans.push((i, i));
+            if rec(pattern, ctx, counter, trace, n, j + 1, i + 1, bindings) {
+                return true;
+            }
+            bindings.spans.pop();
+            return false;
+        }
+        // Star: extend the run one tuple at a time, trying the suffix at
+        // every extent.
+        let mut end = i;
+        loop {
+            bindings.spans.push((i, end));
+            if rec(pattern, ctx, counter, trace, n, j + 1, end + 1, bindings) {
+                return true;
+            }
+            bindings.spans.pop();
+            if end + 1 >= n {
+                return false;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(end + 2, j);
+            }
+            if !test_element(pattern, j, ctx, end + 1, bindings, counter) {
+                return false;
+            }
+            end += 1;
+        }
+    }
+
+    while start < n {
+        let mut bindings = Bindings::with_capacity(m);
+        if rec(
+            pattern,
+            &ctx,
+            counter,
+            &mut trace,
+            n,
+            1,
+            start,
+            &mut bindings,
+        ) {
+            let end = bindings.spans.last().map(|s| s.1).unwrap_or(start);
+            results.push(MatchSpans {
+                spans: bindings.spans,
+            });
+            start = end + 1;
+        } else {
+            start += 1;
+        }
+    }
+    results
+}
+
+/// Run a pre-built plan (lets callers amortize compilation across
+/// clusters).
+pub fn find_matches_with_plan(
+    elements: &[PatternElement],
+    cluster: &Cluster<'_>,
+    search_plan: &SearchPlan,
+    options: &SearchOptions,
+    counter: &EvalCounter,
+    trace: Option<&mut SearchTrace>,
+) -> Vec<MatchSpans> {
+    ops_search(elements, cluster, search_plan, options, counter, trace)
+}
+
+/// The naive baseline: greedy attempt from every start position, moving
+/// one tuple to the right after every failure.
+pub fn naive_search(
+    elements: &[PatternElement],
+    cluster: &Cluster<'_>,
+    options: &SearchOptions,
+    counter: &EvalCounter,
+    mut trace: Option<&mut SearchTrace>,
+) -> Vec<MatchSpans> {
+    let pattern = Predicates::new(elements);
+    let ctx = EvalCtx {
+        cluster,
+        policy: options.policy,
+    };
+    let n = cluster.len();
+    let m = pattern.len();
+    let mut results = Vec::new();
+    let mut start = 0usize;
+
+    'outer: while start < n {
+        let mut bindings = Bindings::with_capacity(m);
+        let mut i = start;
+        for e in 1..=m {
+            let star = pattern.star(e);
+            // First tuple of the element (stars need at least one).
+            if i >= n {
+                start += 1;
+                continue 'outer;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(i + 1, e);
+            }
+            if !test_element(pattern, e, &ctx, i, &bindings, counter) {
+                start += 1;
+                continue 'outer;
+            }
+            let span_start = i;
+            i += 1;
+            if star {
+                // Greedy: extend while the predicate holds.
+                while i < n {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(i + 1, e);
+                    }
+                    if test_element(pattern, e, &ctx, i, &bindings, counter) {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            bindings.spans.push((span_start, i - 1));
+        }
+        results.push(MatchSpans {
+            spans: bindings.spans,
+        });
+        start = i; // left-maximal, non-overlapping: resume after the match
+    }
+    results
+}
+
+/// The OPS search (§4.2 algorithm generalized with the §5 `count[]`
+/// runtime for stars).
+fn ops_search(
+    elements: &[PatternElement],
+    cluster: &Cluster<'_>,
+    search_plan: &SearchPlan,
+    options: &SearchOptions,
+    counter: &EvalCounter,
+    mut trace: Option<&mut SearchTrace>,
+) -> Vec<MatchSpans> {
+    let pattern = Predicates::new(elements);
+    let ctx = EvalCtx {
+        cluster,
+        policy: options.policy,
+    };
+    let n = cluster.len();
+    let m = pattern.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let sn = &search_plan.tables;
+    let mut results = Vec::new();
+
+    // State: the attempt starts at `start`; `counts[e]` is the cumulative
+    // number of tuples matched by elements 1..=e of the current attempt
+    // (`counts[0] = 0`); the input cursor `i` always equals
+    // `start + counts[j]` while element `j` is being matched; `bindings`
+    // holds the completed spans of elements `1..j`.
+    let mut start = 0usize;
+    let mut i = 0usize;
+    let mut j = 1usize;
+    let mut counts = vec![0usize; m + 1];
+    let mut bindings = Bindings::with_capacity(m);
+
+    macro_rules! reset_attempt {
+        ($new_start:expr) => {{
+            start = $new_start;
+            i = start;
+            j = 1;
+            counts.iter_mut().for_each(|c| *c = 0);
+            bindings.spans.clear();
+        }};
+    }
+
+    loop {
+        if j > m {
+            // Success: spans derive from the counts.
+            results.push(MatchSpans {
+                spans: bindings.spans.clone(),
+            });
+            reset_attempt!(i);
+            continue;
+        }
+        if i >= n {
+            break;
+        }
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(i + 1, j);
+        }
+        if test_element(pattern, j, &ctx, i, &bindings, counter) {
+            counts[j] += 1;
+            i += 1;
+            if !pattern.star(j) {
+                bindings.spans.push((start + counts[j - 1], i - 1));
+                j += 1;
+                if j <= m {
+                    counts[j] = counts[j - 1];
+                }
+            }
+            continue;
+        }
+
+        // The tuple fails p_j.
+        if pattern.star(j) && counts[j] > counts[j - 1] {
+            // A satisfied star: close its span and re-test this tuple
+            // against the next element.
+            bindings.spans.push((start + counts[j - 1], start + counts[j] - 1));
+            j += 1;
+            if j <= m {
+                counts[j] = counts[j - 1];
+            }
+            continue;
+        }
+
+        // Genuine failure at element j: realign per shift/next.
+        if search_plan.tuple_granular_restart {
+            reset_attempt!(start + 1);
+            continue;
+        }
+        let sh = sn.shift(j);
+        let nx = sn.next(j);
+        if nx == 0 {
+            // shift(j) = j: no earlier start can work; the failed tuple
+            // itself is also excluded (φ[j][1] = 0), so move past it.
+            reset_attempt!(i + 1);
+            continue;
+        }
+        debug_assert!(sh + nx - 1 <= j, "next must stay within known counts");
+        // New start: the beginning of (old) element sh+1's span.  The
+        // prefix elements 1..nx-1 of the new attempt inherit the spans of
+        // old elements sh+1..sh+nx-1 (the deterministic walk only crosses
+        // non-star pairs, so these are single tuples).
+        let old = counts.clone();
+        let new_start = start + old[sh];
+        for e in 0..nx {
+            counts[e] = old[sh + e] - old[sh];
+        }
+        counts[nx] = counts[nx - 1];
+        for c in counts.iter_mut().skip(nx + 1) {
+            *c = 0;
+        }
+        i = new_start + counts[nx - 1];
+        start = new_start;
+        j = nx;
+        bindings.spans.clear();
+        for e in 1..nx {
+            bindings
+                .spans
+                .push((start + counts[e - 1], start + counts[e] - 1));
+        }
+    }
+
+    // Input exhausted.  The only completable suffix: the last element is a
+    // satisfied star (its span closes at the end of input).
+    if j == m && pattern.star(m) && counts[m] > counts[m - 1] {
+        bindings.spans.push((start + counts[m - 1], start + counts[m] - 1));
+        results.push(MatchSpans {
+            spans: bindings.spans,
+        });
+    } else if j > m {
+        // Success detected exactly at end of input.
+        results.push(MatchSpans {
+            spans: bindings.spans,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlts_lang::{compile, CompileOptions, CompiledQuery};
+    use sqlts_relation::{ColumnType, Date, Schema, Table, Value};
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("name", ColumnType::Str),
+            ("date", ColumnType::Date),
+            ("price", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn table(prices: &[f64]) -> Table {
+        let mut t = Table::new(schema());
+        for (i, &p) in prices.iter().enumerate() {
+            t.push_row(vec![
+                Value::from("IBM"),
+                Value::Date(Date::from_days(i as i32)),
+                Value::from(p),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn q(src: &str) -> CompiledQuery {
+        compile(src, &schema(), &CompileOptions::default()).unwrap()
+    }
+
+    fn run(
+        query: &CompiledQuery,
+        prices: &[f64],
+        kind: EngineKind,
+        policy: FirstTuplePolicy,
+    ) -> (Vec<MatchSpans>, u64) {
+        let t = table(prices);
+        let clusters = t.cluster_by(&[], &["date"]).unwrap();
+        let counter = EvalCounter::new();
+        let matches = match clusters.first() {
+            None => Vec::new(), // empty table → no clusters
+            Some(cluster) => find_matches(
+                &query.elements,
+                cluster,
+                kind,
+                &SearchOptions { policy },
+                &counter,
+                None,
+            ),
+        };
+        (matches, counter.total())
+    }
+
+    const ALL_KINDS: [EngineKind; 3] =
+        [EngineKind::Naive, EngineKind::Ops, EngineKind::OpsShiftOnly];
+
+    #[test]
+    fn example4_sequence_from_the_paper() {
+        // §4.2.1: the paper searches the pattern of Example 4 over
+        //   55 50 45 57 54 50 47 49 45 42 55 57 59 60 57
+        // Pattern: fall, fall∧40<p<50, rise∧p<52, rise.
+        let query = q(
+            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
+             WHERE A.price < A.previous.price \
+             AND B.price < B.previous.price AND B.price > 40 AND B.price < 50 \
+             AND C.price > C.previous.price AND C.price < 52 \
+             AND D.price > D.previous.price",
+        );
+        let prices = [
+            55.0, 50.0, 45.0, 57.0, 54.0, 50.0, 47.0, 49.0, 45.0, 42.0, 55.0, 57.0, 59.0, 60.0,
+            57.0,
+        ];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
+            // 50→47 (fall), 47... hold on: positions 5..8: 50 47 49 45 —
+            // fall(47<50), fall∧band(49? 49>47 no)... The match in the
+            // data: 54,50,47,49: fall(50<54)? element A at pos 5 (50<54 ✓),
+            // B at 6 (47<50 ✓ and 40<47<50 ✓), C at 7 (49>47 ✓, <52 ✓),
+            // D at 8 (45>49 ✗). Try A=6 (47<50✓) B=7? 49>47 ✗...
+            // A=8 (45<49 ✓) B=9 (42<45 ✓ band ✓) C=10 (55>42 ✓ but <52 ✗).
+            // So with strict band the only candidate dies; the paper's
+            // chart indeed ends in failure over this fragment.
+            assert!(matches.is_empty(), "{kind:?} found {matches:?}");
+        }
+    }
+
+    #[test]
+    fn ops_is_cheaper_than_naive_on_example4_paper_sequence() {
+        let query = q(
+            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
+             WHERE A.price < A.previous.price \
+             AND B.price < B.previous.price AND B.price > 40 AND B.price < 50 \
+             AND C.price > C.previous.price AND C.price < 52 \
+             AND D.price > D.previous.price",
+        );
+        let prices = [
+            55.0, 50.0, 45.0, 57.0, 54.0, 50.0, 47.0, 49.0, 45.0, 42.0, 55.0, 57.0, 59.0, 60.0,
+            57.0,
+        ];
+        let (_, naive) = run(&query, &prices, EngineKind::Naive, FirstTuplePolicy::Fail);
+        let (_, ops) = run(&query, &prices, EngineKind::Ops, FirstTuplePolicy::Fail);
+        assert!(
+            ops < naive,
+            "OPS ({ops}) must beat naive ({naive}) on the paper's sequence"
+        );
+    }
+
+    #[test]
+    fn simple_non_star_match_positions() {
+        // Example-1 style: up 15%, down 20%.
+        let query = q(
+            "SELECT X.name FROM quote SEQUENCE BY date AS (X, Y, Z) \
+             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+        );
+        let prices = [10.0, 10.5, 13.0, 9.0, 9.5, 12.0, 8.0];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
+            assert_eq!(matches.len(), 2, "{kind:?}");
+            assert_eq!(matches[0].spans, vec![(1, 1), (2, 2), (3, 3)]);
+            assert_eq!(matches[1].spans, vec![(4, 4), (5, 5), (6, 6)]);
+        }
+    }
+
+    #[test]
+    fn star_count_example_from_section5() {
+        // §5's worked example: prices 20 21 23 24 22 20 18 15 14 18 21
+        // against (*rise, *fall, *rise) gives count = 4, 9, 11 — i.e.
+        // spans of 4, 5 and 2 tuples (under the vacuous-first policy).
+        let query = q(
+            "SELECT FIRST(X).date FROM quote SEQUENCE BY date AS (*X, *Y, *Z) \
+             WHERE X.price > X.previous.price AND Y.price < Y.previous.price \
+             AND Z.price > Z.previous.price",
+        );
+        let prices = [20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::VacuousTrue);
+            assert_eq!(matches.len(), 1, "{kind:?}");
+            assert_eq!(
+                matches[0].spans,
+                vec![(0, 3), (4, 8), (9, 10)],
+                "{kind:?}: spans must mirror count(1)=4, count(2)=9, count(3)=11"
+            );
+        }
+    }
+
+    #[test]
+    fn star_requires_at_least_one_tuple() {
+        let query = q(
+            "SELECT FIRST(Y).date FROM quote SEQUENCE BY date AS (*Y, Z) \
+             WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price",
+        );
+        // No falling run before the rise: no match.
+        let prices = [10.0, 11.0, 12.0];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
+            assert!(matches.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn star_at_end_closes_at_input_end() {
+        let query = q(
+            "SELECT Z.date FROM quote SEQUENCE BY date AS (Z, *W) \
+             WHERE Z.price > 100 AND W.price < W.previous.price",
+        );
+        let prices = [101.0, 90.0, 80.0];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
+            assert_eq!(matches.len(), 1, "{kind:?}");
+            assert_eq!(matches[0].spans, vec![(0, 0), (1, 2)]);
+        }
+    }
+
+    #[test]
+    fn greedy_stars_are_committed() {
+        // (*Y falling, Z falling) under greedy semantics never matches on
+        // a strictly falling series: Y eats everything.
+        let query = q(
+            "SELECT FIRST(Y).date FROM quote SEQUENCE BY date AS (*Y, Z) \
+             WHERE Y.price < Y.previous.price AND Z.price < Z.previous.price",
+        );
+        let prices = [10.0, 9.0, 8.0, 7.0];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
+            assert!(matches.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn matches_do_not_overlap_and_are_left_maximal() {
+        // Two consecutive falls in a long falling run: with non-overlap
+        // semantics 6 falling steps yield 3 matches.
+        let query = q(
+            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
+             WHERE A.price < A.previous.price AND B.price < B.previous.price",
+        );
+        let prices = [100.0, 99.0, 98.0, 97.0, 96.0, 95.0, 94.0];
+        for kind in ALL_KINDS {
+            let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
+            assert_eq!(matches.len(), 3, "{kind:?}");
+            assert_eq!(matches[0].spans, vec![(1, 1), (2, 2)]);
+            assert_eq!(matches[1].spans, vec![(3, 3), (4, 4)]);
+            assert_eq!(matches[2].spans, vec![(5, 5), (6, 6)]);
+        }
+    }
+
+    #[test]
+    fn empty_input_and_tiny_inputs() {
+        let query = q(
+            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
+             WHERE A.price < A.previous.price AND B.price < B.previous.price",
+        );
+        for kind in ALL_KINDS {
+            assert!(run(&query, &[], kind, FirstTuplePolicy::Fail).0.is_empty());
+            assert!(run(&query, &[5.0], kind, FirstTuplePolicy::Fail).0.is_empty());
+        }
+    }
+
+    #[test]
+    fn nonlocal_star_pattern_tuple_granular_restart() {
+        // (*X, S) with S comparing against FIRST(X): restarts inside X's
+        // span matter, so OPS must degrade to tuple-granular restarts and
+        // still agree with naive.
+        let query = q(
+            "SELECT S.date FROM quote SEQUENCE BY date AS (*X, S) \
+             WHERE X.price > X.previous.price AND S.price < 0.9 * FIRST(X).price",
+        );
+        let p = plan(&query.elements, EngineKind::Ops);
+        assert!(p.tuple_granular_restart);
+        let prices = [10.0, 11.0, 12.0, 13.0, 10.5, 11.5, 9.0];
+        let (naive, _) = run(&query, &prices, EngineKind::Naive, FirstTuplePolicy::Fail);
+        let (ops, _) = run(&query, &prices, EngineKind::Ops, FirstTuplePolicy::Fail);
+        assert_eq!(naive, ops);
+        assert!(!naive.is_empty());
+    }
+
+    #[test]
+    fn vacuous_policy_admits_first_tuple_matches() {
+        let query = q(
+            "SELECT FIRST(Y).date FROM quote SEQUENCE BY date AS (*Y, Z) \
+             WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price",
+        );
+        let prices = [10.0, 9.0, 12.0];
+        let (fail, _) = run(&query, &prices, EngineKind::Ops, FirstTuplePolicy::Fail);
+        let (vac, _) = run(&query, &prices, EngineKind::Ops, FirstTuplePolicy::VacuousTrue);
+        // Under Fail the first tuple cannot satisfy Y (no previous), so Y
+        // matches only tuple 1; under VacuousTrue Y's span starts at 0.
+        assert_eq!(fail[0].spans, vec![(1, 1), (2, 2)]);
+        assert_eq!(vac[0].spans, vec![(0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn trace_records_paths() {
+        let query = q(
+            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
+             WHERE A.price = 10 AND B.price = 11",
+        );
+        let prices = [10.0, 10.0, 11.0, 10.0];
+        let t = table(&prices);
+        let clusters = t.cluster_by(&[], &["date"]).unwrap();
+        let counter = EvalCounter::new();
+        let mut trace = SearchTrace::new();
+        let matches = find_matches(
+            &query.elements,
+            &clusters[0],
+            EngineKind::Ops,
+            &SearchOptions::default(),
+            &counter,
+            Some(&mut trace),
+        );
+        assert_eq!(matches.len(), 1);
+        assert_eq!(trace.path_len() as u64, counter.total());
+        assert!(trace.path_len() > 0);
+    }
+
+    #[test]
+    fn backtracking_agrees_on_exclusive_patterns() {
+        // Adjacent predicates mutually exclusive → backtracking and greedy
+        // have identical match sets.
+        let query = q(
+            "SELECT FIRST(X).date FROM t SEQUENCE BY date AS (*X, *Y, *Z) \
+             WHERE X.price > X.previous.price AND Y.price < Y.previous.price \
+             AND Z.price > Z.previous.price",
+        );
+        let prices = [20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0];
+        let (greedy, greedy_cost) = run(&query, &prices, EngineKind::Naive, FirstTuplePolicy::VacuousTrue);
+        let (bt, bt_cost) = run(
+            &query,
+            &prices,
+            EngineKind::NaiveBacktrack,
+            FirstTuplePolicy::VacuousTrue,
+        );
+        // Interior boundaries are forced by exclusivity; only the *last*
+        // star's extent is existentially free (greedy takes the maximal
+        // run, shortest-first backtracking the minimal one).
+        assert_eq!(greedy.len(), bt.len());
+        for (g, b) in greedy.iter().zip(&bt) {
+            assert_eq!(g.start(), b.start());
+            assert_eq!(g.spans[..g.spans.len() - 1], b.spans[..b.spans.len() - 1]);
+        }
+        assert!(bt_cost >= greedy_cost);
+    }
+
+    #[test]
+    fn backtracking_rescues_overlapping_patterns() {
+        // (*Y falling, Z falling): greedy commits Y to the whole run and
+        // finds nothing; backtracking splits the run and matches — the
+        // semantic gap documented in DESIGN.md.
+        let query = q(
+            "SELECT FIRST(Y).date FROM t SEQUENCE BY date AS (*Y, Z) \
+             WHERE Y.price < Y.previous.price AND Z.price < Z.previous.price",
+        );
+        let prices = [10.0, 9.0, 8.0, 7.0];
+        let (greedy, _) = run(&query, &prices, EngineKind::Naive, FirstTuplePolicy::Fail);
+        let (bt, _) = run(
+            &query,
+            &prices,
+            EngineKind::NaiveBacktrack,
+            FirstTuplePolicy::Fail,
+        );
+        assert!(greedy.is_empty());
+        assert_eq!(bt.len(), 1);
+        assert_eq!(bt[0].spans, vec![(1, 1), (2, 2)]);
+    }
+
+    /// The core soundness property: every engine returns exactly the same
+    /// matches as the naive reference on randomized inputs and patterns.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A small pool of pattern queries covering stars, bands, ratio
+        /// predicates, equalities and disjunction.
+        fn query_pool() -> Vec<CompiledQuery> {
+            [
+                // star-free, previous-chains
+                "SELECT A.date FROM t SEQUENCE BY date AS (A, B) \
+                 WHERE A.price < A.previous.price AND B.price > B.previous.price",
+                "SELECT A.date FROM t SEQUENCE BY date AS (A, B, C) \
+                 WHERE A.price < A.previous.price AND B.price < B.previous.price \
+                 AND B.price > 4 AND B.price < 8 AND C.price > C.previous.price",
+                // constant equalities (KMP fragment), with self-overlap
+                "SELECT A.date FROM t SEQUENCE BY date AS (A, B, C) \
+                 WHERE A.price = 5 AND B.price = 7 AND C.price = 5",
+                "SELECT A.date FROM t SEQUENCE BY date AS (A, B, C, D) \
+                 WHERE A.price = 5 AND B.price = 7 AND C.price = 5 AND D.price = 7",
+                // stars
+                "SELECT FIRST(X).date FROM t SEQUENCE BY date AS (*X, *Y) \
+                 WHERE X.price > X.previous.price AND Y.price < Y.previous.price",
+                "SELECT FIRST(X).date FROM t SEQUENCE BY date AS (*X, Y, *Z) \
+                 WHERE X.price < X.previous.price AND Y.price > 6 \
+                 AND Z.price > Z.previous.price",
+                "SELECT FIRST(X).date FROM t SEQUENCE BY date AS (A, *X, S) \
+                 WHERE A.price > 6 AND X.price < X.previous.price AND S.price > 8",
+                // disjunction
+                "SELECT A.date FROM t SEQUENCE BY date AS (A, B) \
+                 WHERE (A.price < 3 OR A.price > 8) AND B.price > B.previous.price",
+                // cross-variable adjacent rewrite
+                "SELECT A.date FROM t SEQUENCE BY date AS (A, B, C) \
+                 WHERE B.price > A.price AND C.price < B.price",
+                // non-local with leading star
+                "SELECT S.date FROM t SEQUENCE BY date AS (*X, S) \
+                 WHERE X.price > X.previous.price AND S.price < FIRST(X).price",
+            ]
+            .iter()
+            .map(|src| q(src))
+            .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(160))]
+            #[test]
+            fn engines_agree_with_naive(
+                qi in 0usize..10,
+                prices in proptest::collection::vec(1i32..12, 0..60),
+                vacuous in proptest::bool::ANY,
+            ) {
+                let queries = query_pool();
+                let query = &queries[qi];
+                let prices: Vec<f64> = prices.iter().map(|&p| p as f64).collect();
+                let policy = if vacuous {
+                    FirstTuplePolicy::VacuousTrue
+                } else {
+                    FirstTuplePolicy::Fail
+                };
+                let (reference, naive_cost) =
+                    run(query, &prices, EngineKind::Naive, policy);
+                for kind in [EngineKind::Ops, EngineKind::OpsShiftOnly] {
+                    let (matches, cost) = run(query, &prices, kind, policy);
+                    prop_assert_eq!(
+                        &matches, &reference,
+                        "{:?} diverged from naive on prices {:?}", kind, prices
+                    );
+                    // The optimized engines never do more predicate tests
+                    // than naive... (they can tie on tiny inputs).
+                    prop_assert!(
+                        cost <= naive_cost,
+                        "{:?} cost {} exceeds naive {}", kind, cost, naive_cost
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! End-to-end query execution: compile → cluster → search → project.
+
+use crate::counters::EvalCounter;
+use crate::engine::{
+    backtracking_search, find_matches_with_plan, naive_search, plan, EngineKind, SearchOptions,
+};
+use crate::reverse::{direction_hint, find_matches_directed, Direction};
+use sqlts_lang::{
+    compile, eval_projection, Bindings, CompileOptions, CompiledQuery, EvalCtx, FirstTuplePolicy,
+    LangError,
+};
+use sqlts_relation::{Schema, Table, TableError};
+use std::fmt;
+
+/// Options for [`execute`] / [`execute_query`].
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Which engine to run.
+    pub engine: EngineKind,
+    /// Out-of-range `previous` semantics.
+    pub policy: FirstTuplePolicy,
+    /// Compiler options (positive domains, DNF bounds).
+    pub compile: CompileOptions,
+    /// Search direction (§8): forward, reverse, or chosen by the
+    /// mean-shift/next heuristic.
+    pub direction: DirectionChoice,
+}
+
+/// How the executor chooses the scan direction (§8 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DirectionChoice {
+    /// Always scan front-to-back.
+    #[default]
+    Forward,
+    /// Always scan back-to-front (matches are still reported in forward
+    /// coordinates and forward order).
+    Reverse,
+    /// Pick per query using the paper's mean-shift/next heuristic.
+    Auto,
+}
+
+/// Execution statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// The paper's metric: predicate tests performed.
+    pub predicate_tests: u64,
+    /// Number of matches found.
+    pub matches: u64,
+    /// Number of clusters scanned.
+    pub clusters: u64,
+    /// Total input tuples scanned.
+    pub tuples: u64,
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} matches, {} predicate tests over {} tuples in {} clusters",
+            self.matches, self.predicate_tests, self.tuples, self.clusters
+        )
+    }
+}
+
+/// The result of executing a query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The output table (one row per match, per the `SELECT` list).
+    pub table: Table,
+    /// Execution statistics.
+    pub stats: SearchStats,
+}
+
+/// Errors from query execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Compilation failed.
+    Lang(LangError),
+    /// Table/schema problem (unknown cluster/sequence column, …).
+    Table(TableError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Lang(e) => write!(f, "{e}"),
+            ExecError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<LangError> for ExecError {
+    fn from(e: LangError) -> Self {
+        ExecError::Lang(e)
+    }
+}
+
+impl From<TableError> for ExecError {
+    fn from(e: TableError) -> Self {
+        ExecError::Table(e)
+    }
+}
+
+/// Compile and execute a SQL-TS query string against a table.
+pub fn execute_query(
+    src: &str,
+    table: &Table,
+    options: &ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    let query = compile(src, table.schema(), &options.compile)?;
+    execute(&query, table, options)
+}
+
+/// Execute an already-compiled query against a table.
+pub fn execute(
+    query: &CompiledQuery,
+    table: &Table,
+    options: &ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    let output_schema = Schema::new(
+        query
+            .projection
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Disambiguate duplicate output names positionally.
+                let name = if query.projection[..i].iter().any(|q| q.name == p.name) {
+                    format!("{}_{}", p.name, i + 1)
+                } else {
+                    p.name.clone()
+                };
+                (name, p.ty)
+            })
+            .collect::<Vec<_>>(),
+    )?;
+    let mut out = Table::new(output_schema);
+
+    let cluster_cols: Vec<&str> = query.cluster_by.iter().map(String::as_str).collect();
+    let sequence_cols: Vec<&str> = query.sequence_by.iter().map(String::as_str).collect();
+    let clusters = table.cluster_by(&cluster_cols, &sequence_cols)?;
+
+    let counter = EvalCounter::new();
+    let search_options = SearchOptions {
+        policy: options.policy,
+    };
+    let direction = match options.direction {
+        DirectionChoice::Forward => Direction::Forward,
+        DirectionChoice::Reverse => Direction::Reverse,
+        DirectionChoice::Auto => direction_hint(query),
+    };
+    // Compile the search plan once, reuse across clusters (forward scans
+    // only; the reverse path compiles the reversed pattern internally).
+    let search_plan = match (options.engine, direction) {
+        (EngineKind::Naive | EngineKind::NaiveBacktrack, _) => None,
+        (_, Direction::Reverse) => None,
+        (kind, Direction::Forward) => Some(plan(&query.elements, kind)),
+    };
+
+    let mut stats = SearchStats::default();
+    for cluster in &clusters {
+        stats.clusters += 1;
+        stats.tuples += cluster.len() as u64;
+        let matches = match (&search_plan, options.engine, direction) {
+            (_, _, Direction::Reverse) => find_matches_directed(
+                query,
+                cluster,
+                Direction::Reverse,
+                options.engine,
+                &search_options,
+                &counter,
+            ),
+            (None, EngineKind::NaiveBacktrack, _) => backtracking_search(
+                &query.elements,
+                cluster,
+                &search_options,
+                &counter,
+                None,
+            ),
+            (None, _, _) => {
+                naive_search(&query.elements, cluster, &search_options, &counter, None)
+            }
+            (Some(p), _, _) => find_matches_with_plan(
+                &query.elements,
+                cluster,
+                p,
+                &search_options,
+                &counter,
+                None,
+            ),
+        };
+        let ctx = EvalCtx {
+            cluster,
+            policy: options.policy,
+        };
+        for m in matches {
+            stats.matches += 1;
+            let bindings = Bindings {
+                spans: m.spans,
+            };
+            let row = eval_projection(&query.projection, &ctx, &bindings);
+            out.push_row(row).map_err(ExecError::Table)?;
+        }
+    }
+    stats.predicate_tests = counter.total();
+    Ok(QueryResult { table: out, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlts_relation::{ColumnType, Value};
+
+    fn quote_table() -> Table {
+        let schema = Schema::new([
+            ("name", ColumnType::Str),
+            ("date", ColumnType::Date),
+            ("price", ColumnType::Float),
+        ])
+        .unwrap();
+        // Two stocks interleaved; BBB has an up-15%-down-20% pattern.
+        let csv = "name,date,price\n\
+            AAA,1999-01-01,50\n\
+            BBB,1999-01-01,10\n\
+            AAA,1999-01-02,51\n\
+            BBB,1999-01-02,12\n\
+            AAA,1999-01-03,52\n\
+            BBB,1999-01-03,9\n";
+        Table::from_csv_str(schema, csv).unwrap()
+    }
+
+    #[test]
+    fn example1_end_to_end() {
+        let result = execute_query(
+            "SELECT X.name, Y.price AS peak FROM quote \
+             CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+            &quote_table(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.table.len(), 1);
+        assert_eq!(result.table.cell(0, 0), &Value::from("BBB"));
+        assert_eq!(result.table.cell(0, 1), &Value::from(12.0));
+        assert_eq!(result.stats.matches, 1);
+        assert_eq!(result.stats.clusters, 2);
+        assert_eq!(result.stats.tuples, 6);
+        assert!(result.stats.predicate_tests > 0);
+    }
+
+    #[test]
+    fn clusters_are_independent() {
+        // A pattern spanning the last AAA row and the first BBB row must
+        // not match: clusters are separate streams.
+        let result = execute_query(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE X.price > 50 AND Y.price < 10",
+            &quote_table(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.table.len(), 0);
+    }
+
+    #[test]
+    fn engines_agree_end_to_end() {
+        let src = "SELECT X.name, FIRST(Y).date AS from_d, LAST(Y).date AS to_d \
+                   FROM quote CLUSTER BY name SEQUENCE BY date AS (X, *Y) \
+                   WHERE Y.price > Y.previous.price";
+        let table = quote_table();
+        let mut outputs = Vec::new();
+        for engine in [EngineKind::Naive, EngineKind::Ops, EngineKind::OpsShiftOnly] {
+            let r = execute_query(
+                src,
+                &table,
+                &ExecOptions {
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            outputs.push(r.table);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn duplicate_projection_names_are_disambiguated() {
+        let result = execute_query(
+            "SELECT X.price, Y.price FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+            &quote_table(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let names: Vec<&str> = result
+            .table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["price", "price_2"]);
+    }
+
+    #[test]
+    fn reverse_and_auto_directions_return_forward_order() {
+        // The pattern must have non-overlapping candidate matches: forward
+        // search is left-maximal, reverse right-maximal, and they only
+        // provably coincide when candidates don't overlap (each cluster
+        // here has a single isolated price drop).
+        let table = quote_table();
+        let src = "SELECT X.name, X.date AS d FROM quote CLUSTER BY name SEQUENCE BY date \
+                   AS (X, Y) WHERE Y.price < X.price";
+        let fwd = execute_query(src, &table, &ExecOptions::default()).unwrap();
+        for direction in [DirectionChoice::Reverse, DirectionChoice::Auto] {
+            let r = execute_query(
+                src,
+                &table,
+                &ExecOptions {
+                    direction,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.table, fwd.table, "{direction:?}");
+        }
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let err = execute_query(
+            "SELECT X.nope FROM quote CLUSTER BY name SEQUENCE BY date AS (X)",
+            &quote_table(),
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Lang(_)));
+        assert!(err.to_string().contains("no such column"));
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = SearchStats {
+            predicate_tests: 10,
+            matches: 2,
+            clusters: 1,
+            tuples: 5,
+        };
+        assert_eq!(
+            s.to_string(),
+            "2 matches, 10 predicate tests over 5 tuples in 1 clusters"
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! The surface abstract syntax tree of SQL-TS.
+
+use crate::error::Span;
+use sqlts_rational::Rational;
+use std::fmt;
+
+/// A full SQL-TS query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// `SELECT` items.
+    pub select: Vec<SelectItem>,
+    /// `FROM` table name.
+    pub from: String,
+    /// `CLUSTER BY` columns (may be empty).
+    pub cluster_by: Vec<String>,
+    /// `SEQUENCE BY` columns.
+    pub sequence_by: Vec<String>,
+    /// `AS (X, *Y, …)` pattern variables in order.
+    pub pattern: Vec<PatternVar>,
+    /// `WHERE` condition, if any.
+    pub where_clause: Option<Expr>,
+}
+
+/// One pattern variable of the `AS (…)` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternVar {
+    /// Variable name, e.g. `X`.
+    pub name: String,
+    /// `true` iff prefixed with `*` (greedy one-or-more repetition).
+    pub star: bool,
+    /// Source span of the variable.
+    pub span: Span,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+/// `FIRST(V)` / `LAST(V)` accessors for starred variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FirstLast {
+    /// `FIRST(V)` — the first tuple of V's span.
+    First,
+    /// `LAST(V)` — the last tuple of V's span.
+    Last,
+}
+
+/// A navigation step in a field path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Nav {
+    /// `.previous` — one tuple earlier in the stream.
+    Previous,
+    /// `.next` — one tuple later in the stream.
+    Next,
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// `true` for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// `true` for `+ - * /`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `NOT`.
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal (kept exact).
+    Number {
+        /// The exact value.
+        value: Rational,
+        /// Source span.
+        span: Span,
+    },
+    /// String literal.
+    Str {
+        /// The string contents.
+        value: String,
+        /// Source span.
+        span: Span,
+    },
+    /// `DATE 'YYYY-MM-DD'` literal, kept as text until binding.
+    DateLit {
+        /// The date text (`YYYY-MM-DD`).
+        value: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A field path: `X.price`, `Z.previous.date`, `FIRST(X).date`,
+    /// `X.NEXT->price`.
+    Field {
+        /// Pattern variable name.
+        var: String,
+        /// `FIRST`/`LAST` wrapper, if any.
+        first_last: Option<FirstLast>,
+        /// Navigation steps, in order.
+        navs: Vec<Nav>,
+        /// Attribute (column) name.
+        attr: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `e BETWEEN lo AND hi` (inclusive; sugar for two comparisons).
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// `true` for `NOT BETWEEN`.
+        negated: bool,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number { span, .. }
+            | Expr::Str { span, .. }
+            | Expr::DateLit { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Between { span, .. } => *span,
+        }
+    }
+
+    /// Collect the pattern-variable names mentioned, in first-occurrence
+    /// order.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Field { var, .. }
+                if !out.iter().any(|v| v.eq_ignore_ascii_case(var)) => {
+                    out.push(var.clone());
+                }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.vars(out);
+                rhs.vars(out);
+            }
+            Expr::Unary { expr, .. } => expr.vars(out),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.vars(out);
+                lo.vars(out);
+                hi.vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number { value, .. } => write!(f, "{value}"),
+            Expr::Str { value, .. } => write!(f, "'{value}'"),
+            Expr::DateLit { value, .. } => write!(f, "DATE '{value}'"),
+            Expr::Field {
+                var,
+                first_last,
+                navs,
+                attr,
+                ..
+            } => {
+                match first_last {
+                    Some(FirstLast::First) => write!(f, "FIRST({var})")?,
+                    Some(FirstLast::Last) => write!(f, "LAST({var})")?,
+                    None => write!(f, "{var}")?,
+                }
+                for nav in navs {
+                    match nav {
+                        Nav::Previous => write!(f, ".previous")?,
+                        Nav::Next => write!(f, ".next")?,
+                    }
+                }
+                write!(f, ".{attr}")
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "<>",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                };
+                write!(f, "({lhs} {sym} {rhs})")
+            }
+            Expr::Unary { op, expr, .. } => match op {
+                UnOp::Neg => write!(f, "(-{expr})"),
+                UnOp::Not => write!(f, "(NOT {expr})"),
+            },
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+                ..
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {lo} AND {hi})",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_dedup_case_insensitive() {
+        let e = Expr::Binary {
+            op: BinOp::Lt,
+            lhs: Box::new(Expr::Field {
+                var: "X".into(),
+                first_last: None,
+                navs: vec![],
+                attr: "price".into(),
+                span: Span::default(),
+            }),
+            rhs: Box::new(Expr::Field {
+                var: "x".into(),
+                first_last: None,
+                navs: vec![Nav::Previous],
+                attr: "price".into(),
+                span: Span::default(),
+            }),
+            span: Span::default(),
+        };
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec!["X".to_string()]);
+    }
+
+    #[test]
+    fn display_round() {
+        let e = Expr::Field {
+            var: "Z".into(),
+            first_last: Some(FirstLast::Last),
+            navs: vec![Nav::Previous],
+            attr: "date".into(),
+            span: Span::default(),
+        };
+        assert_eq!(e.to_string(), "LAST(Z).previous.date");
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Lt.is_arithmetic());
+        assert!(BinOp::Mul.is_arithmetic());
+        assert!(!BinOp::And.is_comparison());
+    }
+}

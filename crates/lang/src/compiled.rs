@@ -1,0 +1,299 @@
+//! The compiled query IR consumed by the OPS optimizer and the engines.
+
+use sqlts_constraints::{CmpOp, Formula};
+use sqlts_rational::Rational;
+use sqlts_relation::{ColumnType, Date, Schema};
+use std::fmt;
+
+/// A fully bound and compiled SQL-TS query.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// Source table name (informational; execution binds a [`Schema`]).
+    pub table: String,
+    /// `CLUSTER BY` column names.
+    pub cluster_by: Vec<String>,
+    /// `SEQUENCE BY` column names.
+    pub sequence_by: Vec<String>,
+    /// The pattern elements, in order.
+    pub elements: Vec<PatternElement>,
+    /// The compiled projection.
+    pub projection: Vec<ProjItem>,
+    /// The source schema the query was bound against.
+    pub schema: Schema,
+}
+
+impl CompiledQuery {
+    /// Pattern length `m`.
+    pub fn pattern_len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` iff any element is starred.
+    pub fn has_star(&self) -> bool {
+        self.elements.iter().any(|e| e.star)
+    }
+
+    /// `true` iff every element's predicate is purely local (no references
+    /// to the bindings of earlier elements).
+    pub fn purely_local(&self) -> bool {
+        self.elements.iter().all(|e| e.purely_local())
+    }
+}
+
+/// One element of the search pattern: a variable, its star flag, and its
+/// predicate.
+#[derive(Clone, Debug)]
+pub struct PatternElement {
+    /// Variable name (`X`, `Y`, …).
+    pub name: String,
+    /// `true` iff the element is a greedy one-or-more repetition.
+    pub star: bool,
+    /// The conjuncts assigned to this element, runtime-evaluable.
+    pub conjuncts: Vec<Conjunct>,
+    /// The solver's view of the **local** conjuncts, in DNF.  Non-local
+    /// conjuncts are excluded (the optimizer treats them per the gating
+    /// rules in DESIGN.md §3).
+    pub formula: Formula,
+}
+
+impl PatternElement {
+    /// `true` iff every conjunct is local, i.e. the element's predicate is
+    /// a function of the current tuple and its physical neighbours only.
+    pub fn purely_local(&self) -> bool {
+        self.conjuncts.iter().all(|c| c.local)
+    }
+}
+
+/// One conjunct of an element's predicate.
+#[derive(Clone, Debug)]
+pub struct Conjunct {
+    /// Runtime-evaluable boolean expression.
+    pub expr: BoolExpr,
+    /// `true` iff the conjunct references only the current tuple (via
+    /// fixed physical offsets) — i.e. only [`Anchor::Cur`] field refs.
+    pub local: bool,
+    /// The original source text (for EXPLAIN output).
+    pub display: String,
+}
+
+/// A boolean expression over scalar comparisons.
+#[derive(Clone, Debug)]
+pub enum BoolExpr {
+    /// A comparison.
+    Cmp {
+        /// Left operand.
+        lhs: ScalarExpr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: ScalarExpr,
+    },
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Constant.
+    Const(bool),
+}
+
+/// A scalar expression.
+#[derive(Clone, Debug)]
+pub enum ScalarExpr {
+    /// Numeric constant; exact value for the solver, pre-converted float
+    /// for the runtime.
+    Num {
+        /// Exact value, used by the solver.
+        exact: Rational,
+        /// Pre-converted float, used by the runtime.
+        approx: f64,
+    },
+    /// String constant.
+    Str(String),
+    /// Date constant (compares as its day number).
+    Date(Date),
+    /// A field access.
+    Field(FieldRef),
+    /// Arithmetic.
+    Arith {
+        /// The operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<ScalarExpr>,
+        /// Right operand.
+        rhs: Box<ScalarExpr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Numeric constant helper.
+    pub fn num(exact: Rational) -> ScalarExpr {
+        let approx = exact.to_f64();
+        ScalarExpr::Num { exact, approx }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A bound field access: an anchor position plus a physical offset plus a
+/// column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldRef {
+    /// Where the access is rooted.
+    pub anchor: Anchor,
+    /// Physical offset in the stream relative to the anchor: `-1` is
+    /// `previous`, `+1` is `next`, offsets accumulate over navigation
+    /// chains and over the binder's adjacent-variable rewriting.
+    pub offset: i32,
+    /// Column index in the source schema.
+    pub col: usize,
+    /// The column's declared type.
+    pub ty: ColumnType,
+}
+
+/// The root of a field access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Anchor {
+    /// The tuple currently being tested against the element's predicate
+    /// (valid only inside `WHERE` conjuncts).
+    Cur,
+    /// A tuple of an already-bound pattern element (non-local `WHERE`
+    /// references and all `SELECT` references).
+    Element {
+        /// Element index (0-based).
+        index: usize,
+        /// Which end of the element's span.
+        end: SpanEnd,
+    },
+}
+
+/// Which end of an element's matched span a reference addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanEnd {
+    /// The first tuple of the span.
+    First,
+    /// The last tuple of the span.
+    Last,
+}
+
+/// One output column of the projection.
+#[derive(Clone, Debug)]
+pub struct ProjItem {
+    /// The expression (anchored at elements; `Anchor::Cur` never occurs).
+    pub expr: ScalarExpr,
+    /// Output column name.
+    pub name: String,
+    /// Output column type.
+    pub ty: ColumnType,
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            BoolExpr::And(a, b) => write!(f, "({a} AND {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+            BoolExpr::Not(e) => write!(f, "NOT ({e})"),
+            BoolExpr::Const(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Num { exact, .. } => write!(f, "{exact}"),
+            ScalarExpr::Str(s) => write!(f, "'{s}'"),
+            ScalarExpr::Date(d) => write!(f, "DATE '{d}'"),
+            ScalarExpr::Field(fr) => write!(f, "{fr}"),
+            ScalarExpr::Arith { op, lhs, rhs } => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({lhs} {sym} {rhs})")
+            }
+            ScalarExpr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.anchor {
+            Anchor::Cur => write!(f, "cur")?,
+            Anchor::Element { index, end } => {
+                write!(
+                    f,
+                    "{}(#{})",
+                    match end {
+                        SpanEnd::First => "first",
+                        SpanEnd::Last => "last",
+                    },
+                    index
+                )?;
+            }
+        }
+        match self.offset.cmp(&0) {
+            std::cmp::Ordering::Less => write!(f, "{}", self.offset)?,
+            std::cmp::Ordering::Greater => write!(f, "+{}", self.offset)?,
+            std::cmp::Ordering::Equal => {}
+        }
+        write!(f, ".col{}", self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let fr = FieldRef {
+            anchor: Anchor::Cur,
+            offset: -1,
+            col: 2,
+            ty: ColumnType::Float,
+        };
+        let e = BoolExpr::Cmp {
+            lhs: ScalarExpr::Field(fr),
+            op: CmpOp::Lt,
+            rhs: ScalarExpr::num(Rational::new(1, 2)),
+        };
+        assert_eq!(e.to_string(), "cur-1.col2 < 1/2");
+        let el = FieldRef {
+            anchor: Anchor::Element {
+                index: 3,
+                end: SpanEnd::Last,
+            },
+            offset: 1,
+            col: 0,
+            ty: ColumnType::Str,
+        };
+        assert_eq!(el.to_string(), "last(#3)+1.col0");
+    }
+
+    #[test]
+    fn scalar_num_precomputes_float() {
+        match ScalarExpr::num(Rational::new(23, 20)) {
+            ScalarExpr::Num { approx, .. } => assert!((approx - 1.15).abs() < 1e-12),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Compilation errors with source spans.
+
+use std::fmt;
+
+/// A byte range in the query text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// A new span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// An error produced while lexing, parsing or binding a SQL-TS query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the query text the problem is.
+    pub span: Span,
+}
+
+impl LangError {
+    /// Construct an error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> LangError {
+        LangError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render the error with a caret line pointing into `source`.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("error: {}\n", self.message);
+        // Find the line containing the span start.
+        let start = self.span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = source[start..]
+            .find('\n')
+            .map_or(source.len(), |i| start + i);
+        let line = &source[line_start..line_end];
+        let lineno = source[..start].matches('\n').count() + 1;
+        out.push_str(&format!("  line {lineno}: {line}\n"));
+        let col = source[line_start..start].chars().count();
+        let width = source[start..self.span.end.min(line_end)]
+            .chars()
+            .count()
+            .max(1);
+        out.push_str(&format!(
+            "  {}{}{}\n",
+            " ".repeat("line 1: ".len() + lineno.to_string().len() - 1),
+            " ".repeat(col),
+            "^".repeat(width)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (at bytes {}..{})",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn render_points_at_problem() {
+        let src = "SELECT X.nope FROM quote";
+        let err = LangError::new("no such column: nope", Span::new(9, 13));
+        let rendered = err.render(src);
+        assert!(rendered.contains("no such column"));
+        assert!(rendered.contains("line 1: SELECT X.nope FROM quote"));
+        assert!(rendered.contains("^^^^"));
+    }
+
+    #[test]
+    fn render_multiline() {
+        let src = "SELECT X.a\nFROM quote\nWHERE ???";
+        let err = LangError::new("unexpected token", Span::new(28, 31));
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 3: WHERE ???"));
+    }
+
+    #[test]
+    fn display_includes_offsets() {
+        let err = LangError::new("boom", Span::new(1, 3));
+        assert_eq!(err.to_string(), "boom (at bytes 1..3)");
+    }
+}

@@ -1,0 +1,293 @@
+//! The SQL-TS lexer.
+
+use crate::error::{LangError, Span};
+use sqlts_rational::Rational;
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (original case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Numeric literal, kept exact.
+    Number(Rational),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `->` (SQL3 navigation, equivalent to `.`)
+    Arrow,
+    /// `;`
+    Semi,
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenize a query string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => push(&mut tokens, Tok::LParen, start, &mut i, 1),
+            b')' => push(&mut tokens, Tok::RParen, start, &mut i, 1),
+            b',' => push(&mut tokens, Tok::Comma, start, &mut i, 1),
+            b'.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                push(&mut tokens, Tok::Dot, start, &mut i, 1)
+            }
+            b'*' => push(&mut tokens, Tok::Star, start, &mut i, 1),
+            b'+' => push(&mut tokens, Tok::Plus, start, &mut i, 1),
+            b';' => push(&mut tokens, Tok::Semi, start, &mut i, 1),
+            b'/' => push(&mut tokens, Tok::Slash, start, &mut i, 1),
+            b'=' => push(&mut tokens, Tok::Eq, start, &mut i, 1),
+            b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                push(&mut tokens, Tok::Arrow, start, &mut i, 2)
+            }
+            b'-' => push(&mut tokens, Tok::Minus, start, &mut i, 1),
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => push(&mut tokens, Tok::Le, start, &mut i, 2),
+                Some(&b'>') => push(&mut tokens, Tok::Ne, start, &mut i, 2),
+                _ => push(&mut tokens, Tok::Lt, start, &mut i, 1),
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(&b'=') => push(&mut tokens, Tok::Ge, start, &mut i, 2),
+                _ => push(&mut tokens, Tok::Gt, start, &mut i, 1),
+            },
+            b'!' if bytes.get(i + 1) == Some(&b'=') => push(&mut tokens, Tok::Ne, start, &mut i, 2),
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LangError::new(
+                                "unterminated string literal",
+                                Span::new(start, i),
+                            ))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            // Strings are UTF-8; copy bytes verbatim.
+                            let ch_len = utf8_len(b);
+                            s.push_str(&src[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' | b'.' => {
+                let mut seen_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !seen_dot))
+                {
+                    if bytes[i] == b'.' {
+                        // A dot not followed by a digit terminates the
+                        // number (it is a navigation dot, e.g. `1.` never
+                        // occurs but `X.price` after a number cannot).
+                        if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                            break;
+                        }
+                        seen_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: Rational = text.parse().map_err(|_| {
+                    LangError::new(
+                        format!("invalid numeric literal {text:?}"),
+                        Span::new(start, i),
+                    )
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Number(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            other => {
+                return Err(LangError::new(
+                    format!("unexpected character {:?}", other as char),
+                    Span::new(start, start + 1),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, tok: Tok, start: usize, i: &mut usize, len: usize) {
+    *i += len;
+    tokens.push(Token {
+        tok,
+        span: Span::new(start, start + len),
+    });
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = kinds("SELECT X.name FROM quote");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("X".into()),
+                Tok::Dot,
+                Tok::Ident("name".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("quote".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_are_exact() {
+        let toks = kinds("1.15 0.80 42 .5");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Number(Rational::new(23, 20)),
+                Tok::Number(Rational::new(4, 5)),
+                Tok::Number(Rational::from_int(42)),
+                Tok::Number(Rational::new(1, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_navigation_dot() {
+        // `1.15*X.price`: the second dot is navigation, not decimal.
+        let toks = kinds("1.15*X.price");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[1], Tok::Star);
+        assert_eq!(toks[3], Tok::Dot);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Ne]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(kinds("a->b"), kinds("a.b").iter().map(|t| match t {
+            Tok::Dot => Tok::Arrow,
+            other => other.clone(),
+        }).collect::<Vec<_>>());
+        assert_eq!(kinds("a - b")[1], Tok::Minus);
+    }
+
+    #[test]
+    fn string_literals_with_escape() {
+        assert_eq!(kinds("'IBM'"), vec![Tok::Str("IBM".into())]);
+        assert_eq!(kinds("'O''Hare'"), vec![Tok::Str("O'Hare".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = kinds("SELECT -- the projection\n X");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("ab  <=").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("price ? 5").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'café'"), vec![Tok::Str("café".into())]);
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! SQL-TS: the Simple Query Language for Time Series (paper §2).
+//!
+//! SQL-TS extends SQL's `FROM` clause with three constructs:
+//!
+//! * `CLUSTER BY c1, c2, …` — partition the input into independent streams;
+//! * `SEQUENCE BY s1, s2, …` — order each stream;
+//! * `AS (X, *Y, Z)` — a *pattern*: a sequence of tuple variables, where a
+//!   leading `*` marks a greedy one-or-more repetition.
+//!
+//! The `WHERE` clause constrains the pattern variables, with `previous` /
+//! `next` navigation to physically adjacent tuples, and the `SELECT` clause
+//! projects from a match, additionally supporting `FIRST(V)` / `LAST(V)` to
+//! address the ends of a starred variable's span.
+//!
+//! ```
+//! use sqlts_lang::{compile, CompileOptions};
+//! use sqlts_relation::{ColumnType, Schema};
+//!
+//! let schema = Schema::new([
+//!     ("name", ColumnType::Str),
+//!     ("date", ColumnType::Date),
+//!     ("price", ColumnType::Float),
+//! ]).unwrap();
+//!
+//! // Example 1 of the paper.
+//! let q = compile(
+//!     "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+//!      WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+//!     &schema,
+//!     &CompileOptions::default(),
+//! ).unwrap();
+//! assert_eq!(q.elements.len(), 3);
+//! assert!(q.elements.iter().all(|e| !e.star));
+//! ```
+//!
+//! The crate compiles a query in three stages:
+//!
+//! 1. lexing — tokens with byte spans;
+//! 2. [`parse`] — the surface [`ast`];
+//! 3. [`compile`] — semantic analysis against a [`sqlts_relation::Schema`],
+//!    producing a [`CompiledQuery`]: per-element predicate conjuncts in a
+//!    runtime-evaluable form *plus* a [`sqlts_constraints::Formula`] view of
+//!    the local conjuncts for the OPS optimizer, and a compiled projection.
+
+pub mod ast;
+mod binder;
+mod compiled;
+mod error;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use binder::{compile, compile_ast, CompileOptions};
+pub use compiled::{
+    Anchor, BoolExpr, CompiledQuery, Conjunct, FieldRef, PatternElement, ProjItem, ScalarExpr,
+    SpanEnd,
+};
+pub use error::{LangError, Span};
+pub use eval::{eval_conjunct, eval_projection, eval_scalar, Bindings, EvalCtx, FirstTuplePolicy};
+pub use parser::parse;

@@ -1,0 +1,619 @@
+//! A recursive-descent parser for SQL-TS.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! query      := SELECT select_list FROM ident
+//!               [CLUSTER BY ident_list] [SEQUENCE BY ident_list]
+//!               AS '(' pattern_vars ')' [WHERE expr] [';']
+//! select_list:= select_item (',' select_item)*
+//! select_item:= expr [AS ident]
+//! pattern_vars := ['*'] ident (',' ['*'] ident)*
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp_expr
+//! cmp_expr   := add_expr [cmp_op add_expr | [NOT] BETWEEN add_expr AND add_expr]
+//! add_expr   := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr   := unary (('*'|'/') unary)*
+//! unary      := '-' unary | primary
+//! primary    := number | string | DATE string | '(' expr ')' | field_path
+//! field_path := [FIRST|LAST '(' ident ')'] nav* '.' ident
+//!             | ident ('.'|'->') (PREVIOUS|NEXT|ident) ...
+//! ```
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a SQL-TS query string into an AST.
+pub fn parse(src: &str) -> Result<Query, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.src_len, self.src_len))
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// `true` and consume if the next token is the keyword `kw`.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(id)) if id.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("expected keyword {kw}"),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Span, LangError> {
+        let span = self.peek_span();
+        if self.eat(tok) {
+            Ok(span)
+        } else {
+            Err(LangError::new(format!("expected {what}"), span))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), LangError> {
+        let span = self.peek_span();
+        match self.peek() {
+            Some(Tok::Ident(id)) if !is_reserved(id) => {
+                let id = id.clone();
+                self.pos += 1;
+                Ok((id, span))
+            }
+            _ => Err(LangError::new(format!("expected {what}"), span)),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), LangError> {
+        self.eat(&Tok::Semi);
+        if self.pos != self.tokens.len() {
+            return Err(LangError::new(
+                "unexpected trailing input",
+                self.peek_span(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Query, LangError> {
+        self.expect_kw("SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let (from, _) = self.ident("table name")?;
+
+        let mut cluster_by = Vec::new();
+        if self.eat_kw("CLUSTER") {
+            self.expect_kw("BY")?;
+            cluster_by = self.ident_list("cluster column")?;
+        }
+        let mut sequence_by = Vec::new();
+        if self.eat_kw("SEQUENCE") {
+            self.expect_kw("BY")?;
+            sequence_by = self.ident_list("sequence column")?;
+        }
+
+        self.expect_kw("AS")?;
+        self.expect(&Tok::LParen, "'(' opening the pattern")?;
+        let mut pattern = vec![self.pattern_var()?];
+        while self.eat(&Tok::Comma) {
+            pattern.push(self.pattern_var()?);
+        }
+        self.expect(&Tok::RParen, "')' closing the pattern")?;
+
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        Ok(Query {
+            select,
+            from,
+            cluster_by,
+            sequence_by,
+            pattern,
+            where_clause,
+        })
+    }
+
+    fn ident_list(&mut self, what: &str) -> Result<Vec<String>, LangError> {
+        let mut out = vec![self.ident(what)?.0];
+        while self.eat(&Tok::Comma) {
+            out.push(self.ident(what)?.0);
+        }
+        Ok(out)
+    }
+
+    fn pattern_var(&mut self) -> Result<PatternVar, LangError> {
+        let star_span = self.peek_span();
+        let star = self.eat(&Tok::Star);
+        let (name, span) = self.ident("pattern variable")?;
+        Ok(PatternVar {
+            name,
+            star,
+            span: if star { star_span.merge(span) } else { span },
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, LangError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident("output column alias")?.0)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.not_expr()?;
+        while self.at_kw("AND") {
+            self.eat_kw("AND");
+            let rhs = self.not_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, LangError> {
+        if self.at_kw("NOT") {
+            let span = self.peek_span();
+            self.eat_kw("NOT");
+            let inner = self.not_expr()?;
+            let span = span.merge(inner.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+                span,
+            });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        // `[NOT] BETWEEN lo AND hi`
+        let negated = if self.at_kw("NOT") {
+            // Only treat NOT as part of BETWEEN; a bare trailing NOT is an error anyway.
+            self.eat_kw("NOT");
+            if !self.at_kw("BETWEEN") {
+                return Err(LangError::new("expected BETWEEN after NOT", self.peek_span()));
+            }
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            let span = lhs.span().merge(hi.span());
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+                span,
+            });
+        }
+        let op = match self.peek() {
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.peek() == Some(&Tok::Minus) {
+            let span = self.peek_span();
+            self.bump();
+            let inner = self.unary()?;
+            let span = span.merge(inner.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+                span,
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let span = self.peek_span();
+        match self.peek().cloned() {
+            Some(Tok::Number(value)) => {
+                self.bump();
+                Ok(Expr::Number { value, span })
+            }
+            Some(Tok::Str(value)) => {
+                self.bump();
+                Ok(Expr::Str { value, span })
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("DATE") => {
+                self.bump();
+                let s = self.peek_span();
+                match self.bump().map(|t| t.tok) {
+                    Some(Tok::Str(value)) => Ok(Expr::DateLit {
+                        value,
+                        span: span.merge(s),
+                    }),
+                    _ => Err(LangError::new("expected string after DATE", s)),
+                }
+            }
+            Some(Tok::Ident(id))
+                if id.eq_ignore_ascii_case("FIRST") || id.eq_ignore_ascii_case("LAST") =>
+            {
+                let which = if id.eq_ignore_ascii_case("FIRST") {
+                    FirstLast::First
+                } else {
+                    FirstLast::Last
+                };
+                self.bump();
+                self.expect(&Tok::LParen, "'(' after FIRST/LAST")?;
+                let (var, _) = self.ident("pattern variable")?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.field_path(var, Some(which), span)
+            }
+            Some(Tok::Ident(id)) if !is_reserved(&id) => {
+                self.bump();
+                self.field_path(id, None, span)
+            }
+            _ => Err(LangError::new("expected expression", span)),
+        }
+    }
+
+    /// Parse the `.nav*.attr` tail of a field path.  At least one `.`
+    /// segment is required: a bare identifier is not an expression in
+    /// SQL-TS (all data access goes through a pattern variable).
+    fn field_path(
+        &mut self,
+        var: String,
+        first_last: Option<FirstLast>,
+        start: Span,
+    ) -> Result<Expr, LangError> {
+        let mut navs = Vec::new();
+        let mut attr: Option<String> = None;
+        let mut end = start;
+        while self.eat(&Tok::Dot) || self.eat(&Tok::Arrow) {
+            let (seg, seg_span) = self.ident("field name")?;
+            end = seg_span;
+            if seg.eq_ignore_ascii_case("previous") || seg.eq_ignore_ascii_case("prev") {
+                navs.push(Nav::Previous);
+            } else if seg.eq_ignore_ascii_case("next") {
+                navs.push(Nav::Next);
+            } else {
+                attr = Some(seg);
+                break;
+            }
+        }
+        let attr = attr.ok_or_else(|| {
+            LangError::new(
+                format!("field path {var} must end in an attribute name (e.g. {var}.price)"),
+                start.merge(end),
+            )
+        })?;
+        Ok(Expr::Field {
+            var,
+            first_last,
+            navs,
+            attr,
+            span: start.merge(end),
+        })
+    }
+}
+
+fn is_reserved(id: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "CLUSTER", "SEQUENCE", "BY",
+        "BETWEEN",
+    ];
+    RESERVED.iter().any(|k| k.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlts_rational::Rational;
+
+    #[test]
+    fn parses_example1() {
+        let q = parse(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+        )
+        .unwrap();
+        assert_eq!(q.from, "quote");
+        assert_eq!(q.cluster_by, vec!["name"]);
+        assert_eq!(q.sequence_by, vec!["date"]);
+        assert_eq!(q.pattern.len(), 3);
+        assert!(q.pattern.iter().all(|p| !p.star));
+        let w = q.where_clause.unwrap();
+        assert_eq!(
+            w.to_string(),
+            "((Y.price > (23/20 * X.price)) AND (Z.price < (4/5 * Y.price)))"
+        );
+    }
+
+    #[test]
+    fn parses_example2_with_star_and_previous() {
+        let q = parse(
+            "SELECT X.name, X.date AS start_date, Z.previous.date AS end_date \
+             FROM quote CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z) \
+             WHERE Y.price < Y.previous.price AND Z.previous.price < 0.5 * X.price",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[1].alias.as_deref(), Some("start_date"));
+        assert!(q.pattern[1].star);
+        assert_eq!(q.pattern[1].name, "Y");
+    }
+
+    #[test]
+    fn parses_example8_first_last() {
+        let q = parse(
+            "SELECT X.name, FIRST(X).date AS sdate, LAST(Z).date AS edate \
+             FROM quote CLUSTER BY name SEQUENCE BY date AS (*X, *Y, *Z) \
+             WHERE X.price > X.previous.price AND Y.price < Y.previous.price \
+             AND Z.price > Z.previous.price",
+        )
+        .unwrap();
+        assert_eq!(q.select[1].expr.to_string(), "FIRST(X).date");
+        assert!(q.pattern.iter().all(|p| p.star));
+    }
+
+    #[test]
+    fn sql3_arrow_navigation() {
+        let q = parse(
+            "SELECT Z.previous->date FROM quote SEQUENCE BY date AS (Z) WHERE Z.price > 0",
+        )
+        .unwrap();
+        assert_eq!(q.select[0].expr.to_string(), "Z.previous.date");
+        assert!(q.cluster_by.is_empty());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse(
+            "SELECT X.a FROM t AS (X) WHERE X.a < 1 + 2 * 3 AND X.b = 0 OR X.c = 1",
+        )
+        .unwrap();
+        assert_eq!(
+            q.where_clause.unwrap().to_string(),
+            "(((X.a < (1 + (2 * 3))) AND (X.b = 0)) OR (X.c = 1))"
+        );
+    }
+
+    #[test]
+    fn not_and_parens() {
+        let q = parse("SELECT X.a FROM t AS (X) WHERE NOT (X.a = 1 OR X.a = 2)").unwrap();
+        assert_eq!(
+            q.where_clause.unwrap().to_string(),
+            "(NOT ((X.a = 1) OR (X.a = 2)))"
+        );
+    }
+
+    #[test]
+    fn between_sugar() {
+        let q = parse("SELECT X.a FROM t AS (X) WHERE X.price BETWEEN 40 AND 50").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Between { negated, .. } => assert!(!negated),
+            other => panic!("expected BETWEEN, got {other}"),
+        }
+        let q = parse("SELECT X.a FROM t AS (X) WHERE X.price NOT BETWEEN 40 AND 50").unwrap();
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let q = parse("SELECT X.a FROM t AS (X) WHERE X.a > -5").unwrap();
+        assert_eq!(q.where_clause.unwrap().to_string(), "(X.a > (-5))");
+    }
+
+    #[test]
+    fn number_literals_exact() {
+        let q = parse("SELECT X.a FROM t AS (X) WHERE X.a = 1.15").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary { rhs, .. } => match *rhs {
+                Expr::Number { value, .. } => assert_eq!(value, Rational::new(23, 20)),
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn date_literal() {
+        let q = parse("SELECT X.a FROM t AS (X) WHERE X.date > DATE '1999-01-25'").unwrap();
+        assert!(q.where_clause.unwrap().to_string().contains("DATE '1999-01-25'"));
+    }
+
+    #[test]
+    fn missing_pieces_are_errors() {
+        assert!(parse("SELECT FROM t AS (X)").is_err());
+        assert!(parse("SELECT X.a FROM t").is_err()); // no AS pattern
+        assert!(parse("SELECT X.a FROM t AS ()").is_err());
+        assert!(parse("SELECT X.a FROM t AS (X) WHERE").is_err());
+        assert!(parse("SELECT X.a FROM t AS (X) trailing").is_err());
+        assert!(parse("SELECT X FROM t AS (X)").is_err()); // bare var is not an expression
+    }
+
+    #[test]
+    fn errors_have_useful_spans() {
+        let src = "SELECT X.a FROM t AS (X) WHERE X.a <";
+        let err = parse(src).unwrap_err();
+        assert!(err.span.start >= src.len() - 1);
+        assert!(err.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn semicolon_allowed() {
+        assert!(parse("SELECT X.a FROM t AS (X);").is_ok());
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert!(parse("SELECT X.a FROM select AS (X)").is_err());
+    }
+
+    #[test]
+    fn multiple_cluster_and_sequence_columns() {
+        let q = parse(
+            "SELECT X.a FROM t CLUSTER BY name, exchange SEQUENCE BY date, seq AS (X)",
+        )
+        .unwrap();
+        assert_eq!(q.cluster_by, vec!["name", "exchange"]);
+        assert_eq!(q.sequence_by, vec!["date", "seq"]);
+    }
+}

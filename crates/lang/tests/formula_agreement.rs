@@ -1,0 +1,127 @@
+//! The binder produces two views of each element predicate: a
+//! runtime-evaluable `BoolExpr` and a solver-facing `Formula`.  The OPS
+//! optimizer's soundness rests on the two agreeing — an implication proven
+//! over the formulas must hold for the predicates the engines actually
+//! evaluate.  This test cross-checks them on randomized tuples.
+//!
+//! Constants are chosen binary-exact (halves/quarters) so the runtime's
+//! f64 arithmetic matches the solver's exact rationals bit-for-bit.
+
+use proptest::prelude::*;
+use sqlts_constraints::Var;
+use sqlts_lang::{compile, Bindings, CompileOptions, EvalCtx, FirstTuplePolicy};
+use sqlts_rational::Rational;
+use sqlts_relation::{ColumnType, Date, Schema, Table, Value};
+use sqlts_tvl::Truth;
+
+fn schema() -> Schema {
+    Schema::new([
+        ("name", ColumnType::Str),
+        ("date", ColumnType::Date),
+        ("price", ColumnType::Float),
+    ])
+    .unwrap()
+}
+
+/// Queries with a single pattern element whose predicate is purely local
+/// and purely numeric (so the formula is exactly evaluable).
+const QUERIES: &[&str] = &[
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE X.price < X.previous.price",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE X.price > 4 AND X.price < 9",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE X.price BETWEEN 3 AND 7",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE X.price NOT BETWEEN 3 AND 7",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE X.price < 0.5 * X.previous.price",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE X.price >= 0.25 * X.previous.price + 2",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) \
+     WHERE X.price / 2 < X.previous.price - 1",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) \
+     WHERE X.price < 5 OR X.price > 10",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) \
+     WHERE NOT (X.price = 6 OR X.price > 11)",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) \
+     WHERE X.price <> X.previous.price AND X.price <= 12",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) \
+     WHERE X.price - X.previous.price > 1 AND X.price * 2 < 30",
+    "SELECT X.date FROM t SEQUENCE BY date AS (X) \
+     WHERE -X.price < -3",
+];
+
+/// Evaluate a formula under the tuple assignment: var id encodes
+/// (previous-depth << 20 | column); column 2 is `price`.
+fn formula_holds(formula: &sqlts_constraints::Formula, cur: i64, prev: i64) -> bool {
+    let assign = |v: Var| {
+        let depth = v.0 >> 20;
+        let col = v.0 & ((1 << 20) - 1);
+        assert_eq!(col, 2, "only the price column appears in these queries");
+        Rational::from(if depth == 0 { cur } else { prev })
+    };
+    formula
+        .disjuncts()
+        .iter()
+        .any(|d| d.eval_assignment(assign).expect("numeric-only formulas"))
+}
+
+fn two_row_table(prev: i64, cur: i64) -> Table {
+    let mut t = Table::new(schema());
+    for (i, p) in [(0, prev), (1, cur)] {
+        t.push_row(vec![
+            Value::from("T"),
+            Value::Date(Date::from_days(i)),
+            Value::from(p as f64),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    #[test]
+    fn formula_and_runtime_agree(
+        qi in 0usize..QUERIES.len(),
+        cur in 0i64..16,
+        prev in 0i64..16,
+    ) {
+        let q = compile(QUERIES[qi], &schema(), &CompileOptions::default()).unwrap();
+        let element = &q.elements[0];
+        prop_assert!(element.purely_local());
+
+        let table = two_row_table(prev, cur);
+        let clusters = table.cluster_by(&[], &["date"]).unwrap();
+        let ctx = EvalCtx {
+            cluster: &clusters[0],
+            policy: FirstTuplePolicy::Fail,
+        };
+        let bindings = Bindings::default();
+        // Evaluate at position 1 so `previous` resolves.
+        let runtime: bool = element
+            .conjuncts
+            .iter()
+            .all(|c| sqlts_lang::eval_conjunct(c, &ctx, 1, &bindings));
+        let formula = formula_holds(&element.formula, cur, prev);
+        prop_assert_eq!(
+            runtime, formula,
+            "query {} on cur={}, prev={}: runtime={}, formula={}",
+            QUERIES[qi], cur, prev, runtime, formula
+        );
+    }
+}
+
+#[test]
+fn tautologies_and_contradictions_fold() {
+    // `1 < 2` folds to a satisfiable TRUE formula, `2 < 1` to FALSE.
+    let t = compile(
+        "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE 1 < 2",
+        &schema(),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(t.elements[0].formula.satisfiability(), Truth::True);
+    let f = compile(
+        "SELECT X.date FROM t SEQUENCE BY date AS (X) WHERE 2 < 1",
+        &schema(),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(f.elements[0].formula.satisfiability(), Truth::False);
+}

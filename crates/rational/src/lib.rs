@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Exact rational arithmetic for the SQL-TS constraint solver.
+//!
+//! The optimizer's implication and satisfiability tests (the GSW procedure
+//! of §6 of the paper) must be *sound*: a wrong answer makes the optimized
+//! search skip over real matches.  Query constants such as `1.15` or `0.98`
+//! are not representable exactly in binary floating point, so the solver
+//! works over exact rationals instead.
+//!
+//! [`Rational`] is a normalized fraction of two `i128`s.  The numerators and
+//! denominators that arise in practice come from query literals and a few
+//! additions/comparisons between them, so `i128` headroom is ample; all
+//! arithmetic is checked and panics on overflow rather than silently wrapping
+//! (a panic during query *compilation* is recoverable, a wrong θ entry is not).
+
+mod rational;
+
+pub use rational::{ParseRationalError, Rational};

@@ -1,0 +1,496 @@
+//! The [`Rational`] number type.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`, always normalized so that
+/// `den > 0` and `gcd(|num|, den) == 1`.
+///
+/// ```
+/// use sqlts_rational::Rational;
+/// let a: Rational = "1.15".parse().unwrap();
+/// assert_eq!(a, Rational::new(23, 20));
+/// assert_eq!(a * Rational::from(100), Rational::from(115));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128, // invariant: den > 0, gcd(|num|, den) == 1
+}
+
+/// Error returned when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    input: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "Rational denominator must be nonzero");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// Construct from an integer.
+    pub const fn from_int(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator of the normalized fraction.
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The (positive) denominator of the normalized fraction.
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "division by zero Rational");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Lossy conversion to `f64` (for display and workload generation only;
+    /// never used inside the solver).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact conversion from an `f64` that carries a short decimal value
+    /// (e.g. CSV data).  The value is rounded to 9 decimal digits, which is
+    /// exact for every literal a query or generated price series produces.
+    pub fn from_f64_lossy(x: f64) -> Rational {
+        assert!(x.is_finite(), "cannot convert non-finite float to Rational");
+        const SCALE: i128 = 1_000_000_000;
+        let scaled = (x * SCALE as f64).round();
+        assert!(
+            scaled.abs() < (i64::MAX as f64),
+            "float magnitude too large for exact conversion: {x}"
+        );
+        Rational::new(scaled as i128, SCALE)
+    }
+
+    fn checked_op(self, rhs: Rational, f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>) -> Rational {
+        let (n, d) = f(self.num, self.den, rhs.num, rhs.den)
+            .expect("Rational arithmetic overflow (query constants too large)");
+        Rational::new(n, d)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Rational {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Rational {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_op(rhs, |an, ad, bn, bd| {
+            let n = an.checked_mul(bd)?.checked_add(bn.checked_mul(ad)?)?;
+            let d = ad.checked_mul(bd)?;
+            Some((n, d))
+        })
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let an = self.num / g1;
+        let bd = rhs.den / g1;
+        let bn = rhs.num / g2;
+        let ad = self.den / g2;
+        Rational::new(
+            an.checked_mul(bn)
+                .expect("Rational multiplication overflow"),
+            ad.checked_mul(bd)
+                .expect("Rational multiplication overflow"),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    // Division via multiplication by the reciprocal is deliberate.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("Rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("Rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parse decimal literals (`"42"`, `"-3.25"`, `"1.15"`) and fraction
+    /// literals (`"23/20"`).
+    fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
+        let err = || ParseRationalError {
+            input: s.to_string(),
+        };
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n.trim().parse().map_err(|_| err())?;
+            let d: i128 = d.trim().parse().map_err(|_| err())?;
+            if d == 0 {
+                return Err(err());
+            }
+            return Ok(Rational::new(n, d));
+        }
+        let (sign, body) = match s.strip_prefix('-') {
+            Some(rest) => (-1i128, rest),
+            None => (1i128, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit() || b == b'.') {
+            return Err(err());
+        }
+        match body.split_once('.') {
+            None => {
+                let n: i128 = body.parse().map_err(|_| err())?;
+                Ok(Rational::from_int(sign * n))
+            }
+            Some((int_part, frac_part)) => {
+                if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(err());
+                }
+                if frac_part.len() > 30 {
+                    return Err(err());
+                }
+                let int_part: i128 = if int_part.is_empty() {
+                    0
+                } else {
+                    int_part.parse().map_err(|_| err())?
+                };
+                let frac: i128 = frac_part.parse().map_err(|_| err())?;
+                let scale = 10i128
+                    .checked_pow(frac_part.len() as u32)
+                    .ok_or_else(err)?;
+                let num = int_part
+                    .checked_mul(scale)
+                    .and_then(|v| v.checked_add(frac))
+                    .ok_or_else(err)?;
+                Ok(Rational::new(sign * num, scale))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+        assert_eq!(Rational::new(6, 3).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+        assert_eq!(a.recip(), Rational::from(2));
+    }
+
+    #[test]
+    fn ordering() {
+        let vals = [
+            Rational::new(-3, 2),
+            Rational::new(-1, 3),
+            Rational::ZERO,
+            Rational::new(1, 3),
+            Rational::new(23, 20),
+            Rational::from(2),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn parse_decimals() {
+        assert_eq!("1.15".parse::<Rational>().unwrap(), Rational::new(23, 20));
+        assert_eq!("0.98".parse::<Rational>().unwrap(), Rational::new(49, 50));
+        assert_eq!("-3.25".parse::<Rational>().unwrap(), Rational::new(-13, 4));
+        assert_eq!("42".parse::<Rational>().unwrap(), Rational::from(42));
+        assert_eq!("+7".parse::<Rational>().unwrap(), Rational::from(7));
+        assert_eq!(".5".parse::<Rational>().unwrap(), Rational::new(1, 2));
+        assert_eq!("23/20".parse::<Rational>().unwrap(), Rational::new(23, 20));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "abc", "1.2.3", "1.", "1/0", "--2", "1e5"] {
+            assert!(bad.parse::<Rational>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn float_round_trips() {
+        assert_eq!(Rational::from_f64_lossy(1.15).to_f64(), 1.15);
+        assert_eq!(Rational::from_f64_lossy(-0.5), Rational::new(-1, 2));
+        assert_eq!(Rational::from_f64_lossy(0.0), Rational::ZERO);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::ZERO.is_zero());
+        assert!(Rational::ONE.is_positive());
+        assert!((-Rational::ONE).is_negative());
+        assert!(Rational::from(5).is_integer());
+        assert!(!Rational::new(1, 2).is_integer());
+        assert_eq!(Rational::new(-3, 4).abs(), Rational::new(3, 4));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Rational::ONE;
+        x += Rational::new(1, 2);
+        assert_eq!(x, Rational::new(3, 2));
+        x -= Rational::ONE;
+        assert_eq!(x, Rational::new(1, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(23, 20).to_string(), "23/20");
+        assert_eq!(Rational::from(7).to_string(), "7");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn rational() -> impl Strategy<Value = Rational> {
+            (-10_000i128..10_000, 1i128..1_000).prop_map(|(n, d)| Rational::new(n, d))
+        }
+
+        proptest! {
+            #[test]
+            fn add_commutative(a in rational(), b in rational()) {
+                prop_assert_eq!(a + b, b + a);
+            }
+
+            #[test]
+            fn add_associative(a in rational(), b in rational(), c in rational()) {
+                prop_assert_eq!((a + b) + c, a + (b + c));
+            }
+
+            #[test]
+            fn mul_distributes(a in rational(), b in rational(), c in rational()) {
+                prop_assert_eq!(a * (b + c), a * b + a * c);
+            }
+
+            #[test]
+            fn sub_inverse(a in rational(), b in rational()) {
+                prop_assert_eq!((a + b) - b, a);
+            }
+
+            #[test]
+            fn ordering_consistent_with_f64(a in rational(), b in rational()) {
+                // f64 has 53 bits; our test range keeps values exactly comparable.
+                let (fa, fb) = (a.to_f64(), b.to_f64());
+                if fa < fb { prop_assert!(a < b); }
+                if fa > fb { prop_assert!(a > b); }
+            }
+
+            #[test]
+            fn normalized_invariant(a in rational(), b in rational()) {
+                let c = a * b;
+                prop_assert!(c.denom() > 0);
+                let g = super::super::gcd(c.numer(), c.denom());
+                prop_assert!(g == 1 || c.numer() == 0);
+            }
+
+            #[test]
+            fn division_inverts_multiplication(a in rational(), b in rational()) {
+                if !b.is_zero() {
+                    prop_assert_eq!((a * b) / b, a);
+                    prop_assert_eq!((a / b) * b, a);
+                }
+            }
+
+            #[test]
+            fn recip_is_involution(a in rational()) {
+                if !a.is_zero() {
+                    prop_assert_eq!(a.recip().recip(), a);
+                    prop_assert_eq!(a * a.recip(), Rational::ONE);
+                }
+            }
+
+            #[test]
+            fn abs_and_neg(a in rational()) {
+                prop_assert_eq!((-a).abs(), a.abs());
+                prop_assert_eq!(a + (-a), Rational::ZERO);
+                prop_assert!(a.abs() >= a);
+            }
+
+            #[test]
+            fn parse_display_round_trip(a in rational()) {
+                let s = a.to_string();
+                prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+            }
+        }
+    }
+}

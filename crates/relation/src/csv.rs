@@ -1,0 +1,339 @@
+//! CSV import/export for [`Table`].
+//!
+//! A deliberately small dialect: comma-separated, one header line, optional
+//! double-quoting with `""` escapes.  This is all the workload files and
+//! examples need; it is not a general-purpose CSV library.
+
+use crate::table::{Schema, Table, TableError};
+use crate::value::{ColumnType, Value};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors raised by CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A header column is missing from the file.
+    MissingColumn(String),
+    /// A cell failed to parse as its column's type.
+    Parse {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending cell text.
+        value: String,
+        /// The type it should have parsed as.
+        expected: ColumnType,
+    },
+    /// A data line has the wrong number of fields.
+    Arity {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Header field count.
+        expected: usize,
+        /// Fields found on the line.
+        got: usize,
+    },
+    /// Schema/row validation failure.
+    Table(TableError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::MissingColumn(c) => write!(f, "CSV header is missing column {c:?}"),
+            CsvError::Parse {
+                line,
+                column,
+                value,
+                expected,
+            } => write!(
+                f,
+                "line {line}: cannot parse {value:?} as {expected} for column {column:?}"
+            ),
+            CsvError::Arity {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} fields, found {got}"),
+            CsvError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> CsvError {
+        CsvError::Io(e)
+    }
+}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> CsvError {
+        CsvError::Table(e)
+    }
+}
+
+/// Split one CSV line into fields, honouring double quotes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn parse_cell(raw: &str, ty: ColumnType, line: usize, column: &str) -> Result<Value, CsvError> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    let err = || CsvError::Parse {
+        line,
+        column: column.to_string(),
+        value: raw.to_string(),
+        expected: ty,
+    };
+    match ty {
+        ColumnType::Int => raw.parse::<i64>().map(Value::Int).map_err(|_| err()),
+        ColumnType::Float => {
+            let v: f64 = raw.parse().map_err(|_| err())?;
+            if v.is_nan() {
+                Err(err())
+            } else {
+                Ok(Value::Float(v))
+            }
+        }
+        ColumnType::Str => Ok(Value::Str(raw.to_string())),
+        ColumnType::Date => raw.parse().map(Value::Date).map_err(|_| err()),
+    }
+}
+
+impl Table {
+    /// Read a CSV with a header line into a table with the given schema.
+    ///
+    /// Columns are matched by (case-insensitive) header name, so the file's
+    /// column order need not match the schema's; extra file columns are
+    /// ignored.
+    pub fn from_csv<R: Read>(schema: Schema, reader: R) -> Result<Table, CsvError> {
+        let mut lines = BufReader::new(reader).lines();
+        let header = match lines.next() {
+            Some(h) => h?,
+            None => return Ok(Table::new(schema)),
+        };
+        let header_fields = split_line(header.trim_end_matches('\r'));
+        // For each schema column, the index of the matching file field.
+        let mut mapping = Vec::with_capacity(schema.arity());
+        for col in schema.columns() {
+            let idx = header_fields
+                .iter()
+                .position(|h| h.trim().eq_ignore_ascii_case(&col.name))
+                .ok_or_else(|| CsvError::MissingColumn(col.name.clone()))?;
+            mapping.push(idx);
+        }
+
+        let mut table = Table::new(schema);
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let fields = split_line(line);
+            if fields.len() < header_fields.len() {
+                return Err(CsvError::Arity {
+                    line: lineno + 2,
+                    expected: header_fields.len(),
+                    got: fields.len(),
+                });
+            }
+            let row: Vec<Value> = mapping
+                .iter()
+                .zip(table.schema().columns().to_vec())
+                .map(|(&fi, col)| parse_cell(&fields[fi], col.ty, lineno + 2, &col.name))
+                .collect::<Result<_, _>>()?;
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+
+    /// Parse a CSV from a string.
+    pub fn from_csv_str(schema: Schema, data: &str) -> Result<Table, CsvError> {
+        Table::from_csv(schema, data.as_bytes())
+    }
+
+    /// Read a CSV file from disk.
+    pub fn from_csv_path(schema: Schema, path: &std::path::Path) -> Result<Table, CsvError> {
+        Table::from_csv(schema, std::fs::File::open(path)?)
+    }
+
+    /// Write the table as CSV (header + rows).
+    pub fn to_csv<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = io::BufWriter::new(writer);
+        let header: Vec<String> = self
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| quote_field(&c.name))
+            .collect();
+        writeln!(w, "{}", header.join(","))?;
+        for row in self.rows() {
+            let fields: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    other => quote_field(&other.to_string()),
+                })
+                .collect();
+            writeln!(w, "{}", fields.join(","))?;
+        }
+        w.flush()
+    }
+
+    /// Render the table as a CSV string.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = Vec::new();
+        self.to_csv(&mut out).expect("writing to Vec cannot fail");
+        String::from_utf8(out).expect("CSV output is UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+
+    fn quote_schema() -> Schema {
+        Schema::new([
+            ("name", ColumnType::Str),
+            ("date", ColumnType::Date),
+            ("price", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    const SAMPLE: &str = "\
+name,date,price
+INTC,1999-01-25,60
+INTC,1999-01-26,63.5
+IBM,1999-01-25,81
+";
+
+    #[test]
+    fn round_trip() {
+        let t = Table::from_csv_str(quote_schema(), SAMPLE).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cell(0, 0), &Value::from("INTC"));
+        assert_eq!(t.cell(1, 2), &Value::from(63.5));
+        assert_eq!(
+            t.cell(2, 1),
+            &Value::Date(Date::from_ymd(1999, 1, 25))
+        );
+        let rendered = t.to_csv_string();
+        let t2 = Table::from_csv_str(quote_schema(), &rendered).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.rows().zip(t2.rows()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn header_order_is_flexible_and_extras_ignored() {
+        let data = "price,extra,name,date\n42.5,zzz,IBM,1999-01-25\n";
+        let t = Table::from_csv_str(quote_schema(), data).unwrap();
+        assert_eq!(t.cell(0, 0), &Value::from("IBM"));
+        assert_eq!(t.cell(0, 2), &Value::from(42.5));
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let data = "name,date\nIBM,1999-01-25\n";
+        assert!(matches!(
+            Table::from_csv_str(quote_schema(), data),
+            Err(CsvError::MissingColumn(c)) if c == "price"
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let data = "name,date,price\nIBM,1999-01-25,not-a-number\n";
+        match Table::from_csv_str(quote_schema(), data) {
+            Err(CsvError::Parse { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "price");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let data = "name,date,price\nIBM,1999-01-25,\n";
+        let t = Table::from_csv_str(quote_schema(), data).unwrap();
+        assert!(t.cell(0, 2).is_null());
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let schema = Schema::new([("a", ColumnType::Str), ("b", ColumnType::Int)]).unwrap();
+        let data = "a,b\n\"hello, \"\"world\"\"\",7\n";
+        let t = Table::from_csv_str(schema, data).unwrap();
+        assert_eq!(t.cell(0, 0), &Value::from("hello, \"world\""));
+        let rendered = t.to_csv_string();
+        assert!(rendered.contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = Table::from_csv_str(quote_schema(), "").unwrap();
+        assert!(t.is_empty());
+        let t2 = Table::from_csv_str(quote_schema(), "name,date,price\n").unwrap();
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let data = "name,date,price\r\nIBM,1999-01-25,81\r\n\r\n";
+        let t = Table::from_csv_str(quote_schema(), data).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let data = "name,date,price\nIBM,1999-01-25\n";
+        assert!(matches!(
+            Table::from_csv_str(quote_schema(), data),
+            Err(CsvError::Arity { line: 2, .. })
+        ));
+    }
+}

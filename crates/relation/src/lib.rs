@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! A minimal in-memory relational substrate for SQL-TS.
+//!
+//! The paper (§2) views *sorted relations as sequences*: rows are grouped
+//! by the `CLUSTER BY` attributes (each group processed as a separate
+//! stream) and ordered within each group by the `SEQUENCE BY` attributes.
+//! This crate provides exactly the storage and partitioning machinery that
+//! view needs — nothing more:
+//!
+//! * [`Value`], [`ColumnType`] — a small dynamic value model (integers,
+//!   floats, strings, dates, null);
+//! * [`Date`] — a proleptic-Gregorian calendar date stored as a day number,
+//!   so `SEQUENCE BY date` is a plain integer sort;
+//! * [`Schema`], [`Table`] — row-oriented tables with schema validation;
+//! * CSV import/export (the DJIA workloads and the examples ship as CSV);
+//! * [`Table::cluster_by`] — the `CLUSTER BY` + `SEQUENCE BY` pipeline,
+//!   producing [`Cluster`] views whose row order is the stream order the
+//!   pattern engines consume.
+
+mod csv;
+mod date;
+mod table;
+mod value;
+
+pub use csv::CsvError;
+pub use date::Date;
+pub use table::{Cluster, Column, Schema, Table, TableError};
+pub use value::{ColumnType, Value};

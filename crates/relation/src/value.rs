@@ -1,0 +1,260 @@
+//! [`Value`] — the dynamic cell type — and [`ColumnType`].
+
+use crate::date::Date;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The declared type of a table column.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (prices, index levels).
+    Float,
+    /// UTF-8 string (symbols, names).
+    Str,
+    /// Calendar date.
+    Date,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Str => "VARCHAR",
+            ColumnType::Date => "DATE",
+        })
+    }
+}
+
+/// A single cell value.
+///
+/// Numeric comparisons treat `Int` and `Float` as one numeric domain
+/// (`Value::Int(10)` equals `Value::Float(10.0)`), matching SQL semantics.
+/// `Null` compares less than everything, so sorting is total.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// An integer.
+    Int(i64),
+    /// A float. Must not be NaN (the constructors in this crate never
+    /// produce one; CSV import rejects them).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A date.
+    Date(Date),
+}
+
+impl Value {
+    /// The column type this value inhabits, or `None` for NULL.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Float(_) => Some(ColumnType::Float),
+            Value::Str(_) => Some(ColumnType::Str),
+            Value::Date(_) => Some(ColumnType::Date),
+        }
+    }
+
+    /// Numeric view (ints widen to float), or `None` for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Date view.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` iff this value can be stored in a column of type `ty`
+    /// (NULL fits everywhere; ints fit float columns).
+    #[allow(clippy::match_like_matches_macro)] // table form reads better
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), ColumnType::Int | ColumnType::Float) => true,
+            (Value::Float(_), ColumnType::Float) => true,
+            (Value::Str(_), ColumnType::Str) => true,
+            (Value::Date(_), ColumnType::Date) => true,
+            _ => false,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+            Value::Date(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b)
+        .expect("NaN values are rejected at construction")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                // Render integral floats without the trailing ".0" noise
+                // except to keep the type visible in debug contexts.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        assert!(!v.is_nan(), "NaN cannot be stored in a Value");
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Value {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(10), Value::Float(10.0));
+        assert!(Value::Int(10) < Value::Float(10.5));
+        assert!(Value::Float(9.5) < Value::Int(10));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(1), Value::Null, Value::Int(-5)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn fits_matrix() {
+        assert!(Value::Int(1).fits(ColumnType::Float));
+        assert!(Value::Int(1).fits(ColumnType::Int));
+        assert!(!Value::Float(1.5).fits(ColumnType::Int));
+        assert!(Value::Null.fits(ColumnType::Str));
+        assert!(!Value::Str("x".into()).fits(ColumnType::Date));
+        assert!(Value::Date(Date::from_days(0)).fits(ColumnType::Date));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("IBM".into()).as_str(), Some("IBM"));
+        assert_eq!(Value::Null.as_f64(), None);
+        let d = Date::from_ymd(1999, 1, 25);
+        assert_eq!(Value::Date(d).as_date(), Some(d));
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let _ = Value::from(f64::NAN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(60).to_string(), "60");
+        assert_eq!(Value::Float(63.5).to_string(), "63.5");
+        assert_eq!(Value::Float(84.0).to_string(), "84.0");
+        assert_eq!(Value::Str("INTC".into()).to_string(), "INTC");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::Str("IBM".into()) < Value::Str("INTC".into()));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Kleene three-valued logic and triangular matrix containers.
+//!
+//! The OPS optimizer of Sadri & Zaniolo (PODS 2001) reasons about the
+//! pairwise logical relationships between pattern predicates using a
+//! three-valued logic: a relationship either certainly holds (`True`),
+//! certainly does not hold (`False`), or is unknown (`Unknown`, written `U`
+//! in the paper).  The compile-time artifacts θ, φ and S are
+//! lower-triangular matrices over this logic.
+//!
+//! This crate provides:
+//! * [`Truth`] — the three-valued truth type with Kleene conjunction,
+//!   disjunction and negation;
+//! * [`TriMatrix`] — a dense lower-triangular matrix (diagonal included)
+//!   used for θ and φ;
+//! * [`StrictTriMatrix`] — a strictly lower-triangular matrix (diagonal
+//!   excluded) used for the whole-pattern shift matrix S.
+
+mod truth;
+mod trimatrix;
+
+pub use trimatrix::{StrictTriMatrix, TriMatrix};
+pub use truth::Truth;

@@ -1,0 +1,270 @@
+//! Lower-triangular matrix containers for the optimizer's θ, φ and S.
+//!
+//! The paper indexes matrices 1-based (`θ_{jk}` with `j ≥ k ≥ 1`).  These
+//! containers keep that convention: all public accessors take 1-based
+//! `(row, col)` pairs, which keeps the code next to the paper's formulas
+//! readable and avoids a forest of `- 1` adjustments at call sites.
+
+use crate::Truth;
+use std::fmt;
+
+/// A dense lower-triangular matrix **including** the main diagonal.
+///
+/// Used for θ and φ, whose entries `θ_{jk}` are defined for `j ≥ k`.
+/// Indices are 1-based, matching the paper.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TriMatrix {
+    n: usize,
+    data: Vec<Truth>,
+}
+
+impl TriMatrix {
+    /// A new `n × n` lower-triangular matrix filled with `fill`.
+    pub fn filled(n: usize, fill: Truth) -> Self {
+        TriMatrix {
+            n,
+            data: vec![fill; n * (n + 1) / 2],
+        }
+    }
+
+    /// A new matrix with every entry `Unknown` — the sound default for the
+    /// optimizer (an all-`U` θ/φ degenerates OPS to the naive search).
+    pub fn unknown(n: usize) -> Self {
+        Self::filled(n, Truth::Unknown)
+    }
+
+    /// Matrix dimension (the pattern length `m`).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(
+            1 <= col && col <= row && row <= self.n,
+            "TriMatrix index ({row},{col}) out of range for dim {}",
+            self.n
+        );
+        row * (row - 1) / 2 + (col - 1)
+    }
+
+    /// Entry `(row, col)` with `1 ≤ col ≤ row ≤ dim()` (1-based).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Truth {
+        self.data[self.index(row, col)]
+    }
+
+    /// Set entry `(row, col)` (1-based).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Truth) {
+        let i = self.index(row, col);
+        self.data[i] = value;
+    }
+
+    /// Iterate over `(row, col, value)` for every defined entry.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, Truth)> + '_ {
+        (1..=self.n).flat_map(move |row| (1..=row).map(move |col| (row, col, self.get(row, col))))
+    }
+
+    /// Build from rows given as slices (`rows[j-1]` must have length `j`).
+    ///
+    /// Handy for transcribing the paper's worked matrices in tests.
+    pub fn from_rows(rows: &[&[Truth]]) -> Self {
+        let n = rows.len();
+        let mut m = TriMatrix::unknown(n);
+        for (j, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), j + 1, "row {} must have {} entries", j + 1, j + 1);
+            for (k, &v) in row.iter().enumerate() {
+                m.set(j + 1, k + 1, v);
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Debug for TriMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in 1..=self.n {
+            for col in 1..=row {
+                if col > 1 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.get(row, col))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TriMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A dense lower-triangular matrix **excluding** the main diagonal.
+///
+/// Used for the whole-pattern shift matrix `S`, whose entries `S_{jk}` are
+/// defined only for `j > k`.  Indices are 1-based.
+#[derive(Clone, PartialEq, Eq)]
+pub struct StrictTriMatrix {
+    n: usize,
+    data: Vec<Truth>,
+}
+
+impl StrictTriMatrix {
+    /// A new `n × n` strictly-lower-triangular matrix filled with `fill`.
+    pub fn filled(n: usize, fill: Truth) -> Self {
+        StrictTriMatrix {
+            n,
+            data: vec![fill; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// A new matrix with every entry `Unknown`.
+    pub fn unknown(n: usize) -> Self {
+        Self::filled(n, Truth::Unknown)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(
+            1 <= col && col < row && row <= self.n,
+            "StrictTriMatrix index ({row},{col}) out of range for dim {}",
+            self.n
+        );
+        (row - 1) * (row - 2) / 2 + (col - 1)
+    }
+
+    /// Entry `(row, col)` with `1 ≤ col < row ≤ dim()` (1-based).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Truth {
+        self.data[self.index(row, col)]
+    }
+
+    /// Set entry `(row, col)` (1-based).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Truth) {
+        let i = self.index(row, col);
+        self.data[i] = value;
+    }
+
+    /// Iterate over `(row, col, value)` for every defined entry.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, Truth)> + '_ {
+        (2..=self.n)
+            .flat_map(move |row| (1..row).map(move |col| (row, col, self.get(row, col))))
+    }
+}
+
+impl fmt::Debug for StrictTriMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in 2..=self.n {
+            for col in 1..row {
+                if col > 1 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.get(row, col))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StrictTriMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::*;
+
+    #[test]
+    fn tri_matrix_get_set_round_trip() {
+        let mut m = TriMatrix::unknown(4);
+        assert_eq!(m.dim(), 4);
+        for j in 1..=4 {
+            for k in 1..=j {
+                assert_eq!(m.get(j, k), Unknown);
+            }
+        }
+        m.set(3, 2, True);
+        m.set(4, 1, False);
+        assert_eq!(m.get(3, 2), True);
+        assert_eq!(m.get(4, 1), False);
+        assert_eq!(m.get(3, 1), Unknown);
+    }
+
+    #[test]
+    fn tri_matrix_entry_count() {
+        let m = TriMatrix::unknown(5);
+        assert_eq!(m.entries().count(), 15);
+    }
+
+    #[test]
+    fn tri_matrix_from_rows_matches_paper_example5_theta() {
+        // θ from Example 5 of the paper.
+        let theta = TriMatrix::from_rows(&[
+            &[True],
+            &[True, True],
+            &[False, False, True],
+            &[False, False, Unknown, True],
+        ]);
+        assert_eq!(theta.get(2, 1), True);
+        assert_eq!(theta.get(3, 1), False);
+        assert_eq!(theta.get(4, 3), Unknown);
+        assert_eq!(theta.get(4, 4), True);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tri_matrix_from_rows_rejects_bad_row_length() {
+        TriMatrix::from_rows(&[&[True], &[True]]);
+    }
+
+    #[test]
+    fn strict_matrix_get_set() {
+        let mut s = StrictTriMatrix::unknown(4);
+        assert_eq!(s.entries().count(), 6);
+        s.set(4, 1, False);
+        s.set(4, 2, False);
+        s.set(4, 3, Unknown);
+        assert_eq!(s.get(4, 1), False);
+        assert_eq!(s.get(4, 3), Unknown);
+        assert_eq!(s.get(2, 1), Unknown);
+    }
+
+    #[test]
+    fn strict_matrix_of_dim_one_is_empty() {
+        let s = StrictTriMatrix::unknown(1);
+        assert_eq!(s.entries().count(), 0);
+        let s0 = StrictTriMatrix::unknown(0);
+        assert_eq!(s0.entries().count(), 0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = TriMatrix::from_rows(&[&[True], &[Unknown, False]]);
+        assert_eq!(m.to_string(), "1\nU 0\n");
+        let mut s = StrictTriMatrix::unknown(3);
+        s.set(3, 1, True);
+        assert_eq!(s.to_string(), "U\n1 U\n");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic]
+    fn out_of_range_access_panics_in_debug() {
+        let m = TriMatrix::unknown(3);
+        let _ = m.get(2, 3);
+    }
+}

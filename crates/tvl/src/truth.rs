@@ -1,0 +1,293 @@
+//! The [`Truth`] type: Kleene strong three-valued logic.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not};
+
+/// A truth value in Kleene's strong three-valued logic.
+///
+/// The paper writes the three values as `1`, `0` and `U`.  `Unknown` is
+/// ordered between `False` and `True` so that conjunction is `min` and
+/// disjunction is `max`, exactly as in Kleene logic:
+///
+/// ```
+/// use sqlts_tvl::Truth;
+/// assert_eq!(Truth::Unknown & Truth::True, Truth::Unknown);
+/// assert_eq!(Truth::Unknown & Truth::False, Truth::False);
+/// assert_eq!(!Truth::Unknown, Truth::Unknown);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Truth {
+    /// The relationship certainly does not hold (`0` in the paper).
+    False,
+    /// The relationship may or may not hold (`U` in the paper).
+    #[default]
+    Unknown,
+    /// The relationship certainly holds (`1` in the paper).
+    True,
+}
+
+impl Truth {
+    /// All three values, useful for exhaustive tests.
+    pub const ALL: [Truth; 3] = [Truth::False, Truth::Unknown, Truth::True];
+
+    /// `true` iff this is [`Truth::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// `true` iff this is [`Truth::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+
+    /// `true` iff this is [`Truth::Unknown`].
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+
+    /// `true` iff this is *not* [`Truth::False`] — the paper's frequent
+    /// test `S_jk ≠ 0`.
+    #[inline]
+    pub fn is_possible(self) -> bool {
+        self != Truth::False
+    }
+
+    /// Lift a Boolean into the logic.
+    #[inline]
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Kleene conjunction over an iterator; `True` for an empty iterator.
+    pub fn conjunction<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::True, |a, b| a & b)
+    }
+
+    /// Kleene disjunction over an iterator; `False` for an empty iterator.
+    pub fn disjunction<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::False, |a, b| a | b)
+    }
+
+    /// Kleene implication `¬a ∨ b`.
+    #[inline]
+    pub fn implies(self, other: Truth) -> Truth {
+        !self | other
+    }
+
+    /// The paper's compact rendering: `1`, `0` or `U`.
+    pub fn symbol(self) -> char {
+        match self {
+            Truth::True => '1',
+            Truth::False => '0',
+            Truth::Unknown => 'U',
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Truth {
+        Truth::from_bool(b)
+    }
+}
+
+impl Not for Truth {
+    type Output = Truth;
+    #[inline]
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+impl BitAnd for Truth {
+    type Output = Truth;
+    #[inline]
+    fn bitand(self, rhs: Truth) -> Truth {
+        self.min(rhs)
+    }
+}
+
+impl BitOr for Truth {
+    type Output = Truth;
+    #[inline]
+    fn bitor(self, rhs: Truth) -> Truth {
+        self.max(rhs)
+    }
+}
+
+impl BitAndAssign for Truth {
+    fn bitand_assign(&mut self, rhs: Truth) {
+        *self = *self & rhs;
+    }
+}
+
+impl BitOrAssign for Truth {
+    fn bitor_assign(&mut self, rhs: Truth) {
+        *self = *self | rhs;
+    }
+}
+
+impl fmt::Debug for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_involution() {
+        for t in Truth::ALL {
+            assert_eq!(!!t, t);
+        }
+    }
+
+    #[test]
+    fn conjunction_truth_table() {
+        use Truth::*;
+        assert_eq!(True & True, True);
+        assert_eq!(True & Unknown, Unknown);
+        assert_eq!(True & False, False);
+        assert_eq!(Unknown & Unknown, Unknown);
+        assert_eq!(Unknown & False, False);
+        assert_eq!(False & False, False);
+    }
+
+    #[test]
+    fn disjunction_truth_table() {
+        use Truth::*;
+        assert_eq!(True | False, True);
+        assert_eq!(Unknown | False, Unknown);
+        assert_eq!(Unknown | True, True);
+        assert_eq!(False | False, False);
+        assert_eq!(Unknown | Unknown, Unknown);
+    }
+
+    #[test]
+    fn paper_rules() {
+        // The paper (§4.2): ¬U = U, U ∧ 1 = U, U ∧ 0 = 0.
+        use Truth::*;
+        assert_eq!(!Unknown, Unknown);
+        assert_eq!(Unknown & True, Unknown);
+        assert_eq!(Unknown & False, False);
+    }
+
+    #[test]
+    fn de_morgan() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_and_commutativity() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                for c in Truth::ALL {
+                    assert_eq!((a & b) & c, a & (b & c));
+                    assert_eq!((a | b) | c, a | (b | c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folds() {
+        use Truth::*;
+        assert_eq!(Truth::conjunction([]), True);
+        assert_eq!(Truth::conjunction([True, Unknown]), Unknown);
+        assert_eq!(Truth::conjunction([True, Unknown, False]), False);
+        assert_eq!(Truth::disjunction([]), False);
+        assert_eq!(Truth::disjunction([False, Unknown]), Unknown);
+        assert_eq!(Truth::disjunction([False, True]), True);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Truth::from_bool(true), Truth::True);
+        assert_eq!(Truth::from(false), Truth::False);
+        assert!(Truth::True.is_true());
+        assert!(Truth::False.is_false());
+        assert!(Truth::Unknown.is_unknown());
+        assert!(Truth::Unknown.is_possible());
+        assert!(!Truth::False.is_possible());
+    }
+
+    #[test]
+    fn implication() {
+        use Truth::*;
+        assert_eq!(False.implies(False), True);
+        assert_eq!(True.implies(False), False);
+        assert_eq!(Unknown.implies(True), True);
+        assert_eq!(Unknown.implies(False), Unknown);
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(Truth::True.to_string(), "1");
+        assert_eq!(Truth::False.to_string(), "0");
+        assert_eq!(Truth::Unknown.to_string(), "U");
+        assert_eq!(format!("{:?}", Truth::Unknown), "U");
+    }
+
+    #[test]
+    fn kleene_monotonicity() {
+        // Conjunction/disjunction are monotone in the information order
+        // and bounded: a∧b ≤ a ≤ a∨b (using the truth order F < U < T).
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert!((a & b) <= a);
+                assert!(a <= (a | b));
+                // Idempotence and identity/annihilator laws.
+                assert_eq!(a & a, a);
+                assert_eq!(a | a, a);
+                assert_eq!(a & Truth::True, a);
+                assert_eq!(a | Truth::False, a);
+                assert_eq!(a & Truth::False, Truth::False);
+                assert_eq!(a | Truth::True, Truth::True);
+            }
+        }
+    }
+
+    #[test]
+    fn absorption_laws() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a & (a | b), a);
+                assert_eq!(a | (a & b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Truth::True;
+        t &= Truth::Unknown;
+        assert_eq!(t, Truth::Unknown);
+        t |= Truth::True;
+        assert_eq!(t, Truth::True);
+    }
+}

@@ -1,0 +1,42 @@
+//! Peek inside the optimizer: print the θ/φ matrices, the S matrix and
+//! the shift/next tables for the paper's worked examples (Examples 4–7
+//! and Example 9), exactly the artifacts the paper derives by hand.
+//!
+//! ```sh
+//! cargo run --example explain_optimizer
+//! ```
+
+use sqlts_core::{compile, explain, CompileOptions};
+
+const EXAMPLE4: &str = "\
+SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
+WHERE A.price < A.previous.price \
+AND B.price < B.previous.price AND B.price > 40 AND B.price < 50 \
+AND C.price > C.previous.price AND C.price < 52 \
+AND D.price > D.previous.price";
+
+const EXAMPLE9: &str = "\
+SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price \
+FROM quote CLUSTER BY name SEQUENCE BY date AS (*X, Y, *Z, *T, U, *V, S) \
+WHERE X.price > X.previous.price \
+AND 30 < Y.price AND Y.price < 40 \
+AND Z.price < Z.previous.price \
+AND T.price > T.previous.price \
+AND 35 < U.price AND U.price < 40 \
+AND V.price < V.previous.price \
+AND S.price < 30";
+
+fn main() {
+    let schema = sqlts_datagen::quote_schema();
+    let opts = CompileOptions::default();
+
+    println!("===== Example 4 (star-free; paper Examples 5-7) =====");
+    let q4 = compile(EXAMPLE4, &schema, &opts).expect("Example 4 compiles");
+    println!("{}", explain(&q4));
+    println!("paper: shift = [1, 1, 1, 3], next = [0, 1, 2, 1]\n");
+
+    println!("===== Example 9 (stars; paper Section 5.1) =====");
+    let q9 = compile(EXAMPLE9, &schema, &opts).expect("Example 9 compiles");
+    println!("{}", explain(&q9));
+    println!("paper: shift(6) = 3, next(6) = 1");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the paper's Example 1 on a small in-memory quote table.
+//!
+//! Finds stocks that went up by 15% or more one day, and then down by 20%
+//! or more the next day.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sqlts_core::{execute_query, EngineKind, ExecOptions};
+use sqlts_relation::{ColumnType, Schema, Table};
+
+fn main() {
+    // The paper's quote table: CREATE TABLE quote(name, date, price).
+    let schema = Schema::new([
+        ("name", ColumnType::Str),
+        ("date", ColumnType::Date),
+        ("price", ColumnType::Float),
+    ])
+    .expect("schema is valid");
+
+    let table = Table::from_csv_str(
+        schema,
+        "name,date,price\n\
+         INTC,1999-01-25,60\n\
+         INTC,1999-01-26,63.5\n\
+         INTC,1999-01-27,62\n\
+         IBM,1999-01-25,81\n\
+         IBM,1999-01-26,80.50\n\
+         IBM,1999-01-27,84\n\
+         ACME,1999-01-25,10\n\
+         ACME,1999-01-26,12\n\
+         ACME,1999-01-27,9\n",
+    )
+    .expect("CSV parses");
+
+    // Example 1 of the paper, verbatim.
+    let query = "SELECT X.name \
+                 FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+                 WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price";
+
+    let result = execute_query(
+        query,
+        &table,
+        &ExecOptions {
+            engine: EngineKind::Ops,
+            ..Default::default()
+        },
+    )
+    .expect("query executes");
+
+    println!("query: {query}\n");
+    print!("{}", result.table.to_csv_string());
+    println!("\n{}", result.stats);
+}

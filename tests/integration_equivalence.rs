@@ -1,0 +1,145 @@
+//! Integration: cross-crate randomized equivalence — the optimized
+//! engines must return exactly the matches of the naive reference on
+//! realistic generated workloads (larger and longer-running than the
+//! per-crate unit property tests).
+
+use sqlts_core::{execute_query, EngineKind, ExecOptions, FirstTuplePolicy};
+use sqlts_datagen::{integer_walk, prices_to_table, sawtooth};
+use sqlts_relation::{Date, Table};
+
+fn table_of(prices: &[f64]) -> Table {
+    prices_to_table("T", Date::from_ymd(1980, 1, 1), prices)
+}
+
+fn assert_engines_agree(query: &str, table: &Table, policy: FirstTuplePolicy, label: &str) {
+    let reference = execute_query(
+        query,
+        table,
+        &ExecOptions {
+            engine: EngineKind::Naive,
+            policy,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for engine in [EngineKind::Ops, EngineKind::OpsShiftOnly] {
+        let result = execute_query(
+            query,
+            table,
+            &ExecOptions {
+                engine,
+                policy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            result.table, reference.table,
+            "{label}: {engine:?} diverged from naive"
+        );
+        assert!(
+            result.stats.predicate_tests <= reference.stats.predicate_tests,
+            "{label}: {engine:?} did more work ({}) than naive ({})",
+            result.stats.predicate_tests,
+            reference.stats.predicate_tests
+        );
+    }
+}
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "double-fall",
+        "SELECT A.date FROM t SEQUENCE BY date AS (A, B) \
+         WHERE A.price < A.previous.price AND B.price < B.previous.price",
+    ),
+    (
+        "band-chain",
+        "SELECT A.date FROM t SEQUENCE BY date AS (A, B, C, D) \
+         WHERE A.price < A.previous.price \
+         AND B.price < B.previous.price AND B.price > 3 AND B.price < 8 \
+         AND C.price > C.previous.price AND C.price < 9 \
+         AND D.price > D.previous.price",
+    ),
+    (
+        "three-periods",
+        "SELECT FIRST(X).date FROM t SEQUENCE BY date AS (*X, *Y, *Z) \
+         WHERE X.price > X.previous.price AND Y.price < Y.previous.price \
+         AND Z.price > Z.previous.price",
+    ),
+    (
+        "star-band",
+        "SELECT FIRST(X).date FROM t SEQUENCE BY date AS (A, *X, S) \
+         WHERE A.price > 6 AND X.price <= X.previous.price AND S.price > 8",
+    ),
+    (
+        "ratio-drop",
+        "SELECT A.date FROM t SEQUENCE BY date AS (A, *B, C) \
+         WHERE B.price < 0.98 * B.previous.price \
+         AND 0.98 * C.previous.price < C.price AND C.price < 1.02 * C.previous.price",
+    ),
+    (
+        "equalities",
+        "SELECT A.date FROM t SEQUENCE BY date AS (A, B, C, D) \
+         WHERE A.price = 5 AND B.price = 6 AND C.price = 5 AND D.price = 6",
+    ),
+    (
+        "disjunction",
+        "SELECT A.date FROM t SEQUENCE BY date AS (A, B) \
+         WHERE (A.price < 3 OR A.price > 8) AND B.price >= A.price",
+    ),
+    (
+        "nonlocal",
+        "SELECT S.date FROM t SEQUENCE BY date AS (*X, S) \
+         WHERE X.price <= X.previous.price AND S.price > FIRST(X).price",
+    ),
+];
+
+#[test]
+fn engines_agree_on_integer_walks() {
+    for seed in 0..8u64 {
+        let table = table_of(&integer_walk(2_000, 1, 10, 2, seed));
+        for (label, query) in QUERIES {
+            for policy in [FirstTuplePolicy::Fail, FirstTuplePolicy::VacuousTrue] {
+                assert_engines_agree(query, &table, policy, &format!("{label}/walk-{seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_sawtooth() {
+    for seed in 0..4u64 {
+        let table = table_of(&sawtooth(2_000, 16, seed));
+        for (label, query) in QUERIES {
+            assert_engines_agree(
+                query,
+                &table,
+                FirstTuplePolicy::VacuousTrue,
+                &format!("{label}/saw-{seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_simulated_djia() {
+    let table = sqlts_datagen::djia_series(77);
+    let queries = [
+        "SELECT FIRST(Y).date FROM djia SEQUENCE BY date AS (*Y, Z) \
+         WHERE Y.price < 0.98 * Y.previous.price AND Z.price > 1.02 * Z.previous.price",
+        "SELECT X.date FROM djia SEQUENCE BY date AS (X, *Y, *Z, *T, S) \
+         WHERE X.price >= 0.98 * X.previous.price \
+         AND Y.price < 0.98 * Y.previous.price \
+         AND 0.98 * Z.previous.price < Z.price AND Z.price < 1.02 * Z.previous.price \
+         AND T.price > 1.02 * T.previous.price \
+         AND S.price <= 1.02 * S.previous.price",
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        assert_engines_agree(
+            q,
+            &table,
+            FirstTuplePolicy::VacuousTrue,
+            &format!("djia-{i}"),
+        );
+    }
+}

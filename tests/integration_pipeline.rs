@@ -1,0 +1,162 @@
+//! Integration: the full pipeline — CSV → schema → parse → bind →
+//! optimize → search → project → CSV — across crate boundaries.
+
+use sqlts_core::{execute_query, EngineKind, ExecOptions, FirstTuplePolicy};
+use sqlts_relation::{ColumnType, Schema, Table, Value};
+
+fn quote_schema() -> Schema {
+    Schema::new([
+        ("name", ColumnType::Str),
+        ("date", ColumnType::Date),
+        ("price", ColumnType::Float),
+    ])
+    .unwrap()
+}
+
+const PORTFOLIO: &str = "\
+name,date,price
+INTC,1999-01-25,60
+INTC,1999-01-26,63.5
+INTC,1999-01-27,62
+IBM,1999-01-25,81
+IBM,1999-01-26,80.50
+IBM,1999-01-27,84
+ACME,1999-01-25,10
+ACME,1999-01-26,12
+ACME,1999-01-27,9
+ACME,1999-01-28,9.5
+ACME,1999-01-29,7
+";
+
+#[test]
+fn example1_finds_the_spike_and_crash() {
+    let table = Table::from_csv_str(quote_schema(), PORTFOLIO).unwrap();
+    let result = execute_query(
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+         WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+        &table,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(result.table.len(), 1);
+    assert_eq!(result.table.cell(0, 0), &Value::from("ACME"));
+}
+
+#[test]
+fn output_round_trips_through_csv() {
+    let table = Table::from_csv_str(quote_schema(), PORTFOLIO).unwrap();
+    let result = execute_query(
+        "SELECT X.name, X.date AS on_date, X.price \
+         FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+         WHERE Y.price < X.price",
+        &table,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    let rendered = result.table.to_csv_string();
+    let schema2 = Schema::new([
+        ("name", ColumnType::Str),
+        ("on_date", ColumnType::Date),
+        ("price", ColumnType::Float),
+    ])
+    .unwrap();
+    let parsed = Table::from_csv_str(schema2, &rendered).unwrap();
+    assert_eq!(parsed.len(), result.table.len());
+    for (a, b) in parsed.rows().zip(result.table.rows()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn projection_navigation_and_aggregates() {
+    let table = Table::from_csv_str(quote_schema(), PORTFOLIO).unwrap();
+    // ACME falls 12 → 9 → (9.5 up) ...; match the falling run and project
+    // its boundaries with FIRST/LAST plus next/previous navigation.
+    let result = execute_query(
+        "SELECT X.name, FIRST(Y).date AS first_down, LAST(Y).date AS last_down, \
+         LAST(Y).next.price AS after \
+         FROM quote CLUSTER BY name SEQUENCE BY date AS (X, *Y) \
+         WHERE Y.price < Y.previous.price AND X.name = 'ACME'",
+        &table,
+        &ExecOptions {
+            policy: FirstTuplePolicy::Fail,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.table.len(), 2, "{}", result.table.to_csv_string());
+    // First match: X = 1/26 (the 12), Y = the 1/27 drop (12 → 9).
+    assert_eq!(result.table.cell(0, 1).to_string(), "1999-01-27");
+    assert_eq!(result.table.cell(0, 3), &Value::from(9.5));
+    // Second match: X = 1/28, Y = 1/29 (9.5 → 7), nothing after → NULL.
+    assert_eq!(result.table.cell(1, 2).to_string(), "1999-01-29");
+    assert!(result.table.cell(1, 3).is_null());
+}
+
+#[test]
+fn all_engines_project_identically() {
+    let table = Table::from_csv_str(quote_schema(), PORTFOLIO).unwrap();
+    let query = "SELECT X.name, FIRST(Y).date AS d \
+                 FROM quote CLUSTER BY name SEQUENCE BY date AS (X, *Y) \
+                 WHERE Y.price > Y.previous.price";
+    let mut tables = Vec::new();
+    for engine in [
+        EngineKind::Naive,
+        EngineKind::NaiveBacktrack,
+        EngineKind::Ops,
+        EngineKind::OpsShiftOnly,
+    ] {
+        let r = execute_query(
+            query,
+            &table,
+            &ExecOptions {
+                engine,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        tables.push((engine, r.table));
+    }
+    // Greedy engines agree exactly; the backtracker agrees on match
+    // starts (FIRST of the star) because interior boundaries here are
+    // unique — the star is the final element, and FIRST(Y) is stable.
+    let (_, reference) = &tables[0];
+    for (engine, t) in &tables {
+        assert_eq!(
+            t.len(),
+            reference.len(),
+            "{engine:?} match count differs"
+        );
+        for (a, b) in t.rows().zip(reference.rows()) {
+            assert_eq!(a, b, "{engine:?}");
+        }
+    }
+}
+
+#[test]
+fn cluster_streams_never_leak() {
+    // A pattern that would match across the IBM→ACME boundary if
+    // clustering were broken (price 84 followed by price 10).
+    let table = Table::from_csv_str(quote_schema(), PORTFOLIO).unwrap();
+    let result = execute_query(
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+         WHERE X.price > 80 AND Y.price < 20",
+        &table,
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert!(result.table.is_empty());
+}
+
+#[test]
+fn errors_are_reported_with_context() {
+    let table = Table::from_csv_str(quote_schema(), PORTFOLIO).unwrap();
+    let err = execute_query(
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X) \
+         WHERE X.volume > 100",
+        &table,
+        &ExecOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no such column: volume"));
+}

@@ -1,0 +1,136 @@
+//! The heaviest soundness artillery: *generate random patterns* (random
+//! length, star flags, and per-element predicates drawn from a predicate
+//! alphabet) over random walks, and require the optimized engines to
+//! agree exactly with the greedy-naive reference.
+//!
+//! This goes beyond the fixed query pools of the unit property tests: the
+//! θ/φ analysis sees arbitrary combinations of implication structure
+//! (identical predicates, subsumed bands, complements, constants), which
+//! is where unsound shift/next entries would hide.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sqlts_core::{execute_query, EngineKind, ExecOptions, FirstTuplePolicy};
+use sqlts_datagen::{integer_walk, prices_to_table};
+use sqlts_relation::Date;
+
+/// The predicate alphabet (binary-exact constants only, so f64 runtime
+/// evaluation matches the solver's exact arithmetic).
+const PREDICATES: &[&str] = &[
+    "{v}.price < {v}.previous.price",
+    "{v}.price > {v}.previous.price",
+    "{v}.price <= {v}.previous.price",
+    "{v}.price >= {v}.previous.price",
+    "{v}.price = {v}.previous.price",
+    "{v}.price <> {v}.previous.price",
+    "{v}.price < 5",
+    "{v}.price > 5",
+    "{v}.price >= 3 AND {v}.price <= 8",
+    "{v}.price = 4",
+    "{v}.price < 0.5 * {v}.previous.price + 4",
+    "{v}.price < {v}.previous.price OR {v}.price > 9",
+];
+
+fn random_query(rng: &mut SmallRng) -> String {
+    let m = rng.gen_range(1..=5);
+    let mut vars = Vec::new();
+    let mut conds = Vec::new();
+    for i in 0..m {
+        let name = format!("V{i}");
+        let star = rng.gen_bool(0.4);
+        vars.push(if star {
+            format!("*{name}")
+        } else {
+            name.clone()
+        });
+        // 0–2 predicates per element (0 = unconstrained element).
+        for _ in 0..rng.gen_range(0..=2) {
+            let p = PREDICATES[rng.gen_range(0..PREDICATES.len())];
+            conds.push(format!("({})", p.replace("{v}", &name)));
+        }
+    }
+    let select = if vars[0].starts_with('*') {
+        "FIRST(V0).date".to_string()
+    } else {
+        "V0.date".to_string()
+    };
+    let mut q = format!(
+        "SELECT {select} FROM t SEQUENCE BY date AS ({})",
+        vars.join(", ")
+    );
+    if !conds.is_empty() {
+        q.push_str(&format!(" WHERE {}", conds.join(" AND ")));
+    }
+    q
+}
+
+fn fuzz(seed: u64, rounds: u32) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut interesting = 0u32; // runs that produced at least one match
+    for round in 0..rounds {
+        let query = random_query(&mut rng);
+        let data_seed = rng.gen::<u64>();
+        let n = rng.gen_range(0..400);
+        let table = prices_to_table(
+            "T",
+            Date::from_ymd(1990, 1, 1),
+            &integer_walk(n, 1, 10, 2, data_seed),
+        );
+        let policy = if rng.gen_bool(0.5) {
+            FirstTuplePolicy::VacuousTrue
+        } else {
+            FirstTuplePolicy::Fail
+        };
+
+        let reference = execute_query(
+            &query,
+            &table,
+            &ExecOptions {
+                engine: EngineKind::Naive,
+                policy,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("round {round}: {query}: {e}"));
+        if reference.stats.matches > 0 {
+            interesting += 1;
+        }
+        for engine in [EngineKind::Ops, EngineKind::OpsShiftOnly] {
+            let result = execute_query(
+                &query,
+                &table,
+                &ExecOptions {
+                    engine,
+                    policy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                result.table, reference.table,
+                "round {round} ({engine:?}, {policy:?}, n={n}, seed={data_seed}):\n{query}"
+            );
+            assert!(
+                result.stats.predicate_tests <= reference.stats.predicate_tests,
+                "round {round} ({engine:?}): OPS cost {} > naive {} for\n{query}",
+                result.stats.predicate_tests,
+                reference.stats.predicate_tests
+            );
+        }
+    }
+    // Sanity: the generator must not be producing only unmatched patterns.
+    assert!(
+        interesting > rounds / 5,
+        "only {interesting}/{rounds} runs had matches; generator is too cold"
+    );
+}
+
+#[test]
+fn random_patterns_agree_across_engines() {
+    fuzz(0xC0FFEE, 400);
+}
+
+#[test]
+fn random_patterns_agree_across_engines_second_seed() {
+    fuzz(0xFEEDBEEF, 400);
+}
