@@ -1,0 +1,38 @@
+//! E11: cluster-parallel execution of the E5 sweep workload.
+//!
+//! Scales the worker-thread count over a many-cluster table; the cost
+//! metric (predicate tests) is identical at every count — only wall time
+//! changes.  `threads = 1` is the sequential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlts_bench::{clustered_query, clustered_sweep_workload, run_cost_threads};
+use sqlts_core::EngineKind;
+
+fn bench(c: &mut Criterion) {
+    let table = clustered_sweep_workload(64, 1_000, 7);
+    let query = clustered_query(
+        "SELECT FIRST(A).date FROM t SEQUENCE BY date AS (*A, *B, C) \
+         WHERE A.price <= A.previous.price AND B.price <= B.previous.price \
+         AND C.price > C.previous.price AND C.price > 9",
+    );
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("parallel_clusters");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > max_threads.max(1) * 2 {
+            continue; // oversubscribing further tells us nothing
+        }
+        group.bench_with_input(BenchmarkId::new("ops", threads), &threads, |b, &threads| {
+            b.iter(|| run_cost_threads(&query, &table, EngineKind::Ops, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,7 +23,11 @@ fn bench(c: &mut Criterion) {
         {
             &[EngineKind::Naive, EngineKind::Ops]
         } else {
-            &[EngineKind::NaiveBacktrack, EngineKind::Naive, EngineKind::Ops]
+            &[
+                EngineKind::NaiveBacktrack,
+                EngineKind::Naive,
+                EngineKind::Ops,
+            ]
         };
         let table = match case.workload {
             Workload::Walk => &walk,

@@ -1,7 +1,7 @@
 //! Regenerate every figure and table of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|ex5|ex9|fig5|kmp|double_bottom|sweep|reverse|compile_cost|disjunction|ablation]
+//! experiments [all|ex5|ex9|fig5|kmp|double_bottom|sweep|reverse|compile_cost|disjunction|ablation|parallel]
 //! ```
 //!
 //! Each subcommand corresponds to one experiment of the index in
@@ -11,9 +11,7 @@
 use sqlts_bench::*;
 use sqlts_core::engine::SearchOptions;
 use sqlts_core::reverse::{direction_hint, find_matches_directed, Direction};
-use sqlts_core::{
-    compile, explain, CompileOptions, EngineKind, EvalCounter, FirstTuplePolicy,
-};
+use sqlts_core::{compile, explain, CompileOptions, EngineKind, EvalCounter, FirstTuplePolicy};
 use sqlts_datagen::big_move_fraction;
 use std::time::Instant;
 
@@ -32,6 +30,7 @@ fn main() {
         ("compile_cost", compile_cost),
         ("disjunction", disjunction),
         ("ablation", ablation),
+        ("parallel", parallel),
     ];
     for (name, f) in experiments {
         if all || arg == *name {
@@ -136,10 +135,7 @@ fn kmp() {
 /// (simulated) DJIA closes.
 fn double_bottom() {
     let table = djia(DJIA_SEED);
-    let prices: Vec<f64> = table
-        .rows()
-        .map(|r| r[2].as_f64().unwrap())
-        .collect();
+    let prices: Vec<f64> = table.rows().map(|r| r[2].as_f64().unwrap()).collect();
     println!(
         "workload: simulated DJIA, {} trading days, start {:.0}, end {:.0}, \
          ±2% daily moves: {:.2}% of days",
@@ -159,7 +155,10 @@ fn double_bottom() {
     let ops = run_cost(DOUBLE_BOTTOM, &table, EngineKind::Ops);
     let t_ops = t0.elapsed();
 
-    println!("\n{:<22} {:>12} {:>10} {:>12}", "engine", "tests", "matches", "wall");
+    println!(
+        "\n{:<22} {:>12} {:>10} {:>12}",
+        "engine", "tests", "matches", "wall"
+    );
     for (name, c, t) in [
         ("naive-backtracking", &bt, t_bt),
         ("naive-greedy", &naive, t_naive),
@@ -339,7 +338,60 @@ fn disjunction() {
         speedup(&naive, &ops),
         naive.matches == ops.matches
     );
-    println!("(the DNF-lifted solver prunes shifts across OR-conditions; §8 'disjunctive conditions')");
+    println!(
+        "(the DNF-lifted solver prunes shifts across OR-conditions; §8 'disjunctive conditions')"
+    );
+}
+
+/// E11 — cluster-parallel execution of the E5 sweep patterns over a
+/// many-symbol workload.
+fn parallel() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let table = clustered_sweep_workload(64, 2_000, 7);
+    println!("workload: 64 clusters x 2000 tuples; {threads} worker threads vs sequential\n");
+    println!(
+        "{:<18} {:>12} {:>9} {:>11} {:>11} {:>9} {:>6}",
+        "pattern", "tests", "matches", "seq wall", "par wall", "speedup", "equal"
+    );
+    for case in sweep_patterns() {
+        if case.workload != Workload::Walk {
+            continue; // sawtooth cases are single-cluster by construction
+        }
+        let query = clustered_query(&case.query);
+        let t0 = Instant::now();
+        let seq = run_cost_threads(&query, &table, EngineKind::Ops, 1);
+        let t_seq = t0.elapsed();
+        let t0 = Instant::now();
+        let par = run_cost_threads(&query, &table, EngineKind::Ops, threads);
+        let t_par = t0.elapsed();
+        println!(
+            "{:<18} {:>12} {:>9} {:>11.2?} {:>11.2?} {:>8.2}x {:>6}",
+            case.id,
+            par.tests,
+            par.matches,
+            t_seq,
+            t_par,
+            t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+            seq.tests == par.tests && seq.matches == par.matches
+        );
+        assert_eq!(
+            seq.tests, par.tests,
+            "{}: cost metric must not depend on threads",
+            case.id
+        );
+        assert_eq!(
+            seq.matches, par.matches,
+            "{}: matches must not depend on threads",
+            case.id
+        );
+    }
+    println!(
+        "\nclusters are independent streams (§2), so the search fans out per \
+         cluster; stats and output are merged in cluster order and are \
+         identical for every thread count"
+    );
 }
 
 /// E10 — ablation: full OPS vs shift-only vs naive.

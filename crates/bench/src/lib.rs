@@ -9,7 +9,8 @@ use sqlts_core::{
     SearchTrace,
 };
 use sqlts_datagen::{djia_series, integer_walk, prices_to_table, symbol_series};
-use sqlts_relation::{Date, Table};
+use sqlts_relation::{Date, Table, Value};
+use std::num::NonZeroUsize;
 
 /// The paper's Example 10: the relaxed double-bottom query (±2% bands).
 pub const DOUBLE_BOTTOM: &str = "\
@@ -73,6 +74,13 @@ pub struct RunCost {
 /// Execute `query` over `table` under `engine`, returning the paper's
 /// cost metric.
 pub fn run_cost(query: &str, table: &Table, engine: EngineKind) -> RunCost {
+    run_cost_threads(query, table, engine, 1)
+}
+
+/// [`run_cost`] with an explicit worker-thread count for the
+/// cluster-parallel executor (the cost metric is identical for every
+/// count; only wall time changes).
+pub fn run_cost_threads(query: &str, table: &Table, engine: EngineKind, threads: usize) -> RunCost {
     let result = execute_query(
         query,
         table,
@@ -80,6 +88,7 @@ pub fn run_cost(query: &str, table: &Table, engine: EngineKind) -> RunCost {
             engine,
             policy: FirstTuplePolicy::VacuousTrue,
             compile: CompileOptions::default(),
+            threads: NonZeroUsize::new(threads).expect("thread count must be nonzero"),
             ..Default::default()
         },
     )
@@ -156,7 +165,11 @@ pub fn sweep_table(workload: Workload) -> Table {
 /// over a workload tuned so that backtracking hurts, paired with readable
 /// ids.
 pub fn sweep_patterns() -> Vec<SweepCase> {
-    let case = |id, query: String, workload| SweepCase { id, query, workload };
+    let case = |id, query: String, workload| SweepCase {
+        id,
+        query,
+        workload,
+    };
     let mut out = Vec::new();
     // Star-free chains of alternating rises/falls, m = 4, 8, 12.
     for (id, m) in [("chain-4", 4usize), ("chain-8", 8), ("chain-12", 12)] {
@@ -251,6 +264,46 @@ pub fn sweep_workload(n: usize, seed: u64) -> Table {
     price_table(&integer_walk(n, 1, 10, 2, seed))
 }
 
+/// A `CLUSTER BY name` variant of the E5 sweep workload: `clusters`
+/// independent integer walks of `rows_per_cluster` tuples each, under
+/// distinct symbol names.  This is the workload the parallel executor
+/// fans out (experiment E11 / the `parallel_clusters` bench).
+pub fn clustered_sweep_workload(clusters: usize, rows_per_cluster: usize, seed: u64) -> Table {
+    let mut table = Table::new(sqlts_datagen::quote_schema());
+    let start = Date::from_ymd(1990, 1, 1);
+    for c in 0..clusters {
+        let name = format!("S{c:04}");
+        let prices = integer_walk(
+            rows_per_cluster,
+            1,
+            10,
+            2,
+            seed ^ (c as u64).wrapping_mul(0x9E37),
+        );
+        let mut day = start;
+        for p in prices {
+            while day.is_weekend() {
+                day = day.plus_days(1);
+            }
+            table
+                .push_row(vec![
+                    Value::from(name.as_str()),
+                    Value::Date(day),
+                    Value::from(p),
+                ])
+                .expect("generated rows match the schema");
+            day = day.plus_days(1);
+        }
+    }
+    table
+}
+
+/// Rewrite an E5 sweep query (`FROM t SEQUENCE BY date`) to cluster by
+/// symbol, for use with [`clustered_sweep_workload`].
+pub fn clustered_query(query: &str) -> String {
+    query.replace("SEQUENCE BY date", "CLUSTER BY name SEQUENCE BY date")
+}
+
 /// The E6 workload: i.i.d. symbols as prices.
 pub fn kmp_workload(n: usize, alphabet: u8, seed: u64) -> Table {
     price_table(&symbol_series(n, alphabet, seed))
@@ -286,6 +339,21 @@ mod tests {
             let c = run_cost(&case.query, table, EngineKind::Ops);
             assert!(c.tests > 0, "{}", case.id);
         }
+    }
+
+    #[test]
+    fn clustered_sweep_parallel_costs_match_sequential() {
+        let table = clustered_sweep_workload(8, 300, 7);
+        let query = clustered_query(
+            "SELECT FIRST(A).date FROM t SEQUENCE BY date AS (*A, *B, C) \
+             WHERE A.price <= A.previous.price AND B.price <= B.previous.price \
+             AND C.price > C.previous.price AND C.price > 9",
+        );
+        let seq = run_cost_threads(&query, &table, EngineKind::Ops, 1);
+        let par = run_cost_threads(&query, &table, EngineKind::Ops, 4);
+        assert_eq!(seq.matches, par.matches);
+        assert_eq!(seq.tests, par.tests);
+        assert!(seq.tests > 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! sqlts --csv quotes.csv --schema 'name:str,date:date,price:float' \
 //!       [--engine naive|backtrack|ops|shift-only] [--explain] [--stats] \
-//!       [--strict-previous] "SELECT … FROM … AS (X, *Y, Z) WHERE …"
+//!       [--threads N] [--strict-previous] "SELECT … FROM … AS (X, *Y, Z) WHERE …"
 //!
 //! sqlts --demo-djia [--seed N] …     # use the built-in simulated DJIA
 //! ```
@@ -16,6 +16,7 @@ use sqlts_core::{
     FirstTuplePolicy,
 };
 use sqlts_relation::{ColumnType, Schema, Table};
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,14 +30,25 @@ struct Args {
     explain: bool,
     stats: bool,
     strict_previous: bool,
+    threads: NonZeroUsize,
     query: Option<String>,
+}
+
+/// Default worker count: one per available core, `1` when the platform
+/// cannot say (which is also the exact legacy sequential path).
+fn default_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sqlts (--csv FILE --schema 'col:type,…' | --demo-djia [--seed N]) \\\n\
          \x20            [--engine naive|backtrack|ops|shift-only] [--direction forward|reverse|auto] \\\n\
-         \x20            [--explain] [--stats] [--strict-previous] QUERY\n\
+         \x20            [--explain] [--stats] [--threads N] [--strict-previous] QUERY\n\
+         \n\
+         --threads N: worker threads for cluster-parallel execution\n\
+         \x20            (default: all cores; 1 = sequential; output is\n\
+         \x20            identical for every N)\n\
          \n\
          types: int, float, str, date\n\
          example:\n\
@@ -58,6 +70,7 @@ fn parse_args() -> Args {
         explain: false,
         stats: false,
         strict_previous: false,
+        threads: default_threads(),
         query: None,
     };
     let mut it = std::env::args().skip(1);
@@ -88,6 +101,12 @@ fn parse_args() -> Args {
                     Some("auto") => DirectionChoice::Auto,
                     _ => usage(),
                 }
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
@@ -132,8 +151,8 @@ fn run() -> Result<(), String> {
     };
 
     let compile_opts = CompileOptions::default();
-    let compiled = compile(&query_src, table.schema(), &compile_opts)
-        .map_err(|e| e.render(&query_src))?;
+    let compiled =
+        compile(&query_src, table.schema(), &compile_opts).map_err(|e| e.render(&query_src))?;
 
     if args.explain {
         eprintln!("{}", explain(&compiled));
@@ -151,6 +170,7 @@ fn run() -> Result<(), String> {
             },
             compile: compile_opts,
             direction: args.direction,
+            threads: args.threads,
         },
     )
     .map_err(|e| e.to_string())?;

@@ -34,7 +34,11 @@ fn runs_a_query_over_csv() {
         )
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(stdout, "name\nACME\n");
     std::fs::remove_file(csv).ok();

@@ -46,11 +46,13 @@ impl Weight {
         }
     }
 
-    fn add(self, other: Weight) -> Weight {
-        Weight {
-            c: self.c + other.c,
+    /// `None` when the rational sum overflows `i128`; the caller treats that
+    /// relaxation path as unusable and answers conservatively.
+    fn add(self, other: Weight) -> Option<Weight> {
+        Some(Weight {
+            c: self.c.checked_add(other.c).ok()?,
             strict: self.strict.saturating_add(other.strict),
-        }
+        })
     }
 
     /// Lexicographic "tighter-than" used by relaxation: each strict edge
@@ -96,8 +98,13 @@ impl DiffGraph {
     /// `true` iff the conjunction of difference constraints is satisfiable
     /// over the rationals.
     ///
-    /// Complete for this fragment: returns `false` exactly when a negative
-    /// (or zero-with-strict-edge) cycle exists.
+    /// Complete for this fragment — returns `false` exactly when a negative
+    /// (or zero-with-strict-edge) cycle exists — unless a relaxation step
+    /// overflows `i128` (query constants of astronomical magnitude), in
+    /// which case it conservatively returns `true`.  That keeps the GSW
+    /// procedure sound: `satisfiable` never falsely claims UNSAT, and
+    /// [`DiffGraph::entails`] (a refutation) never falsely claims
+    /// entailment; the optimizer merely misses a pruning opportunity.
     pub(crate) fn satisfiable(&self) -> bool {
         // Collect nodes and index them.
         let mut nodes: Vec<Node> = Vec::new();
@@ -127,7 +134,9 @@ impl DiffGraph {
         for _ in 0..n {
             let mut changed = false;
             for &(from, to, w) in &edges {
-                let cand = dist[from].add(w);
+                let Some(cand) = dist[from].add(w) else {
+                    return true; // overflow: conservatively satisfiable
+                };
                 if cand.tighter_than(dist[to]) {
                     dist[to] = cand;
                     changed = true;
@@ -139,7 +148,10 @@ impl DiffGraph {
         }
         // One more pass: any further relaxation implies a negative cycle.
         for &(from, to, w) in &edges {
-            if dist[from].add(w).tighter_than(dist[to]) {
+            let Some(cand) = dist[from].add(w) else {
+                return true; // overflow: conservatively satisfiable
+            };
+            if cand.tighter_than(dist[to]) {
                 return false;
             }
         }
@@ -154,10 +166,13 @@ impl DiffGraph {
     /// makes the graph unsatisfiable.  Vacuously true if the graph itself
     /// is unsatisfiable.
     pub(crate) fn entails(&self, to: Node, from: Node, c: Rational, strict: bool) -> bool {
-        let mut g = self.clone();
         // ¬(to - from ≤ c)  ≡  to - from > c  ≡  from - to < -c
         // ¬(to - from < c)  ≡  to - from ≥ c  ≡  from - to ≤ -c
-        g.add(from, to, -c, !strict);
+        let Ok(neg_c) = c.checked_neg() else {
+            return false; // cannot even state the negation: don't claim proof
+        };
+        let mut g = self.clone();
+        g.add(from, to, neg_c, !strict);
         !g.satisfiable()
     }
 }
@@ -253,6 +268,21 @@ mod tests {
         g.add(y, x, r(0), false);
         assert!(!g.satisfiable());
         assert!(g.entails(x, y, r(100), false));
+    }
+
+    #[test]
+    fn overflowing_weights_degrade_to_conservative_answers() {
+        // The chain sums two near-i128::MAX weights, so relaxation
+        // overflows.  satisfiable() must answer true (never falsely UNSAT)
+        // and entails() must answer false (never falsely proven).
+        let (x, y, z) = (Node::Var(0), Node::Var(1), Node::Var(2));
+        let huge = Rational::from_int(i128::MAX);
+        let mut g = DiffGraph::new();
+        g.add(x, y, -huge, false);
+        g.add(y, z, -huge, false);
+        g.add(z, x, r(0), false);
+        assert!(g.satisfiable());
+        assert!(!g.entails(x, z, -huge, false));
     }
 
     #[test]

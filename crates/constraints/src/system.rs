@@ -640,7 +640,10 @@ mod tests {
             Atom::var_var(X, CmpOp::Lt, P, 0),
             Atom::var_const(X, CmpOp::Gt, 40),
         ]);
-        assert_eq!(s.to_string(), "v0 < v1 v0 > 40".replace(" v0 > 40", " AND v0 > 40"));
+        assert_eq!(
+            s.to_string(),
+            "v0 < v1 v0 > 40".replace(" v0 > 40", " AND v0 > 40")
+        );
         assert_eq!(System::new().to_string(), "TRUE");
     }
 

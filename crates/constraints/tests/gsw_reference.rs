@@ -59,8 +59,16 @@ fn op_pair_matrix_var_const() {
             for &op2 in &ops {
                 for &c2 in &consts {
                     let sys = System::from_atoms([
-                        Atom::VarConst { x: X, op: op1, c: c1 },
-                        Atom::VarConst { x: X, op: op2, c: c2 },
+                        Atom::VarConst {
+                            x: X,
+                            op: op1,
+                            c: c1,
+                        },
+                        Atom::VarConst {
+                            x: X,
+                            op: op2,
+                            c: c2,
+                        },
                     ]);
                     check_consistency(&sys);
                     // Decisiveness is exact: UNSAT iff no real solution,
@@ -187,7 +195,7 @@ fn strictness_chains() {
         Atom::var_var(Z, CmpOp::Le, X, 0),
     ]);
     assert_eq!(loose.satisfiability(), Truth::True); // x = y = z
-    // The loose cycle forces x = y: adding x ≠ y is unsat.
+                                                     // The loose cycle forces x = y: adding x ≠ y is unsat.
     let mut forced = loose.clone();
     forced.push(Atom::var_var(X, CmpOp::Ne, Y, 0));
     assert_eq!(forced.satisfiability(), Truth::False);

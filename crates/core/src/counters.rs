@@ -67,10 +67,7 @@ impl SearchTrace {
     /// How many times the input cursor moved backwards (a "backtracking
     /// episode" in the paper's terms).
     pub fn backtrack_episodes(&self) -> usize {
-        self.steps
-            .windows(2)
-            .filter(|w| w[1].0 < w[0].0)
-            .count()
+        self.steps.windows(2).filter(|w| w[1].0 < w[0].0).count()
     }
 
     /// Render the trajectory as a small ASCII chart (input position on the

@@ -411,7 +411,9 @@ fn ops_search(
         if pattern.star(j) && counts[j] > counts[j - 1] {
             // A satisfied star: close its span and re-test this tuple
             // against the next element.
-            bindings.spans.push((start + counts[j - 1], start + counts[j] - 1));
+            bindings
+                .spans
+                .push((start + counts[j - 1], start + counts[j] - 1));
             j += 1;
             if j <= m {
                 counts[j] = counts[j - 1];
@@ -460,7 +462,9 @@ fn ops_search(
     // Input exhausted.  The only completable suffix: the last element is a
     // satisfied star (its span closes at the end of input).
     if j == m && pattern.star(m) && counts[m] > counts[m - 1] {
-        bindings.spans.push((start + counts[m - 1], start + counts[m] - 1));
+        bindings
+            .spans
+            .push((start + counts[m - 1], start + counts[m] - 1));
         results.push(MatchSpans {
             spans: bindings.spans,
         });
@@ -536,13 +540,11 @@ mod tests {
         // §4.2.1: the paper searches the pattern of Example 4 over
         //   55 50 45 57 54 50 47 49 45 42 55 57 59 60 57
         // Pattern: fall, fall∧40<p<50, rise∧p<52, rise.
-        let query = q(
-            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
+        let query = q("SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
              WHERE A.price < A.previous.price \
              AND B.price < B.previous.price AND B.price > 40 AND B.price < 50 \
              AND C.price > C.previous.price AND C.price < 52 \
-             AND D.price > D.previous.price",
-        );
+             AND D.price > D.previous.price");
         let prices = [
             55.0, 50.0, 45.0, 57.0, 54.0, 50.0, 47.0, 49.0, 45.0, 42.0, 55.0, 57.0, 59.0, 60.0,
             57.0,
@@ -563,13 +565,11 @@ mod tests {
 
     #[test]
     fn ops_is_cheaper_than_naive_on_example4_paper_sequence() {
-        let query = q(
-            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
+        let query = q("SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
              WHERE A.price < A.previous.price \
              AND B.price < B.previous.price AND B.price > 40 AND B.price < 50 \
              AND C.price > C.previous.price AND C.price < 52 \
-             AND D.price > D.previous.price",
-        );
+             AND D.price > D.previous.price");
         let prices = [
             55.0, 50.0, 45.0, 57.0, 54.0, 50.0, 47.0, 49.0, 45.0, 42.0, 55.0, 57.0, 59.0, 60.0,
             57.0,
@@ -585,10 +585,8 @@ mod tests {
     #[test]
     fn simple_non_star_match_positions() {
         // Example-1 style: up 15%, down 20%.
-        let query = q(
-            "SELECT X.name FROM quote SEQUENCE BY date AS (X, Y, Z) \
-             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
-        );
+        let query = q("SELECT X.name FROM quote SEQUENCE BY date AS (X, Y, Z) \
+             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price");
         let prices = [10.0, 10.5, 13.0, 9.0, 9.5, 12.0, 8.0];
         for kind in ALL_KINDS {
             let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
@@ -608,7 +606,9 @@ mod tests {
              WHERE X.price > X.previous.price AND Y.price < Y.previous.price \
              AND Z.price > Z.previous.price",
         );
-        let prices = [20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0];
+        let prices = [
+            20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0,
+        ];
         for kind in ALL_KINDS {
             let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::VacuousTrue);
             assert_eq!(matches.len(), 1, "{kind:?}");
@@ -636,10 +636,8 @@ mod tests {
 
     #[test]
     fn star_at_end_closes_at_input_end() {
-        let query = q(
-            "SELECT Z.date FROM quote SEQUENCE BY date AS (Z, *W) \
-             WHERE Z.price > 100 AND W.price < W.previous.price",
-        );
+        let query = q("SELECT Z.date FROM quote SEQUENCE BY date AS (Z, *W) \
+             WHERE Z.price > 100 AND W.price < W.previous.price");
         let prices = [101.0, 90.0, 80.0];
         for kind in ALL_KINDS {
             let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
@@ -667,10 +665,8 @@ mod tests {
     fn matches_do_not_overlap_and_are_left_maximal() {
         // Two consecutive falls in a long falling run: with non-overlap
         // semantics 6 falling steps yield 3 matches.
-        let query = q(
-            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
-             WHERE A.price < A.previous.price AND B.price < B.previous.price",
-        );
+        let query = q("SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
+             WHERE A.price < A.previous.price AND B.price < B.previous.price");
         let prices = [100.0, 99.0, 98.0, 97.0, 96.0, 95.0, 94.0];
         for kind in ALL_KINDS {
             let (matches, _) = run(&query, &prices, kind, FirstTuplePolicy::Fail);
@@ -683,13 +679,13 @@ mod tests {
 
     #[test]
     fn empty_input_and_tiny_inputs() {
-        let query = q(
-            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
-             WHERE A.price < A.previous.price AND B.price < B.previous.price",
-        );
+        let query = q("SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
+             WHERE A.price < A.previous.price AND B.price < B.previous.price");
         for kind in ALL_KINDS {
             assert!(run(&query, &[], kind, FirstTuplePolicy::Fail).0.is_empty());
-            assert!(run(&query, &[5.0], kind, FirstTuplePolicy::Fail).0.is_empty());
+            assert!(run(&query, &[5.0], kind, FirstTuplePolicy::Fail)
+                .0
+                .is_empty());
         }
     }
 
@@ -698,10 +694,8 @@ mod tests {
         // (*X, S) with S comparing against FIRST(X): restarts inside X's
         // span matter, so OPS must degrade to tuple-granular restarts and
         // still agree with naive.
-        let query = q(
-            "SELECT S.date FROM quote SEQUENCE BY date AS (*X, S) \
-             WHERE X.price > X.previous.price AND S.price < 0.9 * FIRST(X).price",
-        );
+        let query = q("SELECT S.date FROM quote SEQUENCE BY date AS (*X, S) \
+             WHERE X.price > X.previous.price AND S.price < 0.9 * FIRST(X).price");
         let p = plan(&query.elements, EngineKind::Ops);
         assert!(p.tuple_granular_restart);
         let prices = [10.0, 11.0, 12.0, 13.0, 10.5, 11.5, 9.0];
@@ -719,7 +713,12 @@ mod tests {
         );
         let prices = [10.0, 9.0, 12.0];
         let (fail, _) = run(&query, &prices, EngineKind::Ops, FirstTuplePolicy::Fail);
-        let (vac, _) = run(&query, &prices, EngineKind::Ops, FirstTuplePolicy::VacuousTrue);
+        let (vac, _) = run(
+            &query,
+            &prices,
+            EngineKind::Ops,
+            FirstTuplePolicy::VacuousTrue,
+        );
         // Under Fail the first tuple cannot satisfy Y (no previous), so Y
         // matches only tuple 1; under VacuousTrue Y's span starts at 0.
         assert_eq!(fail[0].spans, vec![(1, 1), (2, 2)]);
@@ -728,10 +727,8 @@ mod tests {
 
     #[test]
     fn trace_records_paths() {
-        let query = q(
-            "SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
-             WHERE A.price = 10 AND B.price = 11",
-        );
+        let query = q("SELECT A.date FROM quote SEQUENCE BY date AS (A, B) \
+             WHERE A.price = 10 AND B.price = 11");
         let prices = [10.0, 10.0, 11.0, 10.0];
         let t = table(&prices);
         let clusters = t.cluster_by(&[], &["date"]).unwrap();
@@ -759,8 +756,15 @@ mod tests {
              WHERE X.price > X.previous.price AND Y.price < Y.previous.price \
              AND Z.price > Z.previous.price",
         );
-        let prices = [20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0];
-        let (greedy, greedy_cost) = run(&query, &prices, EngineKind::Naive, FirstTuplePolicy::VacuousTrue);
+        let prices = [
+            20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0,
+        ];
+        let (greedy, greedy_cost) = run(
+            &query,
+            &prices,
+            EngineKind::Naive,
+            FirstTuplePolicy::VacuousTrue,
+        );
         let (bt, bt_cost) = run(
             &query,
             &prices,
@@ -783,10 +787,8 @@ mod tests {
         // (*Y falling, Z falling): greedy commits Y to the whole run and
         // finds nothing; backtracking splits the run and matches — the
         // semantic gap documented in DESIGN.md.
-        let query = q(
-            "SELECT FIRST(Y).date FROM t SEQUENCE BY date AS (*Y, Z) \
-             WHERE Y.price < Y.previous.price AND Z.price < Z.previous.price",
-        );
+        let query = q("SELECT FIRST(Y).date FROM t SEQUENCE BY date AS (*Y, Z) \
+             WHERE Y.price < Y.previous.price AND Z.price < Z.previous.price");
         let prices = [10.0, 9.0, 8.0, 7.0];
         let (greedy, _) = run(&query, &prices, EngineKind::Naive, FirstTuplePolicy::Fail);
         let (bt, _) = run(

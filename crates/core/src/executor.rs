@@ -3,17 +3,21 @@
 use crate::counters::EvalCounter;
 use crate::engine::{
     backtracking_search, find_matches_with_plan, naive_search, plan, EngineKind, SearchOptions,
+    SearchPlan,
 };
 use crate::reverse::{direction_hint, find_matches_directed, Direction};
 use sqlts_lang::{
     compile, eval_projection, Bindings, CompileOptions, CompiledQuery, EvalCtx, FirstTuplePolicy,
     LangError,
 };
-use sqlts_relation::{Schema, Table, TableError};
+use sqlts_relation::{Cluster, Schema, Table, TableError, Value};
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 
 /// Options for [`execute`] / [`execute_query`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Which engine to run.
     pub engine: EngineKind,
@@ -24,6 +28,27 @@ pub struct ExecOptions {
     /// Search direction (§8): forward, reverse, or chosen by the
     /// mean-shift/next heuristic.
     pub direction: DirectionChoice,
+    /// Worker threads for cluster-parallel execution.
+    ///
+    /// `CLUSTER BY` partitions are independent streams, so the search plan
+    /// is compiled once and clusters are fanned out over a scoped worker
+    /// pool.  Results are merged back in cluster order with per-cluster
+    /// predicate-test counts summed deterministically, so the output table
+    /// and every [`SearchStats`] field are identical for every thread
+    /// count.  `1` (the default) runs the sequential path inline.
+    pub threads: NonZeroUsize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            engine: EngineKind::default(),
+            policy: FirstTuplePolicy::default(),
+            compile: CompileOptions::default(),
+            direction: DirectionChoice::default(),
+            threads: NonZeroUsize::MIN,
+        }
+    }
 }
 
 /// How the executor chooses the scan direction (§8 of the paper).
@@ -141,7 +166,6 @@ pub fn execute(
     let sequence_cols: Vec<&str> = query.sequence_by.iter().map(String::as_str).collect();
     let clusters = table.cluster_by(&cluster_cols, &sequence_cols)?;
 
-    let counter = EvalCounter::new();
     let search_options = SearchOptions {
         policy: options.policy,
     };
@@ -158,53 +182,153 @@ pub fn execute(
         (kind, Direction::Forward) => Some(plan(&query.elements, kind)),
     };
 
+    let worker_count = options.threads.get().min(clusters.len());
+    let outcomes: Vec<ClusterOutcome> = if worker_count <= 1 {
+        // Sequential path: same per-cluster routine, run inline.
+        clusters
+            .iter()
+            .map(|cluster| {
+                run_cluster(
+                    query,
+                    cluster,
+                    search_plan.as_ref(),
+                    options.engine,
+                    direction,
+                    &search_options,
+                )
+            })
+            .collect()
+    } else {
+        run_clusters_parallel(
+            query,
+            &clusters,
+            search_plan.as_ref(),
+            options.engine,
+            direction,
+            &search_options,
+            worker_count,
+        )
+    };
+
+    // Merge in cluster order: output rows and summed counters land exactly
+    // where the sequential loop would put them, for any thread count.
     let mut stats = SearchStats::default();
-    for cluster in &clusters {
+    for outcome in outcomes {
         stats.clusters += 1;
-        stats.tuples += cluster.len() as u64;
-        let matches = match (&search_plan, options.engine, direction) {
-            (_, _, Direction::Reverse) => find_matches_directed(
-                query,
-                cluster,
-                Direction::Reverse,
-                options.engine,
-                &search_options,
-                &counter,
-            ),
-            (None, EngineKind::NaiveBacktrack, _) => backtracking_search(
-                &query.elements,
-                cluster,
-                &search_options,
-                &counter,
-                None,
-            ),
-            (None, _, _) => {
-                naive_search(&query.elements, cluster, &search_options, &counter, None)
-            }
-            (Some(p), _, _) => find_matches_with_plan(
-                &query.elements,
-                cluster,
-                p,
-                &search_options,
-                &counter,
-                None,
-            ),
-        };
-        let ctx = EvalCtx {
-            cluster,
-            policy: options.policy,
-        };
-        for m in matches {
+        stats.tuples += outcome.tuples;
+        stats.predicate_tests += outcome.predicate_tests;
+        for row in outcome.rows {
             stats.matches += 1;
-            let bindings = Bindings {
-                spans: m.spans,
-            };
-            let row = eval_projection(&query.projection, &ctx, &bindings);
             out.push_row(row).map_err(ExecError::Table)?;
         }
     }
-    stats.predicate_tests = counter.total();
     Ok(QueryResult { table: out, stats })
+}
+
+/// What one cluster's search produced: projected rows in match order plus
+/// the per-cluster slices of the execution stats.
+struct ClusterOutcome {
+    tuples: u64,
+    predicate_tests: u64,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Search a single cluster and project its matches.
+///
+/// This is the unit of work both the sequential loop and the worker pool
+/// run; the private per-cluster [`EvalCounter`] makes it independent of
+/// every other cluster, and counter totals are additive, so summing them in
+/// cluster order reproduces the single-counter sequential total bit for
+/// bit.
+fn run_cluster(
+    query: &CompiledQuery,
+    cluster: &Cluster<'_>,
+    search_plan: Option<&SearchPlan>,
+    engine: EngineKind,
+    direction: Direction,
+    search_options: &SearchOptions,
+) -> ClusterOutcome {
+    let counter = EvalCounter::new();
+    let matches = match (search_plan, engine, direction) {
+        (_, _, Direction::Reverse) => find_matches_directed(
+            query,
+            cluster,
+            Direction::Reverse,
+            engine,
+            search_options,
+            &counter,
+        ),
+        (None, EngineKind::NaiveBacktrack, _) => {
+            backtracking_search(&query.elements, cluster, search_options, &counter, None)
+        }
+        (None, _, _) => naive_search(&query.elements, cluster, search_options, &counter, None),
+        (Some(p), _, _) => {
+            find_matches_with_plan(&query.elements, cluster, p, search_options, &counter, None)
+        }
+    };
+    let ctx = EvalCtx {
+        cluster,
+        policy: search_options.policy,
+    };
+    let rows = matches
+        .into_iter()
+        .map(|m| {
+            let bindings = Bindings { spans: m.spans };
+            eval_projection(&query.projection, &ctx, &bindings)
+        })
+        .collect();
+    ClusterOutcome {
+        tuples: cluster.len() as u64,
+        predicate_tests: counter.total(),
+        rows,
+    }
+}
+
+/// Fan the clusters out over `worker_count` scoped threads.
+///
+/// Workers pull cluster indices from a shared atomic cursor (dynamic
+/// load balancing: cluster sizes are often skewed) and deposit each
+/// outcome into that cluster's dedicated slot, so the returned vector is
+/// in cluster order regardless of which worker finished when.
+fn run_clusters_parallel(
+    query: &CompiledQuery,
+    clusters: &[Cluster<'_>],
+    search_plan: Option<&SearchPlan>,
+    engine: EngineKind,
+    direction: Direction,
+    search_options: &SearchOptions,
+    worker_count: usize,
+) -> Vec<ClusterOutcome> {
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ClusterOutcome>>> =
+        clusters.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                let Some(cluster) = clusters.get(idx) else {
+                    break;
+                };
+                let outcome = run_cluster(
+                    query,
+                    cluster,
+                    search_plan,
+                    engine,
+                    direction,
+                    search_options,
+                );
+                *slots[idx].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("worker pool processed every cluster")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -339,6 +463,58 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, ExecError::Lang(_)));
         assert!(err.to_string().contains("no such column"));
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        // Output rows, row order, and every stats field must match the
+        // sequential run for any thread count — including more workers
+        // than clusters.
+        let table = quote_table();
+        let queries = [
+            "SELECT X.name, Y.price AS peak FROM quote \
+             CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) \
+             WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price",
+            "SELECT X.name, FIRST(Y).date AS from_d FROM quote \
+             CLUSTER BY name SEQUENCE BY date AS (X, *Y) \
+             WHERE Y.price > Y.previous.price",
+        ];
+        for src in queries {
+            for engine in [
+                EngineKind::Naive,
+                EngineKind::NaiveBacktrack,
+                EngineKind::Ops,
+                EngineKind::OpsShiftOnly,
+            ] {
+                let opts = |threads: usize| ExecOptions {
+                    engine,
+                    threads: NonZeroUsize::new(threads).unwrap(),
+                    ..Default::default()
+                };
+                let seq = execute_query(src, &table, &opts(1)).unwrap();
+                for threads in [2, 4, 16] {
+                    let par = execute_query(src, &table, &opts(threads)).unwrap();
+                    assert_eq!(par.table, seq.table, "{engine:?} threads={threads}");
+                    assert_eq!(par.stats, seq.stats, "{engine:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reverse_direction_agrees() {
+        let table = quote_table();
+        let src = "SELECT X.name, X.date AS d FROM quote CLUSTER BY name SEQUENCE BY date \
+                   AS (X, Y) WHERE Y.price < X.price";
+        let opts = |threads: usize| ExecOptions {
+            direction: DirectionChoice::Reverse,
+            threads: NonZeroUsize::new(threads).unwrap(),
+            ..Default::default()
+        };
+        let seq = execute_query(src, &table, &opts(1)).unwrap();
+        let par = execute_query(src, &table, &opts(8)).unwrap();
+        assert_eq!(par.table, seq.table);
+        assert_eq!(par.stats, seq.stats);
     }
 
     #[test]

@@ -76,9 +76,7 @@ pub fn explain(query: &CompiledQuery) -> String {
 }
 
 fn indent(s: &str) -> String {
-    s.lines()
-        .map(|l| format!("  {l}\n"))
-        .collect()
+    s.lines().map(|l| format!("  {l}\n")).collect()
 }
 
 #[cfg(test)]

@@ -169,7 +169,10 @@ mod tests {
     fn finds_all_overlapping_occurrences() {
         let c = EvalCounter::new();
         assert_eq!(find_all_str("aa", "aaaa", &c), vec![0, 1, 2]);
-        assert_eq!(find_all_str("aba", "ababa", &EvalCounter::new()), vec![0, 2]);
+        assert_eq!(
+            find_all_str("aba", "ababa", &EvalCounter::new()),
+            vec![0, 2]
+        );
     }
 
     #[test]

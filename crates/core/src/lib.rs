@@ -60,7 +60,9 @@ pub mod stargraph;
 
 pub use counters::{EvalCounter, SearchTrace};
 pub use engine::{find_matches, EngineKind, MatchSpans, SearchOptions};
-pub use executor::{execute, execute_query, DirectionChoice, ExecOptions, QueryResult, SearchStats};
+pub use executor::{
+    execute, execute_query, DirectionChoice, ExecOptions, QueryResult, SearchStats,
+};
 pub use explain::explain;
 pub use matrices::{PrecondMatrices, Predicates};
 pub use shift_next::ShiftNext;

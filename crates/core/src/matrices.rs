@@ -110,10 +110,7 @@ impl PrecondMatrices {
             for k in 1..=j {
                 let fk = pattern.formula(k);
                 // --- θ[j][k] ---
-                let t = if pattern.purely_local(k)
-                    && sat[j - 1] != Truth::False
-                    && fj.implies(fk)
-                {
+                let t = if pattern.purely_local(k) && sat[j - 1] != Truth::False && fj.implies(fk) {
                     Truth::True
                 } else if fj.contradicts(fk) {
                     Truth::False
@@ -219,7 +216,9 @@ pub(crate) fn test_element(
 
 /// `true` iff the whole element predicate is a single constant-equality
 /// atom (the KMP-applicable fragment of Example 3).
-pub fn is_constant_equality(element: &PatternElement) -> Option<(sqlts_constraints::Var, sqlts_rational::Rational)> {
+pub fn is_constant_equality(
+    element: &PatternElement,
+) -> Option<(sqlts_constraints::Var, sqlts_rational::Rational)> {
     let f = &element.formula;
     if !element.purely_local() || f.disjuncts().len() != 1 {
         return None;
@@ -414,14 +413,11 @@ mod tests {
         ]));
         let neg = negate_formula(&band, 64).unwrap();
         assert_eq!(neg.disjuncts().len(), 2); // ≤40 ∨ ≥50
-        // ¬¬band ≡ band (semantically): ¬band contradicts band.
+                                              // ¬¬band ≡ band (semantically): ¬band contradicts band.
         assert!(neg.contradicts(&band));
         // ¬TRUE = FALSE.
         let t = Formula::conj(System::new());
-        assert_eq!(
-            negate_formula(&t, 64).unwrap().disjuncts().len(),
-            0
-        );
+        assert_eq!(negate_formula(&t, 64).unwrap().disjuncts().len(), 0);
         // ¬FALSE = TRUE.
         let f = Formula::none();
         let nf = negate_formula(&f, 64).unwrap();

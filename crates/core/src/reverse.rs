@@ -22,9 +22,7 @@ use crate::engine::{find_matches, EngineKind, MatchSpans, SearchOptions};
 use crate::matrices::{PrecondMatrices, Predicates};
 use crate::shift_next;
 use crate::stargraph::star_shift_next;
-use sqlts_lang::{
-    Anchor, BoolExpr, CompiledQuery, Conjunct, PatternElement, ScalarExpr, SpanEnd,
-};
+use sqlts_lang::{Anchor, BoolExpr, CompiledQuery, Conjunct, PatternElement, ScalarExpr, SpanEnd};
 use sqlts_relation::Cluster;
 
 /// Search direction.
@@ -67,14 +65,12 @@ fn reverse_bool(e: &BoolExpr, m: usize) -> BoolExpr {
             op: *op,
             rhs: reverse_scalar(rhs, m),
         },
-        BoolExpr::And(a, b) => BoolExpr::And(
-            Box::new(reverse_bool(a, m)),
-            Box::new(reverse_bool(b, m)),
-        ),
-        BoolExpr::Or(a, b) => BoolExpr::Or(
-            Box::new(reverse_bool(a, m)),
-            Box::new(reverse_bool(b, m)),
-        ),
+        BoolExpr::And(a, b) => {
+            BoolExpr::And(Box::new(reverse_bool(a, m)), Box::new(reverse_bool(b, m)))
+        }
+        BoolExpr::Or(a, b) => {
+            BoolExpr::Or(Box::new(reverse_bool(a, m)), Box::new(reverse_bool(b, m)))
+        }
         BoolExpr::Not(inner) => BoolExpr::Not(Box::new(reverse_bool(inner, m))),
         BoolExpr::Const(b) => BoolExpr::Const(*b),
     }
@@ -140,9 +136,7 @@ pub fn find_matches_directed(
     counter: &EvalCounter,
 ) -> Vec<MatchSpans> {
     match direction {
-        Direction::Forward => {
-            find_matches(&query.elements, cluster, kind, options, counter, None)
-        }
+        Direction::Forward => find_matches(&query.elements, cluster, kind, options, counter, None),
         Direction::Reverse => {
             let rev_elements = reverse_elements(&query.elements);
             let rev_cluster = cluster.reversed();

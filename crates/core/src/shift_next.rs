@@ -123,9 +123,7 @@ pub fn compute(pre: &PrecondMatrices) -> ShiftNext {
 
     for j in 1..=m {
         // shift(j): leftmost non-zero column of row j, else j.
-        let sh = (1..j)
-            .find(|&k| s.get(j, k) != Truth::False)
-            .unwrap_or(j);
+        let sh = (1..j).find(|&k| s.get(j, k) != Truth::False).unwrap_or(j);
         shift[j] = sh;
 
         // next(j): the paper's case 1 (full shift → restart), else the

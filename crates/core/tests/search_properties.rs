@@ -11,11 +11,7 @@ fn table_of(prices: &[f64]) -> Table {
     prices_to_table("T", Date::from_ymd(1985, 1, 1), prices)
 }
 
-fn traced(
-    query_src: &str,
-    table: &Table,
-    engine: EngineKind,
-) -> (SearchTrace, u64, usize) {
+fn traced(query_src: &str, table: &Table, engine: EngineKind) -> (SearchTrace, u64, usize) {
     let query = compile(query_src, table.schema(), &CompileOptions::default()).unwrap();
     let clusters = table.cluster_by(&[], &["date"]).unwrap();
     let mut trace = SearchTrace::new();
@@ -44,8 +40,7 @@ fn ops_backtracks_no_more_than_naive() {
     // Figure 5's qualitative claim, checked across many seeds.
     for seed in 0..20u64 {
         let table = table_of(&integer_walk(400, 1, 12, 2, seed));
-        let (naive_trace, naive_cost, naive_matches) =
-            traced(CHAIN, &table, EngineKind::Naive);
+        let (naive_trace, naive_cost, naive_matches) = traced(CHAIN, &table, EngineKind::Naive);
         let (ops_trace, ops_cost, ops_matches) = traced(CHAIN, &table, EngineKind::Ops);
         assert_eq!(naive_matches, ops_matches, "seed {seed}");
         assert!(ops_cost <= naive_cost, "seed {seed}");
@@ -96,7 +91,11 @@ fn embedded_motifs_are_all_found() {
     let table = table_of(&prices);
     let query = "SELECT X.date FROM t SEQUENCE BY date AS (X, Y, Z) \
                  WHERE X.price = 90 AND Y.price = 20 AND Z.price = 60";
-    for engine in [EngineKind::Naive, EngineKind::NaiveBacktrack, EngineKind::Ops] {
+    for engine in [
+        EngineKind::Naive,
+        EngineKind::NaiveBacktrack,
+        EngineKind::Ops,
+    ] {
         let (_, _, matches) = traced(query, &table, engine);
         assert_eq!(matches, expected, "{engine:?}");
     }

@@ -178,7 +178,9 @@ pub fn integer_walk(n: usize, lo: i64, hi: i64, max_step: i64, seed: u64) -> Vec
 /// prices — the text-search workload for the KMP comparison (E6).
 pub fn symbol_series(n: usize, alphabet: u8, seed: u64) -> Vec<f64> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| f64::from(rng.gen_range(0..alphabet))).collect()
+    (0..n)
+        .map(|_| f64::from(rng.gen_range(0..alphabet)))
+        .collect()
 }
 
 /// Embed copies of `motif` into a base series at roughly every
@@ -317,10 +319,7 @@ mod tests {
         let mut base = vec![0.0; 300];
         let motif = [9.0, 8.0, 9.5];
         embed_motif(&mut base, &motif, 40, 11);
-        let hits = base
-            .windows(3)
-            .filter(|w| w == &motif)
-            .count();
+        let hits = base.windows(3).filter(|w| w == &motif).count();
         assert!(hits >= 3, "expected several embedded motifs, got {hits}");
     }
 

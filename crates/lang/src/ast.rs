@@ -203,10 +203,9 @@ impl Expr {
     /// order.
     pub fn vars(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Field { var, .. }
-                if !out.iter().any(|v| v.eq_ignore_ascii_case(var)) => {
-                    out.push(var.clone());
-                }
+            Expr::Field { var, .. } if !out.iter().any(|v| v.eq_ignore_ascii_case(var)) => {
+                out.push(var.clone());
+            }
             Expr::Binary { lhs, rhs, .. } => {
                 lhs.vars(out);
                 rhs.vars(out);

@@ -196,7 +196,11 @@ impl Binder<'_> {
     /// Lower a boolean `WHERE` conjunct for element `target`
     /// (`target = None` lowers in projection mode).  Returns the runtime
     /// expression and whether it is local.
-    fn lower_bool(&self, expr: &Expr, target: Option<usize>) -> Result<(BoolExpr, bool), LangError> {
+    fn lower_bool(
+        &self,
+        expr: &Expr,
+        target: Option<usize>,
+    ) -> Result<(BoolExpr, bool), LangError> {
         match expr {
             Expr::Binary {
                 op: BinOp::And,
@@ -244,14 +248,7 @@ impl Binder<'_> {
                     BinOp::Ne => CmpOp::Ne,
                     _ => unreachable!("guarded by is_comparison"),
                 };
-                Ok((
-                    BoolExpr::Cmp {
-                        lhs: l,
-                        op,
-                        rhs: r,
-                    },
-                    ll && rl,
-                ))
+                Ok((BoolExpr::Cmp { lhs: l, op, rhs: r }, ll && rl))
             }
             Expr::Between {
                 expr,
@@ -286,10 +283,7 @@ impl Binder<'_> {
                 };
                 Ok((out, el && ll && hl))
             }
-            other => Err(LangError::new(
-                "expected a boolean condition",
-                other.span(),
-            )),
+            other => Err(LangError::new("expected a boolean condition", other.span())),
         }
     }
 
@@ -305,9 +299,9 @@ impl Binder<'_> {
             Expr::Number { value, .. } => Ok((ScalarExpr::num(*value), TyClass::Num, true)),
             Expr::Str { value, .. } => Ok((ScalarExpr::Str(value.clone()), TyClass::Str, true)),
             Expr::DateLit { value, span } => {
-                let date = value.parse().map_err(|e| {
-                    LangError::new(format!("{e}"), *span)
-                })?;
+                let date = value
+                    .parse()
+                    .map_err(|e| LangError::new(format!("{e}"), *span))?;
                 Ok((ScalarExpr::Date(date), TyClass::Num, true))
             }
             Expr::Field {
@@ -332,7 +326,10 @@ impl Binder<'_> {
                 let (l, lt, ll) = self.lower_scalar(lhs, target)?;
                 let (r, rt, rl) = self.lower_scalar(rhs, target)?;
                 if lt != TyClass::Num || rt != TyClass::Num {
-                    return Err(LangError::new("arithmetic requires numeric operands", *span));
+                    return Err(LangError::new(
+                        "arithmetic requires numeric operands",
+                        *span,
+                    ));
                 }
                 let op = match op {
                     BinOp::Add => ArithOp::Add,
@@ -421,9 +418,7 @@ impl Binder<'_> {
                 if k == j {
                     if first_last.is_some() {
                         return Err(LangError::new(
-                            format!(
-                                "FIRST/LAST of {var} cannot be used in {var}'s own condition"
-                            ),
+                            format!("FIRST/LAST of {var} cannot be used in {var}'s own condition"),
                             span,
                         ));
                     }
@@ -435,8 +430,8 @@ impl Binder<'_> {
                 // and everything between `k` and `j` is non-star, so the
                 // distance from the current tuple to element k's tuple is
                 // exactly j - k.
-                let rewritable = !self.pattern[j].star
-                    && self.pattern[k..j].iter().all(|p| !p.star);
+                let rewritable =
+                    !self.pattern[j].star && self.pattern[k..j].iter().all(|p| !p.star);
                 if rewritable {
                     let (e, t) = field(Anchor::Cur, nav_offset - (j - k) as i32);
                     return Ok((e, t, true));
@@ -606,22 +601,29 @@ impl Affine {
         }
     }
 
-    fn scale(mut self, s: Rational) -> Affine {
+    /// `None` when a coefficient overflows: the caller abandons the affine
+    /// view and the comparison stays an opaque predicate.
+    fn scale(mut self, s: Rational) -> Option<Affine> {
         for v in self.terms.values_mut() {
-            *v = *v * s;
+            *v = v.checked_mul(s).ok()?;
         }
-        self.konst = self.konst * s;
-        self
+        self.konst = self.konst.checked_mul(s).ok()?;
+        Some(self)
     }
 
-    fn add(mut self, other: Affine) -> Affine {
+    /// `None` on coefficient overflow (see [`Affine::scale`]).
+    fn add(mut self, other: Affine) -> Option<Affine> {
         for (k, v) in other.terms {
             let entry = self.terms.entry(k).or_insert(Rational::ZERO);
-            *entry += v;
+            *entry = entry.checked_add(v).ok()?;
         }
         self.terms.retain(|_, v| !v.is_zero());
-        self.konst += other.konst;
-        self
+        self.konst = self.konst.checked_add(other.konst).ok()?;
+        Some(self)
+    }
+
+    fn neg(self) -> Option<Affine> {
+        self.scale(-Rational::ONE)
     }
 }
 
@@ -642,25 +644,25 @@ fn affine(expr: &ScalarExpr) -> Option<Affine> {
             }
             _ => None,
         },
-        ScalarExpr::Neg(e) => Some(affine(e)?.scale(-Rational::ONE)),
+        ScalarExpr::Neg(e) => affine(e)?.neg(),
         ScalarExpr::Arith { op, lhs, rhs } => {
             let l = affine(lhs)?;
             let r = affine(rhs)?;
             match op {
-                ArithOp::Add => Some(l.add(r)),
-                ArithOp::Sub => Some(l.add(r.scale(-Rational::ONE))),
+                ArithOp::Add => l.add(r),
+                ArithOp::Sub => l.add(r.neg()?),
                 ArithOp::Mul => {
                     if l.terms.is_empty() {
-                        Some(r.scale(l.konst))
+                        r.scale(l.konst)
                     } else if r.terms.is_empty() {
-                        Some(l.scale(r.konst))
+                        l.scale(r.konst)
                     } else {
                         None
                     }
                 }
                 ArithOp::Div => {
                     if r.terms.is_empty() && !r.konst.is_zero() {
-                        Some(l.scale(r.konst.recip()))
+                        l.scale(r.konst.checked_recip().ok()?)
                     } else {
                         None
                     }
@@ -685,51 +687,11 @@ fn cmp_to_atom(lhs: &ScalarExpr, op: CmpOp, rhs: &ScalarExpr) -> Atom {
     }
 
     // Numeric: move everything to one side, `diff op 0`.
-    if let (Some(l), Some(r)) = (affine(lhs), affine(rhs)) {
-        let diff = l.add(r.scale(-Rational::ONE));
-        let fields: Vec<((i32, usize), Rational)> =
-            diff.terms.iter().map(|(k, v)| (*k, *v)).collect();
-        match fields.len() {
-            0 => {
-                // Constant comparison.
-                return if op.eval(diff.konst, Rational::ZERO) {
-                    Atom::True
-                } else {
-                    Atom::False
-                };
-            }
-            1 => {
-                let ((off, col), coeff) = fields[0];
-                if let Some(var) = field_var(off, col) {
-                    // coeff·x + konst op 0  ≡  x op' (-konst/coeff)
-                    let op = if coeff.is_negative() { op.flip() } else { op };
-                    return Atom::VarConst {
-                        x: var,
-                        op,
-                        c: -diff.konst / coeff,
-                    };
-                }
-            }
-            2 => {
-                let ((off1, col1), a) = fields[0];
-                let ((off2, col2), b) = fields[1];
-                if let (Some(x), Some(y)) = (field_var(off1, col1), field_var(off2, col2)) {
-                    // a·x + b·y + k op 0  ≡  x op' (-b/a)·y + (-k/a)
-                    let op = if a.is_negative() { op.flip() } else { op };
-                    return Atom::VarVar {
-                        x,
-                        op,
-                        y,
-                        scale: -b / a,
-                        add: -diff.konst / a,
-                    };
-                }
-            }
-            _ => {}
-        }
+    if let Some(atom) = numeric_atom(lhs, op, rhs) {
+        return atom;
     }
 
-    // Outside the fragment: canonical opaque token.
+    // Outside the fragment (or overflow): canonical opaque token.
     let (canon_op, negated) = match op {
         CmpOp::Eq | CmpOp::Lt | CmpOp::Le => (op, false),
         CmpOp::Ne => (CmpOp::Eq, true),
@@ -739,6 +701,53 @@ fn cmp_to_atom(lhs: &ScalarExpr, op: CmpOp, rhs: &ScalarExpr) -> Atom {
     Atom::Opaque {
         token: format!("{lhs} {canon_op} {rhs}"),
         negated,
+    }
+}
+
+/// The affine fragment of [`cmp_to_atom`]: `None` when either side is not
+/// affine in Cur-anchored fields, when the solver cannot index a variable,
+/// or when any rational op overflows — in every case the comparison simply
+/// stays opaque, which is always sound.
+fn numeric_atom(lhs: &ScalarExpr, op: CmpOp, rhs: &ScalarExpr) -> Option<Atom> {
+    let l = affine(lhs)?;
+    let r = affine(rhs)?;
+    let diff = l.add(r.neg()?)?;
+    let fields: Vec<((i32, usize), Rational)> = diff.terms.iter().map(|(k, v)| (*k, *v)).collect();
+    match fields.len() {
+        0 => {
+            // Constant comparison.
+            Some(if op.eval(diff.konst, Rational::ZERO) {
+                Atom::True
+            } else {
+                Atom::False
+            })
+        }
+        1 => {
+            let ((off, col), coeff) = fields[0];
+            let var = field_var(off, col)?;
+            // coeff·x + konst op 0  ≡  x op' (-konst/coeff)
+            let op = if coeff.is_negative() { op.flip() } else { op };
+            let c = diff.konst.checked_neg().ok()?.checked_div(coeff).ok()?;
+            Some(Atom::VarConst { x: var, op, c })
+        }
+        2 => {
+            let ((off1, col1), a) = fields[0];
+            let ((off2, col2), b) = fields[1];
+            let x = field_var(off1, col1)?;
+            let y = field_var(off2, col2)?;
+            // a·x + b·y + k op 0  ≡  x op' (-b/a)·y + (-k/a)
+            let op = if a.is_negative() { op.flip() } else { op };
+            let scale = b.checked_neg().ok()?.checked_div(a).ok()?;
+            let add = diff.konst.checked_neg().ok()?.checked_div(a).ok()?;
+            Some(Atom::VarVar {
+                x,
+                op,
+                y,
+                scale,
+                add,
+            })
+        }
+        _ => None,
     }
 }
 
@@ -1090,7 +1099,9 @@ mod tests {
             &opts(),
         )
         .unwrap();
-        assert!(drop.elements[0].formula.implies(&falling.elements[0].formula));
+        assert!(drop.elements[0]
+            .formula
+            .implies(&falling.elements[0].formula));
         // Without the positive-domain assumption the proof must vanish.
         let no_pos = CompileOptions {
             assume_positive_domains: false,
@@ -1110,7 +1121,9 @@ mod tests {
             &no_pos,
         )
         .unwrap();
-        assert!(!drop2.elements[0].formula.implies(&falling2.elements[0].formula));
+        assert!(!drop2.elements[0]
+            .formula
+            .implies(&falling2.elements[0].formula));
     }
 
     #[test]

@@ -131,20 +131,11 @@ fn eval_where_scalar<'a>(
 }
 
 /// Evaluate one boolean expression in `WHERE` mode.
-pub(crate) fn eval_bool(
-    e: &BoolExpr,
-    ctx: &EvalCtx<'_>,
-    cur: usize,
-    bindings: &Bindings,
-) -> bool {
+pub(crate) fn eval_bool(e: &BoolExpr, ctx: &EvalCtx<'_>, cur: usize, bindings: &Bindings) -> bool {
     match e {
         BoolExpr::Const(b) => *b,
-        BoolExpr::And(a, b) => {
-            eval_bool(a, ctx, cur, bindings) && eval_bool(b, ctx, cur, bindings)
-        }
-        BoolExpr::Or(a, b) => {
-            eval_bool(a, ctx, cur, bindings) || eval_bool(b, ctx, cur, bindings)
-        }
+        BoolExpr::And(a, b) => eval_bool(a, ctx, cur, bindings) && eval_bool(b, ctx, cur, bindings),
+        BoolExpr::Or(a, b) => eval_bool(a, ctx, cur, bindings) || eval_bool(b, ctx, cur, bindings),
         BoolExpr::Not(inner) => !eval_bool(inner, ctx, cur, bindings),
         BoolExpr::Cmp { lhs, op, rhs } => {
             let l = eval_where_scalar(lhs, ctx, cur, bindings);
@@ -221,11 +212,7 @@ pub fn eval_scalar(e: &ScalarExpr, ctx: &EvalCtx<'_>, bindings: &Bindings) -> Va
 }
 
 /// Evaluate the whole projection for a completed match.
-pub fn eval_projection(
-    items: &[ProjItem],
-    ctx: &EvalCtx<'_>,
-    bindings: &Bindings,
-) -> Vec<Value> {
+pub fn eval_projection(items: &[ProjItem], ctx: &EvalCtx<'_>, bindings: &Bindings) -> Vec<Value> {
     items
         .iter()
         .map(|item| eval_scalar(&item.expr, ctx, bindings))
@@ -407,6 +394,9 @@ mod tests {
         let b = Bindings {
             spans: vec![(0, 0)],
         };
-        assert_eq!(eval_projection(&q.projection, &ctx, &b), vec![Value::Int(42)]);
+        assert_eq!(
+            eval_projection(&q.projection, &ctx, &b),
+            vec![Value::Int(42)]
+        );
     }
 }

@@ -158,9 +158,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 });
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {
@@ -247,16 +245,30 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             kinds("< <= > >= = <> !="),
-            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Ne]
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne
+            ]
         );
     }
 
     #[test]
     fn arrow_vs_minus() {
-        assert_eq!(kinds("a->b"), kinds("a.b").iter().map(|t| match t {
-            Tok::Dot => Tok::Arrow,
-            other => other.clone(),
-        }).collect::<Vec<_>>());
+        assert_eq!(
+            kinds("a->b"),
+            kinds("a.b")
+                .iter()
+                .map(|t| match t {
+                    Tok::Dot => Tok::Arrow,
+                    other => other.clone(),
+                })
+                .collect::<Vec<_>>()
+        );
         assert_eq!(kinds("a - b")[1], Tok::Minus);
     }
 

@@ -262,7 +262,10 @@ impl Parser {
             // Only treat NOT as part of BETWEEN; a bare trailing NOT is an error anyway.
             self.eat_kw("NOT");
             if !self.at_kw("BETWEEN") {
-                return Err(LangError::new("expected BETWEEN after NOT", self.peek_span()));
+                return Err(LangError::new(
+                    "expected BETWEEN after NOT",
+                    self.peek_span(),
+                ));
             }
             true
         } else {
@@ -453,8 +456,7 @@ impl Parser {
 
 fn is_reserved(id: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "CLUSTER", "SEQUENCE", "BY",
-        "BETWEEN",
+        "SELECT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "CLUSTER", "SEQUENCE", "BY", "BETWEEN",
     ];
     RESERVED.iter().any(|k| k.eq_ignore_ascii_case(id))
 }
@@ -512,20 +514,17 @@ mod tests {
 
     #[test]
     fn sql3_arrow_navigation() {
-        let q = parse(
-            "SELECT Z.previous->date FROM quote SEQUENCE BY date AS (Z) WHERE Z.price > 0",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT Z.previous->date FROM quote SEQUENCE BY date AS (Z) WHERE Z.price > 0")
+                .unwrap();
         assert_eq!(q.select[0].expr.to_string(), "Z.previous.date");
         assert!(q.cluster_by.is_empty());
     }
 
     #[test]
     fn operator_precedence() {
-        let q = parse(
-            "SELECT X.a FROM t AS (X) WHERE X.a < 1 + 2 * 3 AND X.b = 0 OR X.c = 1",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT X.a FROM t AS (X) WHERE X.a < 1 + 2 * 3 AND X.b = 0 OR X.c = 1").unwrap();
         assert_eq!(
             q.where_clause.unwrap().to_string(),
             "(((X.a < (1 + (2 * 3))) AND (X.b = 0)) OR (X.c = 1))"
@@ -576,7 +575,11 @@ mod tests {
     #[test]
     fn date_literal() {
         let q = parse("SELECT X.a FROM t AS (X) WHERE X.date > DATE '1999-01-25'").unwrap();
-        assert!(q.where_clause.unwrap().to_string().contains("DATE '1999-01-25'"));
+        assert!(q
+            .where_clause
+            .unwrap()
+            .to_string()
+            .contains("DATE '1999-01-25'"));
     }
 
     #[test]
@@ -609,10 +612,8 @@ mod tests {
 
     #[test]
     fn multiple_cluster_and_sequence_columns() {
-        let q = parse(
-            "SELECT X.a FROM t CLUSTER BY name, exchange SEQUENCE BY date, seq AS (X)",
-        )
-        .unwrap();
+        let q = parse("SELECT X.a FROM t CLUSTER BY name, exchange SEQUENCE BY date, seq AS (X)")
+            .unwrap();
         assert_eq!(q.cluster_by, vec!["name", "exchange"]);
         assert_eq!(q.sequence_by, vec!["date", "seq"]);
     }

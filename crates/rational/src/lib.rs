@@ -10,10 +10,14 @@
 //!
 //! [`Rational`] is a normalized fraction of two `i128`s.  The numerators and
 //! denominators that arise in practice come from query literals and a few
-//! additions/comparisons between them, so `i128` headroom is ample; all
-//! arithmetic is checked and panics on overflow rather than silently wrapping
-//! (a panic during query *compilation* is recoverable, a wrong θ entry is not).
+//! additions/comparisons between them, so `i128` headroom is ample.  All
+//! arithmetic is exact: comparisons never overflow (they fall back to a
+//! continued-fraction walk when cross products exceed `i128`), and every
+//! operation has a `checked_*` form returning [`RationalOverflow`] so
+//! callers can degrade gracefully — the solver drops an optimization rather
+//! than computing a wrong θ entry.  The plain operators panic on overflow
+//! rather than silently wrapping.
 
 mod rational;
 
-pub use rational::{ParseRationalError, Rational};
+pub use rational::{ParseRationalError, Rational, RationalOverflow};

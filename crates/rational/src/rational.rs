@@ -26,6 +26,23 @@ pub struct ParseRationalError {
     input: String,
 }
 
+/// Typed error for [`Rational`] arithmetic whose exact `i128` result would
+/// overflow.
+///
+/// The checked constructors (`checked_add`, `checked_mul`, …) return this
+/// instead of panicking, so query pipelines can degrade gracefully (skip
+/// an optimization, fall back to an opaque predicate) rather than abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RationalOverflow;
+
+impl fmt::Display for RationalOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rational arithmetic overflow (constants too large)")
+    }
+}
+
+impl std::error::Error for RationalOverflow {}
+
 impl fmt::Display for ParseRationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid rational literal: {:?}", self.input)
@@ -136,10 +153,71 @@ impl Rational {
         Rational::new(scaled as i128, SCALE)
     }
 
-    fn checked_op(self, rhs: Rational, f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>) -> Rational {
-        let (n, d) = f(self.num, self.den, rhs.num, rhs.den)
-            .expect("Rational arithmetic overflow (query constants too large)");
-        Rational::new(n, d)
+    /// `self + rhs`, or [`RationalOverflow`] if the exact result cannot be
+    /// represented.
+    pub fn checked_add(self, rhs: Rational) -> Result<Rational, RationalOverflow> {
+        // Use the reduced common denominator to keep intermediates small:
+        // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g))  with g = gcd(b, d).
+        let g = gcd(self.den, rhs.den);
+        let rd = rhs.den / g;
+        let ld = self.den / g;
+        let n = self
+            .num
+            .checked_mul(rd)
+            .and_then(|l| rhs.num.checked_mul(ld).and_then(|r| l.checked_add(r)))
+            .ok_or(RationalOverflow)?;
+        let d = self.den.checked_mul(rd).ok_or(RationalOverflow)?;
+        Ok(Rational::new(n, d))
+    }
+
+    /// `self - rhs`, or [`RationalOverflow`] on overflow.
+    pub fn checked_sub(self, rhs: Rational) -> Result<Rational, RationalOverflow> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// `self * rhs`, or [`RationalOverflow`] on overflow.
+    pub fn checked_mul(self, rhs: Rational) -> Result<Rational, RationalOverflow> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let an = self.num / g1;
+        let bd = rhs.den / g1;
+        let bn = rhs.num / g2;
+        let ad = self.den / g2;
+        let n = an.checked_mul(bn).ok_or(RationalOverflow)?;
+        let d = ad.checked_mul(bd).ok_or(RationalOverflow)?;
+        Ok(Rational::new(n, d))
+    }
+
+    /// `self / rhs`, or [`RationalOverflow`] on overflow.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero (division by zero is a logic error, not an
+    /// overflow).
+    pub fn checked_div(self, rhs: Rational) -> Result<Rational, RationalOverflow> {
+        self.checked_mul(rhs.checked_recip()?)
+    }
+
+    /// `-self`, or [`RationalOverflow`] for the single unrepresentable
+    /// numerator `i128::MIN`.
+    pub fn checked_neg(self) -> Result<Rational, RationalOverflow> {
+        Ok(Rational {
+            num: self.num.checked_neg().ok_or(RationalOverflow)?,
+            den: self.den,
+        })
+    }
+
+    /// `1 / self`, or [`RationalOverflow`] if the numerator cannot change
+    /// sign without overflow.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn checked_recip(self) -> Result<Rational, RationalOverflow> {
+        assert!(self.num != 0, "division by zero Rational");
+        if self.num == i128::MIN {
+            return Err(RationalOverflow);
+        }
+        Ok(Rational::new(self.den, self.num))
     }
 }
 
@@ -164,56 +242,40 @@ impl From<i32> for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
-        self.checked_op(rhs, |an, ad, bn, bd| {
-            let n = an.checked_mul(bd)?.checked_add(bn.checked_mul(ad)?)?;
-            let d = ad.checked_mul(bd)?;
-            Some((n, d))
-        })
+        self.checked_add(rhs)
+            .expect("Rational addition overflow (use checked_add to recover)")
     }
 }
 
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, rhs: Rational) -> Rational {
-        self + (-rhs)
+        self.checked_sub(rhs)
+            .expect("Rational subtraction overflow (use checked_sub to recover)")
     }
 }
 
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
-        // Cross-reduce first to keep intermediates small.
-        let g1 = gcd(self.num, rhs.den).max(1);
-        let g2 = gcd(rhs.num, self.den).max(1);
-        let an = self.num / g1;
-        let bd = rhs.den / g1;
-        let bn = rhs.num / g2;
-        let ad = self.den / g2;
-        Rational::new(
-            an.checked_mul(bn)
-                .expect("Rational multiplication overflow"),
-            ad.checked_mul(bd)
-                .expect("Rational multiplication overflow"),
-        )
+        self.checked_mul(rhs)
+            .expect("Rational multiplication overflow (use checked_mul to recover)")
     }
 }
 
 impl Div for Rational {
     type Output = Rational;
-    // Division via multiplication by the reciprocal is deliberate.
-    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
-        self * rhs.recip()
+        self.checked_div(rhs)
+            .expect("Rational division overflow (use checked_div to recover)")
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational {
-            num: -self.num,
-            den: self.den,
-        }
+        self.checked_neg()
+            .expect("Rational negation overflow (use checked_neg to recover)")
     }
 }
 
@@ -237,16 +299,54 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("Rational comparison overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("Rational comparison overflow");
-        lhs.cmp(&rhs)
+        // Fast path: a/b ? c/d  <=>  a*d ? c*b   (b, d > 0).
+        if let (Some(lhs), Some(rhs)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            return lhs.cmp(&rhs);
+        }
+        // Cross products overflow i128: compare signs, then fall back to an
+        // overflow-free continued-fraction comparison of the magnitudes.
+        match (self.num.signum(), other.num.signum()) {
+            (ls, rs) if ls != rs => ls.cmp(&rs),
+            (-1, -1) => cmp_pos_fracs(
+                other.num.unsigned_abs(),
+                other.den.unsigned_abs(),
+                self.num.unsigned_abs(),
+                self.den.unsigned_abs(),
+            ),
+            _ => cmp_pos_fracs(
+                self.num.unsigned_abs(),
+                self.den.unsigned_abs(),
+                other.num.unsigned_abs(),
+                other.den.unsigned_abs(),
+            ),
+        }
+    }
+}
+
+/// Compare `an/ad` with `bn/bd` (all strictly positive) without overflow by
+/// comparing continued-fraction expansions: equal integer parts descend to
+/// the reciprocals of the fractional parts, which flips the ordering.
+fn cmp_pos_fracs(mut an: u128, mut ad: u128, mut bn: u128, mut bd: u128) -> Ordering {
+    loop {
+        let qa = an / ad;
+        let qb = bn / bd;
+        if qa != qb {
+            return qa.cmp(&qb);
+        }
+        let ra = an % ad;
+        let rb = bn % bd;
+        match (ra == 0, rb == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                // ra/ad ? rb/bd  <=>  bd/rb ? ad/ra  (reciprocals flip).
+                (an, ad, bn, bd) = (bd, rb, ad, ra);
+            }
+        }
     }
 }
 
@@ -293,9 +393,7 @@ impl FromStr for Rational {
                     int_part.parse().map_err(|_| err())?
                 };
                 let frac: i128 = frac_part.parse().map_err(|_| err())?;
-                let scale = 10i128
-                    .checked_pow(frac_part.len() as u32)
-                    .ok_or_else(err)?;
+                let scale = 10i128.checked_pow(frac_part.len() as u32).ok_or_else(err)?;
                 let num = int_part
                     .checked_mul(scale)
                     .and_then(|v| v.checked_add(frac))
@@ -416,6 +514,65 @@ mod tests {
     fn display() {
         assert_eq!(Rational::new(23, 20).to_string(), "23/20");
         assert_eq!(Rational::from(7).to_string(), "7");
+    }
+
+    #[test]
+    fn checked_ops_report_overflow() {
+        let huge = Rational::from_int(i128::MAX);
+        assert_eq!(huge.checked_add(Rational::ONE), Err(RationalOverflow));
+        assert_eq!(huge.checked_mul(Rational::from(2)), Err(RationalOverflow));
+        assert_eq!(
+            huge.checked_sub(Rational::from_int(i128::MIN)),
+            Err(RationalOverflow)
+        );
+        assert_eq!(
+            Rational::from_int(i128::MIN).checked_neg(),
+            Err(RationalOverflow)
+        );
+        assert_eq!(
+            Rational::from_int(i128::MIN).checked_recip(),
+            Err(RationalOverflow)
+        );
+        // In-range results still come through exactly.
+        assert_eq!(
+            huge.checked_mul(Rational::ONE),
+            Ok(Rational::from_int(i128::MAX))
+        );
+        assert_eq!(
+            Rational::new(1, 2).checked_add(Rational::new(1, 3)),
+            Ok(Rational::new(5, 6))
+        );
+    }
+
+    #[test]
+    fn checked_ops_cross_reduce() {
+        // Naive cross-multiplication of these would overflow i128; the
+        // reduced forms stay exact.
+        let a = Rational::new(i128::MAX, 3);
+        assert_eq!(
+            a.checked_mul(Rational::new(3, i128::MAX)),
+            Ok(Rational::ONE)
+        );
+        let b = Rational::new(1, i128::MAX);
+        assert_eq!(b.checked_add(b), Ok(Rational::new(2, i128::MAX)));
+    }
+
+    #[test]
+    fn comparison_never_overflows() {
+        // Cross products here exceed i128, so the continued-fraction
+        // fallback must kick in.
+        let a = Rational::new(i128::MAX, i128::MAX - 1);
+        let b = Rational::new(i128::MAX - 1, i128::MAX - 2);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), core::cmp::Ordering::Equal);
+
+        let c = Rational::new(-(i128::MAX), i128::MAX - 1);
+        let d = Rational::new(-(i128::MAX - 1), i128::MAX - 2);
+        assert!(d < c);
+        assert!(c < b);
+
+        assert!(Rational::new(i128::MAX, 2) > Rational::new(i128::MAX / 2, 3));
     }
 
     mod props {

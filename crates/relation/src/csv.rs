@@ -255,10 +255,7 @@ IBM,1999-01-25,81
         assert_eq!(t.len(), 3);
         assert_eq!(t.cell(0, 0), &Value::from("INTC"));
         assert_eq!(t.cell(1, 2), &Value::from(63.5));
-        assert_eq!(
-            t.cell(2, 1),
-            &Value::Date(Date::from_ymd(1999, 1, 25))
-        );
+        assert_eq!(t.cell(2, 1), &Value::Date(Date::from_ymd(1999, 1, 25)));
         let rendered = t.to_csv_string();
         let t2 = Table::from_csv_str(quote_schema(), &rendered).unwrap();
         assert_eq!(t.len(), t2.len());

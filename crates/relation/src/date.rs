@@ -23,7 +23,11 @@ pub struct ParseDateError {
 
 impl fmt::Display for ParseDateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid date literal: {:?} (expected YYYY-MM-DD)", self.input)
+        write!(
+            f,
+            "invalid date literal: {:?} (expected YYYY-MM-DD)",
+            self.input
+        )
     }
 }
 
@@ -186,7 +190,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "1999", "1999-13-01", "1999-02-30", "01/25/1999", "1999-1"] {
+        for bad in [
+            "",
+            "1999",
+            "1999-13-01",
+            "1999-02-30",
+            "01/25/1999",
+            "1999-1",
+        ] {
             assert!(bad.parse::<Date>().is_err(), "{bad:?} should fail");
         }
     }

@@ -54,7 +54,10 @@ impl fmt::Display for TableError {
                 column,
                 expected,
                 got,
-            } => write!(f, "value {got} does not fit column {column} of type {expected}"),
+            } => write!(
+                f,
+                "value {got} does not fit column {column} of type {expected}"
+            ),
             TableError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
             TableError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
         }
@@ -341,10 +344,17 @@ mod tests {
         let mut t = Table::new(quote_schema());
         assert!(matches!(
             t.push_row(vec![Value::from("IBM")]),
-            Err(TableError::Arity { expected: 3, got: 1 })
+            Err(TableError::Arity {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(matches!(
-            t.push_row(vec![Value::from("IBM"), Value::from("oops"), Value::from(1.0)]),
+            t.push_row(vec![
+                Value::from("IBM"),
+                Value::from("oops"),
+                Value::from(1.0)
+            ]),
             Err(TableError::Type { .. })
         ));
         // Int into Float column is fine; NULLs are fine.
@@ -354,7 +364,8 @@ mod tests {
             Value::Int(81),
         ])
         .unwrap();
-        t.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(t.len(), 2);
     }
 
@@ -366,15 +377,9 @@ mod tests {
         // BTreeMap ordering: IBM before INTC.
         assert_eq!(clusters[0].key(), &[Value::from("IBM")]);
         assert_eq!(clusters[1].key(), &[Value::from("INTC")]);
-        let ibm_prices: Vec<f64> = clusters[0]
-            .iter()
-            .map(|r| r[2].as_f64().unwrap())
-            .collect();
+        let ibm_prices: Vec<f64> = clusters[0].iter().map(|r| r[2].as_f64().unwrap()).collect();
         assert_eq!(ibm_prices, vec![81.0, 80.5, 84.0]);
-        let intc_prices: Vec<f64> = clusters[1]
-            .iter()
-            .map(|r| r[2].as_f64().unwrap())
-            .collect();
+        let intc_prices: Vec<f64> = clusters[1].iter().map(|r| r[2].as_f64().unwrap()).collect();
         assert_eq!(intc_prices, vec![60.0, 63.5, 62.0]);
     }
 
@@ -402,8 +407,12 @@ mod tests {
     #[test]
     fn stable_sort_preserves_insert_order_on_ties() {
         let mut t = Table::new(
-            Schema::new([("k", ColumnType::Str), ("seq", ColumnType::Int), ("id", ColumnType::Int)])
-                .unwrap(),
+            Schema::new([
+                ("k", ColumnType::Str),
+                ("seq", ColumnType::Int),
+                ("id", ColumnType::Int),
+            ])
+            .unwrap(),
         );
         for (id, seq) in [(1, 5), (2, 5), (3, 4)] {
             t.push_row(vec![Value::from("a"), Value::Int(seq), Value::Int(id)])

@@ -17,8 +17,8 @@
 //! * [`StrictTriMatrix`] — a strictly lower-triangular matrix (diagonal
 //!   excluded) used for the whole-pattern shift matrix S.
 
-mod truth;
 mod trimatrix;
+mod truth;
 
 pub use trimatrix::{StrictTriMatrix, TriMatrix};
 pub use truth::Truth;

@@ -73,7 +73,13 @@ impl TriMatrix {
         let n = rows.len();
         let mut m = TriMatrix::unknown(n);
         for (j, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), j + 1, "row {} must have {} entries", j + 1, j + 1);
+            assert_eq!(
+                row.len(),
+                j + 1,
+                "row {} must have {} entries",
+                j + 1,
+                j + 1
+            );
             for (k, &v) in row.iter().enumerate() {
                 m.set(j + 1, k + 1, v);
             }
@@ -157,8 +163,7 @@ impl StrictTriMatrix {
 
     /// Iterate over `(row, col, value)` for every defined entry.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, Truth)> + '_ {
-        (2..=self.n)
-            .flat_map(move |row| (1..row).map(move |col| (row, col, self.get(row, col))))
+        (2..=self.n).flat_map(move |row| (1..row).map(move |col| (row, col, self.get(row, col))))
     }
 }
 

@@ -2,8 +2,8 @@
 
 use sqlts_core::engine::{find_matches, SearchOptions};
 use sqlts_core::{
-    compile, execute_query, CompileOptions, EngineKind, EvalCounter, ExecOptions,
-    FirstTuplePolicy, SearchTrace,
+    compile, execute_query, CompileOptions, EngineKind, EvalCounter, ExecOptions, FirstTuplePolicy,
+    SearchTrace,
 };
 use sqlts_relation::{ColumnType, Date, Schema, Table, Value};
 
@@ -163,7 +163,9 @@ fn example4_full_query_with_name_filter() {
 #[test]
 fn example8_three_periods() {
     // The §5 count example: 20 21 23 24 22 20 18 15 14 18 21.
-    let prices = [20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0];
+    let prices = [
+        20.0, 21.0, 23.0, 24.0, 22.0, 20.0, 18.0, 15.0, 14.0, 18.0, 21.0,
+    ];
     let table = single_stock(&prices);
     let result = execute_query(
         "SELECT X.name, FIRST(X).date AS sdate, LAST(Z).date AS edate \
@@ -239,12 +241,12 @@ fn example10_relaxed_double_bottom_miniature() {
         100.0, 100.5, // X region (no big drop)
         95.0,  // Y: -5.47%
         95.5, 94.8, // Z: flat-ish (±2%)
-        99.0,  // T: +4.4%
-        99.5,  // U: flat
-        94.0,  // V: -5.5%
-        94.5,  // W: flat
-        99.2,  // R: +5.0%
-        99.5,  // S: +0.3% (≤ 2%)
+        99.0, // T: +4.4%
+        99.5, // U: flat
+        94.0, // V: -5.5%
+        94.5, // W: flat
+        99.2, // R: +5.0%
+        99.5, // S: +0.3% (≤ 2%)
     ];
     let table = single_stock(&prices);
     let query = "SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price \
@@ -258,7 +260,11 @@ fn example10_relaxed_double_bottom_miniature() {
          AND 0.98 * W.previous.price < W.price AND W.price < 1.02 * W.previous.price \
          AND R.price > 1.02 * R.previous.price \
          AND S.price <= 1.02 * S.previous.price";
-    for engine in [EngineKind::Naive, EngineKind::NaiveBacktrack, EngineKind::Ops] {
+    for engine in [
+        EngineKind::Naive,
+        EngineKind::NaiveBacktrack,
+        EngineKind::Ops,
+    ] {
         let result = execute_query(
             query,
             &table,

@@ -122,11 +122,7 @@ fn all_engines_project_identically() {
     // unique — the star is the final element, and FIRST(Y) is stable.
     let (_, reference) = &tables[0];
     for (engine, t) in &tables {
-        assert_eq!(
-            t.len(),
-            reference.len(),
-            "{engine:?} match count differs"
-        );
+        assert_eq!(t.len(), reference.len(), "{engine:?} match count differs");
         for (a, b) in t.rows().zip(reference.rows()) {
             assert_eq!(a, b, "{engine:?}");
         }

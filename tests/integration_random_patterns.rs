@@ -10,9 +10,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sqlts_core::{execute_query, EngineKind, ExecOptions, FirstTuplePolicy};
-use sqlts_datagen::{integer_walk, prices_to_table};
-use sqlts_relation::Date;
+use sqlts_core::{execute_query, DirectionChoice, EngineKind, ExecOptions, FirstTuplePolicy};
+use sqlts_datagen::{integer_walk, prices_to_table, quote_schema};
+use sqlts_relation::{Date, Table, Value};
+use std::num::NonZeroUsize;
 
 /// The predicate alphabet (binary-exact constants only, so f64 runtime
 /// evaluation matches the solver's exact arithmetic).
@@ -125,9 +126,105 @@ fn fuzz(seed: u64, rounds: u32) {
     );
 }
 
+/// A random multi-symbol table: `clusters` independent walks interleaved
+/// under distinct names (so `CLUSTER BY name` produces several streams).
+fn random_clustered_table(rng: &mut SmallRng, clusters: usize) -> Table {
+    let mut table = Table::new(quote_schema());
+    for c in 0..clusters {
+        let name = format!("T{c}");
+        let n = rng.gen_range(0..250);
+        let walk = integer_walk(n, 1, 10, 2, rng.gen::<u64>());
+        let mut day = Date::from_ymd(1990, 1, 1);
+        for p in walk {
+            while day.is_weekend() {
+                day = day.plus_days(1);
+            }
+            table
+                .push_row(vec![
+                    Value::from(name.as_str()),
+                    Value::Date(day),
+                    Value::from(p),
+                ])
+                .unwrap();
+            day = day.plus_days(1);
+        }
+    }
+    table
+}
+
+/// Property: the cluster-parallel executor (threads ≥ 2) returns the same
+/// match set, in the same order, with the same predicate-test count and
+/// stats as the sequential executor (threads = 1) — for every engine,
+/// policy, and direction.
+fn fuzz_parallel(seed: u64, rounds: u32) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut interesting = 0u32;
+    for round in 0..rounds {
+        let base = random_query(&mut rng);
+        let query = base.replace("SEQUENCE BY date", "CLUSTER BY name SEQUENCE BY date");
+        let clusters = rng.gen_range(1..=6);
+        let table = random_clustered_table(&mut rng, clusters);
+        let policy = if rng.gen_bool(0.5) {
+            FirstTuplePolicy::VacuousTrue
+        } else {
+            FirstTuplePolicy::Fail
+        };
+        let engine = [
+            EngineKind::Naive,
+            EngineKind::NaiveBacktrack,
+            EngineKind::Ops,
+            EngineKind::OpsShiftOnly,
+        ][rng.gen_range(0..4usize)];
+        let direction = [
+            DirectionChoice::Forward,
+            DirectionChoice::Reverse,
+            DirectionChoice::Auto,
+        ][rng.gen_range(0..3usize)];
+        let opts = |threads: usize| ExecOptions {
+            engine,
+            policy,
+            direction,
+            threads: NonZeroUsize::new(threads).unwrap(),
+            ..Default::default()
+        };
+
+        let sequential = execute_query(&query, &table, &opts(1))
+            .unwrap_or_else(|e| panic!("round {round}: {query}: {e}"));
+        if sequential.stats.matches > 0 {
+            interesting += 1;
+        }
+        let threads = rng.gen_range(2..=8);
+        let parallel = execute_query(&query, &table, &opts(threads)).unwrap();
+        assert_eq!(
+            parallel.table, sequential.table,
+            "round {round} ({engine:?}, {policy:?}, {direction:?}, \
+             clusters={clusters}, threads={threads}):\n{query}"
+        );
+        assert_eq!(
+            parallel.stats, sequential.stats,
+            "round {round} ({engine:?}, {policy:?}, {direction:?}, \
+             clusters={clusters}, threads={threads}): stats diverged for\n{query}"
+        );
+    }
+    assert!(
+        interesting > rounds / 5,
+        "only {interesting}/{rounds} runs had matches; generator is too cold"
+    );
+}
+
 #[test]
 fn random_patterns_agree_across_engines() {
     fuzz(0xC0FFEE, 400);
+}
+
+#[test]
+fn parallel_execution_agrees_with_sequential() {
+    fuzz_parallel(0xBADC0DE, 300);
+}
+
+#[test]
+fn parallel_execution_agrees_with_sequential_second_seed() {
+    fuzz_parallel(0x5EED5, 300);
 }
 
 #[test]

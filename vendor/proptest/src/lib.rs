@@ -1,0 +1,732 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest/1) crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of proptest its tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, [`Strategy`] with
+//! `prop_map` / `prop_filter`, integer-range and regex-lite string
+//! strategies, tuples, [`Just`], [`prop_oneof!`],
+//! [`collection::vec`](collection::vec()), and `bool::ANY`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case number and the
+//!   derived seed; inputs are regenerable by rerunning the test (seeds are
+//!   a pure function of the test's module path and name).
+//! * **Regex strategies** support the fragment the tests use: sequences
+//!   of `.`, `[...]` classes (with ranges) and literal characters, each
+//!   optionally repeated `{m}` / `{m,n}`.
+//! * Case count comes from the config (default 256) and can be scaled
+//!   down via the `PROPTEST_CASES` environment variable.
+
+pub mod test_runner {
+    //! Deterministic test driver machinery.
+
+    /// xoshiro256** — private PRNG for input generation (independent of
+    /// the workspace's `rand` stand-in on purpose: proptest streams carry
+    /// no calibration requirements).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier (FNV-1a over the name) so every
+        /// run of a given test replays the same inputs.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Seed directly from a `u64` (SplitMix64 expansion).
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            TestRng {
+                s: if s == [0; 4] { [1, 2, 3, 4] } else { s },
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform sample below `bound` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// A uniform `u128` below `bound` (`bound > 0`).
+        pub fn below_u128(&mut self, bound: u128) -> u128 {
+            let v = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            v % bound
+        }
+    }
+
+    /// Per-test configuration (subset of proptest's `Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+
+        /// The case count after applying the `PROPTEST_CASES` env cap.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                Some(cap) => self.cases.min(cap),
+                None => self.cases,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Prints the failing case id if the body panics (no shrinking here,
+    /// but the seed is deterministic so the case replays on rerun).
+    pub struct CaseGuard {
+        name: &'static str,
+        case: u32,
+        armed: bool,
+    }
+
+    impl CaseGuard {
+        /// Arm a guard for one case.
+        pub fn new(name: &'static str, case: u32) -> CaseGuard {
+            CaseGuard {
+                name,
+                case,
+                armed: true,
+            }
+        }
+
+        /// The case finished cleanly.
+        pub fn disarm(&mut self) {
+            self.armed = false;
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest: {} failed at case {} (deterministic; rerun reproduces it)",
+                    self.name, self.case
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values for which `f` returns true (regenerating up
+        /// to a bounded number of times).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 1000 candidates in a row",
+                self.whence
+            )
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Object-safe strategy surface, for [`OneOf`] arms.
+    pub trait DynStrategy<V> {
+        /// Draw one value.
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+
+        /// Clone into a fresh box.
+        fn clone_box(&self) -> Box<dyn DynStrategy<V>>;
+    }
+
+    impl<S> DynStrategy<S::Value> for S
+    where
+        S: Strategy + Clone + 'static,
+    {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+
+        fn clone_box(&self) -> Box<dyn DynStrategy<S::Value>> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// Box a strategy for use as a [`OneOf`] arm.
+    pub fn boxed<S>(s: S) -> Box<dyn DynStrategy<S::Value>>
+    where
+        S: Strategy + Clone + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice between strategies (built by [`prop_oneof!`](crate::prop_oneof)).
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from boxed arms.
+        pub fn new(arms: Vec<Box<dyn DynStrategy<V>>>) -> OneOf<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Clone for OneOf<V> {
+        fn clone(&self) -> OneOf<V> {
+            OneOf {
+                arms: self.arms.iter().map(|a| a.clone_box()).collect(),
+            }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].dyn_generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty => $sample:ident),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.$sample(span);
+                    ((self.start as i128).wrapping_add(off as i128)) as $ty
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span =
+                        (*self.end() as i128).wrapping_sub(*self.start() as i128) as u128 + 1;
+                    let off = rng.$sample(span);
+                    ((*self.start() as i128).wrapping_add(off as i128)) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy! {
+        i8 => below_u128, i16 => below_u128, i32 => below_u128, i64 => below_u128,
+        u8 => below_u128, u16 => below_u128, u32 => below_u128, u64 => below_u128,
+        usize => below_u128, isize => below_u128,
+    }
+
+    // i128 spans can exceed u128::MAX / 2 only for pathological ranges the
+    // tests never use; a direct impl keeps the arithmetic in range.
+    impl Strategy for core::ops::Range<i128> {
+        type Value = i128;
+
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            self.start.wrapping_add(rng.below_u128(span) as i128)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<i128> {
+        type Value = i128;
+
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            let span = self.end().wrapping_sub(*self.start()) as u128;
+            let off = if span == u128::MAX {
+                ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+            } else {
+                rng.below_u128(span + 1)
+            };
+            self.start().wrapping_add(off as i128)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F)
+    }
+
+    mod regex_lite {
+        //! `&str` strategies: the regex fragment the tests use.
+
+        use super::Strategy;
+        use crate::test_runner::TestRng;
+
+        #[derive(Clone, Debug)]
+        enum CharSet {
+            /// `.` — any printable-ish character.
+            Any,
+            /// `[...]` — explicit alternatives.
+            OneOf(Vec<char>),
+        }
+
+        #[derive(Clone, Debug)]
+        struct Atom {
+            set: CharSet,
+            min: usize,
+            max: usize,
+        }
+
+        fn parse(pattern: &str) -> Vec<Atom> {
+            let mut chars = pattern.chars().peekable();
+            let mut atoms = Vec::new();
+            while let Some(c) = chars.next() {
+                let set = match c {
+                    '.' => CharSet::Any,
+                    '[' => {
+                        let mut opts = Vec::new();
+                        let mut prev: Option<char> = None;
+                        loop {
+                            match chars.next() {
+                                None => panic!("unterminated [class in {pattern:?}"),
+                                Some(']') => break,
+                                Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                    let lo = prev.take().unwrap();
+                                    let hi = chars.next().unwrap();
+                                    for code in lo as u32..=hi as u32 {
+                                        opts.push(char::from_u32(code).unwrap());
+                                    }
+                                }
+                                Some('\\') => {
+                                    if let Some(p) = prev.replace(chars.next().unwrap()) {
+                                        opts.push(p);
+                                    }
+                                }
+                                Some(other) => {
+                                    if let Some(p) = prev.replace(other) {
+                                        opts.push(p);
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(p) = prev {
+                            opts.push(p);
+                        }
+                        assert!(!opts.is_empty(), "empty [class] in {pattern:?}");
+                        CharSet::OneOf(opts)
+                    }
+                    '\\' => CharSet::OneOf(vec![chars.next().expect("dangling escape")]),
+                    lit => CharSet::OneOf(vec![lit]),
+                };
+                let (min, max) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n}"),
+                            hi.trim().parse().expect("bad {m,n}"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {m}");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                atoms.push(Atom { set, min, max });
+            }
+            atoms
+        }
+
+        fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+            match set {
+                CharSet::OneOf(opts) => opts[rng.below(opts.len() as u64) as usize],
+                CharSet::Any => {
+                    // Mostly printable ASCII; occasionally an arbitrary
+                    // scalar so "unicode soup" tests see real unicode.
+                    if rng.below(8) == 0 {
+                        loop {
+                            let code = rng.below(0x110000) as u32;
+                            if let Some(c) = char::from_u32(code) {
+                                if c != '\n' {
+                                    return c;
+                                }
+                            }
+                        }
+                    }
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+                }
+            }
+        }
+
+        impl Strategy for &'static str {
+            type Value = String;
+
+            fn generate(&self, rng: &mut TestRng) -> String {
+                let mut out = String::new();
+                for atom in parse(self) {
+                    let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                    for _ in 0..n {
+                        out.push(sample_char(&atom.set, rng));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification: a fixed `usize` or a `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run each embedded `#[test]` function over many generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(100))]
+///     #[test]
+///     fn commutes(a in 0i64..10, b in 0i64..10) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            config = (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            const __NAME: &str = concat!(module_path!(), "::", stringify!($name));
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(__NAME);
+            for __case in 0..__config.resolved_cases() {
+                let mut __guard = $crate::test_runner::CaseGuard::new(__NAME, __case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Assert within a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::for_test("ranges_and_maps");
+        let s = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_lite_classes() {
+        let mut rng = TestRng::for_test("regex_lite_classes");
+        for _ in 0..200 {
+            let s = "[ab]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+
+            let t = "[a-cZ]{2}".generate(&mut rng);
+            assert_eq!(t.chars().count(), 2);
+            assert!(t.chars().all(|c| matches!(c, 'a'..='c' | 'Z')));
+
+            let u = ".{0,5}".generate(&mut rng);
+            assert!(u.chars().count() <= 5);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_arms() {
+        let mut rng = TestRng::for_test("oneof_covers_arms");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::for_test("vec_sizes");
+        let fixed = crate::collection::vec(0i32..5, 3);
+        let ranged = crate::collection::vec(0i32..5, 0..4);
+        for _ in 0..100 {
+            assert_eq!(fixed.generate(&mut rng).len(), 3);
+            assert!(ranged.generate(&mut rng).len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_smoke(a in 0i64..100, b in 0i64..100, flip in crate::bool::ANY) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(usize::from(flip) <= 1);
+        }
+    }
+}

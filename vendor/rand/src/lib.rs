@@ -1,0 +1,383 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand/0.8) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the small API subset it uses: [`rngs::SmallRng`], the
+//! [`Rng`] / [`SeedableRng`] traits, uniform ranges, `gen::<f64>()`, and
+//! `gen_bool`.
+//!
+//! Every algorithm matches rand 0.8.5 bit-for-bit on 64-bit platforms:
+//!
+//! * `SmallRng` is xoshiro256++;
+//! * `SeedableRng::seed_from_u64` expands the seed with PCG32 (as in
+//!   rand_core 0.6);
+//! * integer `gen_range` uses Lemire's widening-multiply rejection method
+//!   with rand's exact `zone` computation;
+//! * `gen::<f64>()` places 53 random bits in `[0, 1)`;
+//! * `gen_bool(p)` is rand's fixed-point Bernoulli (`u64` scale).
+//!
+//! Keeping the streams identical means every seeded workload in
+//! `sqlts-datagen` produces the exact series the experiments were
+//! calibrated against.
+
+/// Core trait: a source of random `u64`s (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+}
+
+/// Seedable generators (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it exactly like rand_core 0.6:
+    /// a PCG32 stream fills the seed four bytes at a time.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let x = pcg32(&mut state);
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A sample from the standard distribution of `T`.
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    ///
+    /// Matches rand 0.8's `Bernoulli`: `p` is converted to a 64-bit
+    /// fixed-point integer and compared against one `u64` draw.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        if p == 1.0 {
+            // rand's ALWAYS_TRUE path returns without drawing.
+            return true;
+        }
+        // SCALE = 2^64 as f64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! The generators this workspace uses.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind rand 0.8's `SmallRng` on
+    /// 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // rand's xoshiro256plusplus takes the upper half.
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling machinery (subset of `rand::distributions`).
+
+    use super::RngCore;
+
+    /// Types samplable from the "standard" distribution.
+    pub trait Standard: Sized {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for f64 {
+        /// 53 random bits scaled into `[0, 1)` — rand's multiply-based
+        /// `Standard` for `f64`.
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform range sampling, bit-compatible with rand 0.8.5's
+        //! `UniformInt::sample_single_inclusive`.
+
+        use super::super::RngCore;
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Draw one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Widening multiply returning `(high, low)` halves.
+        trait WideningMul: Sized {
+            fn wmul(self, rhs: Self) -> (Self, Self);
+        }
+
+        impl WideningMul for u32 {
+            #[inline]
+            fn wmul(self, rhs: u32) -> (u32, u32) {
+                let p = self as u64 * rhs as u64;
+                ((p >> 32) as u32, p as u32)
+            }
+        }
+
+        impl WideningMul for u64 {
+            #[inline]
+            fn wmul(self, rhs: u64) -> (u64, u64) {
+                let p = self as u128 * rhs as u128;
+                ((p >> 64) as u64, p as u64)
+            }
+        }
+
+        impl WideningMul for usize {
+            #[inline]
+            fn wmul(self, rhs: usize) -> (usize, usize) {
+                let (hi, lo) = (self as u64).wmul(rhs as u64);
+                (hi as usize, lo as usize)
+            }
+        }
+
+        impl WideningMul for u128 {
+            // 128×128→256 via schoolbook halves (matches rand's u128 wmul).
+            #[inline]
+            fn wmul(self, rhs: u128) -> (u128, u128) {
+                const LOWER_MASK: u128 = u64::MAX as u128;
+                let mut low = (self & LOWER_MASK).wrapping_mul(rhs & LOWER_MASK);
+                let mut t = low >> 64;
+                low &= LOWER_MASK;
+                t += (self >> 64).wrapping_mul(rhs & LOWER_MASK);
+                low += (t & LOWER_MASK) << 64;
+                let mut high = t >> 64;
+                t = low >> 64;
+                low &= LOWER_MASK;
+                t += (rhs >> 64).wrapping_mul(self & LOWER_MASK);
+                low += (t & LOWER_MASK) << 64;
+                high += t >> 64;
+                high += (self >> 64).wrapping_mul(rhs >> 64);
+                (high, low)
+            }
+        }
+
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident) => {
+                impl SampleRange<$ty> for core::ops::Range<$ty> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        // rand 0.8.5 routes the exclusive form through the
+                        // inclusive sampler with `high - 1`.
+                        (self.start..=self.end - 1).sample_single(rng)
+                    }
+                }
+
+                impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (low, high) = (*self.start(), *self.end());
+                        assert!(low <= high, "cannot sample empty range");
+                        let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                        // Range 0 means the whole integer domain.
+                        if range == 0 {
+                            return rng.$gen() as $ty;
+                        }
+                        let zone = if (<$unsigned>::MAX as u128) <= u16::MAX as u128 {
+                            // Small types use the exact modulo zone.
+                            let unsigned_max: $u_large = <$u_large>::MAX;
+                            let ints_to_reject = (unsigned_max - range + 1) % range;
+                            unsigned_max - ints_to_reject
+                        } else {
+                            // Conservative power-of-two zone.
+                            (range << range.leading_zeros()).wrapping_sub(1)
+                        };
+                        loop {
+                            let v: $u_large = rng.$gen() as $u_large;
+                            let (hi, lo) = v.wmul(range);
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        // Helper draws matching rand's `rng.gen::<$u_large>()`.
+        trait Draws {
+            fn draw_u32(&mut self) -> u32;
+            fn draw_u64(&mut self) -> u64;
+            fn draw_u128(&mut self) -> u128;
+        }
+
+        impl<R: RngCore + ?Sized> Draws for R {
+            #[inline]
+            fn draw_u32(&mut self) -> u32 {
+                self.next_u32()
+            }
+            #[inline]
+            fn draw_u64(&mut self) -> u64 {
+                self.next_u64()
+            }
+            #[inline]
+            fn draw_u128(&mut self) -> u128 {
+                // rand's Standard for u128: low 64 bits drawn first.
+                let lo = self.next_u64() as u128;
+                let hi = self.next_u64() as u128;
+                (hi << 64) | lo
+            }
+        }
+
+        uniform_int_impl!(i8, u8, u32, draw_u32);
+        uniform_int_impl!(i16, u16, u32, draw_u32);
+        uniform_int_impl!(i32, u32, u32, draw_u32);
+        uniform_int_impl!(i64, u64, u64, draw_u64);
+        uniform_int_impl!(i128, u128, u128, draw_u128);
+        uniform_int_impl!(u8, u8, u32, draw_u32);
+        uniform_int_impl!(u16, u16, u32, draw_u32);
+        uniform_int_impl!(u32, u32, u32, draw_u32);
+        uniform_int_impl!(u64, u64, u64, draw_u64);
+        uniform_int_impl!(u128, u128, u128, draw_u128);
+        uniform_int_impl!(isize, usize, usize, draw_u64);
+        uniform_int_impl!(usize, usize, usize, draw_u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y = rng.gen_range(0usize..10);
+            assert!(y < 10);
+            let z = rng.gen_range(0u8..3);
+            assert!(z < 3);
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_domain_range_works() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // u64::MIN..=u64::MAX has range == 0 internally.
+        let _: u64 = rng.gen_range(u64::MIN..=u64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn bool_bias_matches_fixed_point() {
+        // p = 0.5 must flip on the top bit exactly.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let mut probe = rng.clone();
+            let v = probe.next_u64();
+            assert_eq!(rng.gen_bool(0.5), v < 1u64 << 63);
+        }
+    }
+}
