@@ -3,22 +3,29 @@
 //! ```text
 //! sqlts --csv quotes.csv --schema 'name:str,date:date,price:float' \
 //!       [--engine naive|backtrack|ops|shift-only] [--explain] [--stats] \
-//!       [--threads N] [--strict-previous] "SELECT … FROM … AS (X, *Y, Z) WHERE …"
+//!       [--threads N] [--strict-previous] \
+//!       [--timeout-ms N] [--max-steps N] [--max-matches N] \
+//!       "SELECT … FROM … AS (X, *Y, Z) WHERE …"
 //!
 //! sqlts --demo-djia [--seed N] …     # use the built-in simulated DJIA
 //! ```
 //!
 //! Prints the result as CSV on stdout; `--stats` adds the cost metric on
 //! stderr, `--explain` prints the optimizer's θ/φ/shift/next report.
+//!
+//! Exit codes: `0` success, `2` usage, `3` input (query compile or CSV
+//! ingest), `4` runtime (governed termination or isolated cluster
+//! failures — the partial result is still printed).
 
 use sqlts_core::{
-    compile, execute, explain, CompileOptions, DirectionChoice, EngineKind, ExecOptions,
-    FirstTuplePolicy,
+    compile, execute, explain, CompileOptions, DirectionChoice, EngineKind, ExecError, ExecOptions,
+    FirstTuplePolicy, Governor,
 };
 use sqlts_relation::{ColumnType, Schema, Table};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     csv: Option<PathBuf>,
@@ -31,6 +38,9 @@ struct Args {
     stats: bool,
     strict_previous: bool,
     threads: NonZeroUsize,
+    timeout_ms: Option<u64>,
+    max_steps: Option<u64>,
+    max_matches: Option<u64>,
     query: Option<String>,
 }
 
@@ -44,11 +54,17 @@ fn usage() -> ! {
     eprintln!(
         "usage: sqlts (--csv FILE --schema 'col:type,…' | --demo-djia [--seed N]) \\\n\
          \x20            [--engine naive|backtrack|ops|shift-only] [--direction forward|reverse|auto] \\\n\
-         \x20            [--explain] [--stats] [--threads N] [--strict-previous] QUERY\n\
+         \x20            [--explain] [--stats] [--threads N] [--strict-previous] \\\n\
+         \x20            [--timeout-ms N] [--max-steps N] [--max-matches N] QUERY\n\
          \n\
          --threads N: worker threads for cluster-parallel execution\n\
          \x20            (default: all cores; 1 = sequential; output is\n\
          \x20            identical for every N)\n\
+         --timeout-ms N: abort the query after N milliseconds of wall clock\n\
+         --max-steps N: abort after N predicate tests (the paper's cost metric)\n\
+         --max-matches N: abort after N retained matches (output rows)\n\
+         \x20            (on abort the partial result is printed and the exit\n\
+         \x20            code is 4)\n\
          \n\
          types: int, float, str, date\n\
          example:\n\
@@ -71,20 +87,23 @@ fn parse_args() -> Args {
         stats: false,
         strict_previous: false,
         threads: default_threads(),
+        timeout_ms: None,
+        max_steps: None,
+        max_matches: None,
         query: None,
     };
     let mut it = std::env::args().skip(1);
+    let numeric = |it: &mut dyn Iterator<Item = String>| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--csv" => args.csv = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--schema" => args.schema = Some(it.next().unwrap_or_else(|| usage())),
             "--demo-djia" => args.demo_djia = true,
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--seed" => args.seed = numeric(&mut it),
             "--engine" => {
                 args.engine = match it.next().as_deref() {
                     Some("naive") => EngineKind::Naive,
@@ -108,6 +127,9 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--timeout-ms" => args.timeout_ms = Some(numeric(&mut it)),
+            "--max-steps" => args.max_steps = Some(numeric(&mut it)),
+            "--max-matches" => args.max_matches = Some(numeric(&mut it)),
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
             "--strict-previous" => args.strict_previous = true,
@@ -137,7 +159,48 @@ fn parse_schema(spec: &str) -> Result<Schema, String> {
     Schema::new(cols).map_err(|e| e.to_string())
 }
 
-fn run() -> Result<(), String> {
+/// Every way a run can fail, unified so one printer renders the
+/// diagnostic and one place maps failures to exit codes.
+enum CliError {
+    /// Bad query or bad input data (exit 3): compile errors (already
+    /// caret-rendered), CSV ingest errors, schema-spec errors.
+    Input(String),
+    /// The query started but was cut short (exit 4): governed
+    /// termination or isolated cluster failures.  Whatever partial
+    /// result existed has already been printed to stdout.
+    Runtime(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Input(_) => 3,
+            CliError::Runtime(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Input(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+fn build_governor(args: &Args) -> Governor {
+    let mut governor = Governor::unlimited();
+    if let Some(ms) = args.timeout_ms {
+        governor = governor.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(steps) = args.max_steps {
+        governor = governor.with_max_steps(steps);
+    }
+    if let Some(matches) = args.max_matches {
+        governor = governor.with_max_matches(matches);
+    }
+    governor
+}
+
+fn run() -> Result<(), CliError> {
     let args = parse_args();
     let query_src = args.query.clone().unwrap_or_else(|| usage());
 
@@ -146,19 +209,20 @@ fn run() -> Result<(), String> {
     } else {
         let csv = args.csv.clone().unwrap_or_else(|| usage());
         let schema_spec = args.schema.clone().unwrap_or_else(|| usage());
-        let schema = parse_schema(&schema_spec)?;
-        Table::from_csv_path(schema, &csv).map_err(|e| e.to_string())?
+        let schema = parse_schema(&schema_spec).map_err(CliError::Input)?;
+        Table::from_csv_path(schema, &csv)
+            .map_err(|e| CliError::Input(format!("{}: {e}", csv.display())))?
     };
 
     let compile_opts = CompileOptions::default();
-    let compiled =
-        compile(&query_src, table.schema(), &compile_opts).map_err(|e| e.render(&query_src))?;
+    let compiled = compile(&query_src, table.schema(), &compile_opts)
+        .map_err(|e| CliError::Input(e.render(&query_src)))?;
 
     if args.explain {
         eprintln!("{}", explain(&compiled));
     }
 
-    let result = execute(
+    let exec_result = execute(
         &compiled,
         &table,
         &ExecOptions {
@@ -171,13 +235,35 @@ fn run() -> Result<(), String> {
             compile: compile_opts,
             direction: args.direction,
             threads: args.threads,
+            governor: build_governor(&args),
         },
-    )
-    .map_err(|e| e.to_string())?;
+    );
+    let (result, trip) = match exec_result {
+        Ok(result) => (result, None),
+        Err(ExecError::Governed { trip, partial }) => (*partial, Some(trip)),
+        Err(ExecError::Lang(e)) => return Err(CliError::Input(e.render(&query_src))),
+        Err(e @ ExecError::Table(_)) => return Err(CliError::Input(e.to_string())),
+    };
 
+    // The partial result of a governed or partially-failed run is still
+    // worth printing — callers see every match produced before the cut.
     print!("{}", result.table.to_csv_string());
     if args.stats {
         eprintln!("{}", result.stats);
+    }
+    for failure in &result.partial {
+        eprintln!("error: {failure}");
+    }
+    if let Some(trip) = trip {
+        return Err(CliError::Runtime(format!(
+            "query terminated by resource governor: {trip} (partial result printed)"
+        )));
+    }
+    if !result.partial.is_empty() {
+        return Err(CliError::Runtime(format!(
+            "{} cluster(s) failed; partial result printed",
+            result.partial.len()
+        )));
     }
     Ok(())
 }
@@ -185,9 +271,9 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("{}", err.message());
+            ExitCode::from(err.exit_code())
         }
     }
 }

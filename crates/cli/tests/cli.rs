@@ -98,10 +98,101 @@ fn compile_errors_render_with_caret() {
         .arg("SELECT X.volume FROM quote SEQUENCE BY date AS (X)")
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "compile errors exit 3");
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("no such column: volume"), "{stderr}");
     assert!(stderr.contains('^'), "caret rendering missing: {stderr}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn malformed_csv_exits_3_with_line_diagnostic() {
+    let csv = write_temp_csv(
+        "badrow",
+        "name,date,price\nINTC,1999-01-25,60\nINTC,1999-01-26\n",
+    );
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .arg("SELECT X.name FROM quote SEQUENCE BY date AS (X)")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "CSV ingest errors exit 3");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 3"), "{stderr}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn step_budget_trips_with_exit_4_and_diagnostic() {
+    let csv = write_temp_csv("budget", QUOTES);
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .args(["--max-steps", "1"])
+        .arg(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+        )
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "governed termination exits 4");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("resource governor"), "{stderr}");
+    assert!(stderr.contains("step budget"), "{stderr}");
+    // The (empty or prefix) partial result is still printed as CSV.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("name\n"), "{stdout}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn match_budget_truncates_output_and_exits_4() {
+    let csv = write_temp_csv("matches", QUOTES);
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .args(["--max-matches", "1"])
+        .arg(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price <> X.price",
+        )
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.lines().count(),
+        2,
+        "header plus exactly the budgeted match: {stdout}"
+    );
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn generous_governor_flags_leave_output_unchanged() {
+    let csv = write_temp_csv("generous", QUOTES);
+    let query = "SELECT X.name, Y.price FROM quote CLUSTER BY name SEQUENCE BY date \
+                 AS (X, Y) WHERE Y.price < X.price";
+    let base_args = |cmd: &mut Command| {
+        cmd.args(["--csv", csv.to_str().unwrap()])
+            .args(["--schema", "name:str,date:date,price:float"])
+            .arg(query);
+    };
+    let mut plain = sqlts();
+    base_args(&mut plain);
+    let plain = plain.output().unwrap();
+    assert!(plain.status.success());
+    let mut governed = sqlts();
+    base_args(&mut governed);
+    let governed = governed
+        .args(["--timeout-ms", "60000"])
+        .args(["--max-steps", "1000000"])
+        .args(["--max-matches", "1000000"])
+        .output()
+        .unwrap();
+    assert!(governed.status.success(), "generous limits must not trip");
+    assert_eq!(plain.stdout, governed.stdout);
     std::fs::remove_file(csv).ok();
 }
 

@@ -1,5 +1,6 @@
 //! Instrumentation: the paper's cost metric and Figure-5 search traces.
 
+use crate::governor::GovernorScope;
 use std::cell::Cell;
 
 /// Counts how many times an input element is tested against a pattern
@@ -9,21 +10,108 @@ use std::cell::Cell;
 ///
 /// Uses interior mutability so engines can thread a shared counter without
 /// `&mut` plumbing through the recursion.
+///
+/// A counter can additionally be **governed**
+/// ([`EvalCounter::governed`]): each bump then also spends one unit of a
+/// batched credit from a [`GovernorScope`], and once the scope reports a
+/// budget/deadline/cancellation trip the [`tripped`](EvalCounter::tripped)
+/// flag latches.  The engines poll that flag at their loop heads and
+/// return the matches collected so far — always a prefix of what the
+/// ungoverned run would produce for that cluster.  An ungoverned counter
+/// pays one predictable branch per bump.
 #[derive(Debug, Default)]
 pub struct EvalCounter {
     tests: Cell<u64>,
+    /// Steps left before the next governor check (governed mode only).
+    credit: Cell<u32>,
+    /// How many of `tests` have been flushed to the governor already.
+    flushed: Cell<u64>,
+    tripped: Cell<bool>,
+    scope: Option<GovernorScope>,
 }
 
 impl EvalCounter {
-    /// A fresh counter.
+    /// A fresh, ungoverned counter.
     pub fn new() -> EvalCounter {
         EvalCounter::default()
+    }
+
+    /// A counter metering against a governor scope.  Performs an initial
+    /// check so an already-expired deadline or tripped run is observed
+    /// before any work happens.
+    pub fn governed(scope: GovernorScope) -> EvalCounter {
+        let counter = EvalCounter {
+            scope: Some(scope),
+            ..EvalCounter::default()
+        };
+        counter.refill();
+        counter
     }
 
     /// Record one predicate test.
     #[inline]
     pub fn bump(&self) {
         self.tests.set(self.tests.get() + 1);
+        if self.scope.is_some() {
+            let c = self.credit.get();
+            if c <= 1 {
+                self.refill();
+            } else {
+                self.credit.set(c - 1);
+            }
+        }
+    }
+
+    /// The cold path of a governed bump: flush the batch, run the shared
+    /// checks, take the next batch of credit.
+    #[cold]
+    fn refill(&self) {
+        let Some(scope) = &self.scope else { return };
+        let spent = self.tests.get() - self.flushed.get();
+        self.flushed.set(self.tests.get());
+        match scope.refill(spent) {
+            Ok(credit) => self.credit.set(credit),
+            Err(_) => {
+                // Stop re-checking: the engines observe `tripped` at their
+                // loop heads and wind the cluster down.
+                self.tripped.set(true);
+                self.credit.set(u32::MAX);
+            }
+        }
+    }
+
+    /// Record one match against the governor's match budget.  Returns
+    /// `true` when the match may be retained; `false` means the budget is
+    /// exhausted — the caller must drop the match (keeping the retained
+    /// count exactly at the budget) and will observe
+    /// [`tripped`](EvalCounter::tripped) at its next loop head.  Always
+    /// `true` for ungoverned counters.
+    #[inline]
+    #[must_use]
+    pub fn match_found(&self) -> bool {
+        if let Some(scope) = &self.scope {
+            if scope.record_match().is_err() {
+                self.tripped.set(true);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Has the governor tripped?  Engines poll this at loop heads and
+    /// return early with the matches found so far.
+    #[inline]
+    pub fn tripped(&self) -> bool {
+        self.tripped.get()
+    }
+
+    /// Flush any steps not yet reported to the governor (end-of-cluster
+    /// accounting; keeps `RunGovernor::steps_consumed` exact).
+    pub fn finish(&self) {
+        if let Some(scope) = &self.scope {
+            scope.flush(self.tests.get() - self.flushed.get());
+            self.flushed.set(self.tests.get());
+        }
     }
 
     /// Total predicate tests recorded.
@@ -31,9 +119,11 @@ impl EvalCounter {
         self.tests.get()
     }
 
-    /// Reset to zero.
+    /// Reset the test count to zero (the governed credit/trip state is
+    /// left untouched; reset is a bench/experiment convenience).
     pub fn reset(&self) {
         self.tests.set(0);
+        self.flushed.set(0);
     }
 }
 
@@ -100,8 +190,70 @@ mod tests {
         c.bump();
         c.bump();
         assert_eq!(c.total(), 2);
+        assert!(!c.tripped());
+        assert!(c.match_found()); // always retained when ungoverned
+        c.finish();
         c.reset();
         assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn governed_counter_trips_on_step_budget() {
+        use crate::governor::{Governor, TripReason};
+        let run = Governor::unlimited().with_max_steps(100).begin();
+        let c = EvalCounter::governed(run.scope());
+        let mut bumps = 0u64;
+        while !c.tripped() && bumps < 10_000 {
+            c.bump();
+            bumps += 1;
+        }
+        assert!(c.tripped(), "budget of 100 must trip");
+        // Sequential credit clamping makes the trip land exactly when the
+        // budget is first exceeded.
+        assert_eq!(bumps, 101);
+        c.finish();
+        assert_eq!(run.steps_consumed(), c.total());
+        assert_eq!(run.trip().unwrap().reason, TripReason::StepBudget);
+        // The count itself stays exact despite governing.
+        assert_eq!(c.total(), bumps);
+    }
+
+    #[test]
+    fn governed_counter_without_limits_never_trips() {
+        use crate::governor::Governor;
+        let run = Governor::unlimited().begin();
+        let c = EvalCounter::governed(run.scope());
+        for _ in 0..100_000 {
+            c.bump();
+        }
+        assert!(c.match_found());
+        c.finish();
+        assert!(!c.tripped());
+        assert_eq!(run.steps_consumed(), 100_000);
+        assert_eq!(run.matches_recorded(), 1);
+    }
+
+    #[test]
+    fn governed_counter_trips_on_match_budget() {
+        use crate::governor::{Governor, TripReason};
+        let run = Governor::unlimited().with_max_matches(1).begin();
+        let c = EvalCounter::governed(run.scope());
+        assert!(c.match_found());
+        assert!(!c.tripped());
+        assert!(!c.match_found(), "second match must be rejected");
+        assert!(c.tripped());
+        assert_eq!(run.matches_recorded(), 1);
+        assert_eq!(run.trip().unwrap().reason, TripReason::MatchBudget);
+    }
+
+    #[test]
+    fn governed_counter_observes_pre_tripped_run() {
+        use crate::governor::{CancellationToken, Governor};
+        let token = CancellationToken::new();
+        token.cancel();
+        let run = Governor::unlimited().with_token(token).begin();
+        let c = EvalCounter::governed(run.scope());
+        assert!(c.tripped(), "initial check must observe cancellation");
     }
 
     #[test]

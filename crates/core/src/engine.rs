@@ -197,7 +197,9 @@ pub fn backtracking_search(
         if j > m {
             return true;
         }
-        if i >= n {
+        if i >= n || counter.tripped() {
+            // A governor trip abandons the attempt; the outer loop then
+            // stops without emitting a partial match.
             return false;
         }
         if let Some(t) = trace.as_deref_mut() {
@@ -223,7 +225,7 @@ pub fn backtracking_search(
                 return true;
             }
             bindings.spans.pop();
-            if end + 1 >= n {
+            if end + 1 >= n || counter.tripped() {
                 return false;
             }
             if let Some(t) = trace.as_deref_mut() {
@@ -236,7 +238,7 @@ pub fn backtracking_search(
         }
     }
 
-    while start < n {
+    while start < n && !counter.tripped() {
         let mut bindings = Bindings::with_capacity(m);
         if rec(
             pattern,
@@ -249,9 +251,11 @@ pub fn backtracking_search(
             &mut bindings,
         ) {
             let end = bindings.spans.last().map(|s| s.1).unwrap_or(start);
-            results.push(MatchSpans {
-                spans: bindings.spans,
-            });
+            if counter.match_found() {
+                results.push(MatchSpans {
+                    spans: bindings.spans,
+                });
+            }
             start = end + 1;
         } else {
             start += 1;
@@ -292,10 +296,15 @@ pub fn naive_search(
     let mut results = Vec::new();
     let mut start = 0usize;
 
-    'outer: while start < n {
+    'outer: while start < n && !counter.tripped() {
         let mut bindings = Bindings::with_capacity(m);
         let mut i = start;
         for e in 1..=m {
+            // A governor trip abandons the in-flight attempt wholesale: a
+            // partially extended star must never be emitted as a match.
+            if counter.tripped() {
+                break 'outer;
+            }
             let star = pattern.star(e);
             // First tuple of the element (stars need at least one).
             if i >= n {
@@ -314,6 +323,9 @@ pub fn naive_search(
             if star {
                 // Greedy: extend while the predicate holds.
                 while i < n {
+                    if counter.tripped() {
+                        break 'outer;
+                    }
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(i + 1, e);
                     }
@@ -326,9 +338,11 @@ pub fn naive_search(
             }
             bindings.spans.push((span_start, i - 1));
         }
-        results.push(MatchSpans {
-            spans: bindings.spans,
-        });
+        if counter.match_found() {
+            results.push(MatchSpans {
+                spans: bindings.spans,
+            });
+        }
         start = i; // left-maximal, non-overlapping: resume after the match
     }
     results
@@ -381,11 +395,20 @@ fn ops_search(
     loop {
         if j > m {
             // Success: spans derive from the counts.
-            results.push(MatchSpans {
-                spans: bindings.spans.clone(),
-            });
+            if counter.match_found() {
+                results.push(MatchSpans {
+                    spans: bindings.spans.clone(),
+                });
+            }
             reset_attempt!(i);
             continue;
+        }
+        if counter.tripped() {
+            // Governed termination: return the full matches found so far.
+            // The in-flight attempt (and the end-of-input star tail below,
+            // which is only sound when the input was really exhausted) is
+            // abandoned, so the result is a prefix of the ungoverned run.
+            return results;
         }
         if i >= n {
             break;
@@ -465,14 +488,18 @@ fn ops_search(
         bindings
             .spans
             .push((start + counts[m - 1], start + counts[m] - 1));
-        results.push(MatchSpans {
-            spans: bindings.spans,
-        });
+        if counter.match_found() {
+            results.push(MatchSpans {
+                spans: bindings.spans,
+            });
+        }
     } else if j > m {
         // Success detected exactly at end of input.
-        results.push(MatchSpans {
-            spans: bindings.spans,
-        });
+        if counter.match_found() {
+            results.push(MatchSpans {
+                spans: bindings.spans,
+            });
+        }
     }
     results
 }

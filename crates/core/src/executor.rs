@@ -5,6 +5,7 @@ use crate::engine::{
     backtracking_search, find_matches_with_plan, naive_search, plan, EngineKind, SearchOptions,
     SearchPlan,
 };
+use crate::governor::{Governor, RunGovernor, Trip};
 use crate::reverse::{direction_hint, find_matches_directed, Direction};
 use sqlts_lang::{
     compile, eval_projection, Bindings, CompileOptions, CompiledQuery, EvalCtx, FirstTuplePolicy,
@@ -13,8 +14,9 @@ use sqlts_lang::{
 use sqlts_relation::{Cluster, Schema, Table, TableError, Value};
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Options for [`execute`] / [`execute_query`].
 #[derive(Clone, Debug)]
@@ -37,6 +39,12 @@ pub struct ExecOptions {
     /// and every [`SearchStats`] field are identical for every thread
     /// count.  `1` (the default) runs the sequential path inline.
     pub threads: NonZeroUsize,
+    /// Resource limits for this query (wall-clock deadline, step and
+    /// match budgets, cancellation).  The default is
+    /// [`Governor::unlimited`], which keeps execution bit-identical to an
+    /// ungoverned engine; when any limit trips, [`execute`] returns
+    /// [`ExecError::Governed`] carrying the partial result.
+    pub governor: Governor,
 }
 
 impl Default for ExecOptions {
@@ -47,6 +55,7 @@ impl Default for ExecOptions {
             compile: CompileOptions::default(),
             direction: DirectionChoice::default(),
             threads: NonZeroUsize::MIN,
+            governor: Governor::unlimited(),
         }
     }
 }
@@ -75,6 +84,13 @@ pub struct SearchStats {
     pub clusters: u64,
     /// Total input tuples scanned.
     pub tuples: u64,
+    /// Governor budget units consumed — the denomination of
+    /// [`Governor::with_max_steps`] and the CLI's `--max-steps`.
+    /// Currently one unit per predicate test, so this equals
+    /// `predicate_tests`; it is reported separately so budget accounting
+    /// stays visible if the metering unit ever broadens.  Deterministic
+    /// across thread counts.
+    pub steps: u64,
 }
 
 impl fmt::Display for SearchStats {
@@ -87,6 +103,33 @@ impl fmt::Display for SearchStats {
     }
 }
 
+/// One cluster that failed (panicked) during execution while the others
+/// completed — the partial-failure side channel of [`QueryResult`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterFailure {
+    /// 0-based index of the cluster in `CLUSTER BY` order.
+    pub cluster: usize,
+    /// The cluster's key values rendered for diagnostics (empty when the
+    /// query has no `CLUSTER BY`).
+    pub key: String,
+    /// The panic payload, as text.
+    pub cause: String,
+}
+
+impl fmt::Display for ClusterFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.key.is_empty() {
+            write!(f, "cluster {} failed: {}", self.cluster, self.cause)
+        } else {
+            write!(
+                f,
+                "cluster {} ({}) failed: {}",
+                self.cluster, self.key, self.cause
+            )
+        }
+    }
+}
+
 /// The result of executing a query.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
@@ -94,6 +137,18 @@ pub struct QueryResult {
     pub table: Table,
     /// Execution statistics.
     pub stats: SearchStats,
+    /// Clusters that panicked while the rest completed.  Empty on a fully
+    /// successful run; when non-empty, `table` holds the matches of every
+    /// surviving cluster (still in cluster order) and each entry here
+    /// describes one isolated failure.
+    pub partial: Vec<ClusterFailure>,
+}
+
+impl QueryResult {
+    /// `true` when every cluster completed (no isolated failures).
+    pub fn is_complete(&self) -> bool {
+        self.partial.is_empty()
+    }
 }
 
 /// Errors from query execution.
@@ -103,6 +158,16 @@ pub enum ExecError {
     Lang(LangError),
     /// Table/schema problem (unknown cluster/sequence column, …).
     Table(TableError),
+    /// The resource governor terminated the query (deadline, budget, or
+    /// cancellation).  `partial` carries everything completed before the
+    /// trip: per cluster, a prefix of the matches the ungoverned run would
+    /// have produced, merged in cluster order.
+    Governed {
+        /// What tripped and how much was consumed.
+        trip: Trip,
+        /// The partial result assembled at termination.
+        partial: Box<QueryResult>,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -110,6 +175,13 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Lang(e) => write!(f, "{e}"),
             ExecError::Table(e) => write!(f, "{e}"),
+            ExecError::Governed { trip, partial } => write!(
+                f,
+                "query terminated by resource governor: {trip}; partial result: \
+                 {} rows from {} clusters",
+                partial.table.len(),
+                partial.stats.clusters
+            ),
         }
     }
 }
@@ -182,19 +254,27 @@ pub fn execute(
         (kind, Direction::Forward) => Some(plan(&query.elements, kind)),
     };
 
+    // Arm the governor only when some limit is actually set: the
+    // ungoverned path stays bit-identical to a build without a governor.
+    let run: Option<Arc<RunGovernor>> =
+        (!options.governor.is_unlimited()).then(|| options.governor.begin());
+
     let worker_count = options.threads.get().min(clusters.len());
-    let outcomes: Vec<ClusterOutcome> = if worker_count <= 1 {
+    let outcomes: Vec<ClusterRun> = if worker_count <= 1 {
         // Sequential path: same per-cluster routine, run inline.
         clusters
             .iter()
-            .map(|cluster| {
-                run_cluster(
+            .enumerate()
+            .map(|(idx, cluster)| {
+                run_cluster_guarded(
                     query,
                     cluster,
+                    idx,
                     search_plan.as_ref(),
                     options.engine,
                     direction,
                     &search_options,
+                    run.as_ref(),
                 )
             })
             .collect()
@@ -207,22 +287,58 @@ pub fn execute(
             direction,
             &search_options,
             worker_count,
+            run.as_ref(),
         )
     };
 
     // Merge in cluster order: output rows and summed counters land exactly
     // where the sequential loop would put them, for any thread count.
     let mut stats = SearchStats::default();
-    for outcome in outcomes {
-        stats.clusters += 1;
-        stats.tuples += outcome.tuples;
-        stats.predicate_tests += outcome.predicate_tests;
-        for row in outcome.rows {
-            stats.matches += 1;
-            out.push_row(row).map_err(ExecError::Table)?;
+    let mut partial = Vec::new();
+    for (idx, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            ClusterRun::Done(outcome) => {
+                stats.clusters += 1;
+                stats.tuples += outcome.tuples;
+                stats.predicate_tests += outcome.predicate_tests;
+                stats.steps += outcome.predicate_tests;
+                for row in outcome.rows {
+                    stats.matches += 1;
+                    out.push_row(row).map_err(ExecError::Table)?;
+                }
+            }
+            // A cluster skipped because the governor had already tripped
+            // contributes nothing: it was never scanned.
+            ClusterRun::Skipped => {}
+            ClusterRun::Failed { cause } => {
+                let key = clusters[idx]
+                    .key()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                partial.push(ClusterFailure {
+                    cluster: idx,
+                    key,
+                    cause,
+                });
+            }
         }
     }
-    Ok(QueryResult { table: out, stats })
+    let result = QueryResult {
+        table: out,
+        stats,
+        partial,
+    };
+    if let Some(run) = run {
+        if let Some(trip) = run.trip() {
+            return Err(ExecError::Governed {
+                trip,
+                partial: Box::new(result),
+            });
+        }
+    }
+    Ok(result)
 }
 
 /// What one cluster's search produced: projected rows in match order plus
@@ -233,6 +349,74 @@ struct ClusterOutcome {
     rows: Vec<Vec<Value>>,
 }
 
+/// How one cluster's unit of work ended.
+enum ClusterRun {
+    /// Scanned to completion (possibly cut short by a governor trip — the
+    /// rows are then a prefix of the ungoverned output).
+    Done(ClusterOutcome),
+    /// Never scanned: the governor had already tripped when this cluster
+    /// came up.
+    Skipped,
+    /// The search panicked; the panic was contained and the other clusters
+    /// kept running.
+    Failed {
+        /// The panic payload, as text.
+        cause: String,
+    },
+}
+
+/// Render a caught panic payload for diagnostics.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cluster behind a panic barrier and the governor's trip check.
+///
+/// `catch_unwind` isolates a poisoned cluster (bad data tripping a debug
+/// assertion, an injected failpoint, …) so the remaining clusters still
+/// produce their matches; the failure is reported structurally via
+/// [`QueryResult::partial`] instead of tearing down the whole query.
+#[allow(clippy::too_many_arguments)]
+fn run_cluster_guarded(
+    query: &CompiledQuery,
+    cluster: &Cluster<'_>,
+    idx: usize,
+    search_plan: Option<&SearchPlan>,
+    engine: EngineKind,
+    direction: Direction,
+    search_options: &SearchOptions,
+    run: Option<&Arc<RunGovernor>>,
+) -> ClusterRun {
+    if let Some(run) = run {
+        if run.is_tripped() {
+            return ClusterRun::Skipped;
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_cluster(
+            query,
+            cluster,
+            idx,
+            search_plan,
+            engine,
+            direction,
+            search_options,
+            run,
+        )
+    })) {
+        Ok(outcome) => ClusterRun::Done(outcome),
+        Err(payload) => ClusterRun::Failed {
+            cause: panic_cause(payload),
+        },
+    }
+}
+
 /// Search a single cluster and project its matches.
 ///
 /// This is the unit of work both the sequential loop and the worker pool
@@ -240,15 +424,25 @@ struct ClusterOutcome {
 /// every other cluster, and counter totals are additive, so summing them in
 /// cluster order reproduces the single-counter sequential total bit for
 /// bit.
+#[allow(clippy::too_many_arguments)]
 fn run_cluster(
     query: &CompiledQuery,
     cluster: &Cluster<'_>,
+    idx: usize,
     search_plan: Option<&SearchPlan>,
     engine: EngineKind,
     direction: Direction,
     search_options: &SearchOptions,
+    run: Option<&Arc<RunGovernor>>,
 ) -> ClusterOutcome {
-    let counter = EvalCounter::new();
+    #[cfg(feature = "failpoints")]
+    sqlts_relation::failpoints::hit("executor::cluster", idx as u64);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = idx;
+    let counter = match run {
+        Some(run) => EvalCounter::governed(run.scope()),
+        None => EvalCounter::new(),
+    };
     let matches = match (search_plan, engine, direction) {
         (_, _, Direction::Reverse) => find_matches_directed(
             query,
@@ -277,6 +471,9 @@ fn run_cluster(
             eval_projection(&query.projection, &ctx, &bindings)
         })
         .collect();
+    // Flush the last partially-spent credit batch so the governor's
+    // consumed-step accounting is exact at end of cluster.
+    counter.finish();
     ClusterOutcome {
         tuples: cluster.len() as u64,
         predicate_tests: counter.total(),
@@ -289,7 +486,12 @@ fn run_cluster(
 /// Workers pull cluster indices from a shared atomic cursor (dynamic
 /// load balancing: cluster sizes are often skewed) and deposit each
 /// outcome into that cluster's dedicated slot, so the returned vector is
-/// in cluster order regardless of which worker finished when.
+/// in cluster order regardless of which worker finished when.  Each unit
+/// of work runs behind [`run_cluster_guarded`]'s panic barrier, so a
+/// panicking cluster never unwinds through the scoped pool; once the
+/// shared governor trips, the remaining clusters come back
+/// [`ClusterRun::Skipped`].
+#[allow(clippy::too_many_arguments)]
 fn run_clusters_parallel(
     query: &CompiledQuery,
     clusters: &[Cluster<'_>],
@@ -298,10 +500,10 @@ fn run_clusters_parallel(
     direction: Direction,
     search_options: &SearchOptions,
     worker_count: usize,
-) -> Vec<ClusterOutcome> {
+    run: Option<&Arc<RunGovernor>>,
+) -> Vec<ClusterRun> {
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ClusterOutcome>>> =
-        clusters.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<ClusterRun>>> = clusters.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
             scope.spawn(|| loop {
@@ -309,13 +511,15 @@ fn run_clusters_parallel(
                 let Some(cluster) = clusters.get(idx) else {
                     break;
                 };
-                let outcome = run_cluster(
+                let outcome = run_cluster_guarded(
                     query,
                     cluster,
+                    idx,
                     search_plan,
                     engine,
                     direction,
                     search_options,
+                    run,
                 );
                 *slots[idx].lock().expect("slot lock") = Some(outcome);
             });
@@ -524,10 +728,183 @@ mod tests {
             matches: 2,
             clusters: 1,
             tuples: 5,
+            steps: 10,
         };
         assert_eq!(
             s.to_string(),
             "2 matches, 10 predicate tests over 5 tuples in 1 clusters"
         );
+    }
+
+    #[test]
+    fn unlimited_governor_result_is_complete() {
+        let result = execute_query(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+            &quote_table(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert!(result.is_complete());
+        assert_eq!(result.stats.steps, result.stats.predicate_tests);
+    }
+
+    #[test]
+    fn step_budget_returns_governed_error_with_partial_prefix() {
+        use crate::governor::TripReason;
+        let table = quote_table();
+        let src = "SELECT X.name, Y.price AS p FROM quote \
+                   CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+                   WHERE Y.price > X.price";
+        let full = execute_query(src, &table, &ExecOptions::default()).unwrap();
+        assert!(full.table.len() > 1, "need several matches to truncate");
+        // A one-step budget trips during the very first cluster.
+        let err = execute_query(
+            src,
+            &table,
+            &ExecOptions {
+                governor: Governor::unlimited().with_max_steps(1),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let ExecError::Governed { trip, partial } = err else {
+            panic!("expected governed termination");
+        };
+        assert_eq!(trip.reason, TripReason::StepBudget);
+        assert!(partial.table.len() < full.table.len());
+        // Prefix consistency: every partial row appears in the full output
+        // at the same position.
+        for (i, row) in partial.table.rows().enumerate() {
+            assert_eq!(row, full.table.row(i));
+        }
+        assert!(trip.steps >= 1);
+    }
+
+    #[test]
+    fn match_budget_truncates_output() {
+        use crate::governor::TripReason;
+        let table = quote_table();
+        let src = "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+                   WHERE Y.price <> X.price";
+        let full = execute_query(src, &table, &ExecOptions::default()).unwrap();
+        assert!(full.table.len() >= 2);
+        let err = execute_query(
+            src,
+            &table,
+            &ExecOptions {
+                governor: Governor::unlimited().with_max_matches(1),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let ExecError::Governed { trip, partial } = err else {
+            panic!("expected governed termination");
+        };
+        assert_eq!(trip.reason, TripReason::MatchBudget);
+        assert_eq!(partial.table.len(), 1);
+        assert_eq!(partial.table.row(0), full.table.row(0));
+    }
+
+    #[test]
+    fn cancellation_token_stops_execution() {
+        use crate::governor::{CancellationToken, TripReason};
+        let token = CancellationToken::new();
+        token.cancel(); // cancelled before the query even starts
+        let err = execute_query(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+            &quote_table(),
+            &ExecOptions {
+                governor: Governor::unlimited().with_token(token),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let ExecError::Governed { trip, partial } = err else {
+            panic!("expected governed termination");
+        };
+        assert_eq!(trip.reason, TripReason::Cancelled);
+        assert_eq!(partial.table.len(), 0);
+    }
+
+    #[test]
+    fn governed_run_without_trip_is_bit_identical() {
+        // A generous budget never trips, so the governed run must be
+        // indistinguishable from the ungoverned one at every thread count.
+        let table = quote_table();
+        let src = "SELECT X.name, Y.price AS p FROM quote \
+                   CLUSTER BY name SEQUENCE BY date AS (X, *Y) \
+                   WHERE Y.price > Y.previous.price";
+        let plain = execute_query(src, &table, &ExecOptions::default()).unwrap();
+        for threads in [1usize, 4] {
+            let governed = execute_query(
+                src,
+                &table,
+                &ExecOptions {
+                    governor: Governor::unlimited()
+                        .with_max_steps(1_000_000)
+                        .with_timeout(std::time::Duration::from_secs(3600)),
+                    threads: NonZeroUsize::new(threads).unwrap(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(governed.table, plain.table, "threads={threads}");
+            assert_eq!(governed.stats, plain.stats, "threads={threads}");
+            assert!(governed.is_complete());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_trips_before_work() {
+        use crate::governor::TripReason;
+        let err = execute_query(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+            &quote_table(),
+            &ExecOptions {
+                governor: Governor::unlimited().with_timeout(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let ExecError::Governed { trip, .. } = err else {
+            panic!("expected governed termination");
+        };
+        assert_eq!(trip.reason, TripReason::Deadline);
+    }
+
+    #[test]
+    fn governed_error_display_mentions_partial() {
+        let err = execute_query(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+            &quote_table(),
+            &ExecOptions {
+                governor: Governor::unlimited().with_max_steps(1),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("resource governor"), "{msg}");
+        assert!(msg.contains("partial result"), "{msg}");
+    }
+
+    #[test]
+    fn cluster_failure_display() {
+        let anon = ClusterFailure {
+            cluster: 3,
+            key: String::new(),
+            cause: "boom".into(),
+        };
+        assert_eq!(anon.to_string(), "cluster 3 failed: boom");
+        let keyed = ClusterFailure {
+            cluster: 0,
+            key: "IBM".into(),
+            cause: "boom".into(),
+        };
+        assert_eq!(keyed.to_string(), "cluster 0 (IBM) failed: boom");
     }
 }

@@ -82,13 +82,17 @@ impl<T: PartialEq + Clone> Kmp<T> {
         }
         let mut i = 0usize; // 0-based text cursor
         let mut j = 1usize; // 1-based pattern cursor
-        while i < n {
+                            // A governed counter stops the scan early; `out` is then a prefix
+                            // of the full occurrence list.
+        while i < n && !counter.tripped() {
             counter.bump();
             if text[i] == self.pattern[j - 1] {
                 i += 1;
                 j += 1;
                 if j > m {
-                    out.push(i - m);
+                    if counter.match_found() {
+                        out.push(i - m);
+                    }
                     // Standard continuation: longest border of the full
                     // pattern (use the failure function, not the
                     // optimized next, to keep overlapping matches).
@@ -115,7 +119,7 @@ impl<T: PartialEq + Clone> Kmp<T> {
         }
         let mut i = 0usize;
         let mut j = 1usize;
-        while i < n {
+        while i < n && !counter.tripped() {
             counter.bump();
             if text[i] == self.pattern[j - 1] {
                 i += 1;

@@ -52,18 +52,30 @@ pub mod counters;
 pub mod engine;
 pub mod executor;
 pub mod explain;
+pub mod governor;
 pub mod kmp;
 pub mod matrices;
 pub mod reverse;
 pub mod shift_next;
 pub mod stargraph;
 
+/// Deterministic fault injection (compiled only under
+/// `--features failpoints`): named sites in the engine, executor and CSV
+/// ingest paths that tests configure to panic, delay, inject errors or
+/// exhaust budgets.  See [`sqlts_relation::failpoints`].
+#[cfg(feature = "failpoints")]
+pub mod failpoints {
+    pub use sqlts_relation::failpoints::*;
+}
+
 pub use counters::{EvalCounter, SearchTrace};
 pub use engine::{find_matches, EngineKind, MatchSpans, SearchOptions};
 pub use executor::{
-    execute, execute_query, DirectionChoice, ExecOptions, QueryResult, SearchStats,
+    execute, execute_query, ClusterFailure, DirectionChoice, ExecError, ExecOptions, QueryResult,
+    SearchStats,
 };
 pub use explain::explain;
+pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
 pub use shift_next::ShiftNext;
 pub use stargraph::star_shift_next;

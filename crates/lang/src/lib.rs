@@ -59,4 +59,4 @@ pub use compiled::{
 };
 pub use error::{LangError, Span};
 pub use eval::{eval_conjunct, eval_projection, eval_scalar, Bindings, EvalCtx, FirstTuplePolicy};
-pub use parser::parse;
+pub use parser::{parse, MAX_EXPR_DEPTH};

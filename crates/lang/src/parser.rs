@@ -26,6 +26,13 @@ use crate::ast::*;
 use crate::error::{LangError, Span};
 use crate::lexer::{lex, Tok, Token};
 
+/// Maximum expression nesting the parser accepts.  Each parenthesis
+/// level, `NOT`, and unary minus costs one level; deeper input gets a
+/// [`LangError`] instead of a stack overflow (the recursive-descent
+/// parser recurses once per level, so unbounded input would otherwise
+/// crash the process on adversarial queries).
+pub const MAX_EXPR_DEPTH: usize = 128;
+
 /// Parse a SQL-TS query string into an AST.
 pub fn parse(src: &str) -> Result<Query, LangError> {
     let tokens = lex(src)?;
@@ -33,6 +40,7 @@ pub fn parse(src: &str) -> Result<Query, LangError> {
         tokens,
         pos: 0,
         src_len: src.len(),
+        depth: 0,
     };
     let q = p.query()?;
     p.expect_end()?;
@@ -43,6 +51,8 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     src_len: usize,
+    /// Current expression recursion depth (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -205,8 +215,26 @@ impl Parser {
         Ok(SelectItem { expr, alias })
     }
 
+    /// Run `f` one expression-nesting level deeper, rejecting input past
+    /// [`MAX_EXPR_DEPTH`] with an error rather than overflowing the stack.
+    fn with_depth<T>(
+        &mut self,
+        f: fn(&mut Parser) -> Result<T, LangError>,
+    ) -> Result<T, LangError> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(LangError::new(
+                format!("expression nesting exceeds {MAX_EXPR_DEPTH} levels"),
+                self.peek_span(),
+            ));
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
+    }
+
     fn expr(&mut self) -> Result<Expr, LangError> {
-        self.or_expr()
+        self.with_depth(Parser::or_expr)
     }
 
     fn or_expr(&mut self) -> Result<Expr, LangError> {
@@ -244,7 +272,7 @@ impl Parser {
         if self.at_kw("NOT") {
             let span = self.peek_span();
             self.eat_kw("NOT");
-            let inner = self.not_expr()?;
+            let inner = self.with_depth(Parser::not_expr)?;
             let span = span.merge(inner.span());
             return Ok(Expr::Unary {
                 op: UnOp::Not,
@@ -353,7 +381,7 @@ impl Parser {
         if self.peek() == Some(&Tok::Minus) {
             let span = self.peek_span();
             self.bump();
-            let inner = self.unary()?;
+            let inner = self.with_depth(Parser::unary)?;
             let span = span.merge(inner.span());
             return Ok(Expr::Unary {
                 op: UnOp::Neg,

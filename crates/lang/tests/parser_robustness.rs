@@ -2,8 +2,53 @@
 //! with an error, never panic, on arbitrary input.
 
 use proptest::prelude::*;
-use sqlts_lang::{compile, parse, CompileOptions};
+use sqlts_lang::{compile, parse, CompileOptions, MAX_EXPR_DEPTH};
 use sqlts_relation::{ColumnType, Schema};
+
+/// A query whose WHERE clause nests `depth` levels via the given
+/// open/close delimiters around a trivially valid comparison.
+fn nested_query(open: &str, close: &str, depth: usize) -> String {
+    format!(
+        "SELECT X.price FROM t AS (X) WHERE {}X.price > 1{}",
+        open.repeat(depth),
+        close.repeat(depth)
+    )
+}
+
+#[test]
+fn deep_parens_error_instead_of_overflowing() {
+    // Comfortably parseable below the limit…
+    assert!(parse(&nested_query("(", ")", 64)).is_ok());
+    // …and a structured error, not a stack overflow, far above it.
+    let err = parse(&nested_query("(", ")", 10_000)).unwrap_err();
+    assert!(err.message.contains("nesting"), "{}", err.message);
+}
+
+#[test]
+fn deep_not_chains_error_instead_of_overflowing() {
+    assert!(parse(&nested_query("NOT ", "", 64)).is_ok());
+    let err = parse(&nested_query("NOT ", "", 10_000)).unwrap_err();
+    assert!(err.message.contains("nesting"), "{}", err.message);
+}
+
+#[test]
+fn deep_unary_minus_chains_error_instead_of_overflowing() {
+    // Space-separated so adjacent minuses don't lex as a `--` comment.
+    let deep_minus = format!(
+        "SELECT X.price FROM t AS (X) WHERE X.price > {}1",
+        "- ".repeat(10_000)
+    );
+    let err = parse(&deep_minus).unwrap_err();
+    assert!(err.message.contains("nesting"), "{}", err.message);
+}
+
+#[test]
+fn depth_limit_boundary_is_exact_for_parens() {
+    // One paren level costs one depth unit on top of the enclosing
+    // expression, so MAX_EXPR_DEPTH - 1 parens parse and one more errors.
+    assert!(parse(&nested_query("(", ")", MAX_EXPR_DEPTH - 1)).is_ok());
+    assert!(parse(&nested_query("(", ")", MAX_EXPR_DEPTH)).is_err());
+}
 
 fn schema() -> Schema {
     Schema::new([

@@ -36,6 +36,11 @@ pub enum CsvError {
         /// Fields found on the line.
         got: usize,
     },
+    /// A line is not valid UTF-8.
+    Utf8 {
+        /// 1-based line number in the file.
+        line: usize,
+    },
     /// Schema/row validation failure.
     Table(TableError),
 }
@@ -59,6 +64,7 @@ impl fmt::Display for CsvError {
                 expected,
                 got,
             } => write!(f, "line {line}: expected {expected} fields, found {got}"),
+            CsvError::Utf8 { line } => write!(f, "line {line}: input is not valid UTF-8"),
             CsvError::Table(e) => write!(f, "{e}"),
         }
     }
@@ -139,6 +145,27 @@ fn parse_cell(raw: &str, ty: ColumnType, line: usize, column: &str) -> Result<Va
     }
 }
 
+/// Read one `\n`-terminated line as UTF-8.  Reading bytes first (instead of
+/// `BufRead::lines`) lets a non-UTF-8 byte be reported with the line it sits
+/// on rather than as an opaque I/O error.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    line: usize,
+) -> Result<Option<String>, CsvError> {
+    buf.clear();
+    if reader.read_until(b'\n', buf)? == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    match std::str::from_utf8(buf) {
+        Ok(s) => Ok(Some(s.to_string())),
+        Err(_) => Err(CsvError::Utf8 { line }),
+    }
+}
+
 impl Table {
     /// Read a CSV with a header line into a table with the given schema.
     ///
@@ -146,9 +173,10 @@ impl Table {
     /// column order need not match the schema's; extra file columns are
     /// ignored.
     pub fn from_csv<R: Read>(schema: Schema, reader: R) -> Result<Table, CsvError> {
-        let mut lines = BufReader::new(reader).lines();
-        let header = match lines.next() {
-            Some(h) => h?,
+        let mut reader = BufReader::new(reader);
+        let mut buf = Vec::new();
+        let header = match read_line(&mut reader, &mut buf, 1)? {
+            Some(h) => h,
             None => return Ok(Table::new(schema)),
         };
         let header_fields = split_line(header.trim_end_matches('\r'));
@@ -163,16 +191,29 @@ impl Table {
         }
 
         let mut table = Table::new(schema);
-        for (lineno, line) in lines.enumerate() {
-            let line = line?;
+        let mut lineno = 1usize;
+        loop {
+            lineno += 1;
+            let Some(line) = read_line(&mut reader, &mut buf, lineno)? else {
+                break;
+            };
             let line = line.trim_end_matches('\r');
             if line.is_empty() {
                 continue;
             }
+            #[cfg(feature = "failpoints")]
+            if matches!(
+                crate::failpoints::hit("csv::record", lineno as u64),
+                Some(crate::failpoints::Injected::InjectError)
+            ) {
+                return Err(CsvError::Io(io::Error::other(format!(
+                    "failpoint 'csv::record' injected error at line {lineno}"
+                ))));
+            }
             let fields = split_line(line);
             if fields.len() < header_fields.len() {
                 return Err(CsvError::Arity {
-                    line: lineno + 2,
+                    line: lineno,
                     expected: header_fields.len(),
                     got: fields.len(),
                 });
@@ -180,7 +221,7 @@ impl Table {
             let row: Vec<Value> = mapping
                 .iter()
                 .zip(table.schema().columns().to_vec())
-                .map(|(&fi, col)| parse_cell(&fields[fi], col.ty, lineno + 2, &col.name))
+                .map(|(&fi, col)| parse_cell(&fields[fi], col.ty, lineno, &col.name))
                 .collect::<Result<_, _>>()?;
             table.push_row(row)?;
         }
@@ -332,5 +373,56 @@ IBM,1999-01-25,81
             Table::from_csv_str(quote_schema(), data),
             Err(CsvError::Arity { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn truncated_final_row_is_reported_with_its_line() {
+        // A file cut off mid-record (no trailing newline, missing fields).
+        let data = "name,date,price\nIBM,1999-01-25,81\nIBM,1999-01-26";
+        match Table::from_csv_str(quote_schema(), data) {
+            Err(CsvError::Arity {
+                line,
+                expected,
+                got,
+            }) => {
+                assert_eq!(line, 3);
+                assert_eq!(expected, 3);
+                assert_eq!(got, 2);
+            }
+            other => panic!("expected arity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_date_is_reported_with_line_and_column() {
+        let data = "name,date,price\nIBM,1999-01-25,81\nIBM,1999-13-88,82\n";
+        match Table::from_csv_str(quote_schema(), data) {
+            Err(CsvError::Parse {
+                line,
+                column,
+                value,
+                expected,
+            }) => {
+                assert_eq!(line, 3);
+                assert_eq!(column, "date");
+                assert_eq!(value, "1999-13-88");
+                assert_eq!(expected, ColumnType::Date);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_reported_with_their_line() {
+        let mut data = b"name,date,price\nIBM,1999-01-25,81\n".to_vec();
+        data.extend_from_slice(b"IB\xffM,1999-01-26,82\n");
+        match Table::from_csv(quote_schema(), &data[..]) {
+            Err(CsvError::Utf8 { line }) => assert_eq!(line, 3),
+            other => panic!("expected UTF-8 error, got {other:?}"),
+        }
+        // And in the header too.
+        let err = Table::from_csv(quote_schema(), &b"na\xffme,date,price\n"[..]).unwrap_err();
+        assert!(matches!(err, CsvError::Utf8 { line: 1 }), "{err:?}");
+        assert!(err.to_string().contains("not valid UTF-8"));
     }
 }

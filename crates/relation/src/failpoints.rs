@@ -1,0 +1,236 @@
+//! Deterministic fault injection (compiled only with
+//! `--features failpoints`).
+//!
+//! A *failpoint* is a named site in production code —
+//! `failpoints::hit("executor::cluster", idx)` — that normally costs one
+//! mutex-guarded map lookup and does nothing.  Robustness tests
+//! [`configure`] the registry to make a specific site misbehave in a
+//! specific, reproducible way:
+//!
+//! * [`FailAction::Panic`] — panic with a recognizable message (exercises
+//!   the executor's per-cluster panic isolation);
+//! * [`FailAction::DelayMs`] — sleep, to force deadline trips at a chosen
+//!   point rather than by racing the clock;
+//! * [`FailAction::InjectError`] — ask the site to surface its own error
+//!   type ([`hit`] returns [`Injected::InjectError`]; the site decides what
+//!   that means — the CSV reader turns it into a parse error);
+//! * [`FailAction::ExhaustBudget`] — ask the site to behave as if a
+//!   resource budget just ran out (the governor trips its step budget).
+//!
+//! Determinism comes from *triggers*, not randomness: a rule fires when
+//! the site's hit counter reaches `on_hit` (1-based) and, optionally, only
+//! when the site's `detail` argument matches — e.g. "panic on cluster 2"
+//! is `detail: Some(2)`.  The registry is process-global, so tests that
+//! use it must serialize (share one `Mutex`) and [`reset`] when done.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a triggered failpoint does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic inside [`hit`] with a message naming the site.
+    Panic,
+    /// Sleep for the given number of milliseconds inside [`hit`].
+    DelayMs(u64),
+    /// Return [`Injected::InjectError`]; the site maps it to its own error.
+    InjectError,
+    /// Return [`Injected::ExhaustBudget`]; the site treats a budget as
+    /// spent.
+    ExhaustBudget,
+}
+
+/// What [`hit`] reports back to the site when a rule fired and its effect
+/// is the *site's* responsibility (Panic and DelayMs are handled inside
+/// [`hit`] itself and reported only for completeness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injected {
+    /// The site should surface its own error type.
+    InjectError,
+    /// The site should behave as if a resource budget ran out.
+    ExhaustBudget,
+    /// A delay was already performed inside [`hit`].
+    Delayed,
+}
+
+/// One armed rule at one site.
+#[derive(Clone, Debug)]
+struct Rule {
+    action: FailAction,
+    /// Fire on the n-th hit of the site (1-based; 1 = first hit).
+    on_hit: u64,
+    /// Only fire when the site's `detail` argument equals this.
+    detail: Option<u64>,
+    /// Fire at most once (`true`) or on every hit from `on_hit` on
+    /// (`false`).
+    once: bool,
+    /// Set once a `once` rule has fired.
+    spent: bool,
+}
+
+#[derive(Default)]
+struct Registry {
+    rules: HashMap<&'static str, Vec<Rule>>,
+    hits: HashMap<&'static str, u64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Arm `site` with `action`, firing every time the site is hit (any
+/// `detail`).  Sugar for [`configure_rule`] with `on_hit = 1`,
+/// `detail = None`, `once = false`.
+pub fn configure(site: &'static str, action: FailAction) {
+    configure_rule(site, action, 1, None, false);
+}
+
+/// Arm `site` with `action`, firing from the `on_hit`-th hit (1-based)
+/// on — or exactly once if `once` — and only for hits whose `detail`
+/// matches (when `Some`).  Multiple rules on one site are evaluated in
+/// configuration order; the first that fires wins for that hit.
+pub fn configure_rule(
+    site: &'static str,
+    action: FailAction,
+    on_hit: u64,
+    detail: Option<u64>,
+    once: bool,
+) {
+    let mut reg = registry().lock().expect("failpoint registry");
+    reg.rules.entry(site).or_default().push(Rule {
+        action,
+        on_hit,
+        detail,
+        once,
+        spent: false,
+    });
+}
+
+/// Disarm every site and zero every hit counter.  Tests call this in a
+/// guard/teardown so one test's rules never leak into the next.
+pub fn reset() {
+    let mut reg = registry().lock().expect("failpoint registry");
+    reg.rules.clear();
+    reg.hits.clear();
+}
+
+/// How many times `site` has been hit since the last [`reset`].
+pub fn hit_count(site: &str) -> u64 {
+    let reg = registry().lock().expect("failpoint registry");
+    reg.hits.get(site).copied().unwrap_or(0)
+}
+
+/// The instrumentation call production code places at a named site.
+///
+/// `detail` is a site-specific discriminator (cluster index, record
+/// number, consumed-step total, …) that rules can match on.  Returns
+/// `None` when no rule fired.  `Panic` fires here (so the panic
+/// originates at the site); `DelayMs` sleeps here and returns
+/// [`Injected::Delayed`]; the other actions are returned for the site to
+/// interpret.  The registry lock is released before panicking or
+/// sleeping.
+pub fn hit(site: &'static str, detail: u64) -> Option<Injected> {
+    let fired = {
+        let mut reg = registry().lock().expect("failpoint registry");
+        let count = reg.hits.entry(site).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let rules = reg.rules.get_mut(site)?;
+        let rule = rules.iter_mut().find(|r| {
+            !r.spent
+                && count >= r.on_hit
+                && (r.on_hit == count || !r.once)
+                && r.detail.map_or(true, |d| d == detail)
+        })?;
+        if rule.once {
+            rule.spent = true;
+        }
+        rule.action
+    };
+    match fired {
+        FailAction::Panic => panic!("failpoint '{site}' injected panic (detail {detail})"),
+        FailAction::DelayMs(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Some(Injected::Delayed)
+        }
+        FailAction::InjectError => Some(Injected::InjectError),
+        FailAction::ExhaustBudget => Some(Injected::ExhaustBudget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The registry is process-global; every test takes this lock and
+    // resets on entry and exit.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        guard
+    }
+
+    #[test]
+    fn unarmed_site_is_a_noop() {
+        let _guard = serial();
+        assert_eq!(hit("tests::noop", 0), None);
+        assert_eq!(hit_count("tests::noop"), 1);
+        reset();
+        assert_eq!(hit_count("tests::noop"), 0);
+    }
+
+    #[test]
+    fn inject_error_fires_every_time() {
+        let _guard = serial();
+        configure("tests::err", FailAction::InjectError);
+        assert_eq!(hit("tests::err", 0), Some(Injected::InjectError));
+        assert_eq!(hit("tests::err", 1), Some(Injected::InjectError));
+        reset();
+        assert_eq!(hit("tests::err", 2), None);
+    }
+
+    #[test]
+    fn detail_and_on_hit_select_the_trigger() {
+        let _guard = serial();
+        configure_rule("tests::sel", FailAction::ExhaustBudget, 2, Some(7), false);
+        assert_eq!(hit("tests::sel", 7), None, "hit 1 < on_hit");
+        assert_eq!(hit("tests::sel", 3), None, "detail mismatch");
+        assert_eq!(hit("tests::sel", 7), Some(Injected::ExhaustBudget));
+        reset();
+    }
+
+    #[test]
+    fn once_rules_fire_exactly_once() {
+        let _guard = serial();
+        configure_rule("tests::once", FailAction::InjectError, 1, None, true);
+        assert_eq!(hit("tests::once", 0), Some(Injected::InjectError));
+        assert_eq!(hit("tests::once", 0), None);
+        reset();
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _guard = serial();
+        configure("tests::boom", FailAction::Panic);
+        let err = std::panic::catch_unwind(|| hit("tests::boom", 42)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("tests::boom"), "{msg}");
+        assert!(msg.contains("42"), "{msg}");
+        reset();
+    }
+
+    #[test]
+    fn delay_action_sleeps_inline() {
+        let _guard = serial();
+        configure("tests::slow", FailAction::DelayMs(5));
+        let t0 = std::time::Instant::now();
+        assert_eq!(hit("tests::slow", 0), Some(Injected::Delayed));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        reset();
+    }
+}

@@ -20,6 +20,8 @@
 
 mod csv;
 mod date;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 mod table;
 mod value;
 

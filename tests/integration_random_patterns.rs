@@ -212,9 +212,133 @@ fn fuzz_parallel(seed: u64, rounds: u32) {
     );
 }
 
+/// `sub` appears, in order, within `full` (with arbitrary gaps).
+fn is_subsequence(sub: &[Vec<Value>], full: &[Vec<Value>]) -> bool {
+    let mut it = full.iter();
+    sub.iter().all(|row| it.any(|f| f == row))
+}
+
+fn rows(table: &Table) -> Vec<Vec<Value>> {
+    table.rows().map(<[Value]>::to_vec).collect()
+}
+
+/// Property: whatever limits the governor is armed with, a governed run
+/// never invents matches.  An untripped run is bit-identical to the
+/// ungoverned one at every thread count; a tripped run yields an ordered
+/// subsequence of the ungoverned match set (an exact prefix when
+/// sequential), honours the match budget exactly, and reports a trip
+/// consistent with the limit that fired.
+fn fuzz_governed(seed: u64, rounds: u32) {
+    use sqlts_core::{ExecError, Governor, TripReason};
+    use std::time::Duration;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tripped_runs = 0u32;
+    for round in 0..rounds {
+        let base = random_query(&mut rng);
+        let query = base.replace("SEQUENCE BY date", "CLUSTER BY name SEQUENCE BY date");
+        let clusters = rng.gen_range(1..=6);
+        let table = random_clustered_table(&mut rng, clusters);
+        let policy = if rng.gen_bool(0.5) {
+            FirstTuplePolicy::VacuousTrue
+        } else {
+            FirstTuplePolicy::Fail
+        };
+        let engine = [
+            EngineKind::Naive,
+            EngineKind::NaiveBacktrack,
+            EngineKind::Ops,
+            EngineKind::OpsShiftOnly,
+        ][rng.gen_range(0..4usize)];
+        let opts = |threads: usize, governor: Governor| ExecOptions {
+            engine,
+            policy,
+            threads: NonZeroUsize::new(threads).unwrap(),
+            governor,
+            ..Default::default()
+        };
+
+        let full = execute_query(&query, &table, &opts(1, Governor::unlimited()))
+            .unwrap_or_else(|e| panic!("round {round}: {query}: {e}"));
+        let full_rows = rows(&full.table);
+
+        let max_steps = rng.gen_range(0..=full.stats.steps + 16);
+        let max_matches = rng.gen_range(0..=full.stats.matches + 4);
+        let governor = match rng.gen_range(0..4u8) {
+            0 => Governor::unlimited().with_max_steps(max_steps),
+            1 => Governor::unlimited().with_max_matches(max_matches),
+            // A dead deadline: everything must be skipped, instantly.
+            2 => Governor::unlimited().with_timeout(Duration::ZERO),
+            _ => Governor::unlimited()
+                .with_max_steps(max_steps)
+                .with_max_matches(max_matches),
+        };
+
+        for threads in [1usize, 4] {
+            let ctx = format!(
+                "round {round} ({engine:?}, {policy:?}, clusters={clusters}, \
+                 threads={threads}, governor={governor:?}):\n{query}"
+            );
+            match execute_query(&query, &table, &opts(threads, governor.clone())) {
+                Ok(result) => {
+                    assert_eq!(result.table, full.table, "untripped ≠ ungoverned: {ctx}");
+                    assert_eq!(result.stats, full.stats, "stats diverged: {ctx}");
+                    assert!(result.is_complete(), "{ctx}");
+                }
+                Err(ExecError::Governed { trip, partial }) => {
+                    tripped_runs += 1;
+                    assert!(
+                        partial.is_complete(),
+                        "trip is not a cluster failure: {ctx}"
+                    );
+                    let partial_rows = rows(&partial.table);
+                    assert!(
+                        is_subsequence(&partial_rows, &full_rows),
+                        "governed output is not a subsequence: {ctx}\n\
+                         partial={partial_rows:?}\nfull={full_rows:?}"
+                    );
+                    if threads == 1 {
+                        assert_eq!(
+                            partial_rows,
+                            full_rows[..partial_rows.len()],
+                            "sequential governed output is not a prefix: {ctx}"
+                        );
+                    }
+                    match trip.reason {
+                        TripReason::StepBudget => {
+                            assert!(trip.steps > max_steps, "{ctx}")
+                        }
+                        TripReason::MatchBudget => {
+                            assert_eq!(partial.stats.matches, max_matches, "{ctx}");
+                            assert_eq!(partial_rows.len() as u64, max_matches, "{ctx}");
+                        }
+                        TripReason::Deadline | TripReason::Cancelled => {}
+                    }
+                }
+                Err(e) => panic!("unexpected error: {e}\n{ctx}"),
+            }
+        }
+    }
+    // Sanity: the budget generator must actually exercise trips.
+    assert!(
+        tripped_runs > rounds / 4,
+        "only {tripped_runs} governed runs tripped in {rounds} rounds"
+    );
+}
+
 #[test]
 fn random_patterns_agree_across_engines() {
     fuzz(0xC0FFEE, 400);
+}
+
+#[test]
+fn governed_runs_are_prefix_consistent() {
+    fuzz_governed(0x60BE6, 250);
+}
+
+#[test]
+fn governed_runs_are_prefix_consistent_second_seed() {
+    fuzz_governed(0xDEAD11E, 250);
 }
 
 #[test]
