@@ -1,7 +1,7 @@
 //! Regenerate every figure and table of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|ex5|ex9|fig5|kmp|double_bottom|sweep|reverse|compile_cost|disjunction|ablation|parallel]
+//! experiments [all|ex5|ex9|fig5|kmp|double_bottom|sweep|reverse|compile_cost|disjunction|ablation|parallel|bench-json]
 //! ```
 //!
 //! Each subcommand corresponds to one experiment of the index in
@@ -31,6 +31,7 @@ fn main() {
         ("disjunction", disjunction),
         ("ablation", ablation),
         ("parallel", parallel),
+        ("bench-json", bench_json),
     ];
     for (name, f) in experiments {
         if all || arg == *name {
@@ -392,6 +393,49 @@ fn parallel() {
          cluster; stats and output are merged in cluster order and are \
          identical for every thread count"
     );
+}
+
+/// E12 — machine-readable profiles: write `BENCH_*.json` artifacts, one
+/// per workload, each holding the full [`ExecutionProfile`] of every
+/// engine (the same JSON `sqlts --profile --metrics-format json` emits).
+/// CI schema-validates and archives them; EXPERIMENTS.md's §7 rows are
+/// reproducible from these files alone.
+fn bench_json() {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| "target/bench-json".to_string());
+    std::fs::create_dir_all(&dir).expect("create bench-json output dir");
+    let workloads: Vec<(&str, sqlts_relation::Table, String)> = vec![
+        ("fig5", price_table(&FIG5_PRICES), EXAMPLE4.to_string()),
+        ("double_bottom", djia(DJIA_SEED), DOUBLE_BOTTOM.to_string()),
+        (
+            "equality_kmp",
+            kmp_workload(20_000, 4, 42),
+            "SELECT X.date FROM t SEQUENCE BY date AS (X, Y, Z) \
+             WHERE X.price = 0 AND Y.price = 1 AND Z.price = 0"
+                .to_string(),
+        ),
+    ];
+    for (id, table, query) in workloads {
+        let mut body = String::from("{");
+        body.push_str(&format!("\"experiment\":\"{id}\",\"engines\":{{"));
+        for (i, engine) in [
+            EngineKind::Naive,
+            EngineKind::NaiveBacktrack,
+            EngineKind::Ops,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let profile = run_profile(&query, &table, *engine);
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{}\":{}", engine.name(), profile.to_json()));
+        }
+        body.push_str("}}");
+        let path = format!("{dir}/BENCH_{id}.json");
+        std::fs::write(&path, body).expect("write BENCH json");
+        println!("wrote {path}");
+    }
 }
 
 /// E10 — ablation: full OPS vs shift-only vs naive.

@@ -5,8 +5,8 @@
 //! binary renders them as text and the Criterion benches time them.
 
 use sqlts_core::{
-    execute_query, CompileOptions, EngineKind, EvalCounter, ExecOptions, FirstTuplePolicy,
-    SearchTrace,
+    execute_query, CompileOptions, EngineKind, EvalCounter, ExecOptions, ExecutionProfile,
+    FirstTuplePolicy, Instrument, SearchTrace,
 };
 use sqlts_datagen::{djia_series, integer_walk, prices_to_table, symbol_series};
 use sqlts_relation::{Date, Table, Value};
@@ -98,6 +98,26 @@ pub fn run_cost_threads(query: &str, table: &Table, engine: EngineKind, threads:
         matches: result.stats.matches,
         tests: result.stats.predicate_tests,
     }
+}
+
+/// [`run_cost`] with the metrics registry armed: returns the full
+/// machine-readable [`ExecutionProfile`] (per-position test counts,
+/// shift-distance histograms, per-cluster breakdown, optimizer report)
+/// instead of the two scalar totals.
+pub fn run_profile(query: &str, table: &Table, engine: EngineKind) -> ExecutionProfile {
+    let result = execute_query(
+        query,
+        table,
+        &ExecOptions {
+            engine,
+            policy: FirstTuplePolicy::VacuousTrue,
+            compile: CompileOptions::default(),
+            instrument: Instrument::profiling(),
+            ..Default::default()
+        },
+    )
+    .expect("experiment query executes");
+    *result.profile.expect("profiling was armed")
 }
 
 /// Speedup of `b` relative to `a` in predicate tests (`a.tests/b.tests`).

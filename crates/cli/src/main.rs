@@ -3,6 +3,7 @@
 //! ```text
 //! sqlts --csv quotes.csv --schema 'name:str,date:date,price:float' \
 //!       [--engine naive|backtrack|ops|shift-only] [--explain] [--stats] \
+//!       [--profile] [--trace FILE.jsonl] [--metrics-format json|prom|text] \
 //!       [--threads N] [--strict-previous] \
 //!       [--timeout-ms N] [--max-steps N] [--max-matches N] \
 //!       "SELECT … FROM … AS (X, *Y, Z) WHERE …"
@@ -11,7 +12,9 @@
 //! ```
 //!
 //! Prints the result as CSV on stdout; `--stats` adds the cost metric on
-//! stderr, `--explain` prints the optimizer's θ/φ/shift/next report.
+//! stderr, `--explain` prints the optimizer's θ/φ/shift/next report,
+//! `--profile` emits the machine-readable execution profile (see the
+//! README's Observability section).
 //!
 //! Exit codes: `0` success, `2` usage, `3` input (query compile or CSV
 //! ingest), `4` runtime (governed termination or isolated cluster
@@ -19,13 +22,134 @@
 
 use sqlts_core::{
     compile, execute, explain, CompileOptions, DirectionChoice, EngineKind, ExecError, ExecOptions,
-    FirstTuplePolicy, Governor,
+    FirstTuplePolicy, Governor, Instrument,
 };
 use sqlts_relation::{ColumnType, Schema, Table};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// One accepted command-line flag: the single source of truth for both
+/// the parser (membership and arity) and the generated `--help` text, so
+/// the two can never drift apart.
+struct FlagSpec {
+    /// The flag itself (`--engine`).
+    name: &'static str,
+    /// Metavariable for the flag's value; `None` for boolean flags.
+    metavar: Option<&'static str>,
+    /// One-line description for `--help`.
+    help: &'static str,
+}
+
+/// Every flag `sqlts` accepts.  `parse_args` rejects anything not listed
+/// here, and `help_text` renders exactly this table.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--csv",
+        metavar: Some("FILE"),
+        help: "read input tuples from a CSV file (requires --schema)",
+    },
+    FlagSpec {
+        name: "--schema",
+        metavar: Some("'col:type,…'"),
+        help: "column names and types for --csv (types: int, float, str, date)",
+    },
+    FlagSpec {
+        name: "--demo-djia",
+        metavar: None,
+        help: "use the built-in simulated DJIA table instead of --csv",
+    },
+    FlagSpec {
+        name: "--seed",
+        metavar: Some("N"),
+        help: "random seed for --demo-djia (default 2001)",
+    },
+    FlagSpec {
+        name: "--engine",
+        metavar: Some("naive|backtrack|ops|shift-only"),
+        help: "pattern-search engine (default ops)",
+    },
+    FlagSpec {
+        name: "--direction",
+        metavar: Some("forward|reverse|auto"),
+        help: "scan direction; auto uses the mean-shift/next heuristic (default forward)",
+    },
+    FlagSpec {
+        name: "--threads",
+        metavar: Some("N"),
+        help: "worker threads for cluster-parallel execution (default: all \
+               cores; 1 = sequential; output is identical for every N)",
+    },
+    FlagSpec {
+        name: "--timeout-ms",
+        metavar: Some("N"),
+        help: "abort the query after N milliseconds of wall clock (exit 4, partial result printed)",
+    },
+    FlagSpec {
+        name: "--max-steps",
+        metavar: Some("N"),
+        help: "abort after N predicate tests, the paper's cost metric (exit 4)",
+    },
+    FlagSpec {
+        name: "--max-matches",
+        metavar: Some("N"),
+        help: "abort after N retained matches / output rows (exit 4)",
+    },
+    FlagSpec {
+        name: "--explain",
+        metavar: None,
+        help: "print the optimizer report (theta/phi/S, shift/next) to stderr",
+    },
+    FlagSpec {
+        name: "--stats",
+        metavar: None,
+        help: "print the cost metric to stderr: the legacy one-line summary \
+               plus a per-cluster breakdown",
+    },
+    FlagSpec {
+        name: "--profile",
+        metavar: None,
+        help: "collect an execution profile and print it to stderr in the \
+               --metrics-format encoding",
+    },
+    FlagSpec {
+        name: "--metrics-format",
+        metavar: Some("json|prom|text"),
+        help: "encoding for the --profile report (default text)",
+    },
+    FlagSpec {
+        name: "--trace",
+        metavar: Some("FILE"),
+        help: "write the per-cluster search-event stream (Figure 5, \
+               machine-readable) to FILE as JSON-lines",
+    },
+    FlagSpec {
+        name: "--trace-capacity",
+        metavar: Some("N"),
+        help: "retained events per cluster for --trace (default 4096; older \
+               events are dropped deterministically)",
+    },
+    FlagSpec {
+        name: "--strict-previous",
+        metavar: None,
+        help: "make out-of-range `previous` references an error instead of vacuously true",
+    },
+    FlagSpec {
+        name: "--help",
+        metavar: None,
+        help: "print this help and exit",
+    },
+];
+
+/// How `--profile` serializes the execution profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum MetricsFormat {
+    #[default]
+    Text,
+    Json,
+    Prom,
+}
 
 struct Args {
     csv: Option<PathBuf>,
@@ -36,6 +160,10 @@ struct Args {
     direction: DirectionChoice,
     explain: bool,
     stats: bool,
+    profile: bool,
+    metrics_format: MetricsFormat,
+    trace: Option<PathBuf>,
+    trace_capacity: usize,
     strict_previous: bool,
     threads: NonZeroUsize,
     timeout_ms: Option<u64>,
@@ -50,28 +178,44 @@ fn default_threads() -> NonZeroUsize {
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: sqlts (--csv FILE --schema 'col:type,…' | --demo-djia [--seed N]) \\\n\
-         \x20            [--engine naive|backtrack|ops|shift-only] [--direction forward|reverse|auto] \\\n\
-         \x20            [--explain] [--stats] [--threads N] [--strict-previous] \\\n\
-         \x20            [--timeout-ms N] [--max-steps N] [--max-matches N] QUERY\n\
+/// Render the full help text from the flag table.
+fn help_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "usage: sqlts [FLAGS] QUERY\n\
          \n\
-         --threads N: worker threads for cluster-parallel execution\n\
-         \x20            (default: all cores; 1 = sequential; output is\n\
-         \x20            identical for every N)\n\
-         --timeout-ms N: abort the query after N milliseconds of wall clock\n\
-         --max-steps N: abort after N predicate tests (the paper's cost metric)\n\
-         --max-matches N: abort after N retained matches (output rows)\n\
-         \x20            (on abort the partial result is printed and the exit\n\
-         \x20            code is 4)\n\
+         Run a SQL-TS sequence query (PODS 2001) over a CSV file or the\n\
+         built-in demo table; the result is printed as CSV on stdout.\n\
          \n\
-         types: int, float, str, date\n\
-         example:\n\
+         flags:\n",
+    );
+    let width = FLAGS
+        .iter()
+        .map(|f| f.name.len() + f.metavar.map_or(0, |m| m.len() + 1))
+        .max()
+        .unwrap_or(0);
+    for f in FLAGS {
+        let lhs = match f.metavar {
+            Some(m) => format!("{} {m}", f.name),
+            None => f.name.to_string(),
+        };
+        let _ = writeln!(out, "  {lhs:width$}  {}", f.help);
+    }
+    out.push_str(
+        "\nexample:\n\
          \x20 sqlts --demo-djia --stats \\\n\
          \x20   \"SELECT FIRST(Y).date AS from_d, Z.date AS to_d FROM djia SEQUENCE BY date \\\n\
-         \x20    AS (*Y, Z) WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price\""
+         \x20    AS (*Y, Z) WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price\"\n\
+         \n\
+         exit codes: 0 success, 2 usage, 3 input (compile/CSV), 4 runtime\n\
+         (governed termination or isolated cluster failures; the partial\n\
+         result is still printed)\n",
     );
+    out
+}
+
+fn usage() -> ! {
+    eprint!("{}", help_text());
     std::process::exit(2)
 }
 
@@ -85,6 +229,10 @@ fn parse_args() -> Args {
         direction: DirectionChoice::Forward,
         explain: false,
         stats: false,
+        profile: false,
+        metrics_format: MetricsFormat::Text,
+        trace: None,
+        trace_capacity: Instrument::DEFAULT_TRACE_CAPACITY,
         strict_previous: false,
         threads: default_threads(),
         timeout_ms: None,
@@ -92,20 +240,30 @@ fn parse_args() -> Args {
         max_matches: None,
         query: None,
     };
+    fn numeric<T: std::str::FromStr>(v: Option<String>) -> T {
+        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
     let mut it = std::env::args().skip(1);
-    let numeric = |it: &mut dyn Iterator<Item = String>| -> u64 {
-        it.next()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| usage())
-    };
     while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--csv" => args.csv = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--schema" => args.schema = Some(it.next().unwrap_or_else(|| usage())),
+        let name = if arg == "-h" { "--help" } else { arg.as_str() };
+        let Some(spec) = FLAGS.iter().find(|f| f.name == name) else {
+            if !arg.starts_with('-') && args.query.is_none() {
+                args.query = Some(arg);
+                continue;
+            }
+            usage();
+        };
+        // The table drives arity: flags with a metavar consume one value.
+        let value = spec
+            .metavar
+            .map(|_| it.next().unwrap_or_else(|| usage()));
+        match name {
+            "--csv" => args.csv = Some(PathBuf::from(value.unwrap())),
+            "--schema" => args.schema = value,
             "--demo-djia" => args.demo_djia = true,
-            "--seed" => args.seed = numeric(&mut it),
+            "--seed" => args.seed = numeric(value),
             "--engine" => {
-                args.engine = match it.next().as_deref() {
+                args.engine = match value.as_deref() {
                     Some("naive") => EngineKind::Naive,
                     Some("backtrack") => EngineKind::NaiveBacktrack,
                     Some("ops") => EngineKind::Ops,
@@ -114,28 +272,36 @@ fn parse_args() -> Args {
                 }
             }
             "--direction" => {
-                args.direction = match it.next().as_deref() {
+                args.direction = match value.as_deref() {
                     Some("forward") => DirectionChoice::Forward,
                     Some("reverse") => DirectionChoice::Reverse,
                     Some("auto") => DirectionChoice::Auto,
                     _ => usage(),
                 }
             }
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--timeout-ms" => args.timeout_ms = Some(numeric(&mut it)),
-            "--max-steps" => args.max_steps = Some(numeric(&mut it)),
-            "--max-matches" => args.max_matches = Some(numeric(&mut it)),
+            "--threads" => args.threads = numeric(value),
+            "--timeout-ms" => args.timeout_ms = Some(numeric(value)),
+            "--max-steps" => args.max_steps = Some(numeric(value)),
+            "--max-matches" => args.max_matches = Some(numeric(value)),
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
+            "--profile" => args.profile = true,
+            "--metrics-format" => {
+                args.metrics_format = match value.as_deref() {
+                    Some("json") => MetricsFormat::Json,
+                    Some("prom") => MetricsFormat::Prom,
+                    Some("text") => MetricsFormat::Text,
+                    _ => usage(),
+                }
+            }
+            "--trace" => args.trace = Some(PathBuf::from(value.unwrap())),
+            "--trace-capacity" => args.trace_capacity = numeric(value),
             "--strict-previous" => args.strict_previous = true,
-            "--help" | "-h" => usage(),
-            q if !q.starts_with('-') && args.query.is_none() => args.query = Some(arg),
-            _ => usage(),
+            "--help" => {
+                print!("{}", help_text());
+                std::process::exit(0)
+            }
+            _ => unreachable!("flag in table without a parse arm: {name}"),
         }
     }
     args
@@ -200,6 +366,16 @@ fn build_governor(args: &Args) -> Governor {
     governor
 }
 
+/// Which instrumentation the requested flags need: `--trace` retains
+/// events, `--profile` and `--stats` need the metrics registry.
+fn build_instrument(args: &Args) -> Instrument {
+    Instrument {
+        profile: args.profile || args.stats || args.trace.is_some(),
+        trace: args.trace.is_some(),
+        trace_capacity: args.trace_capacity,
+    }
+}
+
 fn run() -> Result<(), CliError> {
     let args = parse_args();
     let query_src = args.query.clone().unwrap_or_else(|| usage());
@@ -236,6 +412,7 @@ fn run() -> Result<(), CliError> {
             direction: args.direction,
             threads: args.threads,
             governor: build_governor(&args),
+            instrument: build_instrument(&args),
         },
     );
     let (result, trip) = match exec_result {
@@ -249,7 +426,40 @@ fn run() -> Result<(), CliError> {
     // worth printing — callers see every match produced before the cut.
     print!("{}", result.table.to_csv_string());
     if args.stats {
+        // Legacy single-line summary, byte-compatible with older releases…
         eprintln!("{}", result.stats);
+        // …plus the per-cluster breakdown the profile now carries.
+        if let Some(profile) = &result.profile {
+            for c in &profile.clusters {
+                let key = if c.key.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", c.key)
+                };
+                eprintln!(
+                    "  cluster {}{}: {} tuples, {} tests {:?}, {} matches",
+                    c.index,
+                    key,
+                    c.tuples,
+                    c.metrics.total_tests(),
+                    c.metrics.tests_per_position,
+                    c.metrics.matches,
+                );
+            }
+        }
+    }
+    if let Some(profile) = &result.profile {
+        if args.profile {
+            match args.metrics_format {
+                MetricsFormat::Text => eprint!("{}", profile.to_text()),
+                MetricsFormat::Json => eprintln!("{}", profile.to_json()),
+                MetricsFormat::Prom => eprint!("{}", profile.to_prometheus()),
+            }
+        }
+        if let Some(path) = &args.trace {
+            std::fs::write(path, profile.events_jsonl())
+                .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
+        }
     }
     for failure in &result.partial {
         eprintln!("error: {failure}");
@@ -275,5 +485,39 @@ fn main() -> ExitCode {
             eprintln!("{}", err.message());
             ExitCode::from(err.exit_code())
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The help text is generated from the flag table, so every accepted
+    /// flag is documented by construction — this pins that property (and
+    /// catches accidental duplicates in the table).
+    #[test]
+    fn every_accepted_flag_appears_in_help() {
+        let help = help_text();
+        for f in FLAGS {
+            assert!(help.contains(f.name), "{} missing from --help", f.name);
+            if let Some(m) = f.metavar {
+                assert!(
+                    help.contains(&format!("{} {m}", f.name)),
+                    "{} metavar missing from --help",
+                    f.name
+                );
+            }
+        }
+        let mut names: Vec<_> = FLAGS.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FLAGS.len(), "duplicate flag in table");
+    }
+
+    #[test]
+    fn help_mentions_exit_codes_and_example() {
+        let help = help_text();
+        assert!(help.contains("exit codes:"));
+        assert!(help.contains("--demo-djia --stats"));
     }
 }

@@ -243,3 +243,149 @@ fn bad_usage_exits_2() {
     let out = sqlts().output().unwrap();
     assert_eq!(out.status.code(), Some(2), "missing query must show usage");
 }
+
+#[test]
+fn help_exits_0_and_lists_every_flag() {
+    let out = sqlts().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "--help is not an error");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for flag in [
+        "--csv",
+        "--schema",
+        "--demo-djia",
+        "--engine",
+        "--threads",
+        "--stats",
+        "--profile",
+        "--metrics-format",
+        "--trace",
+        "--trace-capacity",
+        "--help",
+    ] {
+        assert!(stdout.contains(flag), "help missing {flag}:\n{stdout}");
+    }
+}
+
+#[test]
+fn profile_json_goes_to_stderr_and_matches_stats() {
+    let csv = write_temp_csv("profjson", QUOTES);
+    let query = "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+                 WHERE Y.price > X.price";
+    let args = |cmd: &mut Command| {
+        cmd.args(["--csv", csv.to_str().unwrap()])
+            .args(["--schema", "name:str,date:date,price:float"])
+            .arg(query);
+    };
+    let mut prof = sqlts();
+    args(&mut prof);
+    let prof = prof
+        .args(["--profile", "--metrics-format", "json"])
+        .output()
+        .unwrap();
+    assert!(prof.status.success());
+    let stderr = String::from_utf8(prof.stderr).unwrap();
+    let json_line = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("JSON profile on stderr");
+    assert!(json_line.contains("\"predicate_tests\":"), "{json_line}");
+    assert!(json_line.contains("\"clusters\":"), "{json_line}");
+    assert!(json_line.contains("\"optimizer\":"), "{json_line}");
+
+    // Its predicate-test total equals the legacy --stats line bit-for-bit.
+    let mut stats = sqlts();
+    args(&mut stats);
+    let stats = stats.arg("--stats").output().unwrap();
+    assert!(stats.status.success());
+    let stats_err = String::from_utf8(stats.stderr).unwrap();
+    // Legacy line shape: "{m} matches, {t} predicate tests over …".
+    let legacy_tests: u64 = stats_err
+        .lines()
+        .find(|l| l.contains("predicate tests"))
+        .and_then(|l| {
+            let words: Vec<&str> = l.split_whitespace().collect();
+            let idx = words.iter().position(|w| *w == "predicate")?;
+            words[idx - 1].parse().ok()
+        })
+        .expect("legacy stats line");
+    let profiled_tests: u64 = json_line
+        .split("\"predicate_tests\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap();
+    assert_eq!(profiled_tests, legacy_tests);
+    // stdout still carries only the CSV result.
+    let stdout = String::from_utf8(prof.stdout).unwrap();
+    assert!(stdout.starts_with("name\n"), "{stdout}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn stats_includes_per_cluster_breakdown() {
+    let csv = write_temp_csv("percluster", QUOTES);
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .arg("--stats")
+        .arg(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+        )
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cluster 0 ("), "{stderr}");
+    assert!(stderr.contains("cluster 1 ("), "{stderr}");
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn trace_flag_writes_jsonl_file() {
+    let csv = write_temp_csv("tracefile", QUOTES);
+    let trace = std::env::temp_dir().join(format!("sqlts-test-trace-{}.jsonl", std::process::id()));
+    let out = sqlts()
+        .args(["--csv", csv.to_str().unwrap()])
+        .args(["--schema", "name:str,date:date,price:float"])
+        .args(["--trace", trace.to_str().unwrap()])
+        .arg(
+            "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+             WHERE Y.price > X.price",
+        )
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let contents = std::fs::read_to_string(&trace).unwrap();
+    assert!(!contents.is_empty());
+    for line in contents.lines() {
+        assert!(line.starts_with("{\"cluster\":"), "{line}");
+        assert!(line.contains("\"ev\":"), "{line}");
+    }
+    std::fs::remove_file(csv).ok();
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn prometheus_format_emits_exposition_text() {
+    let out = sqlts()
+        .args(["--demo-djia", "--seed", "7"])
+        .args(["--profile", "--metrics-format", "prom"])
+        .arg(
+            "SELECT FIRST(Y).date AS d FROM djia SEQUENCE BY date AS (*Y, Z) \
+             WHERE Y.price < 0.98*Y.previous.price AND Z.price > 1.02*Z.previous.price",
+        )
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("# TYPE sqlts_predicate_tests"), "{stderr}");
+    assert!(stderr.contains("sqlts_matches_total"), "{stderr}");
+}

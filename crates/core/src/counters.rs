@@ -1,7 +1,8 @@
 //! Instrumentation: the paper's cost metric and Figure-5 search traces.
 
 use crate::governor::GovernorScope;
-use std::cell::Cell;
+use sqlts_trace::{ClusterRecorder, TraceEvent, TraceSink};
+use std::cell::{Cell, RefCell};
 
 /// Counts how many times an input element is tested against a pattern
 /// element — exactly the performance metric of the paper's §7:
@@ -19,6 +20,14 @@ use std::cell::Cell;
 /// return the matches collected so far — always a prefix of what the
 /// ungoverned run would produce for that cluster.  An ungoverned counter
 /// pays one predictable branch per bump.
+/// A counter can also be **armed** with a per-cluster
+/// [`ClusterRecorder`] ([`EvalCounter::with_recorder`]): the engines then
+/// stream Figure-5 [`TraceEvent`]s and per-position test counts into it
+/// through [`emit`](EvalCounter::emit) /
+/// [`record_test`](EvalCounter::record_test).  When unarmed, both hooks
+/// are a single predictable branch on a `None` — the same no-cost idiom
+/// as the ungoverned governor path — so results and counts stay
+/// bit-identical whether tracing is on or off.
 #[derive(Debug, Default)]
 pub struct EvalCounter {
     tests: Cell<u64>,
@@ -28,6 +37,9 @@ pub struct EvalCounter {
     flushed: Cell<u64>,
     tripped: Cell<bool>,
     scope: Option<GovernorScope>,
+    /// The armed trace/metrics recorder, if any.  Boxed so the unarmed
+    /// counter stays small; `RefCell` because engines only hold `&self`.
+    recorder: Option<Box<RefCell<ClusterRecorder>>>,
 }
 
 impl EvalCounter {
@@ -46,6 +58,51 @@ impl EvalCounter {
         };
         counter.refill();
         counter
+    }
+
+    /// Arm this counter with a per-cluster trace/metrics recorder.  The
+    /// engines will stream search events and per-position test counts
+    /// into it; take it back with [`into_recorder`](EvalCounter::into_recorder).
+    pub fn with_recorder(mut self, recorder: ClusterRecorder) -> EvalCounter {
+        self.recorder = Some(Box::new(RefCell::new(recorder)));
+        self
+    }
+
+    /// Is a recorder armed?  Engines may use this to skip building
+    /// events that need extra bookkeeping.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Emit one search event to the armed recorder; a single predictable
+    /// branch when unarmed.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(recorder) = &self.recorder {
+            recorder.borrow_mut().record(event);
+        }
+    }
+
+    /// Record the outcome of one predicate test of input position `i`
+    /// against pattern element `j` (both 1-based) — the armed recorder
+    /// turns this into an `Advance`/`Fail` event and a per-position
+    /// count.  No-op when unarmed.
+    #[inline]
+    pub fn record_test(&self, i: usize, j: usize, ok: bool) {
+        if let Some(recorder) = &self.recorder {
+            let (i, j) = (i as u32, j as u32);
+            recorder.borrow_mut().record(if ok {
+                TraceEvent::Advance { i, j }
+            } else {
+                TraceEvent::Fail { i, j }
+            });
+        }
+    }
+
+    /// Take the armed recorder back (end-of-cluster accounting).
+    pub fn into_recorder(self) -> Option<ClusterRecorder> {
+        self.recorder.map(|r| r.into_inner())
     }
 
     /// Record one predicate test.
@@ -67,6 +124,9 @@ impl EvalCounter {
     #[cold]
     fn refill(&self) {
         let Some(scope) = &self.scope else { return };
+        if let Some(recorder) = &self.recorder {
+            recorder.borrow_mut().governor_flush();
+        }
         let spent = self.tests.get() - self.flushed.get();
         self.flushed.set(self.tests.get());
         match scope.refill(spent) {

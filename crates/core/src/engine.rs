@@ -20,6 +20,7 @@ use crate::shift_next::{self, ShiftNext};
 use crate::stargraph::star_shift_next;
 use sqlts_lang::{Bindings, EvalCtx, FirstTuplePolicy, PatternElement};
 use sqlts_relation::Cluster;
+use sqlts_trace::TraceEvent;
 
 /// Which engine to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -40,6 +41,30 @@ pub enum EngineKind {
     /// Ablation: OPS `shift` but `next` forced conservative (re-verify the
     /// whole prefix after every shift).  Experiment E10.
     OpsShiftOnly,
+}
+
+impl EngineKind {
+    /// The engine's stable CLI/profile name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Naive => "naive",
+            EngineKind::NaiveBacktrack => "backtrack",
+            EngineKind::Ops => "ops",
+            EngineKind::OpsShiftOnly => "shift-only",
+        }
+    }
+}
+
+/// Emit the `MatchEmitted` event for a retained match (1-based inclusive
+/// input positions); a no-op branch when the counter is unarmed.
+#[inline]
+fn emit_match(counter: &EvalCounter, spans: &[(usize, usize)]) {
+    if counter.armed() {
+        counter.emit(TraceEvent::MatchEmitted {
+            start: spans.first().map(|s| s.0 + 1).unwrap_or(0) as u32,
+            end: spans.last().map(|s| s.1 + 1).unwrap_or(0) as u32,
+        });
+    }
 }
 
 /// Options shared by the engines.
@@ -252,6 +277,7 @@ pub fn backtracking_search(
         ) {
             let end = bindings.spans.last().map(|s| s.1).unwrap_or(start);
             if counter.match_found() {
+                emit_match(counter, &bindings.spans);
                 results.push(MatchSpans {
                     spans: bindings.spans,
                 });
@@ -315,6 +341,15 @@ pub fn naive_search(
                 t.record(i + 1, e);
             }
             if !test_element(pattern, e, &ctx, i, &bindings, counter) {
+                // Naive realign: one tuple on, resume at element 1 — the
+                // shift/next the naive tables encode.
+                if counter.armed() {
+                    counter.emit(TraceEvent::Shift {
+                        j: e as u32,
+                        dist: 1,
+                    });
+                    counter.emit(TraceEvent::Next { j: e as u32, k: 1 });
+                }
                 start += 1;
                 continue 'outer;
             }
@@ -339,6 +374,7 @@ pub fn naive_search(
             bindings.spans.push((span_start, i - 1));
         }
         if counter.match_found() {
+            emit_match(counter, &bindings.spans);
             results.push(MatchSpans {
                 spans: bindings.spans,
             });
@@ -396,6 +432,7 @@ fn ops_search(
         if j > m {
             // Success: spans derive from the counts.
             if counter.match_found() {
+                emit_match(counter, &bindings.spans);
                 results.push(MatchSpans {
                     spans: bindings.spans.clone(),
                 });
@@ -446,11 +483,30 @@ fn ops_search(
 
         // Genuine failure at element j: realign per shift/next.
         if search_plan.tuple_granular_restart {
+            // Degraded to tuple granularity: behaves like the naive
+            // tables (shift 1, resume at element 1).
+            if counter.armed() {
+                counter.emit(TraceEvent::Shift {
+                    j: j as u32,
+                    dist: 1,
+                });
+                counter.emit(TraceEvent::Next { j: j as u32, k: 1 });
+            }
             reset_attempt!(start + 1);
             continue;
         }
         let sh = sn.shift(j);
         let nx = sn.next(j);
+        if counter.armed() {
+            counter.emit(TraceEvent::Shift {
+                j: j as u32,
+                dist: sh as u32,
+            });
+            counter.emit(TraceEvent::Next {
+                j: j as u32,
+                k: nx as u32,
+            });
+        }
         if nx == 0 {
             // shift(j) = j: no earlier start can work; the failed tuple
             // itself is also excluded (φ[j][1] = 0), so move past it.
@@ -489,6 +545,7 @@ fn ops_search(
             .spans
             .push((start + counts[m - 1], start + counts[m] - 1));
         if counter.match_found() {
+            emit_match(counter, &bindings.spans);
             results.push(MatchSpans {
                 spans: bindings.spans,
             });
@@ -496,6 +553,7 @@ fn ops_search(
     } else if j > m {
         // Success detected exactly at end of input.
         if counter.match_found() {
+            emit_match(counter, &bindings.spans);
             results.push(MatchSpans {
                 spans: bindings.spans,
             });

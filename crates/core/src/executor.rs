@@ -12,11 +12,13 @@ use sqlts_lang::{
     LangError,
 };
 use sqlts_relation::{Cluster, Schema, Table, TableError, Value};
+use sqlts_trace::{ClusterProfile, ClusterRecorder, ExecutionProfile, TraceEvent};
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Options for [`execute`] / [`execute_query`].
 #[derive(Clone, Debug)]
@@ -45,6 +47,82 @@ pub struct ExecOptions {
     /// ungoverned engine; when any limit trips, [`execute`] returns
     /// [`ExecError::Governed`] carrying the partial result.
     pub governor: Governor,
+    /// What instrumentation to arm (metrics registry, trace events).  The
+    /// default arms nothing: the engines then pay one predictable branch
+    /// per hook and outputs stay bit-identical to an uninstrumented
+    /// build.  When armed, [`QueryResult::profile`] carries the merged
+    /// [`ExecutionProfile`].
+    pub instrument: Instrument,
+}
+
+/// Which instrumentation to arm for a run (see the `sqlts-trace` crate).
+///
+/// Per-cluster recorders are merged **in cluster order** — the same
+/// deterministic merge applied to `EvalCounter` totals — so everything in
+/// the resulting profile except wall-clock phase timings is identical at
+/// every thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instrument {
+    /// Collect the per-cluster metrics registry and assemble an
+    /// [`ExecutionProfile`] on the result.
+    pub profile: bool,
+    /// Additionally retain the Figure-5 event stream per cluster (implies
+    /// the profile).
+    pub trace: bool,
+    /// Per-cluster ring-buffer capacity for retained events (only used
+    /// when `trace` is set).
+    pub trace_capacity: usize,
+}
+
+impl Instrument {
+    /// Default per-cluster event capacity for `--trace`.
+    pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+    /// Arm nothing (the default): unmeasurable overhead, no profile.
+    pub fn none() -> Instrument {
+        Instrument {
+            profile: false,
+            trace: false,
+            trace_capacity: Self::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// Arm the metrics registry only (no event retention).
+    pub fn profiling() -> Instrument {
+        Instrument {
+            profile: true,
+            ..Instrument::none()
+        }
+    }
+
+    /// Arm metrics and the bounded event recorder.
+    pub fn tracing() -> Instrument {
+        Instrument {
+            profile: true,
+            trace: true,
+            ..Instrument::none()
+        }
+    }
+
+    /// Is any instrumentation armed?
+    pub fn armed(&self) -> bool {
+        self.profile || self.trace
+    }
+
+    /// The event-retention capacity to arm per cluster (0 = metrics only).
+    fn capacity(&self) -> usize {
+        if self.trace {
+            self.trace_capacity
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for Instrument {
+    fn default() -> Self {
+        Instrument::none()
+    }
 }
 
 impl Default for ExecOptions {
@@ -56,6 +134,7 @@ impl Default for ExecOptions {
             direction: DirectionChoice::default(),
             threads: NonZeroUsize::MIN,
             governor: Governor::unlimited(),
+            instrument: Instrument::none(),
         }
     }
 }
@@ -142,6 +221,10 @@ pub struct QueryResult {
     /// surviving cluster (still in cluster order) and each entry here
     /// describes one isolated failure.
     pub partial: Vec<ClusterFailure>,
+    /// The machine-readable execution profile, present when
+    /// [`ExecOptions::instrument`] armed it.  Boxed: the common unarmed
+    /// path carries only a null pointer.
+    pub profile: Option<Box<ExecutionProfile>>,
 }
 
 impl QueryResult {
@@ -206,8 +289,31 @@ pub fn execute_query(
     table: &Table,
     options: &ExecOptions,
 ) -> Result<QueryResult, ExecError> {
-    let query = compile(src, table.schema(), &options.compile)?;
-    execute(&query, table, options)
+    if !options.instrument.armed() {
+        let query = compile(src, table.schema(), &options.compile)?;
+        return execute(&query, table, options);
+    }
+    // Profiled path: run parse and bind separately so each phase gets its
+    // own wall-clock slice.
+    let t = Instant::now();
+    let ast = sqlts_lang::parse(src)?;
+    let parse_ns = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let query = sqlts_lang::compile_ast(&ast, table.schema(), &options.compile)?;
+    let bind_ns = t.elapsed().as_nanos() as u64;
+    let mut result = execute(&query, table, options);
+    // Stamp the front-end timings onto the profile — including the one
+    // travelling inside a governed partial result.
+    let profile = match &mut result {
+        Ok(r) => r.profile.as_deref_mut(),
+        Err(ExecError::Governed { partial, .. }) => partial.profile.as_deref_mut(),
+        Err(_) => None,
+    };
+    if let Some(p) = profile {
+        p.phases.parse = parse_ns;
+        p.phases.bind = bind_ns;
+    }
+    result
 }
 
 /// Execute an already-compiled query against a table.
@@ -248,17 +354,21 @@ pub fn execute(
     };
     // Compile the search plan once, reuse across clusters (forward scans
     // only; the reverse path compiles the reversed pattern internally).
+    let profiling = options.instrument.armed();
+    let t_plan = profiling.then(Instant::now);
     let search_plan = match (options.engine, direction) {
         (EngineKind::Naive | EngineKind::NaiveBacktrack, _) => None,
         (_, Direction::Reverse) => None,
         (kind, Direction::Forward) => Some(plan(&query.elements, kind)),
     };
+    let plan_ns = t_plan.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
     // Arm the governor only when some limit is actually set: the
     // ungoverned path stays bit-identical to a build without a governor.
     let run: Option<Arc<RunGovernor>> =
         (!options.governor.is_unlimited()).then(|| options.governor.begin());
 
+    let t_exec = profiling.then(Instant::now);
     let worker_count = options.threads.get().min(clusters.len());
     let outcomes: Vec<ClusterRun> = if worker_count <= 1 {
         // Sequential path: same per-cluster routine, run inline.
@@ -275,6 +385,7 @@ pub fn execute(
                     direction,
                     &search_options,
                     run.as_ref(),
+                    options.instrument,
                 )
             })
             .collect()
@@ -288,13 +399,21 @@ pub fn execute(
             &search_options,
             worker_count,
             run.as_ref(),
+            options.instrument,
         )
     };
 
-    // Merge in cluster order: output rows and summed counters land exactly
-    // where the sequential loop would put them, for any thread count.
+    // Merge in cluster order: output rows, summed counters and profile
+    // clusters land exactly where the sequential loop would put them, for
+    // any thread count.
     let mut stats = SearchStats::default();
     let mut partial = Vec::new();
+    let mut profile = profiling.then(|| {
+        Box::new(ExecutionProfile::new(
+            options.engine.name(),
+            options.threads.get(),
+        ))
+    });
     for (idx, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             ClusterRun::Done(outcome) => {
@@ -302,6 +421,19 @@ pub fn execute(
                 stats.tuples += outcome.tuples;
                 stats.predicate_tests += outcome.predicate_tests;
                 stats.steps += outcome.predicate_tests;
+                if let (Some(profile), Some(recorder)) = (profile.as_deref_mut(), outcome.recorder)
+                {
+                    let recorder = *recorder;
+                    let events_dropped = recorder.events.dropped();
+                    profile.push_cluster(ClusterProfile {
+                        index: idx,
+                        key: cluster_key(&clusters[idx]),
+                        tuples: outcome.tuples,
+                        metrics: recorder.metrics,
+                        events: recorder.events.into_events(),
+                        events_dropped,
+                    });
+                }
                 for row in outcome.rows {
                     stats.matches += 1;
                     out.push_row(row).map_err(ExecError::Table)?;
@@ -311,24 +443,24 @@ pub fn execute(
             // contributes nothing: it was never scanned.
             ClusterRun::Skipped => {}
             ClusterRun::Failed { cause } => {
-                let key = clusters[idx]
-                    .key()
-                    .iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ");
                 partial.push(ClusterFailure {
                     cluster: idx,
-                    key,
+                    key: cluster_key(&clusters[idx]),
                     cause,
                 });
             }
         }
     }
+    if let Some(profile) = profile.as_deref_mut() {
+        profile.phases.plan = plan_ns;
+        profile.phases.execute = t_exec.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        profile.optimizer = Some(crate::explain::optimizer_report(query));
+    }
     let result = QueryResult {
         table: out,
         stats,
         partial,
+        profile,
     };
     if let Some(run) = run {
         if let Some(trip) = run.trip() {
@@ -347,6 +479,21 @@ struct ClusterOutcome {
     tuples: u64,
     predicate_tests: u64,
     rows: Vec<Vec<Value>>,
+    /// The armed trace/metrics recorder, handed back for the cluster-order
+    /// profile merge (`None` when instrumentation was off).  Boxed so the
+    /// common unarmed outcome stays small.
+    recorder: Option<Box<ClusterRecorder>>,
+}
+
+/// Render a cluster's key values for diagnostics and profiles (empty when
+/// the query has no `CLUSTER BY`).
+fn cluster_key(cluster: &Cluster<'_>) -> String {
+    cluster
+        .key()
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// How one cluster's unit of work ended.
@@ -392,6 +539,7 @@ fn run_cluster_guarded(
     direction: Direction,
     search_options: &SearchOptions,
     run: Option<&Arc<RunGovernor>>,
+    instrument: Instrument,
 ) -> ClusterRun {
     if let Some(run) = run {
         if run.is_tripped() {
@@ -408,6 +556,7 @@ fn run_cluster_guarded(
             direction,
             search_options,
             run,
+            instrument,
         )
     })) {
         Ok(outcome) => ClusterRun::Done(outcome),
@@ -434,15 +583,22 @@ fn run_cluster(
     direction: Direction,
     search_options: &SearchOptions,
     run: Option<&Arc<RunGovernor>>,
+    instrument: Instrument,
 ) -> ClusterOutcome {
     #[cfg(feature = "failpoints")]
     sqlts_relation::failpoints::hit("executor::cluster", idx as u64);
     #[cfg(not(feature = "failpoints"))]
     let _ = idx;
-    let counter = match run {
+    let mut counter = match run {
         Some(run) => EvalCounter::governed(run.scope()),
         None => EvalCounter::new(),
     };
+    if instrument.armed() {
+        counter = counter.with_recorder(ClusterRecorder::new(
+            query.elements.len(),
+            instrument.capacity(),
+        ));
+    }
     let matches = match (search_plan, engine, direction) {
         (_, _, Direction::Reverse) => find_matches_directed(
             query,
@@ -474,10 +630,18 @@ fn run_cluster(
     // Flush the last partially-spent credit batch so the governor's
     // consumed-step accounting is exact at end of cluster.
     counter.finish();
+    if counter.armed() && counter.tripped() {
+        if let Some(trip) = run.and_then(|r| r.trip()) {
+            counter.emit(TraceEvent::GovernorTrip {
+                cause: trip.reason.trace_cause(),
+            });
+        }
+    }
     ClusterOutcome {
         tuples: cluster.len() as u64,
         predicate_tests: counter.total(),
         rows,
+        recorder: counter.into_recorder().map(Box::new),
     }
 }
 
@@ -501,6 +665,7 @@ fn run_clusters_parallel(
     search_options: &SearchOptions,
     worker_count: usize,
     run: Option<&Arc<RunGovernor>>,
+    instrument: Instrument,
 ) -> Vec<ClusterRun> {
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ClusterRun>>> = clusters.iter().map(|_| Mutex::new(None)).collect();
@@ -520,6 +685,7 @@ fn run_clusters_parallel(
                     direction,
                     search_options,
                     run,
+                    instrument,
                 );
                 *slots[idx].lock().expect("slot lock") = Some(outcome);
             });

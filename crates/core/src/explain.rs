@@ -6,39 +6,65 @@ use crate::engine::{plan, EngineKind};
 use crate::matrices::{PrecondMatrices, Predicates};
 use crate::shift_next;
 use sqlts_lang::CompiledQuery;
+use sqlts_trace::OptimizerReport;
 use std::fmt::Write as _;
+
+/// Build the machine-readable optimizer report: the rendered pattern plus
+/// the shift/next tables and their means.  `explain` renders from this
+/// same data, and `--profile` embeds it in the [`ExecutionProfile`]
+/// (`sqlts_trace::ExecutionProfile`), so one artifact carries both the
+/// plan and its runtime consequences.
+pub fn optimizer_report(query: &CompiledQuery) -> OptimizerReport {
+    let m = query.elements.len();
+    let pattern = query
+        .elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let star = if e.star { "*" } else { " " };
+            let pred = if e.conjuncts.is_empty() {
+                "TRUE".to_string()
+            } else {
+                e.conjuncts
+                    .iter()
+                    .map(|c| c.display.clone())
+                    .collect::<Vec<_>>()
+                    .join(" AND ")
+            };
+            format!(
+                "p{} {}{}: {}{}",
+                i + 1,
+                star,
+                e.name,
+                pred,
+                if e.purely_local() {
+                    ""
+                } else {
+                    " [has non-local conjuncts]"
+                }
+            )
+        })
+        .collect();
+    let sn = plan(&query.elements, EngineKind::Ops).tables;
+    OptimizerReport {
+        pattern,
+        shift: (1..=m).map(|j| sn.shift(j)).collect(),
+        next: (1..=m).map(|j| sn.next(j)).collect(),
+        mean_shift: sn.mean_shift(),
+        mean_next: sn.mean_next(),
+    }
+}
 
 /// Render a full optimizer report for a compiled query.
 pub fn explain(query: &CompiledQuery) -> String {
     let pattern = Predicates::new(&query.elements);
     let m = pattern.len();
+    let report = optimizer_report(query);
     let mut out = String::new();
 
     let _ = writeln!(out, "pattern ({} elements):", m);
-    for (i, e) in query.elements.iter().enumerate() {
-        let star = if e.star { "*" } else { " " };
-        let pred = if e.conjuncts.is_empty() {
-            "TRUE".to_string()
-        } else {
-            e.conjuncts
-                .iter()
-                .map(|c| c.display.clone())
-                .collect::<Vec<_>>()
-                .join(" AND ")
-        };
-        let _ = writeln!(
-            out,
-            "  p{} {}{}: {}{}",
-            i + 1,
-            star,
-            e.name,
-            pred,
-            if e.purely_local() {
-                ""
-            } else {
-                " [has non-local conjuncts]"
-            }
-        );
+    for line in &report.pattern {
+        let _ = writeln!(out, "  {line}");
     }
 
     let pre = PrecondMatrices::build(pattern);
@@ -55,22 +81,12 @@ pub fn explain(query: &CompiledQuery) -> String {
         }
     }
 
-    let sn = plan(&query.elements, EngineKind::Ops).tables;
-    let _ = writeln!(
-        out,
-        "\nshift: {:?}",
-        (1..=m).map(|j| sn.shift(j)).collect::<Vec<_>>()
-    );
-    let _ = writeln!(
-        out,
-        "next:  {:?}",
-        (1..=m).map(|j| sn.next(j)).collect::<Vec<_>>()
-    );
+    let _ = writeln!(out, "\nshift: {:?}", report.shift);
+    let _ = writeln!(out, "next:  {:?}", report.next);
     let _ = writeln!(
         out,
         "mean shift = {:.2}, mean next = {:.2}",
-        sn.mean_shift(),
-        sn.mean_next()
+        report.mean_shift, report.mean_next
     );
     out
 }

@@ -74,6 +74,19 @@ pub enum TripReason {
     Cancelled,
 }
 
+impl TripReason {
+    /// The dependency-free mirror of this reason in the trace crate's
+    /// vocabulary (used when folding trips into profiles and events).
+    pub fn trace_cause(self) -> sqlts_trace::TripCause {
+        match self {
+            TripReason::Deadline => sqlts_trace::TripCause::Deadline,
+            TripReason::StepBudget => sqlts_trace::TripCause::StepBudget,
+            TripReason::MatchBudget => sqlts_trace::TripCause::MatchBudget,
+            TripReason::Cancelled => sqlts_trace::TripCause::Cancelled,
+        }
+    }
+}
+
 impl fmt::Display for TripReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

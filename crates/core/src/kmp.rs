@@ -9,6 +9,7 @@
 //! cannot fail the same way again); 0 means "advance the input".
 
 use crate::counters::EvalCounter;
+use sqlts_trace::TraceEvent;
 
 /// The compiled KMP automaton for a pattern over any equatable alphabet.
 #[derive(Clone, Debug)]
@@ -86,11 +87,19 @@ impl<T: PartialEq + Clone> Kmp<T> {
                             // of the full occurrence list.
         while i < n && !counter.tripped() {
             counter.bump();
-            if text[i] == self.pattern[j - 1] {
+            let eq = text[i] == self.pattern[j - 1];
+            counter.record_test(i + 1, j, eq);
+            if eq {
                 i += 1;
                 j += 1;
                 if j > m {
                     if counter.match_found() {
+                        if counter.armed() {
+                            counter.emit(TraceEvent::MatchEmitted {
+                                start: (i - m + 1) as u32,
+                                end: i as u32,
+                            });
+                        }
                         out.push(i - m);
                     }
                     // Standard continuation: longest border of the full
@@ -99,7 +108,14 @@ impl<T: PartialEq + Clone> Kmp<T> {
                     j = self.border + 1;
                 }
             } else {
-                j = self.next[j];
+                let k = self.next[j];
+                if counter.armed() {
+                    counter.emit(TraceEvent::Next {
+                        j: j as u32,
+                        k: k as u32,
+                    });
+                }
+                j = k;
                 if j == 0 {
                     i += 1;
                     j = 1;
@@ -121,7 +137,9 @@ impl<T: PartialEq + Clone> Kmp<T> {
         let mut j = 1usize;
         while i < n && !counter.tripped() {
             counter.bump();
-            if text[i] == self.pattern[j - 1] {
+            let eq = text[i] == self.pattern[j - 1];
+            counter.record_test(i + 1, j, eq);
+            if eq {
                 i += 1;
                 j += 1;
                 if j > m {

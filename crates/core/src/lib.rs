@@ -71,10 +71,10 @@ pub mod failpoints {
 pub use counters::{EvalCounter, SearchTrace};
 pub use engine::{find_matches, EngineKind, MatchSpans, SearchOptions};
 pub use executor::{
-    execute, execute_query, ClusterFailure, DirectionChoice, ExecError, ExecOptions, QueryResult,
-    SearchStats,
+    execute, execute_query, ClusterFailure, DirectionChoice, ExecError, ExecOptions, Instrument,
+    QueryResult, SearchStats,
 };
-pub use explain::explain;
+pub use explain::{explain, optimizer_report};
 pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
 pub use shift_next::ShiftNext;
@@ -82,3 +82,8 @@ pub use stargraph::star_shift_next;
 
 // Re-export the compiler front end so downstream users need one crate.
 pub use sqlts_lang::{compile, CompileOptions, CompiledQuery, FirstTuplePolicy};
+
+/// Re-export of the instrumentation crate: profiles, metrics registries,
+/// trace events and their exporters.
+pub use sqlts_trace as trace;
+pub use sqlts_trace::{ExecutionProfile, TraceEvent};

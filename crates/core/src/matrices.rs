@@ -208,10 +208,14 @@ pub(crate) fn test_element(
     counter: &EvalCounter,
 ) -> bool {
     counter.bump();
-    pattern.elements()[j - 1]
+    let ok = pattern.elements()[j - 1]
         .conjuncts
         .iter()
-        .all(|c| sqlts_lang::eval_conjunct(c, ctx, pos, bindings))
+        .all(|c| sqlts_lang::eval_conjunct(c, ctx, pos, bindings));
+    // Advance/Fail tracing rides on the same call so every engine emits
+    // the identical event per (input element, pattern element) pair.
+    counter.record_test(pos + 1, j, ok);
+    ok
 }
 
 /// `true` iff the whole element predicate is a single constant-equality

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! `sqlts-trace` — execution tracing, metrics registry and
+//! machine-readable profiling for the SQL-TS query pipeline.
+//!
+//! The paper evaluates OPS by a single number (predicate tests, §7) and
+//! explains *why* OPS wins with the element-by-element search traces of
+//! Figure 5.  This crate provides the runtime artifacts both of those
+//! need, with **zero external dependencies** (no `tracing` crate; the
+//! build environment has no registry access, so everything here is plain
+//! std, in the spirit of the vendored shims under `vendor/`):
+//!
+//! * [`TraceEvent`] — Figure-5-style search events (`Advance`, `Fail`,
+//!   `Shift`, `Next`, `MatchEmitted`, `GovernorTrip`) recorded through the
+//!   [`TraceSink`] trait into a bounded [`RingBuffer`], so a query's
+//!   search can be replayed and asserted in tests;
+//! * [`ClusterRecorder`] / [`ClusterMetrics`] — the per-cluster metrics
+//!   registry: predicate tests per pattern position, shift-distance and
+//!   backtrack-depth [`BoundedHistogram`]s, matches retained, governor
+//!   credit flushes and trip causes.  Each cluster records privately (no
+//!   atomics in the hot path) and the recorders are merged **in cluster
+//!   order**, exactly like the engines' `EvalCounter` totals, so every
+//!   derived number and the merged event stream are identical for every
+//!   thread count;
+//! * [`ExecutionProfile`] — the merged, machine-readable report: totals,
+//!   per-cluster breakdowns, per-phase wall clock ([`PhaseNanos`]), the
+//!   folded optimizer report ([`OptimizerReport`]), with exporters for
+//!   human text ([`ExecutionProfile::to_text`]), a JSON object
+//!   ([`ExecutionProfile::to_json`]), JSON-lines event streams
+//!   ([`ExecutionProfile::events_jsonl`]) and Prometheus text exposition
+//!   ([`ExecutionProfile::to_prometheus`]).
+//!
+//! The crate is deliberately inert: it never reads clocks or spawns
+//! threads; the query engine decides when (and whether) to record.  When
+//! nothing is armed, none of these types are even constructed.
+
+mod event;
+mod metrics;
+mod profile;
+
+pub use event::{RingBuffer, TraceEvent, TraceSink, TripCause};
+pub use metrics::{BoundedHistogram, ClusterMetrics, ClusterRecorder, HIST_BUCKETS};
+pub use profile::{json_escape, ClusterProfile, ExecutionProfile, OptimizerReport, PhaseNanos};

@@ -1,0 +1,534 @@
+//! The merged, machine-readable execution report and its exporters.
+
+use crate::metrics::{BoundedHistogram, ClusterMetrics};
+use crate::TraceEvent;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON string literal (appends to
+/// `out`, without the surrounding quotes).
+pub fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Wall-clock nanoseconds per pipeline phase.  Wall clock is inherently
+/// non-deterministic, so these fields are excluded from every
+/// bit-identity guarantee; everything else in the profile is exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Lexing + parsing the query text.
+    pub parse: u64,
+    /// Binding/semantic analysis against the schema.
+    pub bind: u64,
+    /// Compile-time optimization (θ/φ matrices, shift/next tables).
+    pub plan: u64,
+    /// Clustering, search and projection.
+    pub execute: u64,
+}
+
+impl PhaseNanos {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"parse_ns\":{},\"bind_ns\":{},\"plan_ns\":{},\"execute_ns\":{}}}",
+            self.parse, self.bind, self.plan, self.execute
+        );
+    }
+}
+
+/// The compile-time optimizer report, folded into the profile so one
+/// artifact carries both the plan and its runtime consequences (the
+/// `explain` text view renders from this same data).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptimizerReport {
+    /// One rendered line per pattern element (`p1 *X: X.price > …`).
+    pub pattern: Vec<String>,
+    /// The 1-based `shift` array.
+    pub shift: Vec<usize>,
+    /// The 1-based `next` array.
+    pub next: Vec<usize>,
+    /// Mean shift value (the §8 direction heuristic's input).
+    pub mean_shift: f64,
+    /// Mean next value.
+    pub mean_next: f64,
+}
+
+impl OptimizerReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"pattern\":[");
+        for (i, p) in self.pattern.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(p, out);
+            out.push('"');
+        }
+        let _ = write!(
+            out,
+            "],\"shift\":{:?},\"next\":{:?},\"mean_shift\":{},\"mean_next\":{}}}",
+            self.shift, self.next, self.mean_shift, self.mean_next
+        );
+    }
+}
+
+/// One cluster's slice of the execution profile.
+#[derive(Clone, Debug)]
+pub struct ClusterProfile {
+    /// 0-based index in `CLUSTER BY` order.
+    pub index: usize,
+    /// The cluster's key values rendered for diagnostics (empty when the
+    /// query has no `CLUSTER BY`).
+    pub key: String,
+    /// Input tuples scanned.
+    pub tuples: u64,
+    /// The cluster's metrics registry.
+    pub metrics: ClusterMetrics,
+    /// The retained Figure-5 event stream (empty unless tracing was
+    /// armed with a capacity).
+    pub events: Vec<TraceEvent>,
+    /// Events dropped by the bounded recorder.
+    pub events_dropped: u64,
+}
+
+impl ClusterProfile {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"index\":{},\"key\":\"", self.index);
+        json_escape(&self.key, out);
+        let _ = write!(
+            out,
+            "\",\"tuples\":{},\"predicate_tests\":{},\"tests_per_position\":{:?},\
+             \"matches\":{},\"governor_flushes\":{}",
+            self.tuples,
+            self.metrics.total_tests(),
+            self.metrics.tests_per_position,
+            self.metrics.matches,
+            self.metrics.governor_flushes,
+        );
+        write_hist_json(out, "shift_distances", &self.metrics.shifts);
+        write_hist_json(out, "backtrack_depths", &self.metrics.backtracks);
+        if let Some(trip) = self.metrics.trip {
+            let _ = write!(out, ",\"trip\":\"{trip}\"");
+        }
+        let _ = write!(out, ",\"events_dropped\":{}", self.events_dropped);
+        if !self.events.is_empty() {
+            out.push_str(",\"events\":[");
+            for (i, e) in self.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                e.write_json(out);
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+fn write_hist_json(out: &mut String, name: &str, h: &BoundedHistogram) {
+    let _ = write!(
+        out,
+        ",\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+        h.count(),
+        h.sum(),
+        h.max()
+    );
+    for (i, (bound, count)) in h.nonzero_buckets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if bound == u64::MAX {
+            let _ = write!(out, "[\"inf\",{count}]");
+        } else {
+            let _ = write!(out, "[{bound},{count}]");
+        }
+    }
+    out.push_str("]}");
+}
+
+/// The merged execution profile of one query run: the machine-readable
+/// superset of the legacy one-line `--stats` output.
+///
+/// Built by appending [`ClusterProfile`]s **in cluster order** (the same
+/// deterministic merge the executor applies to `EvalCounter` totals), so
+/// every field except the wall-clock [`PhaseNanos`] is bit-identical for
+/// every thread count.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionProfile {
+    /// Engine name (`naive`, `backtrack`, `ops`, `shift-only`).
+    pub engine: String,
+    /// Worker threads configured.
+    pub threads: usize,
+    /// Per-cluster breakdowns, in cluster order.
+    pub clusters: Vec<ClusterProfile>,
+    /// Merged metrics across clusters (cluster-order accumulation).
+    pub totals: ClusterMetrics,
+    /// Total input tuples scanned.
+    pub tuples: u64,
+    /// Per-phase wall clock (excluded from bit-identity guarantees).
+    pub phases: PhaseNanos,
+    /// The folded compile-time optimizer report.
+    pub optimizer: Option<OptimizerReport>,
+}
+
+impl ExecutionProfile {
+    /// A profile shell for `engine` running with `threads` workers.
+    pub fn new(engine: impl Into<String>, threads: usize) -> ExecutionProfile {
+        ExecutionProfile {
+            engine: engine.into(),
+            threads,
+            ..ExecutionProfile::default()
+        }
+    }
+
+    /// Append one cluster's profile, folding it into the totals.  Must be
+    /// called in cluster order to reproduce the sequential merge.
+    pub fn push_cluster(&mut self, cluster: ClusterProfile) {
+        self.totals.merge(&cluster.metrics);
+        self.tuples += cluster.tuples;
+        self.clusters.push(cluster);
+    }
+
+    /// Total predicate tests — equals the legacy `--stats` number bit for
+    /// bit.
+    pub fn predicate_tests(&self) -> u64 {
+        self.totals.total_tests()
+    }
+
+    /// Total matches retained.
+    pub fn matches(&self) -> u64 {
+        self.totals.matches
+    }
+
+    /// The merged event stream: every cluster's retained events, in
+    /// cluster order, tagged with the cluster index.
+    pub fn merged_events(&self) -> impl Iterator<Item = (usize, &TraceEvent)> {
+        self.clusters
+            .iter()
+            .flat_map(|c| c.events.iter().map(move |e| (c.index, e)))
+    }
+
+    /// Human-readable per-cluster breakdown (the `--stats`/`--profile`
+    /// text view).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: engine={} threads={} clusters={} tuples={}",
+            self.engine,
+            self.threads,
+            self.clusters.len(),
+            self.tuples
+        );
+        let _ = writeln!(
+            out,
+            "  total: {} predicate tests, {} matches",
+            self.predicate_tests(),
+            self.matches()
+        );
+        let _ = writeln!(
+            out,
+            "  tests per position: {:?}",
+            self.totals.tests_per_position
+        );
+        if !self.totals.shifts.is_empty() {
+            let _ = writeln!(
+                out,
+                "  shifts: {} taken, mean dist {:.2}, max {}",
+                self.totals.shifts.count(),
+                self.totals.shifts.mean(),
+                self.totals.shifts.max()
+            );
+        }
+        if !self.totals.backtracks.is_empty() {
+            let _ = writeln!(
+                out,
+                "  backtracks: {} episodes, mean depth {:.2}, max {}",
+                self.totals.backtracks.count(),
+                self.totals.backtracks.mean(),
+                self.totals.backtracks.max()
+            );
+        }
+        if self.totals.governor_flushes > 0 {
+            let _ = writeln!(out, "  governor flushes: {}", self.totals.governor_flushes);
+        }
+        if let Some(trip) = self.totals.trip {
+            let _ = writeln!(out, "  governor trip: {trip}");
+        }
+        let p = &self.phases;
+        if *p != PhaseNanos::default() {
+            let _ = writeln!(
+                out,
+                "  phases: parse {:.3}ms, bind {:.3}ms, plan {:.3}ms, execute {:.3}ms",
+                p.parse as f64 / 1e6,
+                p.bind as f64 / 1e6,
+                p.plan as f64 / 1e6,
+                p.execute as f64 / 1e6
+            );
+        }
+        for c in &self.clusters {
+            let key = if c.key.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", c.key)
+            };
+            let _ = writeln!(
+                out,
+                "  cluster {}{}: {} tuples, {} tests {:?}, {} matches{}",
+                c.index,
+                key,
+                c.tuples,
+                c.metrics.total_tests(),
+                c.metrics.tests_per_position,
+                c.metrics.matches,
+                match c.metrics.trip {
+                    Some(t) => format!(", tripped: {t}"),
+                    None => String::new(),
+                }
+            );
+        }
+        out
+    }
+
+    /// The whole profile as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"engine\":\"");
+        json_escape(&self.engine, &mut out);
+        let _ = write!(
+            &mut out,
+            "\",\"threads\":{},\"clusters\":{},\"tuples\":{},\"predicate_tests\":{},\
+             \"tests_per_position\":{:?},\"matches\":{},\"governor_flushes\":{}",
+            self.threads,
+            self.clusters.len(),
+            self.tuples,
+            self.predicate_tests(),
+            self.totals.tests_per_position,
+            self.matches(),
+            self.totals.governor_flushes,
+        );
+        write_hist_json(&mut out, "shift_distances", &self.totals.shifts);
+        write_hist_json(&mut out, "backtrack_depths", &self.totals.backtracks);
+        if let Some(trip) = self.totals.trip {
+            let _ = write!(&mut out, ",\"trip\":\"{trip}\"");
+        }
+        out.push_str(",\"phases\":");
+        self.phases.write_json(&mut out);
+        if let Some(opt) = &self.optimizer {
+            out.push_str(",\"optimizer\":");
+            opt.write_json(&mut out);
+        }
+        out.push_str(",\"cluster_profiles\":[");
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The merged event stream as JSON-lines (one event object per line,
+    /// each tagged with its cluster index) — the `--trace FILE.jsonl`
+    /// format.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (cluster, event) in self.merged_events() {
+            let _ = write!(out, "{{\"cluster\":{cluster},");
+            let mut body = String::new();
+            event.write_json(&mut body);
+            out.push_str(&body[1..]); // splice into the cluster-tagged object
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prometheus text exposition (metric names are stable API; see the
+    /// README's Observability section).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# TYPE sqlts_predicate_tests_total counter\n\
+             sqlts_predicate_tests_total {}",
+            self.predicate_tests()
+        );
+        out.push_str("# TYPE sqlts_predicate_tests_by_position counter\n");
+        for (j, n) in self.totals.tests_per_position.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sqlts_predicate_tests_by_position{{position=\"{}\"}} {n}",
+                j + 1
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE sqlts_matches_total counter\nsqlts_matches_total {}",
+            self.matches()
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE sqlts_tuples_total counter\nsqlts_tuples_total {}",
+            self.tuples
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE sqlts_clusters_total counter\nsqlts_clusters_total {}",
+            self.clusters.len()
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE sqlts_governor_flushes_total counter\nsqlts_governor_flushes_total {}",
+            self.totals.governor_flushes
+        );
+        write_hist_prom(&mut out, "sqlts_shift_distance", &self.totals.shifts);
+        write_hist_prom(&mut out, "sqlts_backtrack_depth", &self.totals.backtracks);
+        for (phase, ns) in [
+            ("parse", self.phases.parse),
+            ("bind", self.phases.bind),
+            ("plan", self.phases.plan),
+            ("execute", self.phases.execute),
+        ] {
+            let _ = writeln!(
+                out,
+                "sqlts_phase_seconds{{phase=\"{phase}\"}} {}",
+                ns as f64 / 1e9
+            );
+        }
+        if let Some(trip) = self.totals.trip {
+            let _ = writeln!(out, "sqlts_governor_tripped{{cause=\"{trip}\"}} 1");
+        }
+        out
+    }
+}
+
+fn write_hist_prom(out: &mut String, name: &str, h: &BoundedHistogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (bound, count) in h.nonzero_buckets() {
+        if bound == u64::MAX {
+            break; // folded into the +Inf bucket below
+        }
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    fn sample_profile() -> ExecutionProfile {
+        let mut p = ExecutionProfile::new("ops", 2);
+        let mut m = ClusterMetrics::new(2);
+        m.tests_per_position = vec![4, 2];
+        m.matches = 1;
+        m.shifts.record(1);
+        p.push_cluster(ClusterProfile {
+            index: 0,
+            key: "IBM".into(),
+            tuples: 5,
+            metrics: m,
+            events: vec![
+                TraceEvent::Advance { i: 1, j: 1 },
+                TraceEvent::MatchEmitted { start: 1, end: 2 },
+            ],
+            events_dropped: 0,
+        });
+        let mut m2 = ClusterMetrics::new(2);
+        m2.tests_per_position = vec![3, 0];
+        p.push_cluster(ClusterProfile {
+            index: 1,
+            key: "MSFT".into(),
+            tuples: 3,
+            metrics: m2,
+            events: vec![TraceEvent::Fail { i: 1, j: 1 }],
+            events_dropped: 0,
+        });
+        p
+    }
+
+    #[test]
+    fn totals_accumulate_in_cluster_order() {
+        let p = sample_profile();
+        assert_eq!(p.predicate_tests(), 9);
+        assert_eq!(p.totals.tests_per_position, vec![7, 2]);
+        assert_eq!(p.matches(), 1);
+        assert_eq!(p.tuples, 8);
+    }
+
+    #[test]
+    fn json_has_required_keys_and_balances() {
+        let p = sample_profile();
+        let json = p.to_json();
+        for key in [
+            "\"engine\":\"ops\"",
+            "\"predicate_tests\":9",
+            "\"tests_per_position\":[7, 2]",
+            "\"cluster_profiles\":[",
+            "\"phases\":",
+            "\"key\":\"IBM\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON: {json}");
+    }
+
+    #[test]
+    fn jsonl_tags_events_with_cluster() {
+        let p = sample_profile();
+        let jsonl = p.events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], r#"{"cluster":0,"ev":"advance","i":1,"j":1}"#);
+        assert_eq!(lines[2], r#"{"cluster":1,"ev":"fail","i":1,"j":1}"#);
+    }
+
+    #[test]
+    fn prometheus_exposition_names() {
+        let p = sample_profile();
+        let prom = p.to_prometheus();
+        for needle in [
+            "sqlts_predicate_tests_total 9",
+            "sqlts_predicate_tests_by_position{position=\"1\"} 7",
+            "sqlts_matches_total 1",
+            "sqlts_shift_distance_sum 1",
+            "sqlts_phase_seconds{phase=\"execute\"}",
+        ] {
+            assert!(prom.contains(needle), "missing {needle} in {prom}");
+        }
+    }
+
+    #[test]
+    fn text_report_mentions_clusters() {
+        let p = sample_profile();
+        let text = p.to_text();
+        assert!(text.contains("cluster 0 (IBM)"), "{text}");
+        assert!(text.contains("9 predicate tests"), "{text}");
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        let mut s = String::new();
+        json_escape("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,391 @@
+//! Observability integration tests: deterministic trace replay of the
+//! paper's worked examples, cluster-order merge invariance across thread
+//! counts, and the armed-vs-unarmed bit-identity guarantee.
+
+use sqlts_core::trace::TripCause;
+use sqlts_core::{
+    execute_query, EngineKind, ExecError, ExecOptions, Governor, Instrument, TraceEvent,
+};
+use sqlts_datagen::{prices_to_table, quote_schema};
+use sqlts_relation::{Date, Table, Value};
+use std::num::NonZeroUsize;
+
+/// The paper's Example 4 predicate pattern (the Figure 5 workload), whose
+/// optimizer tables are the worked Example 5: shift `[1, 1, 1, 3]`,
+/// next `[0, 1, 2, 1]`.
+const EXAMPLE4: &str = "\
+SELECT A.date FROM quote SEQUENCE BY date AS (A, B, C, D) \
+WHERE A.price < A.previous.price \
+AND B.price < B.previous.price AND B.price > 40 AND B.price < 50 \
+AND C.price > C.previous.price AND C.price < 52 \
+AND D.price > D.previous.price";
+
+/// The paper's Example 9 (seven elements, four stars).
+const EXAMPLE9: &str = "\
+SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price \
+FROM quote CLUSTER BY name SEQUENCE BY date AS (*X, Y, *Z, *T, U, *V, S) \
+WHERE X.price > X.previous.price \
+AND 30 < Y.price AND Y.price < 40 \
+AND Z.price < Z.previous.price \
+AND T.price > T.previous.price \
+AND 35 < U.price AND U.price < 40 \
+AND V.price < V.previous.price \
+AND S.price < 30";
+
+/// The paper's §4.2.1 fifteen-value price sequence used for Figure 5.
+const FIG5_PRICES: [f64; 15] = [
+    55.0, 50.0, 45.0, 57.0, 54.0, 50.0, 47.0, 49.0, 45.0, 42.0, 55.0, 57.0, 59.0, 60.0, 57.0,
+];
+
+fn traced(engine: EngineKind, threads: usize) -> ExecOptions {
+    ExecOptions {
+        engine,
+        threads: NonZeroUsize::new(threads).unwrap(),
+        instrument: Instrument::tracing(),
+        ..Default::default()
+    }
+}
+
+/// A multi-cluster quote table: one symbol per price series.
+fn multi_cluster_table(series: &[(&str, &[f64])]) -> Table {
+    let mut table = Table::new(quote_schema());
+    for (name, prices) in series {
+        let mut date = Date::from_ymd(1990, 1, 1);
+        for &p in *prices {
+            table
+                .push_row(vec![Value::from(*name), Value::Date(date), Value::from(p)])
+                .unwrap();
+            date = date.plus_days(1);
+        }
+    }
+    table
+}
+
+#[test]
+fn example5_ops_trace_replays_figure5() {
+    let table = prices_to_table("X", Date::from_ymd(1990, 1, 1), &FIG5_PRICES);
+    let r = execute_query(EXAMPLE4, &table, &traced(EngineKind::Ops, 1)).unwrap();
+    let p = r.profile.expect("tracing arms the profile");
+
+    // The worked Example 5 tables, folded into the profile.
+    let opt = p.optimizer.as_ref().expect("optimizer report folded in");
+    assert_eq!(opt.shift, vec![1, 1, 1, 3]);
+    assert_eq!(opt.next, vec![0, 1, 2, 1]);
+
+    // The §7 cost metric, broken down per position.  11 + 7 + 3 + 1 = 22
+    // tests: OPS never re-reads the tuples the shift/next analysis
+    // already accounts for.
+    assert_eq!(p.totals.tests_per_position, vec![11, 7, 3, 1]);
+    assert_eq!(p.predicate_tests(), 22);
+    assert_eq!(p.predicate_tests(), r.stats.predicate_tests);
+
+    // The signature Figure 5 moment: the failure of t9 against p4 takes
+    // shift(4) = 3 and resumes at next(4) = 1 — positions 7 and 8 are
+    // never re-tested.
+    let events: Vec<&TraceEvent> = p.merged_events().map(|(_, e)| e).collect();
+    let fail_at = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Fail { i: 9, j: 4 }))
+        .expect("t9 fails p4");
+    assert_eq!(events[fail_at + 1], &TraceEvent::Shift { j: 4, dist: 3 });
+    assert_eq!(events[fail_at + 2], &TraceEvent::Next { j: 4, k: 1 });
+    assert_eq!(events[fail_at + 3], &TraceEvent::Advance { i: 9, j: 1 });
+
+    // The full replayable prefix of the search, pinned: the first three
+    // attempts of Figure 5.
+    let head: Vec<TraceEvent> = events.iter().take(16).map(|e| **e).collect();
+    assert_eq!(
+        head,
+        vec![
+            TraceEvent::Advance { i: 1, j: 1 },
+            TraceEvent::Fail { i: 2, j: 2 },
+            TraceEvent::Shift { j: 2, dist: 1 },
+            TraceEvent::Next { j: 2, k: 1 },
+            TraceEvent::Advance { i: 2, j: 1 },
+            TraceEvent::Advance { i: 3, j: 2 },
+            TraceEvent::Fail { i: 4, j: 3 },
+            TraceEvent::Shift { j: 3, dist: 1 },
+            TraceEvent::Next { j: 3, k: 2 },
+            TraceEvent::Fail { i: 4, j: 2 },
+            TraceEvent::Shift { j: 2, dist: 1 },
+            TraceEvent::Next { j: 2, k: 1 },
+            TraceEvent::Fail { i: 4, j: 1 },
+            TraceEvent::Shift { j: 1, dist: 1 },
+            TraceEvent::Next { j: 1, k: 0 },
+            TraceEvent::Advance { i: 5, j: 1 },
+        ]
+    );
+}
+
+#[test]
+fn example5_naive_pays_the_rereads_ops_skips() {
+    let table = prices_to_table("X", Date::from_ymd(1990, 1, 1), &FIG5_PRICES);
+    let naive = execute_query(EXAMPLE4, &table, &traced(EngineKind::Naive, 1)).unwrap();
+    let ops = execute_query(EXAMPLE4, &table, &traced(EngineKind::Ops, 1)).unwrap();
+    let (naive, ops) = (naive.profile.unwrap(), ops.profile.unwrap());
+    // Same answer, different cost: the naive engine restarts one tuple on
+    // after every failure (27 tests), OPS skips the accounted-for prefix
+    // (22) — the gap is entirely in position-1 re-tests.
+    assert_eq!(naive.totals.tests_per_position, vec![15, 8, 3, 1]);
+    assert_eq!(naive.predicate_tests(), 27);
+    assert!(ops.predicate_tests() < naive.predicate_tests());
+    // Every naive realign is a distance-1 shift.
+    assert_eq!(naive.totals.shifts.max(), 1);
+}
+
+#[test]
+fn example9_star_trace_replays() {
+    // Rise, band hit, dip, rise, band hit, dip, collapse.
+    let prices = [28.0, 33.0, 38.0, 31.0, 36.0, 39.0, 33.0, 25.0];
+    let table = prices_to_table("ACME", Date::from_ymd(1990, 1, 1), &prices);
+    let r = execute_query(EXAMPLE9, &table, &traced(EngineKind::Ops, 1)).unwrap();
+    let p = r.profile.unwrap();
+
+    // The star graph's derived tables (§5.1).
+    let opt = p.optimizer.as_ref().unwrap();
+    assert_eq!(opt.shift, vec![1, 1, 1, 1, 3, 3, 3]);
+    assert_eq!(opt.next, vec![0, 1, 1, 1, 1, 1, 1]);
+
+    assert_eq!(p.totals.tests_per_position, vec![8, 2, 2, 0, 0, 0, 0]);
+    assert_eq!(p.predicate_tests(), 12);
+    assert_eq!(p.predicate_tests(), r.stats.predicate_tests);
+
+    // The full event stream of the star search, pinned.
+    let events: Vec<TraceEvent> = p.merged_events().map(|(_, e)| *e).collect();
+    assert_eq!(
+        events,
+        vec![
+            TraceEvent::Advance { i: 1, j: 1 },
+            TraceEvent::Advance { i: 2, j: 1 },
+            TraceEvent::Advance { i: 3, j: 1 },
+            TraceEvent::Fail { i: 4, j: 1 },
+            TraceEvent::Advance { i: 4, j: 2 },
+            TraceEvent::Fail { i: 5, j: 3 },
+            TraceEvent::Shift { j: 3, dist: 1 },
+            TraceEvent::Next { j: 3, k: 1 },
+            TraceEvent::Fail { i: 4, j: 1 },
+            TraceEvent::Shift { j: 1, dist: 1 },
+            TraceEvent::Next { j: 1, k: 0 },
+            TraceEvent::Advance { i: 5, j: 1 },
+            TraceEvent::Advance { i: 6, j: 1 },
+            TraceEvent::Fail { i: 7, j: 1 },
+            TraceEvent::Advance { i: 7, j: 2 },
+            TraceEvent::Advance { i: 8, j: 3 },
+        ]
+    );
+}
+
+#[test]
+fn match_events_agree_with_retained_rows() {
+    let table = multi_cluster_table(&[
+        ("AAA", &[10.0, 12.0, 9.0, 11.0, 8.0][..]),
+        ("BBB", &[5.0, 7.0, 6.0][..]),
+    ]);
+    let src = "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+               WHERE Y.price < X.price";
+    for engine in [
+        EngineKind::Naive,
+        EngineKind::NaiveBacktrack,
+        EngineKind::Ops,
+        EngineKind::OpsShiftOnly,
+    ] {
+        let r = execute_query(src, &table, &traced(engine, 1)).unwrap();
+        let p = r.profile.unwrap();
+        assert_eq!(p.matches(), r.table.len() as u64, "{engine:?}");
+        let match_events = p
+            .merged_events()
+            .filter(|(_, e)| matches!(e, TraceEvent::MatchEmitted { .. }))
+            .count();
+        assert_eq!(match_events as u64, p.matches(), "{engine:?}");
+    }
+}
+
+#[test]
+fn event_streams_and_profiles_identical_threads_1_vs_4() {
+    let table = multi_cluster_table(&[
+        ("AAA", &[55.0, 50.0, 45.0, 57.0, 54.0, 50.0, 47.0][..]),
+        ("BBB", &[49.0, 45.0, 42.0, 55.0, 57.0][..]),
+        ("CCC", &[59.0, 60.0, 57.0, 48.0, 44.0, 51.0][..]),
+    ]);
+    let src = "SELECT A.name FROM quote CLUSTER BY name SEQUENCE BY date AS (A, B, C) \
+               WHERE A.price < A.previous.price AND B.price < B.previous.price \
+               AND C.price > C.previous.price";
+    for engine in [
+        EngineKind::Naive,
+        EngineKind::NaiveBacktrack,
+        EngineKind::Ops,
+        EngineKind::OpsShiftOnly,
+    ] {
+        let seq = execute_query(src, &table, &traced(engine, 1)).unwrap();
+        let par = execute_query(src, &table, &traced(engine, 4)).unwrap();
+        assert_eq!(seq.table, par.table, "{engine:?}");
+        assert_eq!(seq.stats, par.stats, "{engine:?}");
+        let (sp, pp) = (seq.profile.unwrap(), par.profile.unwrap());
+        // The cluster-order merge makes the whole profile (bar wall
+        // clock) and the merged event stream thread-count invariant.
+        assert_eq!(
+            sp.totals.tests_per_position, pp.totals.tests_per_position,
+            "{engine:?}"
+        );
+        assert_eq!(sp.totals.shifts, pp.totals.shifts, "{engine:?}");
+        assert_eq!(sp.totals.backtracks, pp.totals.backtracks, "{engine:?}");
+        assert_eq!(sp.matches(), pp.matches(), "{engine:?}");
+        let se: Vec<(usize, TraceEvent)> = sp.merged_events().map(|(c, e)| (c, *e)).collect();
+        let pe: Vec<(usize, TraceEvent)> = pp.merged_events().map(|(c, e)| (c, *e)).collect();
+        assert_eq!(se, pe, "{engine:?}");
+        assert_eq!(sp.events_jsonl(), pp.events_jsonl(), "{engine:?}");
+        // Prometheus exposition is identical too, apart from the
+        // wall-clock phase gauges (explicitly outside the bit-identity
+        // guarantee).
+        let strip_clock = |prom: String| -> Vec<String> {
+            prom.lines()
+                .filter(|l| !l.starts_with("sqlts_phase_seconds"))
+                .map(String::from)
+                .collect()
+        };
+        assert_eq!(
+            strip_clock(sp.to_prometheus()),
+            strip_clock(pp.to_prometheus()),
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn armed_run_is_bit_identical_to_unarmed() {
+    let table = multi_cluster_table(&[
+        ("AAA", &[10.0, 12.0, 9.0, 11.0, 8.0, 13.0][..]),
+        ("BBB", &[5.0, 7.0, 6.0, 9.0][..]),
+    ]);
+    let src = "SELECT X.name, Y.price FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+               WHERE Y.price > X.price";
+    for engine in [
+        EngineKind::Naive,
+        EngineKind::NaiveBacktrack,
+        EngineKind::Ops,
+        EngineKind::OpsShiftOnly,
+    ] {
+        let plain = execute_query(
+            src,
+            &table,
+            &ExecOptions {
+                engine,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(plain.profile.is_none(), "unarmed runs carry no profile");
+        for instrument in [Instrument::profiling(), Instrument::tracing()] {
+            let armed = execute_query(
+                src,
+                &table,
+                &ExecOptions {
+                    engine,
+                    instrument,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(armed.table, plain.table, "{engine:?} {instrument:?}");
+            assert_eq!(armed.stats, plain.stats, "{engine:?} {instrument:?}");
+            // The profile's totals reconcile with the legacy stats.
+            let p = armed.profile.unwrap();
+            assert_eq!(p.predicate_tests(), plain.stats.predicate_tests);
+            assert_eq!(p.matches(), plain.stats.matches);
+            assert_eq!(p.tuples, plain.stats.tuples);
+        }
+    }
+}
+
+#[test]
+fn profiling_only_retains_no_events() {
+    let table = prices_to_table("X", Date::from_ymd(1990, 1, 1), &FIG5_PRICES);
+    let r = execute_query(
+        EXAMPLE4,
+        &table,
+        &ExecOptions {
+            instrument: Instrument::profiling(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let p = r.profile.unwrap();
+    assert_eq!(p.merged_events().count(), 0);
+    // …but the metrics registry is fully populated.
+    assert_eq!(p.predicate_tests(), r.stats.predicate_tests);
+    assert!(p.totals.shifts.count() > 0);
+}
+
+#[test]
+fn trace_capacity_bounds_retention_deterministically() {
+    let table = prices_to_table("X", Date::from_ymd(1990, 1, 1), &FIG5_PRICES);
+    let run = |capacity| {
+        execute_query(
+            EXAMPLE4,
+            &table,
+            &ExecOptions {
+                instrument: Instrument {
+                    trace_capacity: capacity,
+                    ..Instrument::tracing()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .profile
+        .unwrap()
+    };
+    let full = run(4096);
+    let bounded = run(8);
+    let total = full.merged_events().count();
+    assert!(total > 8);
+    assert_eq!(bounded.clusters[0].events.len(), 8);
+    assert_eq!(bounded.clusters[0].events_dropped, (total - 8) as u64);
+    // The bounded window is the most recent suffix of the full stream.
+    let tail: Vec<TraceEvent> = full
+        .merged_events()
+        .skip(total - 8)
+        .map(|(_, e)| *e)
+        .collect();
+    assert_eq!(bounded.clusters[0].events, tail);
+    // Metrics are unaffected by event-retention bounds.
+    assert_eq!(bounded.predicate_tests(), full.predicate_tests());
+}
+
+#[test]
+fn governor_trip_lands_in_profile_and_event_stream() {
+    let table = multi_cluster_table(&[
+        ("AAA", &[10.0, 12.0, 9.0, 11.0, 8.0][..]),
+        ("BBB", &[5.0, 7.0, 6.0][..]),
+    ]);
+    let src = "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) \
+               WHERE Y.price > X.price";
+    let err = execute_query(
+        src,
+        &table,
+        &ExecOptions {
+            governor: Governor::unlimited().with_max_steps(2),
+            instrument: Instrument::tracing(),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    let ExecError::Governed { trip, partial } = err else {
+        panic!("expected governed termination");
+    };
+    assert_eq!(trip.reason.trace_cause(), TripCause::StepBudget);
+    // The profile travels inside the partial result and names the cause.
+    let p = partial.profile.expect("profile survives the trip");
+    assert_eq!(p.totals.trip, Some(TripCause::StepBudget));
+    let last = p.merged_events().last().expect("events retained");
+    assert!(
+        matches!(
+            last.1,
+            TraceEvent::GovernorTrip {
+                cause: TripCause::StepBudget
+            }
+        ),
+        "{last:?}"
+    );
+    assert!(p.to_json().contains("\"trip\":\"step_budget\""));
+}
