@@ -16,15 +16,26 @@
 //! `--profile` emits the machine-readable execution profile (see the
 //! README's Observability section).
 //!
+//! Streaming mode: `--follow` reads CSV tuples from stdin and feeds them
+//! through a resilient push-based session one at a time; `--checkpoint
+//! FILE` saves (and, when the file exists, resumes from) a session
+//! checkpoint, `--on-bad-tuple` picks the malformed-input policy, and
+//! `--feed-limit N` stops after N tuples without finishing (a
+//! deterministic mid-stream kill for recovery drills).
+//!
 //! Exit codes: `0` success, `2` usage, `3` input (query compile or CSV
 //! ingest), `4` runtime (governed termination or isolated cluster
-//! failures — the partial result is still printed).
+//! failures — the partial result is still printed), `5` quarantine
+//! capacity exceeded.
 
+use sqlts_core::stream::{
+    BadTuplePolicy, SessionCheckpoint, StreamError, StreamOptions, StreamSession,
+};
 use sqlts_core::{
     compile, execute, explain, CompileOptions, DirectionChoice, EngineKind, ExecError, ExecOptions,
-    FirstTuplePolicy, Governor, Instrument,
+    FirstTuplePolicy, Governor, Instrument, QueryResult,
 };
-use sqlts_relation::{ColumnType, Schema, Table};
+use sqlts_relation::{ColumnType, CsvRecords, Schema, Table};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -136,6 +147,36 @@ const FLAGS: &[FlagSpec] = &[
         help: "make out-of-range `previous` references an error instead of vacuously true",
     },
     FlagSpec {
+        name: "--follow",
+        metavar: None,
+        help: "stream CSV tuples from stdin through a push-based session \
+               (requires --schema; result printed at end of input)",
+    },
+    FlagSpec {
+        name: "--checkpoint",
+        metavar: Some("FILE"),
+        help: "with --follow: resume from FILE if it exists, and save the \
+               session checkpoint there periodically and on exit",
+    },
+    FlagSpec {
+        name: "--checkpoint-every",
+        metavar: Some("N"),
+        help: "with --checkpoint: save every N fed tuples (default 1000)",
+    },
+    FlagSpec {
+        name: "--feed-limit",
+        metavar: Some("N"),
+        help: "with --follow: stop after the session holds N tuples, saving \
+               the checkpoint but NOT finishing (simulates a mid-stream kill)",
+    },
+    FlagSpec {
+        name: "--on-bad-tuple",
+        metavar: Some("skip|fail|quarantine:N"),
+        help: "with --follow: policy for malformed, unbindable, or \
+               out-of-order tuples (default fail; exit 5 when a quarantine \
+               of capacity N overflows)",
+    },
+    FlagSpec {
         name: "--help",
         metavar: None,
         help: "print this help and exit",
@@ -169,6 +210,11 @@ struct Args {
     timeout_ms: Option<u64>,
     max_steps: Option<u64>,
     max_matches: Option<u64>,
+    follow: bool,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
+    feed_limit: Option<u64>,
+    bad_tuple: BadTuplePolicy,
     query: Option<String>,
 }
 
@@ -209,7 +255,7 @@ fn help_text() -> String {
          \n\
          exit codes: 0 success, 2 usage, 3 input (compile/CSV), 4 runtime\n\
          (governed termination or isolated cluster failures; the partial\n\
-         result is still printed)\n",
+         result is still printed), 5 quarantine capacity exceeded\n",
     );
     out
 }
@@ -238,6 +284,11 @@ fn parse_args() -> Args {
         timeout_ms: None,
         max_steps: None,
         max_matches: None,
+        follow: false,
+        checkpoint: None,
+        checkpoint_every: 1000,
+        feed_limit: None,
+        bad_tuple: BadTuplePolicy::Fail,
         query: None,
     };
     fn numeric<T: std::str::FromStr>(v: Option<String>) -> T {
@@ -254,9 +305,7 @@ fn parse_args() -> Args {
             usage();
         };
         // The table drives arity: flags with a metavar consume one value.
-        let value = spec
-            .metavar
-            .map(|_| it.next().unwrap_or_else(|| usage()));
+        let value = spec.metavar.map(|_| it.next().unwrap_or_else(|| usage()));
         match name {
             "--csv" => args.csv = Some(PathBuf::from(value.unwrap())),
             "--schema" => args.schema = value,
@@ -297,6 +346,21 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(PathBuf::from(value.unwrap())),
             "--trace-capacity" => args.trace_capacity = numeric(value),
             "--strict-previous" => args.strict_previous = true,
+            "--follow" => args.follow = true,
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value.unwrap())),
+            "--checkpoint-every" => args.checkpoint_every = numeric(value),
+            "--feed-limit" => args.feed_limit = Some(numeric(value)),
+            "--on-bad-tuple" => {
+                args.bad_tuple = match value.as_deref() {
+                    Some("skip") => BadTuplePolicy::Skip,
+                    Some("fail") => BadTuplePolicy::Fail,
+                    Some(v) => match v.strip_prefix("quarantine:").and_then(|n| n.parse().ok()) {
+                        Some(cap) => BadTuplePolicy::Quarantine { cap },
+                        None => usage(),
+                    },
+                    None => usage(),
+                }
+            }
             "--help" => {
                 print!("{}", help_text());
                 std::process::exit(0)
@@ -335,6 +399,8 @@ enum CliError {
     /// termination or isolated cluster failures.  Whatever partial
     /// result existed has already been printed to stdout.
     Runtime(String),
+    /// A `--follow` quarantine reached its capacity (exit 5).
+    Quarantine(String),
 }
 
 impl CliError {
@@ -342,12 +408,13 @@ impl CliError {
         match self {
             CliError::Input(_) => 3,
             CliError::Runtime(_) => 4,
+            CliError::Quarantine(_) => 5,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Input(m) | CliError::Runtime(m) => m,
+            CliError::Input(m) | CliError::Runtime(m) | CliError::Quarantine(m) => m,
         }
     }
 }
@@ -376,54 +443,11 @@ fn build_instrument(args: &Args) -> Instrument {
     }
 }
 
-fn run() -> Result<(), CliError> {
-    let args = parse_args();
-    let query_src = args.query.clone().unwrap_or_else(|| usage());
-
-    let table: Table = if args.demo_djia {
-        sqlts_datagen::djia_series(args.seed)
-    } else {
-        let csv = args.csv.clone().unwrap_or_else(|| usage());
-        let schema_spec = args.schema.clone().unwrap_or_else(|| usage());
-        let schema = parse_schema(&schema_spec).map_err(CliError::Input)?;
-        Table::from_csv_path(schema, &csv)
-            .map_err(|e| CliError::Input(format!("{}: {e}", csv.display())))?
-    };
-
-    let compile_opts = CompileOptions::default();
-    let compiled = compile(&query_src, table.schema(), &compile_opts)
-        .map_err(|e| CliError::Input(e.render(&query_src)))?;
-
-    if args.explain {
-        eprintln!("{}", explain(&compiled));
-    }
-
-    let exec_result = execute(
-        &compiled,
-        &table,
-        &ExecOptions {
-            engine: args.engine,
-            policy: if args.strict_previous {
-                FirstTuplePolicy::Fail
-            } else {
-                FirstTuplePolicy::VacuousTrue
-            },
-            compile: compile_opts,
-            direction: args.direction,
-            threads: args.threads,
-            governor: build_governor(&args),
-            instrument: build_instrument(&args),
-        },
-    );
-    let (result, trip) = match exec_result {
-        Ok(result) => (result, None),
-        Err(ExecError::Governed { trip, partial }) => (*partial, Some(trip)),
-        Err(ExecError::Lang(e)) => return Err(CliError::Input(e.render(&query_src))),
-        Err(e @ ExecError::Table(_)) => return Err(CliError::Input(e.to_string())),
-    };
-
-    // The partial result of a governed or partially-failed run is still
-    // worth printing — callers see every match produced before the cut.
+/// Print a result: CSV on stdout, then whatever the flags asked for on
+/// stderr.  Shared by the batch path and the `--follow` path (a partial
+/// governed result is still worth printing — callers see every match
+/// produced before the cut).
+fn emit_result(args: &Args, result: &QueryResult) -> Result<(), CliError> {
     print!("{}", result.table.to_csv_string());
     if args.stats {
         // Legacy single-line summary, byte-compatible with older releases…
@@ -464,6 +488,192 @@ fn run() -> Result<(), CliError> {
     for failure in &result.partial {
         eprintln!("error: {failure}");
     }
+    Ok(())
+}
+
+/// Snapshot the session and write the checkpoint text to `path`.
+fn save_checkpoint(session: &mut StreamSession<'_>, path: &PathBuf) -> Result<(), CliError> {
+    let checkpoint = session
+        .snapshot()
+        .map_err(|e| CliError::Runtime(format!("checkpoint: {e}")))?;
+    std::fs::write(path, checkpoint.to_text())
+        .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))
+}
+
+/// Close the stream and report: print the (possibly partial) result, note
+/// skipped/quarantined input, and map a governed trip to exit 4.
+fn finish_and_report(args: &Args, session: StreamSession<'_>) -> Result<(), CliError> {
+    let skipped = session.skipped();
+    let quarantined = session.quarantine().len();
+    let outcome = session.finish();
+    if skipped > 0 {
+        eprintln!("{skipped} bad tuple(s) skipped");
+    }
+    if quarantined > 0 {
+        eprintln!("{quarantined} bad tuple(s) quarantined");
+    }
+    match outcome {
+        Ok(result) => emit_result(args, &result),
+        Err(StreamError::Governed { trip, partial }) => {
+            if let Some(partial) = partial {
+                emit_result(args, &partial)?;
+            }
+            Err(CliError::Runtime(format!(
+                "stream terminated by resource governor: {trip} (partial result printed)"
+            )))
+        }
+        Err(e) => Err(CliError::Runtime(e.to_string())),
+    }
+}
+
+/// The `--follow` driver: feed stdin CSV records through a streaming
+/// session, checkpointing as configured.
+fn run_follow(
+    args: &Args,
+    query: &sqlts_core::CompiledQuery,
+    exec: ExecOptions,
+) -> Result<(), CliError> {
+    let options = StreamOptions {
+        exec,
+        bad_tuple: args.bad_tuple,
+        max_window_bytes: None,
+        log_capacity: 0,
+    };
+    let mut session = match &args.checkpoint {
+        Some(path) if path.exists() => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?;
+            let checkpoint = SessionCheckpoint::from_text(&text)
+                .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?;
+            eprintln!(
+                "resuming from {} ({} records already processed)",
+                path.display(),
+                checkpoint.records()
+            );
+            StreamSession::resume(query, options, checkpoint)
+                .map_err(|e| CliError::Input(e.to_string()))?
+        }
+        _ => StreamSession::new(query, options).map_err(|e| CliError::Input(e.to_string()))?,
+    };
+
+    let stdin = std::io::stdin();
+    let records = CsvRecords::new(query.schema.clone(), stdin.lock())
+        .map_err(|e| CliError::Input(format!("stdin: {e}")))?;
+    let mut since_save = 0u64;
+    for item in records {
+        let step = match item {
+            Ok(row) => session.feed(row),
+            // A line the CSV reader itself rejected goes through the same
+            // skip/fail/quarantine policy as an unbindable tuple.
+            Err(e) => session.quarantine_external(e.to_string(), String::new()),
+        };
+        match step {
+            Ok(()) => {}
+            Err(StreamError::Governed { .. }) => {
+                if let Some(path) = &args.checkpoint {
+                    save_checkpoint(&mut session, path)?;
+                    eprintln!("checkpoint saved to {}", path.display());
+                }
+                return finish_and_report(args, session);
+            }
+            Err(StreamError::QuarantineFull { cap, tuple }) => {
+                return Err(CliError::Quarantine(format!(
+                    "quarantine full (cap {cap}); rejected {tuple}"
+                )))
+            }
+            Err(StreamError::BadTuple(tuple)) => {
+                return Err(CliError::Input(format!("bad tuple at {tuple}")))
+            }
+            Err(e) => return Err(CliError::Runtime(e.to_string())),
+        }
+        since_save += 1;
+        if let Some(limit) = args.feed_limit {
+            if session.records() >= limit {
+                if let Some(path) = &args.checkpoint {
+                    save_checkpoint(&mut session, path)?;
+                }
+                eprintln!(
+                    "feed limit reached at {} records; stream left unfinished",
+                    session.records()
+                );
+                return Ok(());
+            }
+        }
+        if let Some(path) = &args.checkpoint {
+            if since_save >= args.checkpoint_every {
+                save_checkpoint(&mut session, path)?;
+                since_save = 0;
+            }
+        }
+    }
+    if let Some(path) = &args.checkpoint {
+        save_checkpoint(&mut session, path)?;
+    }
+    finish_and_report(args, session)
+}
+
+fn run() -> Result<(), CliError> {
+    let args = parse_args();
+    let query_src = args.query.clone().unwrap_or_else(|| usage());
+
+    // Batch modes materialize the whole table up front; `--follow` only
+    // needs the schema (tuples arrive on stdin).
+    let table: Option<Table> = if args.follow {
+        None
+    } else if args.demo_djia {
+        Some(sqlts_datagen::djia_series(args.seed))
+    } else {
+        let csv = args.csv.clone().unwrap_or_else(|| usage());
+        let schema_spec = args.schema.clone().unwrap_or_else(|| usage());
+        let schema = parse_schema(&schema_spec).map_err(CliError::Input)?;
+        Some(
+            Table::from_csv_path(schema, &csv)
+                .map_err(|e| CliError::Input(format!("{}: {e}", csv.display())))?,
+        )
+    };
+    let schema: Schema = match &table {
+        Some(t) => t.schema().clone(),
+        None => {
+            let schema_spec = args.schema.clone().unwrap_or_else(|| usage());
+            parse_schema(&schema_spec).map_err(CliError::Input)?
+        }
+    };
+
+    let compile_opts = CompileOptions::default();
+    let compiled = compile(&query_src, &schema, &compile_opts)
+        .map_err(|e| CliError::Input(e.render(&query_src)))?;
+
+    if args.explain {
+        eprintln!("{}", explain(&compiled));
+    }
+
+    let exec = ExecOptions {
+        engine: args.engine,
+        policy: if args.strict_previous {
+            FirstTuplePolicy::Fail
+        } else {
+            FirstTuplePolicy::VacuousTrue
+        },
+        compile: compile_opts,
+        direction: args.direction,
+        threads: args.threads,
+        governor: build_governor(&args),
+        instrument: build_instrument(&args),
+    };
+
+    if args.follow {
+        return run_follow(&args, &compiled, exec);
+    }
+
+    let table = table.expect("batch mode always builds a table");
+    let (result, trip) = match execute(&compiled, &table, &exec) {
+        Ok(result) => (result, None),
+        Err(ExecError::Governed { trip, partial }) => (*partial, Some(trip)),
+        Err(ExecError::Lang(e)) => return Err(CliError::Input(e.render(&query_src))),
+        Err(e @ ExecError::Table(_)) => return Err(CliError::Input(e.to_string())),
+    };
+
+    emit_result(&args, &result)?;
     if let Some(trip) = trip {
         return Err(CliError::Runtime(format!(
             "query terminated by resource governor: {trip} (partial result printed)"

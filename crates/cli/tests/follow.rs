@@ -1,0 +1,199 @@
+//! End-to-end tests for `--follow`: the streaming driver must agree with
+//! the batch path bit-for-bit, survive a kill/resume cycle through its
+//! checkpoint file, and map the bad-tuple policies to the documented exit
+//! codes.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_sqlts");
+const SCHEMA: &str = "name:str,day:int,price:float";
+const QUERY: &str = "SELECT X.name, Z.day AS day FROM quote \
+                     CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) \
+                     WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price";
+
+/// Deterministic zig-zag series over two clusters: plenty of matches, no
+/// randomness, no filesystem fixtures.
+fn csv() -> String {
+    let mut out = String::from("name,day,price\n");
+    for day in 0..120i64 {
+        for (name, phase) in [("AAA", 0), ("BBB", 1)] {
+            let price = 100 + ((day + phase) % 7) * 3 - ((day + phase) % 3) * 5;
+            out.push_str(&format!("{name},{day},{price}\n"));
+        }
+    }
+    out
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlts-follow-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run the binary with `args`, piping `stdin` in, and capture everything.
+fn sqlts(args: &[&str], stdin: &str) -> Output {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    child.wait_with_output().unwrap()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+#[test]
+fn follow_matches_batch_exactly() {
+    let dir = scratch("batch");
+    let data = csv();
+    let csv_path = dir.join("data.csv");
+    std::fs::write(&csv_path, &data).unwrap();
+
+    let batch = sqlts(
+        &[
+            "--csv",
+            csv_path.to_str().unwrap(),
+            "--schema",
+            SCHEMA,
+            QUERY,
+        ],
+        "",
+    );
+    assert!(batch.status.success(), "{batch:?}");
+    let follow = sqlts(&["--follow", "--schema", SCHEMA, QUERY], &data);
+    assert!(follow.status.success(), "{follow:?}");
+    assert_eq!(stdout(&batch), stdout(&follow));
+}
+
+#[test]
+fn feed_limit_checkpoint_then_resume_matches_batch() {
+    let dir = scratch("resume");
+    let data = csv();
+    let csv_path = dir.join("data.csv");
+    std::fs::write(&csv_path, &data).unwrap();
+    let cp = dir.join("cp.txt");
+    let cp_str = cp.to_str().unwrap();
+
+    let batch = sqlts(
+        &[
+            "--csv",
+            csv_path.to_str().unwrap(),
+            "--schema",
+            SCHEMA,
+            QUERY,
+        ],
+        "",
+    );
+    assert!(batch.status.success());
+
+    // Run 1: stop after 100 records.  No result is printed — the stream is
+    // deliberately left unfinished, with its state in the checkpoint file.
+    let first = sqlts(
+        &[
+            "--follow",
+            "--schema",
+            SCHEMA,
+            "--checkpoint",
+            cp_str,
+            "--feed-limit",
+            "100",
+            QUERY,
+        ],
+        &data,
+    );
+    assert!(first.status.success(), "{first:?}");
+    assert!(
+        stdout(&first).is_empty(),
+        "unfinished stream printed output"
+    );
+    assert!(cp.exists());
+
+    // Run 2: resume from the checkpoint with the remaining tuples (header
+    // line + data lines 102..; 100 records = data lines 2..=101).
+    let mut rest = String::new();
+    for (i, line) in data.lines().enumerate() {
+        if i == 0 || i > 100 {
+            rest.push_str(line);
+            rest.push('\n');
+        }
+    }
+    let second = sqlts(
+        &[
+            "--follow",
+            "--schema",
+            SCHEMA,
+            "--checkpoint",
+            cp_str,
+            QUERY,
+        ],
+        &rest,
+    );
+    assert!(second.status.success(), "{second:?}");
+    assert_eq!(stdout(&batch), stdout(&second));
+    let err = String::from_utf8(second.stderr.clone()).unwrap();
+    assert!(err.contains("resuming from"), "{err}");
+    assert!(err.contains("100 records"), "{err}");
+}
+
+#[test]
+fn quarantine_cap_exceeded_exits_5() {
+    let bad = "name,day,price\nAAA,1,100\nGARBAGE\nAAA,nope,3\nAAA,2,101\n";
+    let out = sqlts(
+        &[
+            "--follow",
+            "--schema",
+            SCHEMA,
+            "--on-bad-tuple",
+            "quarantine:1",
+            QUERY,
+        ],
+        bad,
+    );
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(err.contains("quarantine full"), "{err}");
+}
+
+#[test]
+fn skip_policy_drops_bad_and_out_of_order_tuples() {
+    // One unparsable line and one out-of-order record (day 1 after day 4).
+    let bad = "name,day,price\nAAA,1,100\nAAA,nope,3\nAAA,2,150\nAAA,4,90\nAAA,1,50\nAAA,5,160\nAAA,6,80\n";
+    let out = sqlts(
+        &[
+            "--follow",
+            "--schema",
+            SCHEMA,
+            "--on-bad-tuple",
+            "skip",
+            QUERY,
+        ],
+        bad,
+    );
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(err.contains("2 bad tuple(s) skipped"), "{err}");
+    // The surviving stream (100, 150, 90, 160, 80) yields one match:
+    // rise to 150, fall to 90 at day 4.  The second rise starts on the
+    // first match's closing tuple, and matches do not overlap.
+    assert_eq!(stdout(&out), "name,day\nAAA,4\n");
+}
+
+#[test]
+fn default_fail_policy_exits_3_on_bad_input() {
+    let bad = "name,day,price\nAAA,1,100\nAAA,nope,3\n";
+    let out = sqlts(&["--follow", "--schema", SCHEMA, QUERY], bad);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}

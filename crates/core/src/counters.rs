@@ -105,6 +105,21 @@ impl EvalCounter {
         self.recorder.map(|r| r.into_inner())
     }
 
+    /// Clone the armed recorder's current state without disarming it
+    /// (checkpoint capture for a still-running streaming session).
+    pub fn recorder_snapshot(&self) -> Option<ClusterRecorder> {
+        self.recorder.as_ref().map(|r| r.borrow().clone())
+    }
+
+    /// Restore a historical test total (checkpoint resume).  The restored
+    /// steps are marked as already flushed: they were metered against the
+    /// governor of the run that took the checkpoint, and the fresh governor
+    /// of the resumed run only pays for work done after the split point.
+    pub fn restore_total(&self, total: u64) {
+        self.tests.set(total);
+        self.flushed.set(total);
+    }
+
     /// Record one predicate test.
     #[inline]
     pub fn bump(&self) {

@@ -181,6 +181,343 @@ pub fn find_matches(
     }
 }
 
+/// Why an incremental engine step returned control to its driver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The search consumed everything currently buffered and needs more
+    /// input (never returned once `eof` is set).
+    NeedInput,
+    /// The cluster is fully searched; further calls keep returning `Done`.
+    Done,
+    /// The governor tripped.  The machine's position is preserved *at* the
+    /// trip check, so a resumed session (with a fresh, untripped counter)
+    /// continues bit-identically to a run that never tripped; a batch
+    /// driver simply stops and keeps the matches found so far.
+    Tripped,
+}
+
+/// The input view an incremental engine step runs over.
+pub struct StepInput<'a, 'b> {
+    /// The stream (possibly a bounded window view; positions are absolute).
+    pub cluster: &'a Cluster<'b>,
+    /// `true` once no further tuples will ever arrive.
+    pub eof: bool,
+    /// How many tuples beyond the one under test must already be buffered
+    /// before the test may run (the pattern's maximum positive field-ref
+    /// offset).  Before `eof`, testing tuple `i` requires
+    /// `i + lookahead < cluster.len()` so `next`-style references resolve
+    /// exactly as they would in a batch run over the full stream.
+    pub lookahead: usize,
+}
+
+impl StepInput<'_, '_> {
+    /// May tuple `i` be tested yet?
+    #[inline]
+    fn testable(&self, i: usize) -> bool {
+        self.eof || i + self.lookahead < self.cluster.len()
+    }
+}
+
+/// A resumable engine: one of the three search state machines, driven
+/// incrementally by [`EngineMachine::run`].
+#[derive(Clone, Debug)]
+pub enum EngineMachine {
+    /// The naive greedy engine.
+    Naive(NaiveMachine),
+    /// The backtracking baseline.
+    Backtrack(BacktrackMachine),
+    /// OPS (also the shift-only ablation; the difference lives in the
+    /// [`SearchPlan`] tables).
+    Ops(OpsMachine),
+}
+
+impl EngineMachine {
+    /// A fresh machine for `kind` over a pattern of `m` elements.
+    pub fn new(kind: EngineKind, m: usize) -> EngineMachine {
+        match kind {
+            EngineKind::Naive => EngineMachine::Naive(NaiveMachine::new()),
+            EngineKind::NaiveBacktrack => EngineMachine::Backtrack(BacktrackMachine::new()),
+            EngineKind::Ops | EngineKind::OpsShiftOnly => EngineMachine::Ops(OpsMachine::new(m)),
+        }
+    }
+
+    /// Advance the search as far as the buffered input allows, appending
+    /// completed matches to `out`.  `search_plan` is required for the OPS
+    /// machines and ignored by the naive ones.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        elements: &[PatternElement],
+        search_plan: Option<&SearchPlan>,
+        input: &StepInput<'_, '_>,
+        options: &SearchOptions,
+        counter: &EvalCounter,
+        trace: Option<&mut SearchTrace>,
+        out: &mut Vec<MatchSpans>,
+    ) -> StepOutcome {
+        match self {
+            EngineMachine::Naive(m) => m.run(elements, input, options, counter, trace, out),
+            EngineMachine::Backtrack(m) => m.run(elements, input, options, counter, trace, out),
+            EngineMachine::Ops(m) => m.run(
+                elements,
+                search_plan.expect("OPS machine needs a search plan"),
+                input,
+                options,
+                counter,
+                trace,
+                out,
+            ),
+        }
+    }
+
+    /// The lowest stream position the machine can still reference (the
+    /// current attempt's start).  A streaming window may compact everything
+    /// below `window_low() - lookbehind`.
+    pub fn window_low(&self) -> usize {
+        match self {
+            EngineMachine::Naive(m) => m.start,
+            EngineMachine::Backtrack(m) => m.start,
+            EngineMachine::Ops(m) => m.start,
+        }
+    }
+
+    /// Abandon the in-flight attempt and restart the search at `pos`
+    /// (streaming backpressure relief).  Sound in the same way a failed
+    /// predicate is sound: already-emitted matches stay valid and matches
+    /// starting at or after `pos` are still found; attempts straddling the
+    /// discarded region are treated as failed.
+    pub fn restart_at(&mut self, pos: usize) {
+        match self {
+            EngineMachine::Naive(m) => {
+                m.start = pos;
+                m.e = 0;
+                m.in_star = false;
+                m.bindings.spans.clear();
+            }
+            EngineMachine::Backtrack(m) => {
+                m.start = pos;
+                m.pc = BtPc::Idle;
+                m.frames.clear();
+                m.bindings.spans.clear();
+            }
+            EngineMachine::Ops(m) => m.reset_attempt(pos),
+        }
+    }
+}
+
+/// The backtracking baseline as an explicit stack machine (the recursion
+/// of the batch implementation flattened frame by frame so it can suspend
+/// on [`StepOutcome::NeedInput`] and be checkpointed).
+#[derive(Clone, Debug)]
+pub struct BacktrackMachine {
+    pub(crate) start: usize,
+    pub(crate) frames: Vec<BtFrame>,
+    pub(crate) pc: BtPc,
+    pub(crate) bindings: Bindings,
+}
+
+/// One suspended recursion frame of [`BacktrackMachine`]; the frame at
+/// depth `d` (0-based) handles pattern element `d + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BtFrame {
+    /// A non-star element: on a failed suffix, pop its span and fail.
+    NonStar,
+    /// A star element at extent `i..=end`: on a failed suffix, try the
+    /// next extent.
+    Star {
+        /// First tuple of the star's span.
+        i: usize,
+        /// Current last tuple of the star's span.
+        end: usize,
+    },
+}
+
+/// The program counter of [`BacktrackMachine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BtPc {
+    /// Between attempts (next: start an attempt at `start`).
+    Idle,
+    /// About to evaluate `rec(j, i)` from the top.
+    Call {
+        /// Pattern element.
+        j: usize,
+        /// Input position.
+        i: usize,
+    },
+    /// A child call returned; resolve against the top frame.
+    Ret {
+        /// The child's verdict.
+        ok: bool,
+    },
+    /// The top (star) frame is about to test one more extent tuple.
+    StarExtend,
+}
+
+impl Default for BacktrackMachine {
+    fn default() -> Self {
+        BacktrackMachine::new()
+    }
+}
+
+impl BacktrackMachine {
+    /// A fresh machine positioned before the first attempt.
+    pub fn new() -> BacktrackMachine {
+        BacktrackMachine {
+            start: 0,
+            frames: Vec::new(),
+            pc: BtPc::Idle,
+            bindings: Bindings::default(),
+        }
+    }
+
+    fn run(
+        &mut self,
+        elements: &[PatternElement],
+        input: &StepInput<'_, '_>,
+        options: &SearchOptions,
+        counter: &EvalCounter,
+        mut trace: Option<&mut SearchTrace>,
+        out: &mut Vec<MatchSpans>,
+    ) -> StepOutcome {
+        let pattern = Predicates::new(elements);
+        let ctx = EvalCtx {
+            cluster: input.cluster,
+            policy: options.policy,
+        };
+        let m = pattern.len();
+        let avail = input.cluster.len();
+        loop {
+            match self.pc {
+                BtPc::Idle => {
+                    if self.start >= avail {
+                        if input.eof {
+                            return StepOutcome::Done;
+                        }
+                        return StepOutcome::NeedInput;
+                    }
+                    if counter.tripped() {
+                        return StepOutcome::Tripped;
+                    }
+                    self.bindings.spans.clear();
+                    self.frames.clear();
+                    self.pc = BtPc::Call {
+                        j: 1,
+                        i: self.start,
+                    };
+                }
+                BtPc::Call { j, i } => {
+                    if j > m {
+                        self.pc = BtPc::Ret { ok: true };
+                        continue;
+                    }
+                    if i >= avail {
+                        if !input.eof {
+                            return StepOutcome::NeedInput;
+                        }
+                        self.pc = BtPc::Ret { ok: false };
+                        continue;
+                    }
+                    if counter.tripped() {
+                        return StepOutcome::Tripped;
+                    }
+                    if !input.testable(i) {
+                        return StepOutcome::NeedInput;
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(i + 1, j);
+                    }
+                    if !test_element(pattern, j, &ctx, i, &self.bindings, counter) {
+                        self.pc = BtPc::Ret { ok: false };
+                        continue;
+                    }
+                    self.bindings.spans.push((i, i));
+                    self.frames.push(if pattern.star(j) {
+                        BtFrame::Star { i, end: i }
+                    } else {
+                        BtFrame::NonStar
+                    });
+                    self.pc = BtPc::Call { j: j + 1, i: i + 1 };
+                }
+                BtPc::Ret { ok } => {
+                    let Some(&frame) = self.frames.last() else {
+                        // The attempt resolved.
+                        if ok {
+                            let end = self
+                                .bindings
+                                .spans
+                                .last()
+                                .map(|s| s.1)
+                                .unwrap_or(self.start);
+                            if counter.match_found() {
+                                emit_match(counter, &self.bindings.spans);
+                                out.push(MatchSpans {
+                                    spans: self.bindings.spans.clone(),
+                                });
+                            }
+                            self.start = end + 1;
+                        } else {
+                            self.start += 1;
+                        }
+                        self.pc = BtPc::Idle;
+                        continue;
+                    };
+                    if ok {
+                        // Success propagates up without unbinding spans.
+                        self.frames.pop();
+                        continue;
+                    }
+                    self.bindings.spans.pop();
+                    match frame {
+                        BtFrame::NonStar => {
+                            self.frames.pop();
+                        }
+                        BtFrame::Star { .. } => {
+                            self.pc = BtPc::StarExtend;
+                        }
+                    }
+                }
+                BtPc::StarExtend => {
+                    let j = self.frames.len();
+                    let Some(&BtFrame::Star { i, end }) = self.frames.last() else {
+                        unreachable!("StarExtend with a non-star top frame");
+                    };
+                    if end + 1 >= avail {
+                        if !input.eof {
+                            return StepOutcome::NeedInput;
+                        }
+                        self.frames.pop();
+                        self.pc = BtPc::Ret { ok: false };
+                        continue;
+                    }
+                    if counter.tripped() {
+                        return StepOutcome::Tripped;
+                    }
+                    if !input.testable(end + 1) {
+                        return StepOutcome::NeedInput;
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(end + 2, j);
+                    }
+                    if !test_element(pattern, j, &ctx, end + 1, &self.bindings, counter) {
+                        self.frames.pop();
+                        self.pc = BtPc::Ret { ok: false };
+                        continue;
+                    }
+                    let end = end + 1;
+                    if let Some(BtFrame::Star { end: e, .. }) = self.frames.last_mut() {
+                        *e = end;
+                    }
+                    self.bindings.spans.push((i, end));
+                    self.pc = BtPc::Call {
+                        j: j + 1,
+                        i: end + 1,
+                    };
+                }
+            }
+        }
+    }
+}
+
 /// The backtracking baseline: from every start position, search for *any*
 /// assignment of star extents satisfying the pattern (shortest extents
 /// first), backtracking on failure.
@@ -194,100 +531,17 @@ pub fn backtracking_search(
     cluster: &Cluster<'_>,
     options: &SearchOptions,
     counter: &EvalCounter,
-    mut trace: Option<&mut SearchTrace>,
+    trace: Option<&mut SearchTrace>,
 ) -> Vec<MatchSpans> {
-    let pattern = Predicates::new(elements);
-    let ctx = EvalCtx {
+    let mut machine = BacktrackMachine::new();
+    let input = StepInput {
         cluster,
-        policy: options.policy,
+        eof: true,
+        lookahead: 0,
     };
-    let n = cluster.len();
-    let m = pattern.len();
-    let mut results = Vec::new();
-    let mut start = 0usize;
-
-    // Recursive extent search, shortest extents first.
-    #[allow(clippy::too_many_arguments)] // explicit search state
-    fn rec(
-        pattern: Predicates<'_>,
-        ctx: &EvalCtx<'_>,
-        counter: &EvalCounter,
-        trace: &mut Option<&mut SearchTrace>,
-        n: usize,
-        j: usize,
-        i: usize,
-        bindings: &mut Bindings,
-    ) -> bool {
-        let m = pattern.len();
-        if j > m {
-            return true;
-        }
-        if i >= n || counter.tripped() {
-            // A governor trip abandons the attempt; the outer loop then
-            // stops without emitting a partial match.
-            return false;
-        }
-        if let Some(t) = trace.as_deref_mut() {
-            t.record(i + 1, j);
-        }
-        if !test_element(pattern, j, ctx, i, bindings, counter) {
-            return false;
-        }
-        if !pattern.star(j) {
-            bindings.spans.push((i, i));
-            if rec(pattern, ctx, counter, trace, n, j + 1, i + 1, bindings) {
-                return true;
-            }
-            bindings.spans.pop();
-            return false;
-        }
-        // Star: extend the run one tuple at a time, trying the suffix at
-        // every extent.
-        let mut end = i;
-        loop {
-            bindings.spans.push((i, end));
-            if rec(pattern, ctx, counter, trace, n, j + 1, end + 1, bindings) {
-                return true;
-            }
-            bindings.spans.pop();
-            if end + 1 >= n || counter.tripped() {
-                return false;
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t.record(end + 2, j);
-            }
-            if !test_element(pattern, j, ctx, end + 1, bindings, counter) {
-                return false;
-            }
-            end += 1;
-        }
-    }
-
-    while start < n && !counter.tripped() {
-        let mut bindings = Bindings::with_capacity(m);
-        if rec(
-            pattern,
-            &ctx,
-            counter,
-            &mut trace,
-            n,
-            1,
-            start,
-            &mut bindings,
-        ) {
-            let end = bindings.spans.last().map(|s| s.1).unwrap_or(start);
-            if counter.match_found() {
-                emit_match(counter, &bindings.spans);
-                results.push(MatchSpans {
-                    spans: bindings.spans,
-                });
-            }
-            start = end + 1;
-        } else {
-            start += 1;
-        }
-    }
-    results
+    let mut out = Vec::new();
+    machine.run(elements, &input, options, counter, trace, &mut out);
+    out
 }
 
 /// Run a pre-built plan (lets callers amortize compilation across
@@ -303,6 +557,167 @@ pub fn find_matches_with_plan(
     ops_search(elements, cluster, search_plan, options, counter, trace)
 }
 
+/// The naive greedy engine as an incremental state machine (the labelled
+/// `'outer` loop of the batch implementation unrolled so it can suspend
+/// at any tuple boundary).
+#[derive(Clone, Debug)]
+pub struct NaiveMachine {
+    pub(crate) start: usize,
+    pub(crate) i: usize,
+    /// Pattern element being matched; 0 = between attempts.
+    pub(crate) e: usize,
+    pub(crate) span_start: usize,
+    /// Inside the greedy extension loop of a star element.
+    pub(crate) in_star: bool,
+    pub(crate) bindings: Bindings,
+}
+
+impl Default for NaiveMachine {
+    fn default() -> Self {
+        NaiveMachine::new()
+    }
+}
+
+impl NaiveMachine {
+    /// A fresh machine positioned before the first attempt.
+    pub fn new() -> NaiveMachine {
+        NaiveMachine {
+            start: 0,
+            i: 0,
+            e: 0,
+            span_start: 0,
+            in_star: false,
+            bindings: Bindings::default(),
+        }
+    }
+
+    /// Close the current element's span and advance to the next element,
+    /// emitting the match when the pattern is complete.
+    fn advance_element(&mut self, m: usize, counter: &EvalCounter, out: &mut Vec<MatchSpans>) {
+        self.bindings.spans.push((self.span_start, self.i - 1));
+        self.e += 1;
+        if self.e > m {
+            if counter.match_found() {
+                emit_match(counter, &self.bindings.spans);
+                out.push(MatchSpans {
+                    spans: self.bindings.spans.clone(),
+                });
+            }
+            // Left-maximal, non-overlapping: resume after the match.
+            self.start = self.i;
+            self.e = 0;
+        }
+    }
+
+    fn run(
+        &mut self,
+        elements: &[PatternElement],
+        input: &StepInput<'_, '_>,
+        options: &SearchOptions,
+        counter: &EvalCounter,
+        mut trace: Option<&mut SearchTrace>,
+        out: &mut Vec<MatchSpans>,
+    ) -> StepOutcome {
+        let pattern = Predicates::new(elements);
+        let ctx = EvalCtx {
+            cluster: input.cluster,
+            policy: options.policy,
+        };
+        let m = pattern.len();
+        if m == 0 {
+            return StepOutcome::Done;
+        }
+        let avail = input.cluster.len();
+        loop {
+            if self.e == 0 {
+                // Between attempts.
+                if self.start >= avail {
+                    if input.eof {
+                        return StepOutcome::Done;
+                    }
+                    return StepOutcome::NeedInput;
+                }
+                if counter.tripped() {
+                    return StepOutcome::Tripped;
+                }
+                self.bindings.spans.clear();
+                self.i = self.start;
+                self.e = 1;
+                self.in_star = false;
+                continue;
+            }
+            if !self.in_star {
+                // First tuple of element `e` (stars need at least one).
+                // A governor trip abandons the in-flight attempt wholesale:
+                // a partially extended star must never be emitted as a match.
+                if counter.tripped() {
+                    return StepOutcome::Tripped;
+                }
+                if self.i >= avail {
+                    if !input.eof {
+                        return StepOutcome::NeedInput;
+                    }
+                    self.start += 1;
+                    self.e = 0;
+                    continue;
+                }
+                if !input.testable(self.i) {
+                    return StepOutcome::NeedInput;
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(self.i + 1, self.e);
+                }
+                if !test_element(pattern, self.e, &ctx, self.i, &self.bindings, counter) {
+                    // Naive realign: one tuple on, resume at element 1 — the
+                    // shift/next the naive tables encode.
+                    if counter.armed() {
+                        counter.emit(TraceEvent::Shift {
+                            j: self.e as u32,
+                            dist: 1,
+                        });
+                        counter.emit(TraceEvent::Next {
+                            j: self.e as u32,
+                            k: 1,
+                        });
+                    }
+                    self.start += 1;
+                    self.e = 0;
+                    continue;
+                }
+                self.span_start = self.i;
+                self.i += 1;
+                if pattern.star(self.e) {
+                    self.in_star = true;
+                    continue;
+                }
+                self.advance_element(m, counter, out);
+                continue;
+            }
+            // Greedy: extend the star while the predicate holds.
+            if self.i < avail {
+                if counter.tripped() {
+                    return StepOutcome::Tripped;
+                }
+                if !input.testable(self.i) {
+                    return StepOutcome::NeedInput;
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(self.i + 1, self.e);
+                }
+                if test_element(pattern, self.e, &ctx, self.i, &self.bindings, counter) {
+                    self.i += 1;
+                    continue;
+                }
+            } else if !input.eof {
+                return StepOutcome::NeedInput;
+            }
+            // The run ended (predicate failed or input exhausted).
+            self.in_star = false;
+            self.advance_element(m, counter, out);
+        }
+    }
+}
+
 /// The naive baseline: greedy attempt from every start position, moving
 /// one tuple to the right after every failure.
 pub fn naive_search(
@@ -310,256 +725,252 @@ pub fn naive_search(
     cluster: &Cluster<'_>,
     options: &SearchOptions,
     counter: &EvalCounter,
-    mut trace: Option<&mut SearchTrace>,
+    trace: Option<&mut SearchTrace>,
 ) -> Vec<MatchSpans> {
-    let pattern = Predicates::new(elements);
-    let ctx = EvalCtx {
+    let mut machine = NaiveMachine::new();
+    let input = StepInput {
         cluster,
-        policy: options.policy,
+        eof: true,
+        lookahead: 0,
     };
-    let n = cluster.len();
-    let m = pattern.len();
-    let mut results = Vec::new();
-    let mut start = 0usize;
-
-    'outer: while start < n && !counter.tripped() {
-        let mut bindings = Bindings::with_capacity(m);
-        let mut i = start;
-        for e in 1..=m {
-            // A governor trip abandons the in-flight attempt wholesale: a
-            // partially extended star must never be emitted as a match.
-            if counter.tripped() {
-                break 'outer;
-            }
-            let star = pattern.star(e);
-            // First tuple of the element (stars need at least one).
-            if i >= n {
-                start += 1;
-                continue 'outer;
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t.record(i + 1, e);
-            }
-            if !test_element(pattern, e, &ctx, i, &bindings, counter) {
-                // Naive realign: one tuple on, resume at element 1 — the
-                // shift/next the naive tables encode.
-                if counter.armed() {
-                    counter.emit(TraceEvent::Shift {
-                        j: e as u32,
-                        dist: 1,
-                    });
-                    counter.emit(TraceEvent::Next { j: e as u32, k: 1 });
-                }
-                start += 1;
-                continue 'outer;
-            }
-            let span_start = i;
-            i += 1;
-            if star {
-                // Greedy: extend while the predicate holds.
-                while i < n {
-                    if counter.tripped() {
-                        break 'outer;
-                    }
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.record(i + 1, e);
-                    }
-                    if test_element(pattern, e, &ctx, i, &bindings, counter) {
-                        i += 1;
-                    } else {
-                        break;
-                    }
-                }
-            }
-            bindings.spans.push((span_start, i - 1));
-        }
-        if counter.match_found() {
-            emit_match(counter, &bindings.spans);
-            results.push(MatchSpans {
-                spans: bindings.spans,
-            });
-        }
-        start = i; // left-maximal, non-overlapping: resume after the match
-    }
-    results
+    let mut out = Vec::new();
+    machine.run(elements, &input, options, counter, trace, &mut out);
+    out
 }
 
 /// The OPS search (§4.2 algorithm generalized with the §5 `count[]`
-/// runtime for stars).
+/// runtime for stars) as an incremental state machine.
+///
+/// State: the attempt starts at `start`; `counts[e]` is the cumulative
+/// number of tuples matched by elements 1..=e of the current attempt
+/// (`counts[0] = 0`); the input cursor `i` always equals
+/// `start + counts[j]` while element `j` is being matched; `bindings`
+/// holds the completed spans of elements `1..j`.
+#[derive(Clone, Debug)]
+pub struct OpsMachine {
+    pub(crate) start: usize,
+    pub(crate) i: usize,
+    pub(crate) j: usize,
+    pub(crate) counts: Vec<usize>,
+    pub(crate) bindings: Bindings,
+    /// The end-of-input star tail has run; the search is over.
+    pub(crate) finished: bool,
+}
+
+impl OpsMachine {
+    /// A fresh machine for a pattern of `m` elements.
+    pub fn new(m: usize) -> OpsMachine {
+        OpsMachine {
+            start: 0,
+            i: 0,
+            j: 1,
+            counts: vec![0; m + 1],
+            bindings: Bindings::default(),
+            finished: false,
+        }
+    }
+
+    pub(crate) fn reset_attempt(&mut self, new_start: usize) {
+        self.start = new_start;
+        self.i = new_start;
+        self.j = 1;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.bindings.spans.clear();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &mut self,
+        elements: &[PatternElement],
+        search_plan: &SearchPlan,
+        input: &StepInput<'_, '_>,
+        options: &SearchOptions,
+        counter: &EvalCounter,
+        mut trace: Option<&mut SearchTrace>,
+        out: &mut Vec<MatchSpans>,
+    ) -> StepOutcome {
+        let pattern = Predicates::new(elements);
+        let ctx = EvalCtx {
+            cluster: input.cluster,
+            policy: options.policy,
+        };
+        let m = pattern.len();
+        if m == 0 || self.finished {
+            return StepOutcome::Done;
+        }
+        let sn = &search_plan.tables;
+        let avail = input.cluster.len();
+
+        loop {
+            if self.j > m {
+                // Success: spans derive from the counts.
+                if counter.match_found() {
+                    emit_match(counter, &self.bindings.spans);
+                    out.push(MatchSpans {
+                        spans: self.bindings.spans.clone(),
+                    });
+                }
+                self.reset_attempt(self.i);
+                continue;
+            }
+            if counter.tripped() {
+                // Governed termination: the matches found so far stand.
+                // The in-flight attempt (and the end-of-input star tail
+                // below, which is only sound when the input was really
+                // exhausted) is frozen, so a batch driver sees a prefix of
+                // the ungoverned run and a resumed session (fresh counter)
+                // continues exactly where the trip landed.
+                return StepOutcome::Tripped;
+            }
+            if self.i >= avail {
+                if !input.eof {
+                    return StepOutcome::NeedInput;
+                }
+                break;
+            }
+            if !input.testable(self.i) {
+                return StepOutcome::NeedInput;
+            }
+
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(self.i + 1, self.j);
+            }
+            if test_element(pattern, self.j, &ctx, self.i, &self.bindings, counter) {
+                self.counts[self.j] += 1;
+                self.i += 1;
+                if !pattern.star(self.j) {
+                    self.bindings
+                        .spans
+                        .push((self.start + self.counts[self.j - 1], self.i - 1));
+                    self.j += 1;
+                    if self.j <= m {
+                        self.counts[self.j] = self.counts[self.j - 1];
+                    }
+                }
+                continue;
+            }
+
+            // The tuple fails p_j.
+            if pattern.star(self.j) && self.counts[self.j] > self.counts[self.j - 1] {
+                // A satisfied star: close its span and re-test this tuple
+                // against the next element.
+                self.bindings.spans.push((
+                    self.start + self.counts[self.j - 1],
+                    self.start + self.counts[self.j] - 1,
+                ));
+                self.j += 1;
+                if self.j <= m {
+                    self.counts[self.j] = self.counts[self.j - 1];
+                }
+                continue;
+            }
+
+            // Genuine failure at element j: realign per shift/next.
+            if search_plan.tuple_granular_restart {
+                // Degraded to tuple granularity: behaves like the naive
+                // tables (shift 1, resume at element 1).
+                if counter.armed() {
+                    counter.emit(TraceEvent::Shift {
+                        j: self.j as u32,
+                        dist: 1,
+                    });
+                    counter.emit(TraceEvent::Next {
+                        j: self.j as u32,
+                        k: 1,
+                    });
+                }
+                self.reset_attempt(self.start + 1);
+                continue;
+            }
+            let sh = sn.shift(self.j);
+            let nx = sn.next(self.j);
+            if counter.armed() {
+                counter.emit(TraceEvent::Shift {
+                    j: self.j as u32,
+                    dist: sh as u32,
+                });
+                counter.emit(TraceEvent::Next {
+                    j: self.j as u32,
+                    k: nx as u32,
+                });
+            }
+            if nx == 0 {
+                // shift(j) = j: no earlier start can work; the failed tuple
+                // itself is also excluded (φ[j][1] = 0), so move past it.
+                self.reset_attempt(self.i + 1);
+                continue;
+            }
+            debug_assert!(sh + nx - 1 <= self.j, "next must stay within known counts");
+            // New start: the beginning of (old) element sh+1's span.  The
+            // prefix elements 1..nx-1 of the new attempt inherit the spans
+            // of old elements sh+1..sh+nx-1 (the deterministic walk only
+            // crosses non-star pairs, so these are single tuples).
+            let old = self.counts.clone();
+            let new_start = self.start + old[sh];
+            for e in 0..nx {
+                self.counts[e] = old[sh + e] - old[sh];
+            }
+            self.counts[nx] = self.counts[nx - 1];
+            for c in self.counts.iter_mut().skip(nx + 1) {
+                *c = 0;
+            }
+            self.i = new_start + self.counts[nx - 1];
+            self.start = new_start;
+            self.j = nx;
+            self.bindings.spans.clear();
+            for e in 1..nx {
+                self.bindings.spans.push((
+                    self.start + self.counts[e - 1],
+                    self.start + self.counts[e] - 1,
+                ));
+            }
+        }
+
+        // Input exhausted.  The only completable suffix: the last element
+        // is a satisfied star (its span closes at the end of input).
+        self.finished = true;
+        if self.j == m && pattern.star(m) && self.counts[m] > self.counts[m - 1] {
+            self.bindings.spans.push((
+                self.start + self.counts[m - 1],
+                self.start + self.counts[m] - 1,
+            ));
+            if counter.match_found() {
+                emit_match(counter, &self.bindings.spans);
+                out.push(MatchSpans {
+                    spans: self.bindings.spans.clone(),
+                });
+            }
+        }
+        StepOutcome::Done
+    }
+}
+
+/// The OPS search over a whole cluster.
 fn ops_search(
     elements: &[PatternElement],
     cluster: &Cluster<'_>,
     search_plan: &SearchPlan,
     options: &SearchOptions,
     counter: &EvalCounter,
-    mut trace: Option<&mut SearchTrace>,
+    trace: Option<&mut SearchTrace>,
 ) -> Vec<MatchSpans> {
-    let pattern = Predicates::new(elements);
-    let ctx = EvalCtx {
+    let mut machine = OpsMachine::new(elements.len());
+    let input = StepInput {
         cluster,
-        policy: options.policy,
+        eof: true,
+        lookahead: 0,
     };
-    let n = cluster.len();
-    let m = pattern.len();
-    if m == 0 {
-        return Vec::new();
-    }
-    let sn = &search_plan.tables;
-    let mut results = Vec::new();
-
-    // State: the attempt starts at `start`; `counts[e]` is the cumulative
-    // number of tuples matched by elements 1..=e of the current attempt
-    // (`counts[0] = 0`); the input cursor `i` always equals
-    // `start + counts[j]` while element `j` is being matched; `bindings`
-    // holds the completed spans of elements `1..j`.
-    let mut start = 0usize;
-    let mut i = 0usize;
-    let mut j = 1usize;
-    let mut counts = vec![0usize; m + 1];
-    let mut bindings = Bindings::with_capacity(m);
-
-    macro_rules! reset_attempt {
-        ($new_start:expr) => {{
-            start = $new_start;
-            i = start;
-            j = 1;
-            counts.iter_mut().for_each(|c| *c = 0);
-            bindings.spans.clear();
-        }};
-    }
-
-    loop {
-        if j > m {
-            // Success: spans derive from the counts.
-            if counter.match_found() {
-                emit_match(counter, &bindings.spans);
-                results.push(MatchSpans {
-                    spans: bindings.spans.clone(),
-                });
-            }
-            reset_attempt!(i);
-            continue;
-        }
-        if counter.tripped() {
-            // Governed termination: return the full matches found so far.
-            // The in-flight attempt (and the end-of-input star tail below,
-            // which is only sound when the input was really exhausted) is
-            // abandoned, so the result is a prefix of the ungoverned run.
-            return results;
-        }
-        if i >= n {
-            break;
-        }
-
-        if let Some(t) = trace.as_deref_mut() {
-            t.record(i + 1, j);
-        }
-        if test_element(pattern, j, &ctx, i, &bindings, counter) {
-            counts[j] += 1;
-            i += 1;
-            if !pattern.star(j) {
-                bindings.spans.push((start + counts[j - 1], i - 1));
-                j += 1;
-                if j <= m {
-                    counts[j] = counts[j - 1];
-                }
-            }
-            continue;
-        }
-
-        // The tuple fails p_j.
-        if pattern.star(j) && counts[j] > counts[j - 1] {
-            // A satisfied star: close its span and re-test this tuple
-            // against the next element.
-            bindings
-                .spans
-                .push((start + counts[j - 1], start + counts[j] - 1));
-            j += 1;
-            if j <= m {
-                counts[j] = counts[j - 1];
-            }
-            continue;
-        }
-
-        // Genuine failure at element j: realign per shift/next.
-        if search_plan.tuple_granular_restart {
-            // Degraded to tuple granularity: behaves like the naive
-            // tables (shift 1, resume at element 1).
-            if counter.armed() {
-                counter.emit(TraceEvent::Shift {
-                    j: j as u32,
-                    dist: 1,
-                });
-                counter.emit(TraceEvent::Next { j: j as u32, k: 1 });
-            }
-            reset_attempt!(start + 1);
-            continue;
-        }
-        let sh = sn.shift(j);
-        let nx = sn.next(j);
-        if counter.armed() {
-            counter.emit(TraceEvent::Shift {
-                j: j as u32,
-                dist: sh as u32,
-            });
-            counter.emit(TraceEvent::Next {
-                j: j as u32,
-                k: nx as u32,
-            });
-        }
-        if nx == 0 {
-            // shift(j) = j: no earlier start can work; the failed tuple
-            // itself is also excluded (φ[j][1] = 0), so move past it.
-            reset_attempt!(i + 1);
-            continue;
-        }
-        debug_assert!(sh + nx - 1 <= j, "next must stay within known counts");
-        // New start: the beginning of (old) element sh+1's span.  The
-        // prefix elements 1..nx-1 of the new attempt inherit the spans of
-        // old elements sh+1..sh+nx-1 (the deterministic walk only crosses
-        // non-star pairs, so these are single tuples).
-        let old = counts.clone();
-        let new_start = start + old[sh];
-        for e in 0..nx {
-            counts[e] = old[sh + e] - old[sh];
-        }
-        counts[nx] = counts[nx - 1];
-        for c in counts.iter_mut().skip(nx + 1) {
-            *c = 0;
-        }
-        i = new_start + counts[nx - 1];
-        start = new_start;
-        j = nx;
-        bindings.spans.clear();
-        for e in 1..nx {
-            bindings
-                .spans
-                .push((start + counts[e - 1], start + counts[e] - 1));
-        }
-    }
-
-    // Input exhausted.  The only completable suffix: the last element is a
-    // satisfied star (its span closes at the end of input).
-    if j == m && pattern.star(m) && counts[m] > counts[m - 1] {
-        bindings
-            .spans
-            .push((start + counts[m - 1], start + counts[m] - 1));
-        if counter.match_found() {
-            emit_match(counter, &bindings.spans);
-            results.push(MatchSpans {
-                spans: bindings.spans,
-            });
-        }
-    } else if j > m {
-        // Success detected exactly at end of input.
-        if counter.match_found() {
-            emit_match(counter, &bindings.spans);
-            results.push(MatchSpans {
-                spans: bindings.spans,
-            });
-        }
-    }
-    results
+    let mut out = Vec::new();
+    machine.run(
+        elements,
+        search_plan,
+        &input,
+        options,
+        counter,
+        trace,
+        &mut out,
+    );
+    out
 }
 
 #[cfg(test)]

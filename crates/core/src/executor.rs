@@ -110,7 +110,7 @@ impl Instrument {
     }
 
     /// The event-retention capacity to arm per cluster (0 = metrics only).
-    fn capacity(&self) -> usize {
+    pub(crate) fn capacity(&self) -> usize {
         if self.trace {
             self.trace_capacity
         } else {
@@ -316,13 +316,10 @@ pub fn execute_query(
     result
 }
 
-/// Execute an already-compiled query against a table.
-pub fn execute(
-    query: &CompiledQuery,
-    table: &Table,
-    options: &ExecOptions,
-) -> Result<QueryResult, ExecError> {
-    let output_schema = Schema::new(
+/// Build the output schema for a compiled query's projection, with
+/// positional disambiguation of duplicate output names.
+pub(crate) fn output_schema(query: &CompiledQuery) -> Result<Schema, TableError> {
+    Schema::new(
         query
             .projection
             .iter()
@@ -337,8 +334,16 @@ pub fn execute(
                 (name, p.ty)
             })
             .collect::<Vec<_>>(),
-    )?;
-    let mut out = Table::new(output_schema);
+    )
+}
+
+/// Execute an already-compiled query against a table.
+pub fn execute(
+    query: &CompiledQuery,
+    table: &Table,
+    options: &ExecOptions,
+) -> Result<QueryResult, ExecError> {
+    let mut out = Table::new(output_schema(query)?);
 
     let cluster_cols: Vec<&str> = query.cluster_by.iter().map(String::as_str).collect();
     let sequence_cols: Vec<&str> = query.sequence_by.iter().map(String::as_str).collect();
@@ -513,7 +518,7 @@ enum ClusterRun {
 }
 
 /// Render a caught panic payload for diagnostics.
-fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

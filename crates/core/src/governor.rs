@@ -322,6 +322,40 @@ impl RunGovernor {
         Ok(())
     }
 
+    /// Check the wall-clock deadline and cancellation token *without*
+    /// charging any steps, latching a trip exactly like [`check`].
+    ///
+    /// [`check`] only runs once per credit batch, which is fine when steps
+    /// arrive fast — but a streaming session fed a slow trickle of tuples
+    /// could otherwise sit inside one batch long past `--timeout-ms`.
+    /// Sessions call this at every `feed()` boundary, and scopes call it on
+    /// every flush, so the deadline is honored at tuple granularity.
+    pub fn poll(&self) -> Result<(), TripReason> {
+        if self.tripped.load(Ordering::Relaxed) {
+            let reason = self
+                .trip
+                .lock()
+                .expect("trip lock")
+                .as_ref()
+                .map(|t| t.reason)
+                .unwrap_or(TripReason::Cancelled);
+            return Err(reason);
+        }
+        if self
+            .token
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
+        {
+            self.record_trip(TripReason::Cancelled);
+            return Err(TripReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.record_trip(TripReason::Deadline);
+            return Err(TripReason::Deadline);
+        }
+        Ok(())
+    }
+
     /// Record one retained match.  Matches are far rarer than steps, so
     /// this hits the shared counter directly (no batching).  On `Err` the
     /// caller must *not* retain the match (the counter is rolled back so
@@ -375,11 +409,15 @@ impl GovernorScope {
     }
 
     /// Flush steps metered since the last refill without asking for more
-    /// credit (end-of-cluster accounting).
+    /// credit (end-of-cluster accounting).  Also polls the wall-clock
+    /// deadline: a cluster can finish well inside one credit batch, and
+    /// without this a streaming trickle would only observe the deadline
+    /// every [`STEP_BATCH`] steps.
     pub(crate) fn flush(&self, spent: u64) {
         if spent > 0 {
             self.run.steps.fetch_add(spent, Ordering::Relaxed);
         }
+        let _ = self.run.poll();
     }
 
     /// The run this scope meters against.
@@ -491,6 +529,42 @@ mod tests {
         // A later step-budget violation reports the latched match trip.
         assert!(scope.refill(100).is_err());
         assert_eq!(run.trip().unwrap().reason, TripReason::MatchBudget);
+    }
+
+    #[test]
+    fn flush_polls_deadline_within_a_credit_batch() {
+        // Regression: a scope that never exhausts its credit batch (slow
+        // trickle of steps) must still observe the wall-clock deadline when
+        // it flushes, not overshoot by a whole batch.
+        let run = Governor::unlimited()
+            .with_timeout(Duration::from_millis(1))
+            .begin();
+        let scope = run.scope();
+        std::thread::sleep(Duration::from_millis(5));
+        // Far fewer than STEP_BATCH steps: check() never runs.
+        scope.flush(3);
+        assert!(run.is_tripped(), "flush must latch the expired deadline");
+        assert_eq!(run.trip().unwrap().reason, TripReason::Deadline);
+        assert_eq!(run.steps_consumed(), 3);
+    }
+
+    #[test]
+    fn poll_checks_deadline_and_token_without_charging_steps() {
+        let run = Governor::unlimited()
+            .with_timeout(Duration::from_millis(1))
+            .begin();
+        assert!(run.poll().is_ok() || run.poll().is_err()); // no panic either way
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(run.poll().unwrap_err(), TripReason::Deadline);
+        assert_eq!(run.steps_consumed(), 0, "poll must not charge steps");
+        // Latched: subsequent polls report the same trip.
+        assert_eq!(run.poll().unwrap_err(), TripReason::Deadline);
+
+        let token = CancellationToken::new();
+        let run = Governor::unlimited().with_token(token.clone()).begin();
+        assert!(run.poll().is_ok());
+        token.cancel();
+        assert_eq!(run.poll().unwrap_err(), TripReason::Cancelled);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod matrices;
 pub mod reverse;
 pub mod shift_next;
 pub mod stargraph;
+pub mod stream;
 
 /// Deterministic fault injection (compiled only under
 /// `--features failpoints`): named sites in the engine, executor and CSV
@@ -79,6 +80,9 @@ pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
 pub use shift_next::ShiftNext;
 pub use stargraph::star_shift_next;
+pub use stream::{
+    BadTuple, BadTuplePolicy, SessionCheckpoint, StreamError, StreamOptions, StreamSession,
+};
 
 // Re-export the compiler front end so downstream users need one crate.
 pub use sqlts_lang::{compile, CompileOptions, CompiledQuery, FirstTuplePolicy};

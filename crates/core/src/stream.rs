@@ -1,0 +1,2044 @@
+//! Resilient streaming execution: push-based [`StreamSession`]s.
+//!
+//! The batch executor ([`crate::executor::execute`]) needs the whole
+//! relation up front.  A [`StreamSession`] instead accepts one tuple at a
+//! time ([`StreamSession::feed`]) and drives the same resumable engine
+//! machines ([`crate::engine::EngineMachine`]) incrementally, holding only
+//! the bounded in-flight window each cluster still needs.  The central
+//! invariant — enforced by the property suites — is **streamed equals
+//! batch**: for every engine and policy, feeding a relation tuple by tuple
+//! and then calling [`StreamSession::finish`] produces the same
+//! [`QueryResult`] (rows, stats, and armed profile minus wall-clock
+//! phases) as one batch `execute` over the same rows.
+//!
+//! Three resilience layers ride on top of the incremental core:
+//!
+//! * **Checkpoint/restore** — [`StreamSession::snapshot`] captures the
+//!   complete session state (automaton positions, window buffers,
+//!   counters, pending matches, emitted rows) as a [`SessionCheckpoint`];
+//!   [`StreamSession::resume`] rebuilds a session that continues
+//!   bit-identically to one that never stopped.  The checkpoint has a
+//!   versioned text form ([`SessionCheckpoint::to_text`] /
+//!   [`SessionCheckpoint::from_text`]) so a killed process can restart
+//!   from a file without replaying history.
+//! * **Input hardening** — malformed, unbindable, or out-of-order tuples
+//!   never poison the session: per [`BadTuplePolicy`] they are skipped,
+//!   surfaced as an error, or parked in a bounded quarantine with a
+//!   [`BadTuple`] record mirroring the CSV reader's line-error context.
+//!   A panic inside `feed` is contained by a `catch_unwind` barrier; the
+//!   session latches [`StreamError::Poisoned`] and a previously saved
+//!   checkpoint can resume from the last good boundary.
+//! * **Backpressure** — an optional high-watermark on buffered window
+//!   bytes ([`StreamOptions::max_window_bytes`]).  When exceeded, every
+//!   cluster's in-flight attempt is force-failed via the realignment rules
+//!   (sound in the same way a failed predicate is sound: emitted matches
+//!   stay valid, later matches are still found), pending matches are
+//!   projected against the current window, buffers are compacted, and a
+//!   [`TripCause::StreamPressure`] trip is recorded in the stream log.
+//!   This is the one documented divergence from batch output.
+//!
+//! Streaming is forward-only: `DirectionChoice::Reverse`/`Auto` are
+//! rejected ([`StreamError::Unsupported`]) because a reverse scan needs
+//! the end of the stream first.
+
+use crate::counters::EvalCounter;
+use crate::engine::{
+    plan, EngineKind, EngineMachine, MatchSpans, SearchOptions, SearchPlan, StepInput, StepOutcome,
+};
+use crate::executor::{
+    output_schema, panic_cause, DirectionChoice, ExecOptions, QueryResult, SearchStats,
+};
+use crate::governor::{RunGovernor, Trip};
+use sqlts_lang::{
+    eval_projection, Bindings, BoolExpr, CompiledQuery, EvalCtx, FieldRef, ScalarExpr,
+};
+use sqlts_relation::{Cluster, Date, Table, TableError, Value};
+use sqlts_trace::{
+    BoundedHistogram, ClusterMetrics, ClusterProfile, ClusterRecorder, ExecutionProfile,
+    RingBuffer, TraceEvent, TraceSink, TripCause, HIST_BUCKETS,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What to do with a tuple that cannot be accepted (schema violation,
+/// out-of-order `SEQUENCE BY` key, or an injected ingest fault).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BadTuplePolicy {
+    /// Drop the tuple, count it in [`StreamSession::skipped`], continue.
+    Skip,
+    /// Surface [`StreamError::BadTuple`] to the caller (the default — bad
+    /// input should be loud unless the operator opts out).
+    #[default]
+    Fail,
+    /// Park up to `cap` bad tuples in the session's quarantine for later
+    /// inspection; the `cap + 1`-th bad tuple surfaces
+    /// [`StreamError::QuarantineFull`].
+    Quarantine {
+        /// Maximum quarantined tuples before the session refuses more.
+        cap: usize,
+    },
+}
+
+/// One rejected input tuple, with the same diagnostic shape as the CSV
+/// reader's line errors: which record, why, and the rendered content.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BadTuple {
+    /// 1-based input record number (the session's feed count).
+    pub record: u64,
+    /// Why the tuple was rejected.
+    pub reason: String,
+    /// The tuple rendered as comma-separated values.
+    pub rendered: String,
+}
+
+impl fmt::Display for BadTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "record {}: {} ({})",
+            self.record, self.reason, self.rendered
+        )
+    }
+}
+
+/// Options for a [`StreamSession`].
+#[derive(Clone, Debug, Default)]
+pub struct StreamOptions {
+    /// The batch execution options the session mirrors (engine, policy,
+    /// governor, instrumentation).  `direction` must be `Forward`;
+    /// `threads` is accepted for parity but clusters are driven
+    /// sequentially (results are thread-count-independent anyway).
+    pub exec: ExecOptions,
+    /// What to do with unacceptable tuples.
+    pub bad_tuple: BadTuplePolicy,
+    /// Backpressure high-watermark on estimated buffered window bytes
+    /// across all clusters (`None` = unbounded, the bit-identical mode).
+    pub max_window_bytes: Option<usize>,
+    /// Capacity of the session-level stream log (feed/quarantine/
+    /// checkpoint/pressure events).  0 keeps no log.
+    pub log_capacity: usize,
+}
+
+/// Errors surfaced by a [`StreamSession`].
+#[derive(Debug)]
+pub enum StreamError {
+    /// The query or options cannot be streamed (e.g. reverse scans).
+    Unsupported(String),
+    /// Table/schema problem (unknown cluster/sequence column, …).
+    Table(TableError),
+    /// A tuple was rejected under [`BadTuplePolicy::Fail`].
+    BadTuple(BadTuple),
+    /// The quarantine reached its cap; the offending tuple is returned.
+    QuarantineFull {
+        /// The configured quarantine capacity.
+        cap: usize,
+        /// The tuple that did not fit.
+        tuple: BadTuple,
+    },
+    /// The resource governor terminated the session.  `partial` carries
+    /// the assembled result when the error comes from
+    /// [`StreamSession::finish`]; it is `None` from `feed` (take a
+    /// checkpoint and resume, or call `finish` for the partial result).
+    Governed {
+        /// What tripped and how much was consumed.
+        trip: Trip,
+        /// The partial result, from `finish` only.
+        partial: Option<Box<QueryResult>>,
+    },
+    /// A panic inside `feed` was contained; the session refuses further
+    /// work.  Resume from the last checkpoint.
+    Poisoned(String),
+    /// A checkpoint could not be taken, parsed, or applied.
+    Checkpoint(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Unsupported(what) => write!(f, "streaming unsupported: {what}"),
+            StreamError::Table(e) => write!(f, "{e}"),
+            StreamError::BadTuple(t) => write!(f, "bad tuple at {t}"),
+            StreamError::QuarantineFull { cap, tuple } => {
+                write!(f, "quarantine full (cap {cap}); rejected {tuple}")
+            }
+            StreamError::Governed { trip, .. } => {
+                write!(f, "stream terminated by resource governor: {trip}")
+            }
+            StreamError::Poisoned(cause) => {
+                write!(f, "session poisoned by contained panic: {cause}")
+            }
+            StreamError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<TableError> for StreamError {
+    fn from(e: TableError) -> Self {
+        StreamError::Table(e)
+    }
+}
+
+/// How far a query's predicates and projection reach around a tuple, in
+/// physical stream positions.  Derived once per session by walking every
+/// compiled expression for [`FieldRef`] offsets.
+///
+/// * `test_ahead` gates predicate evaluation: before `eof`, tuple `i` may
+///   only be tested once `i + test_ahead < buffered`, so `next`-style
+///   references resolve exactly as in a batch run.
+/// * `proj_ahead` gates projection: a match ending at `e` projects once
+///   `e + proj_ahead < buffered` (or at `eof`).
+/// * the `*_behind` margins keep enough prefix in the window that no
+///   evaluation ever reaches below the retained base.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Margins {
+    test_ahead: usize,
+    test_behind: usize,
+    proj_ahead: usize,
+    proj_behind: usize,
+}
+
+fn margins_of(query: &CompiledQuery) -> Margins {
+    let mut m = Margins::default();
+    let mut test = |fr: &FieldRef| stretch(&mut m.test_ahead, &mut m.test_behind, fr.offset);
+    for el in &query.elements {
+        for c in &el.conjuncts {
+            walk_bool(&c.expr, &mut test);
+        }
+    }
+    let mut proj = |fr: &FieldRef| stretch(&mut m.proj_ahead, &mut m.proj_behind, fr.offset);
+    for item in &query.projection {
+        walk_scalar(&item.expr, &mut proj);
+    }
+    m
+}
+
+fn stretch(ahead: &mut usize, behind: &mut usize, offset: i32) {
+    if offset > 0 {
+        *ahead = (*ahead).max(offset as usize);
+    } else if offset < 0 {
+        *behind = (*behind).max(offset.unsigned_abs() as usize);
+    }
+}
+
+fn walk_bool<F: FnMut(&FieldRef)>(e: &BoolExpr, f: &mut F) {
+    match e {
+        BoolExpr::Cmp { lhs, rhs, .. } => {
+            walk_scalar(lhs, f);
+            walk_scalar(rhs, f);
+        }
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            walk_bool(a, f);
+            walk_bool(b, f);
+        }
+        BoolExpr::Not(a) => walk_bool(a, f),
+        BoolExpr::Const(_) => {}
+    }
+}
+
+fn walk_scalar<F: FnMut(&FieldRef)>(e: &ScalarExpr, f: &mut F) {
+    match e {
+        ScalarExpr::Field(fr) => f(fr),
+        ScalarExpr::Arith { lhs, rhs, .. } => {
+            walk_scalar(lhs, f);
+            walk_scalar(rhs, f);
+        }
+        ScalarExpr::Neg(a) => walk_scalar(a, f),
+        ScalarExpr::Num { .. } | ScalarExpr::Str(_) | ScalarExpr::Date(_) => {}
+    }
+}
+
+/// Estimated heap footprint of one buffered value (backpressure
+/// accounting; a coarse, deterministic model — not an allocator audit).
+fn value_bytes(v: &Value) -> usize {
+    32 + v.as_str().map_or(0, str::len)
+}
+
+/// Estimated footprint of one buffered row.
+fn row_bytes(row: &[Value]) -> usize {
+    24 + row.iter().map(value_bytes).sum::<usize>()
+}
+
+fn render_row(row: &[Value]) -> String {
+    row.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn render_key(key: &[Value]) -> String {
+    key.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// One cluster's live streaming state: the buffered window, the resumable
+/// engine machine, its private counter, matches waiting for projection
+/// lookahead, and the rows already projected.
+struct ClusterStream {
+    /// The buffered window (suffix of the cluster's stream).
+    buf: Table,
+    /// Absolute position of `buf`'s first row in the cluster stream.
+    base: usize,
+    /// Estimated bytes buffered in `buf`.
+    bytes: usize,
+    /// `SEQUENCE BY` key of the last accepted tuple (order enforcement).
+    last_seq: Option<Vec<Value>>,
+    machine: EngineMachine,
+    counter: EvalCounter,
+    /// Completed matches not yet projected (waiting for `proj_ahead`).
+    pending: Vec<MatchSpans>,
+    /// Projected output rows, in match order.
+    rows: Vec<Vec<Value>>,
+}
+
+/// A push-based streaming execution session over one compiled query.
+///
+/// Built with [`StreamSession::new`] (or [`StreamSession::resume`] from a
+/// checkpoint); fed one tuple at a time with [`StreamSession::feed`];
+/// closed with [`StreamSession::finish`], which returns the same
+/// [`QueryResult`] a batch run over the full input would.
+pub struct StreamSession<'q> {
+    query: &'q CompiledQuery,
+    options: StreamOptions,
+    search_options: SearchOptions,
+    search_plan: Option<SearchPlan>,
+    margins: Margins,
+    cluster_idx: Vec<usize>,
+    sequence_idx: Vec<usize>,
+    clusters: BTreeMap<Vec<Value>, ClusterStream>,
+    run: Option<Arc<RunGovernor>>,
+    records: u64,
+    skipped: u64,
+    pressure_trips: u64,
+    window_bytes: usize,
+    quarantine: Vec<BadTuple>,
+    log: Option<RingBuffer>,
+    poisoned: Option<String>,
+    trip: Option<Trip>,
+    plan_ns: u64,
+}
+
+impl<'q> StreamSession<'q> {
+    /// Open a fresh streaming session for `query`.
+    pub fn new(query: &'q CompiledQuery, options: StreamOptions) -> Result<Self, StreamError> {
+        if options.exec.direction != DirectionChoice::Forward {
+            return Err(StreamError::Unsupported(
+                "reverse/auto scan direction needs the end of the stream first".into(),
+            ));
+        }
+        let mut cluster_idx = Vec::with_capacity(query.cluster_by.len());
+        for name in &query.cluster_by {
+            cluster_idx.push(query.schema.require(name)?);
+        }
+        let mut sequence_idx = Vec::with_capacity(query.sequence_by.len());
+        for name in &query.sequence_by {
+            sequence_idx.push(query.schema.require(name)?);
+        }
+        let profiling = options.exec.instrument.armed();
+        let t_plan = profiling.then(Instant::now);
+        let search_plan = match options.exec.engine {
+            EngineKind::Naive | EngineKind::NaiveBacktrack => None,
+            kind => Some(plan(&query.elements, kind)),
+        };
+        let plan_ns = t_plan.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let run = (!options.exec.governor.is_unlimited()).then(|| options.exec.governor.begin());
+        let search_options = SearchOptions {
+            policy: options.exec.policy,
+        };
+        let log = (options.log_capacity > 0).then(|| RingBuffer::new(options.log_capacity));
+        Ok(StreamSession {
+            query,
+            options,
+            search_options,
+            search_plan,
+            margins: margins_of(query),
+            cluster_idx,
+            sequence_idx,
+            clusters: BTreeMap::new(),
+            run,
+            records: 0,
+            skipped: 0,
+            pressure_trips: 0,
+            window_bytes: 0,
+            quarantine: Vec::new(),
+            log,
+            poisoned: None,
+            trip: None,
+            plan_ns,
+        })
+    }
+
+    /// Input records seen so far (accepted + rejected).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records dropped under [`BadTuplePolicy::Skip`].
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Backpressure relief episodes so far.
+    pub fn pressure_trips(&self) -> u64 {
+        self.pressure_trips
+    }
+
+    /// Estimated bytes currently buffered across all cluster windows.
+    pub fn window_bytes(&self) -> usize {
+        self.window_bytes
+    }
+
+    /// The quarantined tuples, in rejection order.
+    pub fn quarantine(&self) -> &[BadTuple] {
+        &self.quarantine
+    }
+
+    /// The session-level stream log, when a capacity was configured.
+    pub fn stream_log(&self) -> Option<&RingBuffer> {
+        self.log.as_ref()
+    }
+
+    /// Has the governor tripped this session?
+    pub fn tripped(&self) -> bool {
+        self.trip.is_some()
+    }
+
+    /// Has a contained panic poisoned this session?
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    fn new_cluster(&self) -> ClusterStream {
+        let mut counter = match &self.run {
+            Some(run) => EvalCounter::governed(run.scope()),
+            None => EvalCounter::new(),
+        };
+        if self.options.exec.instrument.armed() {
+            counter = counter.with_recorder(ClusterRecorder::new(
+                self.query.elements.len(),
+                self.options.exec.instrument.capacity(),
+            ));
+        }
+        ClusterStream {
+            buf: Table::new(self.query.schema.clone()),
+            base: 0,
+            bytes: 0,
+            last_seq: None,
+            machine: EngineMachine::new(self.options.exec.engine, self.query.elements.len()),
+            counter,
+            pending: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Push one input tuple into the session.
+    ///
+    /// Rejected tuples follow [`StreamOptions::bad_tuple`]; a governor
+    /// trip surfaces [`StreamError::Governed`] (the tuple that observed a
+    /// deadline trip at the feed boundary is **not** consumed); a panic is
+    /// contained and poisons the session.
+    pub fn feed(&mut self, row: Vec<Value>) -> Result<(), StreamError> {
+        if let Some(cause) = &self.poisoned {
+            return Err(StreamError::Poisoned(cause.clone()));
+        }
+        if let Some(trip) = &self.trip {
+            return Err(StreamError::Governed {
+                trip: trip.clone(),
+                partial: None,
+            });
+        }
+        // Deadline/cancellation are honoured at every feed boundary, not
+        // just at credit-batch flushes.
+        if let Some(run) = &self.run {
+            if run.poll().is_err() {
+                let trip = run.trip().expect("poll failure implies a recorded trip");
+                self.trip = Some(trip.clone());
+                return Err(StreamError::Governed {
+                    trip,
+                    partial: None,
+                });
+            }
+        }
+        self.records += 1;
+        match catch_unwind(AssertUnwindSafe(|| self.feed_inner(row))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let cause = panic_cause(payload);
+                self.poisoned = Some(cause.clone());
+                Err(StreamError::Poisoned(cause))
+            }
+        }
+    }
+
+    /// Fold an input fault detected *outside* the session (e.g. a CSV
+    /// line that failed to parse) into the bad-tuple policy, so stream
+    /// sources get one uniform skip/fail/quarantine story.
+    pub fn quarantine_external(
+        &mut self,
+        reason: String,
+        rendered: String,
+    ) -> Result<(), StreamError> {
+        if let Some(cause) = &self.poisoned {
+            return Err(StreamError::Poisoned(cause.clone()));
+        }
+        self.records += 1;
+        self.reject(reason, rendered)
+    }
+
+    fn feed_inner(&mut self, row: Vec<Value>) -> Result<(), StreamError> {
+        #[cfg(feature = "failpoints")]
+        if let Some(injected) = sqlts_relation::failpoints::hit("stream::feed", self.records) {
+            if injected == sqlts_relation::failpoints::Injected::InjectError {
+                let rendered = render_row(&row);
+                return self.reject("failpoint 'stream::feed' injected error".into(), rendered);
+            }
+        }
+        if let Err(e) = self.query.schema.validate_row(&row) {
+            let rendered = render_row(&row);
+            return self.reject(e.to_string(), rendered);
+        }
+        let key: Vec<Value> = self.cluster_idx.iter().map(|&c| row[c].clone()).collect();
+        let seq: Vec<Value> = self.sequence_idx.iter().map(|&c| row[c].clone()).collect();
+        if let Some(cs) = self.clusters.get(&key) {
+            if let Some(last) = &cs.last_seq {
+                if seq < *last {
+                    let rendered = render_row(&row);
+                    return self.reject(
+                        format!(
+                            "out-of-order SEQUENCE BY key ({}) in cluster ({})",
+                            render_key(&seq),
+                            render_key(&key)
+                        ),
+                        rendered,
+                    );
+                }
+            }
+        }
+        if let Some(log) = &mut self.log {
+            log.record(TraceEvent::Feed {
+                i: self.records as u32,
+            });
+        }
+        if !self.clusters.contains_key(&key) {
+            let fresh = self.new_cluster();
+            self.clusters.insert(key.clone(), fresh);
+        }
+        let bytes = row_bytes(&row);
+        let cs = self.clusters.get_mut(&key).expect("cluster just ensured");
+        cs.buf.push_row(row)?;
+        cs.bytes += bytes;
+        cs.last_seq = Some(seq);
+        self.window_bytes += bytes;
+        let outcome = drive(
+            self.query,
+            self.search_plan.as_ref(),
+            &self.search_options,
+            &self.margins,
+            cs,
+            false,
+        );
+        self.window_bytes -= compact(&self.margins, cs);
+        if outcome == StepOutcome::Tripped {
+            let trip = self
+                .run
+                .as_ref()
+                .and_then(|r| r.trip())
+                .expect("tripped machine implies a recorded trip");
+            self.trip = Some(trip.clone());
+            return Err(StreamError::Governed {
+                trip,
+                partial: None,
+            });
+        }
+        if let Some(cap) = self.options.max_window_bytes {
+            if self.window_bytes > cap {
+                self.relieve_pressure();
+            }
+        }
+        Ok(())
+    }
+
+    fn reject(&mut self, reason: String, rendered: String) -> Result<(), StreamError> {
+        if let Some(log) = &mut self.log {
+            log.record(TraceEvent::Quarantine {
+                i: self.records as u32,
+            });
+        }
+        let tuple = BadTuple {
+            record: self.records,
+            reason,
+            rendered,
+        };
+        match self.options.bad_tuple {
+            BadTuplePolicy::Skip => {
+                self.skipped += 1;
+                Ok(())
+            }
+            BadTuplePolicy::Fail => Err(StreamError::BadTuple(tuple)),
+            BadTuplePolicy::Quarantine { cap } => {
+                if self.quarantine.len() >= cap {
+                    Err(StreamError::QuarantineFull { cap, tuple })
+                } else {
+                    self.quarantine.push(tuple);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Force-fail every in-flight attempt, flush pending matches against
+    /// the current window, and compact — the backpressure relief valve.
+    fn relieve_pressure(&mut self) {
+        for cs in self.clusters.values_mut() {
+            if !cs.pending.is_empty() {
+                let cluster = Cluster::windowed(&cs.buf, Vec::new(), cs.base);
+                let ctx = EvalCtx {
+                    cluster: &cluster,
+                    policy: self.search_options.policy,
+                };
+                for m in cs.pending.drain(..) {
+                    let bindings = Bindings { spans: m.spans };
+                    cs.rows
+                        .push(eval_projection(&self.query.projection, &ctx, &bindings));
+                }
+            }
+            let avail = cs.base + cs.buf.len();
+            cs.machine.restart_at(avail);
+            self.window_bytes -= compact(&self.margins, cs);
+        }
+        self.pressure_trips += 1;
+        if let Some(log) = &mut self.log {
+            log.record(TraceEvent::GovernorTrip {
+                cause: TripCause::StreamPressure,
+            });
+        }
+    }
+
+    /// Capture the session's complete state as a [`SessionCheckpoint`].
+    ///
+    /// The checkpoint event is recorded into the stream log *before* the
+    /// capture, so a resumed session's log matches the live session's.
+    pub fn snapshot(&mut self) -> Result<SessionCheckpoint, StreamError> {
+        if let Some(cause) = &self.poisoned {
+            return Err(StreamError::Poisoned(cause.clone()));
+        }
+        #[cfg(feature = "failpoints")]
+        if let Some(injected) = sqlts_relation::failpoints::hit("stream::checkpoint", self.records)
+        {
+            if injected == sqlts_relation::failpoints::Injected::InjectError {
+                return Err(StreamError::Checkpoint(
+                    "failpoint 'stream::checkpoint' injected error".into(),
+                ));
+            }
+        }
+        if let Some(log) = &mut self.log {
+            log.record(TraceEvent::Checkpoint {
+                tuples: self.records as u32,
+            });
+        }
+        let clusters = self
+            .clusters
+            .iter()
+            .map(|(key, cs)| ClusterCheckpoint {
+                key: key.clone(),
+                base: cs.base,
+                rows: cs.buf.rows().map(<[Value]>::to_vec).collect(),
+                last_seq: cs.last_seq.clone(),
+                machine: cs.machine.clone(),
+                counter_total: cs.counter.total(),
+                recorder: cs.counter.recorder_snapshot(),
+                pending: cs.pending.clone(),
+                out_rows: cs.rows.clone(),
+            })
+            .collect();
+        Ok(SessionCheckpoint {
+            engine: self.options.exec.engine,
+            pattern_len: self.query.elements.len(),
+            records: self.records,
+            skipped: self.skipped,
+            pressure_trips: self.pressure_trips,
+            quarantine: self.quarantine.clone(),
+            log: self.log.clone(),
+            clusters,
+        })
+    }
+
+    /// Rebuild a session from a checkpoint, continuing bit-identically to
+    /// the session that took it.  The governor and deadline start fresh:
+    /// restored work was already metered by the run that checkpointed.
+    pub fn resume(
+        query: &'q CompiledQuery,
+        options: StreamOptions,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<Self, StreamError> {
+        if checkpoint.engine != options.exec.engine {
+            return Err(StreamError::Checkpoint(format!(
+                "engine mismatch: checkpoint '{}' vs session '{}'",
+                checkpoint.engine.name(),
+                options.exec.engine.name()
+            )));
+        }
+        if checkpoint.pattern_len != query.elements.len() {
+            return Err(StreamError::Checkpoint(format!(
+                "pattern length mismatch: checkpoint {} vs query {}",
+                checkpoint.pattern_len,
+                query.elements.len()
+            )));
+        }
+        let mut session = StreamSession::new(query, options)?;
+        session.records = checkpoint.records;
+        session.skipped = checkpoint.skipped;
+        session.pressure_trips = checkpoint.pressure_trips;
+        session.quarantine = checkpoint.quarantine;
+        if checkpoint.log.is_some() {
+            session.log = checkpoint.log;
+        }
+        for cc in checkpoint.clusters {
+            let mut buf = Table::new(query.schema.clone());
+            let mut bytes = 0;
+            for row in cc.rows {
+                bytes += row_bytes(&row);
+                buf.push_row(row)?;
+            }
+            // Same construction order as a fresh cluster: governed scope
+            // first (initial refill before the recorder is attached), then
+            // the recorder, then the restored totals — this keeps
+            // `governor_flushes` and flush timing bit-identical.
+            let mut counter = match &session.run {
+                Some(run) => EvalCounter::governed(run.scope()),
+                None => EvalCounter::new(),
+            };
+            if let Some(recorder) = cc.recorder {
+                counter = counter.with_recorder(recorder);
+            } else if session.options.exec.instrument.armed() {
+                counter = counter.with_recorder(ClusterRecorder::new(
+                    query.elements.len(),
+                    session.options.exec.instrument.capacity(),
+                ));
+            }
+            counter.restore_total(cc.counter_total);
+            session.window_bytes += bytes;
+            session.clusters.insert(
+                cc.key,
+                ClusterStream {
+                    buf,
+                    base: cc.base,
+                    bytes,
+                    last_seq: cc.last_seq,
+                    machine: cc.machine,
+                    counter,
+                    pending: cc.pending,
+                    rows: cc.out_rows,
+                },
+            );
+        }
+        Ok(session)
+    }
+
+    /// Close the stream: drive every machine to end-of-input, project the
+    /// remaining matches, and assemble the merged [`QueryResult`] exactly
+    /// like the batch executor's cluster-order merge.
+    pub fn finish(mut self) -> Result<QueryResult, StreamError> {
+        if let Some(cause) = self.poisoned {
+            return Err(StreamError::Poisoned(cause));
+        }
+        let query = self.query;
+        let mut out = Table::new(output_schema(query)?);
+        let mut stats = SearchStats::default();
+        let instrument = self.options.exec.instrument;
+        let mut profile = instrument.armed().then(|| {
+            Box::new(ExecutionProfile::new(
+                self.options.exec.engine.name(),
+                self.options.exec.threads.get(),
+            ))
+        });
+        // Once the governor has tripped, machines are not driven further —
+        // the streaming analogue of the batch executor skipping clusters
+        // after a trip.  Pending matches are still projected: they were
+        // found before the trip.
+        let mut tripped = self.trip.is_some();
+        let clusters = std::mem::take(&mut self.clusters);
+        for (idx, (key, mut cs)) in clusters.into_iter().enumerate() {
+            if !tripped {
+                let outcome = drive(
+                    query,
+                    self.search_plan.as_ref(),
+                    &self.search_options,
+                    &self.margins,
+                    &mut cs,
+                    true,
+                );
+                if outcome == StepOutcome::Tripped {
+                    tripped = true;
+                }
+            }
+            if !cs.pending.is_empty() {
+                let cluster = Cluster::windowed(&cs.buf, Vec::new(), cs.base);
+                let ctx = EvalCtx {
+                    cluster: &cluster,
+                    policy: self.search_options.policy,
+                };
+                for m in cs.pending.drain(..) {
+                    let bindings = Bindings { spans: m.spans };
+                    cs.rows
+                        .push(eval_projection(&query.projection, &ctx, &bindings));
+                }
+            }
+            cs.counter.finish();
+            let tuples = (cs.base + cs.buf.len()) as u64;
+            stats.clusters += 1;
+            stats.tuples += tuples;
+            stats.predicate_tests += cs.counter.total();
+            stats.steps += cs.counter.total();
+            if cs.counter.armed() && cs.counter.tripped() {
+                if let Some(trip) = self.run.as_ref().and_then(|r| r.trip()) {
+                    cs.counter.emit(TraceEvent::GovernorTrip {
+                        cause: trip.reason.trace_cause(),
+                    });
+                }
+            }
+            if let Some(profile) = profile.as_deref_mut() {
+                if let Some(recorder) = std::mem::take(&mut cs.counter).into_recorder() {
+                    let events_dropped = recorder.events.dropped();
+                    profile.push_cluster(ClusterProfile {
+                        index: idx,
+                        key: render_key(&key),
+                        tuples,
+                        metrics: recorder.metrics,
+                        events: recorder.events.into_events(),
+                        events_dropped,
+                    });
+                }
+            }
+            for row in cs.rows {
+                stats.matches += 1;
+                out.push_row(row)?;
+            }
+        }
+        if let Some(profile) = profile.as_deref_mut() {
+            profile.phases.plan = self.plan_ns;
+            profile.optimizer = Some(crate::explain::optimizer_report(query));
+        }
+        let result = QueryResult {
+            table: out,
+            stats,
+            partial: Vec::new(),
+            profile,
+        };
+        if let Some(run) = &self.run {
+            if let Some(trip) = run.trip() {
+                return Err(StreamError::Governed {
+                    trip,
+                    partial: Some(Box::new(result)),
+                });
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Advance one cluster's machine as far as the buffered input allows and
+/// project every pending match whose lookahead is satisfied.  A free
+/// function so the caller can hold disjoint borrows of the session.
+fn drive(
+    query: &CompiledQuery,
+    search_plan: Option<&SearchPlan>,
+    search_options: &SearchOptions,
+    margins: &Margins,
+    cs: &mut ClusterStream,
+    eof: bool,
+) -> StepOutcome {
+    let cluster = Cluster::windowed(&cs.buf, Vec::new(), cs.base);
+    let input = StepInput {
+        cluster: &cluster,
+        eof,
+        lookahead: margins.test_ahead,
+    };
+    let outcome = cs.machine.run(
+        &query.elements,
+        search_plan,
+        &input,
+        search_options,
+        &cs.counter,
+        None,
+        &mut cs.pending,
+    );
+    let avail = cs.base + cs.buf.len();
+    let ready = cs
+        .pending
+        .iter()
+        .take_while(|m| eof || m.end() + margins.proj_ahead < avail)
+        .count();
+    if ready > 0 {
+        let ctx = EvalCtx {
+            cluster: &cluster,
+            policy: search_options.policy,
+        };
+        for m in cs.pending.drain(..ready) {
+            let bindings = Bindings { spans: m.spans };
+            cs.rows
+                .push(eval_projection(&query.projection, &ctx, &bindings));
+        }
+    }
+    outcome
+}
+
+/// Drop the window prefix no evaluation can reach any more; returns the
+/// estimated bytes freed.  The retention floor is the minimum of the
+/// machine's window low and the oldest pending match start, each minus the
+/// relevant lookbehind margin; both floors are monotone, so `base` only
+/// ever moves forward.
+fn compact(margins: &Margins, cs: &mut ClusterStream) -> usize {
+    let machine_floor = cs.machine.window_low().saturating_sub(margins.test_behind);
+    let pending_floor = cs.pending.first().map_or(usize::MAX, |m| {
+        m.start().saturating_sub(margins.proj_behind)
+    });
+    let floor = machine_floor.min(pending_floor);
+    let k = floor.saturating_sub(cs.base).min(cs.buf.len());
+    if k == 0 {
+        return 0;
+    }
+    let freed: usize = (0..k).map(|r| row_bytes(cs.buf.row(r))).sum();
+    cs.buf.remove_prefix(k);
+    cs.base += k;
+    cs.bytes -= freed;
+    freed
+}
+
+/// One cluster's captured state inside a [`SessionCheckpoint`].
+#[derive(Clone, Debug)]
+struct ClusterCheckpoint {
+    key: Vec<Value>,
+    base: usize,
+    rows: Vec<Vec<Value>>,
+    last_seq: Option<Vec<Value>>,
+    machine: EngineMachine,
+    counter_total: u64,
+    recorder: Option<ClusterRecorder>,
+    pending: Vec<MatchSpans>,
+    out_rows: Vec<Vec<Value>>,
+}
+
+/// A complete, self-contained capture of a [`StreamSession`]'s state,
+/// taken at a tuple boundary by [`StreamSession::snapshot`].
+///
+/// The versioned text form (`sqlts-checkpoint v1`, line-oriented,
+/// space-separated tokens with percent-escaped strings) is produced by
+/// [`SessionCheckpoint::to_text`] and parsed back by
+/// [`SessionCheckpoint::from_text`]; `from_text(to_text(c))` round-trips
+/// exactly.
+#[derive(Clone, Debug)]
+pub struct SessionCheckpoint {
+    engine: EngineKind,
+    pattern_len: usize,
+    records: u64,
+    skipped: u64,
+    pressure_trips: u64,
+    quarantine: Vec<BadTuple>,
+    log: Option<RingBuffer>,
+    clusters: Vec<ClusterCheckpoint>,
+}
+
+impl SessionCheckpoint {
+    /// Input records covered by this checkpoint.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The engine the checkpointed session ran.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Serialize to the versioned line-based text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("sqlts-checkpoint v1\n");
+        out.push_str(&format!("engine {}\n", self.engine.name()));
+        out.push_str(&format!("pattern {}\n", self.pattern_len));
+        out.push_str(&format!("records {}\n", self.records));
+        out.push_str(&format!("skipped {}\n", self.skipped));
+        out.push_str(&format!("pressure {}\n", self.pressure_trips));
+        out.push_str(&format!("quarantine {}\n", self.quarantine.len()));
+        for bad in &self.quarantine {
+            out.push_str(&format!(
+                "bad {} {} {}\n",
+                bad.record,
+                escape(&bad.reason),
+                escape(&bad.rendered)
+            ));
+        }
+        match &self.log {
+            None => out.push_str("log none\n"),
+            Some(rb) => write_ring(&mut out, "log", rb),
+        }
+        out.push_str(&format!("clusters {}\n", self.clusters.len()));
+        for cc in &self.clusters {
+            out.push_str(&format!("cluster {}", cc.key.len()));
+            for v in &cc.key {
+                out.push(' ');
+                out.push_str(&write_value(v));
+            }
+            out.push('\n');
+            out.push_str(&format!("base {}\n", cc.base));
+            match &cc.last_seq {
+                None => out.push_str("lastseq none\n"),
+                Some(seq) => {
+                    out.push_str(&format!("lastseq {}", seq.len()));
+                    for v in seq {
+                        out.push(' ');
+                        out.push_str(&write_value(v));
+                    }
+                    out.push('\n');
+                }
+            }
+            out.push_str(&format!("rows {}\n", cc.rows.len()));
+            for row in &cc.rows {
+                write_row(&mut out, row);
+            }
+            write_machine(&mut out, &cc.machine);
+            out.push_str(&format!("counter {}\n", cc.counter_total));
+            match &cc.recorder {
+                None => out.push_str("recorder none\n"),
+                Some(rec) => write_recorder(&mut out, rec),
+            }
+            out.push_str(&format!("pending {}\n", cc.pending.len()));
+            for m in &cc.pending {
+                out.push_str(&format!("match {}", m.spans.len()));
+                for (a, b) in &m.spans {
+                    out.push_str(&format!(" {a} {b}"));
+                }
+                out.push('\n');
+            }
+            out.push_str(&format!("out {}\n", cc.out_rows.len()));
+            for row in &cc.out_rows {
+                write_row(&mut out, row);
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the text format back into a checkpoint.
+    pub fn from_text(text: &str) -> Result<SessionCheckpoint, StreamError> {
+        let mut lines = CheckpointLines::new(text);
+        lines.expect_literal("sqlts-checkpoint v1")?;
+        let engine_name = lines.tagged("engine")?.to_string();
+        let engine = engine_from_name(&engine_name)
+            .ok_or_else(|| codec_err(format!("unknown engine '{engine_name}'")))?;
+        let pattern_len = lines.tagged_parse::<usize>("pattern")?;
+        let records = lines.tagged_parse::<u64>("records")?;
+        let skipped = lines.tagged_parse::<u64>("skipped")?;
+        let pressure_trips = lines.tagged_parse::<u64>("pressure")?;
+        let n_bad = lines.tagged_parse::<usize>("quarantine")?;
+        let mut quarantine = Vec::with_capacity(n_bad);
+        for _ in 0..n_bad {
+            let rest = lines.tagged("bad")?;
+            let mut toks = rest.split(' ');
+            let record = parse_tok::<u64>(toks.next(), "bad record")?;
+            let reason = unescape(toks.next().ok_or_else(|| codec_err("bad reason missing"))?)?;
+            let rendered = unescape(
+                toks.next()
+                    .ok_or_else(|| codec_err("bad rendered missing"))?,
+            )?;
+            quarantine.push(BadTuple {
+                record,
+                reason,
+                rendered,
+            });
+        }
+        let log = parse_ring(&mut lines, "log")?;
+        let n_clusters = lines.tagged_parse::<usize>("clusters")?;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for _ in 0..n_clusters {
+            let rest = lines.tagged("cluster")?;
+            let mut toks = rest.split(' ');
+            let key_len = parse_tok::<usize>(toks.next(), "cluster key length")?;
+            let mut key = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                key.push(parse_value(
+                    toks.next()
+                        .ok_or_else(|| codec_err("cluster key value missing"))?,
+                )?);
+            }
+            let base = lines.tagged_parse::<usize>("base")?;
+            let rest = lines.tagged("lastseq")?;
+            let last_seq = if rest == "none" {
+                None
+            } else {
+                let mut toks = rest.split(' ');
+                let n = parse_tok::<usize>(toks.next(), "lastseq length")?;
+                let mut seq = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seq.push(parse_value(
+                        toks.next()
+                            .ok_or_else(|| codec_err("lastseq value missing"))?,
+                    )?);
+                }
+                Some(seq)
+            };
+            let n_rows = lines.tagged_parse::<usize>("rows")?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                rows.push(parse_row(lines.tagged("row")?)?);
+            }
+            let machine = parse_machine(&mut lines)?;
+            let counter_total = lines.tagged_parse::<u64>("counter")?;
+            let recorder = parse_recorder(&mut lines)?;
+            let n_pending = lines.tagged_parse::<usize>("pending")?;
+            let mut pending = Vec::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                let rest = lines.tagged("match")?;
+                let mut toks = rest.split(' ');
+                let n = parse_tok::<usize>(toks.next(), "match span count")?;
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let a = parse_tok::<usize>(toks.next(), "match span start")?;
+                    let b = parse_tok::<usize>(toks.next(), "match span end")?;
+                    spans.push((a, b));
+                }
+                pending.push(MatchSpans { spans });
+            }
+            let n_out = lines.tagged_parse::<usize>("out")?;
+            let mut out_rows = Vec::with_capacity(n_out);
+            for _ in 0..n_out {
+                out_rows.push(parse_row(lines.tagged("row")?)?);
+            }
+            clusters.push(ClusterCheckpoint {
+                key,
+                base,
+                rows,
+                last_seq,
+                machine,
+                counter_total,
+                recorder,
+                pending,
+                out_rows,
+            });
+        }
+        lines.expect_literal("end")?;
+        Ok(SessionCheckpoint {
+            engine,
+            pattern_len,
+            records,
+            skipped,
+            pressure_trips,
+            quarantine,
+            log,
+            clusters,
+        })
+    }
+}
+
+fn engine_from_name(name: &str) -> Option<EngineKind> {
+    Some(match name {
+        "naive" => EngineKind::Naive,
+        "backtrack" => EngineKind::NaiveBacktrack,
+        "ops" => EngineKind::Ops,
+        "shift-only" => EngineKind::OpsShiftOnly,
+        _ => return None,
+    })
+}
+
+fn codec_err(why: impl fmt::Display) -> StreamError {
+    StreamError::Checkpoint(why.to_string())
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, StreamError> {
+    tok.ok_or_else(|| codec_err(format!("{what} missing")))?
+        .parse::<T>()
+        .map_err(|_| codec_err(format!("{what} unparsable")))
+}
+
+/// Percent-escape the bytes that would break the space/line-delimited
+/// format; everything else (including multi-byte UTF-8) passes through.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for b in s.bytes() {
+        match b {
+            b'%' | b' ' | b'\n' | b'\r' => out.push_str(&format!("%{b:02x}")),
+            _ => out.push(b as char),
+        }
+    }
+    // An empty token would vanish between separators; mark it explicitly.
+    if out.is_empty() {
+        out.push_str("%00");
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, StreamError> {
+    let mut out = Vec::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| codec_err("truncated escape"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| codec_err("invalid escape"))?;
+            let b = u8::from_str_radix(hex, 16).map_err(|_| codec_err("invalid escape"))?;
+            if b != 0 {
+                out.push(b);
+            }
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| codec_err("escaped string is not UTF-8"))
+}
+
+/// Encode one value as a single space-free token:
+/// `n` (null), `i:<int>`, `f:<f64 bits as hex>`, `d:<day number>`,
+/// `s:<escaped string>`.  Floats round-trip exactly via their bits.
+fn write_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => format!("f:{:016x}", f.to_bits()),
+        Value::Date(d) => format!("d:{}", d.days()),
+        Value::Str(s) => format!("s:{}", escape(s)),
+    }
+}
+
+fn parse_value(tok: &str) -> Result<Value, StreamError> {
+    if tok == "n" {
+        return Ok(Value::Null);
+    }
+    let (tag, body) = tok
+        .split_once(':')
+        .ok_or_else(|| codec_err(format!("malformed value token '{tok}'")))?;
+    Ok(match tag {
+        "i" => Value::Int(
+            body.parse()
+                .map_err(|_| codec_err(format!("bad int '{body}'")))?,
+        ),
+        "f" => Value::Float(f64::from_bits(
+            u64::from_str_radix(body, 16)
+                .map_err(|_| codec_err(format!("bad float bits '{body}'")))?,
+        )),
+        "d" => Value::Date(Date::from_days(
+            body.parse()
+                .map_err(|_| codec_err(format!("bad date '{body}'")))?,
+        )),
+        "s" => Value::Str(unescape(body)?),
+        _ => return Err(codec_err(format!("unknown value tag '{tag}'"))),
+    })
+}
+
+fn write_row(out: &mut String, row: &[Value]) {
+    out.push_str("row");
+    for v in row {
+        out.push(' ');
+        out.push_str(&write_value(v));
+    }
+    out.push('\n');
+}
+
+fn parse_row(rest: &str) -> Result<Vec<Value>, StreamError> {
+    if rest.is_empty() {
+        return Ok(Vec::new());
+    }
+    rest.split(' ').map(parse_value).collect()
+}
+
+fn write_machine(out: &mut String, machine: &EngineMachine) {
+    use crate::engine::{BtFrame, BtPc};
+    match machine {
+        EngineMachine::Naive(m) => {
+            out.push_str(&format!(
+                "machine naive {} {} {} {} {}\n",
+                m.start,
+                m.i,
+                m.e,
+                m.span_start,
+                u8::from(m.in_star)
+            ));
+            write_spans(out, &m.bindings.spans);
+        }
+        EngineMachine::Backtrack(m) => {
+            out.push_str(&format!("machine backtrack {}\n", m.start));
+            match m.pc {
+                BtPc::Idle => out.push_str("pc idle\n"),
+                BtPc::Call { j, i } => out.push_str(&format!("pc call {j} {i}\n")),
+                BtPc::Ret { ok } => out.push_str(&format!("pc ret {}\n", u8::from(ok))),
+                BtPc::StarExtend => out.push_str("pc starext\n"),
+            }
+            out.push_str(&format!("frames {}", m.frames.len()));
+            for frame in &m.frames {
+                match frame {
+                    BtFrame::NonStar => out.push_str(" ns"),
+                    BtFrame::Star { i, end } => out.push_str(&format!(" st {i} {end}")),
+                }
+            }
+            out.push('\n');
+            write_spans(out, &m.bindings.spans);
+        }
+        EngineMachine::Ops(m) => {
+            out.push_str(&format!(
+                "machine ops {} {} {} {}\n",
+                m.start,
+                m.i,
+                m.j,
+                u8::from(m.finished)
+            ));
+            out.push_str(&format!("counts {}", m.counts.len()));
+            for c in &m.counts {
+                out.push_str(&format!(" {c}"));
+            }
+            out.push('\n');
+            write_spans(out, &m.bindings.spans);
+        }
+    }
+}
+
+fn write_spans(out: &mut String, spans: &[(usize, usize)]) {
+    out.push_str(&format!("spans {}", spans.len()));
+    for (a, b) in spans {
+        out.push_str(&format!(" {a} {b}"));
+    }
+    out.push('\n');
+}
+
+fn parse_spans(lines: &mut CheckpointLines<'_>) -> Result<Vec<(usize, usize)>, StreamError> {
+    let rest = lines.tagged("spans")?;
+    let mut toks = rest.split(' ');
+    let n = parse_tok::<usize>(toks.next(), "span count")?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = parse_tok::<usize>(toks.next(), "span start")?;
+        let b = parse_tok::<usize>(toks.next(), "span end")?;
+        spans.push((a, b));
+    }
+    Ok(spans)
+}
+
+fn parse_machine(lines: &mut CheckpointLines<'_>) -> Result<EngineMachine, StreamError> {
+    use crate::engine::{BacktrackMachine, BtFrame, BtPc, NaiveMachine, OpsMachine};
+    let rest = lines.tagged("machine")?;
+    let mut toks = rest.split(' ');
+    let kind = toks
+        .next()
+        .ok_or_else(|| codec_err("machine kind missing"))?;
+    match kind {
+        "naive" => {
+            let start = parse_tok::<usize>(toks.next(), "naive start")?;
+            let i = parse_tok::<usize>(toks.next(), "naive i")?;
+            let e = parse_tok::<usize>(toks.next(), "naive e")?;
+            let span_start = parse_tok::<usize>(toks.next(), "naive span_start")?;
+            let in_star = parse_tok::<u8>(toks.next(), "naive in_star")? != 0;
+            let spans = parse_spans(lines)?;
+            let mut m = NaiveMachine::new();
+            m.start = start;
+            m.i = i;
+            m.e = e;
+            m.span_start = span_start;
+            m.in_star = in_star;
+            m.bindings.spans = spans;
+            Ok(EngineMachine::Naive(m))
+        }
+        "backtrack" => {
+            let start = parse_tok::<usize>(toks.next(), "backtrack start")?;
+            let rest = lines.tagged("pc")?;
+            let mut toks = rest.split(' ');
+            let pc = match toks.next().ok_or_else(|| codec_err("pc kind missing"))? {
+                "idle" => BtPc::Idle,
+                "call" => BtPc::Call {
+                    j: parse_tok::<usize>(toks.next(), "pc call j")?,
+                    i: parse_tok::<usize>(toks.next(), "pc call i")?,
+                },
+                "ret" => BtPc::Ret {
+                    ok: parse_tok::<u8>(toks.next(), "pc ret ok")? != 0,
+                },
+                "starext" => BtPc::StarExtend,
+                other => return Err(codec_err(format!("unknown pc '{other}'"))),
+            };
+            let rest = lines.tagged("frames")?;
+            let mut toks = rest.split(' ');
+            let n = parse_tok::<usize>(toks.next(), "frame count")?;
+            let mut frames = Vec::with_capacity(n);
+            for _ in 0..n {
+                match toks.next().ok_or_else(|| codec_err("frame missing"))? {
+                    "ns" => frames.push(BtFrame::NonStar),
+                    "st" => frames.push(BtFrame::Star {
+                        i: parse_tok::<usize>(toks.next(), "frame i")?,
+                        end: parse_tok::<usize>(toks.next(), "frame end")?,
+                    }),
+                    other => return Err(codec_err(format!("unknown frame '{other}'"))),
+                }
+            }
+            let spans = parse_spans(lines)?;
+            let mut m = BacktrackMachine::new();
+            m.start = start;
+            m.pc = pc;
+            m.frames = frames;
+            m.bindings.spans = spans;
+            Ok(EngineMachine::Backtrack(m))
+        }
+        "ops" => {
+            let start = parse_tok::<usize>(toks.next(), "ops start")?;
+            let i = parse_tok::<usize>(toks.next(), "ops i")?;
+            let j = parse_tok::<usize>(toks.next(), "ops j")?;
+            let finished = parse_tok::<u8>(toks.next(), "ops finished")? != 0;
+            let rest = lines.tagged("counts")?;
+            let mut toks = rest.split(' ');
+            let n = parse_tok::<usize>(toks.next(), "count length")?;
+            if n == 0 {
+                return Err(codec_err("ops counts must be non-empty"));
+            }
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(parse_tok::<usize>(toks.next(), "count value")?);
+            }
+            let spans = parse_spans(lines)?;
+            let mut m = OpsMachine::new(n - 1);
+            m.start = start;
+            m.i = i;
+            m.j = j;
+            m.finished = finished;
+            m.counts = counts;
+            m.bindings.spans = spans;
+            Ok(EngineMachine::Ops(m))
+        }
+        other => Err(codec_err(format!("unknown machine kind '{other}'"))),
+    }
+}
+
+fn write_event(out: &mut String, event: &TraceEvent) {
+    match event {
+        TraceEvent::Advance { i, j } => out.push_str(&format!("ev a {i} {j}\n")),
+        TraceEvent::Fail { i, j } => out.push_str(&format!("ev f {i} {j}\n")),
+        TraceEvent::Shift { j, dist } => out.push_str(&format!("ev s {j} {dist}\n")),
+        TraceEvent::Next { j, k } => out.push_str(&format!("ev n {j} {k}\n")),
+        TraceEvent::MatchEmitted { start, end } => out.push_str(&format!("ev m {start} {end}\n")),
+        TraceEvent::GovernorTrip { cause } => out.push_str(&format!("ev g {}\n", cause.as_str())),
+        TraceEvent::Feed { i } => out.push_str(&format!("ev fd {i}\n")),
+        TraceEvent::Quarantine { i } => out.push_str(&format!("ev q {i}\n")),
+        TraceEvent::Checkpoint { tuples } => out.push_str(&format!("ev c {tuples}\n")),
+    }
+}
+
+fn parse_event(rest: &str) -> Result<TraceEvent, StreamError> {
+    let mut toks = rest.split(' ');
+    let kind = toks.next().ok_or_else(|| codec_err("event kind missing"))?;
+    Ok(match kind {
+        "a" => TraceEvent::Advance {
+            i: parse_tok::<u32>(toks.next(), "event i")?,
+            j: parse_tok::<u32>(toks.next(), "event j")?,
+        },
+        "f" => TraceEvent::Fail {
+            i: parse_tok::<u32>(toks.next(), "event i")?,
+            j: parse_tok::<u32>(toks.next(), "event j")?,
+        },
+        "s" => TraceEvent::Shift {
+            j: parse_tok::<u32>(toks.next(), "event j")?,
+            dist: parse_tok::<u32>(toks.next(), "event dist")?,
+        },
+        "n" => TraceEvent::Next {
+            j: parse_tok::<u32>(toks.next(), "event j")?,
+            k: parse_tok::<u32>(toks.next(), "event k")?,
+        },
+        "m" => TraceEvent::MatchEmitted {
+            start: parse_tok::<u32>(toks.next(), "event start")?,
+            end: parse_tok::<u32>(toks.next(), "event end")?,
+        },
+        "g" => TraceEvent::GovernorTrip {
+            cause: TripCause::parse(toks.next().ok_or_else(|| codec_err("trip cause missing"))?)
+                .ok_or_else(|| codec_err("unknown trip cause"))?,
+        },
+        "fd" => TraceEvent::Feed {
+            i: parse_tok::<u32>(toks.next(), "event i")?,
+        },
+        "q" => TraceEvent::Quarantine {
+            i: parse_tok::<u32>(toks.next(), "event i")?,
+        },
+        "c" => TraceEvent::Checkpoint {
+            tuples: parse_tok::<u32>(toks.next(), "event tuples")?,
+        },
+        other => return Err(codec_err(format!("unknown event kind '{other}'"))),
+    })
+}
+
+fn write_ring(out: &mut String, tag: &str, rb: &RingBuffer) {
+    out.push_str(&format!(
+        "{tag} {} {} {}\n",
+        rb.capacity(),
+        rb.dropped(),
+        rb.len()
+    ));
+    for event in rb.events() {
+        write_event(out, event);
+    }
+}
+
+fn parse_ring(
+    lines: &mut CheckpointLines<'_>,
+    tag: &str,
+) -> Result<Option<RingBuffer>, StreamError> {
+    let rest = lines.tagged(tag)?;
+    if rest == "none" {
+        return Ok(None);
+    }
+    let mut toks = rest.split(' ');
+    let capacity = parse_tok::<usize>(toks.next(), "ring capacity")?;
+    let dropped = parse_tok::<u64>(toks.next(), "ring dropped")?;
+    let n = parse_tok::<usize>(toks.next(), "ring length")?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(parse_event(lines.tagged("ev")?)?);
+    }
+    Ok(Some(RingBuffer::from_parts(capacity, events, dropped)))
+}
+
+fn write_recorder(out: &mut String, rec: &ClusterRecorder) {
+    out.push_str(&format!(
+        "recorder {}",
+        rec.metrics.tests_per_position.len()
+    ));
+    for t in &rec.metrics.tests_per_position {
+        out.push_str(&format!(" {t}"));
+    }
+    out.push('\n');
+    write_hist(out, "shifts", &rec.metrics.shifts);
+    write_hist(out, "backs", &rec.metrics.backtracks);
+    out.push_str(&format!("matches {}\n", rec.metrics.matches));
+    out.push_str(&format!("flushes {}\n", rec.metrics.governor_flushes));
+    match rec.metrics.trip {
+        None => out.push_str("trip none\n"),
+        Some(cause) => out.push_str(&format!("trip {}\n", cause.as_str())),
+    }
+    out.push_str(&format!("lasti {}\n", rec.last_i()));
+    write_ring(out, "events", &rec.events);
+}
+
+fn parse_recorder(lines: &mut CheckpointLines<'_>) -> Result<Option<ClusterRecorder>, StreamError> {
+    let rest = lines.tagged("recorder")?;
+    if rest == "none" {
+        return Ok(None);
+    }
+    let mut toks = rest.split(' ');
+    let n = parse_tok::<usize>(toks.next(), "tests length")?;
+    let mut tests_per_position = Vec::with_capacity(n);
+    for _ in 0..n {
+        tests_per_position.push(parse_tok::<u64>(toks.next(), "tests value")?);
+    }
+    let shifts = parse_hist(lines, "shifts")?;
+    let backtracks = parse_hist(lines, "backs")?;
+    let matches = lines.tagged_parse::<u64>("matches")?;
+    let governor_flushes = lines.tagged_parse::<u64>("flushes")?;
+    let rest = lines.tagged("trip")?;
+    let trip = if rest == "none" {
+        None
+    } else {
+        Some(TripCause::parse(rest).ok_or_else(|| codec_err("unknown trip cause"))?)
+    };
+    let last_i = lines.tagged_parse::<u32>("lasti")?;
+    let events =
+        parse_ring(lines, "events")?.ok_or_else(|| codec_err("recorder events must be present"))?;
+    let metrics = ClusterMetrics {
+        tests_per_position,
+        shifts,
+        backtracks,
+        matches,
+        governor_flushes,
+        trip,
+    };
+    Ok(Some(ClusterRecorder::from_parts(metrics, events, last_i)))
+}
+
+fn write_hist(out: &mut String, tag: &str, hist: &BoundedHistogram) {
+    out.push_str(tag);
+    for b in hist.raw_buckets() {
+        out.push_str(&format!(" {b}"));
+    }
+    out.push_str(&format!(
+        " {} {} {}\n",
+        hist.count(),
+        hist.sum(),
+        hist.max()
+    ));
+}
+
+fn parse_hist(lines: &mut CheckpointLines<'_>, tag: &str) -> Result<BoundedHistogram, StreamError> {
+    let rest = lines.tagged(tag)?;
+    let mut toks = rest.split(' ');
+    let mut buckets = [0u64; HIST_BUCKETS];
+    for bucket in &mut buckets {
+        *bucket = parse_tok::<u64>(toks.next(), "histogram bucket")?;
+    }
+    let count = parse_tok::<u64>(toks.next(), "histogram count")?;
+    let sum = parse_tok::<u64>(toks.next(), "histogram sum")?;
+    let max = parse_tok::<u64>(toks.next(), "histogram max")?;
+    Ok(BoundedHistogram::from_parts(buckets, count, sum, max))
+}
+
+/// A cursor over the checkpoint's lines with error positions.
+struct CheckpointLines<'a> {
+    iter: std::str::Lines<'a>,
+    lineno: usize,
+}
+
+impl<'a> CheckpointLines<'a> {
+    fn new(text: &'a str) -> CheckpointLines<'a> {
+        CheckpointLines {
+            iter: text.lines(),
+            lineno: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, StreamError> {
+        self.lineno += 1;
+        self.iter.next().ok_or_else(|| {
+            codec_err(format!(
+                "unexpected end of checkpoint at line {}",
+                self.lineno
+            ))
+        })
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), StreamError> {
+        let line = self.next()?;
+        if line != literal {
+            return Err(codec_err(format!(
+                "line {}: expected '{literal}', found '{line}'",
+                self.lineno
+            )));
+        }
+        Ok(())
+    }
+
+    /// The rest of a line after a required leading tag (empty string when
+    /// the line is exactly the tag).
+    fn tagged(&mut self, tag: &str) -> Result<&'a str, StreamError> {
+        let line = self.next()?;
+        if line == tag {
+            return Ok("");
+        }
+        line.strip_prefix(tag)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or_else(|| {
+                codec_err(format!(
+                    "line {}: expected '{tag} …', found '{line}'",
+                    self.lineno
+                ))
+            })
+    }
+
+    fn tagged_parse<T: std::str::FromStr>(&mut self, tag: &str) -> Result<T, StreamError> {
+        let rest = self.tagged(tag)?;
+        rest.parse::<T>()
+            .map_err(|_| codec_err(format!("line {}: bad '{tag}' value '{rest}'", self.lineno)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute, ExecError, Instrument};
+    use crate::governor::Governor;
+    use sqlts_lang::{compile, CompileOptions};
+    use sqlts_relation::{ColumnType, Schema};
+    use std::num::NonZeroUsize;
+
+    fn quote_schema() -> Schema {
+        Schema::new([
+            ("name", ColumnType::Str),
+            ("day", ColumnType::Int),
+            ("price", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    const QUERY: &str = "SELECT X.name, Z.price AS peak, Z.day AS day FROM quote \
+                         CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) \
+                         WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price";
+
+    fn compiled(src: &str) -> CompiledQuery {
+        compile(src, &quote_schema(), &CompileOptions::default()).unwrap()
+    }
+
+    /// A deterministic two-cluster zig-zag workload.
+    fn workload() -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for (name, phase) in [("AAA", 0u64), ("BBB", 3u64)] {
+            for day in 0..40u64 {
+                let wave = ((day + phase) % 7) as f64;
+                rows.push(vec![
+                    Value::Str(name.to_string()),
+                    Value::Int(day as i64),
+                    Value::Float(100.0 + 3.0 * wave - 0.1 * day as f64),
+                ]);
+            }
+        }
+        // Interleave the clusters to exercise per-cluster windows.
+        let mid = rows.len() / 2;
+        let (a, b) = rows.split_at(mid);
+        let mut interleaved = Vec::new();
+        for (x, y) in a.iter().zip(b) {
+            interleaved.push(x.clone());
+            interleaved.push(y.clone());
+        }
+        interleaved
+    }
+
+    fn batch_table(rows: &[Vec<Value>]) -> Table {
+        let mut t = Table::new(quote_schema());
+        for row in rows {
+            t.push_row(row.clone()).unwrap();
+        }
+        t
+    }
+
+    fn all_engines() -> [EngineKind; 4] {
+        [
+            EngineKind::Naive,
+            EngineKind::NaiveBacktrack,
+            EngineKind::Ops,
+            EngineKind::OpsShiftOnly,
+        ]
+    }
+
+    fn stream_opts(engine: EngineKind) -> StreamOptions {
+        StreamOptions {
+            exec: ExecOptions {
+                engine,
+                instrument: Instrument::tracing(),
+                ..ExecOptions::default()
+            },
+            ..StreamOptions::default()
+        }
+    }
+
+    fn table_rows(t: &Table) -> Vec<Vec<Value>> {
+        t.rows().map(<[Value]>::to_vec).collect()
+    }
+
+    #[test]
+    fn margins_cover_previous_and_next() {
+        // `next` is only legal in SELECT (the binder rejects it in WHERE),
+        // so predicate margins only ever look backwards; the projection
+        // can reach one tuple ahead.
+        let q = compiled(
+            "SELECT X.price AS p, Y.next.price AS nx FROM quote \
+             CLUSTER BY name SEQUENCE BY day AS (X, Y) \
+             WHERE X.price > X.previous.price AND Y.price < Y.previous.price",
+        );
+        let m = margins_of(&q);
+        assert_eq!(m.test_ahead, 0);
+        assert_eq!(m.test_behind, 1);
+        assert_eq!(m.proj_ahead, 1);
+        assert_eq!(m.proj_behind, 0);
+    }
+
+    #[test]
+    fn streamed_equals_batch_for_every_engine() {
+        let query = compiled(QUERY);
+        let rows = workload();
+        let table = batch_table(&rows);
+        for engine in all_engines() {
+            let opts = stream_opts(engine);
+            let batch = execute(&query, &table, &opts.exec).unwrap();
+            let mut session = StreamSession::new(&query, opts).unwrap();
+            for row in &rows {
+                session.feed(row.clone()).unwrap();
+            }
+            let streamed = session.finish().unwrap();
+            assert_eq!(
+                table_rows(&streamed.table),
+                table_rows(&batch.table),
+                "{engine:?} rows"
+            );
+            assert_eq!(streamed.stats, batch.stats, "{engine:?} stats");
+            let (sp, bp) = (streamed.profile.unwrap(), batch.profile.unwrap());
+            assert_eq!(sp.clusters, bp.clusters, "{engine:?} cluster profiles");
+            assert_eq!(sp.totals, bp.totals, "{engine:?} profile totals");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let query = compiled(QUERY);
+        let rows = workload();
+        let table = batch_table(&rows);
+        for engine in [EngineKind::Ops, EngineKind::Naive] {
+            let batch = execute(&query, &table, &stream_opts(engine).exec).unwrap();
+            for split in [1usize, 7, rows.len() / 2, rows.len() - 1] {
+                let mut first = StreamSession::new(&query, stream_opts(engine)).unwrap();
+                for row in &rows[..split] {
+                    first.feed(row.clone()).unwrap();
+                }
+                let text = first.snapshot().unwrap().to_text();
+                drop(first);
+                let checkpoint = SessionCheckpoint::from_text(&text).unwrap();
+                let mut second =
+                    StreamSession::resume(&query, stream_opts(engine), checkpoint).unwrap();
+                assert_eq!(second.records(), split as u64);
+                for row in &rows[split..] {
+                    second.feed(row.clone()).unwrap();
+                }
+                let resumed = second.finish().unwrap();
+                assert_eq!(
+                    table_rows(&resumed.table),
+                    table_rows(&batch.table),
+                    "{engine:?} split {split} rows"
+                );
+                assert_eq!(resumed.stats, batch.stats, "{engine:?} split {split} stats");
+                let (rp, bp) = (resumed.profile.unwrap(), batch.profile.clone().unwrap());
+                assert_eq!(rp.clusters, bp.clusters, "{engine:?} split {split} profile");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_text_round_trips() {
+        let query = compiled(QUERY);
+        let rows = workload();
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.log_capacity = 32;
+        opts.bad_tuple = BadTuplePolicy::Quarantine { cap: 4 };
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        for row in &rows[..17] {
+            session.feed(row.clone()).unwrap();
+        }
+        // Park something in quarantine so that section round-trips too.
+        session
+            .quarantine_external("synthetic, with spaces".into(), "a,b c%d".into())
+            .unwrap();
+        let checkpoint = session.snapshot().unwrap();
+        let text = checkpoint.to_text();
+        let parsed = SessionCheckpoint::from_text(&text).unwrap();
+        assert_eq!(parsed.to_text(), text, "codec must be a fixed point");
+    }
+
+    #[test]
+    fn bad_tuple_policies() {
+        let query = compiled(QUERY);
+        let good = vec![Value::Str("AAA".into()), Value::Int(0), Value::Float(100.0)];
+        let wrong_arity = vec![Value::Str("AAA".into())];
+        // Fail (the default) surfaces the error.
+        let mut fail = StreamSession::new(&query, stream_opts(EngineKind::Ops)).unwrap();
+        fail.feed(good.clone()).unwrap();
+        match fail.feed(wrong_arity.clone()) {
+            Err(StreamError::BadTuple(bad)) => {
+                assert_eq!(bad.record, 2);
+                assert_eq!(bad.rendered, "AAA");
+            }
+            other => panic!("expected BadTuple, got {other:?}"),
+        }
+        // Skip counts and continues.
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.bad_tuple = BadTuplePolicy::Skip;
+        let mut skip = StreamSession::new(&query, opts).unwrap();
+        skip.feed(good.clone()).unwrap();
+        skip.feed(wrong_arity.clone()).unwrap();
+        assert_eq!(skip.skipped(), 1);
+        assert_eq!(skip.records(), 2);
+        // Quarantine parks up to the cap, then refuses.
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.bad_tuple = BadTuplePolicy::Quarantine { cap: 1 };
+        let mut quarantine = StreamSession::new(&query, opts).unwrap();
+        quarantine.feed(wrong_arity.clone()).unwrap();
+        assert_eq!(quarantine.quarantine().len(), 1);
+        match quarantine.feed(wrong_arity) {
+            Err(StreamError::QuarantineFull { cap: 1, tuple }) => assert_eq!(tuple.record, 2),
+            other => panic!("expected QuarantineFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_sequence_key_is_rejected() {
+        let query = compiled(QUERY);
+        let mut session = StreamSession::new(&query, stream_opts(EngineKind::Ops)).unwrap();
+        let row = |day: i64| {
+            vec![
+                Value::Str("AAA".into()),
+                Value::Int(day),
+                Value::Float(100.0),
+            ]
+        };
+        session.feed(row(5)).unwrap();
+        match session.feed(row(3)) {
+            Err(StreamError::BadTuple(bad)) => {
+                assert!(bad.reason.contains("out-of-order"), "{}", bad.reason)
+            }
+            other => panic!("expected BadTuple, got {other:?}"),
+        }
+        // Order is per cluster: another cluster may start anywhere.
+        session
+            .feed(vec![
+                Value::Str("BBB".into()),
+                Value::Int(0),
+                Value::Float(100.0),
+            ])
+            .unwrap();
+    }
+
+    #[test]
+    fn backpressure_bounds_the_window_and_logs_a_trip() {
+        let query = compiled(QUERY);
+        let rows = workload();
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.max_window_bytes = Some(600);
+        opts.log_capacity = 256;
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        for row in &rows {
+            session.feed(row.clone()).unwrap();
+            assert!(
+                session.window_bytes() <= 600 + 2 * row_bytes(row),
+                "window stays near the watermark"
+            );
+        }
+        assert!(session.pressure_trips() > 0, "pressure must have tripped");
+        let pressure_events = session
+            .stream_log()
+            .unwrap()
+            .events()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::GovernorTrip {
+                        cause: TripCause::StreamPressure
+                    }
+                )
+            })
+            .count();
+        assert_eq!(pressure_events as u64, session.pressure_trips());
+        // Relief is sound: already-found matches were kept and the session
+        // still finishes cleanly.
+        let result = session.finish().unwrap();
+        let unbounded = execute(
+            &query,
+            &batch_table(&rows),
+            &stream_opts(EngineKind::Ops).exec,
+        )
+        .unwrap();
+        assert!(result.stats.matches <= unbounded.stats.matches);
+    }
+
+    #[test]
+    fn reverse_direction_is_unsupported() {
+        let query = compiled(QUERY);
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.exec.direction = DirectionChoice::Reverse;
+        match StreamSession::new(&query, opts) {
+            Err(StreamError::Unsupported(_)) => {}
+            other => panic!("expected Unsupported, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn governed_session_trips_and_finish_carries_partial() {
+        let query = compiled(QUERY);
+        let rows = workload();
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.exec.governor = Governor::unlimited().with_max_steps(40);
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        let mut governed = false;
+        for row in &rows {
+            match session.feed(row.clone()) {
+                Ok(()) => {}
+                Err(StreamError::Governed { .. }) => {
+                    governed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(governed, "a 40-step budget must trip on this workload");
+        assert!(session.tripped());
+        // A tripped session can still checkpoint…
+        let checkpoint = session.snapshot().unwrap();
+        assert!(checkpoint.records() > 0);
+        // …and finish() reports the trip with the partial result attached.
+        match session.finish() {
+            Err(StreamError::Governed { partial, .. }) => {
+                assert!(partial.is_some());
+            }
+            other => panic!("expected Governed from finish, got {:?}", other.err()),
+        }
+        // Resuming from the checkpoint with a fresh (unlimited) governor
+        // completes the stream.
+        let resumed = StreamSession::resume(&query, stream_opts(EngineKind::Ops), checkpoint);
+        assert!(resumed.is_ok());
+    }
+
+    #[test]
+    fn stream_log_records_feeds_and_checkpoints() {
+        let query = compiled(QUERY);
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.log_capacity = 16;
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        session
+            .feed(vec![
+                Value::Str("AAA".into()),
+                Value::Int(0),
+                Value::Float(100.0),
+            ])
+            .unwrap();
+        let _ = session.snapshot().unwrap();
+        let events: Vec<TraceEvent> = session.stream_log().unwrap().events().copied().collect();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Feed { i: 1 },
+                TraceEvent::Checkpoint { tuples: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn threads_do_not_change_streamed_results() {
+        let query = compiled(QUERY);
+        let rows = workload();
+        let table = batch_table(&rows);
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.exec.threads = NonZeroUsize::new(4).unwrap();
+        let batch = execute(&query, &table, &opts.exec).unwrap();
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        for row in &rows {
+            session.feed(row.clone()).unwrap();
+        }
+        let streamed = session.finish().unwrap();
+        assert_eq!(table_rows(&streamed.table), table_rows(&batch.table));
+        assert_eq!(streamed.stats, batch.stats);
+        assert_eq!(
+            streamed.profile.unwrap().clusters,
+            batch.profile.unwrap().clusters
+        );
+    }
+
+    #[test]
+    fn governed_err_from_execute_matches_stream_governed() {
+        // Sanity: the batch executor and the stream session surface the
+        // same trip reason for the same budget.
+        let query = compiled(QUERY);
+        let rows = workload();
+        let table = batch_table(&rows);
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.exec.governor = Governor::unlimited().with_max_steps(40);
+        let batch_err = execute(&query, &table, &opts.exec).unwrap_err();
+        let ExecError::Governed {
+            trip: batch_trip, ..
+        } = batch_err
+        else {
+            panic!("expected governed batch run");
+        };
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        let mut stream_trip = None;
+        for row in &rows {
+            if let Err(StreamError::Governed { trip, .. }) = session.feed(row.clone()) {
+                stream_trip = Some(trip);
+                break;
+            }
+        }
+        assert_eq!(stream_trip.unwrap().reason, batch_trip.reason);
+    }
+}

@@ -1,0 +1,290 @@
+//! Fault-injection tests for the streaming session's resilience story
+//! (compiled only under `--features failpoints`).
+//!
+//! Each test arms the process-global failpoint registry at one of the
+//! stream sites (`stream::feed`, `stream::checkpoint`) or an engine-path
+//! site (`governor::check`) and asserts the session degrades the way the
+//! design promises: panics are contained and a checkpoint resumes past
+//! them, injected ingest errors take the quarantine path, exhausted
+//! budgets trip the governor while the checkpoint stays valid.
+
+#![cfg(feature = "failpoints")]
+
+use sqlts_core::failpoints::{self, FailAction};
+use sqlts_core::stream::{
+    BadTuplePolicy, SessionCheckpoint, StreamError, StreamOptions, StreamSession,
+};
+use sqlts_core::{
+    compile, execute, CompileOptions, CompiledQuery, ExecOptions, Governor, TripReason,
+};
+use sqlts_relation::{ColumnType, Schema, Table, Value};
+use std::sync::{Mutex, MutexGuard};
+
+/// The registry is process-global: every test serializes on this lock and
+/// resets the registry on entry and exit (also when the test panics).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct RegistryGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for RegistryGuard {
+    fn drop(&mut self) {
+        failpoints::reset();
+    }
+}
+
+fn armed() -> RegistryGuard {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::reset();
+    RegistryGuard(guard)
+}
+
+fn quote_schema() -> Schema {
+    Schema::new([
+        ("name", ColumnType::Str),
+        ("day", ColumnType::Int),
+        ("price", ColumnType::Float),
+    ])
+    .unwrap()
+}
+
+const QUERY: &str = "SELECT X.name, Y.price AS p FROM quote \
+                     CLUSTER BY name SEQUENCE BY day AS (X, Y) \
+                     WHERE Y.price > X.price";
+
+fn compiled() -> CompiledQuery {
+    compile(QUERY, &quote_schema(), &CompileOptions::default()).unwrap()
+}
+
+/// Two interleaved clusters with alternating rises so the query matches
+/// repeatedly throughout the stream.
+fn rows() -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    for day in 0..30i64 {
+        for name in ["AAA", "BBB"] {
+            let price = if day % 2 == 0 { 100.0 } else { 110.0 } + day as f64;
+            out.push(vec![
+                Value::Str(name.to_string()),
+                Value::Int(day),
+                Value::Float(price),
+            ]);
+        }
+    }
+    out
+}
+
+fn batch_table(rows: &[Vec<Value>]) -> Table {
+    let mut t = Table::new(quote_schema());
+    for row in rows {
+        t.push_row(row.clone()).unwrap();
+    }
+    t
+}
+
+fn table_rows(t: &Table) -> Vec<Vec<Value>> {
+    t.rows().map(<[Value]>::to_vec).collect()
+}
+
+/// A panic injected mid-feed poisons the session — and a checkpoint taken
+/// before the panic resumes past it to the exact batch result.
+#[test]
+fn panic_mid_feed_recovers_via_resume() {
+    let _guard = armed();
+    let query = compiled();
+    let rows = rows();
+    let batch = execute(&query, &batch_table(&rows), &ExecOptions::default()).unwrap();
+
+    // Checkpoint after 20 tuples; panic on the 21st feed.
+    failpoints::configure_rule("stream::feed", FailAction::Panic, 21, None, true);
+    let mut session = StreamSession::new(&query, StreamOptions::default()).unwrap();
+    for row in &rows[..20] {
+        session.feed(row.clone()).unwrap();
+    }
+    let checkpoint = session.snapshot().unwrap();
+    match session.feed(rows[20].clone()) {
+        Err(StreamError::Poisoned(cause)) => {
+            assert!(
+                cause.contains("stream::feed"),
+                "cause names the site: {cause}"
+            )
+        }
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    // The poisoned session refuses everything…
+    assert!(session.poisoned());
+    assert!(matches!(
+        session.feed(rows[20].clone()),
+        Err(StreamError::Poisoned(_))
+    ));
+    assert!(matches!(session.snapshot(), Err(StreamError::Poisoned(_))));
+    assert!(matches!(session.finish(), Err(StreamError::Poisoned(_))));
+
+    // …but the pre-panic checkpoint picks the stream back up: replay only
+    // the tuples after the checkpoint, not the whole history.
+    let checkpoint = SessionCheckpoint::from_text(&checkpoint.to_text()).unwrap();
+    let mut resumed = StreamSession::resume(&query, StreamOptions::default(), checkpoint).unwrap();
+    assert_eq!(resumed.records(), 20);
+    for row in &rows[20..] {
+        resumed.feed(row.clone()).unwrap();
+    }
+    let result = resumed.finish().unwrap();
+    assert_eq!(table_rows(&result.table), table_rows(&batch.table));
+    assert_eq!(result.stats, batch.stats);
+}
+
+/// An injected error at `stream::feed` takes the bad-tuple path: under
+/// the quarantine policy the tuple is parked, the stream continues, and
+/// only that one tuple is missing from the output's input.
+#[test]
+fn injected_feed_error_lands_in_quarantine() {
+    let _guard = armed();
+    let query = compiled();
+    let rows = rows();
+    // Reject exactly the 7th record.
+    failpoints::configure_rule("stream::feed", FailAction::InjectError, 1, Some(7), false);
+    let options = StreamOptions {
+        bad_tuple: BadTuplePolicy::Quarantine { cap: 8 },
+        ..StreamOptions::default()
+    };
+    let mut session = StreamSession::new(&query, options).unwrap();
+    for row in &rows {
+        session.feed(row.clone()).unwrap();
+    }
+    assert_eq!(session.quarantine().len(), 1);
+    let bad = &session.quarantine()[0];
+    assert_eq!(bad.record, 7);
+    assert!(bad.reason.contains("stream::feed"), "{}", bad.reason);
+    let streamed = session.finish().unwrap();
+
+    // The same stream minus the quarantined tuple, run in batch.
+    let mut pruned = rows.clone();
+    pruned.remove(6);
+    let batch = execute(&query, &batch_table(&pruned), &ExecOptions::default()).unwrap();
+    assert_eq!(table_rows(&streamed.table), table_rows(&batch.table));
+}
+
+/// Under [`BadTuplePolicy::Fail`] the same injection surfaces as a
+/// [`StreamError::BadTuple`] instead of being parked.
+#[test]
+fn injected_feed_error_fails_under_fail_policy() {
+    let _guard = armed();
+    let query = compiled();
+    failpoints::configure_rule("stream::feed", FailAction::InjectError, 1, None, true);
+    let mut session = StreamSession::new(&query, StreamOptions::default()).unwrap();
+    match session.feed(rows()[0].clone()) {
+        Err(StreamError::BadTuple(bad)) => {
+            assert_eq!(bad.record, 1);
+            assert!(bad.reason.contains("injected"), "{}", bad.reason);
+        }
+        other => panic!("expected BadTuple, got {other:?}"),
+    }
+    // A rejection is not a poisoning: the session keeps going.
+    session.feed(rows()[0].clone()).unwrap();
+}
+
+/// An `ExhaustBudget` injection at `governor::check` trips the governed
+/// session mid-stream; the trip carries a valid checkpoint (snapshot still
+/// works) and resuming with a fresh governor completes the stream to the
+/// exact ungoverned batch result.
+#[test]
+fn exhaust_budget_trip_carries_a_valid_checkpoint() {
+    let _guard = armed();
+    let query = compiled();
+    let rows = rows();
+    let batch = execute(&query, &batch_table(&rows), &ExecOptions::default()).unwrap();
+
+    // Fire on the second governor check (the second cluster's opening
+    // refill), so the trip lands mid-stream with real progress behind it.
+    failpoints::configure_rule("governor::check", FailAction::ExhaustBudget, 2, None, true);
+    let options = StreamOptions {
+        exec: ExecOptions {
+            governor: Governor::unlimited().with_max_steps(1_000_000),
+            ..ExecOptions::default()
+        },
+        ..StreamOptions::default()
+    };
+    let mut session = StreamSession::new(&query, options).unwrap();
+    let mut tripped = false;
+    for row in &rows {
+        match session.feed(row.clone()) {
+            Ok(()) => {}
+            Err(StreamError::Governed { trip, .. }) => {
+                assert_eq!(trip.reason, TripReason::StepBudget);
+                tripped = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(
+        tripped,
+        "the injected budget exhaustion must trip the session"
+    );
+    assert!(session.tripped());
+
+    // The tripped session still checkpoints.  A tuple whose drive observed
+    // the trip was already buffered (it is part of the frozen window), so
+    // the checkpoint's own record count — not the caller's tally of Ok
+    // feeds — is the authoritative resume position.
+    let checkpoint = session.snapshot().unwrap();
+    let text = checkpoint.to_text();
+    let checkpoint = SessionCheckpoint::from_text(&text).unwrap();
+    let consumed = checkpoint.records() as usize;
+    assert!(consumed > 0 && consumed < rows.len());
+
+    let mut resumed = StreamSession::resume(&query, StreamOptions::default(), checkpoint).unwrap();
+    for row in &rows[consumed..] {
+        resumed.feed(row.clone()).unwrap();
+    }
+    let result = resumed.finish().unwrap();
+    assert_eq!(table_rows(&result.table), table_rows(&batch.table));
+    assert_eq!(result.stats, batch.stats);
+}
+
+/// An injected error at `stream::checkpoint` surfaces as
+/// [`StreamError::Checkpoint`] and leaves the session healthy: the next
+/// snapshot succeeds and the stream finishes normally.
+#[test]
+fn injected_checkpoint_error_is_transient() {
+    let _guard = armed();
+    let query = compiled();
+    let rows = rows();
+    failpoints::configure_rule("stream::checkpoint", FailAction::InjectError, 1, None, true);
+    let mut session = StreamSession::new(&query, StreamOptions::default()).unwrap();
+    for row in &rows[..10] {
+        session.feed(row.clone()).unwrap();
+    }
+    match session.snapshot() {
+        Err(StreamError::Checkpoint(why)) => {
+            assert!(why.contains("stream::checkpoint"), "{why}")
+        }
+        other => panic!("expected Checkpoint error, got {other:?}"),
+    }
+    // Transient: the rule was once-only, the session was not poisoned.
+    let checkpoint = session.snapshot().unwrap();
+    assert_eq!(checkpoint.records(), 10);
+    for row in &rows[10..] {
+        session.feed(row.clone()).unwrap();
+    }
+    let batch = execute(&query, &batch_table(&rows), &ExecOptions::default()).unwrap();
+    let streamed = session.finish().unwrap();
+    assert_eq!(table_rows(&streamed.table), table_rows(&batch.table));
+}
+
+/// A delayed feed (the slow-consumer simulation) changes nothing about
+/// the results: DelayMs fires inside the failpoint and the stream's
+/// output stays bit-identical to batch.
+#[test]
+fn delayed_feed_does_not_change_results() {
+    let _guard = armed();
+    let query = compiled();
+    let rows = rows();
+    failpoints::configure_rule("stream::feed", FailAction::DelayMs(5), 10, None, true);
+    let mut session = StreamSession::new(&query, StreamOptions::default()).unwrap();
+    for row in &rows {
+        session.feed(row.clone()).unwrap();
+    }
+    let streamed = session.finish().unwrap();
+    let batch = execute(&query, &batch_table(&rows), &ExecOptions::default()).unwrap();
+    assert_eq!(table_rows(&streamed.table), table_rows(&batch.table));
+    assert_eq!(streamed.stats, batch.stats);
+}

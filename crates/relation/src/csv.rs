@@ -166,21 +166,45 @@ fn read_line<R: BufRead>(
     }
 }
 
-impl Table {
-    /// Read a CSV with a header line into a table with the given schema.
+/// An incremental CSV record source: parses the header eagerly, then
+/// yields one typed row per data line.  The streaming (`--follow`)
+/// counterpart of [`Table::from_csv`], sharing its dialect, header
+/// mapping, and per-line error reporting — a bad record surfaces as an
+/// `Err` item and iteration can continue past it, which is what a
+/// quarantine policy needs.
+pub struct CsvRecords<R: Read> {
+    reader: BufReader<R>,
+    schema: Schema,
+    /// For each schema column, the index of the matching file field.
+    mapping: Vec<usize>,
+    header_arity: usize,
+    lineno: usize,
+    buf: Vec<u8>,
+    /// Set when the header was absent (empty input): nothing to yield.
+    done: bool,
+}
+
+impl<R: Read> CsvRecords<R> {
+    /// Open a record source, reading and validating the header line.
     ///
     /// Columns are matched by (case-insensitive) header name, so the file's
     /// column order need not match the schema's; extra file columns are
     /// ignored.
-    pub fn from_csv<R: Read>(schema: Schema, reader: R) -> Result<Table, CsvError> {
+    pub fn new(schema: Schema, reader: R) -> Result<CsvRecords<R>, CsvError> {
         let mut reader = BufReader::new(reader);
         let mut buf = Vec::new();
-        let header = match read_line(&mut reader, &mut buf, 1)? {
-            Some(h) => h,
-            None => return Ok(Table::new(schema)),
+        let Some(header) = read_line(&mut reader, &mut buf, 1)? else {
+            return Ok(CsvRecords {
+                reader,
+                schema,
+                mapping: Vec::new(),
+                header_arity: 0,
+                lineno: 1,
+                buf,
+                done: true,
+            });
         };
         let header_fields = split_line(header.trim_end_matches('\r'));
-        // For each schema column, the index of the matching file field.
         let mut mapping = Vec::with_capacity(schema.arity());
         for col in schema.columns() {
             let idx = header_fields
@@ -189,41 +213,92 @@ impl Table {
                 .ok_or_else(|| CsvError::MissingColumn(col.name.clone()))?;
             mapping.push(idx);
         }
+        Ok(CsvRecords {
+            reader,
+            schema,
+            mapping,
+            header_arity: header_fields.len(),
+            lineno: 1,
+            buf,
+            done: false,
+        })
+    }
 
-        let mut table = Table::new(schema);
-        let mut lineno = 1usize;
+    /// The schema records are typed against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// 1-based line number of the most recently read line.
+    pub fn line(&self) -> usize {
+        self.lineno
+    }
+
+    fn parse_record(&mut self, line: &str) -> Result<Vec<Value>, CsvError> {
+        let lineno = self.lineno;
+        #[cfg(feature = "failpoints")]
+        if matches!(
+            crate::failpoints::hit("csv::record", lineno as u64),
+            Some(crate::failpoints::Injected::InjectError)
+        ) {
+            return Err(CsvError::Io(io::Error::other(format!(
+                "failpoint 'csv::record' injected error at line {lineno}"
+            ))));
+        }
+        let fields = split_line(line);
+        if fields.len() < self.header_arity {
+            return Err(CsvError::Arity {
+                line: lineno,
+                expected: self.header_arity,
+                got: fields.len(),
+            });
+        }
+        self.mapping
+            .iter()
+            .zip(self.schema.columns().to_vec())
+            .map(|(&fi, col)| parse_cell(&fields[fi], col.ty, lineno, &col.name))
+            .collect()
+    }
+}
+
+impl<R: Read> Iterator for CsvRecords<R> {
+    type Item = Result<Vec<Value>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
         loop {
-            lineno += 1;
-            let Some(line) = read_line(&mut reader, &mut buf, lineno)? else {
-                break;
+            self.lineno += 1;
+            let line = match read_line(&mut self.reader, &mut self.buf, self.lineno) {
+                Ok(Some(line)) => line,
+                Ok(None) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => return Some(Err(e)),
             };
             let line = line.trim_end_matches('\r');
             if line.is_empty() {
                 continue;
             }
-            #[cfg(feature = "failpoints")]
-            if matches!(
-                crate::failpoints::hit("csv::record", lineno as u64),
-                Some(crate::failpoints::Injected::InjectError)
-            ) {
-                return Err(CsvError::Io(io::Error::other(format!(
-                    "failpoint 'csv::record' injected error at line {lineno}"
-                ))));
-            }
-            let fields = split_line(line);
-            if fields.len() < header_fields.len() {
-                return Err(CsvError::Arity {
-                    line: lineno,
-                    expected: header_fields.len(),
-                    got: fields.len(),
-                });
-            }
-            let row: Vec<Value> = mapping
-                .iter()
-                .zip(table.schema().columns().to_vec())
-                .map(|(&fi, col)| parse_cell(&fields[fi], col.ty, lineno, &col.name))
-                .collect::<Result<_, _>>()?;
-            table.push_row(row)?;
+            let line = line.to_string();
+            return Some(self.parse_record(&line));
+        }
+    }
+}
+
+impl Table {
+    /// Read a CSV with a header line into a table with the given schema.
+    ///
+    /// Columns are matched by (case-insensitive) header name, so the file's
+    /// column order need not match the schema's; extra file columns are
+    /// ignored.
+    pub fn from_csv<R: Read>(schema: Schema, reader: R) -> Result<Table, CsvError> {
+        let mut records = CsvRecords::new(schema, reader)?;
+        let mut table = Table::new(records.schema().clone());
+        for row in &mut records {
+            table.push_row(row?)?;
         }
         Ok(table)
     }
@@ -410,6 +485,30 @@ IBM,1999-01-25,81
             }
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn incremental_records_match_batch_and_survive_bad_lines() {
+        // Good, bad (unparsable price), good: the iterator reports the bad
+        // line as an Err item and keeps going — the contract quarantine
+        // policies rely on.
+        let data = "name,date,price\nIBM,1999-01-25,81\nIBM,1999-01-26,oops\nIBM,1999-01-27,84\n";
+        let mut records = CsvRecords::new(quote_schema(), data.as_bytes()).unwrap();
+        let first = records.next().unwrap().unwrap();
+        assert_eq!(first[2], Value::from(81.0));
+        assert_eq!(records.line(), 2);
+        match records.next().unwrap() {
+            Err(CsvError::Parse { line: 3, .. }) => {}
+            other => panic!("expected parse error on line 3, got {other:?}"),
+        }
+        let third = records.next().unwrap().unwrap();
+        assert_eq!(third[2], Value::from(84.0));
+        assert!(records.next().is_none());
+        assert!(records.next().is_none());
+
+        // Empty input: header never arrives, no records.
+        let mut empty = CsvRecords::new(quote_schema(), "".as_bytes()).unwrap();
+        assert!(empty.next().is_none());
     }
 
     #[test]

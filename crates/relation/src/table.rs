@@ -109,6 +109,27 @@ impl Schema {
         self.index_of(name)
             .ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
     }
+
+    /// Validate a row's arity and column types without storing it (the
+    /// same checks [`Table::push_row`] applies).
+    pub fn validate_row(&self, row: &[Value]) -> Result<(), TableError> {
+        if row.len() != self.arity() {
+            return Err(TableError::Arity {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for (value, column) in row.iter().zip(self.columns()) {
+            if !value.fits(column.ty) {
+                return Err(TableError::Type {
+                    column: column.name.clone(),
+                    expected: column.ty,
+                    got: value.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A row-oriented in-memory table.
@@ -144,23 +165,16 @@ impl Table {
 
     /// Append a row after validating arity and column types.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), TableError> {
-        if row.len() != self.schema.arity() {
-            return Err(TableError::Arity {
-                expected: self.schema.arity(),
-                got: row.len(),
-            });
-        }
-        for (value, column) in row.iter().zip(self.schema.columns()) {
-            if !value.fits(column.ty) {
-                return Err(TableError::Type {
-                    column: column.name.clone(),
-                    expected: column.ty,
-                    got: value.to_string(),
-                });
-            }
-        }
+        self.schema.validate_row(&row)?;
         self.rows.push(row);
         Ok(())
+    }
+
+    /// Drop the first `k` rows (bounded-window compaction for streaming
+    /// sessions; `k` is clamped to the current length).
+    pub fn remove_prefix(&mut self, k: usize) {
+        let k = k.min(self.rows.len());
+        drop(self.rows.drain(..k));
     }
 
     /// The row at `index`.
@@ -219,6 +233,7 @@ impl Table {
                     table: self,
                     key,
                     row_indices: indices,
+                    base: 0,
                 }
             })
             .collect())
@@ -234,36 +249,56 @@ pub struct Cluster<'a> {
     table: &'a Table,
     key: Vec<Value>,
     row_indices: Vec<usize>,
+    /// Stream position of the first buffered row.  0 for batch clusters;
+    /// a streaming session raises it as it compacts its window, so stream
+    /// positions stay absolute while only `len() - base` rows are held.
+    base: usize,
 }
 
 impl<'a> Cluster<'a> {
+    /// A bounded-window view for streaming: `table` holds the rows at
+    /// stream positions `base..base + table.len()` in arrival order;
+    /// positions below `base` have been compacted away and must not be
+    /// accessed.
+    pub fn windowed(table: &'a Table, key: Vec<Value>, base: usize) -> Cluster<'a> {
+        Cluster {
+            table,
+            key,
+            row_indices: (0..table.len()).collect(),
+            base,
+        }
+    }
+
     /// The cluster key (values of the `CLUSTER BY` columns).
     pub fn key(&self) -> &[Value] {
         &self.key
     }
 
-    /// Number of rows in the cluster.
+    /// Number of rows in the stream (for a windowed cluster this counts
+    /// the compacted prefix too: positions are absolute).
     pub fn len(&self) -> usize {
-        self.row_indices.len()
+        self.base + self.row_indices.len()
     }
 
     /// `true` iff the cluster is empty (cannot happen for clusters produced
     /// by [`Table::cluster_by`], but synthetic clusters may be empty).
     pub fn is_empty(&self) -> bool {
-        self.row_indices.is_empty()
+        self.len() == 0
     }
 
-    /// The `pos`-th row of the stream (0-based).
+    /// The `pos`-th row of the stream (0-based; panics below a windowed
+    /// cluster's base).
     pub fn get(&self, pos: usize) -> &'a [Value] {
-        self.table.row(self.row_indices[pos])
+        self.table.row(self.row_indices[pos - self.base])
     }
 
     /// The underlying table row index of stream position `pos`.
     pub fn table_index(&self, pos: usize) -> usize {
-        self.row_indices[pos]
+        self.row_indices[pos - self.base]
     }
 
-    /// Iterate rows in stream order.
+    /// Iterate the buffered rows in stream order (everything for a batch
+    /// cluster; the retained window for a windowed one).
     pub fn iter(&self) -> impl Iterator<Item = &'a [Value]> + '_ {
         self.row_indices.iter().map(move |&i| self.table.row(i))
     }
@@ -274,12 +309,15 @@ impl<'a> Cluster<'a> {
     }
 
     /// A view of this cluster with the stream order reversed (used by the
-    /// reverse-direction search of the paper's §8).
+    /// reverse-direction search of the paper's §8).  Not meaningful for
+    /// windowed clusters.
     pub fn reversed(&self) -> Cluster<'a> {
+        debug_assert_eq!(self.base, 0, "cannot reverse a windowed cluster");
         Cluster {
             table: self.table,
             key: self.key.clone(),
             row_indices: self.row_indices.iter().rev().copied().collect(),
+            base: 0,
         }
     }
 }
@@ -427,6 +465,44 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn windowed_cluster_keeps_absolute_positions() {
+        let mut t = Table::new(quote_schema());
+        let d = |day| Value::Date(Date::from_ymd(1999, 1, day));
+        for (day, price) in [(25, 81.0), (26, 80.5), (27, 84.0)] {
+            t.push_row(vec![Value::from("IBM"), d(day), Value::from(price)])
+                .unwrap();
+        }
+        // Compact the first row away; positions 1..=3 remain addressable.
+        t.remove_prefix(1);
+        let w = Cluster::windowed(&t, vec![Value::from("IBM")], 1);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert_eq!(w.get(1)[2], Value::from(80.5));
+        assert_eq!(w.get(2)[2], Value::from(84.0));
+        assert_eq!(w.table_index(1), 0);
+        assert_eq!(w.iter().count(), 2);
+        // remove_prefix clamps.
+        t.remove_prefix(100);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn validate_row_matches_push_row() {
+        let s = quote_schema();
+        assert!(s.validate_row(&[Value::from("IBM")]).is_err());
+        assert!(s
+            .validate_row(&[Value::from("IBM"), Value::from("oops"), Value::from(1.0)])
+            .is_err());
+        assert!(s
+            .validate_row(&[
+                Value::from("IBM"),
+                Value::Date(Date::from_days(0)),
+                Value::Int(81)
+            ])
+            .is_ok());
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum TripCause {
     MatchBudget,
     /// The cancellation token was cancelled.
     Cancelled,
+    /// A streaming session's buffered-window high-watermark was exceeded
+    /// and the in-flight attempt was force-failed (backpressure relief).
+    StreamPressure,
 }
 
 impl TripCause {
@@ -27,7 +30,20 @@ impl TripCause {
             TripCause::StepBudget => "step_budget",
             TripCause::MatchBudget => "match_budget",
             TripCause::Cancelled => "cancelled",
+            TripCause::StreamPressure => "stream_pressure",
         }
+    }
+
+    /// Parse a [`TripCause::as_str`] name back (checkpoint decoding).
+    pub fn parse(name: &str) -> Option<TripCause> {
+        Some(match name {
+            "deadline" => TripCause::Deadline,
+            "step_budget" => TripCause::StepBudget,
+            "match_budget" => TripCause::MatchBudget,
+            "cancelled" => TripCause::Cancelled,
+            "stream_pressure" => TripCause::StreamPressure,
+            _ => return None,
+        })
     }
 }
 
@@ -90,6 +106,25 @@ pub enum TraceEvent {
         /// Which limit tripped.
         cause: TripCause,
     },
+    /// A streaming session accepted input record `i` (1-based feed count).
+    /// Session-level: recorded into the session's stream log, never into a
+    /// per-cluster recorder.
+    Feed {
+        /// 1-based input record number.
+        i: u32,
+    },
+    /// A streaming session quarantined (or skipped) input record `i`.
+    /// Session-level, like [`TraceEvent::Feed`].
+    Quarantine {
+        /// 1-based input record number.
+        i: u32,
+    },
+    /// A streaming session took a checkpoint after `tuples` input records.
+    /// Session-level, like [`TraceEvent::Feed`].
+    Checkpoint {
+        /// Input records covered by the checkpoint.
+        tuples: u32,
+    },
 }
 
 impl TraceEvent {
@@ -102,6 +137,9 @@ impl TraceEvent {
             TraceEvent::Next { .. } => "next",
             TraceEvent::MatchEmitted { .. } => "match",
             TraceEvent::GovernorTrip { .. } => "governor_trip",
+            TraceEvent::Feed { .. } => "feed",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
         }
     }
 
@@ -125,6 +163,12 @@ impl TraceEvent {
             TraceEvent::GovernorTrip { cause } => {
                 let _ = write!(out, "{{\"ev\":\"governor_trip\",\"cause\":\"{cause}\"}}");
             }
+            TraceEvent::Feed { i } | TraceEvent::Quarantine { i } => {
+                let _ = write!(out, "{{\"ev\":\"{}\",\"i\":{i}}}", self.kind());
+            }
+            TraceEvent::Checkpoint { tuples } => {
+                let _ = write!(out, "{{\"ev\":\"checkpoint\",\"tuples\":{tuples}}}");
+            }
         }
     }
 }
@@ -141,7 +185,7 @@ pub trait TraceSink {
 /// counts how many older ones were dropped.  Dropping is deterministic —
 /// the retained window depends only on the event stream and the capacity,
 /// never on timing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RingBuffer {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
@@ -171,6 +215,27 @@ impl RingBuffer {
     /// How many events were dropped (oldest-first) to stay within bounds.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuild a recorder from previously captured parts (checkpoint
+    /// restore).  Events beyond `capacity` are dropped oldest-first, as if
+    /// they had been recorded live.
+    pub fn from_parts(capacity: usize, events: Vec<TraceEvent>, dropped: u64) -> RingBuffer {
+        let mut rb = RingBuffer {
+            buf: VecDeque::new(),
+            capacity,
+            dropped,
+        };
+        // Replay through `record` minus the drop accounting already
+        // reflected in `dropped`.
+        let spill = events.len().saturating_sub(capacity);
+        rb.buf.extend(events.into_iter().skip(spill));
+        rb
     }
 
     /// Number of retained events.
@@ -231,6 +296,21 @@ mod tests {
                 },
                 r#"{"ev":"governor_trip","cause":"step_budget"}"#,
             ),
+            (
+                TraceEvent::GovernorTrip {
+                    cause: TripCause::StreamPressure,
+                },
+                r#"{"ev":"governor_trip","cause":"stream_pressure"}"#,
+            ),
+            (TraceEvent::Feed { i: 7 }, r#"{"ev":"feed","i":7}"#),
+            (
+                TraceEvent::Quarantine { i: 8 },
+                r#"{"ev":"quarantine","i":8}"#,
+            ),
+            (
+                TraceEvent::Checkpoint { tuples: 100 },
+                r#"{"ev":"checkpoint","tuples":100}"#,
+            ),
         ];
         for (event, expect) in cases {
             let mut s = String::new();
@@ -263,5 +343,30 @@ mod tests {
         rb.record(TraceEvent::MatchEmitted { start: 1, end: 1 });
         assert!(rb.is_empty());
         assert_eq!(rb.dropped(), 1);
+    }
+
+    #[test]
+    fn trip_cause_names_round_trip() {
+        for cause in [
+            TripCause::Deadline,
+            TripCause::StepBudget,
+            TripCause::MatchBudget,
+            TripCause::Cancelled,
+            TripCause::StreamPressure,
+        ] {
+            assert_eq!(TripCause::parse(cause.as_str()), Some(cause));
+        }
+        assert_eq!(TripCause::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn ring_buffer_from_parts_round_trips() {
+        let mut rb = RingBuffer::new(3);
+        for i in 1..=5 {
+            rb.record(TraceEvent::Feed { i });
+        }
+        let rebuilt =
+            RingBuffer::from_parts(rb.capacity(), rb.events().copied().collect(), rb.dropped());
+        assert_eq!(rebuilt, rb);
     }
 }

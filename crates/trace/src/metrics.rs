@@ -97,13 +97,30 @@ impl BoundedHistogram {
             (1u64 << b) - 1
         }
     }
+
+    /// The raw bucket counts (checkpoint capture).
+    pub fn raw_buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from previously captured parts (checkpoint
+    /// restore).  `count`/`sum`/`max` are taken as recorded because `sum`
+    /// and `max` are not derivable from the buckets.
+    pub fn from_parts(buckets: [u64; HIST_BUCKETS], count: u64, sum: u64, max: u64) -> Self {
+        BoundedHistogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
 }
 
 /// The per-cluster slice of the metrics registry.  Plain counters — no
 /// interior mutability, no atomics; one recorder belongs to exactly one
 /// cluster search, and cross-cluster totals come from merging in cluster
 /// order.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ClusterMetrics {
     /// Predicate tests per 1-based pattern position (`[j-1]`), the
     /// paper's §7 metric broken down by element.
@@ -170,7 +187,7 @@ impl ClusterMetrics {
 /// whenever a test event's input position moves backwards, the distance
 /// is one backtrack episode — the same definition the paper applies to
 /// its Figure 5 trajectories.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClusterRecorder {
     /// The metrics registry being populated.
     pub metrics: ClusterMetrics,
@@ -189,6 +206,22 @@ impl ClusterRecorder {
             metrics: ClusterMetrics::new(positions),
             events: RingBuffer::new(trace_capacity),
             last_i: 0,
+        }
+    }
+
+    /// Input position of the last test event (checkpoint capture; needed
+    /// so a restored recorder derives backtrack depth identically).
+    pub fn last_i(&self) -> u32 {
+        self.last_i
+    }
+
+    /// Rebuild a recorder mid-stream from previously captured parts
+    /// (checkpoint restore).
+    pub fn from_parts(metrics: ClusterMetrics, events: RingBuffer, last_i: u32) -> Self {
+        ClusterRecorder {
+            metrics,
+            events,
+            last_i,
         }
     }
 
@@ -220,6 +253,13 @@ impl TraceSink for ClusterRecorder {
                     self.metrics.trip = Some(cause);
                 }
             }
+            // Session-level streaming events; a streaming session records
+            // them into its own stream log, so they normally never reach a
+            // per-cluster recorder.  If one does, keep the event stream
+            // faithful without folding anything into the metrics.
+            TraceEvent::Feed { .. }
+            | TraceEvent::Quarantine { .. }
+            | TraceEvent::Checkpoint { .. } => {}
         }
         self.events.record(event);
     }

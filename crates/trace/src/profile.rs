@@ -84,7 +84,7 @@ impl OptimizerReport {
 }
 
 /// One cluster's slice of the execution profile.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterProfile {
     /// 0-based index in `CLUSTER BY` order.
     pub index: usize,

@@ -326,6 +326,184 @@ fn fuzz_governed(seed: u64, rounds: u32) {
     );
 }
 
+/// Property: feeding a relation one tuple at a time through a
+/// [`StreamSession`] and then finishing produces the same rows, the same
+/// stats, and (with instrumentation armed) the same per-cluster metrics
+/// and event streams as one batch `execute` over the same rows — for
+/// every engine, both policies, and both thread counts.
+fn fuzz_streamed(seed: u64, rounds: u32) {
+    use sqlts_core::{compile, execute, CompileOptions, Instrument, StreamOptions, StreamSession};
+    use sqlts_datagen::quote_schema as schema;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut interesting = 0u32;
+    for round in 0..rounds {
+        let base = random_query(&mut rng);
+        let text = base.replace("SEQUENCE BY date", "CLUSTER BY name SEQUENCE BY date");
+        let clusters = rng.gen_range(1..=4);
+        let table = random_clustered_table(&mut rng, clusters);
+        let policy = if rng.gen_bool(0.5) {
+            FirstTuplePolicy::VacuousTrue
+        } else {
+            FirstTuplePolicy::Fail
+        };
+        let engine = [
+            EngineKind::Naive,
+            EngineKind::NaiveBacktrack,
+            EngineKind::Ops,
+            EngineKind::OpsShiftOnly,
+        ][rng.gen_range(0..4usize)];
+        let threads = [1usize, 4][rng.gen_range(0..2usize)];
+        let query = compile(&text, &schema(), &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("round {round}: {text}: {e}"));
+        let exec = ExecOptions {
+            engine,
+            policy,
+            threads: NonZeroUsize::new(threads).unwrap(),
+            instrument: Instrument::tracing(),
+            ..Default::default()
+        };
+        let ctx = format!("round {round} ({engine:?}, {policy:?}, threads={threads}):\n{text}");
+
+        let batch = execute(&query, &table, &exec).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        if batch.stats.matches > 0 {
+            interesting += 1;
+        }
+        let mut session = StreamSession::new(
+            &query,
+            StreamOptions {
+                exec: exec.clone(),
+                ..StreamOptions::default()
+            },
+        )
+        .unwrap();
+        for row in table.rows() {
+            session
+                .feed(row.to_vec())
+                .unwrap_or_else(|e| panic!("{ctx}: feed: {e}"));
+        }
+        let streamed = session
+            .finish()
+            .unwrap_or_else(|e| panic!("{ctx}: finish: {e}"));
+        assert_eq!(streamed.table, batch.table, "streamed ≠ batch rows: {ctx}");
+        assert_eq!(streamed.stats, batch.stats, "streamed ≠ batch stats: {ctx}");
+        let (sp, bp) = (streamed.profile.unwrap(), batch.profile.unwrap());
+        assert_eq!(sp.clusters, bp.clusters, "cluster profiles diverged: {ctx}");
+        assert_eq!(sp.totals, bp.totals, "profile totals diverged: {ctx}");
+        assert_eq!(sp.tuples, bp.tuples, "profile tuple counts diverged: {ctx}");
+    }
+    assert!(
+        interesting > rounds / 5,
+        "only {interesting}/{rounds} streamed runs had matches; generator is too cold"
+    );
+}
+
+/// Property: a checkpoint taken at *any* tuple boundary — serialized to
+/// text and parsed back — resumes to the exact rows, stats, profile, and
+/// stream log of the session that was never interrupted.
+fn fuzz_checkpoint_resume(seed: u64, rounds: u32) {
+    use sqlts_core::{
+        compile, CompileOptions, Instrument, SessionCheckpoint, StreamOptions, StreamSession,
+    };
+    use sqlts_datagen::quote_schema as schema;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let base = random_query(&mut rng);
+        let text = base.replace("SEQUENCE BY date", "CLUSTER BY name SEQUENCE BY date");
+        let clusters = rng.gen_range(1..=3);
+        let table = random_clustered_table(&mut rng, clusters);
+        let all: Vec<Vec<Value>> = table.rows().map(<[Value]>::to_vec).collect();
+        let engine = [
+            EngineKind::Naive,
+            EngineKind::NaiveBacktrack,
+            EngineKind::Ops,
+            EngineKind::OpsShiftOnly,
+        ][rng.gen_range(0..4usize)];
+        let query = compile(&text, &schema(), &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("round {round}: {text}: {e}"));
+        let options = || StreamOptions {
+            exec: ExecOptions {
+                engine,
+                instrument: Instrument::tracing(),
+                ..Default::default()
+            },
+            log_capacity: 4096,
+            ..StreamOptions::default()
+        };
+
+        // Every boundary on small streams; a random sample on larger ones.
+        let splits: Vec<usize> = if all.len() <= 24 {
+            (0..=all.len()).collect()
+        } else {
+            let mut s = vec![0, 1, all.len() / 2, all.len() - 1, all.len()];
+            for _ in 0..4 {
+                s.push(rng.gen_range(0..=all.len()));
+            }
+            s
+        };
+        for split in splits {
+            let ctx = format!(
+                "round {round} ({engine:?}, split={split}/{}):\n{text}",
+                all.len()
+            );
+            // The uninterrupted session checkpoints at the boundary too, so
+            // its stream log carries the same Checkpoint event.
+            let mut live = StreamSession::new(&query, options()).unwrap();
+            for row in &all[..split] {
+                live.feed(row.clone()).unwrap();
+            }
+            let text_cp = live.snapshot().unwrap().to_text();
+            for row in &all[split..] {
+                live.feed(row.clone()).unwrap();
+            }
+            let live_log: Vec<_> = live.stream_log().unwrap().events().cloned().collect();
+            let live_result = live.finish().unwrap();
+
+            let checkpoint = SessionCheckpoint::from_text(&text_cp)
+                .unwrap_or_else(|e| panic!("{ctx}: parse: {e}"));
+            assert_eq!(checkpoint.records(), split as u64, "{ctx}");
+            let mut resumed = StreamSession::resume(&query, options(), checkpoint).unwrap();
+            for row in &all[split..] {
+                resumed.feed(row.clone()).unwrap();
+            }
+            let resumed_log: Vec<_> = resumed.stream_log().unwrap().events().cloned().collect();
+            let resumed_result = resumed.finish().unwrap();
+
+            assert_eq!(resumed_log, live_log, "stream logs diverged: {ctx}");
+            assert_eq!(
+                resumed_result.table, live_result.table,
+                "rows diverged: {ctx}"
+            );
+            assert_eq!(
+                resumed_result.stats, live_result.stats,
+                "stats diverged: {ctx}"
+            );
+            let (rp, lp) = (
+                resumed_result.profile.unwrap(),
+                live_result.profile.unwrap(),
+            );
+            assert_eq!(rp.clusters, lp.clusters, "cluster profiles diverged: {ctx}");
+            assert_eq!(rp.totals, lp.totals, "profile totals diverged: {ctx}");
+        }
+    }
+}
+
+#[test]
+fn streamed_execution_agrees_with_batch() {
+    fuzz_streamed(0x57AE4, 120);
+}
+
+#[test]
+fn streamed_execution_agrees_with_batch_second_seed() {
+    fuzz_streamed(0xFEED5, 120);
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_at_every_boundary() {
+    fuzz_checkpoint_resume(0xC4EC4, 12);
+}
+
 #[test]
 fn random_patterns_agree_across_engines() {
     fuzz(0xC0FFEE, 400);
