@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""CI smoke test for `sqlts serve`.
+
+Drives a release-build server over real sockets: three concurrent
+subscriptions share one 10k-tuple feed, one client is killed mid-stream
+and resumes from its checkpoint on a fresh connection, and every
+subscription's final result must be byte-identical to the batch run over
+the same tuples.  Also scrapes /metrics and sanity-checks the exposition.
+
+Usage: python3 ci/server_smoke.py target/release/sqlts
+"""
+
+import socket
+import subprocess
+import sys
+import urllib.request
+
+QUERY = (
+    "SELECT X.name, Z.day AS day FROM quote "
+    "CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) "
+    "WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price"
+)
+SCHEMA = "name:str,day:int,price:float"
+NAMES = ["AAA", "BBB", "CCC", "DDD", "EEE"]
+DAYS = 2000  # 5 names x 2000 days = 10k tuples
+
+
+def workload():
+    rows = []
+    for day in range(DAYS):
+        for i, name in enumerate(NAMES):
+            price = 100 + ((day + i) % 7) * 3 - ((day + i) % 3) * 5
+            rows.append(f"{name},{day},{price}")
+    return rows
+
+
+class Client:
+    """One framed-protocol connection (frame = len SP payload LF)."""
+
+    def __init__(self, addr):
+        host, port = addr.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)), timeout=60)
+        self.buf = b""
+
+    def _exact(self, n):
+        while len(self.buf) < n:
+            chunk = self.sock.recv(65536)
+            assert chunk, "server closed the connection"
+            self.buf += chunk
+        out, self.buf = self.buf[:n], self.buf[n:]
+        return out
+
+    def recv(self):
+        head = b""
+        while not head.endswith(b" "):
+            head += self._exact(1)
+        n = int(head[:-1])
+        payload = self._exact(n)
+        assert self._exact(1) == b"\n", "frame check byte"
+        return payload.decode()
+
+    def send(self, payload):
+        data = payload.encode()
+        self.sock.sendall(str(len(data)).encode() + b" " + data + b"\n")
+        return self.recv()
+
+    def kill(self):
+        self.sock.close()
+
+
+def expect(reply, prefix):
+    assert reply.startswith(prefix), f"expected {prefix!r}, got {reply!r}"
+    return reply
+
+
+def result_body(reply, sub, code):
+    head, _, body = reply.partition("\n")
+    assert head.startswith(f"RESULT {sub} {code} "), f"bad result head: {head!r}"
+    return body
+
+
+def main():
+    bin_path = sys.argv[1]
+    rows = workload()
+
+    # Batch reference.
+    with open("smoke.csv", "w") as f:
+        f.write("name,day,price\n")
+        f.write("\n".join(rows) + "\n")
+    batch = subprocess.run(
+        [bin_path, "--csv", "smoke.csv", "--schema", SCHEMA, QUERY],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    assert batch.count("\n") > 1, "batch produced no matches"
+
+    server = subprocess.Popen(
+        [bin_path, "serve", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        announce = server.stdout.readline().strip()
+        assert announce.startswith("listening on "), announce
+        addr = announce.removeprefix("listening on ")
+
+        main_conn = Client(addr)
+        doomed = Client(addr)
+        expect(main_conn.send("PING"), "OK pong")
+        expect(main_conn.send(f"OPEN quote {SCHEMA}"), "OK opened quote")
+        expect(main_conn.send(f"SUBSCRIBE s1 quote\n{QUERY}"), "OK subscribed s1")
+        expect(main_conn.send(f"SUBSCRIBE s3 quote\n{QUERY}"), "OK subscribed s3")
+        expect(doomed.send(f"SUBSCRIBE s2 quote\n{QUERY}"), "OK subscribed s2")
+
+        chunks = [rows[i:i + 500] for i in range(0, len(rows), 500)]
+        half = len(chunks) // 2
+        for chunk in chunks[:half]:
+            expect(main_conn.send("FEED quote\n" + "\n".join(chunk)),
+                   f"OK fed {len(chunk)} subs=3")
+
+        # Checkpoint s2, then kill its connection without so much as a
+        # goodbye; the server reaps it while the feed keeps flowing.
+        cp = doomed.send("CHECKPOINT s2")
+        assert cp.startswith("CHECKPOINT s2\nsqlts-checkpoint v1\n"), cp[:80]
+        checkpoint = cp.partition("\n")[2]
+        doomed.kill()
+
+        resumer = Client(addr)
+        expect(resumer.send(f"RESUME s2r quote\n{QUERY}\n{checkpoint}"),
+               "OK resumed s2r")
+        for chunk in chunks[half:]:
+            expect(main_conn.send("FEED quote\n" + "\n".join(chunk)),
+                   f"OK fed {len(chunk)} subs=3")
+
+        with urllib.request.urlopen(f"http://{addr}/metrics", timeout=60) as r:
+            metrics = r.read().decode()
+        for needle in ["sqlts_server_connections_total",
+                       'sqlts_sub_records{tenant="s1"}',
+                       'sqlts_sub_tripped{tenant="s2r"} 0']:
+            assert needle in metrics, f"missing {needle} in scrape"
+
+        for conn, sub in [(main_conn, "s1"), (main_conn, "s3"), (resumer, "s2r")]:
+            body = result_body(conn.send(f"UNSUBSCRIBE {sub}"), sub, 0)
+            assert body == batch, (
+                f"{sub} diverged from batch: "
+                f"{len(body.splitlines())} vs {len(batch.splitlines())} lines"
+            )
+        print(f"server smoke OK: 3 subscriptions x {len(rows)} tuples, "
+              f"{batch.count(chr(10)) - 1} matches each, kill+resume byte-identical")
+    finally:
+        server.kill()
+        server.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@
 //!       "SELECT … FROM … AS (X, *Y, Z) WHERE …"
 //!
 //! sqlts --demo-djia [--seed N] …     # use the built-in simulated DJIA
+//!
+//! sqlts serve [--listen ADDR] …      # multi-tenant query server mode
 //! ```
 //!
 //! Prints the result as CSV on stdout; `--stats` adds the cost metric on
@@ -22,6 +24,11 @@
 //! checkpoint, `--on-bad-tuple` picks the malformed-input policy, and
 //! `--feed-limit N` stops after N tuples without finishing (a
 //! deterministic mid-stream kill for recovery drills).
+//!
+//! Server mode: `sqlts serve` binds a TCP listener speaking the framed
+//! SQL-TS subscription protocol (see the README's "Server mode" section)
+//! and answers HTTP `GET /metrics` on the same port; `sqlts serve --help`
+//! lists its flags.
 //!
 //! Exit codes: `0` success, `2` usage, `3` input (query compile or CSV
 //! ingest), `4` runtime (governed termination or isolated cluster
@@ -183,6 +190,71 @@ const FLAGS: &[FlagSpec] = &[
     },
 ];
 
+/// Every flag `sqlts serve` accepts, same single-source-of-truth scheme
+/// as [`FLAGS`].
+const SERVE_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--listen",
+        metavar: Some("ADDR"),
+        help: "listen address (default 127.0.0.1:7878; port 0 picks a free port, \
+               printed as 'listening on <addr>')",
+    },
+    FlagSpec {
+        name: "--max-subscriptions",
+        metavar: Some("N"),
+        help: "admission cap on concurrently live subscriptions (default 64)",
+    },
+    FlagSpec {
+        name: "--queue-depth",
+        metavar: Some("N"),
+        help: "per-subscription command-queue depth; feeders block when a \
+               subscription falls this far behind (default 16)",
+    },
+    FlagSpec {
+        name: "--poll-interval-ms",
+        metavar: Some("N"),
+        help: "idle-poll interval for stalled-deadline reclamation (default 50)",
+    },
+    FlagSpec {
+        name: "--max-frame-bytes",
+        metavar: Some("N"),
+        help: "largest accepted protocol frame; bigger frames get ERR 2 and \
+               are skipped (default 1048576)",
+    },
+    FlagSpec {
+        name: "--timeout-ms",
+        metavar: Some("N"),
+        help: "default wall-clock budget per subscription (trips even while \
+               the subscription is idle)",
+    },
+    FlagSpec {
+        name: "--max-steps",
+        metavar: Some("N"),
+        help: "default predicate-test budget per subscription",
+    },
+    FlagSpec {
+        name: "--max-matches",
+        metavar: Some("N"),
+        help: "default retained-match budget per subscription",
+    },
+    FlagSpec {
+        name: "--engine",
+        metavar: Some("naive|backtrack|ops|shift-only"),
+        help: "engine for fresh subscriptions; RESUME adopts the checkpoint's \
+               engine (default ops)",
+    },
+    FlagSpec {
+        name: "--retain-profiles",
+        metavar: Some("N"),
+        help: "finished subscription profiles kept for /metrics (default 32)",
+    },
+    FlagSpec {
+        name: "--help",
+        metavar: None,
+        help: "print this help and exit",
+    },
+];
+
 /// How `--profile` serializes the execution profile.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 enum MetricsFormat {
@@ -265,6 +337,18 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Parse a flag's numeric value, exiting with usage (never panicking) on
+/// a malformed or absent one.
+fn numeric<T: std::str::FromStr>(v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+/// Require a flag's string value (present for every flag with a metavar;
+/// exits with usage rather than panicking if the invariant ever breaks).
+fn req(v: Option<String>) -> String {
+    v.unwrap_or_else(|| usage())
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         csv: None,
@@ -291,9 +375,6 @@ fn parse_args() -> Args {
         bad_tuple: BadTuplePolicy::Fail,
         query: None,
     };
-    fn numeric<T: std::str::FromStr>(v: Option<String>) -> T {
-        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
-    }
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let name = if arg == "-h" { "--help" } else { arg.as_str() };
@@ -307,7 +388,7 @@ fn parse_args() -> Args {
         // The table drives arity: flags with a metavar consume one value.
         let value = spec.metavar.map(|_| it.next().unwrap_or_else(|| usage()));
         match name {
-            "--csv" => args.csv = Some(PathBuf::from(value.unwrap())),
+            "--csv" => args.csv = Some(PathBuf::from(req(value))),
             "--schema" => args.schema = value,
             "--demo-djia" => args.demo_djia = true,
             "--seed" => args.seed = numeric(value),
@@ -343,11 +424,11 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
-            "--trace" => args.trace = Some(PathBuf::from(value.unwrap())),
+            "--trace" => args.trace = Some(PathBuf::from(req(value))),
             "--trace-capacity" => args.trace_capacity = numeric(value),
             "--strict-previous" => args.strict_previous = true,
             "--follow" => args.follow = true,
-            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value.unwrap())),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(req(value))),
             "--checkpoint-every" => args.checkpoint_every = numeric(value),
             "--feed-limit" => args.feed_limit = Some(numeric(value)),
             "--on-bad-tuple" => {
@@ -369,6 +450,118 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+fn serve_help_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "usage: sqlts serve [FLAGS]\n\
+         \n\
+         Run the multi-tenant SQL-TS query server: a framed TCP protocol\n\
+         (OPEN / SUBSCRIBE / FEED / CHECKPOINT / RESUME / UNSUBSCRIBE over\n\
+         shared named input channels) plus HTTP GET /metrics on the same\n\
+         port.  See the README's \"Server mode\" section for the protocol\n\
+         grammar and a walkthrough.\n\
+         \n\
+         flags:\n",
+    );
+    let width = SERVE_FLAGS
+        .iter()
+        .map(|f| f.name.len() + f.metavar.map_or(0, |m| m.len() + 1))
+        .max()
+        .unwrap_or(0);
+    for f in SERVE_FLAGS {
+        let lhs = match f.metavar {
+            Some(m) => format!("{} {m}", f.name),
+            None => f.name.to_string(),
+        };
+        let _ = writeln!(out, "  {lhs:width$}  {}", f.help);
+    }
+    out
+}
+
+fn serve_usage() -> ! {
+    eprint!("{}", serve_help_text());
+    std::process::exit(2)
+}
+
+/// The `serve` subcommand: parse its flag table, bind, announce the
+/// resolved address on stdout (tests and scripts parse this line), and
+/// serve until killed.
+fn run_serve() -> Result<(), CliError> {
+    let mut config = sqlts_server::ServerConfig {
+        listen: "127.0.0.1:7878".into(),
+        ..sqlts_server::ServerConfig::default()
+    };
+    let mut timeout_ms: Option<u64> = None;
+    let mut max_steps: Option<u64> = None;
+    let mut max_matches: Option<u64> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        let name = if arg == "-h" { "--help" } else { arg.as_str() };
+        let Some(spec) = SERVE_FLAGS.iter().find(|f| f.name == name) else {
+            serve_usage();
+        };
+        let value = spec
+            .metavar
+            .map(|_| it.next().unwrap_or_else(|| serve_usage()));
+        match name {
+            "--listen" => config.listen = value.unwrap_or_else(|| serve_usage()),
+            "--max-subscriptions" => config.max_subscriptions = serve_numeric(value),
+            "--queue-depth" => config.queue_depth = serve_numeric(value),
+            "--poll-interval-ms" => {
+                config.poll_interval = Duration::from_millis(serve_numeric(value))
+            }
+            "--max-frame-bytes" => config.max_frame_bytes = serve_numeric(value),
+            "--timeout-ms" => timeout_ms = Some(serve_numeric(value)),
+            "--max-steps" => max_steps = Some(serve_numeric(value)),
+            "--max-matches" => max_matches = Some(serve_numeric(value)),
+            "--engine" => {
+                config.engine = match value.as_deref() {
+                    Some("naive") => EngineKind::Naive,
+                    Some("backtrack") => EngineKind::NaiveBacktrack,
+                    Some("ops") => EngineKind::Ops,
+                    Some("shift-only") => EngineKind::OpsShiftOnly,
+                    _ => serve_usage(),
+                }
+            }
+            "--retain-profiles" => config.retain_profiles = serve_numeric(value),
+            "--help" => {
+                print!("{}", serve_help_text());
+                std::process::exit(0)
+            }
+            _ => unreachable!("serve flag in table without a parse arm: {name}"),
+        }
+    }
+    let mut governor = Governor::unlimited();
+    if let Some(ms) = timeout_ms {
+        governor = governor.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(n) = max_steps {
+        governor = governor.with_max_steps(n);
+    }
+    if let Some(n) = max_matches {
+        governor = governor.with_max_matches(n);
+    }
+    config.governor = governor;
+    let listen = config.listen.clone();
+    let server = sqlts_server::Server::bind(config)
+        .map_err(|e| CliError::Input(format!("bind {listen}: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Runtime(format!("local_addr: {e}")))?;
+    // Stdout is line-buffered, so this announcement reaches pipes
+    // immediately — drivers wait for it before connecting.
+    println!("listening on {addr}");
+    server
+        .run()
+        .map_err(|e| CliError::Runtime(format!("server: {e}")))
+}
+
+/// Like [`numeric`] but exits through the serve-mode usage text.
+fn serve_numeric<T: std::str::FromStr>(v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| serve_usage())
 }
 
 fn parse_schema(spec: &str) -> Result<Schema, String> {
@@ -613,6 +806,9 @@ fn run_follow(
 }
 
 fn run() -> Result<(), CliError> {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return run_serve();
+    }
     let args = parse_args();
     let query_src = args.query.clone().unwrap_or_else(|| usage());
 
@@ -665,7 +861,13 @@ fn run() -> Result<(), CliError> {
         return run_follow(&args, &compiled, exec);
     }
 
-    let table = table.expect("batch mode always builds a table");
+    // Batch mode: the table was built above in every non-follow branch;
+    // degrade to a diagnostic (never a panic) should that ever regress.
+    let Some(table) = table else {
+        return Err(CliError::Input(
+            "internal: batch mode reached without an input table".into(),
+        ));
+    };
     let (result, trip) = match execute(&compiled, &table, &exec) {
         Ok(result) => (result, None),
         Err(ExecError::Governed { trip, partial }) => (*partial, Some(trip)),

@@ -1,0 +1,337 @@
+//! End-to-end tests for `sqlts serve`: a real server process, real TCP
+//! connections speaking the framed protocol.
+//!
+//! The load-bearing invariants:
+//!
+//! * N concurrent subscriptions over one shared feed each produce output
+//!   byte-identical to batch `execute` over the same tuples — including a
+//!   subscription that checkpointed, lost its connection, and resumed on
+//!   a new one;
+//! * malformed protocol frames (oversized, bad UTF-8, unknown verbs) are
+//!   answered with `ERR`, never by a panic or a dropped connection;
+//! * `GET /metrics` on the same port serves a sane Prometheus exposition;
+//! * a subscription that stops feeding still trips its wall-clock
+//!   deadline (the stalled-tenant fix) and reports a partial, exit-coded
+//!   result.
+
+use sqlts_server::frame::{read_frame, write_frame, FrameEvent};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_sqlts");
+const SCHEMA: &str = "name:str,day:int,price:float";
+const QUERY: &str = "SELECT X.name, Z.day AS day FROM quote \
+                     CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) \
+                     WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price";
+
+/// A running `sqlts serve` process, killed on drop.
+struct ServerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `sqlts serve --listen 127.0.0.1:0 <extra>` and wait for its
+/// "listening on <addr>" announcement.
+fn spawn_server(extra: &[&str]) -> ServerGuard {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    ServerGuard { child, addr }
+}
+
+/// One protocol connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Send one frame and read one reply frame.
+    fn send(&mut self, payload: &str) -> String {
+        write_frame(&mut self.writer, payload).unwrap();
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        match read_frame(&mut self.reader, 1 << 24).unwrap() {
+            FrameEvent::Payload(p) => p,
+            other => panic!("expected a payload frame, got {other:?}"),
+        }
+    }
+}
+
+/// The follow-suite's deterministic zig-zag workload over two clusters.
+fn rows() -> Vec<String> {
+    let mut out = Vec::new();
+    for day in 0..120i64 {
+        for (name, phase) in [("AAA", 0), ("BBB", 1)] {
+            let price = 100 + ((day + phase) % 7) * 3 - ((day + phase) % 3) * 5;
+            out.push(format!("{name},{day},{price}"));
+        }
+    }
+    out
+}
+
+/// The batch-mode reference output for the same tuples.
+fn batch_csv(rows: &[String]) -> String {
+    let dir = std::env::temp_dir().join(format!("sqlts-server-batch-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("data.csv");
+    std::fs::write(&path, format!("name,day,price\n{}\n", rows.join("\n"))).unwrap();
+    let out = Command::new(BIN)
+        .args(["--csv", path.to_str().unwrap(), "--schema", SCHEMA, QUERY])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Strip a `RESULT <id> <code> ...` head and assert the expected code.
+fn result_body(reply: &str, id: &str, code: u8) -> String {
+    let (head, body) = reply.split_once('\n').unwrap();
+    assert!(
+        head.starts_with(&format!("RESULT {id} {code} ")),
+        "unexpected result head: {head}"
+    );
+    body.to_string()
+}
+
+#[test]
+fn concurrent_subscriptions_match_batch() {
+    let rows = rows();
+    let expected = batch_csv(&rows);
+    let server = spawn_server(&[]);
+
+    // Three subscriptions across two connections, one shared feed.
+    let mut conn_a = Client::connect(&server.addr);
+    let mut conn_b = Client::connect(&server.addr);
+    assert_eq!(conn_a.send("PING"), "OK pong");
+    assert_eq!(
+        conn_a.send(&format!("OPEN quote {SCHEMA}")),
+        "OK opened quote"
+    );
+    for (on_a, id) in [(true, "s1"), (true, "s2"), (false, "s3")] {
+        let conn = if on_a { &mut conn_a } else { &mut conn_b };
+        let reply = conn.send(&format!("SUBSCRIBE {id} quote\n{QUERY}"));
+        assert_eq!(reply, format!("OK subscribed {id} quote"));
+    }
+    // Feed in chunks from connection B; every subscription sees all rows.
+    for chunk in rows.chunks(50) {
+        let reply = conn_b.send(&format!("FEED quote\n{}", chunk.join("\n")));
+        assert!(
+            reply.starts_with(&format!("OK fed {} subs=3", chunk.len())),
+            "{reply}"
+        );
+    }
+    for (on_a, id) in [(true, "s1"), (true, "s2"), (false, "s3")] {
+        let conn = if on_a { &mut conn_a } else { &mut conn_b };
+        let reply = conn.send(&format!("UNSUBSCRIBE {id}"));
+        assert_eq!(
+            result_body(&reply, id, 0),
+            expected,
+            "subscription {id} must be byte-identical to batch"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_disconnect_resume_matches_batch() {
+    let rows = rows();
+    let expected = batch_csv(&rows);
+    let server = spawn_server(&[]);
+    let mid = rows.len() / 2;
+
+    let mut first = Client::connect(&server.addr);
+    first.send(&format!("OPEN quote {SCHEMA}"));
+    assert_eq!(
+        first.send(&format!("SUBSCRIBE s1 quote\n{QUERY}")),
+        "OK subscribed s1 quote"
+    );
+    first.send(&format!("FEED quote\n{}", rows[..mid].join("\n")));
+    let reply = first.send("CHECKPOINT s1");
+    let checkpoint = reply
+        .strip_prefix("CHECKPOINT s1\n")
+        .unwrap_or_else(|| panic!("unexpected checkpoint reply: {reply}"));
+    assert!(checkpoint.starts_with("sqlts-checkpoint v1\n"));
+    // Hard disconnect: the server reaps s1; the checkpoint is the
+    // client's to keep.
+    drop(first);
+
+    let mut second = Client::connect(&server.addr);
+    let reply = second.send(&format!("RESUME s2 quote\n{QUERY}\n{checkpoint}"));
+    assert_eq!(reply, "OK resumed s2 quote");
+    second.send(&format!("FEED quote\n{}", rows[mid..].join("\n")));
+    let reply = second.send("UNSUBSCRIBE s2");
+    assert_eq!(
+        result_body(&reply, "s2", 0),
+        expected,
+        "resumed subscription must be byte-identical to batch"
+    );
+}
+
+#[test]
+fn malformed_frames_get_errors_not_disconnects() {
+    let server = spawn_server(&["--max-frame-bytes", "64"]);
+    let mut client = Client::connect(&server.addr);
+
+    // Oversized frame: drained, ERR 2, connection lives.
+    let reply = client.send(&"x".repeat(100));
+    assert!(reply.starts_with("ERR 2 frame of 100 bytes"), "{reply}");
+    assert_eq!(client.send("PING"), "OK pong");
+
+    // Bad UTF-8 payload: ERR 2, connection lives.
+    client.writer.write_all(b"3 \xff\xfe\xfd\n").unwrap();
+    let reply = client.recv();
+    assert!(
+        reply.starts_with("ERR 2 frame payload is not UTF-8"),
+        "{reply}"
+    );
+    assert_eq!(client.send("PING"), "OK pong");
+
+    // Unknown verbs and malformed arities: ERR 2, connection lives.
+    for bad in ["NONSENSE", "SUBSCRIBE onlyone", "FEED", "OPEN q notaschema"] {
+        let reply = client.send(bad);
+        assert!(reply.starts_with("ERR 2 "), "{bad:?} -> {reply}");
+    }
+    assert_eq!(client.send("PING"), "OK pong");
+
+    // A corrupt length header is fatal by design — but answered with a
+    // parting ERR and a clean close, not a panic.
+    client.writer.write_all(b"bogus frame\n").unwrap();
+    let reply = client.recv();
+    assert!(reply.starts_with("ERR 2 frame desync"), "{reply}");
+    let mut rest = Vec::new();
+    client.reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection should close after desync");
+
+    // The server itself is unharmed.
+    let mut fresh = Client::connect(&server.addr);
+    assert_eq!(fresh.send("PING"), "OK pong");
+}
+
+#[test]
+fn metrics_scrape_is_valid_prometheus() {
+    let server = spawn_server(&[]);
+    let mut client = Client::connect(&server.addr);
+    client.send(&format!("OPEN quote {SCHEMA}"));
+    client.send(&format!("SUBSCRIBE live quote\n{QUERY}"));
+    client.send("FEED quote\nAAA,1,100.0\nAAA,2,98.5");
+
+    let scrape = || {
+        let mut http = TcpStream::connect(&server.addr).unwrap();
+        http.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        write!(
+            http,
+            "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        http.read_to_string(&mut response).unwrap();
+        response
+    };
+    let response = scrape();
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    for needle in [
+        "# TYPE sqlts_server_connections_total counter",
+        "# TYPE sqlts_server_frames_total counter",
+        "sqlts_sub_records{tenant=\"live\"} 2",
+        "sqlts_sub_tripped{tenant=\"live\"} 0",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in {body}");
+    }
+    // Every non-comment line is `name{labels} value` with a numeric value.
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in {line:?}"
+        );
+    }
+
+    // After the subscription finishes, its profile appears tenant-labeled.
+    client.send("UNSUBSCRIBE live");
+    let response = scrape();
+    assert!(
+        response.contains("sqlts_tuples_total{tenant=\"live\"} 2"),
+        "{response}"
+    );
+
+    // Other paths 404 without harming the protocol port.
+    let mut http = TcpStream::connect(&server.addr).unwrap();
+    write!(http, "GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut response = String::new();
+    http.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+}
+
+#[test]
+fn stalled_subscription_trips_wall_clock_deadline() {
+    // The acceptance criterion, end to end: a subscription that stops
+    // feeding must trip its deadline with no further FEED frame.
+    let server = spawn_server(&["--timeout-ms", "150", "--poll-interval-ms", "10"]);
+    let mut client = Client::connect(&server.addr);
+    client.send(&format!("OPEN quote {SCHEMA}"));
+    client.send(&format!("SUBSCRIBE stall quote\n{QUERY}"));
+    client.send("FEED quote\nAAA,1,100.0");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.send("STATUS stall");
+        if status.contains("trip=deadline") {
+            break;
+        }
+        assert!(
+            status.starts_with("OK status "),
+            "unexpected status reply: {status}"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "stalled subscription never tripped: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The governed result is partial and carries the exit-style code 4.
+    let reply = client.send("UNSUBSCRIBE stall");
+    let head = reply.lines().next().unwrap();
+    assert!(head.starts_with("RESULT stall 4 "), "{head}");
+    assert!(head.contains("trip=deadline"), "{head}");
+}

@@ -259,7 +259,10 @@ impl RunGovernor {
         None
     }
 
-    fn make_trip(&self, reason: TripReason) -> Trip {
+    /// Build a [`Trip`] for `reason` from the current counters without
+    /// latching it.  Used as a graceful fallback when a caller observed a
+    /// trip condition but the latched record is not (yet) visible.
+    pub(crate) fn make_trip(&self, reason: TripReason) -> Trip {
         Trip {
             reason,
             steps: self.steps.load(Ordering::Relaxed),

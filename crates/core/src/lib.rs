@@ -55,6 +55,7 @@ pub mod explain;
 pub mod governor;
 pub mod kmp;
 pub mod matrices;
+pub mod multiplex;
 pub mod reverse;
 pub mod shift_next;
 pub mod stargraph;
@@ -78,6 +79,7 @@ pub use executor::{
 pub use explain::{explain, optimizer_report};
 pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
+pub use multiplex::{FinishReport, SessionStatus, SessionWorker, SessionWorkerConfig, WorkerError};
 pub use shift_next::ShiftNext;
 pub use stargraph::star_shift_next;
 pub use stream::{

@@ -1,0 +1,560 @@
+//! Session multiplexing: one owned worker thread per standing query.
+//!
+//! [`StreamSession`] borrows its compiled query for its whole life, which
+//! is perfect for a driver with the query on its stack and awkward for a
+//! long-lived registry that must own many sessions at once.  A
+//! [`SessionWorker`] resolves the tension by compiling the query *inside*
+//! a dedicated thread, where the session can borrow it until the thread
+//! exits; the rest of the process talks to the worker over a bounded
+//! command channel.  This is the substrate a multi-tenant host (the
+//! `sqlts-server` crate, or any embedding) multiplexes subscriptions onto:
+//!
+//! * **Admission control** — the command queue is a
+//!   [`std::sync::mpsc::sync_channel`] of configurable depth, so a slow
+//!   subscription exerts backpressure on its feeders instead of buffering
+//!   unboundedly, and per-worker [`Governor`](crate::Governor) budgets
+//!   (deadline / step / match) ride in unchanged through
+//!   [`StreamOptions::exec`].
+//! * **Stalled-tenant reclamation** — the worker's idle loop calls
+//!   [`StreamSession::poll_deadline`] every `poll_interval`, so a tenant
+//!   that simply stops feeding still trips its wall-clock deadline and
+//!   releases its budget without waiting for another tuple.
+//! * **Checkpoint / resume** — [`SessionWorker::snapshot`] returns the
+//!   session's `sqlts-checkpoint v1` text, and
+//!   [`SessionWorkerConfig::resume_from`] rebuilds a worker that continues
+//!   bit-identically (the checkpoint's engine wins, so a resumed
+//!   subscription never silently switches machines).
+//!
+//! Every reply carries a [`WorkerError`] mapped onto the CLI's documented
+//! exit-code scheme (3 input, 4 runtime/governed, 5 quarantine) so
+//! transports can surface one consistent status vocabulary.
+
+use crate::stream::{SessionCheckpoint, StreamError, StreamOptions, StreamSession};
+use crate::{compile, Trip};
+use sqlts_relation::Schema;
+use sqlts_trace::ExecutionProfile;
+use std::fmt;
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a [`SessionWorker`] needs to stand up its session.
+#[derive(Clone, Debug)]
+pub struct SessionWorkerConfig {
+    /// A short identifier used for the worker thread's name and
+    /// diagnostics (e.g. the subscription id).
+    pub name: String,
+    /// The SQL-TS query source; compiled inside the worker thread.
+    pub sql: String,
+    /// The input schema the query is compiled against.
+    pub schema: Schema,
+    /// The full stream options (engine, governor, instrumentation,
+    /// bad-tuple policy, backpressure) the session runs under.
+    pub stream: StreamOptions,
+    /// Command-queue depth: how many commands may be pending before
+    /// senders block (admission control / backpressure).  Clamped to ≥ 1.
+    pub queue_depth: usize,
+    /// How often the idle loop polls the session deadline when no
+    /// commands arrive.  Keep this well under any configured
+    /// `--timeout-ms` so stalled tenants are reclaimed promptly.
+    pub poll_interval: Duration,
+    /// `sqlts-checkpoint v1` text to resume from, or `None` for a fresh
+    /// session.  On resume the checkpoint's engine overrides
+    /// `stream.exec.engine` so continuation is bit-identical.
+    pub resume_from: Option<String>,
+}
+
+impl SessionWorkerConfig {
+    /// A config with the given query over `schema` and conservative
+    /// defaults: fresh session, queue depth 16, 50ms poll interval.
+    pub fn new(name: impl Into<String>, sql: impl Into<String>, schema: Schema) -> Self {
+        SessionWorkerConfig {
+            name: name.into(),
+            sql: sql.into(),
+            schema,
+            stream: StreamOptions::default(),
+            queue_depth: 16,
+            poll_interval: Duration::from_millis(50),
+            resume_from: None,
+        }
+    }
+}
+
+/// A worker failure, classified onto the CLI's exit-code scheme so every
+/// transport reports one consistent status vocabulary.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Bad query or bad input (compile error, unbindable tuple, malformed
+    /// checkpoint) — exit-code class 3.
+    Input(String),
+    /// The session started but failed at runtime (poisoned by a contained
+    /// panic, I/O) — exit-code class 4.
+    Runtime(String),
+    /// The resource governor terminated the session — exit-code class 4,
+    /// kept distinct so hosts can attach partial-result semantics.
+    Governed(Trip),
+    /// A quarantine reached its capacity — exit-code class 5.
+    Quarantine(String),
+    /// The worker thread is gone (already finished or crashed).
+    Gone,
+}
+
+impl WorkerError {
+    /// The CLI exit-code class this error mirrors.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            WorkerError::Input(_) => 3,
+            WorkerError::Runtime(_) | WorkerError::Governed(_) | WorkerError::Gone => 4,
+            WorkerError::Quarantine(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Input(m) | WorkerError::Runtime(m) | WorkerError::Quarantine(m) => {
+                write!(f, "{m}")
+            }
+            WorkerError::Governed(trip) => {
+                write!(f, "stream terminated by resource governor: {trip}")
+            }
+            WorkerError::Gone => write!(f, "session worker is gone"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+fn map_stream_err(e: StreamError) -> WorkerError {
+    match e {
+        StreamError::Governed { trip, .. } => WorkerError::Governed(trip),
+        StreamError::QuarantineFull { .. } => WorkerError::Quarantine(e.to_string()),
+        StreamError::Poisoned(_) => WorkerError::Runtime(e.to_string()),
+        StreamError::Unsupported(_)
+        | StreamError::Table(_)
+        | StreamError::BadTuple(_)
+        | StreamError::Checkpoint(_) => WorkerError::Input(e.to_string()),
+    }
+}
+
+/// A point-in-time view of a live session, cheap enough to serve on a
+/// metrics scrape.
+#[derive(Clone, Debug)]
+pub struct SessionStatus {
+    /// Input records seen (accepted + rejected).
+    pub records: u64,
+    /// Records dropped under the skip policy.
+    pub skipped: u64,
+    /// Tuples parked in quarantine.
+    pub quarantined: usize,
+    /// Estimated bytes buffered across cluster windows.
+    pub window_bytes: usize,
+    /// The latched governor trip, if the session has tripped.
+    pub trip: Option<Trip>,
+    /// Has a contained panic poisoned the session?
+    pub poisoned: bool,
+}
+
+/// The terminal report of a finished (or governed/failed) session.
+#[derive(Debug)]
+pub struct FinishReport {
+    /// The result table as CSV (header + rows); partial when governed,
+    /// empty when the finish failed outright.
+    pub csv: String,
+    /// Number of match rows in `csv`.
+    pub rows: u64,
+    /// The governor trip, when the session was cut short.
+    pub trip: Option<Trip>,
+    /// A non-governed finish failure (poisoned session, …).
+    pub error: Option<String>,
+    /// The armed execution profile, when instrumentation was on.
+    pub profile: Option<Box<ExecutionProfile>>,
+    /// Records dropped under the skip policy.
+    pub skipped: u64,
+    /// Tuples left in quarantine.
+    pub quarantined: usize,
+}
+
+enum Command {
+    Feed {
+        row: Vec<sqlts_relation::Value>,
+        reply: SyncSender<Result<(), WorkerError>>,
+    },
+    Snapshot {
+        reply: SyncSender<Result<String, WorkerError>>,
+    },
+    Status {
+        reply: SyncSender<SessionStatus>,
+    },
+    Finish {
+        reply: SyncSender<FinishReport>,
+    },
+}
+
+/// A handle to one subscription's dedicated worker thread.
+///
+/// All methods take `&self`, so a handle can sit in a shared registry and
+/// be driven from many connection threads at once; replies come back over
+/// per-call rendezvous channels.  Dropping the handle without calling
+/// [`finish`](SessionWorker::finish) shuts the worker down and discards
+/// the session (take a [`snapshot`](SessionWorker::snapshot) first to
+/// keep the work).
+pub struct SessionWorker {
+    tx: SyncSender<Command>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for SessionWorker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionWorker").finish_non_exhaustive()
+    }
+}
+
+impl SessionWorker {
+    /// Spawn the worker: compile the query (and apply any resume
+    /// checkpoint) inside the new thread, then report readiness.  A
+    /// compile or resume failure surfaces here, not later.
+    pub fn spawn(config: SessionWorkerConfig) -> Result<SessionWorker, WorkerError> {
+        let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+        let (ready_tx, ready_rx) = mpsc::sync_channel(1);
+        let name = format!("sqlts-sub-{}", config.name);
+        let join = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_main(config, &rx, &ready_tx))
+            .map_err(|e| WorkerError::Runtime(format!("spawn worker: {e}")))?;
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(SessionWorker {
+                tx,
+                join: Mutex::new(Some(join)),
+            }),
+            Ok(Err(e)) => {
+                let _ = join.join();
+                Err(e)
+            }
+            Err(_) => {
+                let _ = join.join();
+                Err(WorkerError::Runtime("worker died during startup".into()))
+            }
+        }
+    }
+
+    fn call<T>(&self, make: impl FnOnce(SyncSender<T>) -> Command) -> Result<T, WorkerError> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(make(reply_tx))
+            .map_err(|_| WorkerError::Gone)?;
+        reply_rx.recv().map_err(|_| WorkerError::Gone)
+    }
+
+    /// Push one tuple into the session (blocks while the queue is full —
+    /// that is the backpressure).
+    pub fn feed(&self, row: Vec<sqlts_relation::Value>) -> Result<(), WorkerError> {
+        self.call(|reply| Command::Feed { row, reply })?
+    }
+
+    /// Capture the session as `sqlts-checkpoint v1` text.
+    pub fn snapshot(&self) -> Result<String, WorkerError> {
+        self.call(|reply| Command::Snapshot { reply })?
+    }
+
+    /// A point-in-time status snapshot.
+    pub fn status(&self) -> Result<SessionStatus, WorkerError> {
+        self.call(|reply| Command::Status { reply })
+    }
+
+    /// Close the stream: drive the session to end-of-input and return the
+    /// final (or partial, when governed) result.  The worker thread exits.
+    pub fn finish(&self) -> Result<FinishReport, WorkerError> {
+        let report = self.call(|reply| Command::Finish { reply })?;
+        if let Ok(mut slot) = self.join.lock() {
+            if let Some(join) = slot.take() {
+                let _ = join.join();
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn worker_main(
+    config: SessionWorkerConfig,
+    rx: &mpsc::Receiver<Command>,
+    ready: &SyncSender<Result<(), WorkerError>>,
+) {
+    let compiled = match compile(&config.sql, &config.schema, &config.stream.exec.compile) {
+        Ok(q) => q,
+        Err(e) => {
+            let _ = ready.send(Err(WorkerError::Input(e.render(&config.sql))));
+            return;
+        }
+    };
+    let mut options = config.stream.clone();
+    let built = match &config.resume_from {
+        Some(text) => SessionCheckpoint::from_text(text).and_then(|cp| {
+            // The checkpoint's engine wins: a resumed subscription must
+            // continue bit-identically, never silently switch machines.
+            options.exec.engine = cp.engine();
+            StreamSession::resume(&compiled, options, cp)
+        }),
+        None => StreamSession::new(&compiled, options),
+    };
+    let mut session = match built {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = ready.send(Err(map_stream_err(e)));
+            return;
+        }
+    };
+    if ready.send(Ok(())).is_err() {
+        return;
+    }
+    loop {
+        match rx.recv_timeout(config.poll_interval) {
+            Ok(Command::Feed { row, reply }) => {
+                let _ = reply.send(session.feed(row).map_err(map_stream_err));
+            }
+            Ok(Command::Snapshot { reply }) => {
+                let _ = reply.send(
+                    session
+                        .snapshot()
+                        .map(|cp| cp.to_text())
+                        .map_err(map_stream_err),
+                );
+            }
+            Ok(Command::Status { reply }) => {
+                let _ = reply.send(status_of(&session));
+            }
+            Ok(Command::Finish { reply }) => {
+                let _ = reply.send(finish_report(session));
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // The stalled-tenant fix: an idle session still observes
+                // its wall-clock deadline (and cancellation token).
+                let _ = session.poll_deadline();
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn status_of(session: &StreamSession<'_>) -> SessionStatus {
+    SessionStatus {
+        records: session.records(),
+        skipped: session.skipped(),
+        quarantined: session.quarantine().len(),
+        window_bytes: session.window_bytes(),
+        trip: session.trip().cloned(),
+        poisoned: session.poisoned(),
+    }
+}
+
+fn finish_report(session: StreamSession<'_>) -> FinishReport {
+    let skipped = session.skipped();
+    let quarantined = session.quarantine().len();
+    match session.finish() {
+        Ok(result) => FinishReport {
+            csv: result.table.to_csv_string(),
+            rows: result.stats.matches,
+            trip: None,
+            error: None,
+            profile: result.profile,
+            skipped,
+            quarantined,
+        },
+        Err(StreamError::Governed { trip, partial }) => {
+            let (csv, rows, profile) = match partial {
+                Some(p) => (p.table.to_csv_string(), p.stats.matches, p.profile),
+                None => (String::new(), 0, None),
+            };
+            FinishReport {
+                csv,
+                rows,
+                trip: Some(trip),
+                error: None,
+                profile,
+                skipped,
+                quarantined,
+            }
+        }
+        Err(e) => FinishReport {
+            csv: String::new(),
+            rows: 0,
+            trip: None,
+            error: Some(e.to_string()),
+            profile: None,
+            skipped,
+            quarantined,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute, ExecOptions, Instrument};
+    use crate::governor::{Governor, TripReason};
+    use crate::EngineKind;
+    use sqlts_relation::{ColumnType, Table, Value};
+
+    fn quote_schema() -> Schema {
+        Schema::new([
+            ("name", ColumnType::Str),
+            ("day", ColumnType::Int),
+            ("price", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    const QUERY: &str = "SELECT X.name, Z.price AS peak, Z.day AS day FROM quote \
+                         CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) \
+                         WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price";
+
+    fn workload() -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for day in 0..60i64 {
+            for (name, phase) in [("AAA", 0i64), ("BBB", 3)] {
+                let wave = ((day + phase) % 7) as f64;
+                rows.push(vec![
+                    Value::Str(name.to_string()),
+                    Value::Int(day),
+                    Value::Float(100.0 + 3.0 * wave - 0.1 * day as f64),
+                ]);
+            }
+        }
+        rows
+    }
+
+    fn batch_csv(rows: &[Vec<Value>]) -> String {
+        let mut t = Table::new(quote_schema());
+        for row in rows {
+            t.push_row(row.clone()).unwrap();
+        }
+        let q = crate::compile(QUERY, &quote_schema(), &crate::CompileOptions::default()).unwrap();
+        execute(&q, &t, &ExecOptions::default())
+            .unwrap()
+            .table
+            .to_csv_string()
+    }
+
+    #[test]
+    fn worker_matches_batch_and_resumes_from_checkpoint() {
+        let rows = workload();
+        let expected = batch_csv(&rows);
+
+        // Straight through.
+        let worker =
+            SessionWorker::spawn(SessionWorkerConfig::new("t1", QUERY, quote_schema())).unwrap();
+        for row in &rows {
+            worker.feed(row.clone()).unwrap();
+        }
+        let report = worker.finish().unwrap();
+        assert!(report.trip.is_none());
+        assert_eq!(report.csv, expected);
+
+        // Checkpoint at the midpoint, drop the worker, resume in a new one.
+        let first =
+            SessionWorker::spawn(SessionWorkerConfig::new("t2", QUERY, quote_schema())).unwrap();
+        let mid = rows.len() / 2;
+        for row in &rows[..mid] {
+            first.feed(row.clone()).unwrap();
+        }
+        let checkpoint = first.snapshot().unwrap();
+        drop(first);
+        let mut config = SessionWorkerConfig::new("t3", QUERY, quote_schema());
+        config.resume_from = Some(checkpoint);
+        let second = SessionWorker::spawn(config).unwrap();
+        for row in &rows[mid..] {
+            second.feed(row.clone()).unwrap();
+        }
+        let resumed = second.finish().unwrap();
+        assert_eq!(resumed.csv, expected, "resumed output must equal batch");
+    }
+
+    #[test]
+    fn stalled_worker_trips_deadline_from_idle_loop() {
+        // The acceptance criterion: a non-feeding subscription with a
+        // wall-clock deadline trips Governed with no further feed call.
+        let mut config = SessionWorkerConfig::new("stall", QUERY, quote_schema());
+        config.stream.exec.governor = Governor::unlimited().with_timeout(Duration::from_millis(20));
+        config.poll_interval = Duration::from_millis(5);
+        let worker = SessionWorker::spawn(config).unwrap();
+        worker
+            .feed(vec![
+                Value::Str("AAA".into()),
+                Value::Int(0),
+                Value::Float(100.0),
+            ])
+            .unwrap();
+        // Stall: no feeds.  The idle loop must latch the trip by itself.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let trip = loop {
+            let status = worker.status().unwrap();
+            if let Some(trip) = status.trip {
+                break trip;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stalled session never tripped its deadline"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(trip.reason, TripReason::Deadline);
+        // finish() reports the partial result with the trip attached.
+        let report = worker.finish().unwrap();
+        assert_eq!(report.trip.unwrap().reason, TripReason::Deadline);
+    }
+
+    #[test]
+    fn compile_and_governed_errors_map_to_exit_codes() {
+        let err = SessionWorker::spawn(SessionWorkerConfig::new(
+            "bad",
+            "SELECT nonsense FROM",
+            quote_schema(),
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "compile error is input class");
+
+        let mut config = SessionWorkerConfig::new("budget", QUERY, quote_schema());
+        config.stream.exec.governor = Governor::unlimited().with_max_steps(10);
+        config.stream.exec.instrument = Instrument::default();
+        let worker = SessionWorker::spawn(config).unwrap();
+        let mut governed = None;
+        for row in workload() {
+            if let Err(e) = worker.feed(row) {
+                governed = Some(e);
+                break;
+            }
+        }
+        let err = governed.expect("a 10-step budget must trip");
+        assert!(matches!(err, WorkerError::Governed(_)), "{err}");
+        assert_eq!(err.exit_code(), 4);
+        let report = worker.finish().unwrap();
+        assert!(report.trip.is_some());
+    }
+
+    #[test]
+    fn resume_adopts_checkpoint_engine() {
+        let rows = workload();
+        let mut config = SessionWorkerConfig::new("naive", QUERY, quote_schema());
+        config.stream.exec.engine = EngineKind::Naive;
+        let worker = SessionWorker::spawn(config).unwrap();
+        for row in &rows[..10] {
+            worker.feed(row.clone()).unwrap();
+        }
+        let checkpoint = worker.snapshot().unwrap();
+        drop(worker);
+        // Resume with a *different* configured engine: the checkpoint's
+        // engine must win so continuation is bit-identical.
+        let mut config = SessionWorkerConfig::new("resumed", QUERY, quote_schema());
+        config.stream.exec.engine = EngineKind::Ops;
+        config.resume_from = Some(checkpoint);
+        let worker = SessionWorker::spawn(config).unwrap();
+        for row in &rows[10..] {
+            worker.feed(row.clone()).unwrap();
+        }
+        let report = worker.finish().unwrap();
+        assert_eq!(report.csv, batch_csv(&rows));
+    }
+}

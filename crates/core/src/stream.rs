@@ -409,6 +409,11 @@ impl<'q> StreamSession<'q> {
         self.trip.is_some()
     }
 
+    /// The latched governor trip, when one has occurred.
+    pub fn trip(&self) -> Option<&Trip> {
+        self.trip.as_ref()
+    }
+
     /// Has a contained panic poisoned this session?
     pub fn poisoned(&self) -> bool {
         self.poisoned.is_some()
@@ -444,27 +449,9 @@ impl<'q> StreamSession<'q> {
     /// deadline trip at the feed boundary is **not** consumed); a panic is
     /// contained and poisons the session.
     pub fn feed(&mut self, row: Vec<Value>) -> Result<(), StreamError> {
-        if let Some(cause) = &self.poisoned {
-            return Err(StreamError::Poisoned(cause.clone()));
-        }
-        if let Some(trip) = &self.trip {
-            return Err(StreamError::Governed {
-                trip: trip.clone(),
-                partial: None,
-            });
-        }
         // Deadline/cancellation are honoured at every feed boundary, not
         // just at credit-batch flushes.
-        if let Some(run) = &self.run {
-            if run.poll().is_err() {
-                let trip = run.trip().expect("poll failure implies a recorded trip");
-                self.trip = Some(trip.clone());
-                return Err(StreamError::Governed {
-                    trip,
-                    partial: None,
-                });
-            }
-        }
+        self.poll_deadline()?;
         self.records += 1;
         match catch_unwind(AssertUnwindSafe(|| self.feed_inner(row))) {
             Ok(result) => result,
@@ -474,6 +461,45 @@ impl<'q> StreamSession<'q> {
                 Err(StreamError::Poisoned(cause))
             }
         }
+    }
+
+    /// Check the wall-clock deadline and cancellation token *now*, without
+    /// feeding anything, latching a [`StreamError::Governed`] trip exactly
+    /// as a `feed` boundary would.
+    ///
+    /// `feed` polls the governor at every tuple boundary, but a stream
+    /// that simply *stops feeding* would otherwise never observe its
+    /// deadline: an idle or stalled tenant could hold its budget forever.
+    /// Long-running hosts (the `sqlts-server` subscription workers, any
+    /// `--follow`-style driver with a read timeout) call this from their
+    /// idle loop so a stalled session still trips and releases its budget.
+    ///
+    /// Cheap when it does not trip: one latched-flag read plus at most one
+    /// `Instant::now()`.  No steps are charged.
+    pub fn poll_deadline(&mut self) -> Result<(), StreamError> {
+        if let Some(cause) = &self.poisoned {
+            return Err(StreamError::Poisoned(cause.clone()));
+        }
+        if let Some(trip) = &self.trip {
+            return Err(StreamError::Governed {
+                trip: trip.clone(),
+                partial: None,
+            });
+        }
+        if let Some(run) = &self.run {
+            if let Err(reason) = run.poll() {
+                // `poll` latches the trip before failing; fall back to a
+                // synthesized record rather than panicking if the latch is
+                // not visible (e.g. a racing cancellation).
+                let trip = run.trip().unwrap_or_else(|| run.make_trip(reason));
+                self.trip = Some(trip.clone());
+                return Err(StreamError::Governed {
+                    trip,
+                    partial: None,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fold an input fault detected *outside* the session (e.g. a CSV
@@ -530,7 +556,12 @@ impl<'q> StreamSession<'q> {
             self.clusters.insert(key.clone(), fresh);
         }
         let bytes = row_bytes(&row);
-        let cs = self.clusters.get_mut(&key).expect("cluster just ensured");
+        let Some(cs) = self.clusters.get_mut(&key) else {
+            // Unreachable (the key was ensured above); degrade to the
+            // bad-tuple path rather than panicking inside `feed`.
+            let rendered = render_row(&row);
+            return self.reject("internal: cluster registry lost a key".into(), rendered);
+        };
         cs.buf.push_row(row)?;
         cs.bytes += bytes;
         cs.last_seq = Some(seq);
@@ -545,11 +576,19 @@ impl<'q> StreamSession<'q> {
         );
         self.window_bytes -= compact(&self.margins, cs);
         if outcome == StepOutcome::Tripped {
-            let trip = self
-                .run
-                .as_ref()
-                .and_then(|r| r.trip())
-                .expect("tripped machine implies a recorded trip");
+            // A tripped machine implies a recorded trip; synthesize one
+            // instead of panicking if the latch is not visible.
+            let trip = match self.run.as_ref() {
+                Some(run) => run
+                    .trip()
+                    .unwrap_or_else(|| run.make_trip(crate::governor::TripReason::StepBudget)),
+                None => Trip {
+                    reason: crate::governor::TripReason::StepBudget,
+                    steps: 0,
+                    matches: 0,
+                    elapsed: std::time::Duration::ZERO,
+                },
+            };
             self.trip = Some(trip.clone());
             return Err(StreamError::Governed {
                 trip,
@@ -1037,7 +1076,7 @@ impl SessionCheckpoint {
         let skipped = lines.tagged_parse::<u64>("skipped")?;
         let pressure_trips = lines.tagged_parse::<u64>("pressure")?;
         let n_bad = lines.tagged_parse::<usize>("quarantine")?;
-        let mut quarantine = Vec::with_capacity(n_bad);
+        let mut quarantine = Vec::with_capacity(parse_cap(n_bad));
         for _ in 0..n_bad {
             let rest = lines.tagged("bad")?;
             let mut toks = rest.split(' ');
@@ -1055,12 +1094,12 @@ impl SessionCheckpoint {
         }
         let log = parse_ring(&mut lines, "log")?;
         let n_clusters = lines.tagged_parse::<usize>("clusters")?;
-        let mut clusters = Vec::with_capacity(n_clusters);
+        let mut clusters = Vec::with_capacity(parse_cap(n_clusters));
         for _ in 0..n_clusters {
             let rest = lines.tagged("cluster")?;
             let mut toks = rest.split(' ');
             let key_len = parse_tok::<usize>(toks.next(), "cluster key length")?;
-            let mut key = Vec::with_capacity(key_len);
+            let mut key = Vec::with_capacity(parse_cap(key_len));
             for _ in 0..key_len {
                 key.push(parse_value(
                     toks.next()
@@ -1074,7 +1113,7 @@ impl SessionCheckpoint {
             } else {
                 let mut toks = rest.split(' ');
                 let n = parse_tok::<usize>(toks.next(), "lastseq length")?;
-                let mut seq = Vec::with_capacity(n);
+                let mut seq = Vec::with_capacity(parse_cap(n));
                 for _ in 0..n {
                     seq.push(parse_value(
                         toks.next()
@@ -1084,7 +1123,7 @@ impl SessionCheckpoint {
                 Some(seq)
             };
             let n_rows = lines.tagged_parse::<usize>("rows")?;
-            let mut rows = Vec::with_capacity(n_rows);
+            let mut rows = Vec::with_capacity(parse_cap(n_rows));
             for _ in 0..n_rows {
                 rows.push(parse_row(lines.tagged("row")?)?);
             }
@@ -1092,12 +1131,12 @@ impl SessionCheckpoint {
             let counter_total = lines.tagged_parse::<u64>("counter")?;
             let recorder = parse_recorder(&mut lines)?;
             let n_pending = lines.tagged_parse::<usize>("pending")?;
-            let mut pending = Vec::with_capacity(n_pending);
+            let mut pending = Vec::with_capacity(parse_cap(n_pending));
             for _ in 0..n_pending {
                 let rest = lines.tagged("match")?;
                 let mut toks = rest.split(' ');
                 let n = parse_tok::<usize>(toks.next(), "match span count")?;
-                let mut spans = Vec::with_capacity(n);
+                let mut spans = Vec::with_capacity(parse_cap(n));
                 for _ in 0..n {
                     let a = parse_tok::<usize>(toks.next(), "match span start")?;
                     let b = parse_tok::<usize>(toks.next(), "match span end")?;
@@ -1106,7 +1145,7 @@ impl SessionCheckpoint {
                 pending.push(MatchSpans { spans });
             }
             let n_out = lines.tagged_parse::<usize>("out")?;
-            let mut out_rows = Vec::with_capacity(n_out);
+            let mut out_rows = Vec::with_capacity(parse_cap(n_out));
             for _ in 0..n_out {
                 out_rows.push(parse_row(lines.tagged("row")?)?);
             }
@@ -1123,6 +1162,7 @@ impl SessionCheckpoint {
             });
         }
         lines.expect_literal("end")?;
+        lines.expect_eof()?;
         Ok(SessionCheckpoint {
             engine,
             pattern_len,
@@ -1148,6 +1188,15 @@ fn engine_from_name(name: &str) -> Option<EngineKind> {
 
 fn codec_err(why: impl fmt::Display) -> StreamError {
     StreamError::Checkpoint(why.to_string())
+}
+
+/// Clamp a parsed element count before `Vec::with_capacity`: a corrupted
+/// or adversarial count in checkpoint text must surface as a parse error
+/// on the missing elements, not as a capacity-overflow panic or an absurd
+/// up-front allocation.  Parsing still pushes every element it actually
+/// reads, so legitimate larger sections simply grow past the hint.
+fn parse_cap(n: usize) -> usize {
+    n.min(4096)
 }
 
 fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, StreamError> {
@@ -1312,7 +1361,7 @@ fn parse_spans(lines: &mut CheckpointLines<'_>) -> Result<Vec<(usize, usize)>, S
     let rest = lines.tagged("spans")?;
     let mut toks = rest.split(' ');
     let n = parse_tok::<usize>(toks.next(), "span count")?;
-    let mut spans = Vec::with_capacity(n);
+    let mut spans = Vec::with_capacity(parse_cap(n));
     for _ in 0..n {
         let a = parse_tok::<usize>(toks.next(), "span start")?;
         let b = parse_tok::<usize>(toks.next(), "span end")?;
@@ -1364,7 +1413,7 @@ fn parse_machine(lines: &mut CheckpointLines<'_>) -> Result<EngineMachine, Strea
             let rest = lines.tagged("frames")?;
             let mut toks = rest.split(' ');
             let n = parse_tok::<usize>(toks.next(), "frame count")?;
-            let mut frames = Vec::with_capacity(n);
+            let mut frames = Vec::with_capacity(parse_cap(n));
             for _ in 0..n {
                 match toks.next().ok_or_else(|| codec_err("frame missing"))? {
                     "ns" => frames.push(BtFrame::NonStar),
@@ -1394,7 +1443,7 @@ fn parse_machine(lines: &mut CheckpointLines<'_>) -> Result<EngineMachine, Strea
             if n == 0 {
                 return Err(codec_err("ops counts must be non-empty"));
             }
-            let mut counts = Vec::with_capacity(n);
+            let mut counts = Vec::with_capacity(parse_cap(n));
             for _ in 0..n {
                 counts.push(parse_tok::<usize>(toks.next(), "count value")?);
             }
@@ -1491,7 +1540,7 @@ fn parse_ring(
     let capacity = parse_tok::<usize>(toks.next(), "ring capacity")?;
     let dropped = parse_tok::<u64>(toks.next(), "ring dropped")?;
     let n = parse_tok::<usize>(toks.next(), "ring length")?;
-    let mut events = Vec::with_capacity(n);
+    let mut events = Vec::with_capacity(parse_cap(n));
     for _ in 0..n {
         events.push(parse_event(lines.tagged("ev")?)?);
     }
@@ -1526,7 +1575,7 @@ fn parse_recorder(lines: &mut CheckpointLines<'_>) -> Result<Option<ClusterRecor
     }
     let mut toks = rest.split(' ');
     let n = parse_tok::<usize>(toks.next(), "tests length")?;
-    let mut tests_per_position = Vec::with_capacity(n);
+    let mut tests_per_position = Vec::with_capacity(parse_cap(n));
     for _ in 0..n {
         tests_per_position.push(parse_tok::<u64>(toks.next(), "tests value")?);
     }
@@ -1630,6 +1679,22 @@ impl<'a> CheckpointLines<'a> {
                     self.lineno
                 ))
             })
+    }
+
+    /// Require that nothing but blank lines follows — trailing garbage
+    /// after the `end` marker means the text is not a checkpoint this
+    /// version wrote, and silently ignoring it would mask corruption.
+    fn expect_eof(&mut self) -> Result<(), StreamError> {
+        for line in self.iter.by_ref() {
+            self.lineno += 1;
+            if !line.trim().is_empty() {
+                return Err(codec_err(format!(
+                    "line {}: trailing content after 'end': '{line}'",
+                    self.lineno
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn tagged_parse<T: std::str::FromStr>(&mut self, tag: &str) -> Result<T, StreamError> {
@@ -1968,6 +2033,51 @@ mod tests {
         // completes the stream.
         let resumed = StreamSession::resume(&query, stream_opts(EngineKind::Ops), checkpoint);
         assert!(resumed.is_ok());
+    }
+
+    #[test]
+    fn stalled_session_trips_deadline_via_poll() {
+        use crate::governor::TripReason;
+        use std::time::Duration;
+        // Regression (PR 5 note): the wall-clock deadline used to be
+        // observed only at feed boundaries, so a tenant that stopped
+        // feeding never tripped and never released its budget.  A stalled
+        // session must now trip from `poll_deadline` alone.
+        let query = compiled(QUERY);
+        let mut opts = stream_opts(EngineKind::Ops);
+        opts.exec.governor = Governor::unlimited().with_timeout(Duration::from_millis(5));
+        let mut session = StreamSession::new(&query, opts).unwrap();
+        session
+            .feed(vec![
+                Value::Str("AAA".into()),
+                Value::Int(0),
+                Value::Float(100.0),
+            ])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // No further feed: the idle poll alone must observe the deadline.
+        match session.poll_deadline() {
+            Err(StreamError::Governed { trip, partial }) => {
+                assert_eq!(trip.reason, TripReason::Deadline);
+                assert!(partial.is_none());
+            }
+            other => panic!("expected Governed from poll_deadline, got {other:?}"),
+        }
+        assert!(session.tripped());
+        // The trip is latched: a later feed reports the same verdict.
+        match session.feed(vec![
+            Value::Str("AAA".into()),
+            Value::Int(1),
+            Value::Float(100.0),
+        ]) {
+            Err(StreamError::Governed { trip, .. }) => {
+                assert_eq!(trip.reason, TripReason::Deadline)
+            }
+            other => panic!("expected latched Governed, got {other:?}"),
+        }
+        // An ungoverned session's poll is a no-op.
+        let mut free = StreamSession::new(&query, stream_opts(EngineKind::Ops)).unwrap();
+        assert!(free.poll_deadline().is_ok());
     }
 
     #[test]

@@ -166,6 +166,34 @@ fn read_line<R: BufRead>(
     }
 }
 
+/// Parse one headerless CSV line into a typed row, fields in schema
+/// column order (identity mapping).  Network feeds use this: the sender
+/// declares the schema once when opening a channel and then ships bare
+/// rows, so there is no header line to map through.  Shares the dialect
+/// (quoting, `null`/empty cells, trailing `\r`) and error reporting of
+/// [`CsvRecords`]; `line` is the 1-based number used in errors.  Extra
+/// trailing fields are ignored, matching the header-driven reader.
+pub fn parse_headerless_row(
+    schema: &Schema,
+    text: &str,
+    line: usize,
+) -> Result<Vec<Value>, CsvError> {
+    let fields = split_line(text.trim_end_matches('\r'));
+    if fields.len() < schema.arity() {
+        return Err(CsvError::Arity {
+            line,
+            expected: schema.arity(),
+            got: fields.len(),
+        });
+    }
+    schema
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, col)| parse_cell(&fields[i], col.ty, line, &col.name))
+        .collect()
+}
+
 /// An incremental CSV record source: parses the header eagerly, then
 /// yields one typed row per data line.  The streaming (`--follow`)
 /// counterpart of [`Table::from_csv`], sharing its dialect, header
@@ -509,6 +537,30 @@ IBM,1999-01-25,81
         // Empty input: header never arrives, no records.
         let mut empty = CsvRecords::new(quote_schema(), "".as_bytes()).unwrap();
         assert!(empty.next().is_none());
+    }
+
+    #[test]
+    fn headerless_rows_parse_in_schema_order() {
+        let row = parse_headerless_row(&quote_schema(), "IBM,1999-01-25,81\r", 7).unwrap();
+        assert_eq!(row[0], Value::from("IBM"));
+        assert_eq!(row[1], Value::Date(Date::from_ymd(1999, 1, 25)));
+        assert_eq!(row[2], Value::from(81.0));
+        // Quoting, nulls and extra trailing fields follow the same dialect.
+        let row = parse_headerless_row(&quote_schema(), "\"A,B\",1999-01-26,,extra", 1).unwrap();
+        assert_eq!(row[0], Value::from("A,B"));
+        assert!(row[2].is_null());
+        match parse_headerless_row(&quote_schema(), "IBM,1999-01-25", 9) {
+            Err(CsvError::Arity {
+                line: 9, got: 2, ..
+            }) => {}
+            other => panic!("expected arity error, got {other:?}"),
+        }
+        match parse_headerless_row(&quote_schema(), "IBM,not-a-date,81", 3) {
+            Err(CsvError::Parse {
+                line: 3, column, ..
+            }) => assert_eq!(column, "date"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

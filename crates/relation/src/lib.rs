@@ -25,7 +25,7 @@ pub mod failpoints;
 mod table;
 mod value;
 
-pub use csv::{CsvError, CsvRecords};
+pub use csv::{parse_headerless_row, CsvError, CsvRecords};
 pub use date::Date;
 pub use table::{Cluster, Column, Schema, Table, TableError};
 pub use value::{ColumnType, Value};

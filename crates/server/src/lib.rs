@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! **sqlts-server** — a multi-tenant query server for SQL-TS sequence
+//! queries (the reproduction's network layer; the paper's optimizer and
+//! engines live in [`sqlts_core`]).
+//!
+//! The server speaks a length-prefixed framed text protocol over TCP
+//! (see [`frame`] for the codec and [`server`] for the verb grammar):
+//! clients `OPEN` named, schema-typed input channels, `SUBSCRIBE`
+//! standing queries onto them, `FEED` CSV rows that fan out to every
+//! subscription on the channel, and collect results with `UNSUBSCRIBE` —
+//! partial, exit-coded results when a subscription's resource governor
+//! trips.  `CHECKPOINT`/`RESUME` ride the `sqlts-checkpoint v1` codec
+//! bit-identically, so a client can disconnect and continue elsewhere.
+//! The same port answers HTTP `GET /metrics` with a Prometheus
+//! exposition ([`metrics`]): server counters, live per-tenant gauges and
+//! the most recent finished subscriptions' execution profiles.
+//!
+//! Zero dependencies beyond `std` and the workspace's own crates.
+
+pub mod frame;
+pub mod metrics;
+pub mod server;
+
+pub use frame::{read_frame, write_frame, FrameEvent, FrameFatal};
+pub use metrics::ServerMetrics;
+pub use server::{Server, ServerConfig};

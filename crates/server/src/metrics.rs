@@ -1,0 +1,197 @@
+//! Server-level counters and the Prometheus text exposition served at
+//! `GET /metrics`.
+//!
+//! Three layers are spliced into one scrape:
+//!
+//! 1. server counters (connections, frames, protocol errors, rows fed);
+//! 2. live per-subscription gauges, labeled `tenant="<sub id>"`, sampled
+//!    from each worker's [`SessionStatus`](sqlts_core::SessionStatus);
+//! 3. the most recent finished subscriptions' full
+//!    [`ExecutionProfile`](sqlts_trace::ExecutionProfile) expositions via
+//!    `to_prometheus_labeled`, with duplicate `# TYPE` lines removed so
+//!    the merged document stays a valid exposition.
+
+use sqlts_trace::ExecutionProfile;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic server counters (all `Relaxed`: scrape-grade accuracy).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// TCP connections accepted (protocol and HTTP alike).
+    pub connections_total: AtomicU64,
+    /// Protocol frames decoded, well-formed or not.
+    pub frames_total: AtomicU64,
+    /// Frames answered with `ERR` (any code).
+    pub errors_total: AtomicU64,
+    /// Subscriptions ever admitted (SUBSCRIBE + RESUME).
+    pub subscriptions_total: AtomicU64,
+    /// Input rows delivered to workers (rows × subscribers).
+    pub rows_fed_total: AtomicU64,
+    finished: Mutex<Vec<(String, Box<ExecutionProfile>)>>,
+    retain_profiles: usize,
+}
+
+impl ServerMetrics {
+    /// A fresh registry retaining at most `retain_profiles` finished
+    /// subscription profiles (oldest evicted first).
+    pub fn new(retain_profiles: usize) -> ServerMetrics {
+        ServerMetrics {
+            retain_profiles,
+            ..ServerMetrics::default()
+        }
+    }
+
+    /// Bump a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Retain a finished subscription's profile for future scrapes.
+    pub fn retain_profile(&self, tenant: &str, profile: Box<ExecutionProfile>) {
+        if self.retain_profiles == 0 {
+            return;
+        }
+        let Ok(mut slot) = self.finished.lock() else {
+            return;
+        };
+        if slot.len() == self.retain_profiles {
+            slot.remove(0);
+        }
+        slot.push((tenant.to_string(), profile));
+    }
+
+    /// Render the merged exposition.  `live` is one pre-rendered gauge
+    /// block per live subscription (see [`live_gauges`]).
+    pub fn render(&self, live: &[String]) -> String {
+        let mut out = String::new();
+        for (name, help, value) in [
+            (
+                "sqlts_server_connections_total",
+                "TCP connections accepted",
+                &self.connections_total,
+            ),
+            (
+                "sqlts_server_frames_total",
+                "protocol frames decoded",
+                &self.frames_total,
+            ),
+            (
+                "sqlts_server_errors_total",
+                "frames answered with ERR",
+                &self.errors_total,
+            ),
+            (
+                "sqlts_server_subscriptions_total",
+                "subscriptions admitted",
+                &self.subscriptions_total,
+            ),
+            (
+                "sqlts_server_rows_fed_total",
+                "rows delivered to workers",
+                &self.rows_fed_total,
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# TYPE sqlts_sub_records gauge\n");
+        out.push_str("# TYPE sqlts_sub_skipped gauge\n");
+        out.push_str("# TYPE sqlts_sub_quarantined gauge\n");
+        out.push_str("# TYPE sqlts_sub_tripped gauge\n");
+        for block in live {
+            out.push_str(block);
+        }
+        // Finished profiles: each exposition repeats its own # TYPE
+        // headers, so dedupe them across the splice.
+        let mut seen_types: HashSet<String> = HashSet::new();
+        if let Ok(finished) = self.finished.lock() {
+            for (tenant, profile) in finished.iter() {
+                for line in profile.to_prometheus_labeled(&[("tenant", tenant)]).lines() {
+                    if line.starts_with("# TYPE") && !seen_types.insert(line.to_string()) {
+                        continue;
+                    }
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render one live subscription's gauges (tenant-labeled, names declared
+/// once by [`ServerMetrics::render`]).
+pub fn live_gauges(tenant: &str, status: &sqlts_core::SessionStatus) -> String {
+    let t = escape_label(tenant);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sqlts_sub_records{{tenant=\"{t}\"}} {}",
+        status.records
+    );
+    let _ = writeln!(
+        out,
+        "sqlts_sub_skipped{{tenant=\"{t}\"}} {}",
+        status.skipped
+    );
+    let _ = writeln!(
+        out,
+        "sqlts_sub_quarantined{{tenant=\"{t}\"}} {}",
+        status.quarantined
+    );
+    let _ = writeln!(
+        out,
+        "sqlts_sub_tripped{{tenant=\"{t}\"}} {}",
+        u8::from(status.trip.is_some())
+    );
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_lines_are_deduped_across_finished_profiles() {
+        let metrics = ServerMetrics::new(4);
+        ServerMetrics::inc(&metrics.connections_total);
+        let profile = ExecutionProfile::new("ops", 2);
+        metrics.retain_profile("a", Box::new(profile));
+        let profile = ExecutionProfile::new("ops", 2);
+        metrics.retain_profile("b", Box::new(profile));
+        let out = metrics.render(&[]);
+        let type_matches = out
+            .lines()
+            .filter(|l| *l == "# TYPE sqlts_matches_total counter")
+            .count();
+        assert_eq!(type_matches, 1, "{out}");
+        assert!(out.contains("sqlts_matches_total{tenant=\"a\"} 0"), "{out}");
+        assert!(out.contains("sqlts_matches_total{tenant=\"b\"} 0"), "{out}");
+        assert!(out.contains("sqlts_server_connections_total 1"), "{out}");
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let metrics = ServerMetrics::new(1);
+        metrics.retain_profile("old", Box::new(ExecutionProfile::new("ops", 1)));
+        metrics.retain_profile("new", Box::new(ExecutionProfile::new("ops", 1)));
+        let out = metrics.render(&[]);
+        assert!(!out.contains("tenant=\"old\""));
+        assert!(out.contains("tenant=\"new\""));
+    }
+}

@@ -1,0 +1,656 @@
+//! The TCP server: accept loop, per-connection protocol driver, shared
+//! channel/subscription registries, and the `GET /metrics` HTTP shim.
+//!
+//! ## Protocol
+//!
+//! Every frame (see [`crate::frame`]) carries one request or one reply.
+//! Request payloads are a verb line plus optional body lines:
+//!
+//! ```text
+//! PING
+//! OPEN <channel> <name:type,...>
+//! SUBSCRIBE <sub-id> <channel>
+//! <SQL-TS query ...>
+//! RESUME <sub-id> <channel>
+//! <SQL-TS query on one line>
+//! <sqlts-checkpoint v1 text ...>
+//! FEED <channel>
+//! <csv row>
+//! <csv row ...>
+//! STATUS <sub-id>
+//! CHECKPOINT <sub-id>
+//! UNSUBSCRIBE <sub-id>
+//! ```
+//!
+//! Replies are `OK ...`, `ERR <code> <message>` (codes mirror the CLI's
+//! exit classes: 2 usage/protocol, 3 input, 4 runtime/governed/admission,
+//! 5 quarantine), `CHECKPOINT <sub-id>` + checkpoint text, or
+//! `RESULT <sub-id> <code>` + CSV — the latter carrying partial results
+//! with code 4 when the subscription's governor tripped.
+//!
+//! ## Tenancy model
+//!
+//! A *channel* is a named, schema-typed input feed; any connection may
+//! `FEED` it and every subscription on it sees the same tuples.  A
+//! *subscription* is one standing query over one channel, owned by the
+//! connection that created it: it runs on its own
+//! [`SessionWorker`] thread with the server's default governor budgets,
+//! a bounded command queue (admission control), and an idle-poll interval
+//! that trips stalled tenants' wall-clock deadlines.  When a connection
+//! closes, its subscriptions are finished and their profiles retained for
+//! `/metrics`; a client that wants to survive a disconnect takes a
+//! `CHECKPOINT` first and `RESUME`s on a new connection.
+
+use crate::frame::{read_frame, write_frame, FrameEvent, FrameFatal};
+use crate::metrics::{live_gauges, ServerMetrics};
+use sqlts_core::{
+    EngineKind, Governor, Instrument, SessionWorker, SessionWorkerConfig, TripReason, WorkerError,
+};
+use sqlts_relation::{parse_headerless_row, ColumnType, Schema};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Everything the server needs to stand up.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub listen: String,
+    /// Admission cap: maximum concurrently live subscriptions.
+    pub max_subscriptions: usize,
+    /// Per-subscription command-queue depth (backpressure bound).
+    pub queue_depth: usize,
+    /// Idle-poll interval for stalled-deadline reclamation.
+    pub poll_interval: Duration,
+    /// Largest accepted frame payload; larger frames are drained and
+    /// answered with `ERR 2`.
+    pub max_frame_bytes: usize,
+    /// Default resource budgets applied to every subscription.
+    pub governor: Governor,
+    /// Engine for fresh subscriptions (resume adopts the checkpoint's).
+    pub engine: EngineKind,
+    /// How many finished subscription profiles `/metrics` retains.
+    pub retain_profiles: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            max_subscriptions: 64,
+            queue_depth: 16,
+            poll_interval: Duration::from_millis(50),
+            max_frame_bytes: 1 << 20,
+            governor: Governor::unlimited(),
+            engine: EngineKind::Ops,
+            retain_profiles: 32,
+        }
+    }
+}
+
+struct Subscription {
+    worker: Arc<SessionWorker>,
+    channel: String,
+    conn: u64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    channels: Mutex<HashMap<String, Schema>>,
+    subs: Mutex<HashMap<String, Subscription>>,
+    metrics: ServerMetrics,
+    next_conn: AtomicU64,
+}
+
+/// A bound server, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listen socket (fails fast on a bad address).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let retain = config.retain_profiles;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                channels: Mutex::new(HashMap::new()),
+                subs: Mutex::new(HashMap::new()),
+                metrics: ServerMetrics::new(retain),
+                next_conn: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0`).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections forever, one thread per connection.
+    pub fn run(&self) -> io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let shared = Arc::clone(&self.shared);
+            let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+            ServerMetrics::inc(&shared.metrics.connections_total);
+            let _ = std::thread::Builder::new()
+                .name(format!("sqlts-conn-{conn}"))
+                .spawn(move || {
+                    let _ = handle_connection(&shared, stream, conn);
+                    reap_connection(&shared, conn);
+                });
+        }
+    }
+}
+
+/// Finish (and retain profiles of) every subscription the closed
+/// connection owned, releasing their worker threads and budgets.
+fn reap_connection(shared: &Shared, conn: u64) {
+    let orphans: Vec<(String, Subscription)> = {
+        let Ok(mut subs) = shared.subs.lock() else {
+            return;
+        };
+        let ids: Vec<String> = subs
+            .iter()
+            .filter(|(_, s)| s.conn == conn)
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| subs.remove(&id).map(|s| (id, s)))
+            .collect()
+    };
+    for (id, sub) in orphans {
+        if let Ok(report) = sub.worker.finish() {
+            if let Some(profile) = report.profile {
+                shared.metrics.retain_profile(&id, profile);
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) -> io::Result<()> {
+    // HTTP scrapers open with `GET `; everything else is the framed
+    // protocol.  Peek so the protocol path sees every byte.
+    let mut probe = [0u8; 4];
+    let mut seen = 0;
+    while seen < probe.len() {
+        match stream.peek(&mut probe[seen..])? {
+            0 => break,
+            n => seen += n,
+        }
+    }
+    if &probe[..seen] == b"GET " {
+        return serve_http(shared, stream);
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let event = match read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Ok(event) => event,
+            Err(FrameFatal::Desync(why)) => {
+                ServerMetrics::inc(&shared.metrics.errors_total);
+                let _ = write_frame(&mut writer, &format!("ERR 2 frame desync: {why}"));
+                return Ok(());
+            }
+            Err(FrameFatal::Io(e)) => return Err(e),
+        };
+        ServerMetrics::inc(&shared.metrics.frames_total);
+        let reply = match event {
+            FrameEvent::Eof => return Ok(()),
+            FrameEvent::Oversized { len } => Err(format!(
+                "ERR 2 frame of {len} bytes exceeds limit {}",
+                shared.config.max_frame_bytes
+            )),
+            FrameEvent::BadUtf8 => Err("ERR 2 frame payload is not UTF-8".into()),
+            FrameEvent::Payload(payload) => dispatch(shared, conn, &payload),
+        };
+        match reply {
+            Ok(text) => write_frame(&mut writer, &text)?,
+            Err(text) => {
+                ServerMetrics::inc(&shared.metrics.errors_total);
+                write_frame(&mut writer, &text)?;
+            }
+        }
+    }
+}
+
+fn err(code: u8, msg: impl std::fmt::Display) -> String {
+    format!("ERR {code} {msg}")
+}
+
+fn worker_err(e: &WorkerError) -> String {
+    err(e.exit_code(), e)
+}
+
+/// Short machine-readable name for a trip cause (`STATUS` replies).
+fn trip_name(reason: TripReason) -> &'static str {
+    match reason {
+        TripReason::Deadline => "deadline",
+        TripReason::StepBudget => "steps",
+        TripReason::MatchBudget => "matches",
+        TripReason::Cancelled => "cancelled",
+    }
+}
+
+/// Handle one decoded request payload; `Ok` and `Err` are both reply
+/// payloads, `Err` marking it for the error counter.
+fn dispatch(shared: &Shared, conn: u64, payload: &str) -> Result<String, String> {
+    let (head, body) = match payload.split_once('\n') {
+        Some((head, body)) => (head, body),
+        None => (payload, ""),
+    };
+    let mut words = head.split_whitespace();
+    let verb = words.next().unwrap_or("");
+    let args: Vec<&str> = words.collect();
+    match (verb, args.as_slice()) {
+        ("PING", []) => Ok("OK pong".into()),
+        ("OPEN", [chan, spec]) => open_channel(shared, chan, spec),
+        ("SUBSCRIBE", [id, chan]) => subscribe(shared, conn, id, chan, body, None),
+        ("RESUME", [id, chan]) => {
+            let (sql, checkpoint) = body
+                .split_once('\n')
+                .ok_or_else(|| err(2, "RESUME needs an SQL line and checkpoint text"))?;
+            subscribe(shared, conn, id, chan, sql, Some(checkpoint.to_string()))
+        }
+        ("FEED", [chan]) => feed(shared, chan, body),
+        ("STATUS", [id]) => status(shared, id),
+        ("CHECKPOINT", [id]) => checkpoint(shared, id),
+        ("UNSUBSCRIBE", [id]) => unsubscribe(shared, id),
+        ("", _) => Err(err(2, "empty frame")),
+        (verb, _) => Err(err(
+            2,
+            format!(
+                "unknown or malformed command '{verb}' (args: {})",
+                args.len()
+            ),
+        )),
+    }
+}
+
+fn parse_schema_spec(spec: &str) -> Result<Schema, String> {
+    let mut cols = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad schema entry '{part}' (want name:type)"))?;
+        let ty = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" | "integer" => ColumnType::Int,
+            "float" | "double" | "real" => ColumnType::Float,
+            "str" | "string" | "varchar" | "text" => ColumnType::Str,
+            "date" => ColumnType::Date,
+            other => return Err(format!("unknown column type '{other}'")),
+        };
+        cols.push((name.trim().to_string(), ty));
+    }
+    Schema::new(cols).map_err(|e| e.to_string())
+}
+
+fn open_channel(shared: &Shared, chan: &str, spec: &str) -> Result<String, String> {
+    let schema = parse_schema_spec(spec).map_err(|e| err(2, e))?;
+    let mut channels = shared
+        .channels
+        .lock()
+        .map_err(|_| err(4, "lock poisoned"))?;
+    match channels.get(chan) {
+        Some(existing) if *existing == schema => Ok(format!("OK opened {chan}")),
+        Some(_) => Err(err(
+            2,
+            format!("channel '{chan}' already open with a different schema"),
+        )),
+        None => {
+            channels.insert(chan.to_string(), schema);
+            Ok(format!("OK opened {chan}"))
+        }
+    }
+}
+
+fn subscribe(
+    shared: &Shared,
+    conn: u64,
+    id: &str,
+    chan: &str,
+    sql: &str,
+    resume_from: Option<String>,
+) -> Result<String, String> {
+    if sql.trim().is_empty() {
+        return Err(err(2, "missing SQL body"));
+    }
+    let schema = {
+        let channels = shared
+            .channels
+            .lock()
+            .map_err(|_| err(4, "lock poisoned"))?;
+        channels
+            .get(chan)
+            .cloned()
+            .ok_or_else(|| err(2, format!("unknown channel '{chan}' (OPEN it first)")))?
+    };
+    {
+        let subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+        if subs.contains_key(id) {
+            return Err(err(2, format!("subscription id '{id}' is taken")));
+        }
+        if subs.len() >= shared.config.max_subscriptions {
+            return Err(err(
+                4,
+                format!(
+                    "admission: subscription limit {} reached",
+                    shared.config.max_subscriptions
+                ),
+            ));
+        }
+    }
+    let mut config = SessionWorkerConfig::new(id, sql, schema);
+    config.queue_depth = shared.config.queue_depth;
+    config.poll_interval = shared.config.poll_interval;
+    config.stream.exec.engine = shared.config.engine;
+    config.stream.exec.governor = shared.config.governor.clone();
+    config.stream.exec.instrument = Instrument::profiling();
+    let resumed = resume_from.is_some();
+    config.resume_from = resume_from;
+    let worker = SessionWorker::spawn(config).map_err(|e| worker_err(&e))?;
+    let mut subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+    // Re-check under the lock: another connection may have raced us.
+    if subs.contains_key(id) {
+        return Err(err(2, format!("subscription id '{id}' is taken")));
+    }
+    if subs.len() >= shared.config.max_subscriptions {
+        return Err(err(4, "admission: subscription limit reached"));
+    }
+    subs.insert(
+        id.to_string(),
+        Subscription {
+            worker: Arc::new(worker),
+            channel: chan.to_string(),
+            conn,
+        },
+    );
+    ServerMetrics::inc(&shared.metrics.subscriptions_total);
+    let what = if resumed { "resumed" } else { "subscribed" };
+    Ok(format!("OK {what} {id} {chan}"))
+}
+
+fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
+    let schema = {
+        let channels = shared
+            .channels
+            .lock()
+            .map_err(|_| err(4, "lock poisoned"))?;
+        channels
+            .get(chan)
+            .cloned()
+            .ok_or_else(|| err(2, format!("unknown channel '{chan}'")))?
+    };
+    // Parse the whole frame before feeding anything: a malformed row
+    // rejects the frame atomically instead of leaving subscribers halfway
+    // through it.
+    let mut rows = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        rows.push(parse_headerless_row(&schema, line, i + 1).map_err(|e| err(3, e))?);
+    }
+    let workers: Vec<Arc<SessionWorker>> = {
+        let subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+        subs.values()
+            .filter(|s| s.channel == chan)
+            .map(|s| Arc::clone(&s.worker))
+            .collect()
+    };
+    let mut tripped = 0u64;
+    for row in &rows {
+        for worker in &workers {
+            match worker.feed(row.clone()) {
+                Ok(()) => {}
+                // A governed/overflowed subscription stays latched; its
+                // partial result is delivered at UNSUBSCRIBE.  The feed
+                // keeps flowing to the healthy subscriptions.
+                Err(_) => tripped += 1,
+            }
+        }
+    }
+    ServerMetrics::add(
+        &shared.metrics.rows_fed_total,
+        rows.len() as u64 * workers.len() as u64,
+    );
+    Ok(format!(
+        "OK fed {} subs={} rejected={tripped}",
+        rows.len(),
+        workers.len()
+    ))
+}
+
+fn lookup(shared: &Shared, id: &str) -> Result<Arc<SessionWorker>, String> {
+    let subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+    subs.get(id)
+        .map(|s| Arc::clone(&s.worker))
+        .ok_or_else(|| err(2, format!("unknown subscription '{id}'")))
+}
+
+fn status(shared: &Shared, id: &str) -> Result<String, String> {
+    let worker = lookup(shared, id)?;
+    let status = worker.status().map_err(|e| worker_err(&e))?;
+    Ok(format!(
+        "OK status records={} skipped={} quarantined={} window={} trip={} poisoned={}",
+        status.records,
+        status.skipped,
+        status.quarantined,
+        status.window_bytes,
+        status.trip.map_or("none", |t| trip_name(t.reason)),
+        u8::from(status.poisoned),
+    ))
+}
+
+fn checkpoint(shared: &Shared, id: &str) -> Result<String, String> {
+    let worker = lookup(shared, id)?;
+    let text = worker.snapshot().map_err(|e| worker_err(&e))?;
+    Ok(format!("CHECKPOINT {id}\n{text}"))
+}
+
+fn unsubscribe(shared: &Shared, id: &str) -> Result<String, String> {
+    let sub = {
+        let mut subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+        subs.remove(id)
+            .ok_or_else(|| err(2, format!("unknown subscription '{id}'")))?
+    };
+    let report = sub.worker.finish().map_err(|e| worker_err(&e))?;
+    if let Some(profile) = report.profile {
+        shared.metrics.retain_profile(id, profile);
+    }
+    // Exit-style result code: 0 clean, 4 governed/runtime — partial CSV
+    // rides along either way.
+    let code = if report.error.is_some() || report.trip.is_some() {
+        4
+    } else {
+        0
+    };
+    let mut head = format!("RESULT {id} {code} rows={}", report.rows);
+    if let Some(trip) = &report.trip {
+        head.push_str(&format!(" trip={}", trip_name(trip.reason)));
+    }
+    if let Some(error) = &report.error {
+        head.push_str(&format!(
+            " error={}",
+            error.replace(char::is_whitespace, "_")
+        ));
+    }
+    Ok(format!("{head}\n{}", report.csv))
+}
+
+/// Minimal HTTP/1.1 shim: `GET /metrics` serves the Prometheus
+/// exposition, everything else 404s.  One request per connection.
+fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients aren't reset mid-send.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let mut writer = stream;
+    if path == "/metrics" || path.starts_with("/metrics?") {
+        let live: Vec<String> = {
+            let handles: Vec<(String, Arc<SessionWorker>)> = shared
+                .subs
+                .lock()
+                .map(|subs| {
+                    subs.iter()
+                        .map(|(id, s)| (id.clone(), Arc::clone(&s.worker)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            handles
+                .iter()
+                .filter_map(|(id, worker)| worker.status().ok().map(|st| live_gauges(id, &st)))
+                .collect()
+        };
+        let body = shared.metrics.render(&live);
+        write!(
+            writer,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    } else {
+        let body = "not found: only GET /metrics is served\n";
+        write!(
+            writer,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_spec_round_trip_and_errors() {
+        let schema = parse_schema_spec("name:str,day:int,price:float").unwrap();
+        assert_eq!(schema.arity(), 3);
+        assert!(parse_schema_spec("name").is_err());
+        assert!(parse_schema_spec("name:blob").is_err());
+    }
+
+    #[test]
+    fn unknown_verbs_and_empty_frames_are_usage_errors() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let shared = &server.shared;
+        for payload in ["", "WHAT is this", "SUBSCRIBE onlyone", "OPEN q"] {
+            let reply = dispatch(shared, 1, payload).unwrap_err();
+            assert!(reply.starts_with("ERR 2 "), "{payload:?} -> {reply}");
+        }
+        assert_eq!(dispatch(shared, 1, "PING").unwrap(), "OK pong");
+    }
+
+    #[test]
+    fn end_to_end_over_dispatch() {
+        // Protocol-level round trip without sockets: open, subscribe,
+        // feed, status, checkpoint, unsubscribe.
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        // Same schema is idempotent; different schema is rejected.
+        dispatch(shared, 2, "OPEN q name:str,day:int,price:float").unwrap();
+        assert!(dispatch(shared, 2, "OPEN q name:str").is_err());
+        let sql = "SELECT X.name, Z.day AS day FROM q CLUSTER BY name SEQUENCE BY day \
+                   AS (X, *Y, Z) WHERE Y.price > Y.previous.price \
+                   AND Z.price < Z.previous.price";
+        dispatch(shared, 1, &format!("SUBSCRIBE s1 q\n{sql}")).unwrap();
+        assert!(
+            dispatch(shared, 1, &format!("SUBSCRIBE s1 q\n{sql}")).is_err(),
+            "duplicate id must be rejected"
+        );
+        let mut body = String::new();
+        for day in 0..40 {
+            let wave = (day % 7) as f64;
+            body.push_str(&format!("AAA,{day},{}\n", 100.0 + 3.0 * wave));
+        }
+        let reply = dispatch(shared, 1, &format!("FEED q\n{body}")).unwrap();
+        assert!(reply.starts_with("OK fed 40 subs=1"), "{reply}");
+        let status = dispatch(shared, 1, "STATUS s1").unwrap();
+        assert!(status.contains("records=40"), "{status}");
+        assert!(status.contains("trip=none"), "{status}");
+        let cp = dispatch(shared, 1, "CHECKPOINT s1").unwrap();
+        assert!(
+            cp.starts_with("CHECKPOINT s1\nsqlts-checkpoint v1\n"),
+            "{cp}"
+        );
+        let result = dispatch(shared, 1, "UNSUBSCRIBE s1").unwrap();
+        let head = result.lines().next().unwrap();
+        assert!(head.starts_with("RESULT s1 0 rows="), "{head}");
+        assert!(result.contains("name,day\n"), "{result}");
+        // Resume from the checkpoint under a new id and finish empty-handed
+        // but cleanly (no further rows).
+        let text = cp.strip_prefix("CHECKPOINT s1\n").unwrap();
+        dispatch(shared, 1, &format!("RESUME s2 q\n{sql}\n{text}")).unwrap();
+        let resumed = dispatch(shared, 1, "UNSUBSCRIBE s2").unwrap();
+        assert!(resumed.lines().next().unwrap().starts_with("RESULT s2 0"));
+    }
+
+    #[test]
+    fn admission_limit_is_enforced() {
+        let config = ServerConfig {
+            max_subscriptions: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        let sql = "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+                   WHERE Z.price < X.price";
+        dispatch(shared, 1, &format!("SUBSCRIBE a q\n{sql}")).unwrap();
+        let reply = dispatch(shared, 1, &format!("SUBSCRIBE b q\n{sql}")).unwrap_err();
+        assert!(reply.starts_with("ERR 4 admission"), "{reply}");
+        // Freeing the slot re-admits.
+        dispatch(shared, 1, "UNSUBSCRIBE a").unwrap();
+        dispatch(shared, 1, &format!("SUBSCRIBE b q\n{sql}")).unwrap();
+    }
+
+    #[test]
+    fn feeds_are_channel_scoped() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN a name:str,day:int,price:float").unwrap();
+        dispatch(shared, 1, "OPEN b ticker:str,t:int,volume:float").unwrap();
+        let sql_a = "SELECT X.name FROM a CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+                     WHERE Z.price < X.price";
+        let sql_b = "SELECT X.ticker FROM b CLUSTER BY ticker SEQUENCE BY t AS (X, Z) \
+                     WHERE Z.volume < X.volume";
+        dispatch(shared, 1, &format!("SUBSCRIBE sa a\n{sql_a}")).unwrap();
+        dispatch(shared, 1, &format!("SUBSCRIBE sb b\n{sql_b}")).unwrap();
+        // A feed on channel a must reach only a's subscription — b's has a
+        // different schema and must never see these rows.
+        let reply = dispatch(shared, 1, "FEED a\nIBM,1,50.0").unwrap();
+        assert!(reply.starts_with("OK fed 1 subs=1"), "{reply}");
+        let sb = dispatch(shared, 1, "STATUS sb").unwrap();
+        assert!(sb.contains("records=0"), "{sb}");
+    }
+
+    #[test]
+    fn bad_sql_and_bad_rows_map_to_input_codes() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        let reply = dispatch(shared, 1, "SUBSCRIBE s q\nSELECT garbage FROM").unwrap_err();
+        assert!(reply.starts_with("ERR 3 "), "{reply}");
+        let reply = dispatch(shared, 1, "FEED q\nIBM,notaday,50").unwrap_err();
+        assert!(reply.starts_with("ERR 3 "), "{reply}");
+    }
+}

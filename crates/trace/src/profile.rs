@@ -358,43 +358,70 @@ impl ExecutionProfile {
     /// Prometheus text exposition (metric names are stable API; see the
     /// README's Observability section).
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// Prometheus exposition with a base label set attached to every
+    /// sample — the server mode uses `[("tenant", id)]` so one scrape can
+    /// carry many subscriptions' profiles side by side.  With an empty
+    /// slice the output is byte-identical to [`to_prometheus`]; label
+    /// values are escaped per the text-format rules.
+    ///
+    /// [`to_prometheus`]: ExecutionProfile::to_prometheus
+    pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let base = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let ls = |extra: &str| label_set(&base, extra);
         let mut out = String::new();
         let _ = writeln!(
             out,
             "# TYPE sqlts_predicate_tests_total counter\n\
-             sqlts_predicate_tests_total {}",
+             sqlts_predicate_tests_total{} {}",
+            ls(""),
             self.predicate_tests()
         );
         out.push_str("# TYPE sqlts_predicate_tests_by_position counter\n");
         for (j, n) in self.totals.tests_per_position.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "sqlts_predicate_tests_by_position{{position=\"{}\"}} {n}",
-                j + 1
+                "sqlts_predicate_tests_by_position{} {n}",
+                ls(&format!("position=\"{}\"", j + 1))
             );
         }
         let _ = writeln!(
             out,
-            "# TYPE sqlts_matches_total counter\nsqlts_matches_total {}",
+            "# TYPE sqlts_matches_total counter\nsqlts_matches_total{} {}",
+            ls(""),
             self.matches()
         );
         let _ = writeln!(
             out,
-            "# TYPE sqlts_tuples_total counter\nsqlts_tuples_total {}",
+            "# TYPE sqlts_tuples_total counter\nsqlts_tuples_total{} {}",
+            ls(""),
             self.tuples
         );
         let _ = writeln!(
             out,
-            "# TYPE sqlts_clusters_total counter\nsqlts_clusters_total {}",
+            "# TYPE sqlts_clusters_total counter\nsqlts_clusters_total{} {}",
+            ls(""),
             self.clusters.len()
         );
         let _ = writeln!(
             out,
-            "# TYPE sqlts_governor_flushes_total counter\nsqlts_governor_flushes_total {}",
+            "# TYPE sqlts_governor_flushes_total counter\nsqlts_governor_flushes_total{} {}",
+            ls(""),
             self.totals.governor_flushes
         );
-        write_hist_prom(&mut out, "sqlts_shift_distance", &self.totals.shifts);
-        write_hist_prom(&mut out, "sqlts_backtrack_depth", &self.totals.backtracks);
+        write_hist_prom(&mut out, "sqlts_shift_distance", &base, &self.totals.shifts);
+        write_hist_prom(
+            &mut out,
+            "sqlts_backtrack_depth",
+            &base,
+            &self.totals.backtracks,
+        );
         for (phase, ns) in [
             ("parse", self.phases.parse),
             ("bind", self.phases.bind),
@@ -403,18 +430,50 @@ impl ExecutionProfile {
         ] {
             let _ = writeln!(
                 out,
-                "sqlts_phase_seconds{{phase=\"{phase}\"}} {}",
+                "sqlts_phase_seconds{} {}",
+                ls(&format!("phase=\"{phase}\"")),
                 ns as f64 / 1e9
             );
         }
         if let Some(trip) = self.totals.trip {
-            let _ = writeln!(out, "sqlts_governor_tripped{{cause=\"{trip}\"}} 1");
+            let _ = writeln!(
+                out,
+                "sqlts_governor_tripped{} 1",
+                ls(&format!("cause=\"{trip}\""))
+            );
         }
         out
     }
 }
 
-fn write_hist_prom(out: &mut String, name: &str, h: &BoundedHistogram) {
+/// Join a pre-rendered base label list with a per-sample label into one
+/// `{...}` block, or nothing when both are empty (keeps the unlabeled
+/// exposition byte-identical to the historical format).
+fn label_set(base: &str, extra: &str) -> String {
+    match (base.is_empty(), extra.is_empty()) {
+        (true, true) => String::new(),
+        (false, true) => format!("{{{base}}}"),
+        (true, false) => format!("{{{extra}}}"),
+        (false, false) => format!("{{{base},{extra}}}"),
+    }
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double-quote and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_hist_prom(out: &mut String, name: &str, base: &str, h: &BoundedHistogram) {
     let _ = writeln!(out, "# TYPE {name} histogram");
     let mut cumulative = 0u64;
     for (bound, count) in h.nonzero_buckets() {
@@ -422,11 +481,20 @@ fn write_hist_prom(out: &mut String, name: &str, h: &BoundedHistogram) {
             break; // folded into the +Inf bucket below
         }
         cumulative += count;
-        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_set(base, &format!("le=\"{bound}\""))
+        );
     }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
-    let _ = writeln!(out, "{name}_sum {}", h.sum());
-    let _ = writeln!(out, "{name}_count {}", h.count());
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        label_set(base, "le=\"+Inf\""),
+        h.count()
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", label_set(base, ""), h.sum());
+    let _ = writeln!(out, "{name}_count{} {}", label_set(base, ""), h.count());
 }
 
 #[cfg(test)]
@@ -512,6 +580,24 @@ mod tests {
             "sqlts_matches_total 1",
             "sqlts_shift_distance_sum 1",
             "sqlts_phase_seconds{phase=\"execute\"}",
+        ] {
+            assert!(prom.contains(needle), "missing {needle} in {prom}");
+        }
+    }
+
+    #[test]
+    fn prometheus_labeled_exposition() {
+        let p = sample_profile();
+        // An empty label set must stay byte-identical to the historical
+        // unlabeled exposition — dashboards depend on those exact names.
+        assert_eq!(p.to_prometheus_labeled(&[]), p.to_prometheus());
+        let prom = p.to_prometheus_labeled(&[("tenant", "acme \"1\"")]);
+        for needle in [
+            "sqlts_predicate_tests_total{tenant=\"acme \\\"1\\\"\"} 9",
+            "sqlts_predicate_tests_by_position{tenant=\"acme \\\"1\\\"\",position=\"1\"} 7",
+            "sqlts_shift_distance_bucket{tenant=\"acme \\\"1\\\"\",le=\"+Inf\"} 1",
+            "sqlts_shift_distance_count{tenant=\"acme \\\"1\\\"\"} 1",
+            "sqlts_phase_seconds{tenant=\"acme \\\"1\\\"\",phase=\"execute\"}",
         ] {
             assert!(prom.contains(needle), "missing {needle} in {prom}");
         }
