@@ -44,7 +44,7 @@ use sqlts_core::{
 };
 use sqlts_relation::{ColumnType, CsvRecords, Schema, Table};
 use std::num::NonZeroUsize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -247,6 +247,28 @@ const SERVE_FLAGS: &[FlagSpec] = &[
         name: "--retain-profiles",
         metavar: Some("N"),
         help: "finished subscription profiles kept for /metrics (default 32)",
+    },
+    FlagSpec {
+        name: "--data-dir",
+        metavar: Some("DIR"),
+        help: "durable state directory: feeds append to per-channel WALs \
+               before fan-out, checkpoints snapshot atomically, and a restart \
+               with the same DIR recovers byte-identically (default: none, \
+               fully in-memory)",
+    },
+    FlagSpec {
+        name: "--fsync",
+        metavar: Some("every|batch|off"),
+        help: "with --data-dir: WAL fsync policy — every append (default, \
+               survives power loss), batched (bounded loss window), or left \
+               to the OS (still survives a killed process)",
+    },
+    FlagSpec {
+        name: "--checkpoint-every-frames",
+        metavar: Some("N"),
+        help: "with --data-dir: snapshot every subscription after N FEED \
+               frames on its channel, then truncate the WAL behind the \
+               snapshots (default 64)",
     },
     FlagSpec {
         name: "--help",
@@ -526,6 +548,18 @@ fn run_serve() -> Result<(), CliError> {
                 }
             }
             "--retain-profiles" => config.retain_profiles = serve_numeric(value),
+            "--data-dir" => {
+                config.data_dir = Some(PathBuf::from(value.unwrap_or_else(|| serve_usage())))
+            }
+            "--fsync" => {
+                config.fsync = value
+                    .as_deref()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--checkpoint-every-frames" => {
+                config.checkpoint_every_frames = serve_numeric::<u64>(value).max(1)
+            }
             "--help" => {
                 print!("{}", serve_help_text());
                 std::process::exit(0)
@@ -544,19 +578,67 @@ fn run_serve() -> Result<(), CliError> {
         governor = governor.with_max_matches(n);
     }
     config.governor = governor;
-    let listen = config.listen.clone();
-    let server = sqlts_server::Server::bind(config)
-        .map_err(|e| CliError::Input(format!("bind {listen}: {e}")))?;
+    let server = sqlts_server::Server::bind(config).map_err(serve_error)?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError::Runtime(format!("local_addr: {e}")))?;
+    if let Some(report) = server.recovery() {
+        for note in &report.notes {
+            eprintln!("recovery: {note}");
+        }
+        println!(
+            "recovered {} channel(s), {} subscription(s), {} row(s) replayed",
+            report.channels, report.subscriptions, report.rows_replayed
+        );
+    }
     // Stdout is line-buffered, so this announcement reaches pipes
     // immediately — drivers wait for it before connecting.
     println!("listening on {addr}");
+    install_shutdown_handler();
     server
-        .run()
-        .map_err(|e| CliError::Runtime(format!("server: {e}")))
+        .run_until(&SHUTDOWN)
+        .map_err(|e| CliError::Runtime(format!("server: {e}")))?;
+    println!("drained");
+    Ok(())
 }
+
+/// Classify a server bind/recovery failure onto the CLI's exit codes:
+/// unusable configuration (bad address, locked/unwritable data dir) is
+/// usage (2), untrustworthy durable state is input (3), the rest runtime.
+fn serve_error(e: sqlts_server::ServeError) -> CliError {
+    match e.exit_code() {
+        2 => CliError::Usage(e.message().to_string()),
+        3 => CliError::Input(e.message().to_string()),
+        _ => CliError::Runtime(e.message().to_string()),
+    }
+}
+
+/// Set when SIGTERM/SIGINT arrives; `serve` drains and exits 0.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Arrange for SIGTERM and SIGINT (Ctrl-C) to request a graceful drain.
+/// A raw `signal(2)` binding keeps this `std`-only; the handler does
+/// nothing but store to an atomic, which is async-signal-safe.  The
+/// accept loop polls the flag, so no EINTR dance is needed.
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
 
 /// Like [`numeric`] but exits through the serve-mode usage text.
 fn serve_numeric<T: std::str::FromStr>(v: Option<String>) -> T {
@@ -585,6 +667,9 @@ fn parse_schema(spec: &str) -> Result<Schema, String> {
 /// Every way a run can fail, unified so one printer renders the
 /// diagnostic and one place maps failures to exit codes.
 enum CliError {
+    /// Unusable invocation or configuration (exit 2): bad listen
+    /// address, locked or unwritable `--data-dir`.
+    Usage(String),
     /// Bad query or bad input data (exit 3): compile errors (already
     /// caret-rendered), CSV ingest errors, schema-spec errors.
     Input(String),
@@ -599,6 +684,7 @@ enum CliError {
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
+            CliError::Usage(_) => 2,
             CliError::Input(_) => 3,
             CliError::Runtime(_) => 4,
             CliError::Quarantine(_) => 5,
@@ -607,7 +693,10 @@ impl CliError {
 
     fn message(&self) -> &str {
         match self {
-            CliError::Input(m) | CliError::Runtime(m) | CliError::Quarantine(m) => m,
+            CliError::Usage(m)
+            | CliError::Input(m)
+            | CliError::Runtime(m)
+            | CliError::Quarantine(m) => m,
         }
     }
 }
@@ -674,7 +763,7 @@ fn emit_result(args: &Args, result: &QueryResult) -> Result<(), CliError> {
             }
         }
         if let Some(path) = &args.trace {
-            std::fs::write(path, profile.events_jsonl())
+            sqlts_core::atomic_write(path, profile.events_jsonl().as_bytes())
                 .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
         }
     }
@@ -684,12 +773,15 @@ fn emit_result(args: &Args, result: &QueryResult) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Snapshot the session and write the checkpoint text to `path`.
-fn save_checkpoint(session: &mut StreamSession<'_>, path: &PathBuf) -> Result<(), CliError> {
+/// Snapshot the session and write the checkpoint text to `path`
+/// atomically (tmp+rename), so a crash mid-write can never tear the
+/// previous good checkpoint — the one file whose whole job is to
+/// survive crashes.
+fn save_checkpoint(session: &mut StreamSession<'_>, path: &Path) -> Result<(), CliError> {
     let checkpoint = session
         .snapshot()
         .map_err(|e| CliError::Runtime(format!("checkpoint: {e}")))?;
-    std::fs::write(path, checkpoint.to_text())
+    sqlts_core::atomic_write(path, checkpoint.to_text().as_bytes())
         .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))
 }
 

@@ -1,0 +1,311 @@
+//! End-to-end crash-safety tests for `sqlts serve --data-dir`: a real
+//! server process with a real durable directory, killed for real.
+//!
+//! The load-bearing invariants:
+//!
+//! * SIGKILL mid-feed, then a restart on the same `--data-dir`, yields a
+//!   final result byte-identical to an uninterrupted batch run — the WAL
+//!   and checkpoint snapshots lose nothing that was acknowledged;
+//! * SIGTERM drains gracefully: in-flight connections get a parting
+//!   `ERR`, final snapshots land, the process prints `drained` and exits
+//!   0, and a restart recovers every subscription;
+//! * a second server pointed at a live server's `--data-dir` refuses to
+//!   start (exit 2) instead of corrupting it.
+
+#![cfg(unix)]
+
+use sqlts_server::frame::{read_frame, write_frame, FrameEvent};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sqlts");
+const SCHEMA: &str = "name:str,day:int,price:float";
+const QUERY: &str = "SELECT X.name, Z.day AS day FROM quote \
+                     CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) \
+                     WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price";
+
+/// A running `sqlts serve` process, killed on drop.
+struct ServerGuard {
+    child: Child,
+    addr: String,
+    /// Stdout after the `listening on` announcement, still attached.
+    stdout: BufReader<std::process::ChildStdout>,
+    /// Lines printed *before* the announcement (the recovery summary).
+    preamble: Vec<String>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn `sqlts serve --listen 127.0.0.1:0 --data-dir <dir> <extra>` and
+/// wait for its `listening on <addr>` announcement, collecting any
+/// recovery summary printed before it.
+fn spawn_server(data_dir: &Path, extra: &[&str]) -> ServerGuard {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0", "--data-dir"])
+        .arg(data_dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut preamble = Vec::new();
+    let addr = loop {
+        let mut line = String::new();
+        if stdout.read_line(&mut line).unwrap() == 0 {
+            panic!("server exited before announcing; preamble: {preamble:?}");
+        }
+        match line.trim().strip_prefix("listening on ") {
+            Some(addr) => break addr.to_string(),
+            None => preamble.push(line.trim().to_string()),
+        }
+    };
+    ServerGuard {
+        child,
+        addr,
+        stdout,
+        preamble,
+    }
+}
+
+/// One protocol connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, payload: &str) -> String {
+        write_frame(&mut self.writer, payload).unwrap();
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        match read_frame(&mut self.reader, 1 << 24).unwrap() {
+            FrameEvent::Payload(p) => p,
+            other => panic!("expected a payload frame, got {other:?}"),
+        }
+    }
+}
+
+/// The follow-suite's deterministic zig-zag workload over two clusters.
+fn rows() -> Vec<String> {
+    let mut out = Vec::new();
+    for day in 0..120i64 {
+        for (name, phase) in [("AAA", 0), ("BBB", 1)] {
+            let price = 100 + ((day + phase) % 7) * 3 - ((day + phase) % 3) * 5;
+            out.push(format!("{name},{day},{price}"));
+        }
+    }
+    out
+}
+
+/// The batch-mode reference output for the same tuples.
+fn batch_csv(rows: &[String]) -> String {
+    let dir = std::env::temp_dir().join(format!("sqlts-durability-batch-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("data.csv");
+    std::fs::write(&path, format!("name,day,price\n{}\n", rows.join("\n"))).unwrap();
+    let out = Command::new(BIN)
+        .args(["--csv", path.to_str().unwrap(), "--schema", SCHEMA, QUERY])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn result_body(reply: &str, id: &str, code: u8) -> String {
+    let (head, body) = reply.split_once('\n').unwrap();
+    assert!(
+        head.starts_with(&format!("RESULT {id} {code} ")),
+        "unexpected result head: {head}"
+    );
+    body.to_string()
+}
+
+/// Parse `OK opened quote rows=N`.
+fn opened_rows(reply: &str) -> usize {
+    reply
+        .strip_prefix("OK opened quote rows=")
+        .unwrap_or_else(|| panic!("unexpected OPEN reply: {reply}"))
+        .parse()
+        .unwrap()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlts-durability-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkill_midfeed_then_restart_is_byte_identical_to_batch() {
+    let rows = rows();
+    let expected = batch_csv(&rows);
+    let dir = fresh_dir("sigkill");
+
+    // Phase 1: open, subscribe, feed part of the stream, then die hard —
+    // the last FEED is sent without waiting for its acknowledgement, so
+    // the kill can land anywhere inside the append/fan-out path.
+    let acknowledged;
+    {
+        let mut server = spawn_server(&dir, &["--checkpoint-every-frames", "2"]);
+        // A fresh data dir still announces its (empty) recovery pass.
+        assert_eq!(
+            server.preamble,
+            ["recovered 0 channel(s), 0 subscription(s), 0 row(s) replayed"]
+        );
+        let mut client = Client::connect(&server.addr);
+        assert_eq!(
+            client.send(&format!("OPEN quote {SCHEMA}")),
+            "OK opened quote rows=0"
+        );
+        assert_eq!(
+            client.send(&format!("SUBSCRIBE s1 quote\n{QUERY}")),
+            "OK subscribed s1 quote"
+        );
+        let mut chunks = rows.chunks(30);
+        let mut fed = 0;
+        for chunk in chunks.by_ref().take(3) {
+            client.send(&format!("FEED quote\n{}", chunk.join("\n")));
+            fed += chunk.len();
+        }
+        acknowledged = fed;
+        // Fire one more FEED and kill without reading the reply.
+        let in_flight = chunks.next().unwrap();
+        write_frame(
+            &mut client.writer,
+            &format!("FEED quote\n{}", in_flight.join("\n")),
+        )
+        .unwrap();
+        server.child.kill().unwrap();
+        server.child.wait().unwrap();
+    }
+    // The kill leaves the LOCK file behind; restart must treat it as
+    // stale (the pid is dead) rather than refusing to start.
+    assert!(dir.join("LOCK").exists(), "SIGKILL should leave the lock");
+
+    // Phase 2: restart on the same directory, learn how many rows
+    // survived from OPEN's durable count, and feed exactly the rest.
+    let server = spawn_server(&dir, &["--checkpoint-every-frames", "2"]);
+    let summary = server
+        .preamble
+        .iter()
+        .find(|l| l.starts_with("recovered "))
+        .unwrap_or_else(|| panic!("no recovery summary in {:?}", server.preamble));
+    assert!(
+        summary.starts_with("recovered 1 channel(s), 1 subscription(s),"),
+        "{summary}"
+    );
+    let mut client = Client::connect(&server.addr);
+    let durable = opened_rows(&client.send(&format!("OPEN quote {SCHEMA}")));
+    assert!(
+        durable >= acknowledged,
+        "durable count {durable} lost acknowledged rows ({acknowledged})"
+    );
+    assert!(durable <= rows.len());
+    if durable < rows.len() {
+        let reply = client.send(&format!("FEED quote\n{}", rows[durable..].join("\n")));
+        assert!(reply.starts_with("OK fed "), "{reply}");
+    }
+    let reply = client.send("UNSUBSCRIBE s1");
+    assert_eq!(
+        result_body(&reply, "s1", 0),
+        expected,
+        "recovered subscription must be byte-identical to batch"
+    );
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_a_restart_recovers() {
+    let rows = rows();
+    let expected = batch_csv(&rows);
+    let dir = fresh_dir("sigterm");
+    let mid = rows.len() / 2;
+
+    let mut server = spawn_server(&dir, &[]);
+    let mut client = Client::connect(&server.addr);
+    client.send(&format!("OPEN quote {SCHEMA}"));
+    assert_eq!(
+        client.send(&format!("SUBSCRIBE s1 quote\n{QUERY}")),
+        "OK subscribed s1 quote"
+    );
+    client.send(&format!("FEED quote\n{}", rows[..mid].join("\n")));
+
+    // Graceful drain: exit code 0, a parting ERR to the in-flight
+    // connection, `drained` on stdout, and no LOCK left behind.
+    let pid = server.child.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .unwrap()
+        .success());
+    let status = server.child.wait().unwrap();
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+    let parting = client.recv();
+    assert!(parting.starts_with("ERR 4 server draining"), "{parting}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server.stdout, &mut rest).unwrap();
+    assert!(
+        rest.contains("drained"),
+        "missing drain announcement: {rest:?}"
+    );
+    assert!(!dir.join("LOCK").exists(), "drain must release the lock");
+    drop(server);
+
+    // The drain snapshotted every subscription: a restart recovers it
+    // and the remaining rows complete the stream byte-identically.
+    let server = spawn_server(&dir, &[]);
+    assert!(
+        server
+            .preamble
+            .iter()
+            .any(|l| l.starts_with("recovered 1 channel(s), 1 subscription(s),")),
+        "{:?}",
+        server.preamble
+    );
+    let mut client = Client::connect(&server.addr);
+    let durable = opened_rows(&client.send(&format!("OPEN quote {SCHEMA}")));
+    assert_eq!(durable, mid, "drain must persist every acknowledged row");
+    client.send(&format!("FEED quote\n{}", rows[mid..].join("\n")));
+    let reply = client.send("UNSUBSCRIBE s1");
+    assert_eq!(result_body(&reply, "s1", 0), expected);
+}
+
+#[test]
+fn second_server_on_a_live_data_dir_is_refused_with_exit_2() {
+    let dir = fresh_dir("locked");
+    let server = spawn_server(&dir, &[]);
+
+    let out = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("locked by running pid"),
+        "unexpected refusal message: {stderr}"
+    );
+    drop(server);
+}

@@ -56,6 +56,7 @@ pub mod governor;
 pub mod kmp;
 pub mod matrices;
 pub mod multiplex;
+pub mod persist;
 pub mod reverse;
 pub mod shift_next;
 pub mod stargraph;
@@ -80,6 +81,7 @@ pub use explain::{explain, optimizer_report};
 pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
 pub use multiplex::{FinishReport, SessionStatus, SessionWorker, SessionWorkerConfig, WorkerError};
+pub use persist::atomic_write;
 pub use shift_next::ShiftNext;
 pub use stargraph::star_shift_next;
 pub use stream::{

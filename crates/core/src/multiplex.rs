@@ -183,7 +183,7 @@ enum Command {
         reply: SyncSender<Result<(), WorkerError>>,
     },
     Snapshot {
-        reply: SyncSender<Result<String, WorkerError>>,
+        reply: SyncSender<Result<(String, u64), WorkerError>>,
     },
     Status {
         reply: SyncSender<SessionStatus>,
@@ -256,6 +256,14 @@ impl SessionWorker {
 
     /// Capture the session as `sqlts-checkpoint v1` text.
     pub fn snapshot(&self) -> Result<String, WorkerError> {
+        Ok(self.snapshot_with_records()?.0)
+    }
+
+    /// Capture the session as checkpoint text *plus* the record count the
+    /// checkpoint represents, extracted in the same worker round trip —
+    /// so a persistence layer can align the snapshot with its input log
+    /// without re-parsing the text and without racing concurrent feeds.
+    pub fn snapshot_with_records(&self) -> Result<(String, u64), WorkerError> {
         self.call(|reply| Command::Snapshot { reply })?
     }
 
@@ -318,7 +326,7 @@ fn worker_main(
                 let _ = reply.send(
                     session
                         .snapshot()
-                        .map(|cp| cp.to_text())
+                        .map(|cp| (cp.to_text(), cp.records()))
                         .map_err(map_stream_err),
                 );
             }

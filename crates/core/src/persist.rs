@@ -1,0 +1,122 @@
+//! Crash-safe file writes shared by every component that persists state
+//! (the CLI's `--checkpoint` and `--trace` writers, the server's
+//! snapshot and metadata files).
+//!
+//! A bare `std::fs::write` torn by a crash leaves a half-written file
+//! where the previous good copy used to be — exactly the failure a
+//! checkpoint exists to survive.  [`atomic_write`] closes that hole with
+//! the classic tmp+rename protocol: the new content is written to a
+//! sibling temporary file, flushed to disk, and only then renamed over
+//! the destination.  `rename(2)` within one directory is atomic on every
+//! POSIX filesystem, so a reader (or a recovery pass) observes either the
+//! complete old file or the complete new file, never a mixture.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling path the new content is staged at before the rename.
+///
+/// Kept deterministic (`<name>.tmp` in the same directory) so a stale
+/// staging file left by a crash is simply overwritten by the next write,
+/// and so the rename never crosses a filesystem boundary.
+pub fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("atomic"),
+        std::ffi::OsString::from,
+    );
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replace `path` with `bytes` via tmp+rename.
+///
+/// On any error the destination is untouched: either the staging file
+/// failed (destination never modified) or the rename failed (staged copy
+/// is discarded).  The staged file is fsynced before the rename so a
+/// crash immediately after cannot resurrect a hole-y file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = staging_path(path);
+    let result = stage_and_rename(path, &tmp, bytes);
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn stage_and_rename(path: &Path, tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(tmp)?;
+    #[cfg(feature = "failpoints")]
+    if let Some(sqlts_relation::failpoints::Injected::InjectError) =
+        sqlts_relation::failpoints::hit("persist::atomic_write", bytes.len() as u64)
+    {
+        // Simulated crash mid-write: leave a torn staging file behind and
+        // report failure.  The destination must still hold its previous
+        // content — that is the property the regression tests pin.
+        let _ = file.write_all(&bytes[..bytes.len() / 2]);
+        return Err(io::Error::other(
+            "failpoint 'persist::atomic_write' injected mid-write crash",
+        ));
+    }
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(tmp, path)?;
+    // Persist the rename itself: fsync the containing directory so the
+    // new directory entry survives a power cut (best-effort — some
+    // filesystems refuse to fsync directories).
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_target(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlts-persist-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_cleans_staging() {
+        let path = temp_target("replace.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer than the first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer than the first");
+        assert!(
+            !staging_path(&path).exists(),
+            "staging file must not linger"
+        );
+    }
+
+    #[test]
+    fn stale_staging_garbage_is_overwritten() {
+        let path = temp_target("stale.txt");
+        atomic_write(&path, b"good").unwrap();
+        // A previous crash left half-written garbage at the staging path;
+        // the next write must not be confused by it.
+        fs::write(staging_path(&path), b"torn garb").unwrap();
+        atomic_write(&path, b"better").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"better");
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        // A destination in a directory that disappears mid-flight: the
+        // staging create fails, and the original file (elsewhere) is
+        // untouched because nothing was ever renamed over it.
+        let missing = temp_target("no-such-dir").join("x.txt");
+        assert!(atomic_write(&missing, b"data").is_err());
+    }
+}

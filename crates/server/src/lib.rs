@@ -16,12 +16,22 @@
 //! exposition ([`metrics`]): server counters, live per-tenant gauges and
 //! the most recent finished subscriptions' execution profiles.
 //!
+//! With `--data-dir` the server is crash-safe: accepted feeds append to
+//! per-channel write-ahead logs ([`wal`]) before fan-out, subscription
+//! checkpoints snapshot atomically on a configurable cadence, and a
+//! restart recovers channels, subscriptions and in-flight rows
+//! byte-identically ([`recover`]).
+//!
 //! Zero dependencies beyond `std` and the workspace's own crates.
 
 pub mod frame;
 pub mod metrics;
+pub mod recover;
 pub mod server;
+pub mod wal;
 
 pub use frame::{read_frame, write_frame, FrameEvent, FrameFatal};
 pub use metrics::ServerMetrics;
-pub use server::{Server, ServerConfig};
+pub use recover::{DataDir, ServeError, SubMeta};
+pub use server::{RecoveryReport, Server, ServerConfig};
+pub use wal::{scan_wal, ChannelWal, FsyncPolicy, WalError, WalFrame, WalScan};

@@ -30,6 +30,16 @@ pub struct ServerMetrics {
     pub subscriptions_total: AtomicU64,
     /// Input rows delivered to workers (rows × subscribers).
     pub rows_fed_total: AtomicU64,
+    /// FEED frames appended to a channel WAL (`--data-dir` only).
+    pub wal_appends_total: AtomicU64,
+    /// fsyncs issued against channel WALs.
+    pub wal_fsyncs_total: AtomicU64,
+    /// WAL truncations past the snapshot low-water mark.
+    pub wal_truncations_total: AtomicU64,
+    /// Subscription checkpoint snapshots written to disk.
+    pub snapshots_total: AtomicU64,
+    /// Subscriptions respawned from snapshots at startup recovery.
+    pub recovered_subscriptions_total: AtomicU64,
     finished: Mutex<Vec<(String, Box<ExecutionProfile>)>>,
     retain_profiles: usize,
 }
@@ -97,6 +107,31 @@ impl ServerMetrics {
                 "sqlts_server_rows_fed_total",
                 "rows delivered to workers",
                 &self.rows_fed_total,
+            ),
+            (
+                "sqlts_server_wal_appends_total",
+                "FEED frames appended to channel WALs",
+                &self.wal_appends_total,
+            ),
+            (
+                "sqlts_server_wal_fsyncs_total",
+                "fsyncs issued against channel WALs",
+                &self.wal_fsyncs_total,
+            ),
+            (
+                "sqlts_server_wal_truncations_total",
+                "WAL truncations past the snapshot low-water mark",
+                &self.wal_truncations_total,
+            ),
+            (
+                "sqlts_server_snapshots_total",
+                "subscription checkpoint snapshots written",
+                &self.snapshots_total,
+            ),
+            (
+                "sqlts_server_recovered_subscriptions_total",
+                "subscriptions respawned from snapshots at recovery",
+                &self.recovered_subscriptions_total,
             ),
         ] {
             let _ = writeln!(

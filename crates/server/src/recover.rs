@@ -1,0 +1,626 @@
+//! The durable state directory behind `--data-dir` and the recovery pass
+//! that rebuilds a crashed server from it.
+//!
+//! ## Layout
+//!
+//! ```text
+//! DIR/LOCK                        single-writer lock (holder's pid)
+//! DIR/channels/<name>.schema      channel schema spec ("col:type,...")
+//! DIR/channels/<name>.wal         per-channel feed WAL (crate::wal)
+//! DIR/subs/<id>.meta              subscription metadata (channel, SQL,
+//!                                 ordinal bases) — sqlts-submeta v1
+//! DIR/subs/<id>.checkpoint        latest sqlts-checkpoint v1 snapshot
+//! ```
+//!
+//! Channel and subscription names come off the wire, so they are
+//! percent-encoded before becoming file names — `../../etc/passwd` is a
+//! perfectly legal subscription id and a perfectly illegal path.
+//!
+//! ## Recovery invariant
+//!
+//! Every snapshot records the channel row ordinal it covers
+//! (`base_rows + (checkpoint records − base_records)`); the WAL retains
+//! every frame at or past the *minimum* such ordinal (the low-water
+//! mark).  Restart therefore resumes each worker from its snapshot and
+//! replays exactly the WAL rows that worker has not yet seen — the same
+//! rows, in the same order, as the uninterrupted run, which is what
+//! makes recovered output byte-identical.
+//!
+//! All failures surface as [`ServeError`] on the CLI's established
+//! exit-code classes — never a panic: 2 for unusable configuration
+//! (bad listen address, locked or unwritable data dir), 3 for durable
+//! state that cannot be trusted (malformed WAL header, snapshot, meta
+//! or schema files), 4 for runtime failures while replaying.
+
+use crate::wal::WalFrame;
+use sqlts_core::{atomic_write, SessionWorker};
+use sqlts_relation::{parse_headerless_row, ColumnType, Schema};
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A serve-path failure, classified onto the CLI's exit-code classes.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Unusable configuration: bad listen address, locked or unwritable
+    /// `--data-dir` (exit 2).
+    Usage(String),
+    /// Durable state that cannot be trusted: malformed WAL header,
+    /// snapshot, metadata or schema file (exit 3).
+    Input(String),
+    /// Runtime failure during recovery or replay (exit 4).
+    Runtime(String),
+}
+
+impl ServeError {
+    /// The CLI exit code class this failure maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ServeError::Usage(_) => 2,
+            ServeError::Input(_) => 3,
+            ServeError::Runtime(_) => 4,
+        }
+    }
+
+    /// The failure message without its class.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::Usage(m) | ServeError::Input(m) | ServeError::Runtime(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<crate::wal::WalError> for ServeError {
+    fn from(e: crate::wal::WalError) -> ServeError {
+        match e {
+            crate::wal::WalError::Io(e) => ServeError::Runtime(format!("wal I/O: {e}")),
+            crate::wal::WalError::Malformed(why) => ServeError::Input(format!("wal: {why}")),
+        }
+    }
+}
+
+/// Percent-encode a wire name into a safe file stem: every byte outside
+/// `[A-Za-z0-9_.-]` (plus `%` itself and a bare leading dot) becomes
+/// `%XX`, so distinct names map to distinct stems and no name can climb
+/// out of the directory.
+pub fn encode_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, b) in name.bytes().enumerate() {
+        let plain = b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || (b == b'.' && i > 0);
+        if plain {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Invert [`encode_name`].  Returns `None` for stems that are not valid
+/// encodings (foreign files in the directory).
+pub fn decode_name(stem: &str) -> Option<String> {
+    let bytes = stem.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Render a schema back to the `OPEN` spec grammar (`name:type,...`).
+pub fn schema_spec(schema: &Schema) -> String {
+    schema
+        .columns()
+        .iter()
+        .map(|c| {
+            let ty = match c.ty {
+                ColumnType::Int => "int",
+                ColumnType::Float => "float",
+                ColumnType::Str => "str",
+                ColumnType::Date => "date",
+            };
+            format!("{}:{ty}", c.name)
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Durable per-subscription metadata (`subs/<id>.meta`).
+///
+/// `base_rows` is the channel row ordinal at which the subscription was
+/// created (or resumed); `base_records` is the worker's checkpoint
+/// record count at that moment (non-zero only for `RESUME`, whose
+/// checkpoint arrives with history already in it).  The ordinal a
+/// snapshot covers is then `base_rows + (records − base_records)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubMeta {
+    /// Channel the subscription consumes.
+    pub channel: String,
+    /// Channel row ordinal when the subscription joined.
+    pub base_rows: u64,
+    /// Worker checkpoint record count when it joined (0 unless resumed).
+    pub base_records: u64,
+    /// The standing SQL-TS query.
+    pub sql: String,
+}
+
+impl SubMeta {
+    /// Serialize to the `sqlts-submeta v1` text form.
+    pub fn to_text(&self) -> String {
+        format!(
+            "sqlts-submeta v1\nchannel {}\nbase_rows {}\nbase_records {}\nsql\n{}",
+            encode_name(&self.channel),
+            self.base_rows,
+            self.base_records,
+            self.sql
+        )
+    }
+
+    /// Parse the `sqlts-submeta v1` text form.
+    pub fn from_text(text: &str) -> Result<SubMeta, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("sqlts-submeta v1") {
+            return Err("missing 'sqlts-submeta v1' header".into());
+        }
+        let mut channel = None;
+        let mut base_rows = None;
+        let mut base_records = None;
+        for line in lines.by_ref() {
+            if line == "sql" {
+                break;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad metadata line '{line}'"))?;
+            match key {
+                "channel" => {
+                    channel =
+                        Some(decode_name(value).ok_or_else(|| "undecodable channel".to_string())?);
+                }
+                "base_rows" => {
+                    base_rows = Some(value.parse().map_err(|_| "bad base_rows".to_string())?);
+                }
+                "base_records" => {
+                    base_records = Some(value.parse().map_err(|_| "bad base_records".to_string())?);
+                }
+                other => return Err(format!("unknown metadata key '{other}'")),
+            }
+        }
+        let sql: String = lines.collect::<Vec<_>>().join("\n");
+        if sql.trim().is_empty() {
+            return Err("missing sql section".into());
+        }
+        Ok(SubMeta {
+            channel: channel.ok_or("missing channel")?,
+            base_rows: base_rows.ok_or("missing base_rows")?,
+            base_records: base_records.ok_or("missing base_records")?,
+            sql,
+        })
+    }
+}
+
+/// Data dirs locked by *this* process — catches two in-process servers
+/// (tests, embedders) binding the same directory, which the pid-based
+/// LOCK file cannot distinguish from our own stale lock.
+static ACTIVE_DIRS: Mutex<Option<HashSet<PathBuf>>> = Mutex::new(None);
+
+fn register_dir(root: &Path) -> bool {
+    let mut guard = ACTIVE_DIRS.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .get_or_insert_with(HashSet::new)
+        .insert(root.to_path_buf())
+}
+
+fn deregister_dir(root: &Path) {
+    let mut guard = ACTIVE_DIRS.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(set) = guard.as_mut() {
+        set.remove(root);
+    }
+}
+
+fn pid_is_live(pid: u32) -> bool {
+    // Good enough on Linux; elsewhere /proc is absent and every foreign
+    // lock looks stale, which errs on the side of recoverability.  A
+    // zombie still has a /proc entry but holds no lock worth honouring —
+    // a SIGKILLed server lingers as one until its parent reaps it.
+    let Ok(stat) = fs::read_to_string(format!("/proc/{pid}/stat")) else {
+        return false;
+    };
+    let state = stat
+        .rsplit(')')
+        .next()
+        .and_then(|rest| rest.trim_start().chars().next());
+    !matches!(state, Some('Z') | Some('X') | None)
+}
+
+/// An exclusively-locked durable state directory.
+#[derive(Debug)]
+pub struct DataDir {
+    root: PathBuf,
+}
+
+impl DataDir {
+    /// Create (if needed) and exclusively lock `root`.
+    ///
+    /// A LOCK file holding a live foreign pid refuses the lock (exit
+    /// class 2); a LOCK whose pid is dead — or our own, left by a
+    /// previous incarnation in this process — is stale and stolen.
+    pub fn lock(root: &Path) -> Result<DataDir, ServeError> {
+        for sub in ["channels", "subs"] {
+            fs::create_dir_all(root.join(sub))
+                .map_err(|e| ServeError::Usage(format!("data dir {}: {e}", root.display())))?;
+        }
+        let root = root
+            .canonicalize()
+            .map_err(|e| ServeError::Usage(format!("data dir: {e}")))?;
+        if !register_dir(&root) {
+            return Err(ServeError::Usage(format!(
+                "data dir {} is already in use by this process",
+                root.display()
+            )));
+        }
+        let lock_path = root.join("LOCK");
+        let own_pid = std::process::id();
+        if let Ok(text) = fs::read_to_string(&lock_path) {
+            if let Ok(pid) = text.trim().parse::<u32>() {
+                if pid != own_pid && pid_is_live(pid) {
+                    deregister_dir(&root);
+                    return Err(ServeError::Usage(format!(
+                        "data dir {} is locked by running pid {pid}",
+                        root.display()
+                    )));
+                }
+            }
+        }
+        if let Err(e) = atomic_write(&lock_path, format!("{own_pid}\n").as_bytes()) {
+            deregister_dir(&root);
+            return Err(ServeError::Usage(format!(
+                "data dir {}: cannot write LOCK: {e}",
+                root.display()
+            )));
+        }
+        Ok(DataDir { root })
+    }
+
+    /// The locked directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `channels/<name>.wal`
+    pub fn wal_path(&self, channel: &str) -> PathBuf {
+        self.root
+            .join("channels")
+            .join(format!("{}.wal", encode_name(channel)))
+    }
+
+    fn schema_path(&self, channel: &str) -> PathBuf {
+        self.root
+            .join("channels")
+            .join(format!("{}.schema", encode_name(channel)))
+    }
+
+    fn meta_path(&self, id: &str) -> PathBuf {
+        self.root
+            .join("subs")
+            .join(format!("{}.meta", encode_name(id)))
+    }
+
+    fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.root
+            .join("subs")
+            .join(format!("{}.checkpoint", encode_name(id)))
+    }
+
+    /// Persist a channel's schema spec (atomic).
+    pub fn save_channel(&self, channel: &str, schema: &Schema) -> Result<(), ServeError> {
+        atomic_write(&self.schema_path(channel), schema_spec(schema).as_bytes())
+            .map_err(|e| ServeError::Runtime(format!("persist channel '{channel}': {e}")))
+    }
+
+    /// Persist a subscription's metadata (atomic).
+    pub fn save_sub_meta(&self, id: &str, meta: &SubMeta) -> Result<(), ServeError> {
+        atomic_write(&self.meta_path(id), meta.to_text().as_bytes())
+            .map_err(|e| ServeError::Runtime(format!("persist sub '{id}' meta: {e}")))
+    }
+
+    /// Persist a subscription's latest checkpoint snapshot (atomic).
+    pub fn save_sub_checkpoint(&self, id: &str, text: &str) -> Result<(), ServeError> {
+        atomic_write(&self.checkpoint_path(id), text.as_bytes())
+            .map_err(|e| ServeError::Runtime(format!("persist sub '{id}' checkpoint: {e}")))
+    }
+
+    /// Remove a subscription's durable files.  Called *before* the
+    /// worker is finished, so a crash in between resurrects nothing.
+    pub fn remove_sub(&self, id: &str) {
+        let _ = fs::remove_file(self.meta_path(id));
+        let _ = fs::remove_file(self.checkpoint_path(id));
+        let _ = fs::remove_file(sqlts_core::persist::staging_path(&self.checkpoint_path(id)));
+    }
+
+    /// Enumerate persisted channels as `(name, schema)`.
+    pub fn load_channels(&self) -> Result<Vec<(String, Schema)>, ServeError> {
+        let mut out = Vec::new();
+        let dir = self.root.join("channels");
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| ServeError::Runtime(format!("read {}: {e}", dir.display())))?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| ServeError::Runtime(format!("read {}: {e}", dir.display())))?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some("schema") {
+                continue;
+            }
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            let Some(name) = decode_name(stem) else {
+                continue;
+            };
+            let spec = fs::read_to_string(&path)
+                .map_err(|e| ServeError::Runtime(format!("read {}: {e}", path.display())))?;
+            let schema = crate::server::parse_schema_spec(spec.trim()).map_err(|e| {
+                ServeError::Input(format!("malformed schema file {}: {e}", path.display()))
+            })?;
+            out.push((name, schema));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Enumerate persisted subscriptions as `(id, meta, checkpoint)`.
+    pub fn load_subs(&self) -> Result<Vec<(String, SubMeta, String)>, ServeError> {
+        let mut out = Vec::new();
+        let dir = self.root.join("subs");
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| ServeError::Runtime(format!("read {}: {e}", dir.display())))?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| ServeError::Runtime(format!("read {}: {e}", dir.display())))?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some("meta") {
+                continue;
+            }
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            let Some(id) = decode_name(stem) else {
+                continue;
+            };
+            let text = fs::read_to_string(&path)
+                .map_err(|e| ServeError::Runtime(format!("read {}: {e}", path.display())))?;
+            let meta = SubMeta::from_text(&text).map_err(|e| {
+                ServeError::Input(format!("malformed metadata file {}: {e}", path.display()))
+            })?;
+            let cp_path = self.checkpoint_path(&id);
+            let checkpoint = fs::read_to_string(&cp_path).map_err(|e| {
+                ServeError::Input(format!(
+                    "subscription '{id}' has metadata but no readable checkpoint \
+                     ({}): {e}",
+                    cp_path.display()
+                ))
+            })?;
+            out.push((id, meta, checkpoint));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Release the LOCK file (graceful drain).  The in-process
+    /// registration is released on drop either way; a crash skips this
+    /// and leaves the LOCK behind, where the pid-liveness check makes it
+    /// stealable.
+    pub fn release(&self) {
+        let _ = fs::remove_file(self.root.join("LOCK"));
+    }
+}
+
+impl Drop for DataDir {
+    fn drop(&mut self) {
+        deregister_dir(&self.root);
+    }
+}
+
+/// One recovered subscription, ready for WAL replay.
+pub struct ReplaySub<'a> {
+    /// Subscription id (diagnostics only).
+    pub id: &'a str,
+    /// First channel row ordinal this worker has *not* yet seen.
+    pub resume_ordinal: u64,
+    /// The respawned worker.
+    pub worker: &'a SessionWorker,
+}
+
+/// What a channel's replay delivered.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReplayStats {
+    /// Row deliveries accepted by workers.
+    pub rows_replayed: u64,
+    /// Row deliveries rejected by tripped/latched workers (these rows
+    /// were equally rejected in the uninterrupted run).
+    pub rows_rejected: u64,
+}
+
+/// Replay a channel's surviving WAL frames into its recovered workers.
+///
+/// Each worker receives exactly the rows at or past its
+/// `resume_ordinal`, in WAL (= feed) order.  Per-row worker errors are
+/// tolerated, matching the live fan-out: a governed subscription stays
+/// latched and keeps its partial result.  A row that no longer parses
+/// against the schema is an input error — the WAL validated it at feed
+/// time, so this means the durable state is inconsistent.
+pub fn replay_channel(
+    channel: &str,
+    schema: &Schema,
+    frames: &[WalFrame],
+    subs: &mut [ReplaySub<'_>],
+) -> Result<ReplayStats, ServeError> {
+    let mut stats = ReplayStats::default();
+    for frame in frames {
+        #[cfg(feature = "failpoints")]
+        if let Some(sqlts_relation::failpoints::Injected::InjectError) =
+            sqlts_relation::failpoints::hit("recover::replay", frame.start)
+        {
+            return Err(ServeError::Runtime(format!(
+                "failpoint 'recover::replay' injected error at ordinal {}",
+                frame.start
+            )));
+        }
+        for (i, line) in frame.payload.lines().enumerate() {
+            let ordinal = frame.start + i as u64;
+            let row = parse_headerless_row(schema, line, i + 1).map_err(|e| {
+                ServeError::Input(format!(
+                    "channel '{channel}' wal row at ordinal {ordinal} no longer \
+                     matches its schema: {e}"
+                ))
+            })?;
+            for sub in subs.iter_mut() {
+                if ordinal < sub.resume_ordinal {
+                    continue;
+                }
+                match sub.worker.feed(row.clone()) {
+                    Ok(()) => stats.rows_replayed += 1,
+                    Err(_) => stats.rows_rejected += 1,
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlts-recover-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn name_encoding_round_trips_and_defangs_traversal() {
+        for name in [
+            "quote",
+            "a/b",
+            "../../etc/passwd",
+            ".hidden",
+            "naïve",
+            "%41",
+        ] {
+            let enc = encode_name(name);
+            assert!(!enc.contains('/'), "{name} -> {enc}");
+            assert!(!enc.starts_with('.'), "{name} -> {enc}");
+            assert_eq!(decode_name(&enc).as_deref(), Some(name));
+        }
+        // Distinct names never collide.
+        assert_ne!(encode_name("a/b"), encode_name("a%2Fb"));
+        assert_eq!(decode_name("no%GGhex"), None);
+    }
+
+    #[test]
+    fn submeta_round_trip_and_rejections() {
+        let meta = SubMeta {
+            channel: "quote/eu".into(),
+            base_rows: 42,
+            base_records: 7,
+            sql: "SELECT X.name\nFROM q CLUSTER BY name SEQUENCE BY day AS (X, Z)\n\
+                  WHERE Z.price < X.price"
+                .into(),
+        };
+        assert_eq!(SubMeta::from_text(&meta.to_text()).unwrap(), meta);
+        assert!(SubMeta::from_text("garbage").is_err());
+        assert!(SubMeta::from_text("sqlts-submeta v1\nchannel q\nsql\n").is_err());
+        assert!(SubMeta::from_text("sqlts-submeta v1\nbase_rows 1\nsql\nSELECT").is_err());
+    }
+
+    #[test]
+    fn lock_is_exclusive_within_process_and_stealable_when_stale() {
+        let root = temp_root("lock");
+        let first = DataDir::lock(&root).unwrap();
+        // Same process, same dir: refused by the in-process registry.
+        let again = DataDir::lock(&root);
+        assert!(matches!(again, Err(ServeError::Usage(_))), "{again:?}");
+        drop(first);
+        // A LOCK file holding our own pid (a prior incarnation in this
+        // process) is stale by definition.
+        let second = DataDir::lock(&root).unwrap();
+        drop(second);
+        // A LOCK file holding a dead pid is stolen.
+        fs::write(root.join("LOCK"), "999999999\n").unwrap();
+        let third = DataDir::lock(&root).unwrap();
+        third.release();
+        assert!(!root.join("LOCK").exists(), "release removes the LOCK");
+    }
+
+    #[test]
+    fn channels_and_subs_round_trip_through_the_directory() {
+        let root = temp_root("roundtrip");
+        let dir = DataDir::lock(&root).unwrap();
+        let schema = crate::server::parse_schema_spec("name:str,day:int,price:float").unwrap();
+        dir.save_channel("quote", &schema).unwrap();
+        let loaded = dir.load_channels().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, "quote");
+        assert_eq!(loaded[0].1, schema);
+
+        let meta = SubMeta {
+            channel: "quote".into(),
+            base_rows: 0,
+            base_records: 0,
+            sql: "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+                  WHERE Z.price < X.price"
+                .into(),
+        };
+        dir.save_sub_meta("s1", &meta).unwrap();
+        dir.save_sub_checkpoint("s1", "sqlts-checkpoint v1\n...")
+            .unwrap();
+        let subs = dir.load_subs().unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].0, "s1");
+        assert_eq!(subs[0].1, meta);
+        dir.remove_sub("s1");
+        assert!(dir.load_subs().unwrap().is_empty());
+    }
+
+    #[test]
+    fn meta_without_checkpoint_is_an_input_error() {
+        let root = temp_root("orphan");
+        let dir = DataDir::lock(&root).unwrap();
+        let meta = SubMeta {
+            channel: "q".into(),
+            base_rows: 0,
+            base_records: 0,
+            sql: "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+                  WHERE Z.price < X.price"
+                .into(),
+        };
+        dir.save_sub_meta("lonely", &meta).unwrap();
+        let result = dir.load_subs();
+        assert!(matches!(result, Err(ServeError::Input(_))), "{result:?}");
+    }
+
+    #[test]
+    fn unwritable_data_dir_is_a_usage_error() {
+        let result = DataDir::lock(Path::new("/proc/definitely/not/writable"));
+        match result {
+            Err(ServeError::Usage(_)) => {}
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+}

@@ -40,17 +40,42 @@
 //! closes, its subscriptions are finished and their profiles retained for
 //! `/metrics`; a client that wants to survive a disconnect takes a
 //! `CHECKPOINT` first and `RESUME`s on a new connection.
+//!
+//! ## Durability (`--data-dir`)
+//!
+//! With a data directory configured the server becomes crash-safe:
+//!
+//! * every accepted `FEED` frame is appended to the channel's WAL
+//!   ([`crate::wal`]) *before* it fans out, under the channel's persist
+//!   lock, so WAL order is exactly feed order;
+//! * every subscription's checkpoint is snapshotted atomically every
+//!   [`ServerConfig::checkpoint_every_frames`] frames and on fresh
+//!   governor trips, and the minimum snapshot position (the low-water
+//!   mark) truncates the WAL behind it;
+//! * on restart [`Server::bind`] recovers: channels reopen, workers
+//!   resume from their snapshots, and the WAL tail replays exactly the
+//!   rows each worker has not seen — making output and metrics
+//!   byte-identical to an uninterrupted run (see [`crate::recover`]);
+//! * recovered subscriptions belong to connection 0, which never closes:
+//!   they outlive their original client, and any connection may
+//!   `STATUS`/`CHECKPOINT`/`UNSUBSCRIBE` them.
+//!
+//! Without `--data-dir` nothing below changes observably: no files, no
+//! extra reply fields, identical wire traffic.
 
 use crate::frame::{read_frame, write_frame, FrameEvent, FrameFatal};
 use crate::metrics::{live_gauges, ServerMetrics};
+use crate::recover::{replay_channel, DataDir, ReplaySub, ServeError, SubMeta};
+use crate::wal::{ChannelWal, FsyncPolicy, WalFrame};
 use sqlts_core::{
     EngineKind, Governor, Instrument, SessionWorker, SessionWorkerConfig, TripReason, WorkerError,
 };
 use sqlts_relation::{parse_headerless_row, ColumnType, Schema};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -74,6 +99,14 @@ pub struct ServerConfig {
     pub engine: EngineKind,
     /// How many finished subscription profiles `/metrics` retains.
     pub retain_profiles: usize,
+    /// Durable state directory; `None` keeps the server fully in-memory
+    /// with behaviour identical to previous releases.
+    pub data_dir: Option<PathBuf>,
+    /// When to fsync WAL appends (only meaningful with `data_dir`).
+    pub fsync: FsyncPolicy,
+    /// Snapshot every subscription on a channel after this many FEED
+    /// frames (clamped to ≥ 1; only meaningful with `data_dir`).
+    pub checkpoint_every_frames: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +120,9 @@ impl Default for ServerConfig {
             governor: Governor::unlimited(),
             engine: EngineKind::Ops,
             retain_profiles: 32,
+            data_dir: None,
+            fsync: FsyncPolicy::Every,
+            checkpoint_every_frames: 64,
         }
     }
 }
@@ -95,37 +131,130 @@ struct Subscription {
     worker: Arc<SessionWorker>,
     channel: String,
     conn: u64,
+    /// Channel row ordinal when this subscription joined (0 without a
+    /// data dir, where it is never read).
+    base_rows: u64,
+    /// Worker checkpoint record count when it joined (non-zero only for
+    /// RESUME and recovery).
+    base_records: u64,
+}
+
+/// Per-channel durable state, guarded by one mutex so that WAL append
+/// order is exactly fan-out order.  Lock ordering: a holder of this lock
+/// may take the `subs` lock, never the reverse.
+struct ChannelPersist {
+    /// Rows accepted on this channel since it was opened (durable: the
+    /// WAL's row count when one exists).
+    rows_total: u64,
+    /// The write-ahead log; `None` without a data dir.
+    wal: Option<ChannelWal>,
+    /// FEED frames since the last snapshot pass.
+    frames_since_snapshot: u64,
+    /// Subscription ids whose trip has already forced a snapshot, so a
+    /// latched subscription does not snapshot the channel on every frame.
+    tripped_seen: HashSet<String>,
+}
+
+#[derive(Clone)]
+struct Channel {
+    schema: Schema,
+    persist: Arc<Mutex<ChannelPersist>>,
+}
+
+impl Channel {
+    fn new(schema: Schema) -> Channel {
+        Channel {
+            schema,
+            persist: Arc::new(Mutex::new(ChannelPersist {
+                rows_total: 0,
+                wal: None,
+                frames_since_snapshot: 0,
+                tripped_seen: HashSet::new(),
+            })),
+        }
+    }
 }
 
 struct Shared {
     config: ServerConfig,
-    channels: Mutex<HashMap<String, Schema>>,
+    channels: Mutex<HashMap<String, Channel>>,
     subs: Mutex<HashMap<String, Subscription>>,
     metrics: ServerMetrics,
     next_conn: AtomicU64,
+    /// The locked durable state directory, when configured.
+    data: Option<DataDir>,
+    /// Live client sockets, for the parting error at drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Set for the rest of the process's life once a drain begins.
+    /// Connection reapers check it: the socket shutdowns drain sends wake
+    /// every connection thread, and those must not mistake the drain for
+    /// a client disconnect and delete durable state the drain just
+    /// snapshotted.
+    draining: AtomicBool,
+}
+
+/// What a recovery pass restored, for startup diagnostics.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryReport {
+    /// Channels reopened from the data dir.
+    pub channels: usize,
+    /// Subscriptions respawned from snapshots.
+    pub subscriptions: usize,
+    /// WAL row deliveries accepted during replay.
+    pub rows_replayed: u64,
+    /// WAL row deliveries rejected by latched workers during replay.
+    pub rows_rejected: u64,
+    /// Torn/corrupt WAL tail bytes discarded.
+    pub dropped_bytes: u64,
+    /// Human-readable notes (one per dropped tail).
+    pub notes: Vec<String>,
 }
 
 /// A bound server, ready to [`run`](Server::run).
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
-    /// Bind the listen socket (fails fast on a bad address).
-    pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.listen)?;
+    /// Bind the listen socket, lock the data dir and recover durable
+    /// state (both only when `data_dir` is configured).  Every failure is
+    /// a typed [`ServeError`] on the CLI's exit-code classes.
+    pub fn bind(config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| ServeError::Usage(format!("bind {}: {e}", config.listen)))?;
+        let data = config
+            .data_dir
+            .as_ref()
+            .map(|root| DataDir::lock(root))
+            .transpose()?;
         let retain = config.retain_profiles;
+        let shared = Arc::new(Shared {
+            config,
+            channels: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            metrics: ServerMetrics::new(retain),
+            next_conn: AtomicU64::new(1),
+            data,
+            conns: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+        });
+        let recovery = if shared.data.is_some() {
+            Some(recover(&shared)?)
+        } else {
+            None
+        };
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                config,
-                channels: Mutex::new(HashMap::new()),
-                subs: Mutex::new(HashMap::new()),
-                metrics: ServerMetrics::new(retain),
-                next_conn: AtomicU64::new(1),
-            }),
+            shared,
+            recovery,
         })
+    }
+
+    /// What recovery restored, when a data dir was configured.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The actually-bound address (resolves `:0`).
@@ -135,24 +264,231 @@ impl Server {
 
     /// Accept connections forever, one thread per connection.
     pub fn run(&self) -> io::Result<()> {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        self.run_until(&NEVER)
+    }
+
+    /// Accept connections until `shutdown` becomes true, then drain
+    /// gracefully: final snapshots, a parting `ERR 4` to every live
+    /// client, the data-dir LOCK released, and a clean `Ok(())`.
+    pub fn run_until(&self, shutdown: &AtomicBool) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
         loop {
-            let (stream, _) = self.listener.accept()?;
-            let shared = Arc::clone(&self.shared);
-            let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-            ServerMetrics::inc(&shared.metrics.connections_total);
-            let _ = std::thread::Builder::new()
-                .name(format!("sqlts-conn-{conn}"))
-                .spawn(move || {
-                    let _ = handle_connection(&shared, stream, conn);
-                    reap_connection(&shared, conn);
-                });
+            if shutdown.load(Ordering::SeqCst) {
+                self.drain();
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let shared = Arc::clone(&self.shared);
+                    let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                    ServerMetrics::inc(&shared.metrics.connections_total);
+                    if let Ok(clone) = stream.try_clone() {
+                        if let Ok(mut conns) = shared.conns.lock() {
+                            conns.insert(conn, clone);
+                        }
+                    }
+                    let _ = std::thread::Builder::new()
+                        .name(format!("sqlts-conn-{conn}"))
+                        .spawn(move || {
+                            let _ = handle_connection(&shared, stream, conn);
+                            reap_connection(&shared, conn);
+                            if let Ok(mut conns) = shared.conns.lock() {
+                                conns.remove(&conn);
+                            }
+                        });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
+    }
+
+    fn drain(&self) {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+        let channels: Vec<(String, Channel)> = shared
+            .channels
+            .lock()
+            .map(|map| map.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default();
+        for (name, channel) in channels {
+            if let Ok(mut persist) = channel.persist.lock() {
+                snapshot_channel_locked(shared, &name, &mut persist);
+                if let Some(wal) = persist.wal.as_mut() {
+                    if wal.sync().is_ok() {
+                        ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+                    }
+                }
+            }
+        }
+        if let Ok(mut conns) = shared.conns.lock() {
+            for (_, mut stream) in conns.drain() {
+                let _ = write_frame(&mut stream, "ERR 4 server draining");
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(data) = shared.data.as_ref() {
+            data.release();
+        }
+    }
+}
+
+/// Rebuild channels, subscriptions and in-flight rows from a locked data
+/// dir: reopen every channel's WAL (truncating torn tails), respawn every
+/// subscription from its snapshot, replay the WAL rows each worker has
+/// not yet seen, then snapshot everything so a crash loop cannot replay
+/// unboundedly.
+fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
+    let data = shared.data.as_ref().expect("recover requires a data dir");
+    let mut report = RecoveryReport::default();
+    let mut frames_by_channel: HashMap<String, Vec<WalFrame>> = HashMap::new();
+    {
+        let mut channels = shared
+            .channels
+            .lock()
+            .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
+        for (name, schema) in data.load_channels()? {
+            let (wal, scan) = ChannelWal::open(&data.wal_path(&name), shared.config.fsync)?;
+            if scan.dropped_bytes > 0 {
+                report.dropped_bytes += scan.dropped_bytes;
+                report.notes.push(format!(
+                    "channel '{name}': dropped {} trailing wal bytes ({})",
+                    scan.dropped_bytes,
+                    scan.corruption
+                        .as_deref()
+                        .unwrap_or("unreported corruption")
+                ));
+            }
+            frames_by_channel.insert(name.clone(), scan.frames);
+            let channel = Channel {
+                schema,
+                persist: Arc::new(Mutex::new(ChannelPersist {
+                    rows_total: wal.rows_total(),
+                    wal: Some(wal),
+                    frames_since_snapshot: 0,
+                    tripped_seen: HashSet::new(),
+                })),
+            };
+            channels.insert(name, channel);
+            report.channels += 1;
+        }
+    }
+    // Respawn each persisted subscription from its snapshot.  The resume
+    // ordinal — the first channel row the worker has NOT seen — is the
+    // join-time base plus the records its checkpoint gained since.
+    let mut resume_at: HashMap<String, u64> = HashMap::new();
+    for (id, meta, checkpoint) in data.load_subs()? {
+        let schema = {
+            let channels = shared
+                .channels
+                .lock()
+                .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
+            channels.get(&meta.channel).map(|c| c.schema.clone())
+        }
+        .ok_or_else(|| {
+            ServeError::Input(format!(
+                "subscription '{id}' references unknown channel '{}'",
+                meta.channel
+            ))
+        })?;
+        let mut config = SessionWorkerConfig::new(&id, &meta.sql, schema);
+        config.queue_depth = shared.config.queue_depth;
+        config.poll_interval = shared.config.poll_interval;
+        config.stream.exec.engine = shared.config.engine;
+        config.stream.exec.governor = shared.config.governor.clone();
+        config.stream.exec.instrument = Instrument::profiling();
+        config.resume_from = Some(checkpoint);
+        let worker = SessionWorker::spawn(config).map_err(|e| recover_worker_err(&id, &e))?;
+        let (_, records) = worker
+            .snapshot_with_records()
+            .map_err(|e| recover_worker_err(&id, &e))?;
+        resume_at.insert(
+            id.clone(),
+            meta.base_rows + records.saturating_sub(meta.base_records),
+        );
+        let mut subs = shared
+            .subs
+            .lock()
+            .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
+        subs.insert(
+            id,
+            Subscription {
+                worker: Arc::new(worker),
+                channel: meta.channel,
+                conn: 0,
+                base_rows: meta.base_rows,
+                base_records: meta.base_records,
+            },
+        );
+        report.subscriptions += 1;
+        ServerMetrics::inc(&shared.metrics.recovered_subscriptions_total);
+    }
+    // Replay each channel's surviving WAL rows into its workers.
+    let channels: Vec<(String, Channel)> = shared
+        .channels
+        .lock()
+        .map_err(|_| ServeError::Runtime("lock poisoned".into()))?
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    for (name, channel) in channels {
+        let frames = frames_by_channel.remove(&name).unwrap_or_default();
+        let members: Vec<(String, Arc<SessionWorker>)> = {
+            let subs = shared
+                .subs
+                .lock()
+                .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
+            subs.iter()
+                .filter(|(_, s)| s.channel == name)
+                .map(|(id, s)| (id.clone(), Arc::clone(&s.worker)))
+                .collect()
+        };
+        let mut replay_subs: Vec<ReplaySub<'_>> = members
+            .iter()
+            .map(|(id, worker)| ReplaySub {
+                id,
+                resume_ordinal: resume_at.get(id).copied().unwrap_or(0),
+                worker,
+            })
+            .collect();
+        let stats = replay_channel(&name, &channel.schema, &frames, &mut replay_subs)?;
+        drop(replay_subs);
+        report.rows_replayed += stats.rows_replayed;
+        report.rows_rejected += stats.rows_rejected;
+        ServerMetrics::add(
+            &shared.metrics.rows_fed_total,
+            stats.rows_replayed + stats.rows_rejected,
+        );
+        if let Ok(mut persist) = channel.persist.lock() {
+            snapshot_channel_locked(shared, &name, &mut persist);
+        }
+    }
+    Ok(report)
+}
+
+fn recover_worker_err(id: &str, e: &WorkerError) -> ServeError {
+    let msg = format!("respawn subscription '{id}': {e}");
+    if e.exit_code() == 3 {
+        ServeError::Input(msg)
+    } else {
+        ServeError::Runtime(msg)
     }
 }
 
 /// Finish (and retain profiles of) every subscription the closed
 /// connection owned, releasing their worker threads and budgets.
+/// Recovered subscriptions belong to connection 0 and are never reaped.
 fn reap_connection(shared: &Shared, conn: u64) {
+    if shared.draining.load(Ordering::SeqCst) {
+        // Not a client disconnect: the drain shut this socket down after
+        // snapshotting, and the subscription must survive the restart.
+        return;
+    }
     let orphans: Vec<(String, Subscription)> = {
         let Ok(mut subs) = shared.subs.lock() else {
             return;
@@ -167,6 +503,11 @@ fn reap_connection(shared: &Shared, conn: u64) {
             .collect()
     };
     for (id, sub) in orphans {
+        // Durable state first: a crash between the two leaves a finished
+        // worker with no files, never files with no worker.
+        if let Some(data) = shared.data.as_ref() {
+            data.remove_sub(&id);
+        }
         if let Ok(report) = sub.worker.finish() {
             if let Some(profile) = report.profile {
                 shared.metrics.retain_profile(&id, profile);
@@ -229,6 +570,10 @@ fn worker_err(e: &WorkerError) -> String {
     err(e.exit_code(), e)
 }
 
+fn serve_err(e: &ServeError) -> String {
+    err(e.exit_code(), e.message())
+}
+
 /// Short machine-readable name for a trip cause (`STATUS` replies).
 fn trip_name(reason: TripReason) -> &'static str {
     match reason {
@@ -274,7 +619,7 @@ fn dispatch(shared: &Shared, conn: u64, payload: &str) -> Result<String, String>
     }
 }
 
-fn parse_schema_spec(spec: &str) -> Result<Schema, String> {
+pub(crate) fn parse_schema_spec(spec: &str) -> Result<Schema, String> {
     let mut cols = Vec::new();
     for part in spec.split(',') {
         let (name, ty) = part
@@ -298,16 +643,43 @@ fn open_channel(shared: &Shared, chan: &str, spec: &str) -> Result<String, Strin
         .channels
         .lock()
         .map_err(|_| err(4, "lock poisoned"))?;
-    match channels.get(chan) {
-        Some(existing) if *existing == schema => Ok(format!("OK opened {chan}")),
-        Some(_) => Err(err(
-            2,
-            format!("channel '{chan}' already open with a different schema"),
-        )),
-        None => {
-            channels.insert(chan.to_string(), schema);
-            Ok(format!("OK opened {chan}"))
+    let channel = match channels.get(chan) {
+        Some(existing) if existing.schema == schema => existing.clone(),
+        Some(_) => {
+            return Err(err(
+                2,
+                format!("channel '{chan}' already open with a different schema"),
+            ))
         }
+        None => {
+            let channel = Channel::new(schema);
+            if let Some(data) = shared.data.as_ref() {
+                // Schema file before WAL: a crash in between leaves a
+                // channel recovery re-creates with an empty WAL, never a
+                // WAL no recovery pass will ever look at.
+                data.save_channel(chan, &channel.schema)
+                    .map_err(|e| serve_err(&e))?;
+                let (wal, scan) = ChannelWal::open(&data.wal_path(chan), shared.config.fsync)
+                    .map_err(|e| serve_err(&ServeError::from(e)))?;
+                let mut persist = channel
+                    .persist
+                    .lock()
+                    .map_err(|_| err(4, "lock poisoned"))?;
+                persist.rows_total = scan.rows_total;
+                persist.wal = Some(wal);
+            }
+            channels.insert(chan.to_string(), channel.clone());
+            channel
+        }
+    };
+    if shared.data.is_some() {
+        // The durable row count lets a crashed feeder resume idempotently
+        // (skip rows below it).  Absent a data dir the reply keeps its
+        // historical shape exactly.
+        let rows = channel.persist.lock().map(|p| p.rows_total).unwrap_or(0);
+        Ok(format!("OK opened {chan} rows={rows}"))
+    } else {
+        Ok(format!("OK opened {chan}"))
     }
 }
 
@@ -322,7 +694,7 @@ fn subscribe(
     if sql.trim().is_empty() {
         return Err(err(2, "missing SQL body"));
     }
-    let schema = {
+    let channel = {
         let channels = shared
             .channels
             .lock()
@@ -347,7 +719,7 @@ fn subscribe(
             ));
         }
     }
-    let mut config = SessionWorkerConfig::new(id, sql, schema);
+    let mut config = SessionWorkerConfig::new(id, sql, channel.schema.clone());
     config.queue_depth = shared.config.queue_depth;
     config.poll_interval = shared.config.poll_interval;
     config.stream.exec.engine = shared.config.engine;
@@ -355,30 +727,73 @@ fn subscribe(
     config.stream.exec.instrument = Instrument::profiling();
     let resumed = resume_from.is_some();
     config.resume_from = resume_from;
-    let worker = SessionWorker::spawn(config).map_err(|e| worker_err(&e))?;
-    let mut subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
-    // Re-check under the lock: another connection may have raced us.
-    if subs.contains_key(id) {
-        return Err(err(2, format!("subscription id '{id}' is taken")));
+    let worker = Arc::new(SessionWorker::spawn(config).map_err(|e| worker_err(&e))?);
+    // Hold the channel's persist lock across base-ordinal read, registry
+    // insert and durable-file writes: no FEED can advance the channel (or
+    // fan out to a half-registered subscription) in between.
+    let persist = channel
+        .persist
+        .lock()
+        .map_err(|_| err(4, "lock poisoned"))?;
+    let durable = if shared.data.is_some() {
+        let (text, records) = worker.snapshot_with_records().map_err(|e| worker_err(&e))?;
+        Some((persist.rows_total, records, text))
+    } else {
+        None
+    };
+    {
+        let mut subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+        // Re-check under the lock: another connection may have raced us.
+        if subs.contains_key(id) {
+            return Err(err(2, format!("subscription id '{id}' is taken")));
+        }
+        if subs.len() >= shared.config.max_subscriptions {
+            return Err(err(4, "admission: subscription limit reached"));
+        }
+        let (base_rows, base_records) = durable
+            .as_ref()
+            .map_or((0, 0), |(rows, records, _)| (*rows, *records));
+        subs.insert(
+            id.to_string(),
+            Subscription {
+                worker: Arc::clone(&worker),
+                channel: chan.to_string(),
+                conn,
+                base_rows,
+                base_records,
+            },
+        );
     }
-    if subs.len() >= shared.config.max_subscriptions {
-        return Err(err(4, "admission: subscription limit reached"));
-    }
-    subs.insert(
-        id.to_string(),
-        Subscription {
-            worker: Arc::new(worker),
+    if let (Some(data), Some((base_rows, base_records, text))) = (shared.data.as_ref(), durable) {
+        let meta = SubMeta {
             channel: chan.to_string(),
-            conn,
-        },
-    );
+            base_rows,
+            base_records,
+            sql: sql.to_string(),
+        };
+        let saved = data
+            .save_sub_meta(id, &meta)
+            .and_then(|()| data.save_sub_checkpoint(id, &text));
+        if let Err(e) = saved {
+            // An unpersistable subscription must not run: roll it back so
+            // the client's view matches the durable state.
+            data.remove_sub(id);
+            if let Ok(mut subs) = shared.subs.lock() {
+                subs.remove(id);
+            }
+            let _ = worker.finish();
+            return Err(serve_err(&e));
+        }
+        ServerMetrics::inc(&shared.metrics.snapshots_total);
+    }
+    drop(persist);
     ServerMetrics::inc(&shared.metrics.subscriptions_total);
     let what = if resumed { "resumed" } else { "subscribed" };
     Ok(format!("OK {what} {id} {chan}"))
 }
 
 fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
-    let schema = {
+    let channel = {
         let channels = shared
             .channels
             .lock()
@@ -392,28 +807,55 @@ fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
     // rejects the frame atomically instead of leaving subscribers halfway
     // through it.
     let mut rows = Vec::new();
+    let mut lines = Vec::new();
     for (i, line) in body.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        rows.push(parse_headerless_row(&schema, line, i + 1).map_err(|e| err(3, e))?);
+        rows.push(parse_headerless_row(&channel.schema, line, i + 1).map_err(|e| err(3, e))?);
+        lines.push(line);
     }
-    let workers: Vec<Arc<SessionWorker>> = {
+    // The channel persist lock is held across append, fan-out and
+    // snapshot: WAL order is feed order, and the durable copy lands
+    // before any subscriber sees a row.
+    let mut persist = channel
+        .persist
+        .lock()
+        .map_err(|_| err(4, "lock poisoned"))?;
+    if !rows.is_empty() {
+        if let Some(wal) = persist.wal.as_mut() {
+            match wal.append(&lines.join("\n"), rows.len() as u32) {
+                Ok(synced) => {
+                    ServerMetrics::inc(&shared.metrics.wal_appends_total);
+                    if synced {
+                        ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+                    }
+                }
+                Err(e) => return Err(err(4, format!("wal append on '{chan}': {e}"))),
+            }
+        }
+        persist.rows_total += rows.len() as u64;
+    }
+    let workers: Vec<(String, Arc<SessionWorker>)> = {
         let subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
-        subs.values()
-            .filter(|s| s.channel == chan)
-            .map(|s| Arc::clone(&s.worker))
+        subs.iter()
+            .filter(|(_, s)| s.channel == chan)
+            .map(|(id, s)| (id.clone(), Arc::clone(&s.worker)))
             .collect()
     };
     let mut tripped = 0u64;
+    let mut rejecting: HashSet<&str> = HashSet::new();
     for row in &rows {
-        for worker in &workers {
+        for (id, worker) in &workers {
             match worker.feed(row.clone()) {
                 Ok(()) => {}
                 // A governed/overflowed subscription stays latched; its
                 // partial result is delivered at UNSUBSCRIBE.  The feed
                 // keeps flowing to the healthy subscriptions.
-                Err(_) => tripped += 1,
+                Err(_) => {
+                    tripped += 1;
+                    rejecting.insert(id);
+                }
             }
         }
     }
@@ -421,11 +863,82 @@ fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
         &shared.metrics.rows_fed_total,
         rows.len() as u64 * workers.len() as u64,
     );
+    if persist.wal.is_some() && !rows.is_empty() {
+        persist.frames_since_snapshot += 1;
+        let fresh_trip = rejecting
+            .iter()
+            .any(|id| !persist.tripped_seen.contains(*id));
+        if fresh_trip {
+            let newly: Vec<String> = rejecting.iter().map(|s| s.to_string()).collect();
+            persist.tripped_seen.extend(newly);
+        }
+        if fresh_trip
+            || persist.frames_since_snapshot >= shared.config.checkpoint_every_frames.max(1)
+        {
+            snapshot_channel_locked(shared, chan, &mut persist);
+        }
+    }
     Ok(format!(
         "OK fed {} subs={} rejected={tripped}",
         rows.len(),
         workers.len()
     ))
+}
+
+/// Snapshot every subscription on `chan` (atomic tmp+rename each), then
+/// truncate the WAL below the low-water mark — the minimum ordinal any
+/// snapshot still needs.  Caller holds the channel's persist lock.
+/// Best-effort: a failure leaves the WAL longer than necessary, never
+/// inconsistent.
+fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPersist) {
+    persist.frames_since_snapshot = 0;
+    let Some(data) = shared.data.as_ref() else {
+        return;
+    };
+    let members: Vec<(String, Arc<SessionWorker>, u64, u64)> = {
+        let Ok(subs) = shared.subs.lock() else {
+            return;
+        };
+        subs.iter()
+            .filter(|(_, s)| s.channel == chan)
+            .map(|(id, s)| {
+                (
+                    id.clone(),
+                    Arc::clone(&s.worker),
+                    s.base_rows,
+                    s.base_records,
+                )
+            })
+            .collect()
+    };
+    let mut low_water = persist.rows_total;
+    let mut hold_truncation = false;
+    for (id, worker, base_rows, base_records) in &members {
+        match worker.snapshot_with_records() {
+            Ok((text, records)) => {
+                if data.save_sub_checkpoint(id, &text).is_err() {
+                    hold_truncation = true;
+                    continue;
+                }
+                ServerMetrics::inc(&shared.metrics.snapshots_total);
+                low_water = low_water.min(base_rows + records.saturating_sub(*base_records));
+            }
+            // A worker that cannot snapshot right now (finishing, dead)
+            // keeps its WAL rows: skip truncation this round.
+            Err(_) => hold_truncation = true,
+        }
+    }
+    if hold_truncation {
+        return;
+    }
+    if let Some(wal) = persist.wal.as_mut() {
+        if wal.sync().is_ok() {
+            ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+            if let Ok(true) = wal.truncate_below(low_water) {
+                ServerMetrics::inc(&shared.metrics.wal_truncations_total);
+            }
+        }
+    }
 }
 
 fn lookup(shared: &Shared, id: &str) -> Result<Arc<SessionWorker>, String> {
@@ -461,6 +974,12 @@ fn unsubscribe(shared: &Shared, id: &str) -> Result<String, String> {
         subs.remove(id)
             .ok_or_else(|| err(2, format!("unknown subscription '{id}'")))?
     };
+    // Durable files go first: a crash between removal and finish delivers
+    // nothing to this client, but can never resurrect an unsubscribed
+    // query on restart.
+    if let Some(data) = shared.data.as_ref() {
+        data.remove_sub(id);
+    }
     let report = sub.worker.finish().map_err(|e| worker_err(&e))?;
     if let Some(profile) = report.profile {
         shared.metrics.retain_profile(id, profile);
@@ -539,6 +1058,7 @@ fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn schema_spec_round_trip_and_errors() {
@@ -652,5 +1172,201 @@ mod tests {
         assert!(reply.starts_with("ERR 3 "), "{reply}");
         let reply = dispatch(shared, 1, "FEED q\nIBM,notaday,50").unwrap_err();
         assert!(reply.starts_with("ERR 3 "), "{reply}");
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    fn temp_data_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlts-server-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(root: &Path, every: u64) -> ServerConfig {
+        ServerConfig {
+            data_dir: Some(root.to_path_buf()),
+            fsync: FsyncPolicy::Off,
+            checkpoint_every_frames: every,
+            ..ServerConfig::default()
+        }
+    }
+
+    const KILL_SQL: &str = "SELECT X.name, Z.day AS day FROM q CLUSTER BY name \
+                            SEQUENCE BY day AS (X, *Y, Z) \
+                            WHERE Y.price > Y.previous.price \
+                            AND Z.price < Z.previous.price";
+
+    fn kill_frames() -> Vec<String> {
+        (0..12)
+            .map(|f| {
+                let mut body = String::new();
+                for r in 0..3 {
+                    let day = f * 3 + r;
+                    let wave = (day % 5) as f64;
+                    body.push_str(&format!("AAA,{day},{}\n", 100.0 + 4.0 * wave));
+                }
+                body
+            })
+            .collect()
+    }
+
+    /// The tentpole acceptance in miniature: kill the server (drop it
+    /// without drain, LOCK file left behind) after *every* possible
+    /// frame prefix; the recovered run's final result must be
+    /// byte-identical to an uninterrupted run every time.
+    #[test]
+    fn recovery_is_byte_identical_after_a_kill_at_every_frame_boundary() {
+        let frames = kill_frames();
+        // Reference: the uninterrupted, non-durable run.
+        let reference = {
+            let server = Server::bind(ServerConfig::default()).unwrap();
+            let shared = &server.shared;
+            dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+            dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+            for frame in &frames {
+                dispatch(shared, 1, &format!("FEED q\n{frame}")).unwrap();
+            }
+            dispatch(shared, 1, "UNSUBSCRIBE s").unwrap()
+        };
+        assert!(reference.contains("\nname,day\n") || reference.contains(" rows="));
+        for k in 0..=frames.len() {
+            let root = temp_data_dir(&format!("kill{k}"));
+            {
+                let server = Server::bind(durable_config(&root, 3)).unwrap();
+                let shared = &server.shared;
+                dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+                dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+                for frame in &frames[..k] {
+                    dispatch(shared, 1, &format!("FEED q\n{frame}")).unwrap();
+                }
+                // Simulated SIGKILL: the server object is dropped with no
+                // drain — snapshots stay stale, the LOCK file stays put.
+            }
+            let server = Server::bind(durable_config(&root, 3)).unwrap();
+            let shared = &server.shared;
+            let report = server.recovery().expect("durable server reports recovery");
+            assert_eq!(report.channels, 1, "kill@{k}");
+            assert_eq!(report.subscriptions, 1, "kill@{k}");
+            for frame in &frames[k..] {
+                dispatch(shared, 1, &format!("FEED q\n{frame}")).unwrap();
+            }
+            let result = dispatch(shared, 1, "UNSUBSCRIBE s").unwrap();
+            assert_eq!(result, reference, "kill after frame {k} diverged");
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn open_reply_reports_durable_rows_only_with_a_data_dir() {
+        let root = temp_data_dir("openrows");
+        {
+            let server = Server::bind(durable_config(&root, 64)).unwrap();
+            let shared = &server.shared;
+            assert_eq!(
+                dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap(),
+                "OK opened q rows=0"
+            );
+            dispatch(shared, 1, "FEED q\nAAA,1,10\nAAA,2,11").unwrap();
+            // Re-OPEN reports the durable row count a crashed feeder
+            // resumes from.
+            assert_eq!(
+                dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap(),
+                "OK opened q rows=2"
+            );
+        }
+        // After a crash the count survives.
+        let server = Server::bind(durable_config(&root, 64)).unwrap();
+        assert_eq!(
+            dispatch(&server.shared, 1, "OPEN q name:str,day:int,price:float").unwrap(),
+            "OK opened q rows=2"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unsubscribe_deletes_durable_state_before_finishing() {
+        let root = temp_data_dir("unsub");
+        let server = Server::bind(durable_config(&root, 64)).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        let sql = "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+                   WHERE Z.price < X.price";
+        dispatch(shared, 1, &format!("SUBSCRIBE s q\n{sql}")).unwrap();
+        let meta = root.join("subs").join("s.meta");
+        assert!(meta.exists(), "subscription metadata persisted");
+        dispatch(shared, 1, "UNSUBSCRIBE s").unwrap();
+        assert!(!meta.exists(), "unsubscribe removes durable files");
+        drop(server);
+        // A restart must not resurrect the unsubscribed query.
+        let server = Server::bind(durable_config(&root, 64)).unwrap();
+        assert_eq!(server.recovery().unwrap().subscriptions, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wal_truncates_once_snapshots_pass_the_low_water_mark() {
+        let root = temp_data_dir("lowwater");
+        let server = Server::bind(durable_config(&root, 1)).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        let sql = "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+                   WHERE Z.price < X.price";
+        dispatch(shared, 1, &format!("SUBSCRIBE s q\n{sql}")).unwrap();
+        for day in 0..6 {
+            dispatch(shared, 1, &format!("FEED q\nAAA,{day},{}", 50 - day)).unwrap();
+        }
+        // checkpoint_every_frames=1: every feed snapshots and truncates,
+        // so the WAL holds no frame that ends at or below the snapshot.
+        let scan = crate::wal::scan_wal(&root.join("channels").join("q.wal")).unwrap();
+        assert!(scan.frames.is_empty(), "all frames truncated: {scan:?}");
+        assert_eq!(scan.rows_total, 6, "ordinal line survives truncation");
+        assert!(shared.metrics.wal_truncations_total.load(Ordering::Relaxed) > 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn second_bind_on_a_locked_data_dir_is_refused() {
+        let root = temp_data_dir("locked");
+        let first = Server::bind(durable_config(&root, 64)).unwrap();
+        let second = Server::bind(durable_config(&root, 64));
+        match second {
+            Err(e) => {
+                assert_eq!(e.exit_code(), 2, "{e}");
+                assert!(e.message().contains("in use"), "{e}");
+            }
+            Ok(_) => panic!("second bind on a locked dir must fail"),
+        }
+        drop(first);
+        Server::bind(durable_config(&root, 64)).unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bad_listen_address_is_a_usage_error() {
+        let config = ServerConfig {
+            listen: "definitely:not:an:address".into(),
+            ..ServerConfig::default()
+        };
+        match Server::bind(config) {
+            Err(e) => assert_eq!(e.exit_code(), 2, "{e}"),
+            Ok(_) => panic!("bad listen address must fail"),
+        }
+    }
+
+    #[test]
+    fn malformed_durable_state_is_an_input_error() {
+        let root = temp_data_dir("malformed");
+        {
+            let server = Server::bind(durable_config(&root, 64)).unwrap();
+            dispatch(&server.shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        }
+        std::fs::write(root.join("channels").join("q.schema"), "not a schema").unwrap();
+        match Server::bind(durable_config(&root, 64)) {
+            Err(e) => assert_eq!(e.exit_code(), 3, "{e}"),
+            Ok(_) => panic!("malformed schema file must fail recovery"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,545 @@
+//! The per-channel write-ahead log behind `--data-dir`.
+//!
+//! Every accepted `FEED` frame is appended here *before* it fans out to
+//! subscribers, so a crash can lose at most work that was never
+//! acknowledged.  The format is deliberately dumb — one file per
+//! channel, a checksummed text header, then length-prefixed records:
+//!
+//! ```text
+//! file   := "sqlts-wal v1 base=<N> crc=<8 hex>\n" record*
+//! record := start:u64le len:u32le nrows:u32le crc:u32le payload[len]
+//! ```
+//!
+//! `base` is the channel row ordinal of the first record (rows below it
+//! were truncated away once every subscription's snapshot had passed
+//! them — the low-water mark).  Each record carries the ordinal of its
+//! first row, its payload byte length, its row count, and a CRC-32 over
+//! header fields and payload together.  Records must be contiguous
+//! (`start` equals the previous record's end), so any torn tail,
+//! flipped byte, or appended garbage is caught at the first record it
+//! damages: the scan keeps the longest valid prefix, reports what it
+//! dropped, and [`ChannelWal::open`] truncates the file back to that
+//! prefix so subsequent appends produce a clean log again.
+//!
+//! Fsync policy is the standard durability dial: `Every` syncs each
+//! append (survives power loss), `Batch` syncs every
+//! [`BATCH_SYNC_EVERY`] appends and at snapshots (bounded loss window),
+//! `Off` leaves flushing to the OS (still survives a process crash —
+//! the page cache belongs to the kernel, not the process).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// When to fsync the WAL file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every appended frame (survives power loss).
+    #[default]
+    Every,
+    /// fsync every [`BATCH_SYNC_EVERY`] frames and at every snapshot.
+    Batch,
+    /// Never fsync; the OS flushes when it pleases.  Still crash-safe
+    /// against a killed *process* — only the machine dying can lose
+    /// acknowledged frames.
+    Off,
+}
+
+/// How many appends a `Batch` policy lets pass between fsyncs.
+pub const BATCH_SYNC_EVERY: u32 = 16;
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "every" => Ok(FsyncPolicy::Every),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(format!(
+                "unknown fsync policy '{other}' (want every|batch|off)"
+            )),
+        }
+    }
+}
+
+/// A WAL failure: real I/O, or a file that is not a WAL at all.  Record
+/// -level corruption is *not* an error — the scan tolerates it by
+/// keeping the longest valid prefix.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file header is not a valid `sqlts-wal v1` header: nothing in
+    /// the file can be trusted (not even the base ordinal).
+    Malformed(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal I/O error: {e}"),
+            WalError::Malformed(why) => write!(f, "malformed wal: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+// CRC-32 (IEEE 802.3), table built at compile time — zero dependencies.
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+fn crc_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// CRC-32 of `bytes` (IEEE, the zlib/`cksum -o 3` polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc_update(0xFFFF_FFFF, bytes)
+}
+
+const RECORD_HEADER_LEN: usize = 20;
+/// Anything above this is a corrupt length field, not a real frame — the
+/// server's own frame limit is far below it.
+const MAX_RECORD_PAYLOAD: u32 = 1 << 28;
+
+fn header_line(base: u64) -> String {
+    let body = format!("base={base}");
+    format!("sqlts-wal v1 {body} crc={:08x}\n", crc32(body.as_bytes()))
+}
+
+fn parse_header(bytes: &[u8]) -> Result<(u64, usize), WalError> {
+    let nl = bytes
+        .iter()
+        .take(128)
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| WalError::Malformed("missing header line".into()))?;
+    let line = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| WalError::Malformed("header is not UTF-8".into()))?;
+    let rest = line
+        .strip_prefix("sqlts-wal v1 ")
+        .ok_or_else(|| WalError::Malformed(format!("bad magic in header '{line}'")))?;
+    let (body, crc_part) = rest
+        .rsplit_once(' ')
+        .ok_or_else(|| WalError::Malformed("header missing crc field".into()))?;
+    let crc: u32 = crc_part
+        .strip_prefix("crc=")
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| WalError::Malformed("unparsable header crc".into()))?;
+    if crc != crc32(body.as_bytes()) {
+        return Err(WalError::Malformed("header crc mismatch".into()));
+    }
+    let base: u64 = body
+        .strip_prefix("base=")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| WalError::Malformed("unparsable header base".into()))?;
+    Ok((base, nl + 1))
+}
+
+/// One validated WAL record: `nrows` CSV rows starting at channel row
+/// ordinal `start`, stored as the newline-joined row lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalFrame {
+    /// Channel row ordinal of the first row in this frame.
+    pub start: u64,
+    /// Rows in the payload.
+    pub nrows: u32,
+    /// The newline-joined CSV row lines exactly as fed.
+    pub payload: String,
+}
+
+impl WalFrame {
+    /// Ordinal one past this frame's last row.
+    pub fn end(&self) -> u64 {
+        self.start + u64::from(self.nrows)
+    }
+}
+
+/// The result of scanning a WAL file tolerantly.
+#[derive(Debug)]
+pub struct WalScan {
+    /// The base ordinal from the header.
+    pub base: u64,
+    /// Every record in the longest valid prefix, in order.
+    pub frames: Vec<WalFrame>,
+    /// Row ordinal one past the last valid record (== `base` when empty).
+    pub rows_total: u64,
+    /// Byte length of the valid prefix (header + whole records).
+    pub valid_len: u64,
+    /// Bytes after the valid prefix that the scan discarded.
+    pub dropped_bytes: u64,
+    /// Why the scan stopped early, when it did.
+    pub corruption: Option<String>,
+}
+
+fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
+    let (base, header_len) = parse_header(bytes)?;
+    let mut frames = Vec::new();
+    let mut offset = header_len;
+    let mut expected = base;
+    let mut corruption = None;
+    while offset < bytes.len() {
+        let remaining = &bytes[offset..];
+        if remaining.len() < RECORD_HEADER_LEN {
+            corruption = Some(format!("torn record header at byte {offset}"));
+            break;
+        }
+        let start = u64::from_le_bytes(remaining[0..8].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(remaining[8..12].try_into().expect("4-byte slice"));
+        let nrows = u32::from_le_bytes(remaining[12..16].try_into().expect("4-byte slice"));
+        let crc = u32::from_le_bytes(remaining[16..20].try_into().expect("4-byte slice"));
+        if len > MAX_RECORD_PAYLOAD {
+            corruption = Some(format!("implausible record length {len} at byte {offset}"));
+            break;
+        }
+        let total = RECORD_HEADER_LEN + len as usize;
+        if remaining.len() < total {
+            corruption = Some(format!("torn record payload at byte {offset}"));
+            break;
+        }
+        let payload = &remaining[RECORD_HEADER_LEN..total];
+        let mut state = crc_update(0xFFFF_FFFF, &remaining[0..16]);
+        state = crc_update(state, payload);
+        if !state != crc {
+            corruption = Some(format!("record crc mismatch at byte {offset}"));
+            break;
+        }
+        if start != expected {
+            corruption = Some(format!(
+                "non-contiguous record at byte {offset}: start {start}, expected {expected}"
+            ));
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            corruption = Some(format!("non-UTF-8 record payload at byte {offset}"));
+            break;
+        };
+        if nrows == 0 || text.lines().count() != nrows as usize {
+            corruption = Some(format!("row-count mismatch in record at byte {offset}"));
+            break;
+        }
+        frames.push(WalFrame {
+            start,
+            nrows,
+            payload: text.to_string(),
+        });
+        expected += u64::from(nrows);
+        offset += total;
+    }
+    Ok(WalScan {
+        base,
+        rows_total: expected,
+        frames,
+        valid_len: offset as u64,
+        dropped_bytes: (bytes.len() - offset) as u64,
+        corruption,
+    })
+}
+
+/// Scan a WAL file tolerantly: return the longest valid record prefix
+/// plus a report of anything dropped.  Only a missing/unreadable file or
+/// an untrustworthy *header* is an error.
+pub fn scan_wal(path: &Path) -> Result<WalScan, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    scan_bytes(&bytes)
+}
+
+/// An open, append-ready WAL for one channel.
+#[derive(Debug)]
+pub struct ChannelWal {
+    path: PathBuf,
+    file: File,
+    base: u64,
+    rows_total: u64,
+    policy: FsyncPolicy,
+    appends_since_sync: u32,
+}
+
+impl ChannelWal {
+    /// Create a fresh WAL starting at row ordinal 0.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<ChannelWal, WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(header_line(0).as_bytes())?;
+        file.sync_all()?;
+        Ok(ChannelWal {
+            path: path.to_path_buf(),
+            file,
+            base: 0,
+            rows_total: 0,
+            policy,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Open an existing WAL (or create a fresh one): scan it tolerantly,
+    /// truncate any torn/corrupt tail so appends continue from the last
+    /// valid record, and return the surviving frames for replay.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(ChannelWal, WalScan), WalError> {
+        if !path.exists() {
+            let wal = ChannelWal::create(path, policy)?;
+            return Ok((
+                wal,
+                WalScan {
+                    base: 0,
+                    frames: Vec::new(),
+                    rows_total: 0,
+                    valid_len: header_line(0).len() as u64,
+                    dropped_bytes: 0,
+                    corruption: None,
+                },
+            ));
+        }
+        let scan = scan_wal(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        if scan.dropped_bytes > 0 {
+            file.set_len(scan.valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            ChannelWal {
+                path: path.to_path_buf(),
+                file,
+                base: scan.base,
+                rows_total: scan.rows_total,
+                policy,
+                appends_since_sync: 0,
+            },
+            scan,
+        ))
+    }
+
+    /// Row ordinal one past the last appended row.
+    pub fn rows_total(&self) -> u64 {
+        self.rows_total
+    }
+
+    /// Row ordinal of the first retained record.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Append one frame of `nrows` rows (the newline-joined row lines)
+    /// and apply the fsync policy.  Returns whether this append fsynced.
+    ///
+    /// On error nothing must be trusted past the previous record — the
+    /// caller should fail the FEED without fanning out (recovery will
+    /// truncate the torn tail).
+    pub fn append(&mut self, payload: &str, nrows: u32) -> Result<bool, WalError> {
+        #[cfg(feature = "failpoints")]
+        if let Some(sqlts_relation::failpoints::Injected::InjectError) =
+            sqlts_relation::failpoints::hit("wal::append", self.rows_total)
+        {
+            return Err(WalError::Io(io::Error::other(
+                "failpoint 'wal::append' injected error",
+            )));
+        }
+        if nrows == 0 {
+            return Err(WalError::Malformed(
+                "refusing to append an empty frame".into(),
+            ));
+        }
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        record.extend_from_slice(&self.rows_total.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&nrows.to_le_bytes());
+        let mut crc = crc_update(0xFFFF_FFFF, &record);
+        crc = crc_update(crc, payload.as_bytes());
+        record.extend_from_slice(&(!crc).to_le_bytes());
+        record.extend_from_slice(payload.as_bytes());
+        self.file.write_all(&record)?;
+        self.rows_total += u64::from(nrows);
+        self.appends_since_sync += 1;
+        let synced = match self.policy {
+            FsyncPolicy::Every => true,
+            FsyncPolicy::Batch => self.appends_since_sync >= BATCH_SYNC_EVERY,
+            FsyncPolicy::Off => false,
+        };
+        if synced {
+            self.sync()?;
+        }
+        Ok(synced)
+    }
+
+    /// fsync the log file now, regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        #[cfg(feature = "failpoints")]
+        if let Some(sqlts_relation::failpoints::Injected::InjectError) =
+            sqlts_relation::failpoints::hit("wal::fsync", self.rows_total)
+        {
+            return Err(WalError::Io(io::Error::other(
+                "failpoint 'wal::fsync' injected error",
+            )));
+        }
+        self.file.sync_all()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Drop every record that lies entirely below `low_water` (the
+    /// minimum snapshot position across the channel's subscriptions) by
+    /// atomically rewriting the file.  Returns whether anything changed.
+    pub fn truncate_below(&mut self, low_water: u64) -> Result<bool, WalError> {
+        let scan = scan_wal(&self.path)?;
+        let retained: Vec<&WalFrame> = scan.frames.iter().filter(|f| f.end() > low_water).collect();
+        if retained.len() == scan.frames.len() {
+            return Ok(false);
+        }
+        let new_base = retained.first().map_or(self.rows_total, |f| f.start);
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(header_line(new_base).as_bytes())?;
+            for frame in &retained {
+                let mut record = Vec::with_capacity(RECORD_HEADER_LEN + frame.payload.len());
+                record.extend_from_slice(&frame.start.to_le_bytes());
+                record.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+                record.extend_from_slice(&frame.nrows.to_le_bytes());
+                let mut crc = crc_update(0xFFFF_FFFF, &record);
+                crc = crc_update(crc, frame.payload.as_bytes());
+                record.extend_from_slice(&(!crc).to_le_bytes());
+                record.extend_from_slice(frame.payload.as_bytes());
+                out.write_all(&record)?;
+            }
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.base = new_base;
+        self.appends_since_sync = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlts-wal-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value every implementation pins.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let path = temp_wal("round.wal");
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Every).unwrap();
+        assert!(wal.append("a,1\nb,2", 2).unwrap());
+        assert!(wal.append("c,3", 1).unwrap());
+        assert_eq!(wal.rows_total(), 3);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.base, 0);
+        assert_eq!(scan.rows_total, 3);
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.frames[0].payload, "a,1\nb,2");
+        assert_eq!(scan.frames[1].start, 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_wal("torn.wal");
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.append("a,1", 1).unwrap();
+        wal.append("b,2", 1).unwrap();
+        drop(wal);
+        // Tear the last record in half.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut wal, scan) = ChannelWal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(scan.frames.len(), 1, "torn record dropped");
+        assert_eq!(scan.dropped_bytes, RECORD_HEADER_LEN as u64 + 3 - 3);
+        assert!(scan.corruption.is_some());
+        assert_eq!(wal.rows_total(), 1);
+        // The log is clean again: appends continue from the valid prefix.
+        wal.append("c,3", 1).unwrap();
+        let rescan = scan_wal(&path).unwrap();
+        assert!(rescan.corruption.is_none());
+        assert_eq!(rescan.rows_total, 2);
+        assert_eq!(rescan.frames[1].payload, "c,3");
+    }
+
+    #[test]
+    fn truncate_below_drops_whole_frames_only() {
+        let path = temp_wal("trunc.wal");
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.append("a,1\nb,2", 2).unwrap();
+        wal.append("c,3\nd,4", 2).unwrap();
+        wal.append("e,5", 1).unwrap();
+        // Low water 3: frame [0,2) drops, frame [2,4) straddles and stays.
+        assert!(wal.truncate_below(3).unwrap());
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.base, 2);
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.rows_total, 5);
+        // Everything snapshotted: the log empties but remembers its end.
+        assert!(wal.truncate_below(5).unwrap());
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.base, 5);
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.rows_total, 5);
+        // And appends keep the ordinal line unbroken.
+        wal.append("f,6", 1).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.frames[0].start, 5);
+        assert_eq!(scan.rows_total, 6);
+    }
+
+    #[test]
+    fn header_corruption_is_a_typed_error() {
+        let path = temp_wal("header.wal");
+        ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(scan_wal(&path), Err(WalError::Malformed(_))));
+        assert!(matches!(
+            ChannelWal::open(&path, FsyncPolicy::Off),
+            Err(WalError::Malformed(_))
+        ));
+    }
+}

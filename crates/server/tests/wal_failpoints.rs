@@ -1,0 +1,110 @@
+//! Fault injection at the durability sites (`--features failpoints`):
+//! a WAL append that fails must reject the FEED without fanning out, a
+//! failed fsync must surface without corrupting the log, and an injected
+//! replay error must abort recovery with a typed runtime error — never a
+//! panic, never silent data loss.
+
+#![cfg(feature = "failpoints")]
+
+use sqlts_relation::failpoints::{self, FailAction};
+use sqlts_server::wal::{scan_wal, ChannelWal, FsyncPolicy, WalError};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// The failpoint registry is process-global; serialize the tests.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::reset();
+    guard
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlts-wal-fp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn injected_append_failure_leaves_the_log_untouched() {
+    let _guard = lock();
+    let path = temp_path("append.wal");
+    let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+    wal.append("a,1", 1).unwrap();
+    let before = std::fs::read(&path).unwrap();
+    failpoints::configure("wal::append", FailAction::InjectError);
+    let err = wal.append("b,2", 1).unwrap_err();
+    assert!(matches!(err, WalError::Io(_)), "{err}");
+    failpoints::reset();
+    // The injected failure fired before any bytes were written: the log
+    // still scans clean with exactly the pre-failure content.
+    assert_eq!(std::fs::read(&path).unwrap(), before);
+    let scan = scan_wal(&path).unwrap();
+    assert_eq!(scan.rows_total, 1);
+    assert!(scan.corruption.is_none());
+    // And the log keeps working once the fault clears.
+    wal.append("b,2", 1).unwrap();
+    assert_eq!(scan_wal(&path).unwrap().rows_total, 2);
+}
+
+#[test]
+fn injected_fsync_failure_surfaces_but_preserves_appended_records() {
+    let _guard = lock();
+    let path = temp_path("fsync.wal");
+    let mut wal = ChannelWal::create(&path, FsyncPolicy::Every).unwrap();
+    failpoints::configure("wal::fsync", FailAction::InjectError);
+    let err = wal.append("a,1", 1).unwrap_err();
+    assert!(matches!(err, WalError::Io(_)), "{err}");
+    failpoints::reset();
+    // The record reached the file (only the sync failed): a restart that
+    // survives the page cache still replays it.
+    let scan = scan_wal(&path).unwrap();
+    assert_eq!(scan.rows_total, 1);
+    assert!(scan.corruption.is_none());
+}
+
+#[test]
+fn injected_replay_failure_is_a_typed_runtime_error() {
+    let _guard = lock();
+    use sqlts_core::{SessionWorker, SessionWorkerConfig};
+    use sqlts_server::recover::{replay_channel, ReplaySub, ServeError};
+    use sqlts_server::wal::WalFrame;
+
+    let schema = sqlts_relation::Schema::new([
+        ("name", sqlts_relation::ColumnType::Str),
+        ("day", sqlts_relation::ColumnType::Int),
+        ("price", sqlts_relation::ColumnType::Float),
+    ])
+    .unwrap();
+    let sql = "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
+               WHERE Z.price < X.price";
+    let worker = SessionWorker::spawn(SessionWorkerConfig::new("fp", sql, schema.clone())).unwrap();
+    let frames = vec![WalFrame {
+        start: 0,
+        nrows: 1,
+        payload: "AAA,1,10.0".into(),
+    }];
+    failpoints::configure("recover::replay", FailAction::InjectError);
+    let mut subs = [ReplaySub {
+        id: "fp",
+        resume_ordinal: 0,
+        worker: &worker,
+    }];
+    let err = replay_channel("q", &schema, &frames, &mut subs).unwrap_err();
+    failpoints::reset();
+    assert!(matches!(err, ServeError::Runtime(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 4);
+    // The worker is still healthy: the failure was injected before any
+    // row was delivered.
+    let mut subs = [ReplaySub {
+        id: "fp",
+        resume_ordinal: 0,
+        worker: &worker,
+    }];
+    let stats = replay_channel("q", &schema, &frames, &mut subs).unwrap();
+    assert_eq!(stats.rows_replayed, 1);
+    worker.finish().unwrap();
+}
