@@ -7,13 +7,24 @@ and resumes from its checkpoint on a fresh connection, and every
 subscription's final result must be byte-identical to the batch run over
 the same tuples.  Also scrapes /metrics and sanity-checks the exposition.
 
+The server runs fully armed (--log span log, --sample-profile sampling
+profiler), so the byte-identical assertions double as proof that
+observability never perturbs results.  After a graceful SIGTERM drain
+the smoke validates the artifacts: the span log is balanced JSONL,
+GET /status parses as JSON, the profiler's collapsed stacks are
+well-formed, and `sqlts trace-agg` folds the span log into a cost tree.
+
 Usage: python3 ci/server_smoke.py target/release/sqlts
 """
 
+import json
+import signal
 import socket
 import subprocess
 import sys
+import tempfile
 import urllib.request
+from pathlib import Path
 
 QUERY = (
     "SELECT X.name, Z.day AS day FROM quote "
@@ -79,6 +90,34 @@ def result_body(reply, sub, code):
     return body
 
 
+def check_collapsed(text, what):
+    """Every line must be `frame;frame count` with a numeric count."""
+    lines = text.splitlines()
+    assert lines, f"{what} is empty"
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert ";" in stack and " " not in stack, f"bad {what} stack: {line!r}"
+        assert count.isdigit(), f"bad {what} count: {line!r}"
+    return lines
+
+
+def check_span_log(path):
+    """The span log must be valid JSONL with balanced begin/end spans."""
+    begins, ends, names = 0, 0, set()
+    for line in path.read_text().splitlines():
+        rec = json.loads(line)  # raises on torn/invalid lines
+        assert isinstance(rec, dict) and "ts" in rec and "k" in rec, rec
+        names.add(rec["name"])
+        if rec["k"] == "b":
+            begins += 1
+        elif rec["k"] == "e":
+            ends += 1
+    assert begins == ends > 0, f"unbalanced spans: {begins} begins, {ends} ends"
+    for name in ["accept", "dispatch", "fanout", "drain"]:
+        assert name in names, f"span log never recorded {name!r}: {sorted(names)}"
+    return begins
+
+
 def main():
     bin_path = sys.argv[1]
     rows = workload()
@@ -93,8 +132,13 @@ def main():
     ).stdout
     assert batch.count("\n") > 1, "batch produced no matches"
 
+    art = Path(tempfile.mkdtemp(prefix="sqlts-smoke-"))
+    span_log = art / "server.log.jsonl"
+    profile = art / "profile.folded"
     server = subprocess.Popen(
-        [bin_path, "serve", "--listen", "127.0.0.1:0"],
+        [bin_path, "serve", "--listen", "127.0.0.1:0",
+         "--log", str(span_log), "--log-level", "debug",
+         "--sample-profile", str(profile), "--sample-hz", "200"],
         stdout=subprocess.PIPE, text=True,
     )
     try:
@@ -137,14 +181,41 @@ def main():
                        'sqlts_sub_tripped{tenant="s2r"} 0']:
             assert needle in metrics, f"missing {needle} in scrape"
 
+        with urllib.request.urlopen(f"http://{addr}/status", timeout=60) as r:
+            status = json.loads(r.read().decode())
+        assert status["draining"] is False, status
+        live = {sub["id"] for sub in status["subscriptions"]}
+        assert {"s1", "s3", "s2r"} <= live, f"/status missing tenants: {live}"
+
         for conn, sub in [(main_conn, "s1"), (main_conn, "s3"), (resumer, "s2r")]:
             body = result_body(conn.send(f"UNSUBSCRIBE {sub}"), sub, 0)
             assert body == batch, (
                 f"{sub} diverged from batch: "
                 f"{len(body.splitlines())} vs {len(batch.splitlines())} lines"
             )
+        main_conn.kill()
+        resumer.kill()
+
+        # Graceful drain flushes the span log and the profiler output.
+        server.send_signal(signal.SIGTERM)
+        assert server.wait(timeout=60) == 0, "drained server must exit 0"
+
+        spans = check_span_log(span_log)
+        check_collapsed(profile.read_text(), "profiler")
+
+        agg = subprocess.run(
+            [bin_path, "trace-agg", str(span_log),
+             "--collapsed", str(art / "spans.folded")],
+            capture_output=True, text=True, check=True,
+        )
+        assert agg.stdout.startswith("span log:"), agg.stdout[:80]
+        assert "dispatch" in agg.stdout, agg.stdout
+        check_collapsed((art / "spans.folded").read_text(), "trace-agg")
+
         print(f"server smoke OK: 3 subscriptions x {len(rows)} tuples, "
-              f"{batch.count(chr(10)) - 1} matches each, kill+resume byte-identical")
+              f"{batch.count(chr(10)) - 1} matches each, kill+resume "
+              f"byte-identical while armed; {spans} spans logged, "
+              f"profiler and trace-agg stacks well-formed")
     finally:
         server.kill()
         server.wait()

@@ -11,6 +11,9 @@
 //! sqlts --demo-djia [--seed N] …     # use the built-in simulated DJIA
 //!
 //! sqlts serve [--listen ADDR] …      # multi-tenant query server mode
+//!
+//! sqlts trace-agg IN.jsonl [--collapsed FILE]   # fold --trace / --log
+//!                                               # JSONL into a cost tree
 //! ```
 //!
 //! Prints the result as CSV on stdout; `--stats` adds the cost metric on
@@ -34,6 +37,8 @@
 //! ingest), `4` runtime (governed termination or isolated cluster
 //! failures — the partial result is still printed), `5` quarantine
 //! capacity exceeded.
+
+mod trace_agg;
 
 use sqlts_core::stream::{
     BadTuplePolicy, SessionCheckpoint, StreamError, StreamOptions, StreamSession,
@@ -269,6 +274,48 @@ const SERVE_FLAGS: &[FlagSpec] = &[
         help: "with --data-dir: snapshot every subscription after N FEED \
                frames on its channel, then truncate the WAL behind the \
                snapshots (default 64)",
+    },
+    FlagSpec {
+        name: "--log",
+        metavar: Some("FILE"),
+        help: "append a structured span log of the server hot path (accept, \
+               frame decode, WAL append, fsync, fan-out, snapshot, recovery, \
+               drain) to FILE",
+    },
+    FlagSpec {
+        name: "--log-format",
+        metavar: Some("json|text"),
+        help: "span log encoding: JSON-lines (default) or aligned text",
+    },
+    FlagSpec {
+        name: "--log-level",
+        metavar: Some("error|warn|info|debug"),
+        help: "span log filter; debug includes per-frame spans (default info)",
+    },
+    FlagSpec {
+        name: "--log-rotate-bytes",
+        metavar: Some("N"),
+        help: "rotate the span log to FILE.1 past N bytes, keeping at most \
+               two generations (default 0 = never rotate)",
+    },
+    FlagSpec {
+        name: "--slow-frame-ms",
+        metavar: Some("N"),
+        help: "log a warn-level slow_frame event for any frame whose decode \
+               plus dispatch exceeds N milliseconds",
+    },
+    FlagSpec {
+        name: "--sample-profile",
+        metavar: Some("FILE"),
+        help: "run a sampling profiler thread that folds every worker's \
+               phase tag into flamegraph-ready collapsed stacks in FILE \
+               (rewritten atomically; final flush at drain)",
+    },
+    FlagSpec {
+        name: "--sample-hz",
+        metavar: Some("N"),
+        help: "sampling rate for --sample-profile, clamped to 1..=1000 \
+               (default 99)",
     },
     FlagSpec {
         name: "--help",
@@ -560,6 +607,25 @@ fn run_serve() -> Result<(), CliError> {
             "--checkpoint-every-frames" => {
                 config.checkpoint_every_frames = serve_numeric::<u64>(value).max(1)
             }
+            "--log" => config.log_file = Some(PathBuf::from(value.unwrap_or_else(|| serve_usage()))),
+            "--log-format" => {
+                config.log_format = value
+                    .as_deref()
+                    .and_then(sqlts_server::LogFormat::parse)
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--log-level" => {
+                config.log_level = value
+                    .as_deref()
+                    .and_then(sqlts_server::Level::parse)
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--log-rotate-bytes" => config.log_rotate_bytes = serve_numeric(value),
+            "--slow-frame-ms" => config.slow_frame_ms = Some(serve_numeric(value)),
+            "--sample-profile" => {
+                config.sample_profile = Some(PathBuf::from(value.unwrap_or_else(|| serve_usage())))
+            }
+            "--sample-hz" => config.sample_hz = serve_numeric(value),
             "--help" => {
                 print!("{}", serve_help_text());
                 std::process::exit(0)
@@ -900,6 +966,9 @@ fn run_follow(
 fn run() -> Result<(), CliError> {
     if std::env::args().nth(1).as_deref() == Some("serve") {
         return run_serve();
+    }
+    if std::env::args().nth(1).as_deref() == Some("trace-agg") {
+        std::process::exit(trace_agg::run_trace_agg().into());
     }
     let args = parse_args();
     let query_src = args.query.clone().unwrap_or_else(|| usage());

@@ -1,0 +1,598 @@
+//! `sqlts trace-agg` — fold observability JSONL into a hierarchical
+//! cost tree and (optionally) flamegraph-ready collapsed stacks.
+//!
+//! Two input dialects, auto-detected per line:
+//!
+//! * **Batch trace** (`sqlts --trace FILE.jsonl`): one search event per
+//!   line, `{"cluster":0,"ev":"advance","i":1,"j":1}`, ending with a
+//!   `{"dropped":N}` trailer.  The tree is `query → cluster:N → event
+//!   kind`, counting events; the dropped trailer is surfaced so a
+//!   truncated trace is never mistaken for a complete one.
+//! * **Server span log** (`sqlts serve --log FILE`): begin/end/event
+//!   records, `{"ts":…,"k":"b"|"e"|"ev","lvl":…,"name":…,"id":N,
+//!   "parent":N,…}`.  Spans are stitched by id into their parent chains;
+//!   the tree reports per-path counts, inclusive and self nanoseconds.
+//!   A span with no end record (the process was killed mid-span) is
+//!   closed at the last timestamp in the file, so a torn log still
+//!   aggregates.
+//!
+//! Both dialects aggregate by *path*, never by arrival order or thread,
+//! so the same underlying work always produces the same tree no matter
+//! how many threads (or how many interleaved connections) emitted it.
+//!
+//! Collapsed-stack lines are `frame;frame;frame count` — the format
+//! `flamegraph.pl` and friends consume.  Batch traces count events;
+//! span logs count self-nanoseconds, so frame width is time.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One parsed flat-JSON record: key → raw value (strings unescaped,
+/// numbers kept as their decimal text).
+type Record = Vec<(String, String)>;
+
+fn get<'a>(rec: &'a Record, key: &str) -> Option<&'a str> {
+    rec.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parse one flat JSON object (`{"k":"v","n":12}`).  Both input dialects
+/// are flat by construction — no arrays, no nesting — which keeps this
+/// parser small enough to carry no dependency.
+fn parse_flat_json(line: &str) -> Result<Record, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let mut rec = Record::new();
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {i}", i = *i));
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match bytes.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = line.get(*i + 1..*i + 5).ok_or("bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            *i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through char-wise.
+                    let ch = line[*i..].chars().next().ok_or("bad utf-8")?;
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+    };
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return Err("expected '{'".into());
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        return Ok(rec);
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i) {
+            Some(b'"') => parse_string(&mut i)?,
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'-'
+                        || bytes[i] == b'+'
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E')
+                {
+                    i += 1;
+                }
+                line[start..i].to_string()
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        rec.push((key, value));
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(rec),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+/// Aggregated stats for one tree path.
+#[derive(Default, Clone)]
+struct Node {
+    count: u64,
+    /// Inclusive nanoseconds (0 in batch-trace mode).
+    incl_ns: u64,
+    /// Self nanoseconds: inclusive minus children's inclusive.
+    self_ns: u64,
+}
+
+/// The aggregation result: path (`;`-joined frames) → stats, plus
+/// header facts for the report.
+pub struct CostTree {
+    nodes: HashMap<String, Node>,
+    /// "span log" or "batch trace".
+    dialect: &'static str,
+    /// Instantaneous events by name (span-log dialect only).
+    events: HashMap<String, u64>,
+    /// The `{"dropped":N}` trailer sum (batch-trace dialect only).
+    dropped: u64,
+    /// Lines that parsed as neither dialect.
+    skipped_lines: u64,
+    /// Spans with no end record, closed at end-of-file.
+    unterminated: u64,
+}
+
+impl CostTree {
+    /// Render the hierarchical text report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}:", self.dialect);
+        if self.dropped > 0 {
+            let _ = writeln!(out, "  (trace recorder dropped {} events)", self.dropped);
+        }
+        if self.unterminated > 0 {
+            let _ = writeln!(
+                out,
+                "  ({} span(s) had no end record; closed at end of file)",
+                self.unterminated
+            );
+        }
+        if self.skipped_lines > 0 {
+            let _ = writeln!(out, "  ({} unparseable line(s) skipped)", self.skipped_lines);
+        }
+        // Children of each path, sorted by count desc then name — counts
+        // are deterministic for a given input, so so is the report.
+        let mut children: HashMap<&str, Vec<&str>> = HashMap::new();
+        let mut roots: Vec<&str> = Vec::new();
+        for path in self.nodes.keys() {
+            // A node is a child only if its parent path is itself a
+            // node: span paths all hang off the virtual "serve" frame,
+            // which never aggregates anything of its own.
+            match path.rsplit_once(';') {
+                Some((parent, _)) if self.nodes.contains_key(parent) => {
+                    children.entry(parent).or_default().push(path)
+                }
+                _ => roots.push(path),
+            }
+        }
+        let order = |paths: &mut Vec<&str>, nodes: &HashMap<String, Node>| {
+            paths.sort_by(|a: &&str, b: &&str| {
+                let (na, nb) = (&nodes[*a], &nodes[*b]);
+                nb.count
+                    .cmp(&na.count)
+                    .then(nb.incl_ns.cmp(&na.incl_ns))
+                    .then(a.cmp(b))
+            });
+        };
+        order(&mut roots, &self.nodes);
+        for list in children.values_mut() {
+            order(list, &self.nodes);
+        }
+        let mut stack: Vec<(&str, usize)> = roots.iter().rev().map(|p| (*p, 0)).collect();
+        while let Some((path, depth)) = stack.pop() {
+            let node = &self.nodes[path];
+            let frame = path.rsplit_once(';').map_or(path, |(_, f)| f);
+            let indent = "  ".repeat(depth + 1);
+            if self.dialect == "span log" {
+                let _ = writeln!(
+                    out,
+                    "{indent}{frame}  count={} incl_ns={} self_ns={}",
+                    node.count, node.incl_ns, node.self_ns
+                );
+            } else {
+                let _ = writeln!(out, "{indent}{frame}  count={}", node.count);
+            }
+            if let Some(kids) = children.get(path) {
+                for kid in kids.iter().rev() {
+                    stack.push((kid, depth + 1));
+                }
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "events:");
+            let mut names: Vec<_> = self.events.iter().collect();
+            names.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (name, count) in names {
+                let _ = writeln!(out, "  {name}  count={count}");
+            }
+        }
+        out
+    }
+
+    /// Render collapsed-stack lines (`frame;frame;frame count`), sorted
+    /// for determinism.  Each line carries *self* weight — batch traces
+    /// subtract direct children's counts, span logs already track self
+    /// nanoseconds — so folding the lines back up reconstructs inclusive
+    /// totals without double-counting, exactly as flamegraph.pl expects.
+    /// Zero-weight frames (pure aggregation parents) are omitted.
+    pub fn to_collapsed(&self) -> String {
+        let mut child_count: HashMap<&str, u64> = HashMap::new();
+        for (path, node) in &self.nodes {
+            if let Some((parent, _)) = path.rsplit_once(';') {
+                if self.nodes.contains_key(parent) {
+                    *child_count.entry(parent).or_insert(0) += node.count;
+                }
+            }
+        }
+        let mut lines: Vec<String> = self
+            .nodes
+            .iter()
+            .filter_map(|(path, node)| {
+                let weight = if self.dialect == "span log" {
+                    node.self_ns
+                } else {
+                    node.count
+                        .saturating_sub(child_count.get(path.as_str()).copied().unwrap_or(0))
+                };
+                (weight > 0).then(|| format!("{path} {weight}"))
+            })
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One live span while stitching the span-log dialect.
+struct OpenSpan {
+    name: String,
+    parent: u64,
+    begin_ts: u64,
+    /// Sum of ended children's inclusive time, for self-time.
+    child_ns: u64,
+}
+
+/// Aggregate a JSONL document (batch trace or span log) into a
+/// [`CostTree`].  Never fails on content: unparseable lines are counted
+/// and skipped, because a half-written observability file is exactly
+/// when an aggregator is most needed.
+pub fn aggregate(text: &str) -> CostTree {
+    let mut tree = CostTree {
+        nodes: HashMap::new(),
+        dialect: "batch trace",
+        events: HashMap::new(),
+        dropped: 0,
+        skipped_lines: 0,
+        unterminated: 0,
+    };
+    let mut open: HashMap<u64, OpenSpan> = HashMap::new();
+    let mut paths: HashMap<u64, String> = HashMap::new();
+    let mut saw_span = false;
+    let mut last_ts = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(rec) = parse_flat_json(line) else {
+            tree.skipped_lines += 1;
+            continue;
+        };
+        if let Some(n) = get(&rec, "dropped") {
+            if rec.len() == 1 {
+                tree.dropped += n.parse::<u64>().unwrap_or(0);
+                continue;
+            }
+        }
+        if let (Some(cluster), Some(ev)) = (get(&rec, "cluster"), get(&rec, "ev")) {
+            // Batch-trace event: query → cluster:N → kind.
+            tree.nodes.entry("query".into()).or_default().count += 1;
+            tree.nodes
+                .entry(format!("query;cluster:{cluster}"))
+                .or_default()
+                .count += 1;
+            tree.nodes
+                .entry(format!("query;cluster:{cluster};{ev}"))
+                .or_default()
+                .count += 1;
+            continue;
+        }
+        let (Some(kind), Some(name)) = (get(&rec, "k"), get(&rec, "name")) else {
+            tree.skipped_lines += 1;
+            continue;
+        };
+        saw_span = true;
+        let ts = get(&rec, "ts").and_then(|t| t.parse().ok()).unwrap_or(0);
+        last_ts = last_ts.max(ts);
+        match kind {
+            "b" => {
+                let id: u64 = get(&rec, "id").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let parent: u64 = get(&rec, "parent")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                let path = match paths.get(&parent) {
+                    Some(pp) => format!("{pp};{name}"),
+                    None => format!("serve;{name}"),
+                };
+                paths.insert(id, path);
+                open.insert(
+                    id,
+                    OpenSpan {
+                        name: name.to_string(),
+                        parent,
+                        begin_ts: ts,
+                        child_ns: 0,
+                    },
+                );
+            }
+            "e" => {
+                let id: u64 = get(&rec, "id").and_then(|v| v.parse().ok()).unwrap_or(0);
+                if let Some(span) = open.remove(&id) {
+                    let incl = ts.saturating_sub(span.begin_ts);
+                    if let Some(parent) = open.get_mut(&span.parent) {
+                        parent.child_ns = parent.child_ns.saturating_add(incl);
+                    }
+                    let path = paths
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| format!("serve;{}", span.name));
+                    let node = tree.nodes.entry(path).or_default();
+                    node.count += 1;
+                    node.incl_ns = node.incl_ns.saturating_add(incl);
+                    node.self_ns = node
+                        .self_ns
+                        .saturating_add(incl.saturating_sub(span.child_ns));
+                }
+            }
+            "ev" => {
+                *tree.events.entry(name.to_string()).or_insert(0) += 1;
+            }
+            _ => tree.skipped_lines += 1,
+        }
+    }
+    // Close torn spans at the last timestamp the file reached.  Children
+    // are drained before parents (descending id — children begin after
+    // their parents, and ids are allocated in begin order) so parents'
+    // self-time still excludes their children.
+    let mut torn: Vec<u64> = open.keys().copied().collect();
+    torn.sort_unstable_by(|a, b| b.cmp(a));
+    for id in torn {
+        let Some(span) = open.remove(&id) else {
+            continue;
+        };
+        tree.unterminated += 1;
+        let incl = last_ts.saturating_sub(span.begin_ts);
+        if let Some(parent) = open.get_mut(&span.parent) {
+            parent.child_ns = parent.child_ns.saturating_add(incl);
+        }
+        let path = paths
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("serve;{}", span.name));
+        let node = tree.nodes.entry(path).or_default();
+        node.count += 1;
+        node.incl_ns = node.incl_ns.saturating_add(incl);
+        node.self_ns = node
+            .self_ns
+            .saturating_add(incl.saturating_sub(span.child_ns));
+    }
+    if saw_span {
+        tree.dialect = "span log";
+    }
+    tree
+}
+
+/// The `sqlts trace-agg IN.jsonl [--collapsed FILE]` entry point.
+/// Returns the process exit code.
+pub fn run_trace_agg() -> u8 {
+    let mut input: Option<PathBuf> = None;
+    let mut collapsed: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--collapsed" => match it.next() {
+                Some(path) => collapsed = Some(PathBuf::from(path)),
+                None => return trace_agg_usage(),
+            },
+            "--help" | "-h" => {
+                print!("{}", TRACE_AGG_HELP);
+                return 0;
+            }
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(PathBuf::from(other));
+            }
+            _ => return trace_agg_usage(),
+        }
+    }
+    let Some(input) = input else {
+        return trace_agg_usage();
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{}: {e}", input.display());
+            return 3;
+        }
+    };
+    let tree = aggregate(&text);
+    print!("{}", tree.to_text());
+    if let Some(path) = collapsed {
+        if let Err(e) = std::fs::write(&path, tree.to_collapsed()) {
+            eprintln!("{}: {e}", path.display());
+            return 4;
+        }
+    }
+    0
+}
+
+const TRACE_AGG_HELP: &str = "usage: sqlts trace-agg IN.jsonl [--collapsed FILE]\n\
+    \n\
+    Fold observability JSONL into a hierarchical cost tree (printed on\n\
+    stdout) and optionally flamegraph-ready collapsed stacks (--collapsed).\n\
+    Accepts both the batch trace format (sqlts --trace FILE.jsonl) and the\n\
+    server span log (sqlts serve --log FILE); the dialect is auto-detected.\n";
+
+fn trace_agg_usage() -> u8 {
+    eprint!("{}", TRACE_AGG_HELP);
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_parses_strings_numbers_and_escapes() {
+        let rec = parse_flat_json(r#"{"a":"x\n\"y\\","n":-12,"u":"A"}"#).unwrap();
+        assert_eq!(get(&rec, "a"), Some("x\n\"y\\"));
+        assert_eq!(get(&rec, "n"), Some("-12"));
+        assert_eq!(get(&rec, "u"), Some("A"));
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json(r#"{"unclosed":"#).is_err());
+        assert_eq!(parse_flat_json("{}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn batch_trace_aggregates_by_cluster_and_kind() {
+        let text = "\
+            {\"cluster\":0,\"ev\":\"advance\",\"i\":1,\"j\":1}\n\
+            {\"cluster\":0,\"ev\":\"advance\",\"i\":2,\"j\":2}\n\
+            {\"cluster\":0,\"ev\":\"fail\",\"i\":3,\"j\":1}\n\
+            {\"cluster\":1,\"ev\":\"match\",\"start\":1,\"end\":3}\n\
+            {\"dropped\":7}\n";
+        let tree = aggregate(text);
+        assert_eq!(tree.dialect, "batch trace");
+        assert_eq!(tree.dropped, 7);
+        assert_eq!(tree.nodes["query"].count, 4);
+        assert_eq!(tree.nodes["query;cluster:0"].count, 3);
+        assert_eq!(tree.nodes["query;cluster:0;advance"].count, 2);
+        assert_eq!(tree.nodes["query;cluster:1;match"].count, 1);
+        let report = tree.to_text();
+        assert!(report.contains("dropped 7 events"), "{report}");
+        assert!(report.contains("advance  count=2"), "{report}");
+        let collapsed = tree.to_collapsed();
+        assert!(
+            collapsed.contains("query;cluster:0;advance 2\n"),
+            "{collapsed}"
+        );
+        for line in collapsed.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty() && count.parse::<u64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn span_log_stitches_parents_and_computes_self_time() {
+        let text = "\
+            {\"ts\":100,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"dispatch\",\"id\":1,\"parent\":0}\n\
+            {\"ts\":150,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"wal_append\",\"id\":2,\"parent\":1}\n\
+            {\"ts\":250,\"k\":\"e\",\"lvl\":\"debug\",\"name\":\"wal_append\",\"id\":2}\n\
+            {\"ts\":300,\"k\":\"ev\",\"lvl\":\"warn\",\"name\":\"governor_trip\",\"sub\":\"s1\"}\n\
+            {\"ts\":400,\"k\":\"e\",\"lvl\":\"debug\",\"name\":\"dispatch\",\"id\":1}\n";
+        let tree = aggregate(text);
+        assert_eq!(tree.dialect, "span log");
+        let dispatch = &tree.nodes["serve;dispatch"];
+        assert_eq!((dispatch.count, dispatch.incl_ns), (1, 300));
+        assert_eq!(dispatch.self_ns, 200, "300 incl - 100 child");
+        let wal = &tree.nodes["serve;dispatch;wal_append"];
+        assert_eq!((wal.incl_ns, wal.self_ns), (100, 100));
+        assert_eq!(tree.events["governor_trip"], 1);
+        let collapsed = tree.to_collapsed();
+        assert!(collapsed.contains("serve;dispatch 200\n"), "{collapsed}");
+        assert!(
+            collapsed.contains("serve;dispatch;wal_append 100\n"),
+            "{collapsed}"
+        );
+    }
+
+    #[test]
+    fn torn_span_log_closes_spans_at_eof() {
+        let text = "\
+            {\"ts\":10,\"k\":\"b\",\"lvl\":\"warn\",\"name\":\"drain\",\"id\":5,\"parent\":0}\n\
+            {\"ts\":20,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"snapshot\",\"id\":6,\"parent\":5}\n\
+            {\"ts\":90,\"k\":\"ev\",\"lvl\":\"info\",\"name\":\"accept\"}\n";
+        let tree = aggregate(text);
+        assert_eq!(tree.unterminated, 2);
+        let drain = &tree.nodes["serve;drain"];
+        assert_eq!(drain.incl_ns, 80, "closed at last ts 90");
+        assert_eq!(drain.self_ns, 10, "snapshot child covered 70 of it");
+        assert_eq!(tree.nodes["serve;drain;snapshot"].incl_ns, 70);
+    }
+
+    #[test]
+    fn report_renders_span_tree_under_virtual_root_and_collapsed_is_self_weighted() {
+        let text = "\
+            {\"ts\":100,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"dispatch\",\"id\":1,\"parent\":0}\n\
+            {\"ts\":150,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"fanout\",\"id\":2,\"parent\":1}\n\
+            {\"ts\":350,\"k\":\"e\",\"lvl\":\"debug\",\"name\":\"fanout\",\"id\":2}\n\
+            {\"ts\":400,\"k\":\"e\",\"lvl\":\"debug\",\"name\":\"dispatch\",\"id\":1}\n";
+        let report = aggregate(text).to_text();
+        // Span paths hang off the virtual "serve" frame, which has no
+        // node of its own — the tree must still print them.
+        assert!(
+            report.contains("dispatch  count=1 incl_ns=300 self_ns=100"),
+            "{report}"
+        );
+        assert!(
+            report.contains("fanout  count=1 incl_ns=200 self_ns=200"),
+            "{report}"
+        );
+        // Collapsed lines are self-weighted: a batch trace's pure parent
+        // frames (query, cluster:N) fold to zero and are omitted, so
+        // summing the file never double-counts.
+        let collapsed = aggregate(
+            "{\"cluster\":0,\"ev\":\"advance\",\"i\":1,\"j\":1}\n\
+             {\"cluster\":0,\"ev\":\"fail\",\"i\":2,\"j\":1}\n",
+        )
+        .to_collapsed();
+        assert!(!collapsed.contains("\nquery "), "{collapsed}");
+        assert!(!collapsed.starts_with("query "), "{collapsed}");
+        assert!(collapsed.contains("query;cluster:0;advance 1\n"), "{collapsed}");
+        let total: u64 = collapsed
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 2, "self weights sum to the event count");
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let tree = aggregate("not json at all\n{\"cluster\":0,\"ev\":\"shift\",\"j\":1,\"dist\":2}\n");
+        assert_eq!(tree.skipped_lines, 1);
+        assert_eq!(tree.nodes["query;cluster:0;shift"].count, 1);
+    }
+}

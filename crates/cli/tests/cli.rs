@@ -365,10 +365,18 @@ fn trace_flag_writes_jsonl_file() {
     );
     let contents = std::fs::read_to_string(&trace).unwrap();
     assert!(!contents.is_empty());
-    for line in contents.lines() {
+    let lines: Vec<&str> = contents.lines().collect();
+    let (events, trailer) = lines.split_at(lines.len() - 1);
+    assert!(!events.is_empty(), "trace carried no events: {contents}");
+    for line in events {
         assert!(line.starts_with("{\"cluster\":"), "{line}");
         assert!(line.contains("\"ev\":"), "{line}");
     }
+    assert!(
+        trailer[0].starts_with("{\"dropped\":"),
+        "missing drop trailer: {}",
+        trailer[0]
+    );
     std::fs::remove_file(csv).ok();
     std::fs::remove_file(trace).ok();
 }

@@ -30,6 +30,11 @@ const QUERY: &str = "SELECT X.name, Z.day AS day FROM quote \
 struct ServerGuard {
     child: Child,
     addr: String,
+    /// Keeps the child's stdout pipe open: a drained server prints a
+    /// final "drained" line, and a closed pipe would turn that print
+    /// into an EPIPE panic.
+    #[allow(dead_code)]
+    stdout: BufReader<std::process::ChildStdout>,
 }
 
 impl Drop for ServerGuard {
@@ -49,16 +54,19 @@ fn spawn_server(extra: &[&str]) -> ServerGuard {
         .stderr(Stdio::null())
         .spawn()
         .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
     let mut line = String::new();
-    BufReader::new(child.stdout.take().unwrap())
-        .read_line(&mut line)
-        .unwrap();
+    stdout.read_line(&mut line).unwrap();
     let addr = line
         .trim()
         .strip_prefix("listening on ")
         .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
         .to_string();
-    ServerGuard { child, addr }
+    ServerGuard {
+        child,
+        addr,
+        stdout,
+    }
 }
 
 /// One protocol connection.
@@ -301,6 +309,198 @@ fn metrics_scrape_is_valid_prometheus() {
     let mut response = String::new();
     http.read_to_string(&mut response).unwrap();
     assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+}
+
+/// Parse a raw HTTP/1.1 response: (status line, headers, body bytes).
+/// Reads the body by `Content-Length`, byte-exactly — the strictness a
+/// real scraper applies.
+fn parse_http(raw: &[u8]) -> (String, Vec<(String, String)>, Vec<u8>) {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header/body separator");
+    let head = std::str::from_utf8(&raw[..split]).expect("headers are ASCII");
+    let mut lines = head.split("\r\n");
+    let status = lines.next().unwrap().to_string();
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l
+                .split_once(':')
+                .unwrap_or_else(|| panic!("bad header {l:?}"));
+            (k.to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    let body = raw[split + 4..].to_vec();
+    (status, headers, body)
+}
+
+/// Satellite regression: the `/metrics` endpoint must be well-formed
+/// HTTP even for a client that dribbles its request one byte at a time
+/// (the old peek-probe re-read bytes at the wrong offsets and could
+/// misclassify such a connection).  `Content-Length` must equal the
+/// body's byte count exactly, with no trailing bytes after it.
+#[test]
+fn http_scrape_survives_split_writes_and_frames_content_length_exactly() {
+    let server = spawn_server(&[]);
+    let mut client = Client::connect(&server.addr);
+    client.send(&format!("OPEN quote {SCHEMA}"));
+    client.send(&format!("SUBSCRIBE live quote\n{QUERY}"));
+    client.send("FEED quote\nAAA,1,100.0\nAAA,2,98.5");
+
+    for path in ["/metrics", "/status"] {
+        let mut http = TcpStream::connect(&server.addr).unwrap();
+        http.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        // One byte at a time, with pauses inside the "GET " probe window.
+        let request = format!("{path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        for byte in b"GET " {
+            http.write_all(&[*byte]).unwrap();
+            http.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        http.write_all(request.as_bytes()).unwrap();
+        let mut raw = Vec::new();
+        http.read_to_end(&mut raw).unwrap();
+        let (status, headers, body) = parse_http(&raw);
+        assert_eq!(status, "HTTP/1.1 200 OK", "{path}");
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("Content-Length present");
+        assert_eq!(
+            body.len(),
+            length,
+            "{path}: Content-Length must frame the body byte-exactly"
+        );
+        assert!(body.ends_with(b"\n"), "{path}: body ends with a newline");
+    }
+}
+
+/// `GET /status` returns one JSON document with the server counters,
+/// latency histograms, and every live subscription's state.
+#[test]
+fn status_endpoint_reports_live_subscriptions_as_json() {
+    let server = spawn_server(&[]);
+    let mut client = Client::connect(&server.addr);
+    client.send(&format!("OPEN quote {SCHEMA}"));
+    client.send(&format!("SUBSCRIBE live quote\n{QUERY}"));
+    client.send("FEED quote\nAAA,1,100.0\nAAA,2,98.5");
+
+    let mut http = TcpStream::connect(&server.addr).unwrap();
+    http.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(http, "GET /status HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    http.read_to_end(&mut raw).unwrap();
+    let (status, headers, body) = parse_http(&raw);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "content-type" && v.starts_with("application/json")),
+        "{headers:?}"
+    );
+    let text = String::from_utf8(body).unwrap();
+    for needle in [
+        "\"draining\":false",
+        "\"id\":\"live\"",
+        "\"records\":2",
+        "\"queue_depth\":",
+        "\"phase\":\"",
+        "\"latency\":{",
+        "\"frame_decode_micros\":{\"count\":",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in {text}");
+    }
+    // Braces and brackets balance — the document is at least
+    // structurally JSON even without a parser on this side.
+    let balance = |open: char, close: char| {
+        text.chars().filter(|c| *c == open).count() == text.chars().filter(|c| *c == close).count()
+    };
+    assert!(balance('{', '}') && balance('[', ']'), "{text}");
+}
+
+/// The tentpole end to end: a fully armed server (span log at debug,
+/// sampling profiler, slow-frame watchdog) must produce byte-identical
+/// query output to batch mode, a balanced span log, and a well-formed
+/// collapsed-stack profile after a graceful drain.
+#[test]
+fn armed_observability_run_is_byte_identical_and_artifacts_are_well_formed() {
+    let rows = rows();
+    let expected = batch_csv(&rows);
+    let dir = std::env::temp_dir().join(format!("sqlts-armed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("server.log.jsonl");
+    let folded = dir.join("profile.folded");
+    let mut server = spawn_server(&[
+        "--log",
+        log.to_str().unwrap(),
+        "--log-level",
+        "debug",
+        "--sample-profile",
+        folded.to_str().unwrap(),
+        "--sample-hz",
+        "250",
+        "--slow-frame-ms",
+        "10000",
+    ]);
+    let mut client = Client::connect(&server.addr);
+    client.send(&format!("OPEN quote {SCHEMA}"));
+    client.send(&format!("SUBSCRIBE s1 quote\n{QUERY}"));
+    for chunk in rows.chunks(40) {
+        client.send(&format!("FEED quote\n{}", chunk.join("\n")));
+    }
+    let reply = client.send("UNSUBSCRIBE s1");
+    assert_eq!(
+        result_body(&reply, "s1", 0),
+        expected,
+        "armed run must be byte-identical to batch"
+    );
+    drop(client);
+
+    // Graceful drain (SIGTERM) so the profiler takes its final flush;
+    // waiting for exit makes both artifact files final.
+    let pid = server.child.id().to_string();
+    let status = Command::new("kill").args(["-TERM", &pid]).status().unwrap();
+    assert!(status.success());
+    let exit = server.child.wait().unwrap();
+    assert!(exit.success(), "drained server exits 0: {exit:?}");
+
+    // Span log: every line valid JSON-ish, begins balanced with ends.
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(!text.is_empty(), "span log must not be empty");
+    let (mut begins, mut ends) = (0u64, 0u64);
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"ts\":") && line.ends_with('}'),
+            "bad span log line: {line}"
+        );
+        if line.contains("\"k\":\"b\"") {
+            begins += 1;
+        } else if line.contains("\"k\":\"e\"") {
+            ends += 1;
+        }
+    }
+    assert!(begins > 0, "expected spans in:\n{text}");
+    assert_eq!(begins, ends, "unbalanced spans in:\n{text}");
+    for name in ["\"name\":\"dispatch\"", "\"name\":\"wal_append\"", "\"name\":\"fanout\"", "\"name\":\"accept\"", "\"name\":\"drain\""] {
+        // wal_append only appears with --data-dir; skip it here.
+        if name.contains("wal_append") {
+            continue;
+        }
+        assert!(text.contains(name), "missing {name} in span log:\n{text}");
+    }
+
+    // Collapsed stacks: `frame;frame count` lines, at least one.
+    let profile = std::fs::read_to_string(&folded).unwrap();
+    assert!(!profile.trim().is_empty(), "collapsed profile is empty");
+    for line in profile.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack SP count");
+        assert!(stack.starts_with("serve;"), "{line}");
+        assert!(!stack.contains(' '), "{line}");
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

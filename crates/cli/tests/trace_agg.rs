@@ -1,0 +1,131 @@
+//! End-to-end tests for `sqlts trace-agg`: the aggregator must fold
+//! both observability dialects — the batch `--trace` event stream and
+//! the server span log — into a non-empty cost tree and well-formed
+//! collapsed stacks, directly from files the other modes wrote.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sqlts");
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlts-traceagg-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every collapsed line must be `frame;frame;frame count` with no
+/// spaces inside frames and a parseable count.
+fn assert_collapsed_well_formed(text: &str) {
+    assert!(!text.trim().is_empty(), "collapsed output is empty");
+    for line in text.lines() {
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("no count in {line:?}"));
+        assert!(stack.contains(';'), "single-frame stack in {line:?}");
+        assert!(!stack.contains(' '), "space inside stack in {line:?}");
+        assert!(count.parse::<u64>().is_ok(), "bad count in {line:?}");
+    }
+}
+
+#[test]
+fn aggregates_a_real_batch_trace() {
+    let dir = temp_dir("batch");
+    let trace = dir.join("trace.jsonl");
+    let out = Command::new(BIN)
+        .args([
+            "--demo-djia",
+            "--trace",
+            trace.to_str().unwrap(),
+            "SELECT FIRST(Y).date AS from_d, Z.date AS to_d FROM djia SEQUENCE BY date \
+             AS (*Y, Z) WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let folded = dir.join("trace.folded");
+    let agg = Command::new(BIN)
+        .args([
+            "trace-agg",
+            trace.to_str().unwrap(),
+            "--collapsed",
+            folded.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(agg.status.success(), "{agg:?}");
+    let tree = String::from_utf8(agg.stdout).unwrap();
+    assert!(tree.starts_with("batch trace:"), "{tree}");
+    assert!(tree.contains("query  count="), "{tree}");
+    assert!(tree.contains("cluster:0  count="), "{tree}");
+    // The demo query certainly advances at least once.
+    assert!(tree.contains("advance  count="), "{tree}");
+    assert_collapsed_well_formed(&std::fs::read_to_string(&folded).unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aggregates_a_synthetic_span_log() {
+    let dir = temp_dir("span");
+    let log = dir.join("server.log.jsonl");
+    // A hand-rolled but format-exact span log: one dispatch with a
+    // nested fanout, one accept event, one torn span.
+    std::fs::write(
+        &log,
+        "{\"ts\":1000,\"k\":\"ev\",\"lvl\":\"info\",\"name\":\"accept\",\"conn\":\"1\"}\n\
+         {\"ts\":2000,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"dispatch\",\"id\":1,\"parent\":0,\"verb\":\"FEED\"}\n\
+         {\"ts\":2500,\"k\":\"b\",\"lvl\":\"debug\",\"name\":\"fanout\",\"id\":2,\"parent\":1}\n\
+         {\"ts\":4500,\"k\":\"e\",\"lvl\":\"debug\",\"name\":\"fanout\",\"id\":2}\n\
+         {\"ts\":5000,\"k\":\"e\",\"lvl\":\"debug\",\"name\":\"dispatch\",\"id\":1,\"ok\":\"1\"}\n\
+         {\"ts\":6000,\"k\":\"b\",\"lvl\":\"warn\",\"name\":\"drain\",\"id\":3,\"parent\":0}\n",
+    )
+    .unwrap();
+    let folded = dir.join("span.folded");
+    let agg = Command::new(BIN)
+        .args([
+            "trace-agg",
+            log.to_str().unwrap(),
+            "--collapsed",
+            folded.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(agg.status.success(), "{agg:?}");
+    let tree = String::from_utf8(agg.stdout).unwrap();
+    assert!(tree.starts_with("span log:"), "{tree}");
+    assert!(
+        tree.contains("1 span(s) had no end record"),
+        "torn drain span surfaces: {tree}"
+    );
+    // dispatch: incl 3000, fanout child 2000 → self 1000.
+    assert!(
+        tree.contains("dispatch  count=1 incl_ns=3000 self_ns=1000"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("fanout  count=1 incl_ns=2000 self_ns=2000"),
+        "{tree}"
+    );
+    assert!(tree.contains("accept  count=1"), "{tree}");
+    let collapsed = std::fs::read_to_string(&folded).unwrap();
+    assert_collapsed_well_formed(&collapsed);
+    assert!(collapsed.contains("serve;dispatch 1000\n"), "{collapsed}");
+    assert!(
+        collapsed.contains("serve;dispatch;fanout 2000\n"),
+        "{collapsed}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_and_missing_file_exit_codes() {
+    let no_args = Command::new(BIN).arg("trace-agg").output().unwrap();
+    assert_eq!(no_args.status.code(), Some(2), "{no_args:?}");
+    let missing = Command::new(BIN)
+        .args(["trace-agg", "/nonexistent/nope.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(3), "{missing:?}");
+}

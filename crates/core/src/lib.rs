@@ -80,7 +80,10 @@ pub use executor::{
 pub use explain::{explain, optimizer_report};
 pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
-pub use multiplex::{FinishReport, SessionStatus, SessionWorker, SessionWorkerConfig, WorkerError};
+pub use multiplex::{
+    FinishReport, PhaseTag, SessionStatus, SessionWorker, SessionWorkerConfig, WorkerError,
+    WorkerPhase,
+};
 pub use persist::atomic_write;
 pub use shift_next::ShiftNext;
 pub use stargraph::star_shift_next;

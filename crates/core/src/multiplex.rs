@@ -34,8 +34,9 @@ use crate::{compile, Trip};
 use sqlts_relation::Schema;
 use sqlts_trace::ExecutionProfile;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -177,6 +178,85 @@ pub struct FinishReport {
     pub quarantined: usize,
 }
 
+/// What a worker thread is doing *right now*, published through a
+/// [`PhaseTag`] so an observer (the server's sampling profiler) can read
+/// it with one relaxed atomic load — no lock, no signal, no stack
+/// unwinding, and zero effect on what the worker computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WorkerPhase {
+    /// Parked in `recv_timeout`, waiting for a command.
+    Idle = 0,
+    /// Compiling the query (and applying any resume checkpoint) at
+    /// startup.
+    Compile = 1,
+    /// Applying a fed tuple to the session.
+    Feed = 2,
+    /// Serializing a `sqlts-checkpoint v1` snapshot.
+    Snapshot = 3,
+    /// Serving a status probe.
+    Status = 4,
+    /// Driving the session to end-of-input.
+    Finish = 5,
+}
+
+impl WorkerPhase {
+    /// The lowercase name used in collapsed-stack frames and `/status`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkerPhase::Idle => "idle",
+            WorkerPhase::Compile => "compile",
+            WorkerPhase::Feed => "feed",
+            WorkerPhase::Snapshot => "snapshot",
+            WorkerPhase::Status => "status",
+            WorkerPhase::Finish => "finish",
+        }
+    }
+
+    fn from_u8(v: u8) -> WorkerPhase {
+        match v {
+            1 => WorkerPhase::Compile,
+            2 => WorkerPhase::Feed,
+            3 => WorkerPhase::Snapshot,
+            4 => WorkerPhase::Status,
+            5 => WorkerPhase::Finish,
+            _ => WorkerPhase::Idle,
+        }
+    }
+}
+
+/// The cheap atomic tag a [`SessionWorker`] publishes for samplers: the
+/// current [`WorkerPhase`] plus the session's record count.  All loads
+/// and stores are `Relaxed` — a sampler tolerates a stale read by
+/// design (it is a statistical profile, not a synchronization point),
+/// and the worker pays two uncontended atomic stores per command, far
+/// from the per-tuple hot loop.
+#[derive(Debug, Default)]
+pub struct PhaseTag {
+    phase: AtomicU8,
+    records: AtomicU64,
+}
+
+impl PhaseTag {
+    /// The phase most recently published by the worker.
+    pub fn phase(&self) -> WorkerPhase {
+        WorkerPhase::from_u8(self.phase.load(Ordering::Relaxed))
+    }
+
+    /// The session's record count as of the last publish.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    fn set(&self, phase: WorkerPhase) {
+        self.phase.store(phase as u8, Ordering::Relaxed);
+    }
+
+    fn set_records(&self, records: u64) {
+        self.records.store(records, Ordering::Relaxed);
+    }
+}
+
 enum Command {
     Feed {
         row: Vec<sqlts_relation::Value>,
@@ -204,6 +284,8 @@ enum Command {
 pub struct SessionWorker {
     tx: SyncSender<Command>,
     join: Mutex<Option<JoinHandle<()>>>,
+    tag: Arc<PhaseTag>,
+    queued: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for SessionWorker {
@@ -219,15 +301,21 @@ impl SessionWorker {
     pub fn spawn(config: SessionWorkerConfig) -> Result<SessionWorker, WorkerError> {
         let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
         let (ready_tx, ready_rx) = mpsc::sync_channel(1);
+        let tag = Arc::new(PhaseTag::default());
+        let queued = Arc::new(AtomicU64::new(0));
         let name = format!("sqlts-sub-{}", config.name);
+        let worker_tag = Arc::clone(&tag);
+        let worker_queued = Arc::clone(&queued);
         let join = std::thread::Builder::new()
             .name(name)
-            .spawn(move || worker_main(config, &rx, &ready_tx))
+            .spawn(move || worker_main(config, &rx, &ready_tx, &worker_tag, &worker_queued))
             .map_err(|e| WorkerError::Runtime(format!("spawn worker: {e}")))?;
         match ready_rx.recv() {
             Ok(Ok(())) => Ok(SessionWorker {
                 tx,
                 join: Mutex::new(Some(join)),
+                tag,
+                queued,
             }),
             Ok(Err(e)) => {
                 let _ = join.join();
@@ -242,10 +330,28 @@ impl SessionWorker {
 
     fn call<T>(&self, make: impl FnOnce(SyncSender<T>) -> Command) -> Result<T, WorkerError> {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        self.tx
-            .send(make(reply_tx))
-            .map_err(|_| WorkerError::Gone)?;
+        // Count the command as queued before the (possibly blocking)
+        // send so a sampler sees the backpressure while a feeder is
+        // stalled on a full queue; the worker decrements on dequeue.
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(make(reply_tx)).is_err() {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            return Err(WorkerError::Gone);
+        }
         reply_rx.recv().map_err(|_| WorkerError::Gone)
+    }
+
+    /// The worker's live phase/record tag, for samplers.  Cloning the
+    /// `Arc` lets a profiler thread keep observing without holding the
+    /// registry lock.
+    pub fn phase_tag(&self) -> Arc<PhaseTag> {
+        Arc::clone(&self.tag)
+    }
+
+    /// Commands currently queued (or in flight) toward the worker —
+    /// the live backpressure gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// Push one tuple into the session (blocks while the queue is full —
@@ -289,7 +395,10 @@ fn worker_main(
     config: SessionWorkerConfig,
     rx: &mpsc::Receiver<Command>,
     ready: &SyncSender<Result<(), WorkerError>>,
+    tag: &PhaseTag,
+    queued: &AtomicU64,
 ) {
+    tag.set(WorkerPhase::Compile);
     let compiled = match compile(&config.sql, &config.schema, &config.stream.exec.compile) {
         Ok(q) => q,
         Err(e) => {
@@ -314,28 +423,45 @@ fn worker_main(
             return;
         }
     };
+    tag.set_records(session.records());
+    tag.set(WorkerPhase::Idle);
     if ready.send(Ok(())).is_err() {
         return;
     }
     loop {
         match rx.recv_timeout(config.poll_interval) {
-            Ok(Command::Feed { row, reply }) => {
-                let _ = reply.send(session.feed(row).map_err(map_stream_err));
-            }
-            Ok(Command::Snapshot { reply }) => {
-                let _ = reply.send(
-                    session
-                        .snapshot()
-                        .map(|cp| (cp.to_text(), cp.records()))
-                        .map_err(map_stream_err),
-                );
-            }
-            Ok(Command::Status { reply }) => {
-                let _ = reply.send(status_of(&session));
-            }
-            Ok(Command::Finish { reply }) => {
-                let _ = reply.send(finish_report(session));
-                return;
+            Ok(command) => {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                match command {
+                    Command::Feed { row, reply } => {
+                        tag.set(WorkerPhase::Feed);
+                        let result = session.feed(row).map_err(map_stream_err);
+                        // Publish before the reply so a caller that saw
+                        // its feed acknowledged also sees the count.
+                        tag.set_records(session.records());
+                        let _ = reply.send(result);
+                    }
+                    Command::Snapshot { reply } => {
+                        tag.set(WorkerPhase::Snapshot);
+                        let _ = reply.send(
+                            session
+                                .snapshot()
+                                .map(|cp| (cp.to_text(), cp.records()))
+                                .map_err(map_stream_err),
+                        );
+                    }
+                    Command::Status { reply } => {
+                        tag.set(WorkerPhase::Status);
+                        let _ = reply.send(status_of(&session));
+                    }
+                    Command::Finish { reply } => {
+                        tag.set(WorkerPhase::Finish);
+                        let _ = reply.send(finish_report(session));
+                        tag.set(WorkerPhase::Idle);
+                        return;
+                    }
+                }
+                tag.set(WorkerPhase::Idle);
             }
             Err(RecvTimeoutError::Timeout) => {
                 // The stalled-tenant fix: an idle session still observes
@@ -540,6 +666,34 @@ mod tests {
         assert_eq!(err.exit_code(), 4);
         let report = worker.finish().unwrap();
         assert!(report.trip.is_some());
+    }
+
+    #[test]
+    fn phase_tag_publishes_records_and_settles_idle() {
+        let rows = workload();
+        let worker =
+            SessionWorker::spawn(SessionWorkerConfig::new("tag", QUERY, quote_schema())).unwrap();
+        let tag = worker.phase_tag();
+        for row in &rows {
+            worker.feed(row.clone()).unwrap();
+        }
+        // Every feed reply is a rendezvous, so once the last feed returns
+        // the published record count is exact and the queue is drained.
+        assert_eq!(tag.records(), rows.len() as u64);
+        assert_eq!(worker.queue_depth(), 0);
+        // The worker parks between commands; give it a beat to publish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while tag.phase() != WorkerPhase::Idle {
+            assert!(std::time::Instant::now() < deadline, "never settled idle");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The tag outlives the handle — a sampler holding the Arc must
+        // not keep the worker alive or crash after finish.
+        let report = worker.finish().unwrap();
+        assert!(report.error.is_none());
+        assert_eq!(tag.records(), rows.len() as u64);
+        assert_eq!(WorkerPhase::Feed.as_str(), "feed");
+        assert_eq!(WorkerPhase::Idle.as_str(), "idle");
     }
 
     #[test]

@@ -82,13 +82,25 @@ fn read_byte(r: &mut impl BufRead) -> Result<Option<u8>, FrameFatal> {
 /// buffered; larger frames are drained and reported as
 /// [`FrameEvent::Oversized`].
 pub fn read_frame(r: &mut impl BufRead, max_payload: usize) -> Result<FrameEvent, FrameFatal> {
+    Ok(read_frame_timed(r, max_payload)?.0)
+}
+
+/// [`read_frame`] plus the nanoseconds spent decoding, measured from the
+/// *first header byte* — the idle wait for a frame to start is the
+/// client's think time, not decode cost, and must not pollute the
+/// server's frame-decode latency histogram.  `Eof` reports 0.
+pub fn read_frame_timed(
+    r: &mut impl BufRead,
+    max_payload: usize,
+) -> Result<(FrameEvent, u64), FrameFatal> {
     // Length header: ASCII digits up to the separating space.  EOF before
     // the first digit is a clean end of stream.
     let mut len: u64 = 0;
     let mut digits = 0usize;
+    let mut started: Option<std::time::Instant> = None;
     loop {
         let b = match read_byte(r)? {
-            None if digits == 0 => return Ok(FrameEvent::Eof),
+            None if digits == 0 => return Ok((FrameEvent::Eof, 0)),
             None => {
                 return Err(FrameFatal::Io(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -97,6 +109,9 @@ pub fn read_frame(r: &mut impl BufRead, max_payload: usize) -> Result<FrameEvent
             }
             Some(b) => b,
         };
+        if started.is_none() {
+            started = Some(std::time::Instant::now());
+        }
         match b {
             b'0'..=b'9' => {
                 digits += 1;
@@ -116,6 +131,7 @@ pub fn read_frame(r: &mut impl BufRead, max_payload: usize) -> Result<FrameEvent
             }
         }
     }
+    let elapsed = move || started.map_or(0, |s| s.elapsed().as_nanos() as u64);
     if len > max_payload as u64 {
         // Drain payload + frame-check LF so the next frame starts clean.
         let drained = io::copy(&mut r.take(len + 1), &mut io::sink())?;
@@ -125,7 +141,7 @@ pub fn read_frame(r: &mut impl BufRead, max_payload: usize) -> Result<FrameEvent
                 "EOF while draining oversized frame",
             )));
         }
-        return Ok(FrameEvent::Oversized { len });
+        return Ok((FrameEvent::Oversized { len }, elapsed()));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
@@ -144,8 +160,8 @@ pub fn read_frame(r: &mut impl BufRead, max_payload: usize) -> Result<FrameEvent
         }
     }
     match String::from_utf8(payload) {
-        Ok(text) => Ok(FrameEvent::Payload(text)),
-        Err(_) => Ok(FrameEvent::BadUtf8),
+        Ok(text) => Ok((FrameEvent::Payload(text), elapsed())),
+        Err(_) => Ok((FrameEvent::BadUtf8, elapsed())),
     }
 }
 
@@ -217,6 +233,19 @@ mod tests {
             read_frame(&mut r, 1 << 20),
             Err(FrameFatal::Desync(_))
         ));
+    }
+
+    #[test]
+    fn timed_decode_reports_duration_and_zero_at_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "PING").unwrap();
+        let mut r = io::BufReader::new(&wire[..]);
+        let (event, ns) = read_frame_timed(&mut r, 1 << 20).unwrap();
+        assert!(matches!(event, FrameEvent::Payload(p) if p == "PING"));
+        assert!(ns < 1_000_000_000, "in-memory decode took {ns}ns");
+        let (event, ns) = read_frame_timed(&mut r, 1 << 20).unwrap();
+        assert!(matches!(event, FrameEvent::Eof));
+        assert_eq!(ns, 0, "EOF charges no decode time");
     }
 
     #[test]

@@ -13,8 +13,14 @@
 //! trips.  `CHECKPOINT`/`RESUME` ride the `sqlts-checkpoint v1` codec
 //! bit-identically, so a client can disconnect and continue elsewhere.
 //! The same port answers HTTP `GET /metrics` with a Prometheus
-//! exposition ([`metrics`]): server counters, live per-tenant gauges and
-//! the most recent finished subscriptions' execution profiles.
+//! exposition ([`metrics`]): server counters, hot-path latency
+//! histograms, live per-tenant gauges and the most recent finished
+//! subscriptions' execution profiles — and `GET /status` with the same
+//! live state as one JSON document.  With `--log` the server appends a
+//! structured span log of its hot path (accept, frame decode, WAL
+//! append, fsync, fan-out, snapshot, recovery, drain); with
+//! `--sample-profile` a sampling thread ([`profiler`]) folds every
+//! worker's published phase tag into flamegraph-ready collapsed stacks.
 //!
 //! With `--data-dir` the server is crash-safe: accepted feeds append to
 //! per-channel write-ahead logs ([`wal`]) before fan-out, subscription
@@ -26,12 +32,17 @@
 
 pub mod frame;
 pub mod metrics;
+pub mod profiler;
 pub mod recover;
 pub mod server;
 pub mod wal;
 
-pub use frame::{read_frame, write_frame, FrameEvent, FrameFatal};
-pub use metrics::ServerMetrics;
+pub use frame::{read_frame, read_frame_timed, write_frame, FrameEvent, FrameFatal};
+pub use metrics::{status_json, LatencyHistograms, LatencyOp, ServerMetrics, SubStatusView};
+pub use profiler::SamplingProfiler;
 pub use recover::{DataDir, ServeError, SubMeta};
 pub use server::{RecoveryReport, Server, ServerConfig};
+// Re-exported so embedders configuring `ServerConfig::log_level` /
+// `log_format` need not depend on the trace crate directly.
+pub use sqlts_trace::{Level, LogFormat, SpanLog};
 pub use wal::{scan_wal, ChannelWal, FsyncPolicy, WalError, WalFrame, WalScan};

@@ -11,11 +11,125 @@
 //!    `to_prometheus_labeled`, with duplicate `# TYPE` lines removed so
 //!    the merged document stays a valid exposition.
 
-use sqlts_trace::ExecutionProfile;
+use sqlts_trace::{json_escape, write_prometheus_histogram, BoundedHistogram, ExecutionProfile};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A server hot-path operation with its own latency histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyOp {
+    /// One WAL record append (excluding any fsync it triggered).
+    WalAppend,
+    /// One `fsync(2)` against a channel WAL.
+    Fsync,
+    /// One frame decode, from first header byte to parsed payload.
+    FrameDecode,
+    /// One FEED frame's fan-out loop across a channel's workers.
+    Fanout,
+    /// One channel snapshot pass (every subscription checkpointed).
+    Snapshot,
+}
+
+impl LatencyOp {
+    const ALL: [LatencyOp; 5] = [
+        LatencyOp::WalAppend,
+        LatencyOp::Fsync,
+        LatencyOp::FrameDecode,
+        LatencyOp::Fanout,
+        LatencyOp::Snapshot,
+    ];
+
+    /// The exposition metric name (`sqlts_server_<op>_micros`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            LatencyOp::WalAppend => "sqlts_server_wal_append_micros",
+            LatencyOp::Fsync => "sqlts_server_fsync_micros",
+            LatencyOp::FrameDecode => "sqlts_server_frame_decode_micros",
+            LatencyOp::Fanout => "sqlts_server_fanout_micros",
+            LatencyOp::Snapshot => "sqlts_server_snapshot_micros",
+        }
+    }
+
+    /// The key used in `/status` JSON.
+    pub fn json_key(self) -> &'static str {
+        match self {
+            LatencyOp::WalAppend => "wal_append_micros",
+            LatencyOp::Fsync => "fsync_micros",
+            LatencyOp::FrameDecode => "frame_decode_micros",
+            LatencyOp::Fanout => "fanout_micros",
+            LatencyOp::Snapshot => "snapshot_micros",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            LatencyOp::WalAppend => 0,
+            LatencyOp::Fsync => 1,
+            LatencyOp::FrameDecode => 2,
+            LatencyOp::Fanout => 3,
+            LatencyOp::Snapshot => 4,
+        }
+    }
+}
+
+/// Power-of-two latency histograms (microsecond buckets) for the five
+/// hot-path operations, reusing the query profiles' [`BoundedHistogram`]
+/// so server latencies and engine shift-distances share one exposition
+/// shape.  Each record is one short uncontended mutex acquisition —
+/// the recording sites already hold (or just released) the channel
+/// persist lock, so this adds no new contention edge.
+#[derive(Debug, Default)]
+pub struct LatencyHistograms {
+    hists: [Mutex<BoundedHistogram>; 5],
+}
+
+impl LatencyHistograms {
+    /// Record one operation's duration (nanoseconds; bucketed in µs).
+    pub fn record_ns(&self, op: LatencyOp, ns: u64) {
+        if let Ok(mut h) = self.hists[op.index()].lock() {
+            h.record(ns / 1_000);
+        }
+    }
+
+    /// A snapshot of one operation's histogram.
+    pub fn snapshot(&self, op: LatencyOp) -> BoundedHistogram {
+        self.hists[op.index()]
+            .lock()
+            .map(|h| h.clone())
+            .unwrap_or_default()
+    }
+
+    /// Append every histogram to a Prometheus exposition.
+    fn render_prometheus(&self, out: &mut String) {
+        for op in LatencyOp::ALL {
+            let h = self.snapshot(op);
+            write_prometheus_histogram(out, op.metric_name(), "", &h);
+        }
+    }
+
+    /// Append `"latency":{...}` summaries (count/sum/max per op, µs) to a
+    /// JSON object body.
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, op) in LatencyOp::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let h = self.snapshot(op);
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{}}}",
+                op.json_key(),
+                h.count(),
+                h.sum(),
+                h.max()
+            );
+        }
+        out.push('}');
+    }
+}
 
 /// Monotonic server counters (all `Relaxed`: scrape-grade accuracy).
 #[derive(Debug, Default)]
@@ -40,6 +154,8 @@ pub struct ServerMetrics {
     pub snapshots_total: AtomicU64,
     /// Subscriptions respawned from snapshots at startup recovery.
     pub recovered_subscriptions_total: AtomicU64,
+    /// Hot-path latency histograms (µs buckets).
+    pub latency: LatencyHistograms,
     finished: Mutex<Vec<(String, Box<ExecutionProfile>)>>,
     retain_profiles: usize,
 }
@@ -140,10 +256,12 @@ impl ServerMetrics {
                 value.load(Ordering::Relaxed)
             );
         }
+        self.latency.render_prometheus(&mut out);
         out.push_str("# TYPE sqlts_sub_records gauge\n");
         out.push_str("# TYPE sqlts_sub_skipped gauge\n");
         out.push_str("# TYPE sqlts_sub_quarantined gauge\n");
         out.push_str("# TYPE sqlts_sub_tripped gauge\n");
+        out.push_str("# TYPE sqlts_sub_queue_depth gauge\n");
         for block in live {
             out.push_str(block);
         }
@@ -166,8 +284,9 @@ impl ServerMetrics {
 }
 
 /// Render one live subscription's gauges (tenant-labeled, names declared
-/// once by [`ServerMetrics::render`]).
-pub fn live_gauges(tenant: &str, status: &sqlts_core::SessionStatus) -> String {
+/// once by [`ServerMetrics::render`]).  `queue_depth` is the worker's
+/// live command-queue occupancy.
+pub fn live_gauges(tenant: &str, status: &sqlts_core::SessionStatus, queue_depth: u64) -> String {
     let t = escape_label(tenant);
     let mut out = String::new();
     let _ = writeln!(
@@ -190,11 +309,95 @@ pub fn live_gauges(tenant: &str, status: &sqlts_core::SessionStatus) -> String {
         "sqlts_sub_tripped{{tenant=\"{t}\"}} {}",
         u8::from(status.trip.is_some())
     );
+    let _ = writeln!(out, "sqlts_sub_queue_depth{{tenant=\"{t}\"}} {queue_depth}");
     out
 }
 
+/// Escape a tenant id for a Prometheus label value: backslash, quote,
+/// and newline.  A raw newline in a label would split the sample line
+/// and corrupt the whole scrape.
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One subscription's row in the `/status` JSON document — the live
+/// registry view, assembled by the server under its locks.
+#[derive(Debug)]
+pub struct SubStatusView {
+    /// The subscription id.
+    pub id: String,
+    /// The channel it consumes.
+    pub channel: String,
+    /// The worker's point-in-time session status.
+    pub status: sqlts_core::SessionStatus,
+    /// Live command-queue occupancy.
+    pub queue_depth: u64,
+    /// The phase the worker published most recently.
+    pub phase: &'static str,
+}
+
+/// Render the `GET /status` JSON document: server counters, latency
+/// summaries, and one object per live subscription.  Hand-rolled flat
+/// JSON, same as every other exporter in the workspace.
+pub fn status_json(metrics: &ServerMetrics, subs: &[SubStatusView], draining: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"draining\":{draining},\"connections_total\":{},\"frames_total\":{},\
+         \"errors_total\":{},\"subscriptions_total\":{},\"rows_fed_total\":{},\
+         \"wal_appends_total\":{},\"wal_fsyncs_total\":{},\"snapshots_total\":{}",
+        metrics.connections_total.load(Ordering::Relaxed),
+        metrics.frames_total.load(Ordering::Relaxed),
+        metrics.errors_total.load(Ordering::Relaxed),
+        metrics.subscriptions_total.load(Ordering::Relaxed),
+        metrics.rows_fed_total.load(Ordering::Relaxed),
+        metrics.wal_appends_total.load(Ordering::Relaxed),
+        metrics.wal_fsyncs_total.load(Ordering::Relaxed),
+        metrics.snapshots_total.load(Ordering::Relaxed),
+    );
+    out.push_str(",\"latency\":");
+    metrics.latency.write_json(&mut out);
+    out.push_str(",\"subscriptions\":[");
+    for (i, sub) in subs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":\"");
+        json_escape(&sub.id, &mut out);
+        out.push_str("\",\"channel\":\"");
+        json_escape(&sub.channel, &mut out);
+        let _ = write!(
+            out,
+            "\",\"records\":{},\"skipped\":{},\"quarantined\":{},\"window_bytes\":{},\
+             \"queue_depth\":{},\"phase\":\"{}\",\"poisoned\":{}",
+            sub.status.records,
+            sub.status.skipped,
+            sub.status.quarantined,
+            sub.status.window_bytes,
+            sub.queue_depth,
+            sub.phase,
+            sub.status.poisoned,
+        );
+        match &sub.status.trip {
+            Some(trip) => {
+                out.push_str(",\"trip\":\"");
+                json_escape(&trip.to_string(), &mut out);
+                out.push_str("\"}");
+            }
+            None => out.push_str(",\"trip\":null}"),
+        }
+    }
+    out.push_str("]}\n");
+    out
 }
 
 #[cfg(test)]
@@ -218,6 +421,76 @@ mod tests {
         assert!(out.contains("sqlts_matches_total{tenant=\"a\"} 0"), "{out}");
         assert!(out.contains("sqlts_matches_total{tenant=\"b\"} 0"), "{out}");
         assert!(out.contains("sqlts_server_connections_total 1"), "{out}");
+    }
+
+    #[test]
+    fn latency_histograms_render_into_scrape_and_status() {
+        let metrics = ServerMetrics::new(4);
+        metrics.latency.record_ns(LatencyOp::WalAppend, 3_000);
+        metrics.latency.record_ns(LatencyOp::WalAppend, 9_000);
+        metrics.latency.record_ns(LatencyOp::Fsync, 1_500_000);
+        let out = metrics.render(&[]);
+        assert!(out.contains("# TYPE sqlts_server_wal_append_micros histogram"), "{out}");
+        assert!(out.contains("sqlts_server_wal_append_micros_count 2"), "{out}");
+        assert!(out.contains("sqlts_server_wal_append_micros_sum 12"), "{out}");
+        assert!(out.contains("sqlts_server_fsync_micros_count 1"), "{out}");
+        // Unrecorded ops still render complete (empty) histogram blocks.
+        assert!(out.contains("sqlts_server_fanout_micros_bucket{le=\"+Inf\"} 0"), "{out}");
+        let status = status_json(&metrics, &[], false);
+        assert!(status.contains("\"wal_append_micros\":{\"count\":2,\"sum\":12,\"max\":9}"), "{status}");
+        assert!(status.contains("\"draining\":false"), "{status}");
+    }
+
+    #[test]
+    fn tenant_labels_escape_quotes_backslashes_and_newlines() {
+        let status = sqlts_core::SessionStatus {
+            records: 1,
+            skipped: 0,
+            quarantined: 0,
+            window_bytes: 0,
+            trip: None,
+            poisoned: false,
+        };
+        let block = live_gauges("a\"b\\c\nd", &status, 3);
+        assert!(
+            block.contains("sqlts_sub_records{tenant=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{block}"
+        );
+        assert!(block.contains("sqlts_sub_queue_depth{tenant=\"a\\\"b\\\\c\\nd\"} 3"), "{block}");
+        for line in block.lines() {
+            assert!(!line.is_empty(), "raw newline split a sample line: {block}");
+        }
+        assert_eq!(block.lines().count(), 5, "{block}");
+    }
+
+    #[test]
+    fn status_json_lists_subscriptions_and_balances() {
+        let metrics = ServerMetrics::new(4);
+        let subs = vec![SubStatusView {
+            id: "s\"1".into(),
+            channel: "nyse".into(),
+            status: sqlts_core::SessionStatus {
+                records: 40,
+                skipped: 2,
+                quarantined: 1,
+                window_bytes: 512,
+                trip: None,
+                poisoned: false,
+            },
+            queue_depth: 0,
+            phase: "idle",
+        }];
+        let out = status_json(&metrics, &subs, true);
+        assert!(out.contains("\"draining\":true"), "{out}");
+        assert!(out.contains("\"id\":\"s\\\"1\""), "{out}");
+        assert!(out.contains("\"records\":40"), "{out}");
+        assert!(out.contains("\"phase\":\"idle\""), "{out}");
+        assert!(out.contains("\"trip\":null"), "{out}");
+        assert_eq!(
+            out.matches(['{', '[']).count(),
+            out.matches(['}', ']']).count(),
+            "unbalanced status JSON: {out}"
+        );
     }
 
     #[test]

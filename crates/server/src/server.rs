@@ -63,21 +63,23 @@
 //! Without `--data-dir` nothing below changes observably: no files, no
 //! extra reply fields, identical wire traffic.
 
-use crate::frame::{read_frame, write_frame, FrameEvent, FrameFatal};
-use crate::metrics::{live_gauges, ServerMetrics};
+use crate::frame::{read_frame_timed, write_frame, FrameEvent, FrameFatal};
+use crate::metrics::{live_gauges, status_json, LatencyOp, ServerMetrics, SubStatusView};
+use crate::profiler::SamplingProfiler;
 use crate::recover::{replay_channel, DataDir, ReplaySub, ServeError, SubMeta};
 use crate::wal::{ChannelWal, FsyncPolicy, WalFrame};
 use sqlts_core::{
     EngineKind, Governor, Instrument, SessionWorker, SessionWorkerConfig, TripReason, WorkerError,
 };
 use sqlts_relation::{parse_headerless_row, ColumnType, Schema};
+use sqlts_trace::{Level, LogFormat, SpanLog};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything the server needs to stand up.
 #[derive(Clone, Debug)]
@@ -107,6 +109,24 @@ pub struct ServerConfig {
     /// Snapshot every subscription on a channel after this many FEED
     /// frames (clamped to ≥ 1; only meaningful with `data_dir`).
     pub checkpoint_every_frames: u64,
+    /// Structured span log destination (`--log`); `None` leaves the hot
+    /// path with a single never-taken branch per record site.
+    pub log_file: Option<PathBuf>,
+    /// Span log encoding (`--log-format json|text`).
+    pub log_format: LogFormat,
+    /// Span log filter level (`--log-level error|warn|info|debug`).
+    pub log_level: Level,
+    /// Rotate the span log past this size (`--log-rotate-bytes`; 0
+    /// disables rotation).
+    pub log_rotate_bytes: u64,
+    /// Warn about any frame whose decode+dispatch exceeds this many
+    /// milliseconds (`--slow-frame-ms`); `None` disables the check.
+    pub slow_frame_ms: Option<u64>,
+    /// Collapsed-stack sampling-profile destination
+    /// (`--sample-profile`); `None` runs no profiler thread.
+    pub sample_profile: Option<PathBuf>,
+    /// Profiler sample rate (`--sample-hz`, clamped to 1..=1000).
+    pub sample_hz: u32,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +143,13 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncPolicy::Every,
             checkpoint_every_frames: 64,
+            log_file: None,
+            log_format: LogFormat::Json,
+            log_level: Level::Info,
+            log_rotate_bytes: 0,
+            slow_frame_ms: None,
+            sample_profile: None,
+            sample_hz: 99,
         }
     }
 }
@@ -191,6 +218,33 @@ struct Shared {
     /// a client disconnect and delete durable state the drain just
     /// snapshotted.
     draining: AtomicBool,
+    /// The armed structured span log, `None` when `--log` is absent.
+    /// Every record site is `if let Some(log) = &shared.log` — one
+    /// predictable branch when unarmed, exactly PR 3's discipline.
+    log: Option<SpanLog>,
+}
+
+impl Shared {
+    /// Begin a span if the log is armed; 0 otherwise (and [`span_end`]
+    /// of 0 is free).
+    fn span_begin(&self, level: Level, name: &str, parent: u64, fields: &[(&str, &str)]) -> u64 {
+        match &self.log {
+            Some(log) => log.begin(level, name, parent, fields),
+            None => 0,
+        }
+    }
+
+    fn span_end(&self, level: Level, name: &str, id: u64, fields: &[(&str, &str)]) {
+        if let Some(log) = &self.log {
+            log.end(level, name, id, fields);
+        }
+    }
+
+    fn span_event(&self, level: Level, name: &str, fields: &[(&str, &str)]) {
+        if let Some(log) = &self.log {
+            log.event(level, name, fields);
+        }
+    }
 }
 
 /// What a recovery pass restored, for startup diagnostics.
@@ -215,6 +269,9 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     recovery: Option<RecoveryReport>,
+    /// The sampling profiler thread (`--sample-profile`); stopped (with
+    /// a final flush) at drain, or on drop.
+    profiler: Mutex<Option<SamplingProfiler>>,
 }
 
 impl Server {
@@ -229,6 +286,14 @@ impl Server {
             .as_ref()
             .map(|root| DataDir::lock(root))
             .transpose()?;
+        let log = config
+            .log_file
+            .as_ref()
+            .map(|path| {
+                SpanLog::open(path, config.log_level, config.log_format, config.log_rotate_bytes)
+                    .map_err(|e| ServeError::Usage(format!("open log {}: {e}", path.display())))
+            })
+            .transpose()?;
         let retain = config.retain_profiles;
         let shared = Arc::new(Shared {
             config,
@@ -239,16 +304,44 @@ impl Server {
             data,
             conns: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
+            log,
         });
         let recovery = if shared.data.is_some() {
-            Some(recover(&shared)?)
+            let span = shared.span_begin(Level::Warn, "recovery", 0, &[]);
+            let report = recover(&shared)?;
+            for note in &report.notes {
+                shared.span_event(Level::Warn, "recovery_dropped_tail", &[("note", note)]);
+            }
+            shared.span_end(
+                Level::Warn,
+                "recovery",
+                span,
+                &[
+                    ("channels", &report.channels.to_string()),
+                    ("subscriptions", &report.subscriptions.to_string()),
+                    ("rows_replayed", &report.rows_replayed.to_string()),
+                    ("rows_rejected", &report.rows_rejected.to_string()),
+                ],
+            );
+            Some(report)
         } else {
             None
         };
+        let profiler = shared.config.sample_profile.clone().map(|path| {
+            let registry = Arc::clone(&shared);
+            SamplingProfiler::spawn(path, shared.config.sample_hz, move |out| {
+                if let Ok(subs) = registry.subs.lock() {
+                    for (id, sub) in subs.iter() {
+                        out.push((id.clone(), sub.worker.phase_tag().phase().as_str()));
+                    }
+                }
+            })
+        });
         Ok(Server {
             listener,
             shared,
             recovery,
+            profiler: Mutex::new(profiler),
         })
     }
 
@@ -279,11 +372,16 @@ impl Server {
                 return Ok(());
             }
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((stream, peer)) => {
                     let _ = stream.set_nonblocking(false);
                     let shared = Arc::clone(&self.shared);
                     let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                     ServerMetrics::inc(&shared.metrics.connections_total);
+                    shared.span_event(
+                        Level::Info,
+                        "accept",
+                        &[("conn", &conn.to_string()), ("peer", &peer.to_string())],
+                    );
                     if let Ok(clone) = stream.try_clone() {
                         if let Ok(mut conns) = shared.conns.lock() {
                             conns.insert(conn, clone);
@@ -311,6 +409,7 @@ impl Server {
     fn drain(&self) {
         let shared = &self.shared;
         shared.draining.store(true, Ordering::SeqCst);
+        let span = shared.span_begin(Level::Warn, "drain", 0, &[]);
         let channels: Vec<(String, Channel)> = shared
             .channels
             .lock()
@@ -318,22 +417,43 @@ impl Server {
             .unwrap_or_default();
         for (name, channel) in channels {
             if let Ok(mut persist) = channel.persist.lock() {
-                snapshot_channel_locked(shared, &name, &mut persist);
+                snapshot_channel_locked(shared, &name, &mut persist, span);
                 if let Some(wal) = persist.wal.as_mut() {
                     if wal.sync().is_ok() {
                         ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
                     }
+                    shared
+                        .metrics
+                        .latency
+                        .record_ns(LatencyOp::Fsync, wal.take_fsync_ns());
                 }
             }
         }
-        if let Ok(mut conns) = shared.conns.lock() {
-            for (_, mut stream) in conns.drain() {
-                let _ = write_frame(&mut stream, "ERR 4 server draining");
-                let _ = stream.shutdown(Shutdown::Both);
+        let parted = shared
+            .conns
+            .lock()
+            .map(|mut conns| {
+                let n = conns.len();
+                for (_, mut stream) in conns.drain() {
+                    let _ = write_frame(&mut stream, "ERR 4 server draining");
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                n
+            })
+            .unwrap_or(0);
+        // Final flush before the LOCK release so a supervisor restarting
+        // on drain-complete sees the whole profile.
+        if let Ok(mut slot) = self.profiler.lock() {
+            if let Some(profiler) = slot.take() {
+                profiler.stop();
             }
         }
         if let Some(data) = shared.data.as_ref() {
             data.release();
+        }
+        shared.span_end(Level::Warn, "drain", span, &[("connections_parted", &parted.to_string())]);
+        if let Some(log) = &shared.log {
+            log.flush();
         }
     }
 }
@@ -465,7 +585,7 @@ fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
             stats.rows_replayed + stats.rows_rejected,
         );
         if let Ok(mut persist) = channel.persist.lock() {
-            snapshot_channel_locked(shared, &name, &mut persist);
+            snapshot_channel_locked(shared, &name, &mut persist, 0);
         }
     }
     Ok(report)
@@ -518,31 +638,60 @@ fn reap_connection(shared: &Shared, conn: u64) {
 
 fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) -> io::Result<()> {
     // HTTP scrapers open with `GET `; everything else is the framed
-    // protocol.  Peek so the protocol path sees every byte.
+    // protocol.  Peek so the protocol path sees every byte.  `peek`
+    // never consumes, so every call must re-read from the front of the
+    // socket buffer into the *whole* probe — peeking at an offset would
+    // duplicate the stream's first bytes, not extend them.
     let mut probe = [0u8; 4];
     let mut seen = 0;
-    while seen < probe.len() {
-        match stream.peek(&mut probe[seen..])? {
+    loop {
+        match stream.peek(&mut probe)? {
             0 => break,
-            n => seen += n,
+            n if n >= probe.len() => {
+                seen = probe.len();
+                break;
+            }
+            n => {
+                seen = n;
+                // Fewer than 4 bytes buffered yet; a legitimate client's
+                // first frame or request line is longer, so wait briefly
+                // for the rest instead of busy-spinning on peek.
+                if &probe[..n] != &b"GET "[..n] {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
-    if &probe[..seen] == b"GET " {
+    if seen == probe.len() && probe == *b"GET " {
         return serve_http(shared, stream);
     }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let event = match read_frame(&mut reader, shared.config.max_frame_bytes) {
-            Ok(event) => event,
-            Err(FrameFatal::Desync(why)) => {
-                ServerMetrics::inc(&shared.metrics.errors_total);
-                let _ = write_frame(&mut writer, &format!("ERR 2 frame desync: {why}"));
-                return Ok(());
-            }
-            Err(FrameFatal::Io(e)) => return Err(e),
-        };
+        let (event, decode_ns) =
+            match read_frame_timed(&mut reader, shared.config.max_frame_bytes) {
+                Ok(timed) => timed,
+                Err(FrameFatal::Desync(why)) => {
+                    ServerMetrics::inc(&shared.metrics.errors_total);
+                    shared.span_event(
+                        Level::Warn,
+                        "frame_desync",
+                        &[("conn", &conn.to_string()), ("why", &why)],
+                    );
+                    let _ = write_frame(&mut writer, &format!("ERR 2 frame desync: {why}"));
+                    return Ok(());
+                }
+                Err(FrameFatal::Io(e)) => return Err(e),
+            };
+        if !matches!(event, FrameEvent::Eof) {
+            shared
+                .metrics
+                .latency
+                .record_ns(LatencyOp::FrameDecode, decode_ns);
+        }
         ServerMetrics::inc(&shared.metrics.frames_total);
+        let dispatched = Instant::now();
         let reply = match event {
             FrameEvent::Eof => return Ok(()),
             FrameEvent::Oversized { len } => Err(format!(
@@ -552,6 +701,24 @@ fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) -> io::Resul
             FrameEvent::BadUtf8 => Err("ERR 2 frame payload is not UTF-8".into()),
             FrameEvent::Payload(payload) => dispatch(shared, conn, &payload),
         };
+        if let Some(limit_ms) = shared.config.slow_frame_ms {
+            // Decode + dispatch only — the idle wait for a frame to start
+            // is the client's think time (the decoder's clock starts at
+            // the first header byte for the same reason).
+            let busy_ns = decode_ns.saturating_add(dispatched.elapsed().as_nanos() as u64);
+            let busy_ms = busy_ns / 1_000_000;
+            if busy_ms > limit_ms {
+                shared.span_event(
+                    Level::Warn,
+                    "slow_frame",
+                    &[
+                        ("conn", &conn.to_string()),
+                        ("ms", &busy_ms.to_string()),
+                        ("limit_ms", &limit_ms.to_string()),
+                    ],
+                );
+            }
+        }
         match reply {
             Ok(text) => write_frame(&mut writer, &text)?,
             Err(text) => {
@@ -585,7 +752,9 @@ fn trip_name(reason: TripReason) -> &'static str {
 }
 
 /// Handle one decoded request payload; `Ok` and `Err` are both reply
-/// payloads, `Err` marking it for the error counter.
+/// payloads, `Err` marking it for the error counter.  Each dispatch is
+/// one root span in the span log; sub-operation spans (WAL append,
+/// fan-out, snapshot) nest under it.
 fn dispatch(shared: &Shared, conn: u64, payload: &str) -> Result<String, String> {
     let (head, body) = match payload.split_once('\n') {
         Some((head, body)) => (head, body),
@@ -594,17 +763,24 @@ fn dispatch(shared: &Shared, conn: u64, payload: &str) -> Result<String, String>
     let mut words = head.split_whitespace();
     let verb = words.next().unwrap_or("");
     let args: Vec<&str> = words.collect();
-    match (verb, args.as_slice()) {
+    let conn_s = conn.to_string();
+    let span = shared.span_begin(
+        Level::Debug,
+        "dispatch",
+        0,
+        &[("verb", verb), ("conn", &conn_s)],
+    );
+    let reply = match (verb, args.as_slice()) {
         ("PING", []) => Ok("OK pong".into()),
         ("OPEN", [chan, spec]) => open_channel(shared, chan, spec),
         ("SUBSCRIBE", [id, chan]) => subscribe(shared, conn, id, chan, body, None),
-        ("RESUME", [id, chan]) => {
-            let (sql, checkpoint) = body
-                .split_once('\n')
-                .ok_or_else(|| err(2, "RESUME needs an SQL line and checkpoint text"))?;
-            subscribe(shared, conn, id, chan, sql, Some(checkpoint.to_string()))
-        }
-        ("FEED", [chan]) => feed(shared, chan, body),
+        ("RESUME", [id, chan]) => match body.split_once('\n') {
+            Some((sql, checkpoint)) => {
+                subscribe(shared, conn, id, chan, sql, Some(checkpoint.to_string()))
+            }
+            None => Err(err(2, "RESUME needs an SQL line and checkpoint text")),
+        },
+        ("FEED", [chan]) => feed(shared, chan, body, span),
         ("STATUS", [id]) => status(shared, id),
         ("CHECKPOINT", [id]) => checkpoint(shared, id),
         ("UNSUBSCRIBE", [id]) => unsubscribe(shared, id),
@@ -616,7 +792,14 @@ fn dispatch(shared: &Shared, conn: u64, payload: &str) -> Result<String, String>
                 args.len()
             ),
         )),
-    }
+    };
+    shared.span_end(
+        Level::Debug,
+        "dispatch",
+        span,
+        &[("ok", if reply.is_ok() { "1" } else { "0" })],
+    );
+    reply
 }
 
 pub(crate) fn parse_schema_spec(spec: &str) -> Result<Schema, String> {
@@ -792,7 +975,7 @@ fn subscribe(
     Ok(format!("OK {what} {id} {chan}"))
 }
 
-fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
+fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, String> {
     let channel = {
         let channels = shared
             .channels
@@ -824,14 +1007,41 @@ fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
         .map_err(|_| err(4, "lock poisoned"))?;
     if !rows.is_empty() {
         if let Some(wal) = persist.wal.as_mut() {
-            match wal.append(&lines.join("\n"), rows.len() as u32) {
+            let span = shared.span_begin(
+                Level::Debug,
+                "wal_append",
+                parent,
+                &[("channel", chan), ("rows", &rows.len().to_string())],
+            );
+            let append_started = Instant::now();
+            let appended = wal.append(&lines.join("\n"), rows.len() as u32);
+            let append_ns = append_started.elapsed().as_nanos() as u64;
+            // The fsync (when the policy took one) is inside append's
+            // wall time; split it out so the two histograms answer
+            // different questions.
+            let fsync_ns = wal.take_fsync_ns();
+            shared
+                .metrics
+                .latency
+                .record_ns(LatencyOp::WalAppend, append_ns.saturating_sub(fsync_ns));
+            match appended {
                 Ok(synced) => {
                     ServerMetrics::inc(&shared.metrics.wal_appends_total);
                     if synced {
                         ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+                        shared.metrics.latency.record_ns(LatencyOp::Fsync, fsync_ns);
+                        shared.span_event(
+                            Level::Debug,
+                            "fsync",
+                            &[("channel", chan), ("ns", &fsync_ns.to_string())],
+                        );
                     }
+                    shared.span_end(Level::Debug, "wal_append", span, &[]);
                 }
-                Err(e) => return Err(err(4, format!("wal append on '{chan}': {e}"))),
+                Err(e) => {
+                    shared.span_end(Level::Debug, "wal_append", span, &[("error", &e.to_string())]);
+                    return Err(err(4, format!("wal append on '{chan}': {e}")));
+                }
             }
         }
         persist.rows_total += rows.len() as u64;
@@ -843,6 +1053,17 @@ fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
             .map(|(id, s)| (id.clone(), Arc::clone(&s.worker)))
             .collect()
     };
+    let fanout_span = shared.span_begin(
+        Level::Debug,
+        "fanout",
+        parent,
+        &[
+            ("channel", chan),
+            ("rows", &rows.len().to_string()),
+            ("subs", &workers.len().to_string()),
+        ],
+    );
+    let fanout_started = Instant::now();
     let mut tripped = 0u64;
     let mut rejecting: HashSet<&str> = HashSet::new();
     for row in &rows {
@@ -859,23 +1080,43 @@ fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
             }
         }
     }
+    shared
+        .metrics
+        .latency
+        .record_ns(LatencyOp::Fanout, fanout_started.elapsed().as_nanos() as u64);
+    shared.span_end(
+        Level::Debug,
+        "fanout",
+        fanout_span,
+        &[("rejected", &tripped.to_string())],
+    );
     ServerMetrics::add(
         &shared.metrics.rows_fed_total,
         rows.len() as u64 * workers.len() as u64,
     );
+    // First trip of each subscription is a warn-level event (durable or
+    // not); repeat rejections from an already-latched subscription are
+    // steady state and stay quiet.
+    let newly: Vec<String> = rejecting
+        .iter()
+        .filter(|id| !persist.tripped_seen.contains(**id))
+        .map(|s| s.to_string())
+        .collect();
+    for id in &newly {
+        shared.span_event(
+            Level::Warn,
+            "governor_trip",
+            &[("sub", id), ("channel", chan)],
+        );
+    }
+    let fresh_trip = !newly.is_empty();
+    persist.tripped_seen.extend(newly);
     if persist.wal.is_some() && !rows.is_empty() {
         persist.frames_since_snapshot += 1;
-        let fresh_trip = rejecting
-            .iter()
-            .any(|id| !persist.tripped_seen.contains(*id));
-        if fresh_trip {
-            let newly: Vec<String> = rejecting.iter().map(|s| s.to_string()).collect();
-            persist.tripped_seen.extend(newly);
-        }
         if fresh_trip
             || persist.frames_since_snapshot >= shared.config.checkpoint_every_frames.max(1)
         {
-            snapshot_channel_locked(shared, chan, &mut persist);
+            snapshot_channel_locked(shared, chan, &mut persist, parent);
         }
     }
     Ok(format!(
@@ -889,14 +1130,18 @@ fn feed(shared: &Shared, chan: &str, body: &str) -> Result<String, String> {
 /// truncate the WAL below the low-water mark — the minimum ordinal any
 /// snapshot still needs.  Caller holds the channel's persist lock.
 /// Best-effort: a failure leaves the WAL longer than necessary, never
-/// inconsistent.
-fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPersist) {
+/// inconsistent.  `parent` nests the snapshot span under the operation
+/// that forced it (0 for a top-level snapshot).
+fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPersist, parent: u64) {
     persist.frames_since_snapshot = 0;
     let Some(data) = shared.data.as_ref() else {
         return;
     };
+    let started = Instant::now();
+    let span = shared.span_begin(Level::Debug, "snapshot", parent, &[("channel", chan)]);
     let members: Vec<(String, Arc<SessionWorker>, u64, u64)> = {
         let Ok(subs) = shared.subs.lock() else {
+            shared.span_end(Level::Debug, "snapshot", span, &[("aborted", "poisoned")]);
             return;
         };
         subs.iter()
@@ -928,17 +1173,35 @@ fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPer
             Err(_) => hold_truncation = true,
         }
     }
-    if hold_truncation {
-        return;
-    }
-    if let Some(wal) = persist.wal.as_mut() {
-        if wal.sync().is_ok() {
-            ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
-            if let Ok(true) = wal.truncate_below(low_water) {
-                ServerMetrics::inc(&shared.metrics.wal_truncations_total);
+    let mut truncated = false;
+    if !hold_truncation {
+        if let Some(wal) = persist.wal.as_mut() {
+            if wal.sync().is_ok() {
+                ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+                if let Ok(true) = wal.truncate_below(low_water) {
+                    ServerMetrics::inc(&shared.metrics.wal_truncations_total);
+                    truncated = true;
+                }
             }
+            shared
+                .metrics
+                .latency
+                .record_ns(LatencyOp::Fsync, wal.take_fsync_ns());
         }
     }
+    shared
+        .metrics
+        .latency
+        .record_ns(LatencyOp::Snapshot, started.elapsed().as_nanos() as u64);
+    shared.span_end(
+        Level::Debug,
+        "snapshot",
+        span,
+        &[
+            ("subscriptions", &members.len().to_string()),
+            ("truncated", if truncated { "1" } else { "0" }),
+        ],
+    );
 }
 
 fn lookup(shared: &Shared, id: &str) -> Result<Arc<SessionWorker>, String> {
@@ -981,6 +1244,24 @@ fn unsubscribe(shared: &Shared, id: &str) -> Result<String, String> {
         data.remove_sub(id);
     }
     let report = sub.worker.finish().map_err(|e| worker_err(&e))?;
+    // An unsubscribe that surfaces a trip, quarantine, or error is the
+    // operator-visible outcome of a misbehaving tenant: warn.  A clean
+    // finish is routine: info.
+    let troubled = report.trip.is_some() || report.error.is_some() || report.quarantined > 0;
+    shared.span_event(
+        if troubled { Level::Warn } else { Level::Info },
+        "unsubscribe",
+        &[
+            ("sub", id),
+            ("channel", &sub.channel),
+            ("rows", &report.rows.to_string()),
+            ("quarantined", &report.quarantined.to_string()),
+            (
+                "trip",
+                report.trip.as_ref().map_or("none", |t| trip_name(t.reason)),
+            ),
+        ],
+    );
     if let Some(profile) = report.profile {
         shared.metrics.retain_profile(id, profile);
     }
@@ -1005,7 +1286,13 @@ fn unsubscribe(shared: &Shared, id: &str) -> Result<String, String> {
 }
 
 /// Minimal HTTP/1.1 shim: `GET /metrics` serves the Prometheus
-/// exposition, everything else 404s.  One request per connection.
+/// exposition, `GET /status` the live-state JSON document, everything
+/// else 404s.  One request per connection.
+///
+/// The whole response — status line, headers, body — is assembled into
+/// one buffer and sent with a single `write_all`, so a strict scraper
+/// never observes a partial header block, and `Content-Length` is
+/// always the byte length of exactly the body that follows.
 fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
@@ -1019,40 +1306,73 @@ fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         }
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("");
-    let mut writer = stream;
-    if path == "/metrics" || path.starts_with("/metrics?") {
-        let live: Vec<String> = {
-            let handles: Vec<(String, Arc<SessionWorker>)> = shared
-                .subs
-                .lock()
-                .map(|subs| {
-                    subs.iter()
-                        .map(|(id, s)| (id.clone(), Arc::clone(&s.worker)))
-                        .collect()
-                })
-                .unwrap_or_default();
-            handles
-                .iter()
-                .filter_map(|(id, worker)| worker.status().ok().map(|st| live_gauges(id, &st)))
-                .collect()
-        };
-        let body = shared.metrics.render(&live);
-        write!(
-            writer,
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )?;
+    let (status_line, content_type, body) = if path == "/metrics"
+        || path.starts_with("/metrics?")
+    {
+        let live: Vec<String> = http_sub_views(shared)
+            .iter()
+            .map(|v| live_gauges(&v.id, &v.status, v.queue_depth))
+            .collect();
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.metrics.render(&live),
+        )
+    } else if path == "/status" || path.starts_with("/status?") {
+        let subs = http_sub_views(shared);
+        let draining = shared.draining.load(Ordering::SeqCst);
+        (
+            "200 OK",
+            "application/json; charset=utf-8",
+            status_json(&shared.metrics, &subs, draining),
+        )
     } else {
-        let body = "not found: only GET /metrics is served\n";
-        write!(
-            writer,
-            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n{body}",
-            body.len()
-        )?;
-    }
+        (
+            "404 Not Found",
+            "text/plain",
+            "not found: only GET /metrics and GET /status are served\n".to_string(),
+        )
+    };
+    let mut response = String::with_capacity(body.len() + 160);
+    response.push_str("HTTP/1.1 ");
+    response.push_str(status_line);
+    response.push_str("\r\nContent-Type: ");
+    response.push_str(content_type);
+    response.push_str("\r\nContent-Length: ");
+    response.push_str(&body.len().to_string());
+    response.push_str("\r\nConnection: close\r\n\r\n");
+    response.push_str(&body);
+    let mut writer = stream;
+    writer.write_all(response.as_bytes())?;
     writer.flush()
+}
+
+/// Snapshot every live subscription's observable state for the HTTP
+/// endpoints: status (records/skips/trip), queue depth, worker phase.
+fn http_sub_views(shared: &Shared) -> Vec<SubStatusView> {
+    let handles: Vec<(String, String, Arc<SessionWorker>)> = shared
+        .subs
+        .lock()
+        .map(|subs| {
+            subs.iter()
+                .map(|(id, s)| (id.clone(), s.channel.clone(), Arc::clone(&s.worker)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut views: Vec<SubStatusView> = handles
+        .into_iter()
+        .filter_map(|(id, channel, worker)| {
+            worker.status().ok().map(|status| SubStatusView {
+                id,
+                channel,
+                status,
+                queue_depth: worker.queue_depth(),
+                phase: worker.phase_tag().phase().as_str(),
+            })
+        })
+        .collect();
+    views.sort_by(|a, b| a.id.cmp(&b.id));
+    views
 }
 
 #[cfg(test)]

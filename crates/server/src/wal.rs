@@ -283,6 +283,12 @@ pub struct ChannelWal {
     rows_total: u64,
     policy: FsyncPolicy,
     appends_since_sync: u32,
+    /// Wall nanoseconds the most recent [`sync`](ChannelWal::sync) spent
+    /// in `fsync(2)`, parked here so the server can charge fsync time to
+    /// its own latency histogram separately from append time without
+    /// changing any call-site signature.  Collected (and reset) by
+    /// [`take_fsync_ns`](ChannelWal::take_fsync_ns).
+    last_fsync_ns: u64,
 }
 
 impl ChannelWal {
@@ -303,6 +309,7 @@ impl ChannelWal {
             rows_total: 0,
             policy,
             appends_since_sync: 0,
+            last_fsync_ns: 0,
         })
     }
 
@@ -339,6 +346,7 @@ impl ChannelWal {
                 rows_total: scan.rows_total,
                 policy,
                 appends_since_sync: 0,
+                last_fsync_ns: 0,
             },
             scan,
         ))
@@ -406,9 +414,17 @@ impl ChannelWal {
                 "failpoint 'wal::fsync' injected error",
             )));
         }
+        let start = std::time::Instant::now();
         self.file.sync_all()?;
+        self.last_fsync_ns = self.last_fsync_ns.saturating_add(start.elapsed().as_nanos() as u64);
         self.appends_since_sync = 0;
         Ok(())
+    }
+
+    /// Collect (and reset) the nanoseconds spent in `fsync(2)` since the
+    /// last collection — 0 when no sync ran.
+    pub fn take_fsync_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.last_fsync_ns)
     }
 
     /// Drop every record that lies entirely below `low_water` (the

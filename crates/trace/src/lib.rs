@@ -30,14 +30,24 @@
 //!   ([`ExecutionProfile::events_jsonl`]) and Prometheus text exposition
 //!   ([`ExecutionProfile::to_prometheus`]).
 //!
-//! The crate is deliberately inert: it never reads clocks or spawns
-//! threads; the query engine decides when (and whether) to record.  When
-//! nothing is armed, none of these types are even constructed.
+//! The crate is deliberately inert: it never spawns threads, and — with
+//! one documented exception — never reads clocks; the query engine
+//! decides when (and whether) to record.  When nothing is armed, none of
+//! these types are even constructed.  The exception is [`SpanLog`], the
+//! structured span log the server arms under `--log`: wall-time
+//! attribution is its entire purpose, so it timestamps every record
+//! against a monotonic epoch.  Spans observe and never steer — query
+//! output is bit-identical whether a `SpanLog` exists or not.
 
 mod event;
 mod metrics;
 mod profile;
+mod span;
 
 pub use event::{RingBuffer, TraceEvent, TraceSink, TripCause};
 pub use metrics::{BoundedHistogram, ClusterMetrics, ClusterRecorder, HIST_BUCKETS};
-pub use profile::{json_escape, ClusterProfile, ExecutionProfile, OptimizerReport, PhaseNanos};
+pub use profile::{
+    json_escape, write_prometheus_histogram, ClusterProfile, ExecutionProfile, OptimizerReport,
+    PhaseNanos,
+};
+pub use span::{Level, LogFormat, SpanLog};

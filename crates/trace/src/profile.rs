@@ -343,6 +343,13 @@ impl ExecutionProfile {
     /// The merged event stream as JSON-lines (one event object per line,
     /// each tagged with its cluster index) — the `--trace FILE.jsonl`
     /// format.
+    ///
+    /// The stream always ends with a `{"dropped":N}` trailer summing the
+    /// events the bounded recorders discarded.  Without it a truncated
+    /// trace is indistinguishable from a complete one — silently wrong in
+    /// exactly the runs (long, busy) where tracing matters most.  Readers
+    /// treat the trailer as metadata, not an event; `sqlts trace-agg`
+    /// surfaces it in the cost tree.
     pub fn events_jsonl(&self) -> String {
         let mut out = String::new();
         for (cluster, event) in self.merged_events() {
@@ -352,6 +359,8 @@ impl ExecutionProfile {
             out.push_str(&body[1..]); // splice into the cluster-tagged object
             out.push('\n');
         }
+        let dropped: u64 = self.clusters.iter().map(|c| c.events_dropped).sum();
+        let _ = writeln!(out, "{{\"dropped\":{dropped}}}");
         out
     }
 
@@ -415,8 +424,8 @@ impl ExecutionProfile {
             ls(""),
             self.totals.governor_flushes
         );
-        write_hist_prom(&mut out, "sqlts_shift_distance", &base, &self.totals.shifts);
-        write_hist_prom(
+        write_prometheus_histogram(&mut out, "sqlts_shift_distance", &base, &self.totals.shifts);
+        write_prometheus_histogram(
             &mut out,
             "sqlts_backtrack_depth",
             &base,
@@ -473,7 +482,13 @@ fn escape_label_value(v: &str) -> String {
     out
 }
 
-fn write_hist_prom(out: &mut String, name: &str, base: &str, h: &BoundedHistogram) {
+/// Write one [`BoundedHistogram`] in Prometheus histogram exposition:
+/// a `# TYPE` line, cumulative `_bucket{le=...}` samples ending at
+/// `+Inf`, then `_sum` and `_count`.  `base` is a pre-rendered label
+/// list (may be empty) attached to every sample.  Public so the server
+/// exports its latency histograms in exactly the same shape as the
+/// query-profile histograms here.
+pub fn write_prometheus_histogram(out: &mut String, name: &str, base: &str, h: &BoundedHistogram) {
     let _ = writeln!(out, "# TYPE {name} histogram");
     let mut cumulative = 0u64;
     for (bound, count) in h.nonzero_buckets() {
@@ -565,9 +580,66 @@ mod tests {
         let p = sample_profile();
         let jsonl = p.events_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert_eq!(lines[0], r#"{"cluster":0,"ev":"advance","i":1,"j":1}"#);
         assert_eq!(lines[2], r#"{"cluster":1,"ev":"fail","i":1,"j":1}"#);
+        assert_eq!(lines[3], r#"{"dropped":0}"#, "drop trailer is always present");
+    }
+
+    #[test]
+    fn jsonl_drop_trailer_sums_cluster_drops() {
+        let mut p = sample_profile();
+        p.clusters[0].events_dropped = 7;
+        p.clusters[1].events_dropped = 5;
+        let jsonl = p.events_jsonl();
+        assert_eq!(jsonl.lines().last().unwrap(), r#"{"dropped":12}"#);
+    }
+
+    #[test]
+    fn prometheus_label_escaping_edge_cases() {
+        let p = sample_profile();
+        // Backslash and newline in a tenant id must survive as the
+        // two-character escapes the text exposition requires; a raw
+        // newline would split the sample line and corrupt the scrape.
+        let prom = p.to_prometheus_labeled(&[("tenant", "a\\b\nc\"d")]);
+        assert!(
+            prom.contains("sqlts_matches_total{tenant=\"a\\\\b\\nc\\\"d\"} 1"),
+            "bad escaping in {prom}"
+        );
+        for line in prom.lines() {
+            assert!(
+                !line.is_empty(),
+                "raw newline leaked into exposition: {prom}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profile_exports_are_well_formed() {
+        let p = ExecutionProfile::new("ops", 1);
+        let prom = p.to_prometheus();
+        assert!(prom.contains("sqlts_predicate_tests_total 0"));
+        assert!(prom.contains("sqlts_shift_distance_count 0"));
+        // Histogram blocks still end with +Inf/sum/count even when empty.
+        assert!(prom.contains("sqlts_shift_distance_bucket{le=\"+Inf\"} 0"));
+        let json = p.to_json();
+        assert_eq!(
+            json.matches(['{', '[']).count(),
+            json.matches(['}', ']']).count(),
+            "unbalanced empty-profile JSON: {json}"
+        );
+        assert_eq!(p.events_jsonl(), "{\"dropped\":0}\n");
+    }
+
+    #[test]
+    fn public_histogram_writer_matches_profile_output() {
+        let p = sample_profile();
+        let mut out = String::new();
+        write_prometheus_histogram(&mut out, "sqlts_shift_distance", "", &p.totals.shifts);
+        assert!(
+            p.to_prometheus().contains(&out),
+            "public writer diverged from the exposition:\n{out}"
+        );
     }
 
     #[test]
