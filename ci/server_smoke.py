@@ -31,6 +31,15 @@ QUERY = (
     "CLUSTER BY name SEQUENCE BY day AS (X, *Y, Z) "
     "WHERE Y.price > Y.previous.price AND Z.price < Z.previous.price"
 )
+# Eight standing queries with a common predicate prefix and a
+# member-specific tail — the shared-matcher phase subscribes all of them
+# on one channel and expects one shared pass over the feed.
+SHARED_QUERIES = [
+    "SELECT X.name, Z.day AS day FROM quote "
+    "CLUSTER BY name SEQUENCE BY day AS (X, Y, Z) "
+    f"WHERE X.price > 95 AND Y.price > 90 AND Z.price < {100 + i}"
+    for i in range(8)
+]
 SCHEMA = "name:str,day:int,price:float"
 NAMES = ["AAA", "BBB", "CCC", "DDD", "EEE"]
 DAYS = 2000  # 5 names x 2000 days = 10k tuples
@@ -116,6 +125,77 @@ def check_span_log(path):
     for name in ["accept", "dispatch", "fanout", "drain"]:
         assert name in names, f"span log never recorded {name!r}: {sorted(names)}"
     return begins
+
+
+def metric(text, name):
+    """The value of a single unlabelled metric line in an exposition."""
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return int(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"missing {name} in scrape")
+
+
+def shared_matcher_phase(bin_path, rows):
+    """8 prefix-sharing subscriptions on one channel, one shared pass.
+
+    Every subscription's result must be byte-identical to its batch run,
+    and /metrics must show cross-query sharing: tests_shared > 0 with
+    the physically evaluated total strictly below the 8-query logical
+    sum (which equals what 8 solo passes would have cost).
+    """
+    batches = [
+        subprocess.run([bin_path, "--csv", "smoke.csv", "--schema", SCHEMA, q],
+                       capture_output=True, text=True, check=True).stdout
+        for q in SHARED_QUERIES
+    ]
+    assert all(b.count("\n") > 1 for b in batches), "shared family found no matches"
+
+    server = subprocess.Popen(
+        [bin_path, "serve", "--listen", "127.0.0.1:0", "--shared-matcher", "on"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        announce = server.stdout.readline().strip()
+        assert announce.startswith("listening on "), announce
+        addr = announce.removeprefix("listening on ")
+
+        conn = Client(addr)
+        expect(conn.send(f"OPEN quote {SCHEMA}"), "OK opened quote")
+        for i, q in enumerate(SHARED_QUERIES):
+            expect(conn.send(f"SUBSCRIBE p{i} quote\n{q}"), f"OK subscribed p{i}")
+        for start in range(0, len(rows), 500):
+            chunk = rows[start:start + 500]
+            expect(conn.send("FEED quote\n" + "\n".join(chunk)),
+                   f"OK fed {len(chunk)} subs=8")
+
+        # Scrape while the subscriptions are live: the logical total is
+        # summed over live sessions, the savings over the channel registry.
+        with urllib.request.urlopen(f"http://{addr}/metrics", timeout=60) as r:
+            metrics = r.read().decode()
+        logical = metric(metrics, "sqlts_patternset_tests_logical")
+        evaluated = metric(metrics, "sqlts_patternset_tests_evaluated")
+        saved = metric(metrics, "sqlts_patternset_tests_saved")
+        shared = metric(metrics, "sqlts_patternset_tests_shared")
+        assert metric(metrics, "sqlts_patternset_queries") == 8, metrics
+        assert shared > 0, "no cross-query sharing recorded"
+        assert evaluated + saved == logical, f"{evaluated}+{saved} != {logical}"
+        assert evaluated < logical, (
+            f"shared pass saved nothing: evaluated {evaluated} of {logical}"
+        )
+
+        for i, batch in enumerate(batches):
+            body = result_body(conn.send(f"UNSUBSCRIBE p{i}"), f"p{i}", 0)
+            assert body == batch, (
+                f"p{i} diverged from batch under --shared-matcher: "
+                f"{len(body.splitlines())} vs {len(batch.splitlines())} lines"
+            )
+        conn.kill()
+        server.send_signal(signal.SIGTERM)
+        assert server.wait(timeout=60) == 0, "shared server must drain to exit 0"
+        return logical, evaluated, shared
+    finally:
+        server.kill()
+        server.wait()
 
 
 def main():
@@ -219,6 +299,11 @@ def main():
     finally:
         server.kill()
         server.wait()
+
+    logical, evaluated, shared = shared_matcher_phase(bin_path, rows)
+    print(f"shared-matcher smoke OK: 8 subscriptions byte-identical to "
+          f"batch; {evaluated} of {logical} logical tests evaluated "
+          f"({shared} answered across queries)")
 
 
 if __name__ == "__main__":

@@ -159,6 +159,14 @@ const FLAGS: &[FlagSpec] = &[
         help: "make out-of-range `previous` references an error instead of vacuously true",
     },
     FlagSpec {
+        name: "--queries",
+        metavar: Some("FILE"),
+        help: "batch pattern-set mode: run every query in FILE (one per \
+               line; '#' comments and blank lines skipped) over one shared \
+               pass, printing each result as CSV under a '-- query N' \
+               header; --stats adds the set-level sharing summary",
+    },
+    FlagSpec {
         name: "--follow",
         metavar: None,
         help: "stream CSV tuples from stdin through a push-based session \
@@ -318,6 +326,14 @@ const SERVE_FLAGS: &[FlagSpec] = &[
                (default 99)",
     },
     FlagSpec {
+        name: "--shared-matcher",
+        metavar: Some("on|off|auto"),
+        help: "share one pattern-set pass across a channel's subscriptions: \
+               aligned queries pool predicate tests through a shared memo, \
+               per-subscription results stay byte-identical; /metrics gains \
+               sqlts_patternset_* counters (default off)",
+    },
+    FlagSpec {
         name: "--help",
         metavar: None,
         help: "print this help and exit",
@@ -352,6 +368,7 @@ struct Args {
     max_steps: Option<u64>,
     max_matches: Option<u64>,
     follow: bool,
+    queries: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: u64,
     feed_limit: Option<u64>,
@@ -438,6 +455,7 @@ fn parse_args() -> Args {
         max_steps: None,
         max_matches: None,
         follow: false,
+        queries: None,
         checkpoint: None,
         checkpoint_every: 1000,
         feed_limit: None,
@@ -497,6 +515,7 @@ fn parse_args() -> Args {
             "--trace-capacity" => args.trace_capacity = numeric(value),
             "--strict-previous" => args.strict_previous = true,
             "--follow" => args.follow = true,
+            "--queries" => args.queries = Some(PathBuf::from(req(value))),
             "--checkpoint" => args.checkpoint = Some(PathBuf::from(req(value))),
             "--checkpoint-every" => args.checkpoint_every = numeric(value),
             "--feed-limit" => args.feed_limit = Some(numeric(value)),
@@ -607,7 +626,9 @@ fn run_serve() -> Result<(), CliError> {
             "--checkpoint-every-frames" => {
                 config.checkpoint_every_frames = serve_numeric::<u64>(value).max(1)
             }
-            "--log" => config.log_file = Some(PathBuf::from(value.unwrap_or_else(|| serve_usage()))),
+            "--log" => {
+                config.log_file = Some(PathBuf::from(value.unwrap_or_else(|| serve_usage())))
+            }
             "--log-format" => {
                 config.log_format = value
                     .as_deref()
@@ -626,6 +647,12 @@ fn run_serve() -> Result<(), CliError> {
                 config.sample_profile = Some(PathBuf::from(value.unwrap_or_else(|| serve_usage())))
             }
             "--sample-hz" => config.sample_hz = serve_numeric(value),
+            "--shared-matcher" => {
+                config.shared_matcher = value
+                    .as_deref()
+                    .and_then(sqlts_server::SharedMatcherMode::parse)
+                    .unwrap_or_else(|| serve_usage())
+            }
             "--help" => {
                 print!("{}", serve_help_text());
                 std::process::exit(0)
@@ -963,6 +990,82 @@ fn run_follow(
     finish_and_report(args, session)
 }
 
+/// The `--queries` driver: compile every query in the file, execute the
+/// whole set over one shared pass, and print each result as CSV under a
+/// `-- query N` header (file order).  `--stats` adds each query's legacy
+/// one-line cost summary plus the set-level sharing summary on stderr.
+/// The exit code reflects the first failing query, after every result
+/// (including governed partials) has been printed.
+fn run_query_set(
+    args: &Args,
+    path: &Path,
+    table: &Table,
+    exec: ExecOptions,
+) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("{}: {e}", path.display())))?;
+    let sources: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if sources.is_empty() {
+        return Err(CliError::Input(format!(
+            "{}: no queries (one per line; '#' starts a comment)",
+            path.display()
+        )));
+    }
+    let mut compiled = Vec::with_capacity(sources.len());
+    for (i, src) in sources.iter().enumerate() {
+        let query = compile(src, table.schema(), &exec.compile)
+            .map_err(|e| CliError::Input(format!("query {i}: {}", e.render(src))))?;
+        compiled.push(query);
+    }
+    if args.explain {
+        for (i, query) in compiled.iter().enumerate() {
+            eprintln!("-- query {i}");
+            eprintln!("{}", explain(query));
+        }
+    }
+    let set = sqlts_core::execute_set(&compiled, table, &exec);
+    let mut failure: Option<CliError> = None;
+    for (i, result) in set.results.iter().enumerate() {
+        println!("-- query {i}");
+        match result {
+            Ok(result) => {
+                print!("{}", result.table.to_csv_string());
+                if args.stats {
+                    eprintln!("query {i}: {}", result.stats);
+                }
+            }
+            Err(ExecError::Governed { trip, partial }) => {
+                print!("{}", partial.table.to_csv_string());
+                if args.stats {
+                    eprintln!("query {i}: {}", partial.stats);
+                }
+                if failure.is_none() {
+                    failure = Some(CliError::Runtime(format!(
+                        "query {i} terminated by resource governor: {trip} \
+                         (partial result printed)"
+                    )));
+                }
+            }
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(CliError::Input(format!("query {i}: {e}")));
+                }
+            }
+        }
+    }
+    if args.stats {
+        eprint!("{}", set.stats.to_text());
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 fn run() -> Result<(), CliError> {
     if std::env::args().nth(1).as_deref() == Some("serve") {
         return run_serve();
@@ -971,7 +1074,10 @@ fn run() -> Result<(), CliError> {
         std::process::exit(trace_agg::run_trace_agg().into());
     }
     let args = parse_args();
-    let query_src = args.query.clone().unwrap_or_else(|| usage());
+    // `--queries` replaces the positional QUERY and is a batch-only mode.
+    if args.queries.is_some() && (args.query.is_some() || args.follow) {
+        usage();
+    }
 
     // Batch modes materialize the whole table up front; `--follow` only
     // needs the schema (tuples arrive on stdin).
@@ -997,13 +1103,6 @@ fn run() -> Result<(), CliError> {
     };
 
     let compile_opts = CompileOptions::default();
-    let compiled = compile(&query_src, &schema, &compile_opts)
-        .map_err(|e| CliError::Input(e.render(&query_src)))?;
-
-    if args.explain {
-        eprintln!("{}", explain(&compiled));
-    }
-
     let exec = ExecOptions {
         engine: args.engine,
         policy: if args.strict_previous {
@@ -1017,6 +1116,23 @@ fn run() -> Result<(), CliError> {
         governor: build_governor(&args),
         instrument: build_instrument(&args),
     };
+
+    if let Some(path) = &args.queries {
+        let Some(table) = table else {
+            return Err(CliError::Input(
+                "internal: --queries reached without an input table".into(),
+            ));
+        };
+        return run_query_set(&args, path, &table, exec);
+    }
+
+    let query_src = args.query.clone().unwrap_or_else(|| usage());
+    let compiled = compile(&query_src, &schema, &exec.compile)
+        .map_err(|e| CliError::Input(e.render(&query_src)))?;
+
+    if args.explain {
+        eprintln!("{}", explain(&compiled));
+    }
 
     if args.follow {
         return run_follow(&args, &compiled, exec);

@@ -33,9 +33,7 @@ use std::path::PathBuf;
 type Record = Vec<(String, String)>;
 
 fn get<'a>(rec: &'a Record, key: &str) -> Option<&'a str> {
-    rec.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
+    rec.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
 /// Parse one flat JSON object (`{"k":"v","n":12}`).  Both input dialects
@@ -180,7 +178,11 @@ impl CostTree {
             );
         }
         if self.skipped_lines > 0 {
-            let _ = writeln!(out, "  ({} unparseable line(s) skipped)", self.skipped_lines);
+            let _ = writeln!(
+                out,
+                "  ({} unparseable line(s) skipped)",
+                self.skipped_lines
+            );
         }
         // Children of each path, sorted by count desc then name — counts
         // are deterministic for a given input, so so is the report.
@@ -581,7 +583,10 @@ mod tests {
         .to_collapsed();
         assert!(!collapsed.contains("\nquery "), "{collapsed}");
         assert!(!collapsed.starts_with("query "), "{collapsed}");
-        assert!(collapsed.contains("query;cluster:0;advance 1\n"), "{collapsed}");
+        assert!(
+            collapsed.contains("query;cluster:0;advance 1\n"),
+            "{collapsed}"
+        );
         let total: u64 = collapsed
             .lines()
             .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
@@ -591,7 +596,8 @@ mod tests {
 
     #[test]
     fn garbage_lines_are_counted_not_fatal() {
-        let tree = aggregate("not json at all\n{\"cluster\":0,\"ev\":\"shift\",\"j\":1,\"dist\":2}\n");
+        let tree =
+            aggregate("not json at all\n{\"cluster\":0,\"ev\":\"shift\",\"j\":1,\"dist\":2}\n");
         assert_eq!(tree.skipped_lines, 1);
         assert_eq!(tree.nodes["query;cluster:0;shift"].count, 1);
     }

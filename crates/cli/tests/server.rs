@@ -349,7 +349,8 @@ fn http_scrape_survives_split_writes_and_frames_content_length_exactly() {
 
     for path in ["/metrics", "/status"] {
         let mut http = TcpStream::connect(&server.addr).unwrap();
-        http.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        http.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
         // One byte at a time, with pauses inside the "GET " probe window.
         let request = format!("{path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
         for byte in b"GET " {
@@ -387,8 +388,13 @@ fn status_endpoint_reports_live_subscriptions_as_json() {
     client.send("FEED quote\nAAA,1,100.0\nAAA,2,98.5");
 
     let mut http = TcpStream::connect(&server.addr).unwrap();
-    http.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
-    write!(http, "GET /status HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    http.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        http,
+        "GET /status HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
     let mut raw = Vec::new();
     http.read_to_end(&mut raw).unwrap();
     let (status, headers, body) = parse_http(&raw);
@@ -483,7 +489,13 @@ fn armed_observability_run_is_byte_identical_and_artifacts_are_well_formed() {
     }
     assert!(begins > 0, "expected spans in:\n{text}");
     assert_eq!(begins, ends, "unbalanced spans in:\n{text}");
-    for name in ["\"name\":\"dispatch\"", "\"name\":\"wal_append\"", "\"name\":\"fanout\"", "\"name\":\"accept\"", "\"name\":\"drain\""] {
+    for name in [
+        "\"name\":\"dispatch\"",
+        "\"name\":\"wal_append\"",
+        "\"name\":\"fanout\"",
+        "\"name\":\"accept\"",
+        "\"name\":\"drain\"",
+    ] {
         // wal_append only appears with --data-dir; skip it here.
         if name.contains("wal_append") {
             continue;

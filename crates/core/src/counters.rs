@@ -1,6 +1,7 @@
 //! Instrumentation: the paper's cost metric and Figure-5 search traces.
 
 use crate::governor::GovernorScope;
+use crate::patternset::SharedEvalHandle;
 use sqlts_trace::{ClusterRecorder, TraceEvent, TraceSink};
 use std::cell::{Cell, RefCell};
 
@@ -40,6 +41,11 @@ pub struct EvalCounter {
     /// The armed trace/metrics recorder, if any.  Boxed so the unarmed
     /// counter stays small; `RefCell` because engines only hold `&self`.
     recorder: Option<Box<RefCell<ClusterRecorder>>>,
+    /// The shared pattern-set memo, if this cluster run is part of a
+    /// shared group (`execute_set` / `SetRegistry`).  Consulted between
+    /// `bump()` and conjunct evaluation; a single predictable branch on a
+    /// `None` for solo runs, same idiom as the recorder.
+    shared: Option<Box<SharedEvalHandle>>,
 }
 
 impl EvalCounter {
@@ -97,6 +103,33 @@ impl EvalCounter {
             } else {
                 TraceEvent::Fail { i, j }
             });
+        }
+    }
+
+    /// Install a shared pattern-set memo handle.  The counter's own
+    /// accounting is untouched — `bump()` still fires for every logical
+    /// test — but `test_element` may answer from the memo instead of
+    /// evaluating.
+    pub(crate) fn with_shared(mut self, handle: SharedEvalHandle) -> EvalCounter {
+        self.shared = Some(Box::new(handle));
+        self
+    }
+
+    /// Look up element `elem0` (0-based) at position `pos` in the shared
+    /// memo.  `None` when no memo is installed, the element is not
+    /// classed, or the value has not been established yet.
+    #[inline]
+    pub(crate) fn shared_probe(&self, elem0: usize, pos: usize) -> Option<bool> {
+        self.shared.as_ref()?.probe(elem0, pos)
+    }
+
+    /// Publish an evaluated element outcome to the shared memo (no-op
+    /// without one).  `avail` is the cluster length at evaluation time —
+    /// the interior gate for lattice-derived entries.
+    #[inline]
+    pub(crate) fn shared_store(&self, elem0: usize, pos: usize, avail: usize, ok: bool) {
+        if let Some(handle) = &self.shared {
+            handle.store(elem0, pos, avail, ok);
         }
     }
 

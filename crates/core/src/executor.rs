@@ -391,6 +391,7 @@ pub fn execute(
                     &search_options,
                     run.as_ref(),
                     options.instrument,
+                    None,
                 )
             })
             .collect()
@@ -480,19 +481,19 @@ pub fn execute(
 
 /// What one cluster's search produced: projected rows in match order plus
 /// the per-cluster slices of the execution stats.
-struct ClusterOutcome {
-    tuples: u64,
-    predicate_tests: u64,
-    rows: Vec<Vec<Value>>,
+pub(crate) struct ClusterOutcome {
+    pub(crate) tuples: u64,
+    pub(crate) predicate_tests: u64,
+    pub(crate) rows: Vec<Vec<Value>>,
     /// The armed trace/metrics recorder, handed back for the cluster-order
     /// profile merge (`None` when instrumentation was off).  Boxed so the
     /// common unarmed outcome stays small.
-    recorder: Option<Box<ClusterRecorder>>,
+    pub(crate) recorder: Option<Box<ClusterRecorder>>,
 }
 
 /// Render a cluster's key values for diagnostics and profiles (empty when
 /// the query has no `CLUSTER BY`).
-fn cluster_key(cluster: &Cluster<'_>) -> String {
+pub(crate) fn cluster_key(cluster: &Cluster<'_>) -> String {
     cluster
         .key()
         .iter()
@@ -502,7 +503,7 @@ fn cluster_key(cluster: &Cluster<'_>) -> String {
 }
 
 /// How one cluster's unit of work ended.
-enum ClusterRun {
+pub(crate) enum ClusterRun {
     /// Scanned to completion (possibly cut short by a governor trip — the
     /// rows are then a prefix of the ungoverned output).
     Done(ClusterOutcome),
@@ -535,7 +536,7 @@ pub(crate) fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
 /// produce their matches; the failure is reported structurally via
 /// [`QueryResult::partial`] instead of tearing down the whole query.
 #[allow(clippy::too_many_arguments)]
-fn run_cluster_guarded(
+pub(crate) fn run_cluster_guarded(
     query: &CompiledQuery,
     cluster: &Cluster<'_>,
     idx: usize,
@@ -545,6 +546,7 @@ fn run_cluster_guarded(
     search_options: &SearchOptions,
     run: Option<&Arc<RunGovernor>>,
     instrument: Instrument,
+    shared: Option<crate::patternset::SharedEvalHandle>,
 ) -> ClusterRun {
     if let Some(run) = run {
         if run.is_tripped() {
@@ -562,6 +564,7 @@ fn run_cluster_guarded(
             search_options,
             run,
             instrument,
+            shared,
         )
     })) {
         Ok(outcome) => ClusterRun::Done(outcome),
@@ -589,6 +592,7 @@ fn run_cluster(
     search_options: &SearchOptions,
     run: Option<&Arc<RunGovernor>>,
     instrument: Instrument,
+    shared: Option<crate::patternset::SharedEvalHandle>,
 ) -> ClusterOutcome {
     #[cfg(feature = "failpoints")]
     sqlts_relation::failpoints::hit("executor::cluster", idx as u64);
@@ -603,6 +607,9 @@ fn run_cluster(
             query.elements.len(),
             instrument.capacity(),
         ));
+    }
+    if let Some(handle) = shared {
+        counter = counter.with_shared(handle);
     }
     let matches = match (search_plan, engine, direction) {
         (_, _, Direction::Reverse) => find_matches_directed(
@@ -691,6 +698,7 @@ fn run_clusters_parallel(
                     search_options,
                     run,
                     instrument,
+                    None,
                 );
                 *slots[idx].lock().expect("slot lock") = Some(outcome);
             });

@@ -56,8 +56,10 @@ pub mod governor;
 pub mod kmp;
 pub mod matrices;
 pub mod multiplex;
+pub mod patternset;
 pub mod persist;
 pub mod reverse;
+pub mod setstream;
 pub mod shift_next;
 pub mod stargraph;
 pub mod stream;
@@ -81,10 +83,12 @@ pub use explain::{explain, optimizer_report};
 pub use governor::{CancellationToken, Governor, Trip, TripReason};
 pub use matrices::{PrecondMatrices, Predicates};
 pub use multiplex::{
-    FinishReport, PhaseTag, SessionStatus, SessionWorker, SessionWorkerConfig, WorkerError,
-    WorkerPhase,
+    FinishReport, PhaseTag, SessionStatus, SessionWorker, SessionWorkerConfig, SharedSpec,
+    WorkerError, WorkerPhase,
 };
+pub use patternset::{execute_set, SetRegistry, SetResult, SharedJoin, SharedMatcher};
 pub use persist::atomic_write;
+pub use setstream::{SetFeedError, SharedStreamSession};
 pub use shift_next::ShiftNext;
 pub use stargraph::star_shift_next;
 pub use stream::{
@@ -97,4 +101,4 @@ pub use sqlts_lang::{compile, CompileOptions, CompiledQuery, FirstTuplePolicy};
 /// Re-export of the instrumentation crate: profiles, metrics registries,
 /// trace events and their exporters.
 pub use sqlts_trace as trace;
-pub use sqlts_trace::{ExecutionProfile, TraceEvent};
+pub use sqlts_trace::{ExecutionProfile, PatternSetStats, TraceEvent};

@@ -208,10 +208,21 @@ pub(crate) fn test_element(
     counter: &EvalCounter,
 ) -> bool {
     counter.bump();
+    // Shared pattern-set memo: the test is still charged (bump above),
+    // but a cached outcome — evaluated by another member of the shared
+    // group or derived through the implication lattice — short-circuits
+    // the conjunct walk.  Purely-local classes are pure in
+    // (class, cluster, pos, policy), so the cached value is exactly what
+    // evaluation would produce; solo runs pay one branch on a `None`.
+    if let Some(cached) = counter.shared_probe(j - 1, pos) {
+        counter.record_test(pos + 1, j, cached);
+        return cached;
+    }
     let ok = pattern.elements()[j - 1]
         .conjuncts
         .iter()
         .all(|c| sqlts_lang::eval_conjunct(c, ctx, pos, bindings));
+    counter.shared_store(j - 1, pos, ctx.cluster.len(), ok);
     // Advance/Fail tracing rides on the same call so every engine emits
     // the identical event per (input element, pattern element) pair.
     counter.record_test(pos + 1, j, ok);

@@ -29,6 +29,7 @@
 //! exit-code scheme (3 input, 4 runtime/governed, 5 quarantine) so
 //! transports can surface one consistent status vocabulary.
 
+use crate::patternset::SetRegistry;
 use crate::stream::{SessionCheckpoint, StreamError, StreamOptions, StreamSession};
 use crate::{compile, Trip};
 use sqlts_relation::Schema;
@@ -64,6 +65,23 @@ pub struct SessionWorkerConfig {
     /// session.  On resume the checkpoint's engine overrides
     /// `stream.exec.engine` so continuation is bit-identical.
     pub resume_from: Option<String>,
+    /// Shared pattern-set membership: when set, the worker joins the
+    /// channel's [`SetRegistry`] after compiling, so its session shares
+    /// predicate tests with every other subscription in the same group.
+    /// `None` (the default) runs exactly as before.
+    pub shared: Option<SharedSpec>,
+}
+
+/// How a worker joins a channel-level shared pattern-set registry.
+#[derive(Clone, Debug)]
+pub struct SharedSpec {
+    /// The channel's registry of standing queries.
+    pub registry: Arc<SetRegistry>,
+    /// The feed position this subscription's cluster positions are
+    /// counted from: `0` for a subscription created before any feed, the
+    /// checkpointed record count for a resumed one.  Groups are keyed by
+    /// origin, so misaligned members never share a memo entry.
+    pub origin: u64,
 }
 
 impl SessionWorkerConfig {
@@ -78,6 +96,7 @@ impl SessionWorkerConfig {
             queue_depth: 16,
             poll_interval: Duration::from_millis(50),
             resume_from: None,
+            shared: None,
         }
     }
 }
@@ -152,6 +171,9 @@ pub struct SessionStatus {
     pub quarantined: usize,
     /// Estimated bytes buffered across cluster windows.
     pub window_bytes: usize,
+    /// Logical predicate tests performed so far (memo hits under shared
+    /// pattern-set execution are charged as if evaluated locally).
+    pub predicate_tests: u64,
     /// The latched governor trip, if the session has tripped.
     pub trip: Option<Trip>,
     /// Has a contained panic poisoned the session?
@@ -423,6 +445,15 @@ fn worker_main(
             return;
         }
     };
+    if let Some(shared) = &config.shared {
+        if let Some(join) =
+            shared
+                .registry
+                .join(shared.origin, &compiled, config.stream.exec.policy)
+        {
+            session.install_shared(join);
+        }
+    }
     tag.set_records(session.records());
     tag.set(WorkerPhase::Idle);
     if ready.send(Ok(())).is_err() {
@@ -479,6 +510,7 @@ fn status_of(session: &StreamSession<'_>) -> SessionStatus {
         skipped: session.skipped(),
         quarantined: session.quarantine().len(),
         window_bytes: session.window_bytes(),
+        predicate_tests: session.predicate_tests(),
         trip: session.trip().cloned(),
         poisoned: session.poisoned(),
     }

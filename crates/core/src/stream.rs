@@ -63,6 +63,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How many feeds between shared-memo prunes (soft state, so the exact
+/// cadence only trades memory for lock traffic).
+const SHARED_PRUNE_INTERVAL: u32 = 256;
+
 /// What to do with a tuple that cannot be accepted (schema violation,
 /// out-of-order `SEQUENCE BY` key, or an injected ingest fault).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -322,6 +326,11 @@ pub struct StreamSession<'q> {
     poisoned: Option<String>,
     trip: Option<Trip>,
     plan_ns: u64,
+    /// Shared pattern-set membership (server `--shared-matcher`,
+    /// `SharedStreamSession`): hands each cluster's counter a memo handle.
+    shared: Option<crate::patternset::SharedJoin>,
+    /// Feeds since the shared memo was last pruned to the window bases.
+    feeds_since_prune: u32,
 }
 
 impl<'q> StreamSession<'q> {
@@ -371,7 +380,23 @@ impl<'q> StreamSession<'q> {
             poisoned: None,
             trip: None,
             plan_ns,
+            shared: None,
+            feeds_since_prune: 0,
         })
+    }
+
+    /// Attach this session to a shared pattern-set group.  Existing
+    /// cluster counters (a resumed session's) are retrofitted with memo
+    /// handles; clusters created later pick theirs up at birth.  The memo
+    /// is soft state — it only short-circuits evaluations whose cached
+    /// value is provably identical — so attaching (or not) never changes
+    /// this session's output, stats or governor accounting.
+    pub(crate) fn install_shared(&mut self, join: crate::patternset::SharedJoin) {
+        for (key, cs) in self.clusters.iter_mut() {
+            let counter = std::mem::take(&mut cs.counter);
+            cs.counter = counter.with_shared(join.handle_for(key));
+        }
+        self.shared = Some(join);
     }
 
     /// Input records seen so far (accepted + rejected).
@@ -392,6 +417,13 @@ impl<'q> StreamSession<'q> {
     /// Estimated bytes currently buffered across all cluster windows.
     pub fn window_bytes(&self) -> usize {
         self.window_bytes
+    }
+
+    /// Predicate tests performed so far, summed over live clusters.  Under
+    /// shared pattern-set execution this is the *logical* count: memo hits
+    /// are charged exactly as if this session had evaluated them itself.
+    pub fn predicate_tests(&self) -> u64 {
+        self.clusters.values().map(|cs| cs.counter.total()).sum()
     }
 
     /// The quarantined tuples, in rejection order.
@@ -419,7 +451,7 @@ impl<'q> StreamSession<'q> {
         self.poisoned.is_some()
     }
 
-    fn new_cluster(&self) -> ClusterStream {
+    fn new_cluster(&self, key: &[Value]) -> ClusterStream {
         let mut counter = match &self.run {
             Some(run) => EvalCounter::governed(run.scope()),
             None => EvalCounter::new(),
@@ -429,6 +461,9 @@ impl<'q> StreamSession<'q> {
                 self.query.elements.len(),
                 self.options.exec.instrument.capacity(),
             ));
+        }
+        if let Some(shared) = &self.shared {
+            counter = counter.with_shared(shared.handle_for(key));
         }
         ClusterStream {
             buf: Table::new(self.query.schema.clone()),
@@ -552,7 +587,7 @@ impl<'q> StreamSession<'q> {
             });
         }
         if !self.clusters.contains_key(&key) {
-            let fresh = self.new_cluster();
+            let fresh = self.new_cluster(&key);
             self.clusters.insert(key.clone(), fresh);
         }
         let bytes = row_bytes(&row);
@@ -598,6 +633,20 @@ impl<'q> StreamSession<'q> {
         if let Some(cap) = self.options.max_window_bytes {
             if self.window_bytes > cap {
                 self.relieve_pressure();
+            }
+        }
+        // Periodically drop shared-memo entries the compacted windows can
+        // no longer probe.  Soft state: over-pruning (another member's
+        // window may lag behind this one's base) only costs cache misses.
+        if self.shared.is_some() {
+            self.feeds_since_prune += 1;
+            if self.feeds_since_prune >= SHARED_PRUNE_INTERVAL {
+                self.feeds_since_prune = 0;
+                if let Some(shared) = &self.shared {
+                    for (key, cs) in &self.clusters {
+                        shared.prune_below(key, cs.base as u64);
+                    }
+                }
             }
         }
         Ok(())

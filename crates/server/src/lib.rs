@@ -41,7 +41,7 @@ pub use frame::{read_frame, read_frame_timed, write_frame, FrameEvent, FrameFata
 pub use metrics::{status_json, LatencyHistograms, LatencyOp, ServerMetrics, SubStatusView};
 pub use profiler::SamplingProfiler;
 pub use recover::{DataDir, ServeError, SubMeta};
-pub use server::{RecoveryReport, Server, ServerConfig};
+pub use server::{RecoveryReport, Server, ServerConfig, SharedMatcherMode};
 // Re-exported so embedders configuring `ServerConfig::log_level` /
 // `log_format` need not depend on the trace crate directly.
 pub use sqlts_trace::{Level, LogFormat, SpanLog};

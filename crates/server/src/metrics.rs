@@ -430,14 +430,29 @@ mod tests {
         metrics.latency.record_ns(LatencyOp::WalAppend, 9_000);
         metrics.latency.record_ns(LatencyOp::Fsync, 1_500_000);
         let out = metrics.render(&[]);
-        assert!(out.contains("# TYPE sqlts_server_wal_append_micros histogram"), "{out}");
-        assert!(out.contains("sqlts_server_wal_append_micros_count 2"), "{out}");
-        assert!(out.contains("sqlts_server_wal_append_micros_sum 12"), "{out}");
+        assert!(
+            out.contains("# TYPE sqlts_server_wal_append_micros histogram"),
+            "{out}"
+        );
+        assert!(
+            out.contains("sqlts_server_wal_append_micros_count 2"),
+            "{out}"
+        );
+        assert!(
+            out.contains("sqlts_server_wal_append_micros_sum 12"),
+            "{out}"
+        );
         assert!(out.contains("sqlts_server_fsync_micros_count 1"), "{out}");
         // Unrecorded ops still render complete (empty) histogram blocks.
-        assert!(out.contains("sqlts_server_fanout_micros_bucket{le=\"+Inf\"} 0"), "{out}");
+        assert!(
+            out.contains("sqlts_server_fanout_micros_bucket{le=\"+Inf\"} 0"),
+            "{out}"
+        );
         let status = status_json(&metrics, &[], false);
-        assert!(status.contains("\"wal_append_micros\":{\"count\":2,\"sum\":12,\"max\":9}"), "{status}");
+        assert!(
+            status.contains("\"wal_append_micros\":{\"count\":2,\"sum\":12,\"max\":9}"),
+            "{status}"
+        );
         assert!(status.contains("\"draining\":false"), "{status}");
     }
 
@@ -448,6 +463,7 @@ mod tests {
             skipped: 0,
             quarantined: 0,
             window_bytes: 0,
+            predicate_tests: 0,
             trip: None,
             poisoned: false,
         };
@@ -456,7 +472,10 @@ mod tests {
             block.contains("sqlts_sub_records{tenant=\"a\\\"b\\\\c\\nd\"} 1"),
             "{block}"
         );
-        assert!(block.contains("sqlts_sub_queue_depth{tenant=\"a\\\"b\\\\c\\nd\"} 3"), "{block}");
+        assert!(
+            block.contains("sqlts_sub_queue_depth{tenant=\"a\\\"b\\\\c\\nd\"} 3"),
+            "{block}"
+        );
         for line in block.lines() {
             assert!(!line.is_empty(), "raw newline split a sample line: {block}");
         }
@@ -474,6 +493,7 @@ mod tests {
                 skipped: 2,
                 quarantined: 1,
                 window_bytes: 512,
+                predicate_tests: 0,
                 trip: None,
                 poisoned: false,
             },

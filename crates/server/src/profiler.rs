@@ -24,7 +24,7 @@
 
 use sqlts_core::atomic_write;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,9 +63,7 @@ impl SamplingProfiler {
     /// the thread exited cleanly.
     pub fn stop(mut self) -> bool {
         self.stop.store(true, Ordering::SeqCst);
-        self.join
-            .take()
-            .is_some_and(|join| join.join().is_ok())
+        self.join.take().is_some_and(|join| join.join().is_ok())
     }
 }
 
@@ -78,7 +76,7 @@ impl Drop for SamplingProfiler {
     }
 }
 
-fn run<F>(path: &PathBuf, sample_hz: u32, sample: &F, stop: &AtomicBool)
+fn run<F>(path: &Path, sample_hz: u32, sample: &F, stop: &AtomicBool)
 where
     F: Fn(&mut Vec<(String, &'static str)>),
 {
@@ -112,7 +110,7 @@ where
 
 /// Rewrite the collapsed-stack file atomically, stacks sorted so the
 /// output is deterministic for a given sample multiset.
-fn flush(path: &PathBuf, counts: &HashMap<String, u64>) {
+fn flush(path: &Path, counts: &HashMap<String, u64>) {
     let mut stacks: Vec<(&String, &u64)> = counts.iter().collect();
     stacks.sort();
     let mut out = String::with_capacity(stacks.len() * 32);
@@ -151,7 +149,10 @@ mod tests {
         for line in text.lines() {
             let (stack, count) = line.rsplit_once(' ').expect("stack SP count");
             assert!(stack.starts_with("serve;"), "{line}");
-            assert!(!stack.contains(' '), "frames must not contain spaces: {line}");
+            assert!(
+                !stack.contains(' '),
+                "frames must not contain spaces: {line}"
+            );
             let n: u64 = count.parse().expect("count parses");
             assert!(n > 0);
             if stack == "serve;s1;feed" {
@@ -175,9 +176,6 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         assert!(profiler.stop());
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(
-            text.lines().any(|l| l.starts_with("serve;idle ")),
-            "{text}"
-        );
+        assert!(text.lines().any(|l| l.starts_with("serve;idle ")), "{text}");
     }
 }

@@ -69,10 +69,11 @@ use crate::profiler::SamplingProfiler;
 use crate::recover::{replay_channel, DataDir, ReplaySub, ServeError, SubMeta};
 use crate::wal::{ChannelWal, FsyncPolicy, WalFrame};
 use sqlts_core::{
-    EngineKind, Governor, Instrument, SessionWorker, SessionWorkerConfig, TripReason, WorkerError,
+    EngineKind, Governor, Instrument, SessionCheckpoint, SessionWorker, SessionWorkerConfig,
+    SetRegistry, SharedSpec, TripReason, WorkerError,
 };
 use sqlts_relation::{parse_headerless_row, ColumnType, Schema};
-use sqlts_trace::{Level, LogFormat, SpanLog};
+use sqlts_trace::{Level, LogFormat, PatternSetStats, SpanLog};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -80,6 +81,37 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Whether subscriptions on a channel share one pattern-set pass
+/// (`--shared-matcher`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SharedMatcherMode {
+    /// Every subscription runs its own matcher — prior releases' behaviour.
+    #[default]
+    Off,
+    /// Subscriptions join their channel's shared pattern-set registry;
+    /// queries with no shareable element still fall back to a solo pass.
+    On,
+    /// Same as `On` today: the registry already declines per query when
+    /// nothing is shareable, which is the only fallback rule defined.
+    Auto,
+}
+
+impl SharedMatcherMode {
+    /// Parse a `--shared-matcher` flag value.
+    pub fn parse(value: &str) -> Option<SharedMatcherMode> {
+        match value {
+            "off" => Some(SharedMatcherMode::Off),
+            "on" => Some(SharedMatcherMode::On),
+            "auto" => Some(SharedMatcherMode::Auto),
+            _ => None,
+        }
+    }
+
+    fn enabled(self) -> bool {
+        self != SharedMatcherMode::Off
+    }
+}
 
 /// Everything the server needs to stand up.
 #[derive(Clone, Debug)]
@@ -127,6 +159,9 @@ pub struct ServerConfig {
     pub sample_profile: Option<PathBuf>,
     /// Profiler sample rate (`--sample-hz`, clamped to 1..=1000).
     pub sample_hz: u32,
+    /// Shared pattern-set execution across a channel's subscriptions
+    /// (`--shared-matcher on|off|auto`).
+    pub shared_matcher: SharedMatcherMode,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +185,7 @@ impl Default for ServerConfig {
             slow_frame_ms: None,
             sample_profile: None,
             sample_hz: 99,
+            shared_matcher: SharedMatcherMode::Off,
         }
     }
 }
@@ -186,6 +222,10 @@ struct ChannelPersist {
 struct Channel {
     schema: Schema,
     persist: Arc<Mutex<ChannelPersist>>,
+    /// The channel's shared pattern-set registry.  Always present (it is
+    /// an empty `Vec` behind a mutex until someone joins); subscriptions
+    /// only join it when [`ServerConfig::shared_matcher`] says so.
+    registry: Arc<SetRegistry>,
 }
 
 impl Channel {
@@ -198,6 +238,7 @@ impl Channel {
                 frames_since_snapshot: 0,
                 tripped_seen: HashSet::new(),
             })),
+            registry: Arc::new(SetRegistry::new()),
         }
     }
 }
@@ -290,8 +331,13 @@ impl Server {
             .log_file
             .as_ref()
             .map(|path| {
-                SpanLog::open(path, config.log_level, config.log_format, config.log_rotate_bytes)
-                    .map_err(|e| ServeError::Usage(format!("open log {}: {e}", path.display())))
+                SpanLog::open(
+                    path,
+                    config.log_level,
+                    config.log_format,
+                    config.log_rotate_bytes,
+                )
+                .map_err(|e| ServeError::Usage(format!("open log {}: {e}", path.display())))
             })
             .transpose()?;
         let retain = config.retain_profiles;
@@ -451,7 +497,12 @@ impl Server {
         if let Some(data) = shared.data.as_ref() {
             data.release();
         }
-        shared.span_end(Level::Warn, "drain", span, &[("connections_parted", &parted.to_string())]);
+        shared.span_end(
+            Level::Warn,
+            "drain",
+            span,
+            &[("connections_parted", &parted.to_string())],
+        );
         if let Some(log) = &shared.log {
             log.flush();
         }
@@ -493,6 +544,7 @@ fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
                     frames_since_snapshot: 0,
                     tripped_seen: HashSet::new(),
                 })),
+                registry: Arc::new(SetRegistry::new()),
             };
             channels.insert(name, channel);
             report.channels += 1;
@@ -503,12 +555,14 @@ fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
     // join-time base plus the records its checkpoint gained since.
     let mut resume_at: HashMap<String, u64> = HashMap::new();
     for (id, meta, checkpoint) in data.load_subs()? {
-        let schema = {
+        let (schema, registry) = {
             let channels = shared
                 .channels
                 .lock()
                 .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
-            channels.get(&meta.channel).map(|c| c.schema.clone())
+            channels
+                .get(&meta.channel)
+                .map(|c| (c.schema.clone(), Arc::clone(&c.registry)))
         }
         .ok_or_else(|| {
             ServeError::Input(format!(
@@ -523,6 +577,18 @@ fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
         config.stream.exec.governor = shared.config.governor.clone();
         config.stream.exec.instrument = Instrument::profiling();
         config.resume_from = Some(checkpoint);
+        if shared.config.shared_matcher.enabled() {
+            // The alignment key: the channel row ordinal the session's
+            // record 0 maps to.  It is invariant across checkpoints, so a
+            // recovered subscription shares with exactly the peers it
+            // could have shared with before the crash.
+            if let Some(origin) = meta.base_rows.checked_sub(meta.base_records) {
+                config.shared = Some(SharedSpec {
+                    registry: Arc::clone(&registry),
+                    origin,
+                });
+            }
+        }
         let worker = SessionWorker::spawn(config).map_err(|e| recover_worker_err(&id, &e))?;
         let (_, records) = worker
             .snapshot_with_records()
@@ -656,7 +722,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) -> io::Resul
                 // Fewer than 4 bytes buffered yet; a legitimate client's
                 // first frame or request line is longer, so wait briefly
                 // for the rest instead of busy-spinning on peek.
-                if &probe[..n] != &b"GET "[..n] {
+                if probe[..n] != b"GET "[..n] {
                     break;
                 }
                 std::thread::sleep(Duration::from_millis(1));
@@ -669,21 +735,21 @@ fn handle_connection(shared: &Shared, stream: TcpStream, conn: u64) -> io::Resul
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let (event, decode_ns) =
-            match read_frame_timed(&mut reader, shared.config.max_frame_bytes) {
-                Ok(timed) => timed,
-                Err(FrameFatal::Desync(why)) => {
-                    ServerMetrics::inc(&shared.metrics.errors_total);
-                    shared.span_event(
-                        Level::Warn,
-                        "frame_desync",
-                        &[("conn", &conn.to_string()), ("why", &why)],
-                    );
-                    let _ = write_frame(&mut writer, &format!("ERR 2 frame desync: {why}"));
-                    return Ok(());
-                }
-                Err(FrameFatal::Io(e)) => return Err(e),
-            };
+        let (event, decode_ns) = match read_frame_timed(&mut reader, shared.config.max_frame_bytes)
+        {
+            Ok(timed) => timed,
+            Err(FrameFatal::Desync(why)) => {
+                ServerMetrics::inc(&shared.metrics.errors_total);
+                shared.span_event(
+                    Level::Warn,
+                    "frame_desync",
+                    &[("conn", &conn.to_string()), ("why", &why)],
+                );
+                let _ = write_frame(&mut writer, &format!("ERR 2 frame desync: {why}"));
+                return Ok(());
+            }
+            Err(FrameFatal::Io(e)) => return Err(e),
+        };
         if !matches!(event, FrameEvent::Eof) {
             shared
                 .metrics
@@ -910,14 +976,34 @@ fn subscribe(
     config.stream.exec.instrument = Instrument::profiling();
     let resumed = resume_from.is_some();
     config.resume_from = resume_from;
-    let worker = Arc::new(SessionWorker::spawn(config).map_err(|e| worker_err(&e))?);
-    // Hold the channel's persist lock across base-ordinal read, registry
-    // insert and durable-file writes: no FEED can advance the channel (or
-    // fan out to a half-registered subscription) in between.
+    // Hold the channel's persist lock across worker spawn, base-ordinal
+    // read, registry insert and durable-file writes: no FEED can advance
+    // the channel (or fan out to a half-registered subscription) in
+    // between — which also pins the shared-matcher alignment origin to
+    // the exact row ordinal this subscription starts observing from.
     let persist = channel
         .persist
         .lock()
         .map_err(|_| err(4, "lock poisoned"))?;
+    if shared.config.shared_matcher.enabled() {
+        let origin = match &config.resume_from {
+            None => Some(persist.rows_total),
+            // A resumed subscription's record 0 maps `cp.records()` rows
+            // before the current channel ordinal; a checkpoint claiming
+            // more records than the channel has rows is aligned with
+            // nothing here and simply runs solo.
+            Some(text) => SessionCheckpoint::from_text(text)
+                .ok()
+                .and_then(|cp| persist.rows_total.checked_sub(cp.records())),
+        };
+        if let Some(origin) = origin {
+            config.shared = Some(SharedSpec {
+                registry: Arc::clone(&channel.registry),
+                origin,
+            });
+        }
+    }
+    let worker = Arc::new(SessionWorker::spawn(config).map_err(|e| worker_err(&e))?);
     let durable = if shared.data.is_some() {
         let (text, records) = worker.snapshot_with_records().map_err(|e| worker_err(&e))?;
         Some((persist.rows_total, records, text))
@@ -1039,7 +1125,12 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
                     shared.span_end(Level::Debug, "wal_append", span, &[]);
                 }
                 Err(e) => {
-                    shared.span_end(Level::Debug, "wal_append", span, &[("error", &e.to_string())]);
+                    shared.span_end(
+                        Level::Debug,
+                        "wal_append",
+                        span,
+                        &[("error", &e.to_string())],
+                    );
                     return Err(err(4, format!("wal append on '{chan}': {e}")));
                 }
             }
@@ -1080,10 +1171,10 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
             }
         }
     }
-    shared
-        .metrics
-        .latency
-        .record_ns(LatencyOp::Fanout, fanout_started.elapsed().as_nanos() as u64);
+    shared.metrics.latency.record_ns(
+        LatencyOp::Fanout,
+        fanout_started.elapsed().as_nanos() as u64,
+    );
     shared.span_end(
         Level::Debug,
         "fanout",
@@ -1306,18 +1397,17 @@ fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         }
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("");
-    let (status_line, content_type, body) = if path == "/metrics"
-        || path.starts_with("/metrics?")
-    {
-        let live: Vec<String> = http_sub_views(shared)
+    let (status_line, content_type, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        let views = http_sub_views(shared);
+        let live: Vec<String> = views
             .iter()
             .map(|v| live_gauges(&v.id, &v.status, v.queue_depth))
             .collect();
-        (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            shared.metrics.render(&live),
-        )
+        let mut body = shared.metrics.render(&live);
+        if shared.config.shared_matcher.enabled() {
+            body.push_str(&patternset_exposition(shared, &views));
+        }
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
     } else if path == "/status" || path.starts_with("/status?") {
         let subs = http_sub_views(shared);
         let draining = shared.draining.load(Ordering::SeqCst);
@@ -1345,6 +1435,26 @@ fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     let mut writer = stream;
     writer.write_all(response.as_bytes())?;
     writer.flush()
+}
+
+/// Roll the per-channel shared pattern-set registries into one
+/// Prometheus block.  Registries carry the compile shape and the memo
+/// savings; the *logical* test total comes from the live sessions (solo
+/// subscriptions included — their tests are all physically evaluated,
+/// which is exactly what `tests_evaluated = logical - saved` charges).
+fn patternset_exposition(shared: &Shared, views: &[SubStatusView]) -> String {
+    let registries: Vec<Arc<SetRegistry>> = shared
+        .channels
+        .lock()
+        .map(|channels| channels.values().map(|c| Arc::clone(&c.registry)).collect())
+        .unwrap_or_default();
+    let mut stats = PatternSetStats::default();
+    for registry in registries {
+        stats.absorb(&registry.stats());
+    }
+    stats.tests_logical = views.iter().map(|v| v.status.predicate_tests).sum();
+    stats.tests_evaluated = stats.tests_logical.saturating_sub(stats.tests_saved);
+    stats.to_prometheus()
 }
 
 /// Snapshot every live subscription's observable state for the HTTP
@@ -1481,6 +1591,61 @@ mod tests {
         assert!(reply.starts_with("OK fed 1 subs=1"), "{reply}");
         let sb = dispatch(shared, 1, "STATUS sb").unwrap();
         assert!(sb.contains("records=0"), "{sb}");
+    }
+
+    #[test]
+    fn shared_matcher_saves_tests_and_keeps_results_byte_identical() {
+        let off = Server::bind(ServerConfig::default()).unwrap();
+        let on = Server::bind(ServerConfig {
+            shared_matcher: SharedMatcherMode::On,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let sql = |i: usize| {
+            format!(
+                "SELECT X.name, Z.day AS day FROM q CLUSTER BY name SEQUENCE BY day \
+                 AS (X, Y, Z) WHERE X.price > 95 AND Y.price > X.previous.price \
+                 AND Z.price < {}",
+                100 + i
+            )
+        };
+        let mut body = String::new();
+        for day in 0..50 {
+            for name in ["AAA", "BBB"] {
+                let price = 94 + ((day * 7 + name.len()) % 13);
+                body.push_str(&format!("{name},{day},{price}\n"));
+            }
+        }
+        for server in [&off, &on] {
+            let shared = &server.shared;
+            dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+            for i in 0..8 {
+                dispatch(shared, 1, &format!("SUBSCRIBE s{i} q\n{}", sql(i))).unwrap();
+            }
+            dispatch(shared, 1, &format!("FEED q\n{body}")).unwrap();
+        }
+        // Scrape the shared server while the subscriptions are still live.
+        let views = http_sub_views(&on.shared);
+        let prom = patternset_exposition(&on.shared, &views);
+        let metric = |name: &str| -> u64 {
+            prom.lines()
+                .find_map(|l| l.strip_prefix(&format!("{name} ")))
+                .unwrap_or_else(|| panic!("missing {name} in:\n{prom}"))
+                .parse()
+                .unwrap()
+        };
+        assert!(metric("sqlts_patternset_tests_shared") > 0, "{prom}");
+        assert!(
+            metric("sqlts_patternset_tests_evaluated") < metric("sqlts_patternset_tests_logical"),
+            "{prom}"
+        );
+        assert_eq!(metric("sqlts_patternset_queries"), 8, "{prom}");
+        // Per-subscription results are byte-identical shared or not.
+        for i in 0..8 {
+            let solo = dispatch(&off.shared, 1, &format!("UNSUBSCRIBE s{i}")).unwrap();
+            let shared = dispatch(&on.shared, 1, &format!("UNSUBSCRIBE s{i}")).unwrap();
+            assert_eq!(solo, shared, "subscription s{i} diverged under sharing");
+        }
     }
 
     #[test]

@@ -416,7 +416,9 @@ impl ChannelWal {
         }
         let start = std::time::Instant::now();
         self.file.sync_all()?;
-        self.last_fsync_ns = self.last_fsync_ns.saturating_add(start.elapsed().as_nanos() as u64);
+        self.last_fsync_ns = self
+            .last_fsync_ns
+            .saturating_add(start.elapsed().as_nanos() as u64);
         self.appends_since_sync = 0;
         Ok(())
     }

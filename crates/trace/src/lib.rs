@@ -42,6 +42,7 @@
 mod event;
 mod metrics;
 mod profile;
+mod setstats;
 mod span;
 
 pub use event::{RingBuffer, TraceEvent, TraceSink, TripCause};
@@ -50,4 +51,5 @@ pub use profile::{
     json_escape, write_prometheus_histogram, ClusterProfile, ExecutionProfile, OptimizerReport,
     PhaseNanos,
 };
+pub use setstats::PatternSetStats;
 pub use span::{Level, LogFormat, SpanLog};

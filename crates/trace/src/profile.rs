@@ -583,7 +583,10 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(lines[0], r#"{"cluster":0,"ev":"advance","i":1,"j":1}"#);
         assert_eq!(lines[2], r#"{"cluster":1,"ev":"fail","i":1,"j":1}"#);
-        assert_eq!(lines[3], r#"{"dropped":0}"#, "drop trailer is always present");
+        assert_eq!(
+            lines[3], r#"{"dropped":0}"#,
+            "drop trailer is always present"
+        );
     }
 
     #[test]

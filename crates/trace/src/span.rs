@@ -190,13 +190,7 @@ impl SpanLog {
     /// Begin a span.  Returns the fresh span id, or 0 if `level` is
     /// filtered out (pass 0 straight back to [`SpanLog::end`]; it is a
     /// no-op).  `parent` is the enclosing span's id, 0 for a root.
-    pub fn begin(
-        &self,
-        level: Level,
-        name: &str,
-        parent: u64,
-        fields: &[(&str, &str)],
-    ) -> u64 {
+    pub fn begin(&self, level: Level, name: &str, parent: u64, fields: &[(&str, &str)]) -> u64 {
         if !self.enabled(level) {
             return 0;
         }
@@ -434,7 +428,11 @@ mod tests {
         drop(log);
         let text = fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"channel\":\"a\\\"b\\\\c\\nd\""));
-        assert_eq!(text.lines().count(), 1, "escaped newline must not split the line");
+        assert_eq!(
+            text.lines().count(),
+            1,
+            "escaped newline must not split the line"
+        );
     }
 
     #[test]
@@ -475,6 +473,10 @@ mod tests {
             log.event(Level::Info, "recovered", &[]);
         }
         let text = fs::read_to_string(&path).unwrap();
-        assert_eq!(text.lines().count(), 3, "second open appended, not truncated");
+        assert_eq!(
+            text.lines().count(),
+            3,
+            "second open appended, not truncated"
+        );
     }
 }
