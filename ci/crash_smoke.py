@@ -24,6 +24,7 @@ import signal
 import socket
 import subprocess
 import sys
+import time
 import urllib.request
 
 QUERY = (
@@ -91,18 +92,36 @@ def result_body(reply, sub, code):
     return body
 
 
-def spawn(bin_path):
-    """Start a durable server and return (process, addr, recovery line)."""
+def spawn(bin_path, data_dir=DATA_DIR, extra=()):
+    """Start a durable server and return (process, addr, recovery line).
+
+    Skips informational startup lines (standby/replication banners)
+    between the recovery report and the listen announcement.
+    """
     server = subprocess.Popen(
-        [bin_path, "serve", "--listen", "127.0.0.1:0", "--data-dir", DATA_DIR,
-         "--checkpoint-every-frames", "4"],
+        [bin_path, "serve", "--listen", "127.0.0.1:0", "--data-dir", data_dir,
+         "--checkpoint-every-frames", "4", *extra],
         stdout=subprocess.PIPE, text=True,
     )
     recovered = server.stdout.readline().strip()
     assert recovered.startswith("recovered "), recovered
     announce = server.stdout.readline().strip()
-    assert announce.startswith("listening on "), announce
+    while not announce.startswith("listening on "):
+        announce = server.stdout.readline().strip()
+        assert announce, "server exited before announcing its address"
     return server, announce.removeprefix("listening on "), recovered
+
+
+def scrape(addr):
+    with urllib.request.urlopen(f"http://{addr}/metrics", timeout=60) as r:
+        return r.read().decode()
+
+
+def metric(exposition, name):
+    for line in exposition.splitlines():
+        if line.startswith(name + " "):
+            return int(float(line.split()[1]))
+    raise AssertionError(f"missing {name} in scrape")
 
 
 def main():
@@ -198,9 +217,76 @@ def main():
         server.kill()
         server.wait()
 
-    print(f"crash smoke OK: SIGKILL mid-feed and SIGTERM drain both "
-          f"recovered byte-identical results over {len(rows)} tuples "
-          f"({batch.count(chr(10)) - 1} matches)")
+    # Phase 4: replication failover.  A primary streams its WAL to a warm
+    # standby with sync acks; SIGKILL the primary with a FEED in flight,
+    # promote the standby via SIGUSR1 (the CLI relay), and require the
+    # promoted server to finish the stream byte-identical to batch.
+    standby_dir = DATA_DIR + "-standby"
+    shutil.rmtree(DATA_DIR, ignore_errors=True)
+    shutil.rmtree(standby_dir, ignore_errors=True)
+    standby, standby_addr, _ = spawn(bin_path, data_dir=standby_dir,
+                                     extra=["--standby"])
+    try:
+        server, addr, _ = spawn(
+            bin_path, extra=["--replicate-to", standby_addr,
+                             "--repl-ack", "sync"])
+        client = Client(addr)
+        expect(client.send(f"OPEN quote {SCHEMA}"), "OK opened quote rows=0")
+        expect(client.send(f"SUBSCRIBE s1 quote\n{QUERY}"), "OK subscribed s1")
+        for chunk in chunks[:10]:
+            expect(client.send("FEED quote\n" + "\n".join(chunk)),
+                   f"OK fed {len(chunk)} subs=1")
+        acked = 10 * 500
+
+        # The primary's exposition shows a connected, caught-up stream;
+        # the standby's shows the frames landing.
+        prom = scrape(addr)
+        assert metric(prom, "sqlts_repl_connected") == 1, prom
+        assert metric(prom, "sqlts_repl_lag_rows") == 0, prom
+        assert metric(prom, "sqlts_repl_frames_sent_total") >= 10, prom
+        assert metric(prom, "sqlts_repl_acks_total") >= 10, prom
+        sprom = scrape(standby_addr)
+        assert metric(sprom, "sqlts_standby") == 1, sprom
+        assert metric(sprom, "sqlts_repl_frames_received_total") >= 10, sprom
+
+        # SIGKILL the primary with a FEED in flight, then promote.
+        client.send_only("FEED quote\n" + "\n".join(chunks[10]))
+        server.kill()
+        server.wait()
+        standby.send_signal(signal.SIGUSR1)
+        sclient = Client(standby_addr)
+        for _ in range(300):
+            reply = sclient.send(f"OPEN quote {SCHEMA}")
+            if reply.startswith("OK opened quote rows="):
+                break
+            assert reply.startswith("ERR 4 "), reply
+            time.sleep(0.1)
+        else:
+            raise AssertionError("standby never promoted after SIGUSR1")
+        durable = int(reply.rpartition("=")[2])
+        assert acked <= durable <= acked + 500 and durable % 500 == 0, \
+            f"promoted standby lost sync-acked rows: {durable}"
+        sprom = scrape(standby_addr)
+        assert metric(sprom, "sqlts_standby") == 0, sprom
+        assert metric(sprom, "sqlts_repl_promotions_total") == 1, sprom
+        if durable < len(rows):
+            expect(sclient.send("FEED quote\n" + "\n".join(rows[durable:])),
+                   "OK fed ")
+        body = result_body(sclient.send("UNSUBSCRIBE s1"), "s1", 0)
+        assert body == batch, "promoted standby diverged from batch"
+    finally:
+        standby.kill()
+        standby.wait()
+        try:
+            server.kill()
+            server.wait()
+        except OSError:
+            pass
+    shutil.rmtree(standby_dir, ignore_errors=True)
+
+    print(f"crash smoke OK: SIGKILL mid-feed, SIGTERM drain, and "
+          f"replication failover all recovered byte-identical results "
+          f"over {len(rows)} tuples ({batch.count(chr(10)) - 1} matches)")
 
 
 if __name__ == "__main__":

@@ -271,10 +271,47 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     },
     FlagSpec {
         name: "--fsync",
-        metavar: Some("every|batch|off"),
+        metavar: Some("every|batch|group[:us]|off"),
         help: "with --data-dir: WAL fsync policy — every append (default, \
-               survives power loss), batched (bounded loss window), or left \
-               to the OS (still survives a killed process)",
+               survives power loss), batched (bounded loss window), group \
+               commit (concurrent FEEDs inside a window of 'us' microseconds \
+               share one fsync, still power-loss safe), or left to the OS \
+               (still survives a killed process)",
+    },
+    FlagSpec {
+        name: "--wal-segment-bytes",
+        metavar: Some("N"),
+        help: "with --data-dir: roll the per-channel WAL to a new segment \
+               file past N bytes; truncation unlinks whole closed segments \
+               and never rewrites bytes (default 1048576)",
+    },
+    FlagSpec {
+        name: "--replicate-to",
+        metavar: Some("HOST:PORT"),
+        help: "with --data-dir: stream every committed WAL frame (plus \
+               subscription metas and checkpoints) to the standby listening \
+               there; /metrics gains sqlts_repl_* series",
+    },
+    FlagSpec {
+        name: "--repl-ack",
+        metavar: Some("sync|async"),
+        help: "with --replicate-to: sync blocks each FEED ack until the \
+               standby acknowledges the frame (degrades to async, counted, \
+               if the standby is away); async acks after the local append \
+               (default async)",
+    },
+    FlagSpec {
+        name: "--standby",
+        metavar: None,
+        help: "with --data-dir: run as a warm standby — accept a primary's \
+               replication stream, serve read-only STATUS and /metrics, and \
+               refuse mutating verbs until PROMOTE (verb, or SIGUSR1)",
+    },
+    FlagSpec {
+        name: "--promote-on-disconnect",
+        metavar: None,
+        help: "with --standby: promote automatically when the primary's \
+               replication connection drops",
     },
     FlagSpec {
         name: "--checkpoint-every-frames",
@@ -623,6 +660,20 @@ fn run_serve() -> Result<(), CliError> {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| serve_usage())
             }
+            "--wal-segment-bytes" => {
+                config.wal_segment_bytes = serve_numeric::<u64>(value).max(1)
+            }
+            "--replicate-to" => {
+                config.replicate_to = Some(value.unwrap_or_else(|| serve_usage()))
+            }
+            "--repl-ack" => {
+                config.repl_ack = value
+                    .as_deref()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--standby" => config.standby = true,
+            "--promote-on-disconnect" => config.promote_on_disconnect = true,
             "--checkpoint-every-frames" => {
                 config.checkpoint_every_frames = serve_numeric::<u64>(value).max(1)
             }
@@ -671,7 +722,10 @@ fn run_serve() -> Result<(), CliError> {
         governor = governor.with_max_matches(n);
     }
     config.governor = governor;
-    let server = sqlts_server::Server::bind(config).map_err(serve_error)?;
+    let replicate_to = config.replicate_to.clone();
+    let repl_ack = config.repl_ack;
+    let promote_on_disconnect = config.promote_on_disconnect;
+    let server = std::sync::Arc::new(sqlts_server::Server::bind(config).map_err(serve_error)?);
     let addr = server
         .local_addr()
         .map_err(|e| CliError::Runtime(format!("local_addr: {e}")))?;
@@ -684,13 +738,30 @@ fn run_serve() -> Result<(), CliError> {
             report.channels, report.subscriptions, report.rows_replayed
         );
     }
+    if server.is_standby() {
+        println!(
+            "standby: read-only until PROMOTE or SIGUSR1{}",
+            if promote_on_disconnect {
+                " (auto-promotes if the primary disconnects)"
+            } else {
+                ""
+            }
+        );
+    }
+    if let Some(target) = replicate_to {
+        println!("replicating to {target} ({repl_ack} acks)");
+    }
     // Stdout is line-buffered, so this announcement reaches pipes
     // immediately — drivers wait for it before connecting.
     println!("listening on {addr}");
     install_shutdown_handler();
+    let promoter = install_promotion_relay(std::sync::Arc::clone(&server));
     server
         .run_until(&SHUTDOWN)
         .map_err(|e| CliError::Runtime(format!("server: {e}")))?;
+    if let Some(handle) = promoter {
+        let _ = handle.join();
+    }
     println!("drained");
     Ok(())
 }
@@ -732,6 +803,49 @@ fn install_shutdown_handler() {
 
 #[cfg(not(unix))]
 fn install_shutdown_handler() {}
+
+/// Set by SIGUSR1: the operator is asking a standby to promote.
+static PROMOTE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Arrange for SIGUSR1 to promote a standby: the signal handler only
+/// stores to an atomic (async-signal-safe); a relay thread forwards the
+/// flag to [`Server::request_promotion`], which the accept loop serves.
+/// Returns the relay thread's handle so the drain can join it.
+#[cfg(unix)]
+fn install_promotion_relay(
+    server: std::sync::Arc<sqlts_server::Server>,
+) -> Option<std::thread::JoinHandle<()>> {
+    use std::sync::atomic::Ordering;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_sig: i32) {
+        PROMOTE.store(true, Ordering::SeqCst);
+    }
+    const SIGUSR1: i32 = 10;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGUSR1, handler);
+    }
+    std::thread::Builder::new()
+        .name("sqlts-promote-relay".into())
+        .spawn(move || {
+            while !SHUTDOWN.load(Ordering::SeqCst) {
+                if PROMOTE.swap(false, Ordering::SeqCst) {
+                    server.request_promotion();
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+        .ok()
+}
+
+#[cfg(not(unix))]
+fn install_promotion_relay(
+    _server: std::sync::Arc<sqlts_server::Server>,
+) -> Option<std::thread::JoinHandle<()>> {
+    None
+}
 
 /// Like [`numeric`] but exits through the serve-mode usage text.
 fn serve_numeric<T: std::str::FromStr>(v: Option<String>) -> T {

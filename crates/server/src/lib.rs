@@ -34,6 +34,7 @@ pub mod frame;
 pub mod metrics;
 pub mod profiler;
 pub mod recover;
+pub mod replicate;
 pub mod server;
 pub mod wal;
 
@@ -41,8 +42,12 @@ pub use frame::{read_frame, read_frame_timed, write_frame, FrameEvent, FrameFata
 pub use metrics::{status_json, LatencyHistograms, LatencyOp, ServerMetrics, SubStatusView};
 pub use profiler::SamplingProfiler;
 pub use recover::{DataDir, ServeError, SubMeta};
+pub use replicate::{ReplAck, ReplSnapshot};
 pub use server::{RecoveryReport, Server, ServerConfig, SharedMatcherMode};
 // Re-exported so embedders configuring `ServerConfig::log_level` /
 // `log_format` need not depend on the trace crate directly.
 pub use sqlts_trace::{Level, LogFormat, SpanLog};
-pub use wal::{scan_wal, ChannelWal, FsyncPolicy, WalError, WalFrame, WalScan};
+pub use wal::{
+    read_frames_from, scan_wal, segment_path, ChannelWal, FsyncPolicy, GroupCommit, WalError,
+    WalFrame, WalScan,
+};

@@ -154,6 +154,13 @@ pub struct ServerMetrics {
     pub snapshots_total: AtomicU64,
     /// Subscriptions respawned from snapshots at startup recovery.
     pub recovered_subscriptions_total: AtomicU64,
+    /// Replication frames a standby accepted and appended.
+    pub repl_frames_received_total: AtomicU64,
+    /// Replication frames a standby rejected (bad CRC, malformed rows,
+    /// sequence gaps).
+    pub repl_rejected_frames_total: AtomicU64,
+    /// Successful standby promotions on this server.
+    pub repl_promotions_total: AtomicU64,
     /// Hot-path latency histograms (µs buckets).
     pub latency: LatencyHistograms,
     finished: Mutex<Vec<(String, Box<ExecutionProfile>)>>,
@@ -249,6 +256,21 @@ impl ServerMetrics {
                 "subscriptions respawned from snapshots at recovery",
                 &self.recovered_subscriptions_total,
             ),
+            (
+                "sqlts_repl_frames_received_total",
+                "replication frames accepted and appended (standby)",
+                &self.repl_frames_received_total,
+            ),
+            (
+                "sqlts_repl_rejected_frames_total",
+                "replication frames rejected (crc, malformed, gap)",
+                &self.repl_rejected_frames_total,
+            ),
+            (
+                "sqlts_repl_promotions_total",
+                "standby promotions completed",
+                &self.repl_promotions_total,
+            ),
         ] {
             let _ = writeln!(
                 out,
@@ -313,6 +335,59 @@ pub fn live_gauges(tenant: &str, status: &sqlts_core::SessionStatus, queue_depth
     out
 }
 
+/// Render the primary-side replication gauges/counters as one
+/// Prometheus block (`sqlts_repl_*`).  Only emitted when
+/// `--replicate-to` is configured; the standby-side counters live on
+/// [`ServerMetrics`] and render unconditionally.
+pub fn repl_exposition(snap: &crate::replicate::ReplSnapshot) -> String {
+    let mut out = String::new();
+    for (name, help, value) in [
+        (
+            "sqlts_repl_connected",
+            "a shipping session to the standby is live",
+            u64::from(snap.connected),
+        ),
+        (
+            "sqlts_repl_lag_rows",
+            "rows committed locally but not standby-acked",
+            snap.lag_rows,
+        ),
+        (
+            "sqlts_repl_frames_sent_total",
+            "WAL frames shipped to the standby",
+            snap.frames_sent,
+        ),
+        (
+            "sqlts_repl_acks_total",
+            "standby frame acknowledgements received",
+            snap.acks,
+        ),
+        (
+            "sqlts_repl_resyncs_total",
+            "shipping sessions established (each starts with a resync)",
+            snap.resyncs,
+        ),
+        (
+            "sqlts_repl_send_errors_total",
+            "failed ships (each costs the session)",
+            snap.send_errors,
+        ),
+        (
+            "sqlts_repl_sync_degraded_total",
+            "sync-ack FEEDs that degraded to async",
+            snap.sync_degraded,
+        ),
+    ] {
+        let kind = if name.ends_with("_total") {
+            "counter"
+        } else {
+            "gauge"
+        };
+        let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}");
+    }
+    out
+}
+
 /// Escape a tenant id for a Prometheus label value: backslash, quote,
 /// and newline.  A raw newline in a label would split the sample line
 /// and corrupt the whole scrape.
@@ -346,13 +421,20 @@ pub struct SubStatusView {
 }
 
 /// Render the `GET /status` JSON document: server counters, latency
-/// summaries, and one object per live subscription.  Hand-rolled flat
-/// JSON, same as every other exporter in the workspace.
-pub fn status_json(metrics: &ServerMetrics, subs: &[SubStatusView], draining: bool) -> String {
+/// summaries, replication health, and one object per live subscription.
+/// Hand-rolled flat JSON, same as every other exporter in the workspace.
+pub fn status_json(
+    metrics: &ServerMetrics,
+    subs: &[SubStatusView],
+    draining: bool,
+    standby: bool,
+    repl: Option<&crate::replicate::ReplSnapshot>,
+) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"draining\":{draining},\"connections_total\":{},\"frames_total\":{},\
+        "{{\"draining\":{draining},\"standby\":{standby},\"connections_total\":{},\
+         \"frames_total\":{},\
          \"errors_total\":{},\"subscriptions_total\":{},\"rows_fed_total\":{},\
          \"wal_appends_total\":{},\"wal_fsyncs_total\":{},\"snapshots_total\":{}",
         metrics.connections_total.load(Ordering::Relaxed),
@@ -364,6 +446,22 @@ pub fn status_json(metrics: &ServerMetrics, subs: &[SubStatusView], draining: bo
         metrics.wal_fsyncs_total.load(Ordering::Relaxed),
         metrics.snapshots_total.load(Ordering::Relaxed),
     );
+    if let Some(snap) = repl {
+        let _ = write!(
+            out,
+            ",\"replication\":{{\"connected\":{},\"sync\":{},\"lag_rows\":{},\
+             \"frames_sent\":{},\"acks\":{},\"resyncs\":{},\"send_errors\":{},\
+             \"sync_degraded\":{}}}",
+            snap.connected,
+            snap.sync,
+            snap.lag_rows,
+            snap.frames_sent,
+            snap.acks,
+            snap.resyncs,
+            snap.send_errors,
+            snap.sync_degraded,
+        );
+    }
     out.push_str(",\"latency\":");
     metrics.latency.write_json(&mut out);
     out.push_str(",\"subscriptions\":[");
@@ -448,12 +546,14 @@ mod tests {
             out.contains("sqlts_server_fanout_micros_bucket{le=\"+Inf\"} 0"),
             "{out}"
         );
-        let status = status_json(&metrics, &[], false);
+        let status = status_json(&metrics, &[], false, false, None);
         assert!(
             status.contains("\"wal_append_micros\":{\"count\":2,\"sum\":12,\"max\":9}"),
             "{status}"
         );
         assert!(status.contains("\"draining\":false"), "{status}");
+        assert!(status.contains("\"standby\":false"), "{status}");
+        assert!(!status.contains("\"replication\""), "{status}");
     }
 
     #[test]
@@ -500,8 +600,23 @@ mod tests {
             queue_depth: 0,
             phase: "idle",
         }];
-        let out = status_json(&metrics, &subs, true);
+        let snap = crate::replicate::ReplSnapshot {
+            configured: true,
+            connected: true,
+            sync: true,
+            frames_sent: 9,
+            acks: 8,
+            resyncs: 1,
+            send_errors: 0,
+            sync_degraded: 2,
+            lag_rows: 3,
+        };
+        let out = status_json(&metrics, &subs, true, false, Some(&snap));
         assert!(out.contains("\"draining\":true"), "{out}");
+        assert!(
+            out.contains("\"replication\":{\"connected\":true,\"sync\":true,\"lag_rows\":3"),
+            "{out}"
+        );
         assert!(out.contains("\"id\":\"s\\\"1\""), "{out}");
         assert!(out.contains("\"records\":40"), "{out}");
         assert!(out.contains("\"phase\":\"idle\""), "{out}");
@@ -511,6 +626,35 @@ mod tests {
             out.matches(['}', ']']).count(),
             "unbalanced status JSON: {out}"
         );
+    }
+
+    #[test]
+    fn repl_exposition_renders_every_series() {
+        let snap = crate::replicate::ReplSnapshot {
+            configured: true,
+            connected: true,
+            sync: false,
+            frames_sent: 5,
+            acks: 5,
+            resyncs: 2,
+            send_errors: 1,
+            sync_degraded: 0,
+            lag_rows: 7,
+        };
+        let out = repl_exposition(&snap);
+        assert!(out.contains("# TYPE sqlts_repl_connected gauge"), "{out}");
+        assert!(out.contains("sqlts_repl_connected 1"), "{out}");
+        assert!(out.contains("sqlts_repl_lag_rows 7"), "{out}");
+        assert!(
+            out.contains("# TYPE sqlts_repl_frames_sent_total counter"),
+            "{out}"
+        );
+        assert!(out.contains("sqlts_repl_frames_sent_total 5"), "{out}");
+        assert!(out.contains("sqlts_repl_resyncs_total 2"), "{out}");
+        assert!(out.contains("sqlts_repl_send_errors_total 1"), "{out}");
+        for line in out.lines() {
+            assert!(!line.is_empty(), "{out}");
+        }
     }
 
     #[test]

@@ -349,6 +349,25 @@ impl DataDir {
             .map_err(|e| ServeError::Runtime(format!("persist sub '{id}' checkpoint: {e}")))
     }
 
+    /// Load one subscription's metadata, `Ok(None)` when absent.  Unlike
+    /// [`load_subs`](DataDir::load_subs) this does not require the
+    /// checkpoint file: a standby receives the meta strictly before the
+    /// first shipped checkpoint and must be able to resolve it alone.
+    pub fn load_sub_meta(&self, id: &str) -> Result<Option<SubMeta>, ServeError> {
+        let path = self.meta_path(id);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(ServeError::Runtime(format!("read {}: {e}", path.display())));
+            }
+        };
+        let meta = SubMeta::from_text(&text).map_err(|e| {
+            ServeError::Input(format!("malformed metadata file {}: {e}", path.display()))
+        })?;
+        Ok(Some(meta))
+    }
+
     /// Remove a subscription's durable files.  Called *before* the
     /// worker is finished, so a crash in between resurrects nothing.
     pub fn remove_sub(&self, id: &str) {

@@ -64,10 +64,16 @@
 //! extra reply fields, identical wire traffic.
 
 use crate::frame::{read_frame_timed, write_frame, FrameEvent, FrameFatal};
-use crate::metrics::{live_gauges, status_json, LatencyOp, ServerMetrics, SubStatusView};
+use crate::metrics::{
+    live_gauges, repl_exposition, status_json, LatencyOp, ServerMetrics, SubStatusView,
+};
 use crate::profiler::SamplingProfiler;
-use crate::recover::{replay_channel, DataDir, ReplaySub, ServeError, SubMeta};
-use crate::wal::{ChannelWal, FsyncPolicy, WalFrame};
+use crate::recover::{encode_name, replay_channel, schema_spec, DataDir, ReplaySub, ServeError, SubMeta};
+use crate::replicate::{
+    self, parse_ack, parse_hello, parse_opened_rows, send_repl, ReplAck, ReplCmd, ReplSnapshot,
+    Replicator,
+};
+use crate::wal::{crc32, ChannelWal, FsyncPolicy, GroupCommit, WalFrame};
 use sqlts_core::{
     EngineKind, Governor, Instrument, SessionCheckpoint, SessionWorker, SessionWorkerConfig,
     SetRegistry, SharedSpec, TripReason, WorkerError,
@@ -76,10 +82,10 @@ use sqlts_relation::{parse_headerless_row, ColumnType, Schema};
 use sqlts_trace::{Level, LogFormat, PatternSetStats, SpanLog};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// Whether subscriptions on a channel share one pattern-set pass
@@ -162,6 +168,21 @@ pub struct ServerConfig {
     /// Shared pattern-set execution across a channel's subscriptions
     /// (`--shared-matcher on|off|auto`).
     pub shared_matcher: SharedMatcherMode,
+    /// Segment roll threshold for channel WALs (`--wal-segment-bytes`).
+    pub wal_segment_bytes: u64,
+    /// Stream every committed WAL record to this `HOST:PORT` standby
+    /// (`--replicate-to`; requires `data_dir`).
+    pub replicate_to: Option<String>,
+    /// FEED acknowledgement mode relative to standby shipping
+    /// (`--repl-ack sync|async`).
+    pub repl_ack: ReplAck,
+    /// Run as a warm standby: accept only `REPL` traffic, `PROMOTE`,
+    /// `PING`, `STATUS` and HTTP scrapes until promoted
+    /// (`--standby`; requires `data_dir`).
+    pub standby: bool,
+    /// Self-promote when the primary's replication connection drops
+    /// (`--promote-on-disconnect`; standby only).
+    pub promote_on_disconnect: bool,
 }
 
 impl Default for ServerConfig {
@@ -186,6 +207,11 @@ impl Default for ServerConfig {
             sample_profile: None,
             sample_hz: 99,
             shared_matcher: SharedMatcherMode::Off,
+            wal_segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
+            replicate_to: None,
+            repl_ack: ReplAck::Async,
+            standby: false,
+            promote_on_disconnect: false,
         }
     }
 }
@@ -226,6 +252,8 @@ struct Channel {
     /// an empty `Vec` behind a mutex until someone joins); subscriptions
     /// only join it when [`ServerConfig::shared_matcher`] says so.
     registry: Arc<SetRegistry>,
+    /// Group-commit coordinator for `--fsync group` (idle otherwise).
+    group: Arc<GroupCommit>,
 }
 
 impl Channel {
@@ -239,6 +267,7 @@ impl Channel {
                 tripped_seen: HashSet::new(),
             })),
             registry: Arc::new(SetRegistry::new()),
+            group: Arc::new(GroupCommit::default()),
         }
     }
 }
@@ -263,6 +292,18 @@ struct Shared {
     /// Every record site is `if let Some(log) = &shared.log` — one
     /// predictable branch when unarmed, exactly PR 3's discipline.
     log: Option<SpanLog>,
+    /// True while this server is an unpromoted warm standby (starts as
+    /// [`ServerConfig::standby`], cleared atomically by promotion).
+    standby: AtomicBool,
+    /// Promotion requested out-of-band (SIGUSR1 relay, primary
+    /// disconnect); serviced by the accept loop.
+    promote: AtomicBool,
+    /// The primary-side replication handle, `None` without
+    /// `--replicate-to`.
+    repl: Option<Replicator>,
+    /// On a standby: the connection id currently speaking `REPL` (0 =
+    /// none), so its disconnect can trigger `--promote-on-disconnect`.
+    repl_conn: AtomicU64,
 }
 
 impl Shared {
@@ -313,6 +354,23 @@ pub struct Server {
     /// The sampling profiler thread (`--sample-profile`); stopped (with
     /// a final flush) at drain, or on drop.
     profiler: Mutex<Option<SamplingProfiler>>,
+    /// The replication shipping thread (`--replicate-to`); it holds only
+    /// a [`Weak`] on [`Shared`] and is joined on drop so a dropped
+    /// server releases its data dir promptly.
+    repl_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(repl) = self.shared.repl.as_ref() {
+            repl.shutdown();
+        }
+        if let Ok(mut slot) = self.repl_thread.lock() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 impl Server {
@@ -320,6 +378,33 @@ impl Server {
     /// state (both only when `data_dir` is configured).  Every failure is
     /// a typed [`ServeError`] on the CLI's exit-code classes.
     pub fn bind(config: ServerConfig) -> Result<Server, ServeError> {
+        if config.standby && config.data_dir.is_none() {
+            return Err(ServeError::Usage("--standby requires --data-dir".into()));
+        }
+        if config.replicate_to.is_some() && config.data_dir.is_none() {
+            return Err(ServeError::Usage(
+                "--replicate-to requires --data-dir".into(),
+            ));
+        }
+        if config.standby && config.replicate_to.is_some() {
+            return Err(ServeError::Usage(
+                "--standby and --replicate-to are mutually exclusive (chaining is not supported)"
+                    .into(),
+            ));
+        }
+        if config.standby && matches!(config.fsync, FsyncPolicy::Group { .. }) {
+            // Group commit is driven by concurrent FEED threads; a standby
+            // applies frames from one replication connection and would
+            // never elect a leader.
+            return Err(ServeError::Usage(
+                "--standby does not support --fsync group; use every|batch|off".into(),
+            ));
+        }
+        if config.promote_on_disconnect && !config.standby {
+            return Err(ServeError::Usage(
+                "--promote-on-disconnect requires --standby".into(),
+            ));
+        }
         let listener = TcpListener::bind(&config.listen)
             .map_err(|e| ServeError::Usage(format!("bind {}: {e}", config.listen)))?;
         let data = config
@@ -341,6 +426,14 @@ impl Server {
             })
             .transpose()?;
         let retain = config.retain_profiles;
+        let (repl, repl_rx) = match config.replicate_to.clone() {
+            Some(target) => {
+                let (repl, rx) = Replicator::new(target, config.repl_ack);
+                (Some(repl), Some(rx))
+            }
+            None => (None, None),
+        };
+        let standby = config.standby;
         let shared = Arc::new(Shared {
             config,
             channels: Mutex::new(HashMap::new()),
@@ -351,6 +444,10 @@ impl Server {
             conns: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             log,
+            standby: AtomicBool::new(standby),
+            promote: AtomicBool::new(false),
+            repl,
+            repl_conn: AtomicU64::new(0),
         });
         let recovery = if shared.data.is_some() {
             let span = shared.span_begin(Level::Warn, "recovery", 0, &[]);
@@ -383,12 +480,34 @@ impl Server {
                 }
             })
         });
+        let repl_thread = repl_rx.and_then(|rx| {
+            let repl = shared.repl.as_ref().expect("rx implies a replicator");
+            let stop = Arc::clone(&repl.stop);
+            let weak = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name("sqlts-repl".into())
+                .spawn(move || replication_thread(&weak, &rx, &stop))
+                .ok()
+        });
         Ok(Server {
             listener,
             shared,
             recovery,
             profiler: Mutex::new(profiler),
+            repl_thread: Mutex::new(repl_thread),
         })
+    }
+
+    /// A flag that, when set, makes the accept loop promote this standby
+    /// (the CLI's SIGUSR1 relay sets it).  Setting it on a non-standby
+    /// is a no-op beyond a logged failure.
+    pub fn request_promotion(&self) {
+        self.shared.promote.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this server is an unpromoted warm standby right now.
+    pub fn is_standby(&self) -> bool {
+        self.shared.standby.load(Ordering::SeqCst)
     }
 
     /// What recovery restored, when a data dir was configured.
@@ -417,6 +536,18 @@ impl Server {
                 self.drain();
                 return Ok(());
             }
+            if self.shared.promote.swap(false, Ordering::SeqCst) {
+                match promote_server(&self.shared) {
+                    Ok(summary) => {
+                        self.shared
+                            .span_event(Level::Warn, "promoted", &[("summary", &summary)]);
+                    }
+                    Err(e) => {
+                        self.shared
+                            .span_event(Level::Warn, "promote_failed", &[("error", &e)]);
+                    }
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, peer)) => {
                     let _ = stream.set_nonblocking(false);
@@ -441,6 +572,25 @@ impl Server {
                             if let Ok(mut conns) = shared.conns.lock() {
                                 conns.remove(&conn);
                             }
+                            // Losing the primary's replication session is
+                            // the failover trigger when the operator armed
+                            // it.
+                            let was_repl = shared
+                                .repl_conn
+                                .compare_exchange(conn, 0, Ordering::SeqCst, Ordering::SeqCst)
+                                .is_ok();
+                            if was_repl
+                                && shared.config.promote_on_disconnect
+                                && shared.standby.load(Ordering::SeqCst)
+                                && !shared.draining.load(Ordering::SeqCst)
+                            {
+                                shared.span_event(
+                                    Level::Warn,
+                                    "primary_disconnected",
+                                    &[("conn", &conn.to_string())],
+                                );
+                                shared.promote.store(true, Ordering::SeqCst);
+                            }
                         });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -455,6 +605,10 @@ impl Server {
     fn drain(&self) {
         let shared = &self.shared;
         shared.draining.store(true, Ordering::SeqCst);
+        if let Some(repl) = shared.repl.as_ref() {
+            // Stop shipping first: a drain must not block on standby acks.
+            repl.shutdown();
+        }
         let span = shared.span_begin(Level::Warn, "drain", 0, &[]);
         let channels: Vec<(String, Channel)> = shared
             .channels
@@ -463,7 +617,7 @@ impl Server {
             .unwrap_or_default();
         for (name, channel) in channels {
             if let Ok(mut persist) = channel.persist.lock() {
-                snapshot_channel_locked(shared, &name, &mut persist, span);
+                snapshot_channel_locked(shared, &name, &channel, &mut persist, span);
                 if let Some(wal) = persist.wal.as_mut() {
                     if wal.sync().is_ok() {
                         ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
@@ -514,42 +668,73 @@ impl Server {
 /// subscription from its snapshot, replay the WAL rows each worker has
 /// not yet seen, then snapshot everything so a crash loop cannot replay
 /// unboundedly.
+///
+/// A `--standby` bind stops after the channel-open half: durable state is
+/// live and appendable (the replication stream needs the WALs), but no
+/// worker spawns until [`promote_server`] runs the second half.
 fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
-    let data = shared.data.as_ref().expect("recover requires a data dir");
     let mut report = RecoveryReport::default();
-    let mut frames_by_channel: HashMap<String, Vec<WalFrame>> = HashMap::new();
-    {
-        let mut channels = shared
-            .channels
-            .lock()
-            .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
-        for (name, schema) in data.load_channels()? {
-            let (wal, scan) = ChannelWal::open(&data.wal_path(&name), shared.config.fsync)?;
-            if scan.dropped_bytes > 0 {
-                report.dropped_bytes += scan.dropped_bytes;
-                report.notes.push(format!(
-                    "channel '{name}': dropped {} trailing wal bytes ({})",
-                    scan.dropped_bytes,
-                    scan.corruption
-                        .as_deref()
-                        .unwrap_or("unreported corruption")
-                ));
-            }
-            frames_by_channel.insert(name.clone(), scan.frames);
-            let channel = Channel {
-                schema,
-                persist: Arc::new(Mutex::new(ChannelPersist {
-                    rows_total: wal.rows_total(),
-                    wal: Some(wal),
-                    frames_since_snapshot: 0,
-                    tripped_seen: HashSet::new(),
-                })),
-                registry: Arc::new(SetRegistry::new()),
-            };
-            channels.insert(name, channel);
-            report.channels += 1;
-        }
+    let frames_by_channel = open_durable_channels(shared, &mut report)?;
+    if shared.config.standby {
+        return Ok(report);
     }
+    respawn_and_replay(shared, frames_by_channel, &mut report)?;
+    Ok(report)
+}
+
+/// The channel half of recovery: reopen every channel's WAL (repairing
+/// torn tails) and register it in the live channel map.  Returns each
+/// channel's surviving frames for replay.
+fn open_durable_channels(
+    shared: &Shared,
+    report: &mut RecoveryReport,
+) -> Result<HashMap<String, Vec<WalFrame>>, ServeError> {
+    let data = shared.data.as_ref().expect("recover requires a data dir");
+    let mut frames_by_channel: HashMap<String, Vec<WalFrame>> = HashMap::new();
+    let mut channels = shared
+        .channels
+        .lock()
+        .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
+    for (name, schema) in data.load_channels()? {
+        let (mut wal, scan) = ChannelWal::open(&data.wal_path(&name), shared.config.fsync)?;
+        wal.set_segment_bytes(shared.config.wal_segment_bytes);
+        if scan.dropped_bytes > 0 {
+            report.dropped_bytes += scan.dropped_bytes;
+            report.notes.push(format!(
+                "channel '{name}': dropped {} trailing wal bytes ({})",
+                scan.dropped_bytes,
+                scan.corruption
+                    .as_deref()
+                    .unwrap_or("unreported corruption")
+            ));
+        }
+        frames_by_channel.insert(name.clone(), scan.frames);
+        let channel = Channel {
+            schema,
+            persist: Arc::new(Mutex::new(ChannelPersist {
+                rows_total: wal.rows_total(),
+                wal: Some(wal),
+                frames_since_snapshot: 0,
+                tripped_seen: HashSet::new(),
+            })),
+            registry: Arc::new(SetRegistry::new()),
+            group: Arc::new(GroupCommit::default()),
+        };
+        channels.insert(name, channel);
+        report.channels += 1;
+    }
+    Ok(frames_by_channel)
+}
+
+/// The subscription half of recovery, shared with standby promotion:
+/// respawn every persisted subscription from its snapshot and replay the
+/// surviving WAL rows each worker has not yet seen.
+fn respawn_and_replay(
+    shared: &Shared,
+    mut frames_by_channel: HashMap<String, Vec<WalFrame>>,
+    report: &mut RecoveryReport,
+) -> Result<(), ServeError> {
+    let data = shared.data.as_ref().expect("recover requires a data dir");
     // Respawn each persisted subscription from its snapshot.  The resume
     // ordinal — the first channel row the worker has NOT seen — is the
     // join-time base plus the records its checkpoint gained since.
@@ -651,10 +836,629 @@ fn recover(shared: &Shared) -> Result<RecoveryReport, ServeError> {
             stats.rows_replayed + stats.rows_rejected,
         );
         if let Ok(mut persist) = channel.persist.lock() {
-            snapshot_channel_locked(shared, &name, &mut persist, 0);
+            snapshot_channel_locked(shared, &name, &channel, &mut persist, 0);
         }
     }
-    Ok(report)
+    Ok(())
+}
+
+/// Promote a warm standby into a full primary: flip the standby flag
+/// (atomically — a second `PROMOTE` loses), sync and rescan every
+/// channel WAL from disk, then run the subscription half of recovery.
+/// Byte-identity with the dead primary follows from the WAL being the
+/// same bytes the primary shipped, and recovery being the same machinery
+/// a crashed primary restarts with.
+fn promote_server(shared: &Shared) -> Result<String, String> {
+    if shared
+        .standby
+        .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return Err(err(2, "not a standby (already promoted?)"));
+    }
+    let span = shared.span_begin(Level::Warn, "promote", 0, &[]);
+    let mut report = RecoveryReport::default();
+    let result = (|| -> Result<(), ServeError> {
+        let data = shared.data.as_ref().expect("standby has a data dir");
+        let channels: Vec<(String, Channel)> = shared
+            .channels
+            .lock()
+            .map_err(|_| ServeError::Runtime("lock poisoned".into()))?
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        report.channels = channels.len();
+        let mut frames_by_channel: HashMap<String, Vec<WalFrame>> = HashMap::new();
+        for (name, channel) in &channels {
+            let mut persist = channel
+                .persist
+                .lock()
+                .map_err(|_| ServeError::Runtime("lock poisoned".into()))?;
+            if let Some(wal) = persist.wal.as_mut() {
+                wal.sync()?;
+            }
+            // Rescan from disk: the standby never kept frames in memory.
+            let scan = crate::wal::scan_wal(&data.wal_path(name))?;
+            if scan.dropped_bytes > 0 {
+                report.dropped_bytes += scan.dropped_bytes;
+            }
+            frames_by_channel.insert(name.clone(), scan.frames);
+        }
+        respawn_and_replay(shared, frames_by_channel, &mut report)
+    })();
+    match result {
+        Ok(()) => {
+            ServerMetrics::inc(&shared.metrics.repl_promotions_total);
+            let summary = format!(
+                "channels={} subscriptions={} rows_replayed={}",
+                report.channels, report.subscriptions, report.rows_replayed
+            );
+            shared.span_end(Level::Warn, "promote", span, &[("summary", &summary)]);
+            Ok(format!("OK promoted {summary}"))
+        }
+        Err(e) => {
+            // Promotion is all-or-nothing: stay a standby so the operator
+            // can retry (or resync from a new primary).
+            shared.standby.store(true, Ordering::SeqCst);
+            shared.span_end(Level::Warn, "promote", span, &[("error", e.message())]);
+            Err(serve_err(&e))
+        }
+    }
+}
+
+/// Dispatch one standby-side `REPL` sub-verb (the head word `REPL` is
+/// already stripped; `args` is the rest of the verb line).
+fn repl_dispatch(shared: &Shared, conn: u64, args: &[&str], body: &str) -> Result<String, String> {
+    match args {
+        ["HELLO", "v1"] => standby_hello(shared, conn),
+        ["HELLO", v] => Err(err(2, format!("unsupported replication protocol '{v}'"))),
+        // Channel announcements reuse the ordinary open path: idempotent
+        // for a matching schema, `ERR 2` on a schema clash.
+        ["OPEN", chan, spec] => open_channel(shared, chan, spec),
+        ["FRAME", chan, start, nrows, crc] => standby_frame(shared, chan, start, nrows, crc, body),
+        ["META", id] => standby_meta(shared, id, body),
+        ["CHECKPOINT", id] => standby_checkpoint(shared, id, body),
+        ["REMOVE", id] => standby_remove(shared, id),
+        ["SUBS", keep @ ..] => standby_subs(shared, keep),
+        other => Err(err(2, format!("unknown REPL command {other:?}"))),
+    }
+}
+
+/// `REPL HELLO v1`: adopt this connection as the replication session and
+/// report every channel's durable row count so the primary can resync
+/// exactly the frames this standby lacks.
+fn standby_hello(shared: &Shared, conn: u64) -> Result<String, String> {
+    shared.repl_conn.store(conn, Ordering::SeqCst);
+    let channels = shared
+        .channels
+        .lock()
+        .map_err(|_| err(4, "lock poisoned"))?;
+    let mut reply = String::from("OK repl v1");
+    for (name, channel) in channels.iter() {
+        let rows = channel.persist.lock().map(|p| p.rows_total).unwrap_or(0);
+        reply.push_str(&format!("\n{} {rows}", encode_name(name)));
+    }
+    Ok(reply)
+}
+
+/// `REPL FRAME <chan> <start> <nrows> <crc>` + payload: validate and
+/// append one shipped WAL record.  Duplicates (frame end at or below the
+/// durable row count — the overlap between a resync scan and the live
+/// queue) are acknowledged without appending; anything else out of
+/// sequence is a gap the primary answers with a fresh resync.
+fn standby_frame(
+    shared: &Shared,
+    chan: &str,
+    start: &str,
+    nrows: &str,
+    crc: &str,
+    body: &str,
+) -> Result<String, String> {
+    let reject = |code: u8, msg: String| {
+        ServerMetrics::inc(&shared.metrics.repl_rejected_frames_total);
+        Err(err(code, msg))
+    };
+    let Ok(start) = start.parse::<u64>() else {
+        return reject(2, format!("bad REPL FRAME start ordinal '{start}'"));
+    };
+    let Ok(nrows) = nrows.parse::<u32>() else {
+        return reject(2, format!("bad REPL FRAME row count '{nrows}'"));
+    };
+    let Ok(crc) = u32::from_str_radix(crc, 16) else {
+        return reject(2, format!("bad REPL FRAME crc '{crc}'"));
+    };
+    if crc32(body.as_bytes()) != crc {
+        return reject(3, format!("repl frame crc mismatch on '{chan}'"));
+    }
+    let channel = {
+        let channels = shared
+            .channels
+            .lock()
+            .map_err(|_| err(4, "lock poisoned"))?;
+        match channels.get(chan).cloned() {
+            Some(c) => c,
+            None => return reject(2, format!("unknown channel '{chan}'")),
+        }
+    };
+    // Validate the payload against the schema before touching the WAL:
+    // the standby must never persist rows promotion cannot replay.
+    let mut parsed = 0u32;
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            return reject(3, format!("repl frame has an empty row line on '{chan}'"));
+        }
+        if let Err(e) = parse_headerless_row(&channel.schema, line, i + 1) {
+            return reject(3, e.to_string());
+        }
+        parsed += 1;
+    }
+    if parsed != nrows || nrows == 0 {
+        return reject(
+            3,
+            format!("repl frame row count mismatch: header {nrows}, payload {parsed}"),
+        );
+    }
+    let mut persist = channel
+        .persist
+        .lock()
+        .map_err(|_| err(4, "lock poisoned"))?;
+    #[cfg(feature = "failpoints")]
+    if let Some(injected) = sqlts_relation::failpoints::hit("repl::standby_append", start) {
+        if injected == sqlts_relation::failpoints::Injected::InjectError {
+            return Err(err(4, "failpoint 'repl::standby_append' injected error"));
+        }
+    }
+    let end = start + u64::from(nrows);
+    if end <= persist.rows_total {
+        return Ok(format!("OK repl ack {chan} {}", persist.rows_total));
+    }
+    if start != persist.rows_total {
+        return reject(
+            4,
+            format!(
+                "repl gap on '{chan}': frame starts at {start}, standby at {}",
+                persist.rows_total
+            ),
+        );
+    }
+    let Some(wal) = persist.wal.as_mut() else {
+        return Err(err(4, format!("channel '{chan}' has no wal on the standby")));
+    };
+    let synced = wal
+        .append(body, nrows)
+        .map_err(|e| err(4, format!("standby wal append on '{chan}': {e}")))?;
+    ServerMetrics::inc(&shared.metrics.wal_appends_total);
+    if synced {
+        ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+        shared
+            .metrics
+            .latency
+            .record_ns(LatencyOp::Fsync, wal.take_fsync_ns());
+    }
+    persist.rows_total = wal.rows_total();
+    ServerMetrics::inc(&shared.metrics.repl_frames_received_total);
+    Ok(format!("OK repl ack {chan} {}", persist.rows_total))
+}
+
+/// `REPL META <id>` + submeta text: persist a shipped subscription meta.
+fn standby_meta(shared: &Shared, id: &str, body: &str) -> Result<String, String> {
+    let meta = SubMeta::from_text(body).map_err(|e| err(3, format!("repl meta '{id}': {e}")))?;
+    {
+        let channels = shared
+            .channels
+            .lock()
+            .map_err(|_| err(4, "lock poisoned"))?;
+        if !channels.contains_key(&meta.channel) {
+            return Err(err(
+                4,
+                format!("repl meta '{id}' references unknown channel '{}'", meta.channel),
+            ));
+        }
+    }
+    let data = shared.data.as_ref().expect("standby has a data dir");
+    data.save_sub_meta(id, &meta).map_err(|e| serve_err(&e))?;
+    Ok(format!("OK repl meta {id}"))
+}
+
+/// `REPL CHECKPOINT <id>` + checkpoint text: persist a shipped
+/// subscription checkpoint, then truncate the channel's WAL below the
+/// new low-water mark (the primary just did the same).
+fn standby_checkpoint(shared: &Shared, id: &str, body: &str) -> Result<String, String> {
+    SessionCheckpoint::from_text(body)
+        .map_err(|e| err(3, format!("repl checkpoint '{id}': {e}")))?;
+    let data = shared.data.as_ref().expect("standby has a data dir");
+    let meta = data
+        .load_sub_meta(id)
+        .map_err(|e| serve_err(&e))?
+        .ok_or_else(|| err(4, format!("repl checkpoint '{id}' has no shipped meta")))?;
+    data.save_sub_checkpoint(id, body).map_err(|e| serve_err(&e))?;
+    ServerMetrics::inc(&shared.metrics.snapshots_total);
+    standby_truncate(shared, &meta.channel);
+    Ok(format!("OK repl checkpoint {id}"))
+}
+
+/// Truncate a standby channel's WAL below the minimum resume ordinal of
+/// its shipped checkpoints.  Best-effort, like the primary's snapshot
+/// pass: a stale checkpoint only makes the low-water mark *lower*, never
+/// wrong, and a subscription whose meta has not arrived yet can only
+/// need rows at or above the current durable row count.
+fn standby_truncate(shared: &Shared, chan: &str) {
+    let Some(data) = shared.data.as_ref() else {
+        return;
+    };
+    let Ok(subs) = data.load_subs() else {
+        return;
+    };
+    let channel = {
+        let Ok(channels) = shared.channels.lock() else {
+            return;
+        };
+        match channels.get(chan).cloned() {
+            Some(c) => c,
+            None => return,
+        }
+    };
+    let Ok(mut persist) = channel.persist.lock() else {
+        return;
+    };
+    let mut low_water = persist.rows_total;
+    for (_, meta, checkpoint) in &subs {
+        if meta.channel != chan {
+            continue;
+        }
+        let Ok(cp) = SessionCheckpoint::from_text(checkpoint) else {
+            return; // unreadable checkpoint: hold truncation entirely
+        };
+        low_water = low_water.min(meta.base_rows + cp.records().saturating_sub(meta.base_records));
+    }
+    if let Some(wal) = persist.wal.as_mut() {
+        if wal.sync().is_ok() {
+            ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+            if let Ok(true) = wal.truncate_below(low_water) {
+                ServerMetrics::inc(&shared.metrics.wal_truncations_total);
+            }
+        }
+    }
+}
+
+/// `REPL REMOVE <id>`: drop a shipped subscription's durable files.
+fn standby_remove(shared: &Shared, id: &str) -> Result<String, String> {
+    let data = shared.data.as_ref().expect("standby has a data dir");
+    data.remove_sub(id);
+    Ok(format!("OK repl remove {id}"))
+}
+
+/// `REPL SUBS <id>...`: reconcile at resync — remove every durable
+/// subscription the primary no longer has (its `REMOVE` may have been
+/// shipped to a dead session).
+fn standby_subs(shared: &Shared, keep: &[&str]) -> Result<String, String> {
+    let data = shared.data.as_ref().expect("standby has a data dir");
+    let keep: HashSet<&str> = keep.iter().copied().collect();
+    let subs = data.load_subs().map_err(|e| serve_err(&e))?;
+    for (id, _, _) in &subs {
+        if !keep.contains(id.as_str()) {
+            data.remove_sub(id);
+        }
+    }
+    Ok(format!("OK repl subs {}", keep.len()))
+}
+
+/// Standby `STATUS <id>`: answered from the shipped durable state (no
+/// worker exists until promotion).
+fn standby_status(shared: &Shared, id: &str) -> Result<String, String> {
+    let data = shared.data.as_ref().expect("standby has a data dir");
+    let subs = data.load_subs().map_err(|e| serve_err(&e))?;
+    let Some((_, meta, checkpoint)) = subs.iter().find(|(sid, _, _)| sid == id) else {
+        return Err(err(2, format!("unknown subscription '{id}'")));
+    };
+    let records = SessionCheckpoint::from_text(checkpoint)
+        .map(|cp| cp.records())
+        .unwrap_or(0);
+    let durable_rows = {
+        let channels = shared
+            .channels
+            .lock()
+            .map_err(|_| err(4, "lock poisoned"))?;
+        channels
+            .get(&meta.channel)
+            .and_then(|c| c.persist.lock().ok().map(|p| p.rows_total))
+            .unwrap_or(0)
+    };
+    Ok(format!(
+        "OK status standby channel={} records={records} durable_rows={durable_rows}",
+        meta.channel
+    ))
+}
+
+/// How one shipping session ended.
+enum SessionEnd {
+    /// The stop flag is set (or the server is gone): exit the thread.
+    Stop,
+    /// The session failed: drain the stale queue, back off, resync.
+    Retry,
+}
+
+/// The `--replicate-to` shipping thread: one session at a time, each a
+/// connect + `HELLO` + full resync + live queue loop.  Holds only a
+/// [`Weak`] on [`Shared`] between sessions so a dropped server is not
+/// pinned by its own shipper ([`Server`]'s drop joins this thread).
+fn replication_thread(
+    weak: &Weak<Shared>,
+    rx: &mpsc::Receiver<ReplCmd>,
+    stop: &Arc<AtomicBool>,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match replication_session(weak, rx, stop) {
+            SessionEnd::Stop => return,
+            SessionEnd::Retry => {
+                // Anything still queued targeted the dead session; the
+                // next resync re-reads the WAL instead.
+                while rx.try_recv().is_ok() {}
+                for _ in 0..10 {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+}
+
+/// Count a session-fatal shipping error and flip to disconnected (waking
+/// any sync-mode feeders so they degrade instead of timing out).
+fn session_fail(shared: &Shared, what: &str, e: &str) {
+    if let Some(repl) = shared.repl.as_ref() {
+        repl.state.send_errors.fetch_add(1, Ordering::Relaxed);
+        repl.state.mark_disconnected();
+    }
+    shared.span_event(Level::Warn, "repl_session_error", &[("what", what), ("error", e)]);
+}
+
+fn replication_session(
+    weak: &Weak<Shared>,
+    rx: &mpsc::Receiver<ReplCmd>,
+    stop: &Arc<AtomicBool>,
+) -> SessionEnd {
+    let Some(shared) = weak.upgrade() else {
+        return SessionEnd::Stop;
+    };
+    let repl = shared.repl.as_ref().expect("session implies a replicator");
+    let target = repl.target.clone();
+    let max_frame = shared.config.max_frame_bytes;
+    // Connect with bounded timeouts.  Read timeouts are session-fatal by
+    // design: a timeout mid-reply would desync the buffered reader, so
+    // the session resets instead of continuing.
+    let addrs: Vec<std::net::SocketAddr> = match target.to_socket_addrs() {
+        Ok(addrs) => addrs.collect(),
+        Err(e) => {
+            session_fail(&shared, "resolve", &e.to_string());
+            return SessionEnd::Retry;
+        }
+    };
+    let mut stream = None;
+    for addr in &addrs {
+        if let Ok(s) = TcpStream::connect_timeout(addr, Duration::from_millis(500)) {
+            stream = Some(s);
+            break;
+        }
+    }
+    let Some(mut stream) = stream else {
+        session_fail(&shared, "connect", &format!("no address of '{target}' accepted"));
+        return SessionEnd::Retry;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    let Ok(clone) = stream.try_clone() else {
+        session_fail(&shared, "clone", "socket clone failed");
+        return SessionEnd::Retry;
+    };
+    let mut reader = BufReader::new(clone);
+    let standby_rows =
+        match send_repl(&mut stream, &mut reader, "REPL HELLO v1", max_frame)
+            .and_then(|r| parse_hello(&r))
+        {
+            Ok(rows) => rows,
+            Err(e) => {
+                session_fail(&shared, "hello", &e);
+                return SessionEnd::Retry;
+            }
+        };
+    repl.state.resyncs.fetch_add(1, Ordering::Relaxed);
+    for (chan, rows) in &standby_rows {
+        repl.state.note_ack(chan, *rows);
+    }
+    // Connected *before* the resync scan: live frames queue behind it,
+    // and the overlap is absorbed by idempotent standby acks.
+    repl.state.connected.store(true, Ordering::SeqCst);
+    shared.span_event(Level::Info, "repl_connected", &[("target", &target)]);
+    let fatal = |what: &str, e: &str| {
+        session_fail(&shared, what, e);
+        SessionEnd::Retry
+    };
+    let channels: Vec<(String, Channel)> = match shared.channels.lock() {
+        Ok(map) => map.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        Err(_) => return fatal("channels", "lock poisoned"),
+    };
+    let data = shared.data.as_ref().expect("--replicate-to requires a data dir");
+    for (name, channel) in &channels {
+        let spec = schema_spec(&channel.schema);
+        let opened = send_repl(
+            &mut stream,
+            &mut reader,
+            &format!("REPL OPEN {name} {spec}"),
+            max_frame,
+        )
+        .and_then(|r| parse_opened_rows(&r));
+        match opened {
+            Ok(rows) => repl.state.note_ack(name, rows),
+            Err(e) => return fatal("open", &e),
+        }
+        // Ship every durable frame past the standby's watermark.  Read
+        // from disk without the persist lock: appends are unbuffered
+        // writes, the scan tolerates a torn in-flight tail, and any frame
+        // it misses was offered to the live queue behind us.
+        let acked = repl.state.acked(name);
+        let frames = match crate::wal::read_frames_from(&data.wal_path(name), acked) {
+            Ok(frames) => frames,
+            Err(e) => return fatal("resync_scan", &e.to_string()),
+        };
+        for frame in &frames {
+            if frame.end() <= repl.state.acked(name) {
+                continue;
+            }
+            if let Err(e) = ship_frame(
+                repl,
+                &mut stream,
+                &mut reader,
+                max_frame,
+                name,
+                frame.start,
+                frame.nrows,
+                &frame.payload,
+            ) {
+                return fatal("resync_frame", &e);
+            }
+        }
+    }
+    // Reconcile durable subscription state, then ship every meta +
+    // checkpoint (idempotent overwrites on the standby).
+    let subs = match data.load_subs() {
+        Ok(subs) => subs,
+        Err(e) => return fatal("load_subs", e.message()),
+    };
+    let mut subs_line = String::from("REPL SUBS");
+    for (id, _, _) in &subs {
+        subs_line.push(' ');
+        subs_line.push_str(id);
+    }
+    if let Err(e) = send_repl(&mut stream, &mut reader, &subs_line, max_frame) {
+        return fatal("subs", &e);
+    }
+    for (id, meta, checkpoint) in &subs {
+        let shipped = send_repl(
+            &mut stream,
+            &mut reader,
+            &format!("REPL META {id}\n{}", meta.to_text()),
+            max_frame,
+        )
+        .and_then(|_| {
+            send_repl(
+                &mut stream,
+                &mut reader,
+                &format!("REPL CHECKPOINT {id}\n{checkpoint}"),
+                max_frame,
+            )
+        });
+        if let Err(e) = shipped {
+            return fatal("resync_sub", &e);
+        }
+    }
+    // Live loop: drain the commit-ordered queue until stop or a fault.
+    loop {
+        if stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            repl.state.mark_disconnected();
+            return SessionEnd::Stop;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(ReplCmd::Shutdown) => {
+                repl.state.mark_disconnected();
+                return SessionEnd::Stop;
+            }
+            Ok(cmd) => {
+                if let Err(e) = ship_cmd(repl, &mut stream, &mut reader, max_frame, &cmd) {
+                    return fatal("ship", &e);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                repl.state.mark_disconnected();
+                return SessionEnd::Stop;
+            }
+        }
+    }
+}
+
+/// Ship one queued replication command over the live session.
+fn ship_cmd(
+    repl: &Replicator,
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    max_frame: usize,
+    cmd: &ReplCmd,
+) -> Result<(), String> {
+    match cmd {
+        ReplCmd::Frame {
+            channel,
+            start,
+            nrows,
+            payload,
+        } => {
+            if start + u64::from(*nrows) <= repl.state.acked(channel) {
+                return Ok(()); // the resync scan already covered it
+            }
+            ship_frame(
+                repl, stream, reader, max_frame, channel, *start, *nrows, payload,
+            )
+        }
+        ReplCmd::Open { channel, spec } => {
+            let reply = send_repl(
+                stream,
+                reader,
+                &format!("REPL OPEN {channel} {spec}"),
+                max_frame,
+            )?;
+            repl.state.note_ack(channel, parse_opened_rows(&reply)?);
+            Ok(())
+        }
+        ReplCmd::Meta { id, text } => {
+            send_repl(stream, reader, &format!("REPL META {id}\n{text}"), max_frame).map(|_| ())
+        }
+        ReplCmd::Checkpoint { id, text } => send_repl(
+            stream,
+            reader,
+            &format!("REPL CHECKPOINT {id}\n{text}"),
+            max_frame,
+        )
+        .map(|_| ()),
+        ReplCmd::Remove { id } => {
+            send_repl(stream, reader, &format!("REPL REMOVE {id}"), max_frame).map(|_| ())
+        }
+        ReplCmd::Shutdown => Ok(()),
+    }
+}
+
+/// Ship one WAL frame and record its ack watermark.
+#[allow(clippy::too_many_arguments)]
+fn ship_frame(
+    repl: &Replicator,
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    max_frame: usize,
+    channel: &str,
+    start: u64,
+    nrows: u32,
+    payload: &str,
+) -> Result<(), String> {
+    let crc = crc32(payload.as_bytes());
+    let reply = send_repl(
+        stream,
+        reader,
+        &format!("REPL FRAME {channel} {start} {nrows} {crc:08x}\n{payload}"),
+        max_frame,
+    )?;
+    repl.state.frames_sent.fetch_add(1, Ordering::Relaxed);
+    let (chan, end) = parse_ack(&reply)?;
+    if chan != channel {
+        return Err(format!("ack for wrong channel: '{chan}' != '{channel}'"));
+    }
+    repl.state.acks.fetch_add(1, Ordering::Relaxed);
+    repl.state.note_ack(channel, end);
+    Ok(())
 }
 
 fn recover_worker_err(id: &str, e: &WorkerError) -> ServeError {
@@ -693,6 +1497,9 @@ fn reap_connection(shared: &Shared, conn: u64) {
         // worker with no files, never files with no worker.
         if let Some(data) = shared.data.as_ref() {
             data.remove_sub(&id);
+            if let Some(repl) = shared.repl.as_ref() {
+                repl.offer_remove(&id);
+            }
         }
         if let Ok(report) = sub.worker.finish() {
             if let Some(profile) = report.profile {
@@ -836,28 +1643,50 @@ fn dispatch(shared: &Shared, conn: u64, payload: &str) -> Result<String, String>
         0,
         &[("verb", verb), ("conn", &conn_s)],
     );
-    let reply = match (verb, args.as_slice()) {
-        ("PING", []) => Ok("OK pong".into()),
-        ("OPEN", [chan, spec]) => open_channel(shared, chan, spec),
-        ("SUBSCRIBE", [id, chan]) => subscribe(shared, conn, id, chan, body, None),
-        ("RESUME", [id, chan]) => match body.split_once('\n') {
-            Some((sql, checkpoint)) => {
-                subscribe(shared, conn, id, chan, sql, Some(checkpoint.to_string()))
+    // A warm standby accepts only the replication stream and read-only
+    // probes; everything mutating is refused until PROMOTE so the two
+    // ends of the stream cannot diverge.
+    let reply = if shared.standby.load(Ordering::SeqCst) {
+        match (verb, args.as_slice()) {
+            ("PING", []) => Ok("OK pong".into()),
+            ("REPL", rest) => repl_dispatch(shared, conn, rest, body),
+            ("PROMOTE", []) => promote_server(shared),
+            ("STATUS", [id]) => standby_status(shared, id),
+            ("", _) => Err(err(2, "empty frame")),
+            (verb, _) => Err(err(
+                4,
+                format!("standby is read-only; '{verb}' is not served until PROMOTE"),
+            )),
+        }
+    } else {
+        match (verb, args.as_slice()) {
+            ("PING", []) => Ok("OK pong".into()),
+            ("OPEN", [chan, spec]) => open_channel(shared, chan, spec),
+            ("SUBSCRIBE", [id, chan]) => subscribe(shared, conn, id, chan, body, None),
+            ("RESUME", [id, chan]) => match body.split_once('\n') {
+                Some((sql, checkpoint)) => {
+                    subscribe(shared, conn, id, chan, sql, Some(checkpoint.to_string()))
+                }
+                None => Err(err(2, "RESUME needs an SQL line and checkpoint text")),
+            },
+            ("FEED", [chan]) => feed(shared, chan, body, span),
+            ("STATUS", [id]) => status(shared, id),
+            ("CHECKPOINT", [id]) => checkpoint(shared, id),
+            ("CHECKPOINT", [id, durable]) if durable.eq_ignore_ascii_case("DURABLE") => {
+                checkpoint_durable(shared, id)
             }
-            None => Err(err(2, "RESUME needs an SQL line and checkpoint text")),
-        },
-        ("FEED", [chan]) => feed(shared, chan, body, span),
-        ("STATUS", [id]) => status(shared, id),
-        ("CHECKPOINT", [id]) => checkpoint(shared, id),
-        ("UNSUBSCRIBE", [id]) => unsubscribe(shared, id),
-        ("", _) => Err(err(2, "empty frame")),
-        (verb, _) => Err(err(
-            2,
-            format!(
-                "unknown or malformed command '{verb}' (args: {})",
-                args.len()
-            ),
-        )),
+            ("UNSUBSCRIBE", [id]) => unsubscribe(shared, id),
+            ("PROMOTE", []) => Err(err(2, "not a standby")),
+            ("REPL", _) => Err(err(2, "not a standby")),
+            ("", _) => Err(err(2, "empty frame")),
+            (verb, _) => Err(err(
+                2,
+                format!(
+                    "unknown or malformed command '{verb}' (args: {})",
+                    args.len()
+                ),
+            )),
+        }
     };
     shared.span_end(
         Level::Debug,
@@ -908,14 +1737,18 @@ fn open_channel(shared: &Shared, chan: &str, spec: &str) -> Result<String, Strin
                 // WAL no recovery pass will ever look at.
                 data.save_channel(chan, &channel.schema)
                     .map_err(|e| serve_err(&e))?;
-                let (wal, scan) = ChannelWal::open(&data.wal_path(chan), shared.config.fsync)
+                let (mut wal, scan) = ChannelWal::open(&data.wal_path(chan), shared.config.fsync)
                     .map_err(|e| serve_err(&ServeError::from(e)))?;
+                wal.set_segment_bytes(shared.config.wal_segment_bytes);
                 let mut persist = channel
                     .persist
                     .lock()
                     .map_err(|_| err(4, "lock poisoned"))?;
                 persist.rows_total = scan.rows_total;
                 persist.wal = Some(wal);
+                if let Some(repl) = shared.repl.as_ref() {
+                    repl.offer_open(chan, &schema_spec(&channel.schema));
+                }
             }
             channels.insert(chan.to_string(), channel.clone());
             channel
@@ -1054,6 +1887,12 @@ fn subscribe(
             return Err(serve_err(&e));
         }
         ServerMetrics::inc(&shared.metrics.snapshots_total);
+        if let Some(repl) = shared.repl.as_ref() {
+            // Still under the persist lock: the standby sees the meta
+            // before any frame this subscription will be replayed over.
+            repl.offer_meta(id, &meta.to_text());
+            repl.offer_checkpoint(id, &text);
+        }
     }
     drop(persist);
     ServerMetrics::inc(&shared.metrics.subscriptions_total);
@@ -1084,6 +1923,7 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
         rows.push(parse_headerless_row(&channel.schema, line, i + 1).map_err(|e| err(3, e))?);
         lines.push(line);
     }
+    let payload_text = lines.join("\n");
     // The channel persist lock is held across append, fan-out and
     // snapshot: WAL order is feed order, and the durable copy lands
     // before any subscriber sees a row.
@@ -1091,6 +1931,8 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
         .persist
         .lock()
         .map_err(|_| err(4, "lock poisoned"))?;
+    let start_ordinal = persist.rows_total;
+    let mut offered = false;
     if !rows.is_empty() {
         if let Some(wal) = persist.wal.as_mut() {
             let span = shared.span_begin(
@@ -1100,7 +1942,7 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
                 &[("channel", chan), ("rows", &rows.len().to_string())],
             );
             let append_started = Instant::now();
-            let appended = wal.append(&lines.join("\n"), rows.len() as u32);
+            let appended = wal.append(&payload_text, rows.len() as u32);
             let append_ns = append_started.elapsed().as_nanos() as u64;
             // The fsync (when the policy took one) is inside append's
             // wall time; split it out so the two histograms answer
@@ -1136,6 +1978,12 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
             }
         }
         persist.rows_total += rows.len() as u64;
+        if let Some(repl) = shared.repl.as_ref() {
+            // Enqueued under the persist lock so the shipping queue is in
+            // commit order.  While disconnected the offer is dropped: the
+            // WAL is the source of truth and the next resync re-reads it.
+            offered = repl.offer_frame(chan, start_ordinal, rows.len() as u32, &payload_text);
+        }
     }
     let workers: Vec<(String, Arc<SessionWorker>)> = {
         let subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
@@ -1202,12 +2050,62 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
     }
     let fresh_trip = !newly.is_empty();
     persist.tripped_seen.extend(newly);
-    if persist.wal.is_some() && !rows.is_empty() {
+    let has_wal = persist.wal.is_some();
+    if has_wal && !rows.is_empty() {
         persist.frames_since_snapshot += 1;
         if fresh_trip
             || persist.frames_since_snapshot >= shared.config.checkpoint_every_frames.max(1)
         {
-            snapshot_channel_locked(shared, chan, &mut persist, parent);
+            snapshot_channel_locked(shared, chan, &channel, &mut persist, parent);
+        }
+    }
+    let end_ordinal = persist.rows_total;
+    drop(persist);
+    // Group commit: the append above did not sync.  Wait (off-lock, so
+    // concurrent FEEDs can pile their appends into the same batch) until
+    // a leader's single fsync covers this frame's rows.
+    if has_wal && !rows.is_empty() {
+        if let FsyncPolicy::Group { window_us } = shared.config.fsync {
+            let window = Duration::from_micros(u64::from(window_us));
+            let group = Arc::clone(&channel.group);
+            let outcome = group.wait_durable(end_ordinal, window, || {
+                let mut persist = channel
+                    .persist
+                    .lock()
+                    .map_err(|_| "lock poisoned".to_string())?;
+                let Some(wal) = persist.wal.as_mut() else {
+                    return Err("wal closed".into());
+                };
+                wal.sync().map_err(|e| e.to_string())?;
+                ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+                shared
+                    .metrics
+                    .latency
+                    .record_ns(LatencyOp::Fsync, wal.take_fsync_ns());
+                Ok(wal.rows_total())
+            });
+            if let Err(e) = outcome {
+                // The rows were appended but are not durable; the feeder
+                // must not treat them as accepted.  (Recovery truncates
+                // or replays them consistently either way.)
+                return Err(err(4, format!("group fsync on '{chan}': {e}")));
+            }
+        }
+    }
+    // Semi-synchronous replication: hold the ack until the standby has
+    // the frame, degrading (counted) rather than failing the FEED when
+    // the standby is away or slow.
+    if !rows.is_empty() {
+        if let Some(repl) = shared.repl.as_ref() {
+            if repl.ack == ReplAck::Sync {
+                let acked = offered
+                    && repl
+                        .state
+                        .wait_acked(chan, end_ordinal, replicate::SYNC_ACK_TIMEOUT);
+                if !acked {
+                    repl.state.sync_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
     Ok(format!(
@@ -1223,11 +2121,24 @@ fn feed(shared: &Shared, chan: &str, body: &str, parent: u64) -> Result<String, 
 /// Best-effort: a failure leaves the WAL longer than necessary, never
 /// inconsistent.  `parent` nests the snapshot span under the operation
 /// that forced it (0 for a top-level snapshot).
-fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPersist, parent: u64) {
+fn snapshot_channel_locked(
+    shared: &Shared,
+    chan: &str,
+    channel: &Channel,
+    persist: &mut ChannelPersist,
+    parent: u64,
+) {
     persist.frames_since_snapshot = 0;
     let Some(data) = shared.data.as_ref() else {
         return;
     };
+    if shared.standby.load(Ordering::SeqCst) {
+        // A standby has durable sub metas but no live workers: the
+        // "every subscription" sweep below would see none and truncate
+        // frames promotion still needs.  Standby truncation is driven by
+        // the primary's shipped checkpoints instead.
+        return;
+    }
     let started = Instant::now();
     let span = shared.span_begin(Level::Debug, "snapshot", parent, &[("channel", chan)]);
     let members: Vec<(String, Arc<SessionWorker>, u64, u64)> = {
@@ -1257,6 +2168,9 @@ fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPer
                     continue;
                 }
                 ServerMetrics::inc(&shared.metrics.snapshots_total);
+                if let Some(repl) = shared.repl.as_ref() {
+                    repl.offer_checkpoint(id, &text);
+                }
                 low_water = low_water.min(base_rows + records.saturating_sub(*base_records));
             }
             // A worker that cannot snapshot right now (finishing, dead)
@@ -1269,6 +2183,7 @@ fn snapshot_channel_locked(shared: &Shared, chan: &str, persist: &mut ChannelPer
         if let Some(wal) = persist.wal.as_mut() {
             if wal.sync().is_ok() {
                 ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+                channel.group.publish_synced(wal.rows_total());
                 if let Ok(true) = wal.truncate_below(low_water) {
                     ServerMetrics::inc(&shared.metrics.wal_truncations_total);
                     truncated = true;
@@ -1322,6 +2237,64 @@ fn checkpoint(shared: &Shared, id: &str) -> Result<String, String> {
     Ok(format!("CHECKPOINT {id}\n{text}"))
 }
 
+/// `CHECKPOINT <id> DURABLE`: force an atomic on-disk snapshot and reply
+/// with the durable resume ordinal — the first channel row this
+/// subscription has *not* yet observed, which is exactly where recovery
+/// (or a promoted standby) resumes it.  The channel WAL is synced first
+/// under the persist lock so the reported ordinal is never ahead of
+/// durable rows.
+fn checkpoint_durable(shared: &Shared, id: &str) -> Result<String, String> {
+    let Some(data) = shared.data.as_ref() else {
+        return Err(err(2, "CHECKPOINT DURABLE requires --data-dir"));
+    };
+    let (worker, chan, base_rows, base_records) = {
+        let subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
+        let sub = subs
+            .get(id)
+            .ok_or_else(|| err(2, format!("unknown subscription '{id}'")))?;
+        (
+            Arc::clone(&sub.worker),
+            sub.channel.clone(),
+            sub.base_rows,
+            sub.base_records,
+        )
+    };
+    let channel = {
+        let channels = shared
+            .channels
+            .lock()
+            .map_err(|_| err(4, "lock poisoned"))?;
+        channels
+            .get(&chan)
+            .cloned()
+            .ok_or_else(|| err(4, format!("channel '{chan}' is gone")))?
+    };
+    let mut persist = channel
+        .persist
+        .lock()
+        .map_err(|_| err(4, "lock poisoned"))?;
+    if let Some(wal) = persist.wal.as_mut() {
+        wal.sync()
+            .map_err(|e| err(4, format!("wal sync on '{chan}': {e}")))?;
+        ServerMetrics::inc(&shared.metrics.wal_fsyncs_total);
+        shared
+            .metrics
+            .latency
+            .record_ns(LatencyOp::Fsync, wal.take_fsync_ns());
+        channel.group.publish_synced(wal.rows_total());
+    }
+    let (text, records) = worker.snapshot_with_records().map_err(|e| worker_err(&e))?;
+    data.save_sub_checkpoint(id, &text)
+        .map_err(|e| serve_err(&e))?;
+    ServerMetrics::inc(&shared.metrics.snapshots_total);
+    if let Some(repl) = shared.repl.as_ref() {
+        repl.offer_checkpoint(id, &text);
+    }
+    drop(persist);
+    let ordinal = base_rows + records.saturating_sub(base_records);
+    Ok(format!("OK checkpoint {id} durable ordinal={ordinal}"))
+}
+
 fn unsubscribe(shared: &Shared, id: &str) -> Result<String, String> {
     let sub = {
         let mut subs = shared.subs.lock().map_err(|_| err(4, "lock poisoned"))?;
@@ -1333,6 +2306,9 @@ fn unsubscribe(shared: &Shared, id: &str) -> Result<String, String> {
     // query on restart.
     if let Some(data) = shared.data.as_ref() {
         data.remove_sub(id);
+        if let Some(repl) = shared.repl.as_ref() {
+            repl.offer_remove(id);
+        }
     }
     let report = sub.worker.finish().map_err(|e| worker_err(&e))?;
     // An unsubscribe that surfaces a trip, quarantine, or error is the
@@ -1407,14 +2383,27 @@ fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         if shared.config.shared_matcher.enabled() {
             body.push_str(&patternset_exposition(shared, &views));
         }
+        if let Some(snap) = repl_snapshot(shared) {
+            body.push_str(&repl_exposition(&snap));
+        }
+        body.push_str(
+            "# HELP sqlts_standby server is an unpromoted warm standby\n\
+             # TYPE sqlts_standby gauge\n",
+        );
+        body.push_str(&format!(
+            "sqlts_standby {}\n",
+            u8::from(shared.standby.load(Ordering::SeqCst))
+        ));
         ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
     } else if path == "/status" || path.starts_with("/status?") {
         let subs = http_sub_views(shared);
         let draining = shared.draining.load(Ordering::SeqCst);
+        let standby = shared.standby.load(Ordering::SeqCst);
+        let snap = repl_snapshot(shared);
         (
             "200 OK",
             "application/json; charset=utf-8",
-            status_json(&shared.metrics, &subs, draining),
+            status_json(&shared.metrics, &subs, draining, standby, snap.as_ref()),
         )
     } else {
         (
@@ -1435,6 +2424,32 @@ fn serve_http(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     let mut writer = stream;
     writer.write_all(response.as_bytes())?;
     writer.flush()
+}
+
+/// The primary's live replication health (`None` without
+/// `--replicate-to`): counters from [`Replicator`], lag computed against
+/// every channel's current durable row count.
+fn repl_snapshot(shared: &Shared) -> Option<ReplSnapshot> {
+    let repl = shared.repl.as_ref()?;
+    let rows: Vec<(String, u64)> = shared
+        .channels
+        .lock()
+        .map(|channels| {
+            channels
+                .iter()
+                .map(|(name, c)| {
+                    (
+                        name.clone(),
+                        c.persist.lock().map(|p| p.rows_total).unwrap_or(0),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let lag = repl
+        .state
+        .lag_rows(rows.iter().map(|(name, total)| (name.as_str(), *total)));
+    Some(repl.snapshot(lag))
 }
 
 /// Roll the per-channel shared pattern-set registries into one
@@ -1793,7 +2808,13 @@ mod tests {
     #[test]
     fn wal_truncates_once_snapshots_pass_the_low_water_mark() {
         let root = temp_data_dir("lowwater");
-        let server = Server::bind(durable_config(&root, 1)).unwrap();
+        let config = ServerConfig {
+            // Roll a segment on every append so each frame is alone in
+            // its segment and truncation (whole-segment unlink) can bite.
+            wal_segment_bytes: 1,
+            ..durable_config(&root, 1)
+        };
+        let server = Server::bind(config).unwrap();
         let shared = &server.shared;
         dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
         let sql = "SELECT X.name FROM q CLUSTER BY name SEQUENCE BY day AS (X, Z) \
@@ -1802,11 +2823,14 @@ mod tests {
         for day in 0..6 {
             dispatch(shared, 1, &format!("FEED q\nAAA,{day},{}", 50 - day)).unwrap();
         }
-        // checkpoint_every_frames=1: every feed snapshots and truncates,
-        // so the WAL holds no frame that ends at or below the snapshot.
+        // checkpoint_every_frames=1: every feed snapshots and truncates.
+        // Every closed segment is unlinked; the active segment (which
+        // always retains the newest frame) is all that survives.
         let scan = crate::wal::scan_wal(&root.join("channels").join("q.wal")).unwrap();
-        assert!(scan.frames.is_empty(), "all frames truncated: {scan:?}");
-        assert_eq!(scan.rows_total, 6, "ordinal line survives truncation");
+        assert_eq!(scan.frames.len(), 1, "only the active frame: {scan:?}");
+        assert_eq!(scan.frames[0].end(), 6, "{scan:?}");
+        assert_eq!(scan.segments.len(), 1, "{scan:?}");
+        assert_eq!(scan.rows_total, 6, "ordinal survives truncation");
         assert!(shared.metrics.wal_truncations_total.load(Ordering::Relaxed) > 0);
         let _ = std::fs::remove_dir_all(&root);
     }
@@ -1838,6 +2862,393 @@ mod tests {
             Err(e) => assert_eq!(e.exit_code(), 2, "{e}"),
             Ok(_) => panic!("bad listen address must fail"),
         }
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_feeders() {
+        let root = temp_data_dir("groupcommit");
+        let config = ServerConfig {
+            fsync: FsyncPolicy::Group { window_us: 5_000 },
+            ..durable_config(&root, 1_000)
+        };
+        let server = Server::bind(config).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        // Four feeders race 5 FEEDs each; every ack means "my rows are
+        // fsynced", but the 5 ms leader window lets concurrent appends
+        // share one fsync(2).
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let shared = &server.shared;
+                scope.spawn(move || {
+                    for f in 0..5u64 {
+                        let day = t * 100 + f;
+                        let reply =
+                            dispatch(shared, t + 1, &format!("FEED q\nAAA,{day},10")).unwrap();
+                        assert!(reply.starts_with("OK fed 1"), "{reply}");
+                    }
+                });
+            }
+        });
+        let appends = shared.metrics.wal_appends_total.load(Ordering::Relaxed);
+        let fsyncs = shared.metrics.wal_fsyncs_total.load(Ordering::Relaxed);
+        assert_eq!(appends, 20);
+        assert!(
+            fsyncs < appends,
+            "group commit must batch: {fsyncs} fsyncs for {appends} appends"
+        );
+        drop(server);
+        // Every acked row really was durable.
+        let server = Server::bind(durable_config(&root, 1_000)).unwrap();
+        assert_eq!(
+            dispatch(&server.shared, 1, "OPEN q name:str,day:int,price:float").unwrap(),
+            "OK opened q rows=20"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_durable_reply_matches_the_checkpoint_on_disk() {
+        let root = temp_data_dir("cpdurable");
+        let server = Server::bind(durable_config(&root, 1_000)).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+        for frame in kill_frames().iter().take(4) {
+            dispatch(shared, 1, &format!("FEED q\n{frame}")).unwrap();
+        }
+        let reply = dispatch(shared, 1, "CHECKPOINT s DURABLE").unwrap();
+        let ordinal: u64 = reply
+            .strip_prefix("OK checkpoint s durable ordinal=")
+            .unwrap_or_else(|| panic!("unexpected reply: {reply}"))
+            .parse()
+            .unwrap();
+        assert_eq!(ordinal, 12, "4 frames x 3 rows all checkpointed");
+        // The regression the verb exists for: the ordinal in the reply
+        // must be derived from the snapshot that actually hit the disk.
+        let cp_text = std::fs::read_to_string(root.join("subs").join("s.checkpoint")).unwrap();
+        let cp = sqlts_core::SessionCheckpoint::from_text(&cp_text).unwrap();
+        let meta =
+            SubMeta::from_text(&std::fs::read_to_string(root.join("subs").join("s.meta")).unwrap())
+                .unwrap();
+        assert_eq!(
+            ordinal,
+            meta.base_rows + cp.records().saturating_sub(meta.base_records),
+            "reply ordinal diverges from the durable checkpoint"
+        );
+        // The lowercase spelling works too, and a plain CHECKPOINT still
+        // answers with the portable text codec.
+        let reply = dispatch(shared, 1, "CHECKPOINT s durable").unwrap();
+        assert!(reply.starts_with("OK checkpoint s durable ordinal="), "{reply}");
+        let plain = dispatch(shared, 1, "CHECKPOINT s").unwrap();
+        assert!(plain.starts_with("CHECKPOINT s\nsqlts-checkpoint v1\n"), "{plain}");
+        drop(server);
+        // Without a data dir there is nothing durable to promise.
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let shared = &server.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+        let err = dispatch(shared, 1, "CHECKPOINT s DURABLE").unwrap_err();
+        assert!(err.starts_with("ERR 2 "), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn bind_rejects_invalid_replication_configs() {
+        let cases: [(&str, ServerConfig); 5] = [
+            (
+                "--standby without --data-dir",
+                ServerConfig {
+                    standby: true,
+                    ..ServerConfig::default()
+                },
+            ),
+            (
+                "--replicate-to without --data-dir",
+                ServerConfig {
+                    replicate_to: Some("127.0.0.1:9".into()),
+                    ..ServerConfig::default()
+                },
+            ),
+            (
+                "--standby with --replicate-to",
+                ServerConfig {
+                    standby: true,
+                    replicate_to: Some("127.0.0.1:9".into()),
+                    ..durable_config(&temp_data_dir("cfg-chain"), 64)
+                },
+            ),
+            (
+                "--standby with --fsync group",
+                ServerConfig {
+                    standby: true,
+                    fsync: FsyncPolicy::Group { window_us: 500 },
+                    ..durable_config(&temp_data_dir("cfg-group"), 64)
+                },
+            ),
+            (
+                "--promote-on-disconnect without --standby",
+                ServerConfig {
+                    promote_on_disconnect: true,
+                    ..ServerConfig::default()
+                },
+            ),
+        ];
+        for (what, config) in cases {
+            match Server::bind(config) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{what}: {e}"),
+                Ok(_) => panic!("{what} must be refused at bind"),
+            }
+        }
+    }
+
+    #[test]
+    fn standby_is_read_only_until_promoted() {
+        let root = temp_data_dir("readonly");
+        let config = ServerConfig {
+            standby: true,
+            ..durable_config(&root, 64)
+        };
+        let server = Server::bind(config).unwrap();
+        let shared = &server.shared;
+        // Mutating verbs are refused with a hint at the escape hatch.
+        for payload in [
+            "OPEN q name:str,day:int,price:float",
+            "FEED q\nAAA,1,10",
+            &format!("SUBSCRIBE s q\n{KILL_SQL}"),
+            "UNSUBSCRIBE s",
+            "CHECKPOINT s",
+            "DRAIN",
+        ] {
+            let err = dispatch(shared, 1, payload).unwrap_err();
+            assert!(err.starts_with("ERR 4 "), "{payload:?} -> {err}");
+            assert!(err.contains("PROMOTE"), "{payload:?} -> {err}");
+        }
+        assert_eq!(dispatch(shared, 1, "PING").unwrap(), "OK pong");
+        // Promotion flips it into a plain durable primary.
+        let reply = dispatch(shared, 1, "PROMOTE").unwrap();
+        assert!(reply.starts_with("OK promoted channels=0"), "{reply}");
+        assert!(!server.is_standby());
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        dispatch(shared, 1, "FEED q\nAAA,1,10").unwrap();
+        // Promoting twice (or promoting a server that never was a
+        // standby) is a usage error, not a silent no-op.
+        let err = dispatch(shared, 1, "PROMOTE").unwrap_err();
+        assert!(err.starts_with("ERR 2 "), "{err}");
+        let plain = Server::bind(ServerConfig::default()).unwrap();
+        let err = dispatch(&plain.shared, 1, "PROMOTE").unwrap_err();
+        assert!(err.starts_with("ERR 2 "), "{err}");
+        let err = dispatch(&plain.shared, 1, "REPL HELLO v1").unwrap_err();
+        assert!(err.starts_with("ERR 2 "), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A warm standby accepting a live replication stream, stoppable and
+    /// promotable from the test thread.
+    struct StandbyRig {
+        server: Arc<Server>,
+        stop: Arc<AtomicBool>,
+        handle: Option<std::thread::JoinHandle<()>>,
+        root: PathBuf,
+        addr: String,
+    }
+
+    impl StandbyRig {
+        fn spawn(name: &str) -> StandbyRig {
+            let root = temp_data_dir(name);
+            let config = ServerConfig {
+                listen: "127.0.0.1:0".into(),
+                standby: true,
+                ..durable_config(&root, 1_000)
+            };
+            let server = Arc::new(Server::bind(config).unwrap());
+            let addr = server.local_addr().unwrap().to_string();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = {
+                let (server, stop) = (Arc::clone(&server), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    let _ = server.run_until(&stop);
+                })
+            };
+            StandbyRig {
+                server,
+                stop,
+                handle: Some(handle),
+                root,
+                addr,
+            }
+        }
+
+        /// Block until the primary's resync has landed the subscription's
+        /// durable files on this standby.
+        fn wait_for_sub(&self, id: &str) {
+            let meta = self.root.join("subs").join(format!("{id}.meta"));
+            let cp = self.root.join("subs").join(format!("{id}.checkpoint"));
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !(meta.exists() && cp.exists()) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "standby never received subscription {id}"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    impl Drop for StandbyRig {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    fn opened_rows(shared: &Shared) -> u64 {
+        let reply = dispatch(shared, 7, "OPEN q name:str,day:int,price:float").unwrap();
+        reply
+            .strip_prefix("OK opened q rows=")
+            .unwrap_or_else(|| panic!("unexpected reply: {reply}"))
+            .parse()
+            .unwrap()
+    }
+
+    /// The tentpole acceptance: kill the primary after every possible
+    /// frame prefix, promote the standby, and require the promoted
+    /// server's final result to be byte-identical to an uninterrupted
+    /// run.  Under `sync` acks nothing may be lost; under `async` only
+    /// unacked tail frames may be lost, and the test pins down exactly
+    /// which by resuming from the promoted server's own durable ordinal.
+    fn promotion_survives_kill_at_every_frame_boundary(ack: ReplAck) {
+        let frames = kill_frames();
+        let reference = {
+            let server = Server::bind(ServerConfig::default()).unwrap();
+            let shared = &server.shared;
+            dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+            dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+            for frame in &frames {
+                dispatch(shared, 1, &format!("FEED q\n{frame}")).unwrap();
+            }
+            dispatch(shared, 1, "UNSUBSCRIBE s").unwrap()
+        };
+        for k in 0..=frames.len() {
+            let rig = StandbyRig::spawn(&format!("stby-{ack}-{k}"));
+            let proot = temp_data_dir(&format!("prim-{ack}-{k}"));
+            let acked_at_kill = {
+                let primary = Server::bind(ServerConfig {
+                    replicate_to: Some(rig.addr.clone()),
+                    repl_ack: ack,
+                    ..durable_config(&proot, 1_000)
+                })
+                .unwrap();
+                let shared = &primary.shared;
+                dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+                dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+                rig.wait_for_sub("s");
+                for frame in &frames[..k] {
+                    dispatch(shared, 1, &format!("FEED q\n{frame}")).unwrap();
+                }
+                let repl = shared.repl.as_ref().unwrap();
+                if ack == ReplAck::Sync {
+                    assert_eq!(
+                        repl.state.sync_degraded.load(Ordering::Relaxed),
+                        0,
+                        "sync acks must not degrade against a live standby (kill@{k})"
+                    );
+                }
+                repl.state.acked("q")
+                // The primary dies here: dropped without drain, mid-ship
+                // for whatever the queue still holds.
+            };
+            let reply = dispatch(&rig.server.shared, 9, "PROMOTE").unwrap();
+            assert!(reply.starts_with("OK promoted channels=1"), "kill@{k}: {reply}");
+            let shared = &rig.server.shared;
+            let rows = opened_rows(shared);
+            let fed = 3 * k as u64;
+            if ack == ReplAck::Sync {
+                // Every FEED ack waited for the standby ack: promotion
+                // loses nothing.
+                assert_eq!(rows, fed, "sync kill@{k} lost acked rows");
+            } else {
+                // Async may lose only the unacked tail, and never a frame
+                // the primary had seen acknowledged.
+                assert!(
+                    acked_at_kill <= rows && rows <= fed,
+                    "async kill@{k}: acked {acked_at_kill} <= rows {rows} <= fed {fed}"
+                );
+                assert_eq!(rows % 3, 0, "frames ship whole (kill@{k}, rows={rows})");
+            }
+            // Resume exactly where the promoted server says it is: the
+            // lost set is precisely frames[rows/3..k], nothing else —
+            // byte-identity below proves no mid-stream gap.
+            for frame in &frames[(rows / 3) as usize..] {
+                dispatch(shared, 9, &format!("FEED q\n{frame}")).unwrap();
+            }
+            let result = dispatch(shared, 9, "UNSUBSCRIBE s").unwrap();
+            assert_eq!(result, reference, "{ack} kill after frame {k} diverged");
+            assert!(
+                shared.metrics.repl_promotions_total.load(Ordering::Relaxed) == 1,
+                "kill@{k}"
+            );
+            let _ = std::fs::remove_dir_all(&proot);
+        }
+    }
+
+    #[test]
+    fn promotion_is_byte_identical_with_sync_acks() {
+        promotion_survives_kill_at_every_frame_boundary(ReplAck::Sync);
+    }
+
+    #[test]
+    fn promotion_loses_only_the_unacked_tail_with_async_acks() {
+        promotion_survives_kill_at_every_frame_boundary(ReplAck::Async);
+    }
+
+    /// `repl::standby_append` + `DelayMs`: a sync-ack FEED must block
+    /// until the standby has actually applied the frame.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn sync_feed_blocks_on_the_standby_ack() {
+        use sqlts_relation::failpoints::{self, FailAction};
+        let rig = StandbyRig::spawn("stby-delay");
+        let proot = temp_data_dir("prim-delay");
+        let primary = Server::bind(ServerConfig {
+            replicate_to: Some(rig.addr.clone()),
+            repl_ack: ReplAck::Sync,
+            ..durable_config(&proot, 1_000)
+        })
+        .unwrap();
+        let shared = &primary.shared;
+        dispatch(shared, 1, "OPEN q name:str,day:int,price:float").unwrap();
+        dispatch(shared, 1, &format!("SUBSCRIBE s q\n{KILL_SQL}")).unwrap();
+        rig.wait_for_sub("s");
+        failpoints::configure("repl::standby_append", FailAction::DelayMs(300));
+        let started = std::time::Instant::now();
+        dispatch(shared, 1, "FEED q\nAAA,1,10").unwrap();
+        let elapsed = started.elapsed();
+        failpoints::reset();
+        assert!(
+            elapsed >= Duration::from_millis(300),
+            "sync FEED returned in {elapsed:?}, before the standby applied the frame"
+        );
+        assert_eq!(
+            shared
+                .repl
+                .as_ref()
+                .unwrap()
+                .state
+                .sync_degraded
+                .load(Ordering::Relaxed),
+            0,
+            "a delayed ack inside the window is not a degrade"
+        );
+        drop(primary);
+        let _ = std::fs::remove_dir_all(&proot);
     }
 
     #[test]

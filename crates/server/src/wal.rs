@@ -2,35 +2,51 @@
 //!
 //! Every accepted `FEED` frame is appended here *before* it fans out to
 //! subscribers, so a crash can lose at most work that was never
-//! acknowledged.  The format is deliberately dumb — one file per
-//! channel, a checksummed text header, then length-prefixed records:
+//! acknowledged.  The log is **segmented**: a channel named `q` owns a
+//! family of files `q.wal.0`, `q.wal.1`, … (the path passed to
+//! [`ChannelWal`] is the *prefix*; the numeric suffix is the segment
+//! sequence number).  Each segment is self-describing:
 //!
 //! ```text
-//! file   := "sqlts-wal v1 base=<N> crc=<8 hex>\n" record*
-//! record := start:u64le len:u32le nrows:u32le crc:u32le payload[len]
+//! segment := "sqlts-wal v1 base=<N> crc=<8 hex>\n" record*
+//! record  := start:u64le len:u32le nrows:u32le crc:u32le payload[len]
 //! ```
 //!
-//! `base` is the channel row ordinal of the first record (rows below it
-//! were truncated away once every subscription's snapshot had passed
-//! them — the low-water mark).  Each record carries the ordinal of its
+//! `base` is the channel row ordinal of the segment's first record, and
+//! consecutive segments must be contiguous: segment *k+1*'s base equals
+//! segment *k*'s last ordinal.  Each record carries the ordinal of its
 //! first row, its payload byte length, its row count, and a CRC-32 over
 //! header fields and payload together.  Records must be contiguous
-//! (`start` equals the previous record's end), so any torn tail,
-//! flipped byte, or appended garbage is caught at the first record it
-//! damages: the scan keeps the longest valid prefix, reports what it
-//! dropped, and [`ChannelWal::open`] truncates the file back to that
-//! prefix so subsequent appends produce a clean log again.
+//! within a segment too, so any torn tail, flipped byte, or appended
+//! garbage is caught at the first record it damages: the scan keeps the
+//! longest valid prefix *across segments*, reports what it dropped, and
+//! [`ChannelWal::open`] truncates the damaged segment back to that
+//! prefix and unlinks every later segment so subsequent appends produce
+//! a clean log again.  A torn tail can therefore only ever be repaired
+//! in the *newest* surviving segment — older segments are either kept
+//! whole or unlinked whole.
+//!
+//! Segmentation buys two things.  Low-water-mark truncation
+//! ([`ChannelWal::truncate_below`]) becomes a file unlink — it never
+//! rewrites a byte.  And replication resync becomes "send the segments
+//! at or above the standby's acknowledged ordinal"
+//! ([`read_frames_from`] skips whole segments by their header base
+//! without reading their records).
 //!
 //! Fsync policy is the standard durability dial: `Every` syncs each
 //! append (survives power loss), `Batch` syncs every
 //! [`BATCH_SYNC_EVERY`] appends and at snapshots (bounded loss window),
-//! `Off` leaves flushing to the OS (still survives a process crash —
-//! the page cache belongs to the kernel, not the process).
+//! `Group` defers the sync to a group-commit window so concurrent
+//! feeders share one `fsync(2)` (see [`GroupCommit`]), `Off` leaves
+//! flushing to the OS (still survives a process crash — the page cache
+//! belongs to the kernel, not the process).
 
 use std::fmt;
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// When to fsync the WAL file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -40,6 +56,15 @@ pub enum FsyncPolicy {
     Every,
     /// fsync every [`BATCH_SYNC_EVERY`] frames and at every snapshot.
     Batch,
+    /// Group commit: appends do not sync inline; concurrent FEEDs inside
+    /// a `window_us` microsecond window are acknowledged together after
+    /// one shared fsync (the server drives this through [`GroupCommit`]).
+    /// Same power-loss guarantee as `Every` — an acknowledged FEED is on
+    /// disk — at a fraction of the fsync count under concurrency.
+    Group {
+        /// Batch-collection window in microseconds.
+        window_us: u32,
+    },
     /// Never fsync; the OS flushes when it pleases.  Still crash-safe
     /// against a killed *process* — only the machine dying can lose
     /// acknowledged frames.
@@ -49,6 +74,12 @@ pub enum FsyncPolicy {
 /// How many appends a `Batch` policy lets pass between fsyncs.
 pub const BATCH_SYNC_EVERY: u32 = 16;
 
+/// Group-commit window when `--fsync group` is given without `:us`.
+pub const DEFAULT_GROUP_WINDOW_US: u32 = 500;
+
+/// Segment roll threshold when the server does not override it.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
 impl std::str::FromStr for FsyncPolicy {
     type Err = String;
     fn from_str(s: &str) -> Result<FsyncPolicy, String> {
@@ -56,9 +87,20 @@ impl std::str::FromStr for FsyncPolicy {
             "every" => Ok(FsyncPolicy::Every),
             "batch" => Ok(FsyncPolicy::Batch),
             "off" => Ok(FsyncPolicy::Off),
-            other => Err(format!(
-                "unknown fsync policy '{other}' (want every|batch|off)"
-            )),
+            "group" => Ok(FsyncPolicy::Group {
+                window_us: DEFAULT_GROUP_WINDOW_US,
+            }),
+            other => {
+                if let Some(us) = other.strip_prefix("group:") {
+                    let window_us: u32 = us
+                        .parse()
+                        .map_err(|_| format!("bad group window '{us}' (want microseconds)"))?;
+                    return Ok(FsyncPolicy::Group { window_us });
+                }
+                Err(format!(
+                    "unknown fsync policy '{other}' (want every|batch|group[:us]|off)"
+                ))
+            }
         }
     }
 }
@@ -70,8 +112,8 @@ impl std::str::FromStr for FsyncPolicy {
 pub enum WalError {
     /// Underlying filesystem error.
     Io(io::Error),
-    /// The file header is not a valid `sqlts-wal v1` header: nothing in
-    /// the file can be trusted (not even the base ordinal).
+    /// The first segment's header is not a valid `sqlts-wal v1` header:
+    /// nothing in the log can be trusted (not even the base ordinal).
     Malformed(String),
 }
 
@@ -165,6 +207,51 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, usize), WalError> {
     Ok((base, nl + 1))
 }
 
+/// The path of segment `seq` of the WAL at `prefix` (`q.wal` → `q.wal.3`).
+pub fn segment_path(prefix: &Path, seq: u64) -> PathBuf {
+    let mut name = prefix.file_name().map_or_else(
+        || std::ffi::OsString::from("wal"),
+        std::ffi::OsString::from,
+    );
+    name.push(format!(".{seq}"));
+    prefix.with_file_name(name)
+}
+
+/// Every on-disk segment of the WAL at `prefix`, sorted by sequence
+/// number.  Empty when no segment file exists yet.
+fn list_segments(prefix: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let parent = prefix.parent().filter(|p| !p.as_os_str().is_empty());
+    let dir = parent.unwrap_or_else(|| Path::new("."));
+    let Some(stem) = prefix.file_name().and_then(|n| n.to_str()) else {
+        return Ok(Vec::new());
+    };
+    let mut segs = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(suffix) = name
+                    .strip_prefix(stem)
+                    .and_then(|rest| rest.strip_prefix('.'))
+                else {
+                    continue;
+                };
+                if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                    if let Ok(seq) = suffix.parse::<u64>() {
+                        segs.push((seq, entry.path()));
+                    }
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    segs.sort_by_key(|(seq, _)| *seq);
+    Ok(segs)
+}
+
 /// One validated WAL record: `nrows` CSV rows starting at channel row
 /// ordinal `start`, stored as the newline-joined row lines.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -184,21 +271,40 @@ impl WalFrame {
     }
 }
 
-/// The result of scanning a WAL file tolerantly.
+/// One retained segment, as reported by [`scan_wal`].
+#[derive(Clone, Debug)]
+pub struct SegmentInfo {
+    /// Segment sequence number (the numeric file suffix).
+    pub seq: u64,
+    /// Row ordinal of the segment's first record.
+    pub base: u64,
+    /// Row ordinal one past the segment's last *valid* record.
+    pub rows_end: u64,
+    /// The segment file.
+    pub path: PathBuf,
+}
+
+/// The result of scanning a segmented WAL tolerantly.
 #[derive(Debug)]
 pub struct WalScan {
-    /// The base ordinal from the header.
+    /// The base ordinal of the oldest retained segment.
     pub base: u64,
-    /// Every record in the longest valid prefix, in order.
+    /// Every record in the longest valid prefix, in order, across all
+    /// retained segments.
     pub frames: Vec<WalFrame>,
     /// Row ordinal one past the last valid record (== `base` when empty).
     pub rows_total: u64,
-    /// Byte length of the valid prefix (header + whole records).
+    /// Total byte length of the valid prefix (headers + whole records,
+    /// summed over retained segments).
     pub valid_len: u64,
-    /// Bytes after the valid prefix that the scan discarded.
+    /// Bytes after the valid prefix that the scan discarded (torn tails
+    /// plus whole later segments dropped after a mid-log break).
     pub dropped_bytes: u64,
     /// Why the scan stopped early, when it did.
     pub corruption: Option<String>,
+    /// The retained segments, oldest first.  Empty only for a legacy
+    /// (pre-segmentation) single-file log.
+    pub segments: Vec<SegmentInfo>,
 }
 
 fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
@@ -262,26 +368,173 @@ fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
         valid_len: offset as u64,
         dropped_bytes: (bytes.len() - offset) as u64,
         corruption,
+        segments: Vec::new(),
     })
 }
 
-/// Scan a WAL file tolerantly: return the longest valid record prefix
-/// plus a report of anything dropped.  Only a missing/unreadable file or
-/// an untrustworthy *header* is an error.
-pub fn scan_wal(path: &Path) -> Result<WalScan, WalError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    scan_bytes(&bytes)
+/// Scan the segmented WAL at `prefix` tolerantly: return the longest
+/// valid record prefix across segments plus a report of anything
+/// dropped.  Corruption inside a segment keeps that segment's valid
+/// prefix and drops every later segment (they can no longer be
+/// contiguous); a torn tail is therefore only ever *repairable* in the
+/// newest surviving segment.  Only a missing log or an untrustworthy
+/// header on the *first* segment is an error.
+///
+/// A legacy pre-segmentation log (a bare file at `prefix` itself, no
+/// numbered segments) is scanned as a single segment.
+pub fn scan_wal(prefix: &Path) -> Result<WalScan, WalError> {
+    let segs = list_segments(prefix)?;
+    if segs.is_empty() {
+        // Legacy single-file layout, or nothing at all.
+        let mut bytes = Vec::new();
+        File::open(prefix)?.read_to_end(&mut bytes)?;
+        return scan_bytes(&bytes);
+    }
+    let mut merged: Option<WalScan> = None;
+    let mut broke_at: Option<usize> = None;
+    for (idx, (seq, path)) in segs.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let seg_scan = match scan_bytes(&bytes) {
+            Ok(s) => s,
+            Err(WalError::Io(e)) => return Err(WalError::Io(e)),
+            Err(WalError::Malformed(why)) => {
+                if merged.is_none() {
+                    // Nothing valid precedes it: the whole log is
+                    // untrustworthy.
+                    return Err(WalError::Malformed(why));
+                }
+                let out = merged.as_mut().expect("checked above");
+                out.dropped_bytes += bytes.len() as u64;
+                out.corruption = Some(format!("segment {seq} header: {why}"));
+                broke_at = Some(idx);
+                break;
+            }
+        };
+        match merged.as_mut() {
+            None => {
+                let mut out = seg_scan;
+                out.segments.push(SegmentInfo {
+                    seq: *seq,
+                    base: out.base,
+                    rows_end: out.rows_total,
+                    path: path.clone(),
+                });
+                let broken = out.corruption.is_some();
+                merged = Some(out);
+                if broken {
+                    broke_at = Some(idx);
+                    break;
+                }
+            }
+            Some(out) => {
+                if seg_scan.base != out.rows_total {
+                    out.dropped_bytes += bytes.len() as u64;
+                    out.corruption = Some(format!(
+                        "segment {seq} base {} does not continue from {}",
+                        seg_scan.base, out.rows_total
+                    ));
+                    broke_at = Some(idx);
+                    break;
+                }
+                out.frames.extend(seg_scan.frames);
+                out.rows_total = seg_scan.rows_total;
+                out.valid_len += seg_scan.valid_len;
+                out.dropped_bytes += seg_scan.dropped_bytes;
+                out.segments.push(SegmentInfo {
+                    seq: *seq,
+                    base: seg_scan.base,
+                    rows_end: seg_scan.rows_total,
+                    path: path.clone(),
+                });
+                if seg_scan.corruption.is_some() {
+                    out.corruption = seg_scan.corruption;
+                    broke_at = Some(idx);
+                    break;
+                }
+            }
+        }
+    }
+    let mut out = merged.expect("at least one segment scanned");
+    if let Some(broke) = broke_at {
+        // Everything after the break can no longer be contiguous: count
+        // the later segments as dropped whole.
+        for (_, path) in &segs[broke + 1..] {
+            out.dropped_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        }
+    }
+    Ok(out)
 }
 
-/// An open, append-ready WAL for one channel.
+/// Read every frame whose rows extend past `from` (a row ordinal),
+/// skipping whole segments below it by header base alone — the
+/// replication resync path ("send segments ≥ the standby's acked
+/// ordinal") never deserializes records the standby already has, except
+/// in the one segment that straddles the ordinal.
+pub fn read_frames_from(prefix: &Path, from: u64) -> Result<Vec<WalFrame>, WalError> {
+    let segs = list_segments(prefix)?;
+    if segs.is_empty() {
+        let scan = scan_wal(prefix)?;
+        return Ok(scan.frames.into_iter().filter(|f| f.end() > from).collect());
+    }
+    // Header bases, read without touching record bytes.
+    let mut bases = Vec::with_capacity(segs.len());
+    for (_, path) in &segs {
+        let mut head = [0u8; 128];
+        let mut file = File::open(path)?;
+        let mut filled = 0;
+        while filled < head.len() {
+            let n = file.read(&mut head[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        let (base, _) = parse_header(&head[..filled])?;
+        bases.push(base);
+    }
+    // The last segment whose base is ≤ `from` may straddle the ordinal;
+    // everything before it is entirely below and skipped unread.
+    let start_idx = bases
+        .iter()
+        .rposition(|&b| b <= from)
+        .unwrap_or(0);
+    let mut frames = Vec::new();
+    for (idx, (_, path)) in segs.iter().enumerate().skip(start_idx) {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let seg_scan = scan_bytes(&bytes)?;
+        if idx > start_idx && frames.last().map(WalFrame::end) != Some(seg_scan.base)
+            && !frames.is_empty()
+        {
+            break; // non-contiguous tail: stop at the longest valid prefix
+        }
+        frames.extend(seg_scan.frames.into_iter().filter(|f| f.end() > from));
+        if seg_scan.corruption.is_some() {
+            break;
+        }
+    }
+    Ok(frames)
+}
+
+/// An open, append-ready segmented WAL for one channel.  `prefix` is the
+/// path *stem*; segment files live at `<prefix>.<seq>`.
 #[derive(Debug)]
 pub struct ChannelWal {
-    path: PathBuf,
+    prefix: PathBuf,
+    /// The active (highest-sequence) segment, opened for append.
     file: File,
+    active_seq: u64,
+    active_base: u64,
+    active_bytes: u64,
+    /// Older retained segments as `(seq, base)`, oldest first.  A closed
+    /// segment's end ordinal is the next entry's base (or the active
+    /// segment's base for the last one).
+    closed: Vec<(u64, u64)>,
     base: u64,
     rows_total: u64,
     policy: FsyncPolicy,
+    segment_bytes: u64,
     appends_since_sync: u32,
     /// Wall nanoseconds the most recent [`sync`](ChannelWal::sync) spent
     /// in `fsync(2)`, parked here so the server can charge fsync time to
@@ -291,65 +544,131 @@ pub struct ChannelWal {
     last_fsync_ns: u64,
 }
 
+fn sync_dir_of(path: &Path) -> io::Result<()> {
+    // Best-effort: persist the directory entry (some filesystems refuse
+    // to fsync directories).
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
 impl ChannelWal {
-    /// Create a fresh WAL starting at row ordinal 0.
-    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<ChannelWal, WalError> {
+    /// Create a fresh WAL starting at row ordinal 0 (segment `.0`).
+    pub fn create(prefix: &Path, policy: FsyncPolicy) -> Result<ChannelWal, WalError> {
+        let seg0 = segment_path(prefix, 0);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
-        file.write_all(header_line(0).as_bytes())?;
+            .open(&seg0)?;
+        let header = header_line(0);
+        file.write_all(header.as_bytes())?;
         file.sync_all()?;
+        sync_dir_of(&seg0)?;
         Ok(ChannelWal {
-            path: path.to_path_buf(),
+            prefix: prefix.to_path_buf(),
             file,
+            active_seq: 0,
+            active_base: 0,
+            active_bytes: header.len() as u64,
+            closed: Vec::new(),
             base: 0,
             rows_total: 0,
             policy,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
             appends_since_sync: 0,
             last_fsync_ns: 0,
         })
     }
 
     /// Open an existing WAL (or create a fresh one): scan it tolerantly,
-    /// truncate any torn/corrupt tail so appends continue from the last
-    /// valid record, and return the surviving frames for replay.
-    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(ChannelWal, WalScan), WalError> {
-        if !path.exists() {
-            let wal = ChannelWal::create(path, policy)?;
-            return Ok((
-                wal,
-                WalScan {
-                    base: 0,
-                    frames: Vec::new(),
-                    rows_total: 0,
-                    valid_len: header_line(0).len() as u64,
-                    dropped_bytes: 0,
-                    corruption: None,
-                },
-            ));
+    /// repair any torn/corrupt tail — truncating the damaged segment to
+    /// its valid prefix and unlinking every later segment — so appends
+    /// continue from the last valid record, and return the surviving
+    /// frames for replay.
+    ///
+    /// A legacy pre-segmentation log (a bare file at `prefix`) is
+    /// migrated in place by renaming it to segment `.0`.
+    pub fn open(prefix: &Path, policy: FsyncPolicy) -> Result<(ChannelWal, WalScan), WalError> {
+        if list_segments(prefix)?.is_empty() {
+            if prefix.exists() {
+                // Legacy single-file layout: adopt it as segment 0.
+                fs::rename(prefix, segment_path(prefix, 0))?;
+                sync_dir_of(prefix)?;
+            } else {
+                let wal = ChannelWal::create(prefix, policy)?;
+                return Ok((
+                    wal,
+                    WalScan {
+                        base: 0,
+                        frames: Vec::new(),
+                        rows_total: 0,
+                        valid_len: header_line(0).len() as u64,
+                        dropped_bytes: 0,
+                        corruption: None,
+                        segments: vec![SegmentInfo {
+                            seq: 0,
+                            base: 0,
+                            rows_end: 0,
+                            path: segment_path(prefix, 0),
+                        }],
+                    },
+                ));
+            }
         }
-        let scan = scan_wal(path)?;
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        if scan.dropped_bytes > 0 {
-            file.set_len(scan.valid_len)?;
+        let scan = scan_wal(prefix)?;
+        let retained = &scan.segments;
+        let last = retained.last().expect("scan keeps at least one segment");
+        // Unlink segments past the longest valid prefix (they can no
+        // longer be contiguous with it).
+        for (seq, path) in list_segments(prefix)? {
+            if seq > last.seq {
+                fs::remove_file(&path)?;
+            }
+        }
+        // Truncate the newest surviving segment back to its valid bytes.
+        let mut file = OpenOptions::new().read(true).write(true).open(&last.path)?;
+        let earlier_valid: u64 = retained[..retained.len() - 1]
+            .iter()
+            .map(|s| fs::metadata(&s.path).map(|m| m.len()).unwrap_or(0))
+            .sum();
+        let last_valid = scan.valid_len - earlier_valid;
+        if file.metadata()?.len() != last_valid {
+            file.set_len(last_valid)?;
             file.sync_all()?;
         }
         file.seek(SeekFrom::End(0))?;
+        let active_bytes = last_valid;
         Ok((
             ChannelWal {
-                path: path.to_path_buf(),
+                prefix: prefix.to_path_buf(),
                 file,
+                active_seq: last.seq,
+                active_base: last.base,
+                active_bytes,
+                closed: retained[..retained.len() - 1]
+                    .iter()
+                    .map(|s| (s.seq, s.base))
+                    .collect(),
                 base: scan.base,
                 rows_total: scan.rows_total,
                 policy,
+                segment_bytes: DEFAULT_SEGMENT_BYTES,
                 appends_since_sync: 0,
                 last_fsync_ns: 0,
             },
             scan,
         ))
+    }
+
+    /// Override the segment roll threshold (bytes of records per segment
+    /// before a new one is started).  Values below 1 are clamped to 1.
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes.max(1);
     }
 
     /// Row ordinal one past the last appended row.
@@ -362,8 +681,49 @@ impl ChannelWal {
         self.base
     }
 
+    /// The path stem this WAL's segments live under.
+    pub fn prefix(&self) -> &Path {
+        &self.prefix
+    }
+
+    /// Sequence number of the active (append) segment.
+    pub fn active_seq(&self) -> u64 {
+        self.active_seq
+    }
+
+    /// Close the active segment and start `<prefix>.<seq+1>`.  The old
+    /// segment is fsynced first (except under `Off`) so the cross-segment
+    /// contiguity invariant survives power loss.
+    fn roll(&mut self) -> Result<(), WalError> {
+        if self.policy != FsyncPolicy::Off {
+            self.sync()?;
+        }
+        let next_seq = self.active_seq + 1;
+        let next_path = segment_path(&self.prefix, next_seq);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&next_path)?;
+        let header = header_line(self.rows_total);
+        file.write_all(header.as_bytes())?;
+        if self.policy != FsyncPolicy::Off {
+            file.sync_all()?;
+        }
+        sync_dir_of(&next_path)?;
+        self.closed.push((self.active_seq, self.active_base));
+        self.file = file;
+        self.active_seq = next_seq;
+        self.active_base = self.rows_total;
+        self.active_bytes = header.len() as u64;
+        Ok(())
+    }
+
     /// Append one frame of `nrows` rows (the newline-joined row lines)
-    /// and apply the fsync policy.  Returns whether this append fsynced.
+    /// and apply the fsync policy.  Returns whether this append fsynced
+    /// (`Group` appends return `false`; the group-commit leader syncs
+    /// later via [`sync`](ChannelWal::sync)).
     ///
     /// On error nothing must be trusted past the previous record — the
     /// caller should fail the FEED without fanning out (recovery will
@@ -382,6 +742,9 @@ impl ChannelWal {
                 "refusing to append an empty frame".into(),
             ));
         }
+        if self.active_bytes >= self.segment_bytes && self.rows_total > self.active_base {
+            self.roll()?;
+        }
         let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
         record.extend_from_slice(&self.rows_total.to_le_bytes());
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -392,11 +755,12 @@ impl ChannelWal {
         record.extend_from_slice(payload.as_bytes());
         self.file.write_all(&record)?;
         self.rows_total += u64::from(nrows);
+        self.active_bytes += record.len() as u64;
         self.appends_since_sync += 1;
         let synced = match self.policy {
             FsyncPolicy::Every => true,
             FsyncPolicy::Batch => self.appends_since_sync >= BATCH_SYNC_EVERY,
-            FsyncPolicy::Off => false,
+            FsyncPolicy::Group { .. } | FsyncPolicy::Off => false,
         };
         if synced {
             self.sync()?;
@@ -404,7 +768,8 @@ impl ChannelWal {
         Ok(synced)
     }
 
-    /// fsync the log file now, regardless of policy.
+    /// fsync the active segment now, regardless of policy.  (Closed
+    /// segments were synced when they were rolled.)
     pub fn sync(&mut self) -> Result<(), WalError> {
         #[cfg(feature = "failpoints")]
         if let Some(sqlts_relation::failpoints::Injected::InjectError) =
@@ -429,39 +794,117 @@ impl ChannelWal {
         std::mem::take(&mut self.last_fsync_ns)
     }
 
-    /// Drop every record that lies entirely below `low_water` (the
-    /// minimum snapshot position across the channel's subscriptions) by
-    /// atomically rewriting the file.  Returns whether anything changed.
+    /// Drop every *closed segment* that lies entirely below `low_water`
+    /// (the minimum snapshot position across the channel's
+    /// subscriptions).  Truncation is a whole-file unlink — it never
+    /// rewrites a byte, and it never touches the active segment, so rows
+    /// above the low-water mark (and the channel's end ordinal) are
+    /// always preserved.  Returns whether anything was unlinked.
     pub fn truncate_below(&mut self, low_water: u64) -> Result<bool, WalError> {
-        let scan = scan_wal(&self.path)?;
-        let retained: Vec<&WalFrame> = scan.frames.iter().filter(|f| f.end() > low_water).collect();
-        if retained.len() == scan.frames.len() {
+        let mut unlinked = 0usize;
+        while !self.closed.is_empty() {
+            let end = if self.closed.len() > 1 {
+                self.closed[1].1
+            } else {
+                self.active_base
+            };
+            if end > low_water {
+                break;
+            }
+            let (seq, _) = self.closed[0];
+            fs::remove_file(segment_path(&self.prefix, seq))?;
+            self.closed.remove(0);
+            unlinked += 1;
+        }
+        if unlinked == 0 {
             return Ok(false);
         }
-        let new_base = retained.first().map_or(self.rows_total, |f| f.start);
-        let tmp = self.path.with_extension("wal.tmp");
-        {
-            let mut out = File::create(&tmp)?;
-            out.write_all(header_line(new_base).as_bytes())?;
-            for frame in &retained {
-                let mut record = Vec::with_capacity(RECORD_HEADER_LEN + frame.payload.len());
-                record.extend_from_slice(&frame.start.to_le_bytes());
-                record.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
-                record.extend_from_slice(&frame.nrows.to_le_bytes());
-                let mut crc = crc_update(0xFFFF_FFFF, &record);
-                crc = crc_update(crc, frame.payload.as_bytes());
-                record.extend_from_slice(&(!crc).to_le_bytes());
-                record.extend_from_slice(frame.payload.as_bytes());
-                out.write_all(&record)?;
-            }
-            out.sync_all()?;
-        }
-        std::fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        self.file.seek(SeekFrom::End(0))?;
-        self.base = new_base;
-        self.appends_since_sync = 0;
+        self.base = self.closed.first().map_or(self.active_base, |&(_, b)| b);
+        sync_dir_of(&self.prefix)?;
         Ok(true)
+    }
+}
+
+/// Per-channel group-commit coordinator for `--fsync group[:us]`.
+///
+/// Feeders append under the channel persist lock *without* syncing, then
+/// call [`wait_durable`](GroupCommit::wait_durable) after releasing it.
+/// The first feeder to arrive becomes the batch **leader**: it sleeps
+/// for the window (letting concurrent FEEDs pile their appends into the
+/// same segment), performs one fsync through the supplied closure, and
+/// publishes the new durable watermark.  Followers whose rows fall under
+/// the watermark return without ever touching the file — many FEED acks,
+/// one `fsync(2)`.
+///
+/// A failed sync fails **every** feeder in the batch (their rows are not
+/// durable), delivered through a failure generation counter so no waiter
+/// can miss it.
+#[derive(Debug, Default)]
+pub struct GroupCommit {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Rows below this ordinal are known fsynced.
+    synced_rows: u64,
+    /// A leader is currently collecting/syncing a batch.
+    leader: bool,
+    /// Incremented on every failed sync; waiters compare generations.
+    fail_seq: u64,
+    last_error: String,
+}
+
+impl GroupCommit {
+    /// Block until rows below `end` are durable, electing this thread as
+    /// the batch leader if none is active.  `sync_fn` must perform the
+    /// fsync (re-acquiring whatever lock protects the WAL) and return
+    /// the new durable watermark (the WAL's `rows_total` at sync time).
+    pub fn wait_durable<F>(&self, end: u64, window: Duration, sync_fn: F) -> Result<(), String>
+    where
+        F: Fn() -> Result<u64, String>,
+    {
+        let mut st = self.state.lock().expect("group-commit lock");
+        let entry_fail = st.fail_seq;
+        loop {
+            if st.synced_rows >= end {
+                return Ok(());
+            }
+            if st.fail_seq != entry_fail {
+                return Err(st.last_error.clone());
+            }
+            if st.leader {
+                st = self.cv.wait(st).expect("group-commit lock");
+                continue;
+            }
+            st.leader = true;
+            drop(st);
+            if !window.is_zero() {
+                std::thread::sleep(window);
+            }
+            let outcome = sync_fn();
+            st = self.state.lock().expect("group-commit lock");
+            st.leader = false;
+            match outcome {
+                Ok(watermark) => st.synced_rows = st.synced_rows.max(watermark),
+                Err(e) => {
+                    st.fail_seq += 1;
+                    st.last_error = e;
+                }
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    /// Record rows made durable outside the group path (snapshot-time
+    /// syncs) so later waiters don't re-fsync for them.
+    pub fn publish_synced(&self, watermark: u64) {
+        let mut st = self.state.lock().expect("group-commit lock");
+        if watermark > st.synced_rows {
+            st.synced_rows = watermark;
+            self.cv.notify_all();
+        }
     }
 }
 
@@ -470,7 +913,11 @@ mod tests {
     use super::*;
 
     fn temp_wal(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("sqlts-wal-unit-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "sqlts-wal-unit-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
     }
@@ -480,6 +927,22 @@ mod tests {
         // The IEEE check value every implementation pins.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fsync_policy_parses_group_windows() {
+        use std::str::FromStr;
+        assert_eq!(
+            FsyncPolicy::from_str("group").unwrap(),
+            FsyncPolicy::Group {
+                window_us: DEFAULT_GROUP_WINDOW_US
+            }
+        );
+        assert_eq!(
+            FsyncPolicy::from_str("group:250").unwrap(),
+            FsyncPolicy::Group { window_us: 250 }
+        );
+        assert!(FsyncPolicy::from_str("group:abc").is_err());
     }
 
     #[test]
@@ -496,6 +959,7 @@ mod tests {
         assert_eq!(scan.frames.len(), 2);
         assert_eq!(scan.frames[0].payload, "a,1\nb,2");
         assert_eq!(scan.frames[1].start, 2);
+        assert_eq!(scan.segments.len(), 1, "no roll at default segment size");
     }
 
     #[test]
@@ -506,8 +970,9 @@ mod tests {
         wal.append("b,2", 1).unwrap();
         drop(wal);
         // Tear the last record in half.
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let seg0 = segment_path(&path, 0);
+        let bytes = std::fs::read(&seg0).unwrap();
+        std::fs::write(&seg0, &bytes[..bytes.len() - 3]).unwrap();
         let (mut wal, scan) = ChannelWal::open(&path, FsyncPolicy::Off).unwrap();
         assert_eq!(scan.frames.len(), 1, "torn record dropped");
         assert_eq!(scan.dropped_bytes, RECORD_HEADER_LEN as u64 + 3 - 3);
@@ -522,42 +987,210 @@ mod tests {
     }
 
     #[test]
-    fn truncate_below_drops_whole_frames_only() {
-        let path = temp_wal("trunc.wal");
+    fn appends_roll_into_new_segments() {
+        let path = temp_wal("roll.wal");
         let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.set_segment_bytes(1); // roll before every append after the first
         wal.append("a,1\nb,2", 2).unwrap();
         wal.append("c,3\nd,4", 2).unwrap();
-        wal.append("e,5", 1).unwrap();
-        // Low water 3: frame [0,2) drops, frame [2,4) straddles and stays.
-        assert!(wal.truncate_below(3).unwrap());
+        wal.append("e,5\nf,6", 2).unwrap();
+        assert_eq!(wal.active_seq(), 2);
         let scan = scan_wal(&path).unwrap();
-        assert_eq!(scan.base, 2);
-        assert_eq!(scan.frames.len(), 2);
-        assert_eq!(scan.rows_total, 5);
-        // Everything snapshotted: the log empties but remembers its end.
-        assert!(wal.truncate_below(5).unwrap());
-        let scan = scan_wal(&path).unwrap();
-        assert_eq!(scan.base, 5);
-        assert!(scan.frames.is_empty());
-        assert_eq!(scan.rows_total, 5);
-        // And appends keep the ordinal line unbroken.
-        wal.append("f,6", 1).unwrap();
-        let scan = scan_wal(&path).unwrap();
-        assert_eq!(scan.frames[0].start, 5);
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.segments.len(), 3);
+        assert_eq!(scan.frames.len(), 3);
         assert_eq!(scan.rows_total, 6);
+        assert_eq!(scan.segments[1].base, 2);
+        assert_eq!(scan.segments[2].base, 4);
+        // Reopen: same picture, appends continue in the active segment.
+        drop(wal);
+        let (mut wal, scan) = ChannelWal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(scan.rows_total, 6);
+        assert_eq!(wal.active_seq(), 2);
+        wal.append("g,7", 1).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.rows_total, 7);
+        assert_eq!(scan.segments.len(), 3, "append reused the active segment");
+    }
+
+    #[test]
+    fn truncation_unlinks_whole_segments_and_never_rewrites() {
+        let path = temp_wal("trunc.wal");
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.set_segment_bytes(1);
+        wal.append("a,1\nb,2", 2).unwrap(); // segment 0: rows [0,2)
+        wal.append("c,3\nd,4", 2).unwrap(); // segment 1: rows [2,4)
+        wal.append("e,5\nf,6", 2).unwrap(); // segment 2 (active): rows [4,6)
+        let seg1_before = std::fs::read(segment_path(&path, 1)).unwrap();
+        let seg2_before = std::fs::read(segment_path(&path, 2)).unwrap();
+        // Low water 2: only segment 0 lies entirely below it.
+        assert!(wal.truncate_below(2).unwrap());
+        assert!(!segment_path(&path, 0).exists(), "segment 0 unlinked");
+        assert_eq!(
+            std::fs::read(segment_path(&path, 1)).unwrap(),
+            seg1_before,
+            "truncation must not rewrite surviving segments"
+        );
+        assert_eq!(wal.base(), 2);
+        // Low water 3: segment 1 straddles it and must survive untouched.
+        assert!(!wal.truncate_below(3).unwrap());
+        assert_eq!(wal.base(), 2);
+        // Low water 6: everything snapshotted; closed segments unlink but
+        // the active segment stays (byte-identical) so the ordinal line
+        // and end position survive.
+        assert!(wal.truncate_below(6).unwrap());
+        assert!(!segment_path(&path, 1).exists());
+        assert_eq!(std::fs::read(segment_path(&path, 2)).unwrap(), seg2_before);
+        assert_eq!(wal.base(), 4);
+        assert_eq!(wal.rows_total(), 6);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.base, 4);
+        assert_eq!(scan.rows_total, 6);
+        // And appends keep the ordinal line unbroken.
+        wal.append("g,7", 1).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.frames.last().unwrap().start, 6);
+        assert_eq!(scan.rows_total, 7);
+    }
+
+    #[test]
+    fn interior_corruption_drops_all_later_segments() {
+        let path = temp_wal("interior.wal");
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.set_segment_bytes(1);
+        wal.append("a,1", 1).unwrap(); // segment 0
+        wal.append("b,2", 1).unwrap(); // segment 1
+        wal.append("c,3", 1).unwrap(); // segment 2
+        drop(wal);
+        // Flip a payload byte in the *middle* segment.
+        let seg1 = segment_path(&path, 1);
+        let mut bytes = std::fs::read(&seg1).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg1, &bytes).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.rows_total, 1, "valid prefix ends before segment 1's record");
+        assert!(scan.corruption.is_some());
+        assert_eq!(scan.segments.last().unwrap().seq, 1);
+        // Open repairs: segment 1 truncated to its header, segment 2 gone.
+        let (mut wal, _) = ChannelWal::open(&path, FsyncPolicy::Off).unwrap();
+        assert!(!segment_path(&path, 2).exists(), "later segment unlinked");
+        assert_eq!(wal.rows_total(), 1);
+        wal.append("d,2", 1).unwrap();
+        let rescan = scan_wal(&path).unwrap();
+        assert!(rescan.corruption.is_none());
+        assert_eq!(rescan.rows_total, 2);
+    }
+
+    #[test]
+    fn legacy_single_file_wal_is_migrated_to_segment_zero() {
+        let path = temp_wal("legacy.wal");
+        // Build a pre-segmentation log: a bare file at the prefix path.
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.append("a,1", 1).unwrap();
+        wal.append("b,2", 1).unwrap();
+        drop(wal);
+        std::fs::rename(segment_path(&path, 0), &path).unwrap();
+        // scan_wal reads it in place; open migrates it.
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.rows_total, 2);
+        let (wal, scan) = ChannelWal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(scan.rows_total, 2);
+        assert_eq!(wal.rows_total(), 2);
+        assert!(!path.exists(), "bare legacy file renamed away");
+        assert!(segment_path(&path, 0).exists());
+    }
+
+    #[test]
+    fn read_frames_from_skips_whole_segments() {
+        let path = temp_wal("resync.wal");
+        let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.set_segment_bytes(1);
+        wal.append("a,1\nb,2", 2).unwrap();
+        wal.append("c,3\nd,4", 2).unwrap();
+        wal.append("e,5\nf,6", 2).unwrap();
+        let all = read_frames_from(&path, 0).unwrap();
+        assert_eq!(all.len(), 3);
+        let tail = read_frames_from(&path, 4).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].start, 4);
+        // An ordinal inside a frame still returns that frame whole.
+        let straddle = read_frames_from(&path, 3).unwrap();
+        assert_eq!(straddle.len(), 2);
+        assert_eq!(straddle[0].start, 2);
+        let none = read_frames_from(&path, 6).unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]
     fn header_corruption_is_a_typed_error() {
         let path = temp_wal("header.wal");
         ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
+        let seg0 = segment_path(&path, 0);
+        let mut bytes = std::fs::read(&seg0).unwrap();
         bytes[0] ^= 0x20;
-        std::fs::write(&path, &bytes).unwrap();
+        std::fs::write(&seg0, &bytes).unwrap();
         assert!(matches!(scan_wal(&path), Err(WalError::Malformed(_))));
         assert!(matches!(
             ChannelWal::open(&path, FsyncPolicy::Off),
             Err(WalError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn group_commit_shares_one_fsync_across_a_batch() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let gc = Arc::new(GroupCommit::default());
+        let syncs = Arc::new(AtomicU64::new(0));
+        let appended = Arc::new(AtomicU64::new(0));
+        const FEEDERS: u64 = 8;
+        let mut handles = Vec::new();
+        for i in 0..FEEDERS {
+            let gc = Arc::clone(&gc);
+            let syncs = Arc::clone(&syncs);
+            let appended = Arc::clone(&appended);
+            handles.push(std::thread::spawn(move || {
+                // "Append" row i, then wait for the group sync.
+                let end = appended.fetch_add(1, Ordering::SeqCst) + 1;
+                gc.wait_durable(end, Duration::from_millis(50), || {
+                    syncs.fetch_add(1, Ordering::SeqCst);
+                    Ok(appended.load(Ordering::SeqCst))
+                })
+                .unwrap();
+                let _ = i;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = syncs.load(Ordering::SeqCst);
+        assert!(
+            total < FEEDERS,
+            "{FEEDERS} feeders must share fsyncs, got {total}"
+        );
+        assert!(total >= 1);
+    }
+
+    #[test]
+    fn group_commit_failure_fails_every_waiter_in_the_batch() {
+        use std::sync::Arc;
+        let gc = Arc::new(GroupCommit::default());
+        let mut handles = Vec::new();
+        for i in 1..=4u64 {
+            let gc = Arc::clone(&gc);
+            handles.push(std::thread::spawn(move || {
+                gc.wait_durable(i, Duration::from_millis(30), || {
+                    Err("disk on fire".to_string())
+                })
+            }));
+        }
+        for h in handles {
+            let err = h.join().unwrap().expect_err("sync failure must propagate");
+            assert!(err.contains("disk on fire"), "{err}");
+        }
+        // A later successful sync clears the way.
+        gc.publish_synced(10);
+        gc.wait_durable(5, Duration::ZERO, || Ok(10)).unwrap();
     }
 }

@@ -7,7 +7,7 @@
 #![cfg(feature = "failpoints")]
 
 use sqlts_relation::failpoints::{self, FailAction};
-use sqlts_server::wal::{scan_wal, ChannelWal, FsyncPolicy, WalError};
+use sqlts_server::wal::{scan_wal, segment_path, ChannelWal, FsyncPolicy, WalError};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 
@@ -34,14 +34,14 @@ fn injected_append_failure_leaves_the_log_untouched() {
     let path = temp_path("append.wal");
     let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
     wal.append("a,1", 1).unwrap();
-    let before = std::fs::read(&path).unwrap();
+    let before = std::fs::read(segment_path(&path, 0)).unwrap();
     failpoints::configure("wal::append", FailAction::InjectError);
     let err = wal.append("b,2", 1).unwrap_err();
     assert!(matches!(err, WalError::Io(_)), "{err}");
     failpoints::reset();
     // The injected failure fired before any bytes were written: the log
     // still scans clean with exactly the pre-failure content.
-    assert_eq!(std::fs::read(&path).unwrap(), before);
+    assert_eq!(std::fs::read(segment_path(&path, 0)).unwrap(), before);
     let scan = scan_wal(&path).unwrap();
     assert_eq!(scan.rows_total, 1);
     assert!(scan.corruption.is_none());
@@ -64,6 +64,59 @@ fn injected_fsync_failure_surfaces_but_preserves_appended_records() {
     let scan = scan_wal(&path).unwrap();
     assert_eq!(scan.rows_total, 1);
     assert!(scan.corruption.is_none());
+}
+
+#[test]
+fn injected_fsync_failure_fails_every_feeder_in_a_group_commit_batch() {
+    let _guard = lock();
+    use sqlts_server::wal::GroupCommit;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let path = temp_path("group.wal");
+    let wal = Arc::new(Mutex::new(
+        ChannelWal::create(&path, FsyncPolicy::Group { window_us: 2_000 }).unwrap(),
+    ));
+    let group = Arc::new(GroupCommit::default());
+    // Four feeders append under the lock, then wait for durability as one
+    // batch.  The injected fsync failure must reach *all* of them — none
+    // may ack a row the disk never saw.
+    failpoints::configure("wal::fsync", FailAction::InjectError);
+    let mut ends = Vec::new();
+    for i in 0..4u64 {
+        let mut w = wal.lock().unwrap();
+        w.append(&format!("f{i},1"), 1).unwrap();
+        ends.push(w.rows_total());
+    }
+    let handles: Vec<_> = ends
+        .into_iter()
+        .map(|end| {
+            let (group, wal) = (Arc::clone(&group), Arc::clone(&wal));
+            std::thread::spawn(move || {
+                group.wait_durable(end, Duration::from_millis(2), || {
+                    let mut w = wal.lock().unwrap();
+                    w.sync().map_err(|e| e.to_string())?;
+                    Ok(w.rows_total())
+                })
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    failpoints::reset();
+    assert!(
+        results.iter().all(|r| r.is_err()),
+        "every batched feeder must see the sync failure: {results:?}"
+    );
+    // The rows themselves reached the file; once the fault clears a
+    // fresh batch (or a restart) makes them durable.
+    group
+        .wait_durable(4, Duration::ZERO, || {
+            let mut w = wal.lock().unwrap();
+            w.sync().map_err(|e| e.to_string())?;
+            Ok(w.rows_total())
+        })
+        .unwrap();
+    assert_eq!(scan_wal(&path).unwrap().rows_total, 4);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! leaves in a channel WAL, the scan must never panic, must replay the
 //! longest valid prefix of records, and must report what it dropped.
 
-use sqlts_server::wal::{scan_wal, ChannelWal, FsyncPolicy, WalError};
+use sqlts_server::wal::{scan_wal, segment_path, ChannelWal, FsyncPolicy, WalError};
 use std::path::PathBuf;
 
 fn temp_path(name: &str) -> PathBuf {
@@ -16,6 +16,7 @@ fn temp_path(name: &str) -> PathBuf {
 fn build_wal(name: &str) -> (PathBuf, Vec<u8>, Vec<(u64, String)>) {
     let path = temp_path(name);
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(segment_path(&path, 0));
     let mut wal = ChannelWal::create(&path, FsyncPolicy::Off).unwrap();
     let mut frames = Vec::new();
     let mut ordinal = 0u64;
@@ -29,7 +30,8 @@ fn build_wal(name: &str) -> (PathBuf, Vec<u8>, Vec<(u64, String)>) {
         frames.push((ordinal, payload));
         ordinal += nrows;
     }
-    let bytes = std::fs::read(&path).unwrap();
+    // Everything fits in the first segment: that file is the fuzz target.
+    let bytes = std::fs::read(segment_path(&path, 0)).unwrap();
     (path, bytes, frames)
 }
 
@@ -47,7 +49,7 @@ fn assert_is_prefix(scanned: &[sqlts_server::wal::WalFrame], originals: &[(u64, 
 fn truncation_at_every_byte_boundary_recovers_the_valid_prefix() {
     let (path, bytes, frames) = build_wal("truncate.wal");
     for cut in 0..=bytes.len() {
-        std::fs::write(&path, &bytes[..cut]).unwrap();
+        std::fs::write(segment_path(&path, 0), &bytes[..cut]).unwrap();
         match scan_wal(&path) {
             Ok(scan) => {
                 assert_is_prefix(&scan.frames, &frames);
@@ -96,7 +98,7 @@ fn single_byte_flips_never_panic_and_never_fabricate_records() {
         for pattern in [0x01u8, 0x80, 0xFF] {
             let mut corrupt = bytes.clone();
             corrupt[pos] ^= pattern;
-            std::fs::write(&path, &corrupt).unwrap();
+            std::fs::write(segment_path(&path, 0), &corrupt).unwrap();
             match scan_wal(&path) {
                 Ok(scan) => {
                     // A flip is caught by the crc/contiguity/count checks
@@ -131,7 +133,7 @@ fn trailing_garbage_is_dropped_and_reported() {
     ] {
         let mut poisoned = bytes.clone();
         poisoned.extend_from_slice(&garbage);
-        std::fs::write(&path, &poisoned).unwrap();
+        std::fs::write(segment_path(&path, 0), &poisoned).unwrap();
         let scan = scan_wal(&path).unwrap();
         assert_eq!(scan.frames.len(), frames.len(), "no valid record lost");
         assert_is_prefix(&scan.frames, &frames);
@@ -149,7 +151,7 @@ fn adversarial_row_counts_are_rejected_not_trusted() {
     let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
     let mut corrupt = bytes.clone();
     corrupt[header_len + 12] ^= 0x7F;
-    std::fs::write(&path, &corrupt).unwrap();
+    std::fs::write(segment_path(&path, 0), &corrupt).unwrap();
     let scan = scan_wal(&path).unwrap();
     assert!(scan.frames.is_empty(), "crc must catch the tampered count");
     assert!(scan.corruption.is_some());
